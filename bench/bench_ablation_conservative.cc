@@ -1,0 +1,144 @@
+// Ablation (paper §6): what the conservative machinery buys. Compares the
+// plain primitive (n_min = 30 rule of thumb, sample variances) against the
+// conservative one (Cochran n_min from the skew bound, sigma^2_max in
+// place of s^2) on two-configuration problems of increasing difficulty —
+// including an adversarial heavy-tailed pair where the sample variance is
+// systematically misleading.
+//
+// Reported per method: empirical accuracy among trials that stopped
+// claiming Pr(CS) > alpha (must be >= alpha for an honest method), and
+// the sample budget the guarantee costs.
+#include "bench_common.h"
+
+#include "core/conservative.h"
+#include "optimizer/candidate_gen.h"
+#include "optimizer/cost_bounds.h"
+
+using namespace pdx;
+using namespace pdx::bench;
+
+namespace {
+
+struct MethodOutcome {
+  int stopped = 0;
+  int stopped_correct = 0;
+  uint64_t samples = 0;
+
+  void Report(const char* name) const {
+    if (stopped == 0) {
+      std::printf("  %-14s never reached the target\n", name);
+      return;
+    }
+    std::printf("  %-14s stopped %3d times, accuracy-at-stop %.1f%%, avg "
+                "samples %.0f\n",
+                name, stopped, 100.0 * stopped_correct / stopped,
+                static_cast<double>(samples) / stopped);
+  }
+};
+
+void RunScenario(const char* name, MatrixCostSource* src,
+                 const std::vector<CostInterval>& bounds, ConfigId truth,
+                 int trials) {
+  std::printf("--- %s ---\n", name);
+  MethodOutcome plain, conservative;
+  for (int t = 0; t < trials; ++t) {
+    SelectorOptions sopt;
+    sopt.alpha = 0.9;
+    sopt.scheme = SamplingScheme::kDelta;
+    sopt.stratify = false;
+    sopt.max_samples = 2500;
+    Rng rng1(0xC0 + 31ull * t);
+    ConfigurationSelector sel(src, sopt);
+    SelectionResult r = sel.Run(&rng1);
+    if (r.reached_target) {
+      plain.stopped += 1;
+      plain.stopped_correct += r.best == truth ? 1 : 0;
+      plain.samples += r.queries_sampled;
+    }
+
+    ConservativeOptions copt;
+    copt.alpha = 0.9;
+    copt.max_samples = 2500;
+    Rng rng2(0xC1 + 37ull * t);
+    ConservativeResult c = ConservativeCompare(src, bounds, copt, &rng2);
+    if (c.reached_target) {
+      conservative.stopped += 1;
+      conservative.stopped_correct += c.best == truth ? 1 : 0;
+      conservative.samples += c.queries_sampled;
+    }
+  }
+  plain.Report("plain");
+  conservative.Report("conservative");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = TrialsFromArgs(argc, argv, 80);
+  PrintHeader("Ablation: conservative (sigma^2_max + Cochran) vs plain Pr(CS)",
+              trials);
+  auto start = std::chrono::steady_clock::now();
+
+  // --- scenario 1: a real TPC-D pair with §6.1-derived bounds -------------
+  {
+    auto env = MakeTpcdEnvironment(13000);
+    Rng rng(91);
+    std::vector<Configuration> pool =
+        MakeConfigPool(*env, 30, &rng, true, PoolStyle::kDiverse);
+    std::vector<double> totals = ExactTotals(*env, pool);
+    PairSpec spec;
+    spec.target_gap = 0.02;
+    ConfigPair pair = FindPair(*env, pool, totals, spec);
+    CandidateGenerator gen(env->schema);
+    CostBoundsDeriver deriver(*env->optimizer, *env->workload,
+                              Configuration("base"),
+                              gen.RichConfiguration(*env->workload));
+    std::vector<CostInterval> bounds =
+        deriver.DeltaBounds(pair.cheap, pair.dear);
+    MatrixCostSource src = MatrixCostSource::Precompute(
+        *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+    std::printf("TPC-D pair: gap %.2f%%; the conservative run pays for its "
+                "certificate with extra samples.\n",
+                100.0 * pair.Gap());
+    RunScenario("TPC-D hard pair, real bounds", &src, bounds, 0, trials);
+  }
+
+  // --- scenario 2: adversarial heavy tail ---------------------------------
+  {
+    const size_t N = 13000, T = 10;
+    std::vector<std::vector<double>> costs(N);
+    std::vector<TemplateId> templates(N);
+    Rng gen_rng(92);
+    // 0.5% of queries hide a massive advantage for config 1; everything
+    // else leans slightly toward config 0. A 30-query pilot usually sees
+    // none of the tail, so the plain sample variance wildly understates
+    // the truth.
+    for (size_t q = 0; q < N; ++q) {
+      templates[q] = static_cast<TemplateId>(q % T);
+      double base = 1000.0 + 100.0 * gen_rng.NextGaussian();
+      double d = gen_rng.NextBernoulli(0.005) ? -90000.0 : 500.0 / 0.995;
+      costs[q] = {base + d / 2.0, base - d / 2.0};
+    }
+    MatrixCostSource src(std::move(costs), std::move(templates));
+    ConfigId truth = src.TotalCost(0) <= src.TotalCost(1) ? 0 : 1;
+    std::printf("adversarial pair: true best is config %u (its advantage "
+                "lives in 0.5%% of the queries)\n",
+                truth);
+    std::vector<CostInterval> bounds(N);
+    for (QueryId q = 0; q < N; ++q) {
+      double d = src.Cost(q, 0) - src.Cost(q, 1);
+      bounds[q] = {std::min(d * 1.3, d * 0.7), std::max(d * 1.3, d * 0.7)};
+    }
+    RunScenario("heavy-tailed differences", &src, bounds, truth, trials);
+  }
+
+  std::printf(
+      "expected shape: an honest method is >= 90%% accurate whenever it\n"
+      "stops. The plain rule-of-thumb stopping can violate its claim (the\n"
+      "sample variance understates sparse-tailed difference distributions);\n"
+      "the conservative method never does — its price is a far larger, and\n"
+      "sometimes unreachable, sample budget.\n");
+  std::printf("[ablation-conservative] done in %.1fs\n", SecondsSince(start));
+  return 0;
+}

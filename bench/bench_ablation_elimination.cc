@@ -1,0 +1,77 @@
+// Ablation (paper §5 / §7.2 optimizations): the configuration-elimination
+// heuristic and the consecutive-samples oscillation guard. Runs
+// Algorithm 1 on a k = 60 TPC-D selection problem with each optimization
+// toggled and reports optimizer calls, samples, accuracy and active
+// configurations at termination.
+//
+// Expected shape: elimination slashes optimizer calls at (approximately)
+// unchanged accuracy; the guard spends extra samples and buys back
+// accuracy on oscillating near-ties.
+#include "bench_common.h"
+
+using namespace pdx;
+using namespace pdx::bench;
+
+int main(int argc, char** argv) {
+  const int trials = TrialsFromArgs(argc, argv, 60);
+  PrintHeader("Ablation: elimination heuristic & oscillation guard", trials);
+  auto start = std::chrono::steady_clock::now();
+  auto env = MakeTpcdEnvironment(13000);
+
+  Rng rng(71);
+  std::vector<Configuration> pool = MakeConfigPool(*env, 60, &rng);
+  MatrixCostSource src =
+      MatrixCostSource::Precompute(*env->optimizer, *env->workload, pool);
+  ConfigId truth = 0;
+  std::vector<double> totals(pool.size());
+  for (ConfigId c = 0; c < pool.size(); ++c) {
+    totals[c] = src.TotalCost(c);
+    if (totals[c] < totals[truth]) truth = c;
+  }
+
+  struct Variant {
+    const char* name;
+    double elimination;  // >= 1 disables
+    uint32_t consecutive;
+  };
+  const Variant variants[] = {
+      {"full (elim + guard10)", 0.995, 10},
+      {"no elimination", 1.0, 10},
+      {"no guard", 0.995, 1},
+      {"neither", 1.0, 1},
+  };
+
+  const std::vector<int> widths = {22, 12, 12, 12, 10, 10};
+  PrintRow({"variant", "opt.calls", "samples", "active@end", "PrCS",
+            "MaxD"},
+           widths);
+  for (const Variant& v : variants) {
+    uint64_t calls = 0, samples = 0, active = 0;
+    int correct = 0;
+    double max_delta = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      SelectorOptions sopt;
+      sopt.alpha = 0.9;
+      sopt.scheme = SamplingScheme::kDelta;
+      sopt.elimination_threshold = v.elimination;
+      sopt.consecutive_to_stop = v.consecutive;
+      Rng trial_rng(0xE11 + 7919ull * t);
+      ConfigurationSelector selector(&src, sopt);
+      SelectionResult r = selector.Run(&trial_rng);
+      calls += r.optimizer_calls;
+      samples += r.queries_sampled;
+      active += r.active_configs;
+      correct += r.best == truth ? 1 : 0;
+      max_delta = std::max(max_delta,
+                           (totals[r.best] - totals[truth]) / totals[truth]);
+    }
+    PrintRow({v.name, StringFormat("%.0f", double(calls) / trials),
+              StringFormat("%.0f", double(samples) / trials),
+              StringFormat("%.1f", double(active) / trials),
+              StringFormat("%.1f%%", 100.0 * correct / trials),
+              StringFormat("%.2f%%", 100.0 * max_delta)},
+             widths);
+  }
+  std::printf("\n[ablation-elim] done in %.1fs\n", SecondsSince(start));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2 (paper §7.1): progressive vs. fine (one-stratum-per-template)
+// stratification, same easy TPC-D pair as Figure 1.
+//
+// Expected shape (paper): with the fine stratification and small sample
+// sizes the per-stratum estimates are not normal and accuracy drops;
+// at large sample sizes the two schemes converge.
+#include "bench_common.h"
+
+using namespace pdx;
+using namespace pdx::bench;
+
+int main(int argc, char** argv) {
+  const int trials = TrialsFromArgs(argc, argv, 400);
+  PrintHeader("Figure 2: progressive vs fine stratification (TPC-D pair)",
+              trials);
+
+  auto start = std::chrono::steady_clock::now();
+  auto env = MakeTpcdEnvironment(13000);
+  Rng rng(11);  // same pool seed as Figure 1 -> same pair
+  std::vector<Configuration> pool = MakeConfigPool(*env, 40, &rng, true, PoolStyle::kDiverse);
+  std::vector<double> totals = ExactTotals(*env, pool);
+  PairSpec spec;
+  spec.target_gap = 0.07;
+  spec.view_requirement = 1;
+  ConfigPair pair = FindPair(*env, pool, totals, spec);
+  std::printf("pair: gap=%.2f%%, %zu templates -> fine stratification uses "
+              "%zu strata\n\n",
+              100.0 * pair.Gap(), env->workload->num_templates(),
+              env->workload->num_templates());
+
+  MatrixCostSource src = MatrixCostSource::Precompute(
+      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  const ConfigId truth = 0;
+
+  struct Variant {
+    const char* name;
+    SamplingScheme scheme;
+    AllocationPolicy allocation;
+  };
+  const Variant variants[] = {
+      {"Indep+Progressive", SamplingScheme::kIndependent,
+       AllocationPolicy::kVarianceGuided},
+      {"Indep+Fine", SamplingScheme::kIndependent,
+       AllocationPolicy::kFinePerTemplate},
+      {"Delta+Progressive", SamplingScheme::kDelta,
+       AllocationPolicy::kVarianceGuided},
+      {"Delta+Fine", SamplingScheme::kDelta,
+       AllocationPolicy::kFinePerTemplate},
+  };
+
+  const std::vector<int> widths = {8, 18, 18, 18, 18};
+  PrintRow({"samples", "Indep+Progressive", "Indep+Fine", "Delta+Progressive",
+            "Delta+Fine"},
+           widths);
+  for (uint64_t n : {30u, 50u, 75u, 100u, 150u, 250u, 400u, 600u}) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const Variant& v : variants) {
+      FixedBudgetOptions opt;
+      opt.scheme = v.scheme;
+      opt.allocation = v.allocation;
+      opt.stratify = true;
+      uint64_t budget = v.scheme == SamplingScheme::kDelta ? n : 2 * n;
+      double acc = MonteCarloAccuracy(&src, truth, budget, opt, trials,
+                                      0xF260000 + n);
+      row.push_back(StringFormat("%.3f", acc));
+    }
+    PrintRow(row, widths);
+  }
+  std::printf("\n[fig2] done in %.1fs\n", SecondsSince(start));
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// what-if optimizer calls, estimator updates, Pr(CS) evaluation, the
+// Algorithm-2 split search and the variance-bound DP. These quantify the
+// paper's claim that the primitive's own bookkeeping is "negligible when
+// compared to the overhead of optimizing even a single query" — in our
+// simulator the what-if call is itself microseconds, so the comparison is
+// directly visible.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/normal.h"
+#include "core/variance_bound.h"
+#include "optimizer/candidate_gen.h"
+#include "optimizer/cost_bounds.h"
+
+namespace pdx::bench {
+namespace {
+
+struct MicroFixture {
+  std::unique_ptr<Environment> env;
+  std::vector<Configuration> configs;
+  std::unique_ptr<MatrixCostSource> matrix;
+
+  MicroFixture() {
+    env = MakeTpcdEnvironment(2000);
+    Rng rng(81);
+    configs = MakeConfigPool(*env, 8, &rng);
+    matrix = std::make_unique<MatrixCostSource>(
+        MatrixCostSource::Precompute(*env->optimizer, *env->workload, configs));
+  }
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture fixture;
+  return fixture;
+}
+
+void BM_WhatIfCall_PointLookup(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  // Find a single-table lookup query.
+  QueryId lookup = 0;
+  for (QueryId q = 0; q < f.env->workload->size(); ++q) {
+    if (f.env->workload->query(q).select.joins.empty()) {
+      lookup = q;
+      break;
+    }
+  }
+  const Query& query = f.env->workload->query(lookup);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.env->optimizer->Cost(query, f.configs[0]));
+  }
+}
+BENCHMARK(BM_WhatIfCall_PointLookup);
+
+void BM_WhatIfCall_MultiJoin(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  QueryId join = 0;
+  size_t best_joins = 0;
+  for (QueryId q = 0; q < f.env->workload->size(); ++q) {
+    size_t j = f.env->workload->query(q).select.joins.size();
+    if (j > best_joins) {
+      best_joins = j;
+      join = q;
+    }
+  }
+  const Query& query = f.env->workload->query(join);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.env->optimizer->Cost(query, f.configs[0]));
+  }
+}
+BENCHMARK(BM_WhatIfCall_MultiJoin);
+
+void BM_DeltaEstimatorAdd(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  size_t k = f.configs.size();
+  std::vector<uint64_t> pops(f.env->workload->num_templates(), 0);
+  for (QueryId q = 0; q < f.env->workload->size(); ++q) {
+    pops[f.env->workload->query(q).template_id] += 1;
+  }
+  DeltaEstimator est(k, pops.size(), pops);
+  QueryId q = 0;
+  for (auto _ : state) {
+    std::vector<double> costs(k);
+    for (ConfigId c = 0; c < k; ++c) costs[c] = f.matrix->Cost(q, c);
+    est.Add(q, f.env->workload->query(q).template_id, std::move(costs));
+    q = (q + 1) % static_cast<QueryId>(f.env->workload->size());
+  }
+}
+BENCHMARK(BM_DeltaEstimatorAdd);
+
+void BM_PrCsEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwisePrCs(123.0, 40.0, 0.0));
+  }
+}
+BENCHMARK(BM_PrCsEvaluation);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.5;
+  for (auto _ : state) {
+    p = p < 0.99 ? p + 0.001 : 0.5;
+    benchmark::DoNotOptimize(NormalQuantile(p));
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_FindBestSplit(benchmark::State& state) {
+  // 24 templates, bimodal costs — a realistic Algorithm-2 invocation.
+  std::vector<uint64_t> pops(24, 500);
+  Stratification strat(pops);
+  std::vector<TemplateStats> stats(24);
+  for (TemplateId t = 0; t < 24; ++t) {
+    stats[t] = {500, t < 12 ? 10.0 + t : 1000.0 + 10.0 * t, 4.0, 40};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindBestSplit(strat, stats, 1e8, 30, 3));
+  }
+}
+BENCHMARK(BM_FindBestSplit);
+
+void BM_VarianceBoundDp(benchmark::State& state) {
+  Rng rng(82);
+  std::vector<CostInterval> bounds(state.range(0));
+  for (CostInterval& b : bounds) {
+    double lo = rng.NextDouble(0.0, 100.0);
+    b = {lo, lo + rng.NextDouble(0.0, 20.0)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxVarianceBound(bounds, 1.0));
+  }
+}
+BENCHMARK(BM_VarianceBoundDp)->Arg(100)->Arg(1000);
+
+void BM_VarianceBoundDpGrouped(benchmark::State& state) {
+  // Template-grouped intervals (the realistic §6 shape): many queries
+  // share identical rounded bounds, which the grouped sliding-window DP
+  // folds into a handful of bounded-knapsack groups.
+  std::vector<CostInterval> bounds;
+  bounds.reserve(state.range(0));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    int g = static_cast<int>(i % 12);
+    bounds.push_back({10.0 * g, 10.0 * g + 4.0 + g});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxVarianceBound(bounds, 1.0));
+  }
+}
+BENCHMARK(BM_VarianceBoundDpGrouped)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SelectorEndToEnd(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  ConfigId truth = 0;
+  for (ConfigId c = 1; c < f.configs.size(); ++c) {
+    if (f.matrix->TotalCost(c) < f.matrix->TotalCost(truth)) truth = c;
+  }
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    SelectorOptions opt;
+    opt.alpha = 0.9;
+    Rng rng(0xBEEF + ++seed);
+    ConfigurationSelector sel(f.matrix.get(), opt);
+    benchmark::DoNotOptimize(sel.Run(&rng));
+  }
+}
+BENCHMARK(BM_SelectorEndToEnd);
+
+}  // namespace
+}  // namespace pdx::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Copyright (c) the pdexplore authors.
+// Shared driver for the §7.2 multi-configuration experiments (Tables 2-3):
+// Algorithm 1 (Delta Sampling + progressive stratification, alpha = 0.9,
+// delta = 0, 10-consecutive-samples guard, 0.995 elimination) against the
+// two alternative sample-allocation methods given identical sample counts
+// — unstratified uniform sampling and equal-per-stratum allocation.
+// Reported per method: "True Pr(CS)" (fraction of trials selecting the
+// actually-best configuration) and "Max Delta" (worst-case relative cost
+// penalty of the selected configuration).
+#pragma once
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace pdx::bench {
+
+inline void RunMultiConfigExperiment(Environment* env,
+                                     const std::vector<uint32_t>& ks,
+                                     int trials, uint64_t seed) {
+  // Configurations can tie exactly (e.g. two candidates differing only in
+  // a structure the workload never uses); selecting either is correct.
+  constexpr double kTieEpsilon = 1e-9;
+  struct MethodStats {
+    int correct = 0;
+    double max_delta = 0.0;
+  };
+
+  const std::vector<int> widths = {16, 14, 10, 10, 10};
+  for (uint32_t k : ks) {
+    auto k_start = std::chrono::steady_clock::now();
+    Rng pool_rng(seed ^ k);
+    std::vector<Configuration> pool = MakeConfigPool(*env, k, &pool_rng);
+    if (pool.size() < k) {
+      std::printf("k=%u: pool only reached %zu distinct configurations\n", k,
+                  pool.size());
+    }
+    MatrixCostSource src =
+        MatrixCostSource::Precompute(*env->optimizer, *env->workload, pool);
+    std::vector<double> totals(pool.size());
+    ConfigId truth = 0;
+    for (ConfigId c = 0; c < pool.size(); ++c) {
+      totals[c] = src.TotalCost(c);
+      if (totals[c] < totals[truth]) truth = c;
+    }
+    double best_total = totals[truth];
+    // Runner-up gap (ignoring exact ties with the best): how hard this
+    // selection problem is.
+    double runner_up = 1e300;
+    for (ConfigId c = 0; c < pool.size(); ++c) {
+      double rel = (totals[c] - best_total) / best_total;
+      if (rel > kTieEpsilon) runner_up = std::min(runner_up, totals[c]);
+    }
+    if (runner_up > 1e299) runner_up = best_total;
+
+    MethodStats algo1, nostrat, equal;
+    uint64_t total_samples = 0;
+    uint64_t total_calls = 0;
+
+    for (int t = 0; t < trials; ++t) {
+      // --- Algorithm 1 (the paper's comparison primitive) ---
+      SelectorOptions sopt;
+      sopt.alpha = 0.9;
+      sopt.delta = 0.0;
+      sopt.scheme = SamplingScheme::kDelta;
+      sopt.stratify = true;
+      sopt.consecutive_to_stop = 10;
+      sopt.elimination_threshold = 0.995;
+      Rng rng1(seed + 1000003ull * k + t);
+      ConfigurationSelector selector(&src, sopt);
+      SelectionResult r = selector.Run(&rng1);
+      total_samples += r.queries_sampled;
+      total_calls += r.optimizer_calls;
+      double delta1 = (totals[r.best] - best_total) / best_total;
+      algo1.correct += delta1 <= kTieEpsilon ? 1 : 0;
+      algo1.max_delta = std::max(algo1.max_delta, delta1);
+
+      // --- alternatives, same number of sampled queries ---
+      FixedBudgetOptions uopt;
+      uopt.scheme = SamplingScheme::kDelta;
+      uopt.allocation = AllocationPolicy::kUniform;
+      Rng rng2(seed + 2000003ull * k + t);
+      FixedBudgetResult u =
+          FixedBudgetSelect(&src, r.queries_sampled, uopt, &rng2);
+      double delta2 = (totals[u.best] - best_total) / best_total;
+      nostrat.correct += delta2 <= kTieEpsilon ? 1 : 0;
+      nostrat.max_delta = std::max(nostrat.max_delta, delta2);
+
+      FixedBudgetOptions eopt2;
+      eopt2.scheme = SamplingScheme::kDelta;
+      eopt2.allocation = AllocationPolicy::kEqualPerTemplate;
+      Rng rng3(seed + 3000003ull * k + t);
+      FixedBudgetResult e =
+          FixedBudgetSelect(&src, r.queries_sampled, eopt2, &rng3);
+      double delta3 = (totals[e.best] - best_total) / best_total;
+      equal.correct += delta3 <= kTieEpsilon ? 1 : 0;
+      equal.max_delta = std::max(equal.max_delta, delta3);
+    }
+
+    std::printf(
+        "k = %zu configurations (runner-up gap %.2f%%, avg %.0f queries "
+        "sampled, avg %.0f optimizer calls vs %zu exact)\n",
+        pool.size(), 100.0 * (runner_up - best_total) / best_total,
+        static_cast<double>(total_samples) / trials,
+        static_cast<double>(total_calls) / trials,
+        env->workload->size() * pool.size());
+    PrintRow({"Method", "", "", "", ""}, widths);
+    auto report = [&](const char* name, const MethodStats& m) {
+      PrintRow({name, "True Pr(CS)",
+                StringFormat("%.1f%%", 100.0 * m.correct / trials), "Max D",
+                StringFormat("%.2f%%", 100.0 * m.max_delta)},
+               widths);
+    };
+    report("Delta-Sampling", algo1);
+    report("No Strat.", nostrat);
+    report("Equal Alloc.", equal);
+    std::printf("[k=%u] %.1fs\n\n", k, SecondsSince(k_start));
+  }
+}
+
+}  // namespace pdx::bench

@@ -1,0 +1,24 @@
+// Table 3 (paper §7.2): the multi-configuration experiment of Table 2 on
+// the CRM workload (6K statements incl. DML, >120 templates, 520-table
+// schema).
+//
+// Expected shape (paper): Delta-Sampling holds Pr(CS) near or above alpha
+// (the consecutive-sample guard over-samples easy problems, pushing it
+// higher), while No-Strat / Equal-Alloc degrade sharply with k.
+#include "bench_multi.h"
+
+using namespace pdx;
+using namespace pdx::bench;
+
+int main(int argc, char** argv) {
+  const int trials = TrialsFromArgs(argc, argv, 60);
+  PrintHeader("Table 3: multi-configuration selection, CRM workload", trials);
+  auto start = std::chrono::steady_clock::now();
+  auto env = MakeCrmEnvironment();
+  std::printf("workload: %zu statements, %zu templates, %.0f%% DML\n\n",
+              env->workload->size(), env->workload->num_templates(),
+              100.0 * env->workload->DmlFraction());
+  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E);
+  std::printf("[table3] done in %.1fs\n", SecondsSince(start));
+  return 0;
+}

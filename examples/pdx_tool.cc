@@ -1,0 +1,217 @@
+// pdx_tool: a miniature command-line physical design workbench built on
+// the library's persistence layer. Demonstrates the full tool loop a DBA
+// would run:
+//
+//   pdx_tool gen     --dir=/tmp/pdx [--queries=2000] [--configs=6]
+//       generate a TPC-D database + QGEN workload, enumerate candidate
+//       configurations, persist everything as .pdx files;
+//   pdx_tool compare --dir=/tmp/pdx [--alpha=0.9] [--delta-pct=0]
+//       reload the artifacts and run the probabilistic comparison
+//       primitive across all saved configurations;
+//   pdx_tool show    --dir=/tmp/pdx
+//       print the saved artifacts' inventory.
+//
+// Run without arguments for usage.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "catalog/tpcd_schema.h"
+#include "core/cost_source.h"
+#include "core/selector.h"
+#include "optimizer/serialization.h"
+#include "tuner/enumerator.h"
+#include "workload/tpcd_qgen.h"
+
+using namespace pdx;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const std::string& fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
+      "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
+      "  pdx_tool show    --dir=DIR\n");
+  return 2;
+}
+
+std::string SchemaPath(const std::string& dir) { return dir + "/schema.pdx"; }
+std::string WorkloadPath(const std::string& dir) {
+  return dir + "/workload.pdx";
+}
+std::string ConfigPath(const std::string& dir, size_t i) {
+  return dir + "/config_" + std::to_string(i) + ".pdx";
+}
+
+int RunGen(int argc, char** argv) {
+  std::string dir = FlagValue(argc, argv, "dir", "");
+  if (dir.empty()) return Usage();
+  uint32_t queries =
+      static_cast<uint32_t>(std::stoul(FlagValue(argc, argv, "queries", "2000")));
+  uint32_t num_configs =
+      static_cast<uint32_t>(std::stoul(FlagValue(argc, argv, "configs", "6")));
+  uint64_t seed = std::stoull(FlagValue(argc, argv, "seed", "1"));
+
+  Schema schema = MakeTpcdSchema();
+  TpcdWorkloadOptions wopt;
+  wopt.num_queries = queries;
+  wopt.seed = 20060406 + seed;
+  Workload workload = GenerateTpcdWorkload(schema, wopt);
+  WhatIfOptimizer optimizer(schema);
+  Rng rng(seed);
+  EnumeratorOptions eopt;
+  eopt.num_configs = num_configs;
+  std::vector<Configuration> configs =
+      EnumerateConfigurations(optimizer, workload, eopt, &rng);
+
+  Status st = SaveSchema(schema, SchemaPath(dir));
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = SaveWorkload(workload, WorkloadPath(dir));
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (size_t c = 0; c < configs.size(); ++c) {
+    st = SaveConfiguration(configs[c], schema, ConfigPath(dir, c));
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "wrote %s (%zu tables), %s (%zu queries, %zu templates), %zu "
+      "configurations\n",
+      SchemaPath(dir).c_str(), schema.num_tables(), WorkloadPath(dir).c_str(),
+      workload.size(), workload.num_templates(), configs.size());
+  return 0;
+}
+
+Result<std::vector<Configuration>> LoadAllConfigs(const std::string& dir,
+                                                  const Schema& schema) {
+  std::vector<Configuration> configs;
+  for (size_t c = 0;; ++c) {
+    auto loaded = LoadConfiguration(ConfigPath(dir, c), schema);
+    if (!loaded.ok()) break;
+    configs.push_back(std::move(*loaded));
+  }
+  if (configs.empty()) {
+    return Status::NotFound("no config_*.pdx files in '" + dir + "'");
+  }
+  return configs;
+}
+
+int RunCompare(int argc, char** argv) {
+  std::string dir = FlagValue(argc, argv, "dir", "");
+  if (dir.empty()) return Usage();
+  double alpha = std::stod(FlagValue(argc, argv, "alpha", "0.9"));
+  double delta_pct = std::stod(FlagValue(argc, argv, "delta-pct", "0"));
+  std::string scheme = FlagValue(argc, argv, "scheme", "delta");
+
+  auto schema = LoadSchema(SchemaPath(dir));
+  if (!schema.ok()) {
+    std::printf("error: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto workload = LoadWorkload(WorkloadPath(dir), *schema);
+  if (!workload.ok()) {
+    std::printf("error: %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  auto configs = LoadAllConfigs(dir, *schema);
+  if (!configs.ok()) {
+    std::printf("error: %s\n", configs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu queries, %zu configurations\n", workload->size(),
+              configs->size());
+
+  WhatIfOptimizer optimizer(*schema);
+  WhatIfCostSource source(optimizer, *workload, *configs);
+  SelectorOptions sopt;
+  sopt.alpha = alpha;
+  sopt.scheme = scheme == "indep" ? SamplingScheme::kIndependent
+                                  : SamplingScheme::kDelta;
+  if (delta_pct > 0.0) {
+    // Anchor delta on a rough scale: the first configuration's estimated
+    // total from a small pilot (cheap, documented approximation).
+    Configuration& first = (*configs)[0];
+    Rng pilot_rng(7);
+    double pilot = 0.0;
+    auto ids = pilot_rng.SampleWithoutReplacement(workload->size(), 50);
+    for (uint32_t q : ids) pilot += optimizer.Cost(workload->query(q), first);
+    double scale = pilot / 50.0 * static_cast<double>(workload->size());
+    sopt.delta = delta_pct / 100.0 * scale;
+  }
+  ConfigurationSelector selector(&source, sopt);
+  Rng rng(42);
+  SelectionResult r = selector.Run(&rng);
+
+  std::printf(
+      "selected configuration %u with Pr(CS) = %.3f\n"
+      "sampled %llu of %zu queries, %llu optimizer calls (exact: %zu)\n",
+      r.best, r.pr_cs, static_cast<unsigned long long>(r.queries_sampled),
+      workload->size(), static_cast<unsigned long long>(r.optimizer_calls),
+      workload->size() * configs->size());
+  const Configuration& winner = (*configs)[r.best];
+  std::printf("winner '%s': %zu indexes, %zu views, %.1f MB\n",
+              winner.name().c_str(), winner.indexes().size(),
+              winner.views().size(),
+              static_cast<double>(winner.StorageBytes(*schema)) / 1e6);
+  return 0;
+}
+
+int RunShow(int argc, char** argv) {
+  std::string dir = FlagValue(argc, argv, "dir", "");
+  if (dir.empty()) return Usage();
+  auto schema = LoadSchema(SchemaPath(dir));
+  if (!schema.ok()) {
+    std::printf("error: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("schema '%s': %zu tables, %.2f GB\n", schema->name().c_str(),
+              schema->num_tables(),
+              static_cast<double>(schema->TotalHeapBytes()) / 1e9);
+  auto workload = LoadWorkload(WorkloadPath(dir), *schema);
+  if (workload.ok()) {
+    std::printf("workload: %zu queries, %zu templates, %.0f%% DML\n",
+                workload->size(), workload->num_templates(),
+                100.0 * workload->DmlFraction());
+  }
+  auto configs = LoadAllConfigs(dir, *schema);
+  if (configs.ok()) {
+    for (size_t c = 0; c < configs->size(); ++c) {
+      const Configuration& cfg = (*configs)[c];
+      std::printf("config %zu '%s': %zu indexes, %zu views, %.1f MB\n", c,
+                  cfg.name().c_str(), cfg.indexes().size(), cfg.views().size(),
+                  static_cast<double>(cfg.StorageBytes(*schema)) / 1e6);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "gen") return RunGen(argc, argv);
+  if (command == "compare") return RunCompare(argc, argv);
+  if (command == "show") return RunShow(argc, argv);
+  return Usage();
+}

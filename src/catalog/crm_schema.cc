@@ -1,0 +1,128 @@
+#include "catalog/crm_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+// Column archetypes a CRM-style OLTP table is assembled from.
+Column MakeIdColumn(const std::string& table, uint64_t rows) {
+  return Column(table + "_id", DataType::kInt64, 8, std::max<uint64_t>(1, rows),
+                0.0);
+}
+
+Column MakeForeignKey(const std::string& name, uint64_t referenced_rows,
+                      double theta) {
+  return Column(name, DataType::kInt64, 8, std::max<uint64_t>(1, referenced_rows),
+                theta);
+}
+
+Column MakeStatusColumn(const std::string& name, double theta) {
+  return Column(name, DataType::kChar, 12, 8, theta);
+}
+
+Column MakeDateColumn(const std::string& name, double theta) {
+  return Column(name, DataType::kDate, 4, 1825, theta);  // ~5 years of days
+}
+
+Column MakeAmountColumn(const std::string& name, uint64_t rows, double theta) {
+  return Column(name, DataType::kDecimal, 8,
+                std::max<uint64_t>(1, std::min<uint64_t>(rows, 50000)), theta);
+}
+
+Column MakeTextColumn(const std::string& name, uint32_t width, uint64_t rows) {
+  return Column(name, DataType::kVarchar, width, std::max<uint64_t>(1, rows),
+                0.0);
+}
+
+}  // namespace
+
+Schema MakeCrmSchema(const CrmSchemaOptions& options) {
+  PDX_CHECK(options.num_tables >= 10);
+  Rng rng(options.seed);
+  Schema schema("crm");
+
+  // Draw raw table sizes from a log-normal; rescale to the byte target
+  // afterwards.
+  std::vector<double> raw_sizes(options.num_tables);
+  for (double& s : raw_sizes) {
+    s = rng.NextLogNormal(/*mu=*/6.0, options.size_lognormal_sigma);
+  }
+  std::sort(raw_sizes.rbegin(), raw_sizes.rend());
+
+  struct PendingTable {
+    Table table;
+    double raw_rows;
+  };
+  std::vector<PendingTable> pending;
+  pending.reserve(options.num_tables);
+
+  for (uint32_t i = 0; i < options.num_tables; ++i) {
+    PendingTable pt;
+    pt.raw_rows = raw_sizes[i];
+    Table& t = pt.table;
+    t.name = StringFormat("crm_t%03u", i);
+    uint64_t provisional_rows =
+        std::max<uint64_t>(8, static_cast<uint64_t>(pt.raw_rows));
+    t.columns.push_back(MakeIdColumn(t.name, provisional_rows));
+    // Hot transactional tables are wide; the reference-table tail is narrow.
+    uint32_t extra_cols =
+        i < options.num_tables / 10
+            ? static_cast<uint32_t>(rng.NextInt(8, 16))
+            : static_cast<uint32_t>(rng.NextInt(2, 7));
+    for (uint32_t c = 0; c < extra_cols; ++c) {
+      std::string cname = StringFormat("%s_c%02u", t.name.c_str(), c);
+      switch (rng.NextBounded(5)) {
+        case 0:
+          t.columns.push_back(MakeForeignKey(
+              cname + "_fk", std::max<uint64_t>(4, provisional_rows / 50),
+              options.zipf_theta));
+          break;
+        case 1:
+          t.columns.push_back(MakeStatusColumn(cname + "_st", options.zipf_theta));
+          break;
+        case 2:
+          t.columns.push_back(MakeDateColumn(cname + "_dt", options.zipf_theta));
+          break;
+        case 3:
+          t.columns.push_back(
+              MakeAmountColumn(cname + "_amt", provisional_rows, options.zipf_theta));
+          break;
+        default:
+          t.columns.push_back(MakeTextColumn(
+              cname + "_txt", static_cast<uint32_t>(rng.NextInt(16, 120)),
+              provisional_rows));
+          break;
+      }
+    }
+    pending.push_back(std::move(pt));
+  }
+
+  // Rescale row counts so the total heap size lands near the target.
+  double bytes_at_raw = 0.0;
+  for (const PendingTable& pt : pending) {
+    bytes_at_raw += pt.raw_rows * pt.table.RowBytes();
+  }
+  double scale = static_cast<double>(options.target_total_bytes) / bytes_at_raw;
+
+  for (PendingTable& pt : pending) {
+    Table t = std::move(pt.table);
+    t.row_count = std::max<uint64_t>(
+        8, static_cast<uint64_t>(std::llround(pt.raw_rows * scale)));
+    // Clamp distinct counts to the final row count.
+    for (Column& c : t.columns) {
+      c.num_distinct = std::max<uint64_t>(1, std::min(c.num_distinct, t.row_count));
+    }
+    schema.AddTable(std::move(t));
+  }
+
+  PDX_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace pdx

@@ -1,0 +1,33 @@
+// Copyright (c) the pdexplore authors.
+// Synthetic stand-in for the paper's real-life CRM database: "a database
+// running a CRM application with over 500 tables and of size ~0.7 GB". We
+// cannot ship the proprietary database, so we generate a schema with the
+// same gross shape: several hundred tables with log-normally distributed
+// row counts (a few large transactional tables, a long tail of small
+// reference tables), mixed column types, and moderate value skew.
+#pragma once
+
+#include "catalog/schema.h"
+
+namespace pdx {
+
+/// Options controlling the generated CRM-like schema.
+struct CrmSchemaOptions {
+  /// Number of tables (paper: > 500).
+  uint32_t num_tables = 520;
+  /// Target total heap size in bytes (paper: ~0.7 GB). Row counts are
+  /// rescaled after generation to land near this value.
+  uint64_t target_total_bytes = 700ull * 1000 * 1000;
+  /// Log-normal sigma of table row counts; larger values concentrate more
+  /// of the database in a few hot tables.
+  double size_lognormal_sigma = 2.2;
+  /// Value-frequency skew of low-cardinality columns.
+  double zipf_theta = 0.8;
+  /// Seed for deterministic generation.
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// Builds the CRM-like schema.
+Schema MakeCrmSchema(const CrmSchemaOptions& options = {});
+
+}  // namespace pdx

@@ -1,0 +1,94 @@
+#include "catalog/schema.h"
+
+#include <unordered_set>
+
+namespace pdx {
+
+uint32_t Table::RowBytes() const {
+  uint32_t bytes = Schema::kRowHeaderBytes;
+  for (const Column& c : columns) bytes += c.width_bytes;
+  return bytes;
+}
+
+uint64_t Table::HeapPages() const {
+  uint64_t rows_per_page = Schema::kPageSizeBytes / std::max(1u, RowBytes());
+  if (rows_per_page == 0) rows_per_page = 1;
+  return (row_count + rows_per_page - 1) / rows_per_page;
+}
+
+ColumnId Table::FindColumn(std::string_view column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<ColumnId>(i);
+  }
+  return kInvalidColumnId;
+}
+
+TableId Schema::AddTable(Table table) {
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+const Table& Schema::table(TableId id) const {
+  PDX_CHECK(id < tables_.size());
+  return tables_[id];
+}
+
+Result<TableId> Schema::FindTable(std::string_view table_name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == table_name) return static_cast<TableId>(i);
+  }
+  return Status::NotFound("table '" + std::string(table_name) + "'");
+}
+
+const Column& Schema::column(const ColumnRef& ref) const {
+  const Table& t = table(ref.table);
+  PDX_CHECK(ref.column < t.columns.size());
+  return t.columns[ref.column];
+}
+
+uint64_t Schema::TotalHeapBytes() const {
+  uint64_t bytes = 0;
+  for (const Table& t : tables_) bytes += t.HeapPages() * kPageSizeBytes;
+  return bytes;
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> table_names;
+  for (const Table& t : tables_) {
+    if (t.name.empty()) return Status::InvalidArgument("unnamed table");
+    if (!table_names.insert(t.name).second) {
+      return Status::InvalidArgument("duplicate table name '" + t.name + "'");
+    }
+    if (t.columns.empty()) {
+      return Status::InvalidArgument("table '" + t.name + "' has no columns");
+    }
+    if (t.row_count == 0) {
+      return Status::InvalidArgument("table '" + t.name + "' has zero rows");
+    }
+    std::unordered_set<std::string> col_names;
+    for (const Column& c : t.columns) {
+      if (c.name.empty()) {
+        return Status::InvalidArgument("unnamed column in '" + t.name + "'");
+      }
+      if (!col_names.insert(c.name).second) {
+        return Status::InvalidArgument("duplicate column '" + c.name +
+                                       "' in '" + t.name + "'");
+      }
+      if (c.num_distinct == 0) {
+        return Status::InvalidArgument("column '" + t.name + "." + c.name +
+                                       "' has zero distinct values");
+      }
+      if (c.num_distinct > t.row_count) {
+        return Status::InvalidArgument("column '" + t.name + "." + c.name +
+                                       "' has more distinct values than rows");
+      }
+      if (c.zipf_theta < 0.0) {
+        return Status::InvalidArgument("column '" + t.name + "." + c.name +
+                                       "' has negative zipf theta");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pdx

@@ -1,0 +1,90 @@
+// Copyright (c) the pdexplore authors.
+// Logical schema of the simulated database: tables, columns and their
+// value-distribution statistics. The what-if optimizer prices plans purely
+// from this metadata (cardinalities, widths, distinct counts, skew); no
+// data rows are materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace pdx {
+
+/// Column metadata. `num_distinct` and `zipf_theta` drive equality-predicate
+/// selectivities: the paper's synthetic database draws attribute-value
+/// frequencies from Zipf(theta = 1).
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt32;
+  uint32_t width_bytes = 4;
+  /// Number of distinct values; must be >= 1.
+  uint64_t num_distinct = 1;
+  /// Skew of the value-frequency distribution (0 = uniform).
+  double zipf_theta = 0.0;
+
+  Column() = default;
+  Column(std::string n, DataType t, uint32_t width, uint64_t ndv,
+         double theta)
+      : name(std::move(n)),
+        type(t),
+        width_bytes(width),
+        num_distinct(ndv),
+        zipf_theta(theta) {}
+};
+
+/// Table metadata.
+struct Table {
+  std::string name;
+  uint64_t row_count = 0;
+  std::vector<Column> columns;
+
+  /// Sum of column widths plus a fixed per-row header.
+  uint32_t RowBytes() const;
+  /// Number of heap pages at the catalog's page size.
+  uint64_t HeapPages() const;
+  /// Column index by name; kInvalidColumnId if absent.
+  ColumnId FindColumn(std::string_view column_name) const;
+};
+
+/// A database schema: an ordered collection of tables.
+class Schema {
+ public:
+  /// The simulated storage page size in bytes.
+  static constexpr uint32_t kPageSizeBytes = 8192;
+  /// Fixed per-row storage overhead (header, null bitmap).
+  static constexpr uint32_t kRowHeaderBytes = 16;
+
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a table; returns its TableId.
+  TableId AddTable(Table table);
+
+  const Table& table(TableId id) const;
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<Table>& tables() const { return tables_; }
+  const std::string& name() const { return name_; }
+
+  /// Table id by name; error if absent.
+  Result<TableId> FindTable(std::string_view table_name) const;
+
+  const Column& column(const ColumnRef& ref) const;
+
+  /// Total heap size of all tables in bytes (the "database size" the paper
+  /// quotes as ~1GB / ~0.7GB).
+  uint64_t TotalHeapBytes() const;
+
+  /// Validates invariants (non-empty tables, positive row counts, unique
+  /// names). Returns the first violation found.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace pdx

@@ -1,0 +1,77 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace pdx {
+
+namespace {
+// Zipf frequency computation over very large domains is approximated with
+// the continuous integral of x^-theta; exact summation is used for small
+// domains.
+constexpr uint64_t kExactDomainLimit = 4096;
+
+double ApproxHarmonic(double n, double theta) {
+  if (std::abs(theta - 1.0) < 1e-9) return std::log(n) + 0.5772156649015329;
+  return (std::pow(n, 1.0 - theta) - 1.0) / (1.0 - theta) + 1.0;
+}
+}  // namespace
+
+double ColumnStatistics::EqualitySelectivity(uint64_t value_rank) const {
+  uint64_t ndv = std::max<uint64_t>(1, column_.num_distinct);
+  value_rank = std::min(value_rank, ndv - 1);
+  if (column_.zipf_theta <= 0.0) return 1.0 / static_cast<double>(ndv);
+  if (ndv <= kExactDomainLimit) {
+    return ZipfFrequency(ndv, column_.zipf_theta, value_rank);
+  }
+  double h = ApproxHarmonic(static_cast<double>(ndv), column_.zipf_theta);
+  return (1.0 / std::pow(static_cast<double>(value_rank + 1),
+                         column_.zipf_theta)) /
+         h;
+}
+
+double ColumnStatistics::EqualitySelectivityUniform() const {
+  return 1.0 / static_cast<double>(std::max<uint64_t>(1, column_.num_distinct));
+}
+
+uint64_t ColumnStatistics::SampleValueRank(Rng* rng) const {
+  PDX_CHECK(rng != nullptr);
+  uint64_t ndv = std::max<uint64_t>(1, column_.num_distinct);
+  if (column_.zipf_theta <= 0.0) return rng->NextBounded(ndv);
+  if (ndv <= kExactDomainLimit) {
+    ZipfDistribution dist(ndv, column_.zipf_theta);
+    return dist.Sample(rng);
+  }
+  // Inverse-CDF sampling against the continuous approximation.
+  double h = ApproxHarmonic(static_cast<double>(ndv), column_.zipf_theta);
+  double u = rng->NextDouble() * h;
+  double rank;
+  if (std::abs(column_.zipf_theta - 1.0) < 1e-9) {
+    rank = std::exp(u - 0.5772156649015329);
+  } else {
+    double t = (u - 1.0) * (1.0 - column_.zipf_theta) + 1.0;
+    rank = t > 0.0 ? std::pow(t, 1.0 / (1.0 - column_.zipf_theta)) : 1.0;
+  }
+  uint64_t r = static_cast<uint64_t>(std::max(1.0, rank)) - 1;
+  return std::min(r, ndv - 1);
+}
+
+double ColumnStatistics::RangeSelectivity(double domain_fraction) const {
+  double floor_sel =
+      1.0 / static_cast<double>(std::max<uint64_t>(1, column_.num_distinct));
+  return std::clamp(domain_fraction, floor_sel, 1.0);
+}
+
+uint64_t DistinctAfterFilter(uint64_t num_distinct, double row_fraction) {
+  row_fraction = std::clamp(row_fraction, 0.0, 1.0);
+  // Cardenas/Yao-flavoured: d * (1 - (1 - f)^(n/d)) approximated by
+  // min(d, d * f * e-ish growth); we use the simple bounded form.
+  double d = static_cast<double>(num_distinct);
+  double est = d * (1.0 - std::pow(1.0 - row_fraction, 3.0));
+  est = std::max(1.0, std::min(d, est));
+  return static_cast<uint64_t>(est);
+}
+
+}  // namespace pdx

@@ -1,0 +1,46 @@
+// Copyright (c) the pdexplore authors.
+// Selectivity derivation from catalog statistics. Workload generators call
+// these when binding template parameters so that the "optimizer-estimated"
+// selectivities embedded in a Query reflect the Zipf-skewed value
+// distributions of the synthetic database.
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+
+namespace pdx {
+
+/// Derives per-predicate selectivities from column metadata.
+class ColumnStatistics {
+ public:
+  explicit ColumnStatistics(const Column& column) : column_(column) {}
+
+  /// Selectivity of `col = v` where v is the value of the given frequency
+  /// rank (0 = most frequent). Under Zipf(theta) this is the value's
+  /// relative frequency.
+  double EqualitySelectivity(uint64_t value_rank) const;
+
+  /// Selectivity of `col = v` for a *uniformly chosen distinct value*
+  /// (i.e. 1 / ndv, the textbook estimate without skew knowledge).
+  double EqualitySelectivityUniform() const;
+
+  /// Draws a value rank according to the column's value-frequency
+  /// distribution (frequent values are queried more often, as in QGEN-style
+  /// parameter binding against skewed data).
+  uint64_t SampleValueRank(Rng* rng) const;
+
+  /// Selectivity of a range predicate covering `fraction` of the value
+  /// domain, clamped to [1/rows-ish floor, 1].
+  double RangeSelectivity(double domain_fraction) const;
+
+ private:
+  const Column& column_;
+};
+
+/// Estimated number of distinct values remaining after filtering a table
+/// to `row_fraction` of its rows (Yao-style approximation, capped).
+uint64_t DistinctAfterFilter(uint64_t num_distinct, double row_fraction);
+
+}  // namespace pdx

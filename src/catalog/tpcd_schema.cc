@@ -1,0 +1,170 @@
+#include "catalog/tpcd_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdx {
+
+namespace {
+
+uint64_t Scaled(double base, double sf) {
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(base * sf)));
+}
+
+}  // namespace
+
+std::vector<std::vector<const char*>> TpcdPrimaryKeyColumns() {
+  return {
+      {"r_regionkey"},              // region
+      {"n_nationkey"},              // nation
+      {"s_suppkey"},                // supplier
+      {"c_custkey"},                // customer
+      {"p_partkey"},                // part
+      {"ps_partkey", "ps_suppkey"},  // partsupp
+      {"o_orderkey"},               // orders
+      {"l_orderkey", "l_linenumber"},  // lineitem
+  };
+}
+
+Schema MakeTpcdSchema(const TpcdSchemaOptions& options) {
+  const double sf = options.scale_factor;
+  const double th = options.zipf_theta;
+  PDX_CHECK(sf > 0.0);
+
+  Schema schema("tpcd");
+
+  {
+    Table t;
+    t.name = "region";
+    t.row_count = 5;
+    t.columns = {
+        Column("r_regionkey", DataType::kInt32, 4, 5, 0.0),
+        Column("r_name", DataType::kChar, 25, 5, 0.0),
+        Column("r_comment", DataType::kVarchar, 100, 5, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "nation";
+    t.row_count = 25;
+    t.columns = {
+        Column("n_nationkey", DataType::kInt32, 4, 25, 0.0),
+        Column("n_name", DataType::kChar, 25, 25, 0.0),
+        Column("n_regionkey", DataType::kInt32, 4, 5, th),
+        Column("n_comment", DataType::kVarchar, 100, 25, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "supplier";
+    t.row_count = Scaled(10000, sf);
+    t.columns = {
+        Column("s_suppkey", DataType::kInt32, 4, t.row_count, 0.0),
+        Column("s_name", DataType::kChar, 25, t.row_count, 0.0),
+        Column("s_address", DataType::kVarchar, 40, t.row_count, 0.0),
+        Column("s_nationkey", DataType::kInt32, 4, 25, th),
+        Column("s_phone", DataType::kChar, 15, t.row_count, 0.0),
+        Column("s_acctbal", DataType::kDecimal, 8, std::min<uint64_t>(t.row_count, 100000), th),
+        Column("s_comment", DataType::kVarchar, 100, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "customer";
+    t.row_count = Scaled(150000, sf);
+    t.columns = {
+        Column("c_custkey", DataType::kInt32, 4, t.row_count, 0.0),
+        Column("c_name", DataType::kVarchar, 25, t.row_count, 0.0),
+        Column("c_address", DataType::kVarchar, 40, t.row_count, 0.0),
+        Column("c_nationkey", DataType::kInt32, 4, 25, th),
+        Column("c_phone", DataType::kChar, 15, t.row_count, 0.0),
+        Column("c_acctbal", DataType::kDecimal, 8, std::min<uint64_t>(t.row_count, 100000), th),
+        Column("c_mktsegment", DataType::kChar, 10, 5, th),
+        Column("c_comment", DataType::kVarchar, 117, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "part";
+    t.row_count = Scaled(200000, sf);
+    t.columns = {
+        Column("p_partkey", DataType::kInt32, 4, t.row_count, 0.0),
+        Column("p_name", DataType::kVarchar, 55, t.row_count, 0.0),
+        Column("p_mfgr", DataType::kChar, 25, 5, th),
+        Column("p_brand", DataType::kChar, 10, 25, th),
+        Column("p_type", DataType::kVarchar, 25, 150, th),
+        Column("p_size", DataType::kInt32, 4, 50, th),
+        Column("p_container", DataType::kChar, 10, 40, th),
+        Column("p_retailprice", DataType::kDecimal, 8,
+               std::min<uint64_t>(t.row_count, 30000), th),
+        Column("p_comment", DataType::kVarchar, 23, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "partsupp";
+    t.row_count = Scaled(800000, sf);
+    t.columns = {
+        Column("ps_partkey", DataType::kInt32, 4, Scaled(200000, sf), 0.0),
+        Column("ps_suppkey", DataType::kInt32, 4, Scaled(10000, sf), 0.0),
+        Column("ps_availqty", DataType::kInt32, 4, 10000, th),
+        Column("ps_supplycost", DataType::kDecimal, 8,
+               std::min<uint64_t>(t.row_count, 100000), th),
+        Column("ps_comment", DataType::kVarchar, 199, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "orders";
+    t.row_count = Scaled(1500000, sf);
+    t.columns = {
+        Column("o_orderkey", DataType::kInt64, 8, t.row_count, 0.0),
+        Column("o_custkey", DataType::kInt32, 4, Scaled(150000, sf), th),
+        Column("o_orderstatus", DataType::kChar, 1, 3, th),
+        Column("o_totalprice", DataType::kDecimal, 8,
+               std::min<uint64_t>(t.row_count, 1000000), th),
+        Column("o_orderdate", DataType::kDate, 4, 2406, th),
+        Column("o_orderpriority", DataType::kChar, 15, 5, th),
+        Column("o_clerk", DataType::kChar, 15, Scaled(1000, sf), th),
+        Column("o_shippriority", DataType::kInt32, 4, 1, 0.0),
+        Column("o_comment", DataType::kVarchar, 79, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "lineitem";
+    t.row_count = Scaled(6000000, sf);
+    t.columns = {
+        Column("l_orderkey", DataType::kInt64, 8, Scaled(1500000, sf), 0.0),
+        Column("l_partkey", DataType::kInt32, 4, Scaled(200000, sf), th),
+        Column("l_suppkey", DataType::kInt32, 4, Scaled(10000, sf), th),
+        Column("l_linenumber", DataType::kInt32, 4, 7, 0.0),
+        Column("l_quantity", DataType::kDecimal, 8, 50, th),
+        Column("l_extendedprice", DataType::kDecimal, 8,
+               std::min<uint64_t>(t.row_count, 1000000), th),
+        Column("l_discount", DataType::kDecimal, 8, 11, th),
+        Column("l_tax", DataType::kDecimal, 8, 9, th),
+        Column("l_returnflag", DataType::kChar, 1, 3, th),
+        Column("l_linestatus", DataType::kChar, 1, 2, th),
+        Column("l_shipdate", DataType::kDate, 4, 2526, th),
+        Column("l_commitdate", DataType::kDate, 4, 2466, th),
+        Column("l_receiptdate", DataType::kDate, 4, 2555, th),
+        Column("l_shipinstruct", DataType::kChar, 25, 4, th),
+        Column("l_shipmode", DataType::kChar, 10, 7, th),
+        Column("l_comment", DataType::kVarchar, 44, t.row_count, 0.0),
+    };
+    schema.AddTable(std::move(t));
+  }
+
+  PDX_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace pdx

@@ -1,0 +1,43 @@
+// Copyright (c) the pdexplore authors.
+// The TPC-D (TPC-H) schema the paper's synthetic experiments run against:
+// "The synthetic database follows the TPC-D schema and was generated so
+// that the frequency of attribute values follows a Zipf-like distribution,
+// using the skew-parameter theta = 1. The total data size is ~1GB."
+#pragma once
+
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace pdx {
+
+/// Table ids within the TPC-D schema, in construction order.
+enum TpcdTable : TableId {
+  kRegion = 0,
+  kNation = 1,
+  kSupplier = 2,
+  kCustomer = 3,
+  kPart = 4,
+  kPartsupp = 5,
+  kOrders = 6,
+  kLineitem = 7,
+};
+
+/// Options controlling the generated TPC-D schema.
+struct TpcdSchemaOptions {
+  /// Scale factor; 1.0 yields the canonical ~1GB database (6M lineitem).
+  double scale_factor = 1.0;
+  /// Skew of attribute-value frequencies (paper: theta = 1).
+  double zipf_theta = 1.0;
+};
+
+/// Builds the TPC-D schema with cardinalities scaled by
+/// `options.scale_factor` and the given value skew.
+Schema MakeTpcdSchema(const TpcdSchemaOptions& options = {});
+
+/// Names of the primary-key columns of each TPC-D table, in table order.
+/// Deployed TPC-D databases always carry these indexes; experiments that
+/// model a realistic "current configuration" start from them.
+std::vector<std::vector<const char*>> TpcdPrimaryKeyColumns();
+
+}  // namespace pdx

@@ -1,0 +1,48 @@
+// Copyright (c) the pdexplore authors.
+// Fundamental identifier types for the simulated database catalog.
+#pragma once
+
+#include <cstdint>
+
+namespace pdx {
+
+/// Index of a table within a Schema.
+using TableId = uint32_t;
+/// Index of a column within its Table.
+using ColumnId = uint32_t;
+/// Identifier of a query template within a workload.
+using TemplateId = uint32_t;
+/// Identifier of a query within a workload.
+using QueryId = uint32_t;
+/// Identifier of a configuration within a comparison set.
+using ConfigId = uint32_t;
+
+constexpr TableId kInvalidTableId = UINT32_MAX;
+constexpr ColumnId kInvalidColumnId = UINT32_MAX;
+
+/// Storage data types. The cost model only needs widths, but the SQL
+/// renderer uses the type to produce plausible literals.
+enum class DataType : uint8_t {
+  kInt32,
+  kInt64,
+  kDouble,
+  kDecimal,
+  kDate,
+  kChar,     // fixed-width string
+  kVarchar,  // variable-width string
+};
+
+/// A fully-qualified column reference.
+struct ColumnRef {
+  TableId table = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    return table != o.table ? table < o.table : column < o.column;
+  }
+};
+
+}  // namespace pdx

@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pdx {
+
+EquiDepthHistogram::EquiDepthHistogram(std::vector<double> values,
+                                       size_t num_buckets) {
+  PDX_CHECK(num_buckets >= 1);
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  total_count_ = static_cast<int64_t>(values.size());
+  min_ = values.front();
+  max_ = values.back();
+  size_t buckets = std::min(num_buckets, values.size());
+  boundaries_.reserve(buckets + 1);
+  counts_.reserve(buckets);
+  boundaries_.push_back(min_);
+  size_t prev_idx = 0;
+  for (size_t b = 1; b <= buckets; ++b) {
+    size_t idx = (values.size() * b) / buckets;
+    PDX_CHECK(idx >= 1);
+    // Absorb runs of duplicates entirely: a boundary never cuts through
+    // equal values, so repeated values land in one (possibly zero-width)
+    // bucket and the CDF is exact at them.
+    while (idx < values.size() && values[idx] == values[idx - 1]) ++idx;
+    if (idx <= prev_idx) continue;  // empty bucket
+    // Duplicate-heavy data may produce zero-width buckets (equal
+    // consecutive boundaries); those represent point masses and make the
+    // CDF exact at repeated values.
+    boundaries_.push_back(values[idx - 1]);
+    counts_.push_back(static_cast<int64_t>(idx - prev_idx));
+    prev_idx = idx;
+  }
+}
+
+double EquiDepthHistogram::CdfEstimate(double x) const {
+  if (total_count_ == 0) return 0.0;
+  if (x < boundaries_.front()) return 0.0;
+  if (x >= boundaries_.back()) return 1.0;
+  int64_t below = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double lo = boundaries_[b];
+    double hi = boundaries_[b + 1];
+    if (x >= hi) {
+      below += counts_[b];
+      continue;
+    }
+    // Linear interpolation within the bucket; a zero-width bucket is a
+    // point mass strictly above x here (x < hi == lo).
+    double frac = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+    below += static_cast<int64_t>(std::llround(frac * static_cast<double>(counts_[b])));
+    break;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_count_);
+}
+
+double EquiDepthHistogram::RangeFraction(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  return std::max(0.0, CdfEstimate(hi) - CdfEstimate(lo));
+}
+
+double EquiDepthHistogram::Quantile(double p) const {
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  if (total_count_ == 0) return 0.0;
+  double target = p * static_cast<double>(total_count_);
+  double below = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double next = below + static_cast<double>(counts_[b]);
+    if (next >= target || b + 1 == counts_.size()) {
+      double lo = boundaries_[b];
+      double hi = boundaries_[b + 1];
+      double inside = static_cast<double>(counts_[b]);
+      double frac = inside > 0.0 ? (target - below) / inside : 0.0;
+      frac = std::clamp(frac, 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    below = next;
+  }
+  return max_;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::ostringstream os;
+  os << "EquiDepthHistogram(n=" << total_count_ << ", min=" << min_
+     << ", max=" << max_ << ")\n";
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    os << "  [" << boundaries_[b] << ", " << boundaries_[b + 1]
+       << "] count=" << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pdx

@@ -1,0 +1,44 @@
+// Copyright (c) the pdexplore authors.
+// Equi-depth histogram over double values. Used by the catalog for column
+// value distributions and by benches to summarize cost distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdx {
+
+/// Fixed-bucket-count equi-depth histogram built from a batch of values.
+class EquiDepthHistogram {
+ public:
+  /// Builds a histogram with at most `num_buckets` buckets. `values` may be
+  /// in any order; an internal sorted copy is made.
+  EquiDepthHistogram(std::vector<double> values, size_t num_buckets);
+
+  /// Estimated fraction of values <= x.
+  double CdfEstimate(double x) const;
+
+  /// Estimated fraction of values in (lo, hi].
+  double RangeFraction(double lo, double hi) const;
+
+  /// Approximate p-quantile (p in [0, 1]).
+  double Quantile(double p) const;
+
+  size_t num_buckets() const { return boundaries_.empty() ? 0 : boundaries_.size() - 1; }
+  int64_t total_count() const { return total_count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Multi-line textual rendering for logs and example programs.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> boundaries_;  // num_buckets + 1 edges, non-decreasing
+  std::vector<int64_t> counts_;     // per-bucket counts
+  int64_t total_count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pdx

@@ -1,0 +1,38 @@
+// Copyright (c) the pdexplore authors.
+// Minimal leveled logging to stderr. Intended for examples, benches and
+// debugging; the library itself logs nothing at level Info or below during
+// normal operation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pdx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pdx
+
+#define PDX_LOG(level)                                                     \
+  ::pdx::internal::LogMessage(::pdx::LogLevel::k##level, __FILE__,         \
+                              __LINE__)                                    \
+      .stream()

@@ -1,0 +1,38 @@
+// Copyright (c) the pdexplore authors.
+// Internal assertion and convenience macros.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when an internal invariant is violated. Active in
+/// all build types: the library's statistical guarantees depend on these
+/// invariants, so silently continuing would corrupt results.
+#define PDX_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PDX_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define PDX_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PDX_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-ok Status from an expression returning Status.
+#define PDX_RETURN_IF_ERROR(expr)                                            \
+  do {                                                                       \
+    ::pdx::Status _st = (expr);                                              \
+    if (!_st.ok()) return _st;                                               \
+  } while (0)
+
+#define PDX_DISALLOW_COPY(TypeName)                                          \
+  TypeName(const TypeName&) = delete;                                        \
+  TypeName& operator=(const TypeName&) = delete

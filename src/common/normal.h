@@ -1,0 +1,26 @@
+// Copyright (c) the pdexplore authors.
+// Standard-normal distribution functions. The Pr(CS) machinery of the paper
+// reduces every confidence statement to a normal tail probability, so these
+// are the statistical workhorses of the library.
+#pragma once
+
+namespace pdx {
+
+/// Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), accurate to ~1e-15 (erf-based).
+double NormalCdf(double x);
+
+/// Upper tail 1 - Phi(x), computed without cancellation for large x.
+double NormalSf(double x);
+
+/// Inverse standard normal CDF (quantile). `p` must lie in (0, 1).
+/// Acklam's rational approximation refined by one Halley step; absolute
+/// error below 1e-12 over (1e-300, 1 - 1e-16).
+double NormalQuantile(double p);
+
+/// Two-sided coverage Phi(z) - Phi(-z) for z >= 0.
+double NormalCoverage(double z);
+
+}  // namespace pdx

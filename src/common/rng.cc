@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace pdx {
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  PDX_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0ULL - bound) % bound;
+    while (lo < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  PDX_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  PDX_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+std::vector<uint32_t> Rng::Permutation(size_t n) {
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  PDX_CHECK(k <= n);
+  if (k == 0) return {};
+  // For dense samples a shuffle of the full index range is cheaper.
+  if (k * 4 >= n) {
+    std::vector<uint32_t> perm = Permutation(n);
+    perm.resize(k);
+    return perm;
+  }
+  // Floyd's algorithm: k insertions into a hash set, each guaranteed to add
+  // exactly one new element.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(NextBounded(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(static_cast<uint32_t>(j));
+      out.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return out;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace pdx

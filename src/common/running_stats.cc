@@ -1,0 +1,163 @@
+#include "common/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace pdx {
+
+void KahanSum::Add(double x) {
+  double y = x - compensation_;
+  double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+void RunningMoments::Add(double x) {
+  // Pébay's single-pass update for the first three central moments.
+  int64_t n1 = n_;
+  n_ += 1;
+  double delta = x - mean_;
+  double delta_n = delta / static_cast<double>(n_);
+  double term1 = delta * delta_n * static_cast<double>(n1);
+  mean_ += delta_n;
+  m3_ += term1 * delta_n * static_cast<double>(n_ - 2) -
+         3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningMoments::Remove(double x) {
+  PDX_CHECK(n_ > 0);
+  if (n_ == 1) {
+    Reset();
+    return;
+  }
+  // Inverse of the Welford update (first two moments).
+  int64_t n1 = n_ - 1;
+  double mean_prev =
+      (mean_ * static_cast<double>(n_) - x) / static_cast<double>(n1);
+  double delta = x - mean_prev;
+  double delta_n = delta / static_cast<double>(n_);
+  double term1 = delta * delta_n * static_cast<double>(n1);
+  m2_ -= term1;
+  m2_ = std::max(m2_, 0.0);  // guard round-off
+  m3_ = 0.0;                 // third moment not maintained through removals
+  mean_ = mean_prev;
+  n_ = n1;
+}
+
+double RunningMoments::variance_population() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningMoments::variance_sample() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningMoments::stddev_sample() const {
+  return std::sqrt(variance_sample());
+}
+
+double RunningMoments::skewness() const {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  double n = static_cast<double>(n_);
+  double m2 = m2_ / n;
+  double m3 = m3_ / n;
+  return m3 / std::pow(m2, 1.5);
+}
+
+void RunningMoments::Reset() {
+  n_ = 0;
+  mean_ = m2_ = m3_ = 0.0;
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double nx = na + nb;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * nb / nx;
+  double m2 = m2_ + other.m2_ + delta * delta * na * nb / nx;
+  double m3 = m3_ + other.m3_ +
+              delta * delta * delta * na * nb * (na - nb) / (nx * nx) +
+              3.0 * delta * (na * other.m2_ - nb * m2_) / nx;
+  n_ = n_ + other.n_;
+  mean_ = mean;
+  m2_ = m2;
+  m3_ = m3;
+}
+
+void RunningCovariance::Add(double x, double y) {
+  n_ += 1;
+  double n = static_cast<double>(n_);
+  double dx = x - mean_x_;
+  double dy = y - mean_y_;
+  mean_x_ += dx / n;
+  mean_y_ += dy / n;
+  // Note: uses the *updated* mean_y_ for the cross term (standard online
+  // covariance update).
+  cxy_ += dx * (y - mean_y_);
+  m2_x_ += dx * (x - mean_x_);
+  m2_y_ += dy * (y - mean_y_);
+}
+
+double RunningCovariance::covariance_sample() const {
+  return n_ > 1 ? cxy_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningCovariance::variance_x_sample() const {
+  return n_ > 1 ? m2_x_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningCovariance::variance_y_sample() const {
+  return n_ > 1 ? m2_y_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningCovariance::correlation() const {
+  double vx = variance_x_sample();
+  double vy = variance_y_sample();
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return covariance_sample() / std::sqrt(vx * vy);
+}
+
+void RunningCovariance::Reset() {
+  n_ = 0;
+  mean_x_ = mean_y_ = m2_x_ = m2_y_ = cxy_ = 0.0;
+}
+
+ExactMoments ExactMoments::Compute(const std::vector<double>& values) {
+  ExactMoments out;
+  if (values.empty()) return out;
+  KahanSum sum;
+  out.min = values[0];
+  out.max = values[0];
+  for (double v : values) {
+    sum.Add(v);
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+  }
+  double n = static_cast<double>(values.size());
+  out.mean = sum.Total() / n;
+  KahanSum s2, s3;
+  for (double v : values) {
+    double d = v - out.mean;
+    s2.Add(d * d);
+    s3.Add(d * d * d);
+  }
+  out.variance_population = s2.Total() / n;
+  out.variance_sample =
+      values.size() > 1 ? s2.Total() / (n - 1.0) : 0.0;
+  if (out.variance_population > 0.0) {
+    out.skewness =
+        (s3.Total() / n) / std::pow(out.variance_population, 1.5);
+  }
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,101 @@
+// Copyright (c) the pdexplore authors.
+// Numerically stable incremental moment accumulators. Algorithm 1 updates
+// estimator means/variances after *every* sampled query, so all statistics
+// here are O(1) per observation (Welford / Pébay update formulas).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdx {
+
+/// Kahan-compensated summation for long low-magnitude-tail cost sums.
+class KahanSum {
+ public:
+  void Add(double x);
+  double Total() const { return sum_ + compensation_; }
+  void Reset() { sum_ = compensation_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Running mean / variance / skewness via Welford–Pébay updates.
+/// Tracks up to the third central moment, which the CLT-applicability check
+/// (Cochran's rule, paper eq. 9) needs for Fisher's G1.
+class RunningMoments {
+ public:
+  void Add(double x);
+  /// Removes one previously-added observation. Exact arithmetic inverse of
+  /// Add for the first two moments (used when a stratum is re-split); the
+  /// third moment is recomputed by callers that need it after removal.
+  void Remove(double x);
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance_population() const;
+  /// Sample variance (divide by n-1); 0 when n < 2.
+  double variance_sample() const;
+  double stddev_sample() const;
+  /// Fisher's skewness G1 = m3 / m2^(3/2) (population form); 0 when
+  /// undefined (n < 2 or zero variance).
+  double skewness() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void Reset();
+
+  /// Merges another accumulator into this one (parallel Pébay merge).
+  void Merge(const RunningMoments& other);
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+};
+
+/// Running covariance of paired observations (x, y). Delta Sampling's
+/// advantage is exactly Cov(cost in C_l, cost in C_j) > 0 (paper §4.2);
+/// this accumulator lets tests and the ablation bench measure it directly.
+class RunningCovariance {
+ public:
+  void Add(double x, double y);
+
+  int64_t count() const { return n_; }
+  double mean_x() const { return mean_x_; }
+  double mean_y() const { return mean_y_; }
+  /// Sample covariance (divide by n-1); 0 when n < 2.
+  double covariance_sample() const;
+  double variance_x_sample() const;
+  double variance_y_sample() const;
+  /// Pearson correlation; 0 when undefined.
+  double correlation() const;
+
+  void Reset();
+
+ private:
+  int64_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double cxy_ = 0.0;
+};
+
+/// Exact (two-pass) population moments of a finite vector; reference
+/// implementation used by tests and by the Monte-Carlo harness where the
+/// full cost column is materialized anyway.
+struct ExactMoments {
+  double mean = 0.0;
+  double variance_population = 0.0;
+  double variance_sample = 0.0;
+  double skewness = 0.0;  // Fisher G1, population form
+  double min = 0.0;
+  double max = 0.0;
+
+  static ExactMoments Compute(const std::vector<double>& values);
+};
+
+}  // namespace pdx

@@ -1,0 +1,120 @@
+// Copyright (c) the pdexplore authors.
+// Status / Result<T> error handling, RocksDB/Arrow style. The library does
+// not throw exceptions across its public API; fallible operations return a
+// Status or a Result<T>.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace pdx {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "NotFound"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the success case
+/// (no allocation); error cases carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Accessing the value of an error Result aborts,
+/// so callers must check ok() (or use ValueOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PDX_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PDX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    PDX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PDX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pdx

@@ -1,0 +1,38 @@
+// Copyright (c) the pdexplore authors.
+// Small string helpers shared by the SQL renderer / signature parser and
+// the bench output formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdx {
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `s` begins with `prefix` (case-insensitive ASCII).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// FNV-1a 64-bit hash, used for query-template signatures.
+uint64_t Fnv1aHash(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats `v` with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+/// Formats a fraction as a percentage string, e.g. 0.123 -> "12.3%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace pdx

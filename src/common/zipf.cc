@@ -1,0 +1,53 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdx {
+
+namespace {
+double GeneralizedHarmonic(size_t n, double theta) {
+  double h = 0.0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), theta);
+  return h;
+}
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta)
+    : n_(n), theta_(theta) {
+  PDX_CHECK(n >= 1);
+  PDX_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double h = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    h += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = h;
+  }
+  for (auto& c : cdf_) c /= h;
+  cdf_.back() = 1.0;  // guard against round-off
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  PDX_CHECK(rng != nullptr);
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(size_t i) const {
+  PDX_CHECK(i < n_);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+double ZipfTopFrequency(size_t n, double theta) {
+  return ZipfFrequency(n, theta, 0);
+}
+
+double ZipfFrequency(size_t n, double theta, size_t rank) {
+  PDX_CHECK(n >= 1);
+  PDX_CHECK(rank < n);
+  double h = GeneralizedHarmonic(n, theta);
+  return (1.0 / std::pow(static_cast<double>(rank + 1), theta)) / h;
+}
+
+}  // namespace pdx

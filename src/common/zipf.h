@@ -1,0 +1,48 @@
+// Copyright (c) the pdexplore authors.
+// Zipf-distributed sampling. The paper's synthetic TPC-D database is
+// generated "so that the frequency of attribute values follows a Zipf-like
+// distribution, using the skew-parameter theta = 1"; we use the same family
+// both for data-value frequencies (selectivities) and for template
+// popularity in the CRM trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pdx {
+
+/// Samples ranks from a Zipf(theta) distribution over {0, ..., n-1}:
+/// Pr(rank = i) proportional to 1 / (i+1)^theta. Uses an inverted-CDF table;
+/// construction is O(n), sampling O(log n).
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (theta = 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `i`.
+  double Probability(size_t i) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = Pr(rank <= i)
+};
+
+/// The frequency (relative mass) of the most common value under
+/// Zipf(theta) over `n` values — used by the catalog to derive equality-
+/// predicate selectivities without materializing a distribution object.
+double ZipfTopFrequency(size_t n, double theta);
+
+/// Relative mass of the value of rank `rank` (0-based) under Zipf(theta)
+/// over `n` values.
+double ZipfFrequency(size_t n, double theta, size_t rank);
+
+}  // namespace pdx

@@ -1,0 +1,61 @@
+#include "compression/clustering.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pdx {
+
+ClusteringResult ClusterCompress(const Workload& workload,
+                                 const std::vector<double>& current_costs,
+                                 double max_distance) {
+  PDX_CHECK(current_costs.size() == workload.size());
+  PDX_CHECK(max_distance >= 0.0);
+
+  ClusteringResult out;
+  // Visit queries in descending cost order so medoids are the expensive
+  // representatives ([5] keeps high-impact queries as cluster centers).
+  std::vector<QueryId> order(workload.size());
+  for (QueryId q = 0; q < workload.size(); ++q) order[q] = q;
+  std::sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+    return current_costs[a] > current_costs[b];
+  });
+
+  for (QueryId q : order) {
+    const Query& query = workload.query(q);
+    double best_dist = 0.0;
+    int64_t best_cluster = -1;
+    for (size_t c = 0; c < out.clusters.size(); ++c) {
+      const QueryCluster& cluster = out.clusters[c];
+      const Query& medoid = workload.query(cluster.medoid);
+      out.distance_computations += 1;
+      double d = QueryDistance(workload.schema(), query, current_costs[q],
+                               medoid, current_costs[cluster.medoid]);
+      if (d <= max_distance && (best_cluster < 0 || d < best_dist)) {
+        best_dist = d;
+        best_cluster = static_cast<int64_t>(c);
+      }
+    }
+    if (best_cluster >= 0) {
+      QueryCluster& cluster = out.clusters[static_cast<size_t>(best_cluster)];
+      cluster.members.push_back(q);
+      cluster.total_cost += current_costs[q];
+    } else {
+      QueryCluster fresh;
+      fresh.medoid = q;
+      fresh.members = {q};
+      fresh.total_cost = current_costs[q];
+      out.clusters.push_back(std::move(fresh));
+    }
+  }
+  return out;
+}
+
+std::vector<QueryId> Medoids(const ClusteringResult& result) {
+  std::vector<QueryId> out;
+  out.reserve(result.clusters.size());
+  for (const QueryCluster& c : result.clusters) out.push_back(c.medoid);
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,48 @@
+// Copyright (c) the pdexplore authors.
+// Clustering-based workload compression ([5]-style). Greedy leader
+// clustering under the QueryDistance metric: a query joins an existing
+// cluster when its distance to the cluster medoid is within the sensitivity
+// threshold W; otherwise it founds a new cluster. The compressed workload
+// is the set of medoids, each weighted by its cluster size. Preprocessing
+// needs up to O(|WL|^2) distance computations — the scalability weakness
+// §7.3 measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compression/distance.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// One cluster of the compression.
+struct QueryCluster {
+  /// Representative query (workload id).
+  QueryId medoid = 0;
+  /// Members, including the medoid.
+  std::vector<QueryId> members;
+  /// Sum of current costs of the members (the medoid's weight when the
+  /// compressed workload is tuned).
+  double total_cost = 0.0;
+};
+
+/// Result of clustering compression.
+struct ClusteringResult {
+  std::vector<QueryCluster> clusters;
+  /// Number of distance computations performed (scalability metric).
+  uint64_t distance_computations = 0;
+};
+
+/// Compresses `workload` under sensitivity threshold `max_distance` (the
+/// [5] parameter: "the maximum allowable increase in the estimated running
+/// time when queries are discarded"). `current_costs[q]` is each query's
+/// cost in the current configuration.
+ClusteringResult ClusterCompress(const Workload& workload,
+                                 const std::vector<double>& current_costs,
+                                 double max_distance);
+
+/// Convenience: medoid ids of a clustering result.
+std::vector<QueryId> Medoids(const ClusteringResult& result);
+
+}  // namespace pdx

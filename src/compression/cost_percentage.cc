@@ -1,0 +1,39 @@
+#include "compression/cost_percentage.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace pdx {
+
+CompressionResult CompressByCostPercentage(
+    const std::vector<double>& current_costs,
+    const std::vector<TemplateId>& templates, double cost_fraction) {
+  PDX_CHECK(current_costs.size() == templates.size());
+  PDX_CHECK(cost_fraction > 0.0 && cost_fraction <= 1.0);
+
+  std::vector<QueryId> order(current_costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+    return current_costs[a] > current_costs[b];
+  });
+
+  double total = 0.0;
+  for (double c : current_costs) total += c;
+  double target = total * cost_fraction;
+
+  CompressionResult out;
+  std::unordered_set<TemplateId> seen;
+  double covered = 0.0;
+  for (QueryId q : order) {
+    if (covered >= target) break;
+    out.retained.push_back(q);
+    covered += current_costs[q];
+    seen.insert(templates[q]);
+  }
+  out.cost_coverage = total > 0.0 ? covered / total : 1.0;
+  out.templates_covered = static_cast<uint32_t>(seen.size());
+  return out;
+}
+
+}  // namespace pdx

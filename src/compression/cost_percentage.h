@@ -1,0 +1,35 @@
+// Copyright (c) the pdexplore authors.
+// Workload compression by current-cost percentage — the [20]-style
+// comparator (DB2 Design Advisor): "queries are selected in order of their
+// costs for the current configuration until a prespecified percentage X of
+// the total workload cost is selected". Scales well; fails when few
+// templates hold the most expensive queries (§7.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/macros.h"
+
+namespace pdx {
+
+/// Result of a compression pass: the retained query ids (original
+/// workload ids) and bookkeeping for quality analysis.
+struct CompressionResult {
+  std::vector<QueryId> retained;
+  /// Fraction of total current cost covered by the retained set.
+  double cost_coverage = 0.0;
+  /// Number of distinct templates represented in the retained set.
+  uint32_t templates_covered = 0;
+};
+
+/// Retains the most expensive queries (by `current_costs`, the cost of
+/// each query in the currently deployed configuration) until at least
+/// `cost_fraction` of the total cost is covered. `templates[q]` maps each
+/// query to its template (for the coverage diagnostics).
+CompressionResult CompressByCostPercentage(
+    const std::vector<double>& current_costs,
+    const std::vector<TemplateId>& templates, double cost_fraction);
+
+}  // namespace pdx

@@ -1,0 +1,44 @@
+#include "compression/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace pdx {
+
+double SelectivityMismatch(const Query& a, const Query& b) {
+  PDX_CHECK(a.template_id == b.template_id);
+  // Predicate lists of same-template queries are structurally aligned.
+  double mismatch = 0.0;
+  size_t count = 0;
+  for (size_t acc = 0;
+       acc < a.select.accesses.size() && acc < b.select.accesses.size();
+       ++acc) {
+    const auto& pa = a.select.accesses[acc].predicates;
+    const auto& pb = b.select.accesses[acc].predicates;
+    for (size_t p = 0; p < pa.size() && p < pb.size(); ++p) {
+      double sa = pa[p].selectivity;
+      double sb = pb[p].selectivity;
+      double hi = std::max(sa, sb);
+      if (hi > 0.0) mismatch += std::abs(sa - sb) / hi;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return std::clamp(mismatch / static_cast<double>(count), 0.0, 1.0);
+}
+
+double QueryDistance(const Schema& /*schema*/, const Query& a, double cost_a,
+                     const Query& b, double cost_b) {
+  if (a.template_id != b.template_id) {
+    // Dropping either query can forfeit design structures only it needs;
+    // the worst-case cost impact is bounded by the larger current cost
+    // plus the discarded query's cost.
+    return cost_a + cost_b;
+  }
+  double mismatch = SelectivityMismatch(a, b);
+  return std::abs(cost_a - cost_b) + mismatch * std::min(cost_a, cost_b);
+}
+
+}  // namespace pdx

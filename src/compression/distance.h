@@ -1,0 +1,31 @@
+// Copyright (c) the pdexplore authors.
+// Query distance function for clustering-based workload compression — the
+// [5]-style comparator (Chaudhuri et al., "Compressing SQL Workloads").
+//
+// [5] clusters queries under a distance that "models the maximum
+// difference in cost between two queries for arbitrary configurations",
+// computed from query structure without optimizer estimates. Our analog
+// follows that recipe: queries of different templates are maximally far
+// apart (replacing one by the other can forfeit template-specific design
+// structures worth up to their joint cost); within a template, the
+// distance is the current-cost difference scaled by a parameter-mismatch
+// factor derived from predicate selectivities.
+#pragma once
+
+#include "catalog/schema.h"
+#include "workload/query.h"
+
+namespace pdx {
+
+/// Distance between two workload statements. `cost_a` / `cost_b` are their
+/// costs in the current configuration (the only optimizer numbers [5]'s
+/// preprocessing has). Symmetric and non-negative; zero iff the queries
+/// have identical template and bindings.
+double QueryDistance(const Schema& schema, const Query& a, double cost_a,
+                     const Query& b, double cost_b);
+
+/// Selectivity-mismatch factor in [0, 1] between two instances of the
+/// same template (0 = identical bindings).
+double SelectivityMismatch(const Query& a, const Query& b);
+
+}  // namespace pdx

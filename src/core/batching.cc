@@ -1,0 +1,146 @@
+#include "core/batching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/running_stats.h"
+#include "core/estimators.h"
+#include "core/pr_cs.h"
+
+namespace pdx {
+
+namespace {
+
+// Per-configuration batching state: its own without-replacement sample
+// stream and the accumulated batch means (scaled to workload totals).
+struct ConfigBatches {
+  std::unique_ptr<StratifiedSamplePool> pool;
+  RunningMoments batch_means;
+  bool exhausted = false;
+};
+
+}  // namespace
+
+BatchingResult BatchingCompare(CostSource* source,
+                               const BatchingOptions& options, Rng* rng) {
+  PDX_CHECK(source != nullptr && rng != nullptr);
+  PDX_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  PDX_CHECK(options.batch_size >= 2);
+  PDX_CHECK(options.min_batches >= 2);
+
+  const size_t k = source->num_configs();
+  const double N = static_cast<double>(source->num_queries());
+  const uint64_t calls_before = source->num_calls();
+
+  BatchingResult result;
+  result.batches.assign(k, 0);
+  if (k == 1) {
+    result.pr_cs = 1.0;
+    result.reached_target = true;
+    return result;
+  }
+
+  std::vector<ConfigBatches> state(k);
+  for (size_t c = 0; c < k; ++c) {
+    state[c].pool = std::make_unique<StratifiedSamplePool>(*source, rng);
+  }
+  uint64_t sampled = 0;
+
+  // Draws one batch for configuration c; false when the population ran dry
+  // or the sample cap was hit before a full batch.
+  auto draw_batch = [&](ConfigId c) {
+    KahanSum sum;
+    for (uint32_t i = 0; i < options.batch_size; ++i) {
+      if (options.max_samples > 0 && sampled >= options.max_samples) {
+        return false;
+      }
+      std::optional<QueryId> q = state[c].pool->DrawGlobal(rng);
+      if (!q) {
+        state[c].exhausted = true;
+        return false;
+      }
+      sum.Add(source->Cost(*q, c));
+      ++sampled;
+    }
+    // One batch mean, scaled to a workload-total estimate.
+    state[c].batch_means.Add(sum.Total() /
+                             static_cast<double>(options.batch_size) * N);
+    result.batches[c] += 1;
+    return true;
+  };
+
+  // Initial batches: the procedure has no inference at all until every
+  // system has min_batches normal-ish observations.
+  bool capped_or_exhausted = false;
+  for (uint32_t b = 0; b < options.min_batches && !capped_or_exhausted; ++b) {
+    for (ConfigId c = 0; c < k; ++c) {
+      if (!draw_batch(c)) {
+        capped_or_exhausted = true;
+        break;
+      }
+    }
+  }
+
+  while (true) {
+    // Rank by batch-mean averages.
+    ConfigId best = 0;
+    double best_mean = std::numeric_limits<double>::infinity();
+    for (ConfigId c = 0; c < k; ++c) {
+      double m = state[c].batch_means.mean();
+      if (state[c].batch_means.count() > 0 && m < best_mean) {
+        best_mean = m;
+        best = c;
+      }
+    }
+
+    std::vector<double> pairwise;
+    pairwise.reserve(k - 1);
+    for (ConfigId j = 0; j < k; ++j) {
+      if (j == best) continue;
+      const RunningMoments& a = state[best].batch_means;
+      const RunningMoments& b = state[j].batch_means;
+      double gap = b.mean() - a.mean();
+      double se = std::sqrt(
+          a.variance_sample() / std::max<int64_t>(1, a.count()) +
+          b.variance_sample() / std::max<int64_t>(1, b.count()));
+      pairwise.push_back(PairwisePrCs(gap, se, options.delta));
+    }
+    result.best = best;
+    result.pr_cs = BonferroniPrCs(pairwise);
+
+    bool have_min_batches = true;
+    for (ConfigId c = 0; c < k; ++c) {
+      have_min_batches &= result.batches[c] >= options.min_batches;
+    }
+    if (have_min_batches && result.pr_cs > options.alpha) {
+      result.reached_target = true;
+      break;
+    }
+    if (capped_or_exhausted) break;
+
+    // One more batch for the two least-separated configurations (the
+    // incumbent and its closest challenger) — the batching analogue of
+    // focusing effort where the uncertainty is.
+    ConfigId challenger = best == 0 ? 1 : 0;
+    double challenger_mean = std::numeric_limits<double>::infinity();
+    for (ConfigId c = 0; c < k; ++c) {
+      if (c == best) continue;
+      double m = state[c].batch_means.mean();
+      if (m < challenger_mean) {
+        challenger_mean = m;
+        challenger = c;
+      }
+    }
+    if (!draw_batch(best) || !draw_batch(challenger)) {
+      capped_or_exhausted = true;
+    }
+  }
+
+  result.queries_sampled = sampled;
+  result.optimizer_calls = source->num_calls() - calls_before;
+  return result;
+}
+
+}  // namespace pdx

@@ -1,0 +1,61 @@
+// Copyright (c) the pdexplore authors.
+// Batch-means statistical selection — the §2 related-work baseline.
+//
+// Classical selection-and-ranking procedures [Kim & Nelson 2003] assume
+// normally distributed measurements per system. Query costs are anything
+// but normal, so the standard adaptation is *batching* [Steiger & Wilson
+// 1999]: aggregate raw measurements into batch means large enough to be
+// approximately normal, then rank systems on the batch means. The paper
+// argues this "requires a large number of initial measurements (batch
+// sizes of over 1000 measurements are common), thereby nullifying the
+// efficiency gain due to sampling". This implementation makes that
+// comparison concrete: the same stopping semantics as the comparison
+// primitive, but inference is restricted to whole batch means.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cost_source.h"
+
+namespace pdx {
+
+/// Options for batch-means selection.
+struct BatchingOptions {
+  /// Target probability of correct selection.
+  double alpha = 0.9;
+  /// Sensitivity (as in the comparison primitive).
+  double delta = 0.0;
+  /// Raw measurements aggregated into one batch mean. The literature uses
+  /// hundreds to >1000; smaller values violate the normality premise.
+  uint32_t batch_size = 200;
+  /// Batch means per configuration before any confidence statement
+  /// (the procedures need several normal observations per system).
+  uint32_t min_batches = 5;
+  /// Hard cap on total sampled queries across configurations (0 = none).
+  uint64_t max_samples = 0;
+};
+
+/// Outcome of a batching selection.
+struct BatchingResult {
+  ConfigId best = 0;
+  double pr_cs = 0.0;
+  bool reached_target = false;
+  /// Total queries sampled over all configurations.
+  uint64_t queries_sampled = 0;
+  uint64_t optimizer_calls = 0;
+  /// Batches completed per configuration.
+  std::vector<uint32_t> batches;
+};
+
+/// Selects the lowest-cost configuration using independent per-config
+/// batches: each batch is `batch_size` fresh queries sampled without
+/// replacement and evaluated in that configuration only; inference uses
+/// the mean and spread of the per-config batch means. Stops when the
+/// Bonferroni-combined pairwise confidence exceeds alpha, when a
+/// configuration's population is exhausted, or at max_samples.
+BatchingResult BatchingCompare(CostSource* source,
+                               const BatchingOptions& options, Rng* rng);
+
+}  // namespace pdx

@@ -1,0 +1,81 @@
+#include "core/conservative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/running_stats.h"
+#include "core/estimators.h"
+#include "core/pr_cs.h"
+
+namespace pdx {
+
+ConservativeResult ConservativeCompare(
+    CostSource* source, const std::vector<CostInterval>& delta_bounds,
+    const ConservativeOptions& options, Rng* rng) {
+  PDX_CHECK(source != nullptr && rng != nullptr);
+  PDX_CHECK(source->num_configs() == 2);
+  PDX_CHECK(delta_bounds.size() == source->num_queries());
+  PDX_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+
+  const uint64_t N = source->num_queries();
+  const uint64_t calls_before = source->num_calls();
+  ConservativeResult result;
+
+  // --- §6.2 bounds ---------------------------------------------------------
+  double mean_abs = 0.0;
+  for (const CostInterval& b : delta_bounds) {
+    mean_abs += 0.5 * (std::abs(b.low) + std::abs(b.high));
+  }
+  mean_abs /= static_cast<double>(delta_bounds.size());
+  double rho = std::max(1e-12, mean_abs * options.rho_fraction);
+  result.validation = ValidateClt(delta_bounds, rho);
+  // The vertex-search estimate is the operative skew figure (§6.2 reports
+  // usage based on it); the fully certified cap is also available in
+  // validation.g1_upper.
+  result.n_min = std::min<uint64_t>(
+      N, CochranRequiredSampleSize(result.validation.g1_estimate));
+
+  // --- sampling loop ---------------------------------------------------------
+  StratifiedSamplePool pool(*source, rng);
+  RunningMoments diff;  // Cost(q, C0) - Cost(q, C1)
+  uint64_t cap = options.max_samples > 0 ? std::min(options.max_samples, N) : N;
+
+  auto draw = [&]() {
+    std::optional<QueryId> q = pool.DrawGlobal(rng);
+    if (!q) return false;
+    diff.Add(source->Cost(*q, 0) - source->Cost(*q, 1));
+    return true;
+  };
+
+  // Cochran pilot: the CLT is not certified below n_min, so no confidence
+  // statement is made there. A max_samples cap below n_min means the
+  // target is unreachable (reached_target stays false).
+  while (static_cast<uint64_t>(diff.count()) < std::min(result.n_min, cap)) {
+    if (!draw()) break;
+  }
+
+  while (true) {
+    uint64_t n = static_cast<uint64_t>(diff.count());
+    double scaled_gap =
+        std::abs(diff.mean()) * static_cast<double>(N);  // |X_{0,1}|
+    result.best = diff.mean() <= 0.0 ? 0 : 1;
+    result.estimated_gap = scaled_gap;
+    result.pr_cs = ConservativePairwisePrCs(scaled_gap,
+                                            result.validation.sigma2_max, n, N,
+                                            options.delta);
+    // A confidence claim requires both the Cochran floor (CLT certified)
+    // and the conservative probability itself.
+    if (n >= result.n_min && result.pr_cs > options.alpha) {
+      result.reached_target = true;
+      break;
+    }
+    if (n >= cap || pool.RemainingTotal() == 0) break;
+    if (!draw()) break;
+  }
+
+  result.queries_sampled = static_cast<uint64_t>(diff.count());
+  result.optimizer_calls = source->num_calls() - calls_before;
+  return result;
+}
+
+}  // namespace pdx

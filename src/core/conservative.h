@@ -1,0 +1,66 @@
+// Copyright (c) the pdexplore authors.
+// Conservative two-configuration comparison (paper §6, assembled).
+//
+// The plain primitive trusts (i) the CLT at n >= n_min = 30 and (ii) the
+// sample variance. Under heavy cost skew both can fail silently and the
+// reported Pr(CS) overstates the real selection probability. Given
+// per-query bounds on the cost difference (§6.1), this primitive:
+//
+//   1. bounds the skew of the difference distribution (G1, vertex search)
+//      and derives the minimum sample size from the modified Cochran rule
+//      (eq. 9) — replacing the n_min = 30 rule of thumb;
+//   2. bounds the variance (sigma^2_max, the rho-rounded DP) and uses it
+//      in place of the sample variance when computing Pr(CS) — so the
+//      reported probability is a certified lower bound (up to the normal
+//      approximation the Cochran rule guarantees);
+//   3. samples (Delta style, both configurations per query) until the
+//      conservative Pr(CS) exceeds alpha.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/clt_check.h"
+#include "core/cost_source.h"
+
+namespace pdx {
+
+/// Options for the conservative comparison.
+struct ConservativeOptions {
+  double alpha = 0.9;
+  double delta = 0.0;
+  /// Rounding granularity of the variance DP, relative to the mean
+  /// interval magnitude (the DP rho is mean(|bounds|) * rho_fraction).
+  double rho_fraction = 0.01;
+  /// Hard cap on sampled queries (0 = workload size).
+  uint64_t max_samples = 0;
+};
+
+/// Outcome of a conservative comparison.
+struct ConservativeResult {
+  /// 0 or 1: index of the selected configuration.
+  ConfigId best = 0;
+  /// Certified-conservative Pr(CS) at termination.
+  double pr_cs = 0.0;
+  bool reached_target = false;
+  /// Cochran minimum sample size derived from the skew bound.
+  uint64_t n_min = 0;
+  uint64_t queries_sampled = 0;
+  uint64_t optimizer_calls = 0;
+  /// The §6.2 bound bundle actually used.
+  CltValidation validation;
+  /// Estimated total-cost difference Cost(WL, other) - Cost(WL, best).
+  double estimated_gap = 0.0;
+};
+
+/// Compares the two configurations of `source` (must have exactly 2).
+/// `delta_bounds[q]` must bound Cost(q, C0) - Cost(q, C1) for every query
+/// (from CostBoundsDeriver::DeltaBounds). Sampling is uniform without
+/// replacement; each sampled query is evaluated in both configurations.
+ConservativeResult ConservativeCompare(CostSource* source,
+                                       const std::vector<CostInterval>& delta_bounds,
+                                       const ConservativeOptions& options,
+                                       Rng* rng);
+
+}  // namespace pdx

@@ -1,0 +1,71 @@
+#include "core/cost_source.h"
+
+#include <algorithm>
+
+namespace pdx {
+
+WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
+                                   const Workload& workload,
+                                   std::vector<Configuration> configs)
+    : optimizer_(optimizer),
+      workload_(workload),
+      configs_(std::move(configs)) {
+  PDX_CHECK(!configs_.empty());
+}
+
+double WhatIfCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < workload_.size());
+  PDX_CHECK(c < configs_.size());
+  calls_ += 1;
+  return optimizer_.Cost(workload_.query(q), configs_[c]);
+}
+
+MatrixCostSource::MatrixCostSource(std::vector<std::vector<double>> costs,
+                                   std::vector<TemplateId> templates)
+    : costs_(std::move(costs)), templates_(std::move(templates)) {
+  PDX_CHECK(costs_.size() == templates_.size());
+  PDX_CHECK(!costs_.empty());
+  size_t width = costs_[0].size();
+  for (const auto& row : costs_) PDX_CHECK(row.size() == width);
+  TemplateId max_t = 0;
+  for (TemplateId t : templates_) max_t = std::max(max_t, t);
+  num_templates_ = static_cast<size_t>(max_t) + 1;
+}
+
+MatrixCostSource MatrixCostSource::Precompute(
+    const WhatIfOptimizer& optimizer, const Workload& workload,
+    const std::vector<Configuration>& configs) {
+  std::vector<std::vector<double>> costs(workload.size());
+  std::vector<TemplateId> templates(workload.size());
+  for (QueryId q = 0; q < workload.size(); ++q) {
+    costs[q].resize(configs.size());
+    templates[q] = workload.query(q).template_id;
+    for (ConfigId c = 0; c < configs.size(); ++c) {
+      costs[q][c] = optimizer.Cost(workload.query(q), configs[c]);
+    }
+  }
+  return MatrixCostSource(std::move(costs), std::move(templates));
+}
+
+double MatrixCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < costs_.size());
+  PDX_CHECK(c < costs_[q].size());
+  calls_ += 1;
+  return costs_[q][c];
+}
+
+std::vector<double> MatrixCostSource::Column(ConfigId c) const {
+  PDX_CHECK(!costs_.empty() && c < costs_[0].size());
+  std::vector<double> out(costs_.size());
+  for (size_t q = 0; q < costs_.size(); ++q) out[q] = costs_[q][c];
+  return out;
+}
+
+double MatrixCostSource::TotalCost(ConfigId c) const {
+  PDX_CHECK(!costs_.empty() && c < costs_[0].size());
+  double total = 0.0;
+  for (const auto& row : costs_) total += row[c];
+  return total;
+}
+
+}  // namespace pdx

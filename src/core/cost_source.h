@@ -1,0 +1,118 @@
+// Copyright (c) the pdexplore authors.
+// The cost oracle the comparison primitive samples from. "To sample a
+// query" in the paper means: fetch the query text and evaluate its cost
+// with the query optimizer under a configuration — the expensive resource
+// being optimizer calls. CostSource abstracts that: the live
+// implementation forwards to the what-if optimizer; the Monte-Carlo
+// harness replays a precomputed cost matrix so the same selection run can
+// be repeated thousands of times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/macros.h"
+#include "optimizer/what_if.h"
+
+namespace pdx {
+
+/// Abstract per-(query, configuration) cost oracle with call accounting.
+class CostSource {
+ public:
+  virtual ~CostSource() = default;
+
+  /// Optimizer-estimated cost of query `q` in configuration `c`.
+  /// Counts one optimizer call.
+  virtual double Cost(QueryId q, ConfigId c) = 0;
+
+  virtual size_t num_queries() const = 0;
+  virtual size_t num_configs() const = 0;
+
+  /// Template of a query (available without an optimizer call: the
+  /// workload store records it at trace time).
+  virtual TemplateId TemplateOf(QueryId q) const = 0;
+  virtual size_t num_templates() const = 0;
+
+  /// Relative optimizer-call overhead of a query (1.0 = average).
+  virtual double OptimizeOverhead(QueryId /*q*/) const { return 1.0; }
+
+  /// Optimizer calls made through this source.
+  virtual uint64_t num_calls() const = 0;
+  virtual void ResetCallCounter() = 0;
+};
+
+/// Live source: forwards to a WhatIfOptimizer over a workload and a
+/// configuration set. Results are not cached — each Cost() is a real
+/// optimizer invocation, as in the deployed tool.
+class WhatIfCostSource : public CostSource {
+ public:
+  WhatIfCostSource(const WhatIfOptimizer& optimizer, const Workload& workload,
+                   std::vector<Configuration> configs);
+
+  double Cost(QueryId q, ConfigId c) override;
+  size_t num_queries() const override { return workload_.size(); }
+  size_t num_configs() const override { return configs_.size(); }
+  TemplateId TemplateOf(QueryId q) const override {
+    return workload_.query(q).template_id;
+  }
+  size_t num_templates() const override { return workload_.num_templates(); }
+  double OptimizeOverhead(QueryId q) const override {
+    return workload_.query(q).optimize_overhead;
+  }
+  uint64_t num_calls() const override { return calls_; }
+  void ResetCallCounter() override { calls_ = 0; }
+
+  const std::vector<Configuration>& configs() const { return configs_; }
+  const Workload& workload() const { return workload_; }
+
+ private:
+  const WhatIfOptimizer& optimizer_;
+  const Workload& workload_;
+  std::vector<Configuration> configs_;
+  uint64_t calls_ = 0;
+};
+
+/// Replay source over a dense precomputed cost matrix (row = query,
+/// column = configuration). Used by the Monte-Carlo experiment harness;
+/// still counts "calls" so sampling efficiency can be reported.
+class MatrixCostSource : public CostSource {
+ public:
+  /// `costs[q][c]`; `templates[q]` maps queries to templates.
+  MatrixCostSource(std::vector<std::vector<double>> costs,
+                   std::vector<TemplateId> templates);
+
+  /// Builds the matrix by evaluating every (query, configuration) pair
+  /// once — the "exact" evaluation whose call count the primitive is
+  /// measured against.
+  static MatrixCostSource Precompute(const WhatIfOptimizer& optimizer,
+                                     const Workload& workload,
+                                     const std::vector<Configuration>& configs);
+
+  double Cost(QueryId q, ConfigId c) override;
+  size_t num_queries() const override { return costs_.size(); }
+  size_t num_configs() const override {
+    return costs_.empty() ? 0 : costs_[0].size();
+  }
+  TemplateId TemplateOf(QueryId q) const override {
+    PDX_CHECK(q < templates_.size());
+    return templates_[q];
+  }
+  size_t num_templates() const override { return num_templates_; }
+  uint64_t num_calls() const override { return calls_; }
+  void ResetCallCounter() override { calls_ = 0; }
+
+  /// The full cost column of a configuration (no call accounting) — used
+  /// by harnesses to compute ground-truth totals.
+  std::vector<double> Column(ConfigId c) const;
+  /// Ground-truth total cost of a configuration (no call accounting).
+  double TotalCost(ConfigId c) const;
+
+ private:
+  std::vector<std::vector<double>> costs_;
+  std::vector<TemplateId> templates_;
+  size_t num_templates_ = 0;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace pdx

@@ -1,0 +1,409 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/pr_cs.h"
+
+namespace pdx {
+
+std::vector<uint64_t> TemplatePopulationsOf(const CostSource& source) {
+  std::vector<uint64_t> pops(source.num_templates(), 0);
+  for (QueryId q = 0; q < source.num_queries(); ++q) {
+    pops[source.TemplateOf(q)] += 1;
+  }
+  return pops;
+}
+
+std::vector<double> PerTemplateOverheads(const CostSource& source,
+                                         const std::vector<uint64_t>& pops) {
+  std::vector<double> sums(pops.size(), 0.0);
+  for (QueryId q = 0; q < source.num_queries(); ++q) {
+    sums[source.TemplateOf(q)] += source.OptimizeOverhead(q);
+  }
+  for (size_t t = 0; t < sums.size(); ++t) {
+    if (pops[t] > 0) sums[t] /= static_cast<double>(pops[t]);
+  }
+  return sums;
+}
+
+double StratumMeanOverhead(const Stratification& strat, uint32_t stratum,
+                           const std::vector<double>& template_overheads,
+                           const std::vector<uint64_t>& pops) {
+  double weighted = 0.0;
+  uint64_t pop = 0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    weighted += template_overheads[t] * static_cast<double>(pops[t]);
+    pop += pops[t];
+  }
+  return pop > 0 ? weighted / static_cast<double>(pop) : 1.0;
+}
+
+StratifiedSamplePool::StratifiedSamplePool(const CostSource& source,
+                                           Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  template_pools_.resize(source.num_templates());
+  for (QueryId q = 0; q < source.num_queries(); ++q) {
+    template_pools_[source.TemplateOf(q)].push_back(q);
+  }
+  for (auto& pool : template_pools_) {
+    rng->Shuffle(&pool);
+    remaining_total_ += pool.size();
+  }
+}
+
+std::optional<QueryId> StratifiedSamplePool::Draw(const Stratification& strat,
+                                                  uint32_t stratum, Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  const std::vector<TemplateId>& members = strat.TemplatesOf(stratum);
+  uint64_t remaining = 0;
+  for (TemplateId t : members) remaining += template_pools_[t].size();
+  if (remaining == 0) return std::nullopt;
+  uint64_t pick = rng->NextBounded(remaining);
+  for (TemplateId t : members) {
+    uint64_t sz = template_pools_[t].size();
+    if (pick < sz) {
+      QueryId q = template_pools_[t].back();
+      template_pools_[t].pop_back();
+      remaining_total_ -= 1;
+      return q;
+    }
+    pick -= sz;
+  }
+  PDX_CHECK_MSG(false, "stratified draw fell through");
+  return std::nullopt;
+}
+
+std::optional<QueryId> StratifiedSamplePool::DrawGlobal(Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  if (remaining_total_ == 0) return std::nullopt;
+  uint64_t pick = rng->NextBounded(remaining_total_);
+  for (auto& pool : template_pools_) {
+    uint64_t sz = pool.size();
+    if (pick < sz) {
+      QueryId q = pool.back();
+      pool.pop_back();
+      remaining_total_ -= 1;
+      return q;
+    }
+    pick -= sz;
+  }
+  PDX_CHECK_MSG(false, "global draw fell through");
+  return std::nullopt;
+}
+
+uint64_t StratifiedSamplePool::RemainingInStratum(const Stratification& strat,
+                                                  uint32_t stratum) const {
+  uint64_t remaining = 0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    remaining += template_pools_[t].size();
+  }
+  return remaining;
+}
+
+// ---------------------------------------------------------------------------
+// IndependentEstimator
+
+IndependentEstimator::IndependentEstimator(
+    size_t num_configs, size_t num_templates,
+    const std::vector<uint64_t>& template_populations)
+    : template_populations_(template_populations) {
+  PDX_CHECK(template_populations_.size() == num_templates);
+  moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
+}
+
+void IndependentEstimator::Add(ConfigId config, TemplateId tmpl, double cost) {
+  PDX_CHECK(config < moments_.size());
+  PDX_CHECK(tmpl < moments_[config].size());
+  moments_[config][tmpl].Add(cost);
+}
+
+RunningMoments IndependentEstimator::StratumMoments(
+    ConfigId config, const Stratification& strat, uint32_t stratum) const {
+  RunningMoments merged;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    merged.Merge(moments_[config][t]);
+  }
+  return merged;
+}
+
+double IndependentEstimator::Estimate(ConfigId config,
+                                      const Stratification& strat) const {
+  double total = 0.0;
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    RunningMoments m = StratumMoments(config, strat, h);
+    if (m.count() == 0) continue;  // unsampled stratum contributes its mean 0
+    total += static_cast<double>(strat.PopulationOf(h)) * m.mean();
+  }
+  return total;
+}
+
+double IndependentEstimator::Variance(ConfigId config,
+                                      const Stratification& strat) const {
+  double var = 0.0;
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    RunningMoments m = StratumMoments(config, strat, h);
+    var += StratumVarianceTerm(m.variance_sample(),
+                               static_cast<uint64_t>(m.count()),
+                               strat.PopulationOf(h));
+  }
+  return var;
+}
+
+double IndependentEstimator::VarianceReductionForNext(
+    ConfigId config, const Stratification& strat, uint32_t stratum) const {
+  RunningMoments m = StratumMoments(config, strat, stratum);
+  uint64_t n = static_cast<uint64_t>(m.count());
+  uint64_t N = strat.PopulationOf(stratum);
+  if (n + 1 > N) return 0.0;
+  // A stratum with fewer than two samples has an unknown variance and a
+  // potentially badly biased estimate; treating its sample variance (0)
+  // at face value would starve it forever. Give it top priority, larger
+  // strata first.
+  if (n < 2) {
+    return std::numeric_limits<double>::max() / 2.0 *
+           (static_cast<double>(N) / static_cast<double>(strat.total_population()));
+  }
+  double now = StratumVarianceTerm(m.variance_sample(), n, N);
+  double next = StratumVarianceTerm(m.variance_sample(), n + 1, N);
+  return now - next;
+}
+
+uint64_t IndependentEstimator::SamplesIn(ConfigId config,
+                                         const Stratification& strat,
+                                         uint32_t stratum) const {
+  uint64_t n = 0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    n += static_cast<uint64_t>(moments_[config][t].count());
+  }
+  return n;
+}
+
+uint64_t IndependentEstimator::TotalSamples(ConfigId config) const {
+  uint64_t n = 0;
+  for (const RunningMoments& m : moments_[config]) {
+    n += static_cast<uint64_t>(m.count());
+  }
+  return n;
+}
+
+uint64_t IndependentEstimator::MinTemplateCount(ConfigId config) const {
+  uint64_t min_count = UINT64_MAX;
+  for (TemplateId t = 0; t < moments_[config].size(); ++t) {
+    if (template_populations_[t] == 0) continue;
+    min_count = std::min(min_count,
+                         static_cast<uint64_t>(moments_[config][t].count()));
+  }
+  return min_count == UINT64_MAX ? 0 : min_count;
+}
+
+double IndependentEstimator::UnobservedPopulationShare(
+    ConfigId config) const {
+  uint64_t unobserved = 0;
+  uint64_t total = 0;
+  for (TemplateId t = 0; t < moments_[config].size(); ++t) {
+    total += template_populations_[t];
+    if (moments_[config][t].count() == 0) {
+      unobserved += template_populations_[t];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(unobserved) /
+                          static_cast<double>(total);
+}
+
+std::vector<TemplateStats> IndependentEstimator::TemplateStatsFor(
+    ConfigId config) const {
+  std::vector<TemplateStats> out(moments_[config].size());
+  for (TemplateId t = 0; t < out.size(); ++t) {
+    out[t].population = template_populations_[t];
+    out[t].observations = static_cast<uint64_t>(moments_[config][t].count());
+    out[t].mean = moments_[config][t].mean();
+    out[t].variance = moments_[config][t].variance_sample();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaEstimator
+
+DeltaEstimator::DeltaEstimator(
+    size_t num_configs, size_t num_templates,
+    const std::vector<uint64_t>& template_populations)
+    : num_configs_(num_configs),
+      template_populations_(template_populations),
+      template_counts_(num_templates, 0) {
+  PDX_CHECK(template_populations_.size() == num_templates);
+  raw_moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
+  diff_moments_.assign(num_configs,
+                       std::vector<RunningMoments>(num_templates));
+}
+
+void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
+                         std::vector<double> costs) {
+  PDX_CHECK(costs.size() == num_configs_);
+  PDX_CHECK(tmpl < template_counts_.size());
+  template_counts_[tmpl] += 1;
+  double ref_cost = costs[reference_];
+  PDX_CHECK_MSG(!std::isnan(ref_cost), "reference config not evaluated");
+  for (ConfigId c = 0; c < num_configs_; ++c) {
+    if (std::isnan(costs[c])) continue;
+    raw_moments_[c][tmpl].Add(costs[c]);
+    diff_moments_[c][tmpl].Add(ref_cost - costs[c]);
+  }
+  samples_.push_back({qid, tmpl, std::move(costs)});
+}
+
+void DeltaEstimator::SetReference(ConfigId reference) {
+  PDX_CHECK(reference < num_configs_);
+  if (reference == reference_) return;
+  reference_ = reference;
+  RebuildDiffMoments();
+}
+
+void DeltaEstimator::RebuildDiffMoments() {
+  for (auto& per_config : diff_moments_) {
+    for (auto& m : per_config) m.Reset();
+  }
+  for (const SampleRecord& rec : samples_) {
+    double ref_cost = rec.costs[reference_];
+    if (std::isnan(ref_cost)) continue;
+    for (ConfigId c = 0; c < num_configs_; ++c) {
+      if (std::isnan(rec.costs[c])) continue;
+      diff_moments_[c][rec.tmpl].Add(ref_cost - rec.costs[c]);
+    }
+  }
+}
+
+double DeltaEstimator::Estimate(ConfigId config,
+                                const Stratification& strat) const {
+  double total = 0.0;
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    RunningMoments merged;
+    for (TemplateId t : strat.TemplatesOf(h)) {
+      merged.Merge(raw_moments_[config][t]);
+    }
+    if (merged.count() == 0) continue;
+    total += static_cast<double>(strat.PopulationOf(h)) * merged.mean();
+  }
+  return total;
+}
+
+double DeltaEstimator::DiffEstimate(ConfigId j,
+                                    const Stratification& strat) const {
+  double total = 0.0;
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    RunningMoments merged;
+    for (TemplateId t : strat.TemplatesOf(h)) {
+      merged.Merge(diff_moments_[j][t]);
+    }
+    if (merged.count() == 0) continue;
+    total += static_cast<double>(strat.PopulationOf(h)) * merged.mean();
+  }
+  return total;
+}
+
+double DeltaEstimator::DiffVariance(ConfigId j,
+                                    const Stratification& strat) const {
+  double var = 0.0;
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    RunningMoments merged;
+    for (TemplateId t : strat.TemplatesOf(h)) {
+      merged.Merge(diff_moments_[j][t]);
+    }
+    var += StratumVarianceTerm(merged.variance_sample(),
+                               static_cast<uint64_t>(merged.count()),
+                               strat.PopulationOf(h));
+  }
+  return var;
+}
+
+double DeltaEstimator::VarianceReductionForNext(
+    const Stratification& strat, uint32_t stratum,
+    const std::vector<bool>& active) const {
+  PDX_CHECK(active.size() == num_configs_);
+  uint64_t N = strat.PopulationOf(stratum);
+  // Shared sample: the per-stratum count is the same for every pair.
+  uint64_t n = SamplesIn(strat, stratum);
+  if (n + 1 > N) return 0.0;
+  // Under-sampled strata first (see IndependentEstimator note).
+  if (n < 2) {
+    return std::numeric_limits<double>::max() / 2.0 *
+           (static_cast<double>(N) / static_cast<double>(strat.total_population()));
+  }
+  double reduction = 0.0;
+  for (ConfigId j = 0; j < num_configs_; ++j) {
+    if (!active[j] || j == reference_) continue;
+    RunningMoments merged;
+    for (TemplateId t : strat.TemplatesOf(stratum)) {
+      merged.Merge(diff_moments_[j][t]);
+    }
+    uint64_t nj = static_cast<uint64_t>(merged.count());
+    if (nj + 1 > N) continue;
+    reduction += StratumVarianceTerm(merged.variance_sample(), nj, N) -
+                 StratumVarianceTerm(merged.variance_sample(), nj + 1, N);
+  }
+  return reduction;
+}
+
+uint64_t DeltaEstimator::MinTemplateCount() const {
+  uint64_t min_count = UINT64_MAX;
+  for (TemplateId t = 0; t < template_counts_.size(); ++t) {
+    if (template_populations_[t] == 0) continue;
+    min_count = std::min(min_count, template_counts_[t]);
+  }
+  return min_count == UINT64_MAX ? 0 : min_count;
+}
+
+double DeltaEstimator::UnobservedPopulationShare() const {
+  uint64_t unobserved = 0;
+  uint64_t total = 0;
+  for (TemplateId t = 0; t < template_counts_.size(); ++t) {
+    total += template_populations_[t];
+    if (template_counts_[t] == 0) unobserved += template_populations_[t];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(unobserved) /
+                          static_cast<double>(total);
+}
+
+uint64_t DeltaEstimator::SamplesIn(const Stratification& strat,
+                                   uint32_t stratum) const {
+  uint64_t n = 0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    n += template_counts_[t];
+  }
+  return n;
+}
+
+std::vector<TemplateStats> DeltaEstimator::AveragedDiffTemplateStats(
+    const std::vector<bool>& active) const {
+  PDX_CHECK(active.size() == num_configs_);
+  size_t T = template_populations_.size();
+  std::vector<TemplateStats> out(T);
+  size_t num_active_pairs = 0;
+  for (ConfigId j = 0; j < num_configs_; ++j) {
+    if (active[j] && j != reference_) ++num_active_pairs;
+  }
+  for (TemplateId t = 0; t < T; ++t) {
+    out[t].population = template_populations_[t];
+    out[t].observations = template_counts_[t];
+    if (num_active_pairs == 0) continue;
+    double mean_abs = 0.0;
+    double var = 0.0;
+    for (ConfigId j = 0; j < num_configs_; ++j) {
+      if (!active[j] || j == reference_) continue;
+      mean_abs += std::abs(diff_moments_[j][t].mean());
+      var += diff_moments_[j][t].variance_sample();
+    }
+    // Single ranking over the pairs (§5.1): order templates by the average
+    // magnitude of their cost differences; score splits by average
+    // difference variance.
+    out[t].mean = mean_abs / static_cast<double>(num_active_pairs);
+    out[t].variance = var / static_cast<double>(num_active_pairs);
+  }
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,181 @@
+// Copyright (c) the pdexplore authors.
+// Sampling-scheme state (paper §4): per-template running moments, the
+// stratified cost estimators, their variances, and the without-replacement
+// sample pools. Shared by the Algorithm-1 selector and by the experiment
+// harnesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/running_stats.h"
+#include "core/cost_source.h"
+#include "core/stratification.h"
+
+namespace pdx {
+
+/// Per-template query populations of a cost source.
+std::vector<uint64_t> TemplatePopulationsOf(const CostSource& source);
+
+/// Per-template mean optimizer-call overheads (§5.2: optimization times
+/// differ across templates; available without optimizer calls).
+std::vector<double> PerTemplateOverheads(const CostSource& source,
+                                         const std::vector<uint64_t>& pops);
+
+/// Population-weighted mean optimizer overhead of one stratum.
+double StratumMeanOverhead(const Stratification& strat, uint32_t stratum,
+                           const std::vector<double>& template_overheads,
+                           const std::vector<uint64_t>& pops);
+
+/// Without-replacement sampler over a stratified workload. Query ids are
+/// bucketed by template (the unit strata are built from), so stratum
+/// splits need no re-shuffling: templates move between strata wholesale,
+/// and a uniform draw from a stratum picks a member template weighted by
+/// its remaining unsampled count.
+class StratifiedSamplePool {
+ public:
+  /// Builds per-template id pools from the source's template mapping and
+  /// shuffles each once.
+  StratifiedSamplePool(const CostSource& source, Rng* rng);
+
+  /// Draws a uniformly random unsampled query from `stratum` under the
+  /// given stratification; nullopt when the stratum is exhausted.
+  std::optional<QueryId> Draw(const Stratification& strat, uint32_t stratum,
+                              Rng* rng);
+
+  /// Draws from the whole workload (ignoring strata).
+  std::optional<QueryId> DrawGlobal(Rng* rng);
+
+  uint64_t RemainingInStratum(const Stratification& strat,
+                              uint32_t stratum) const;
+  uint64_t RemainingTotal() const { return remaining_total_; }
+
+ private:
+  std::vector<std::vector<QueryId>> template_pools_;  // unsampled ids
+  uint64_t remaining_total_ = 0;
+};
+
+/// Independent Sampling state (paper §4.1): each configuration has its own
+/// sample; estimates and variances follow eq. 2 / eq. 5 with sample
+/// variances and finite-population correction.
+class IndependentEstimator {
+ public:
+  IndependentEstimator(size_t num_configs, size_t num_templates,
+                       const std::vector<uint64_t>& template_populations);
+
+  /// Records Cost(q, config) = cost for a query of `tmpl`.
+  void Add(ConfigId config, TemplateId tmpl, double cost);
+
+  /// Stratified estimate X_i of Cost(WL, C_i) under `strat`.
+  double Estimate(ConfigId config, const Stratification& strat) const;
+
+  /// Estimated Var(X_i) (eq. 5 with sample variances).
+  double Variance(ConfigId config, const Stratification& strat) const;
+
+  /// Variance reduction if one more sample were allocated to `stratum`
+  /// (assuming moments unchanged — the §5.2 heuristic).
+  double VarianceReductionForNext(ConfigId config, const Stratification& strat,
+                                  uint32_t stratum) const;
+
+  /// Samples drawn for `config` in `stratum`.
+  uint64_t SamplesIn(ConfigId config, const Stratification& strat,
+                     uint32_t stratum) const;
+  uint64_t TotalSamples(ConfigId config) const;
+
+  /// Minimum sample count over all non-empty templates for `config` (see
+  /// DeltaEstimator::MinTemplateCount).
+  uint64_t MinTemplateCount(ConfigId config) const;
+
+  /// See DeltaEstimator::UnobservedPopulationShare.
+  double UnobservedPopulationShare(ConfigId config) const;
+
+  /// Per-template stats for Algorithm-2 split scoring.
+  std::vector<TemplateStats> TemplateStatsFor(ConfigId config) const;
+
+  /// Merged sample moments of a stratum.
+  RunningMoments StratumMoments(ConfigId config, const Stratification& strat,
+                                uint32_t stratum) const;
+
+ private:
+  std::vector<uint64_t> template_populations_;
+  /// [config][template] moments of sampled costs.
+  std::vector<std::vector<RunningMoments>> moments_;
+};
+
+/// Delta Sampling state (paper §4.2): a single shared sample, every query
+/// evaluated in all (active) configurations. Stores raw cost vectors so
+/// pairwise difference moments can be rebuilt when the incumbent best
+/// configuration changes.
+class DeltaEstimator {
+ public:
+  DeltaEstimator(size_t num_configs, size_t num_templates,
+                 const std::vector<uint64_t>& template_populations);
+
+  /// Records one sampled query evaluated in all configurations;
+  /// `costs[c]` may be NaN for configurations eliminated before this
+  /// sample was drawn.
+  void Add(QueryId qid, TemplateId tmpl, std::vector<double> costs);
+
+  /// Sets the reference ("best") configuration for pairwise difference
+  /// moments; rebuilds diff moments from stored samples when it changes.
+  void SetReference(ConfigId reference);
+  ConfigId reference() const { return reference_; }
+
+  /// Stratified estimate of Cost(WL, C_i) from the shared sample.
+  double Estimate(ConfigId config, const Stratification& strat) const;
+
+  /// Stratified estimate of X_{ref,j} = Cost(WL, ref) - Cost(WL, C_j).
+  double DiffEstimate(ConfigId j, const Stratification& strat) const;
+
+  /// Estimated Var of the X_{ref,j} estimator (eq. 4 / eq. 5 analogue on
+  /// the difference distribution).
+  double DiffVariance(ConfigId j, const Stratification& strat) const;
+
+  /// Sum over active pairs (ref, j) of the variance reduction from one
+  /// more sample in `stratum` (§5.2 for Delta Sampling).
+  double VarianceReductionForNext(const Stratification& strat, uint32_t stratum,
+                                  const std::vector<bool>& active) const;
+
+  /// Samples drawn in `stratum` (shared across configs).
+  uint64_t SamplesIn(const Stratification& strat, uint32_t stratum) const;
+  uint64_t TotalSamples() const { return samples_.size(); }
+
+  /// Minimum sample count over all non-empty templates.
+  uint64_t MinTemplateCount() const;
+
+  /// Fraction of the workload population living in templates with no
+  /// observations yet. Elimination and other high-confidence decisions
+  /// should wait until this is small: an unobserved template can hide the
+  /// entire advantage of a configuration (structure-specific cost
+  /// differences are sparse).
+  double UnobservedPopulationShare() const;
+
+  /// Per-template stats of the difference distributions, averaged over
+  /// active pairs (the "single ranking" of §5.1's Delta note).
+  std::vector<TemplateStats> AveragedDiffTemplateStats(
+      const std::vector<bool>& active) const;
+
+ private:
+  struct SampleRecord {
+    QueryId qid;
+    TemplateId tmpl;
+    std::vector<double> costs;  // NaN = not evaluated
+  };
+
+  void RebuildDiffMoments();
+
+  size_t num_configs_;
+  std::vector<uint64_t> template_populations_;
+  std::vector<SampleRecord> samples_;
+  /// [config][template] moments of raw costs (valid rows only).
+  std::vector<std::vector<RunningMoments>> raw_moments_;
+  /// [config][template] moments of (cost_ref - cost_j).
+  std::vector<std::vector<RunningMoments>> diff_moments_;
+  /// Per-template shared sample counts.
+  std::vector<uint64_t> template_counts_;
+  ConfigId reference_ = 0;
+};
+
+}  // namespace pdx

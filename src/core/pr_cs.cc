@@ -1,0 +1,44 @@
+#include "core/pr_cs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/normal.h"
+
+namespace pdx {
+
+double PairwisePrCs(double observed_gap, double se, double delta) {
+  PDX_CHECK(delta >= 0.0);
+  double margin = observed_gap + delta;
+  if (se <= 0.0) return margin >= 0.0 ? 1.0 : 0.0;
+  return NormalCdf(margin / se);
+}
+
+double BonferroniPrCs(const std::vector<double>& pairwise) {
+  double miss = 0.0;
+  for (double p : pairwise) {
+    PDX_CHECK(p >= 0.0 && p <= 1.0);
+    miss += 1.0 - p;
+  }
+  return std::clamp(1.0 - miss, 0.0, 1.0);
+}
+
+double FpcStandardError(double sample_variance, uint64_t n, uint64_t N) {
+  if (n < 2 || N == 0) return 0.0;
+  double nn = static_cast<double>(n);
+  double NN = static_cast<double>(N);
+  double fpc = std::max(0.0, 1.0 - nn / NN);
+  double var = NN * NN * (sample_variance / nn) * fpc;
+  return std::sqrt(std::max(0.0, var));
+}
+
+double StratumVarianceTerm(double sample_variance, uint64_t n_h, uint64_t N_h) {
+  if (n_h < 1 || N_h == 0) return 0.0;
+  double nn = static_cast<double>(n_h);
+  double NN = static_cast<double>(N_h);
+  double fpc = std::max(0.0, 1.0 - nn / NN);
+  return NN * NN * (sample_variance / nn) * fpc;
+}
+
+}  // namespace pdx

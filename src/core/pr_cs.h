@@ -1,0 +1,39 @@
+// Copyright (c) the pdexplore authors.
+// Probability-of-correct-selection computations (paper §4).
+//
+// Operational form: having chosen the configuration with the lowest
+// estimate, the pairwise probability that the choice is correct (within
+// sensitivity delta) against configuration j is the normal tail
+//
+//     Pr(CS_{l,j}) = Phi( (observed_gap + delta) / se )
+//
+// where observed_gap = X_j - X_l >= 0 and se is the estimated standard
+// error of the gap estimator (eq. 2 for Independent, eq. 4 for Delta
+// Sampling, both with finite-population correction). Multi-configuration
+// Pr(CS) is the Bonferroni lower bound of eq. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdx {
+
+/// Pairwise Pr(CS_{l,j}). `observed_gap` is X_j - X_l (may be negative
+/// transiently during sampling); `se` the standard error of the gap.
+/// Degenerate se <= 0 returns 1 when gap + delta >= 0 (the distribution is
+/// a point mass on the correct side), else 0.
+double PairwisePrCs(double observed_gap, double se, double delta);
+
+/// Bonferroni lower bound (eq. 3): 1 - sum_j (1 - Pr(CS_{i,j})), clamped
+/// to [0, 1].
+double BonferroniPrCs(const std::vector<double>& pairwise);
+
+/// Standard error of an unstratified finite-population mean-sum estimator
+/// X = N * sample_mean: N * sqrt(s2/n * (1 - n/N)). Returns 0 when n < 2.
+double FpcStandardError(double sample_variance, uint64_t n, uint64_t N);
+
+/// Variance contribution of one stratum to a stratified estimator
+/// (one term of eq. 5): N_h^2 * s2_h / n_h * (1 - n_h / N_h).
+double StratumVarianceTerm(double sample_variance, uint64_t n_h, uint64_t N_h);
+
+}  // namespace pdx

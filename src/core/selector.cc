@@ -1,0 +1,460 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/normal.h"
+
+namespace pdx {
+
+namespace {
+
+// When the observed gap between two configurations is not yet positive,
+// the target-variance derivation uses this fraction of the current
+// standard error as a stand-in gap, keeping Algorithm 2's #Samples
+// comparisons meaningful during the ambiguous phase.
+constexpr double kGapFloorSeFraction = 0.25;
+
+}  // namespace
+
+ConfigurationSelector::ConfigurationSelector(CostSource* source,
+                                             SelectorOptions options)
+    : source_(source), options_(options) {
+  PDX_CHECK(source != nullptr);
+  PDX_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  PDX_CHECK(options_.delta >= 0.0);
+  PDX_CHECK(options_.n_min >= 2);
+  PDX_CHECK(options_.consecutive_to_stop >= 1);
+  PDX_CHECK(options_.stratification_period >= 1);
+}
+
+double ConfigurationSelector::RequiredZ(size_t active_pairs) const {
+  if (active_pairs == 0) return 0.0;
+  double per_pair =
+      1.0 - (1.0 - options_.alpha) / static_cast<double>(active_pairs);
+  per_pair = std::clamp(per_pair, 0.5 + 1e-12, 1.0 - 1e-12);
+  return NormalQuantile(per_pair);
+}
+
+double ConfigurationSelector::EffectiveEliminationThreshold(size_t k) const {
+  double threshold = options_.elimination_threshold;
+  if (threshold >= 1.0 || k < 2) return threshold;
+  // A frozen pair keeps contributing (1 - Pr(CS_{l,j})) to the Bonferroni
+  // miss budget forever, so its contribution must be negligible relative
+  // to (1 - alpha) *per pair*: freezing k-1 pairs at 0.995 each would cap
+  // Pr(CS) at 1 - 0.005 (k-1), unreachable for large k. Scale the
+  // threshold so all frozen pairs together consume at most half the miss
+  // budget.
+  double per_pair =
+      1.0 - (1.0 - options_.alpha) / (2.0 * static_cast<double>(k - 1));
+  return std::max(threshold, per_pair);
+}
+
+SelectionResult ConfigurationSelector::Run(Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  if (options_.scheme == SamplingScheme::kIndependent) {
+    return RunIndependent(rng);
+  }
+  return RunDelta(rng);
+}
+
+// ---------------------------------------------------------------------------
+// Delta Sampling (paper §4.2 + §5)
+
+SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
+  const size_t k = source_->num_configs();
+  const size_t T = source_->num_templates();
+  const uint64_t calls_before = source_->num_calls();
+  std::vector<uint64_t> pops = TemplatePopulationsOf(*source_);
+  std::vector<double> overheads =
+      options_.overhead_aware ? PerTemplateOverheads(*source_, pops)
+                              : std::vector<double>();
+
+  Stratification strat(pops);
+  StratifiedSamplePool pool(*source_, rng);
+  DeltaEstimator est(k, T, pops);
+  std::vector<bool> active(k, true);
+  std::vector<double> frozen_prcs(k, 1.0);
+  const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  auto evaluate = [&](QueryId q) {
+    std::vector<double> costs(k, std::numeric_limits<double>::quiet_NaN());
+    for (ConfigId c = 0; c < k; ++c) {
+      if (active[c]) costs[c] = source_->Cost(q, c);
+    }
+    est.Add(q, source_->TemplateOf(q), std::move(costs));
+  };
+
+  SelectionResult result;
+  if (k == 1) {
+    result.best = 0;
+    result.pr_cs = 1.0;
+    result.reached_target = true;
+    result.active_configs = 1;
+    result.final_strata = {1};
+    result.estimates = {0.0};
+    return result;
+  }
+
+  // Pilot sample (Algorithm 1, line 4).
+  for (uint32_t i = 0; i < options_.n_min; ++i) {
+    std::optional<QueryId> q = pool.DrawGlobal(rng);
+    if (!q) break;
+    evaluate(*q);
+  }
+
+  uint32_t consecutive = 0;
+  uint64_t iteration = 0;
+  while (true) {
+    ++iteration;
+
+    // Select the incumbent best among active configurations.
+    ConfigId best = 0;
+    double best_est = std::numeric_limits<double>::infinity();
+    for (ConfigId c = 0; c < k; ++c) {
+      if (!active[c]) continue;
+      double e = est.Estimate(c, strat);
+      if (e < best_est) {
+        best_est = e;
+        best = c;
+      }
+    }
+    est.SetReference(best);
+
+    // Pairwise Pr(CS) and the Bonferroni bound (eq. 3).
+    std::vector<double> pairwise;
+    pairwise.reserve(k - 1);
+    std::vector<double> gaps(k, 0.0);
+    std::vector<double> ses(k, 0.0);
+    size_t active_pairs = 0;
+    for (ConfigId j = 0; j < k; ++j) {
+      if (j == best) continue;
+      if (!active[j]) {
+        pairwise.push_back(frozen_prcs[j]);
+        continue;
+      }
+      ++active_pairs;
+      // X_{best,j} should be negative when best is better; the gap fed to
+      // PairwisePrCs is -X_{best,j}.
+      double diff = est.DiffEstimate(j, strat);
+      double se = std::sqrt(std::max(0.0, est.DiffVariance(j, strat)));
+      gaps[j] = -diff;
+      ses[j] = se;
+      pairwise.push_back(PairwisePrCs(-diff, se, options_.delta));
+    }
+    double pr = BonferroniPrCs(pairwise);
+
+    if (pr > options_.alpha) {
+      ++consecutive;
+    } else {
+      consecutive = 0;
+    }
+
+    bool exhausted = pool.RemainingTotal() == 0;
+    bool capped = options_.max_samples > 0 &&
+                  est.TotalSamples() >= options_.max_samples;
+    if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
+      result.best = best;
+      result.pr_cs = exhausted ? 1.0 : pr;
+      result.reached_target = consecutive >= options_.consecutive_to_stop ||
+                              (exhausted && options_.alpha < 1.0);
+      result.queries_sampled = est.TotalSamples();
+      result.optimizer_calls = source_->num_calls() - calls_before;
+      result.estimates.resize(k);
+      for (ConfigId c = 0; c < k; ++c) {
+        result.estimates[c] = est.Estimate(c, strat);
+      }
+      result.final_strata = {static_cast<uint32_t>(strat.num_strata())};
+      result.active_configs = static_cast<uint32_t>(
+          std::count(active.begin(), active.end(), true));
+      return result;
+    }
+
+    // Elimination of clearly-inferior configurations. Gated on template
+    // coverage: structure-specific cost differences are sparse, and a
+    // configuration's entire advantage can hide in templates the sample
+    // has not reached yet — eliminating then risks freezing out the true
+    // best. The gate allows a small unobserved population share so rare
+    // trace templates don't force coupon-collection over the workload.
+    if (elim_threshold < 1.0 &&
+        est.UnobservedPopulationShare() <=
+            options_.elimination_coverage_slack) {
+      size_t p_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        double p = pairwise[p_idx++];
+        if (active[j] && p > elim_threshold) {
+          active[j] = false;
+          frozen_prcs[j] = p;
+        }
+      }
+    }
+
+    // Progressive stratification (Algorithm 2).
+    if (options_.stratify && iteration % options_.stratification_period == 0) {
+      double z = RequiredZ(std::max<size_t>(1, active_pairs));
+      double target_se = std::numeric_limits<double>::infinity();
+      for (ConfigId j = 0; j < k; ++j) {
+        if (!active[j] || j == best) continue;
+        double gap = std::max(gaps[j], kGapFloorSeFraction * ses[j]);
+        double se_needed = (gap + options_.delta) / std::max(z, 1e-9);
+        target_se = std::min(target_se, se_needed);
+      }
+      if (std::isfinite(target_se) && target_se > 0.0) {
+        SplitDecision dec = FindBestSplit(
+            strat, est.AveragedDiffTemplateStats(active),
+            target_se * target_se, options_.n_min,
+            options_.min_template_observations);
+        if (dec.beneficial) {
+          uint32_t old_stratum = dec.stratum;
+          strat.Split(old_stratum, dec.part1);
+          uint32_t new_stratum = static_cast<uint32_t>(strat.num_strata() - 1);
+          // Top-up: every stratum must hold >= n_min samples.
+          for (uint32_t h : {old_stratum, new_stratum}) {
+            while (est.SamplesIn(strat, h) < options_.n_min) {
+              std::optional<QueryId> q = pool.Draw(strat, h, rng);
+              if (!q) break;
+              evaluate(*q);
+            }
+          }
+        }
+      }
+    }
+
+    // Next sample (§5.2): stratum with the largest estimated reduction in
+    // the sum of active pair variances, optionally per unit of optimizer
+    // overhead.
+    uint32_t chosen = 0;
+    double best_score = -1.0;
+    for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+      if (pool.RemainingInStratum(strat, h) == 0) continue;
+      double red = est.VarianceReductionForNext(strat, h, active);
+      if (options_.overhead_aware) {
+        red /= StratumMeanOverhead(strat, h, overheads, pops);
+      }
+      // Tie-break toward larger remaining population.
+      double score = red;
+      if (score > best_score) {
+        best_score = score;
+        chosen = h;
+      }
+    }
+    std::optional<QueryId> q = pool.Draw(strat, chosen, rng);
+    if (!q) q = pool.DrawGlobal(rng);
+    if (!q) continue;  // fully exhausted; loop exits at the top
+    evaluate(*q);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Independent Sampling (paper §4.1 + §5)
+
+SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
+  const size_t k = source_->num_configs();
+  const size_t T = source_->num_templates();
+  const uint64_t calls_before = source_->num_calls();
+  std::vector<uint64_t> pops = TemplatePopulationsOf(*source_);
+  std::vector<double> overheads =
+      options_.overhead_aware ? PerTemplateOverheads(*source_, pops)
+                              : std::vector<double>();
+
+  std::vector<Stratification> strat;
+  std::vector<StratifiedSamplePool> pools;
+  strat.reserve(k);
+  pools.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    strat.emplace_back(pops);
+    pools.emplace_back(*source_, rng);
+  }
+  IndependentEstimator est(k, T, pops);
+  std::vector<bool> active(k, true);
+  std::vector<double> frozen_prcs(k, 1.0);
+  const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  auto evaluate = [&](ConfigId c, QueryId q) {
+    est.Add(c, source_->TemplateOf(q), source_->Cost(q, c));
+  };
+
+  SelectionResult result;
+  if (k == 1) {
+    result.best = 0;
+    result.pr_cs = 1.0;
+    result.reached_target = true;
+    result.active_configs = 1;
+    result.final_strata = {1};
+    result.estimates = {0.0};
+    return result;
+  }
+
+  // Pilot: n_min samples per configuration.
+  for (ConfigId c = 0; c < k; ++c) {
+    for (uint32_t i = 0; i < options_.n_min; ++i) {
+      std::optional<QueryId> q = pools[c].DrawGlobal(rng);
+      if (!q) break;
+      evaluate(c, *q);
+    }
+  }
+
+  uint32_t consecutive = 0;
+  uint64_t iteration = 0;
+  ConfigId last_sampled = 0;
+  while (true) {
+    ++iteration;
+
+    ConfigId best = 0;
+    double best_est = std::numeric_limits<double>::infinity();
+    std::vector<double> estimates(k, 0.0);
+    std::vector<double> variances(k, 0.0);
+    for (ConfigId c = 0; c < k; ++c) {
+      if (!active[c]) continue;
+      estimates[c] = est.Estimate(c, strat[c]);
+      variances[c] = est.Variance(c, strat[c]);
+      if (estimates[c] < best_est) {
+        best_est = estimates[c];
+        best = c;
+      }
+    }
+
+    std::vector<double> pairwise;
+    pairwise.reserve(k - 1);
+    std::vector<double> gaps(k, 0.0);
+    std::vector<double> ses(k, 0.0);
+    size_t active_pairs = 0;
+    for (ConfigId j = 0; j < k; ++j) {
+      if (j == best) continue;
+      if (!active[j]) {
+        pairwise.push_back(frozen_prcs[j]);
+        continue;
+      }
+      ++active_pairs;
+      double gap = estimates[j] - estimates[best];
+      double se = std::sqrt(std::max(0.0, variances[j] + variances[best]));
+      gaps[j] = gap;
+      ses[j] = se;
+      pairwise.push_back(PairwisePrCs(gap, se, options_.delta));
+    }
+    double pr = BonferroniPrCs(pairwise);
+
+    if (pr > options_.alpha) {
+      ++consecutive;
+    } else {
+      consecutive = 0;
+    }
+
+    bool exhausted = true;
+    for (ConfigId c = 0; c < k; ++c) {
+      if (active[c] && pools[c].RemainingTotal() > 0) {
+        exhausted = false;
+        break;
+      }
+    }
+    uint64_t total_samples = 0;
+    for (ConfigId c = 0; c < k; ++c) total_samples += est.TotalSamples(c);
+    bool capped =
+        options_.max_samples > 0 && total_samples >= options_.max_samples;
+
+    if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
+      result.best = best;
+      result.pr_cs = exhausted ? 1.0 : pr;
+      result.reached_target = consecutive >= options_.consecutive_to_stop ||
+                              (exhausted && options_.alpha < 1.0);
+      result.queries_sampled = total_samples;
+      result.optimizer_calls = source_->num_calls() - calls_before;
+      result.estimates = std::move(estimates);
+      result.final_strata.resize(k);
+      for (ConfigId c = 0; c < k; ++c) {
+        result.final_strata[c] = static_cast<uint32_t>(strat[c].num_strata());
+      }
+      result.active_configs = static_cast<uint32_t>(
+          std::count(active.begin(), active.end(), true));
+      return result;
+    }
+
+    if (elim_threshold < 1.0) {
+      size_t p_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        double p = pairwise[p_idx++];
+        // Coverage gate as in the Delta path, applied to both sides of
+        // the pair.
+        if (active[j] && p > elim_threshold &&
+            est.UnobservedPopulationShare(j) <=
+                options_.elimination_coverage_slack &&
+            est.UnobservedPopulationShare(best) <=
+                options_.elimination_coverage_slack) {
+          active[j] = false;
+          frozen_prcs[j] = p;
+        }
+      }
+    }
+
+    // Progressive stratification: only the configuration that received the
+    // previous sample can have changed (paper §5.1).
+    if (options_.stratify && active[last_sampled] &&
+        iteration % options_.stratification_period == 0) {
+      ConfigId c = last_sampled;
+      double z = RequiredZ(std::max<size_t>(1, active_pairs));
+      double target_var;
+      if (c == best) {
+        double min_se = std::numeric_limits<double>::infinity();
+        for (ConfigId j = 0; j < k; ++j) {
+          if (!active[j] || j == best) continue;
+          double gap = std::max(gaps[j], kGapFloorSeFraction * ses[j]);
+          min_se = std::min(min_se, (gap + options_.delta) / std::max(z, 1e-9));
+        }
+        target_var = std::isfinite(min_se) ? min_se * min_se / 2.0 : 0.0;
+      } else {
+        double gap = std::max(gaps[c], kGapFloorSeFraction * ses[c]);
+        double se_needed = (gap + options_.delta) / std::max(z, 1e-9);
+        target_var = se_needed * se_needed / 2.0;
+      }
+      if (target_var > 0.0) {
+        SplitDecision dec =
+            FindBestSplit(strat[c], est.TemplateStatsFor(c), target_var,
+                          options_.n_min, options_.min_template_observations);
+        if (dec.beneficial) {
+          uint32_t old_stratum = dec.stratum;
+          strat[c].Split(old_stratum, dec.part1);
+          uint32_t new_stratum =
+              static_cast<uint32_t>(strat[c].num_strata() - 1);
+          for (uint32_t h : {old_stratum, new_stratum}) {
+            while (est.SamplesIn(c, strat[c], h) < options_.n_min) {
+              std::optional<QueryId> q = pools[c].Draw(strat[c], h, rng);
+              if (!q) break;
+              evaluate(c, *q);
+            }
+          }
+        }
+      }
+    }
+
+    // Next sample (§5.2): the (configuration, stratum) pair with the
+    // largest estimated reduction of the variance sum.
+    ConfigId chosen_c = best;
+    uint32_t chosen_h = 0;
+    double best_score = -1.0;
+    for (ConfigId c = 0; c < k; ++c) {
+      if (!active[c]) continue;
+      for (uint32_t h = 0; h < strat[c].num_strata(); ++h) {
+        if (pools[c].RemainingInStratum(strat[c], h) == 0) continue;
+        double red = est.VarianceReductionForNext(c, strat[c], h);
+        if (options_.overhead_aware) {
+          red /= StratumMeanOverhead(strat[c], h, overheads, pops);
+        }
+        if (red > best_score) {
+          best_score = red;
+          chosen_c = c;
+          chosen_h = h;
+        }
+      }
+    }
+    std::optional<QueryId> q = pools[chosen_c].Draw(strat[chosen_c], chosen_h, rng);
+    if (!q) q = pools[chosen_c].DrawGlobal(rng);
+    if (!q) continue;  // exhausted config; loop exit handles termination
+    evaluate(chosen_c, *q);
+    last_sampled = chosen_c;
+  }
+}
+
+}  // namespace pdx

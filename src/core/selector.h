@@ -1,0 +1,114 @@
+// Copyright (c) the pdexplore authors.
+// Algorithm 1: the probabilistic configuration-selection primitive.
+//
+// Given a cost source over (workload x configurations), a target
+// probability alpha and a sensitivity delta, samples queries incrementally
+// — Independent or Delta Sampling, with optional progressive
+// stratification (Algorithm 2) — until the Bonferroni-bounded Pr(CS)
+// exceeds alpha, and returns the selected configuration together with the
+// probability estimate and the optimizer-call count spent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cost_source.h"
+#include "core/estimators.h"
+#include "core/pr_cs.h"
+
+namespace pdx {
+
+/// Which sampling scheme the selector runs (paper §4.1 / §4.2).
+enum class SamplingScheme { kIndependent, kDelta };
+
+/// Tuning knobs of Algorithm 1.
+struct SelectorOptions {
+  /// Target probability of correct selection.
+  double alpha = 0.9;
+  /// Sensitivity: cost differences below delta need not be detected.
+  double delta = 0.0;
+  SamplingScheme scheme = SamplingScheme::kDelta;
+  /// Pilot sample size per estimator; also the per-stratum minimum
+  /// (paper: the n_min = 30 rule of thumb, or the Cochran-derived value
+  /// from §6.2's CLT check).
+  uint32_t n_min = 30;
+  /// Enable progressive stratification (Algorithm 2).
+  bool stratify = true;
+  /// Minimum observations per template before its average cost is trusted
+  /// in split scoring.
+  uint32_t min_template_observations = 3;
+  /// Require Pr(CS) > alpha for this many consecutive samples before
+  /// stopping ("guard against oscillation of the Pr(CS)-estimates"; the
+  /// §7.2 experiments use 10).
+  uint32_t consecutive_to_stop = 1;
+  /// Stop sampling configurations whose pairwise Pr(CS) against the
+  /// incumbent exceeds this ("elimination", §5/§7.2: 0.995). Values >= 1
+  /// disable elimination. The effective threshold is auto-scaled with k so
+  /// frozen pairs cannot exhaust the Bonferroni miss budget.
+  double elimination_threshold = 0.995;
+  /// Elimination is deferred until the templates still unobserved hold at
+  /// most this fraction of the workload: an unobserved template can hide a
+  /// configuration's entire (sparse) advantage, and eliminating on such a
+  /// sample freezes out the true best.
+  double elimination_coverage_slack = 0.02;
+  /// Hard cap on sampled queries (0 = no cap; the workload size always
+  /// caps naturally).
+  uint64_t max_samples = 0;
+  /// Weight §5.2's variance-reduction sample choice by per-template
+  /// optimizer-call overhead.
+  bool overhead_aware = false;
+  /// Check for a beneficial split only every this many samples (1 =
+  /// paper-faithful; larger values trade fidelity for speed in large
+  /// Monte-Carlo sweeps).
+  uint32_t stratification_period = 1;
+};
+
+/// Outcome of a selection run.
+struct SelectionResult {
+  ConfigId best = 0;
+  /// Final Bonferroni Pr(CS) bound.
+  double pr_cs = 0.0;
+  /// True when Pr(CS) > alpha was reached (false: sample space exhausted
+  /// or max_samples hit — the estimate is then exact or best-effort).
+  bool reached_target = false;
+  /// Distinct workload queries sampled (Delta) / total per-configuration
+  /// samples (Independent).
+  uint64_t queries_sampled = 0;
+  /// Optimizer calls spent (the scarce resource).
+  uint64_t optimizer_calls = 0;
+  /// Final cost estimates per configuration (scaled to workload totals).
+  std::vector<double> estimates;
+  /// Number of strata per configuration at termination (size 1 vector for
+  /// Delta Sampling's shared stratification).
+  std::vector<uint32_t> final_strata;
+  /// Configurations still active (not eliminated) at termination.
+  uint32_t active_configs = 0;
+};
+
+/// Algorithm 1 runner. Construct once per selection problem and call Run.
+class ConfigurationSelector {
+ public:
+  ConfigurationSelector(CostSource* source, SelectorOptions options);
+
+  /// Executes the selection. `rng` drives the sampling permutation.
+  SelectionResult Run(Rng* rng);
+
+ private:
+  SelectionResult RunIndependent(Rng* rng);
+  SelectionResult RunDelta(Rng* rng);
+
+  /// z-score required per pairwise comparison after Bonferroni splitting
+  /// of (1 - alpha) across `active_pairs` comparisons.
+  double RequiredZ(size_t active_pairs) const;
+
+  /// The user threshold raised so that all k-1 potentially-frozen pairs
+  /// together consume at most half the (1 - alpha) miss budget.
+  double EffectiveEliminationThreshold(size_t k) const;
+
+  CostSource* source_;
+  SelectorOptions options_;
+};
+
+}  // namespace pdx

@@ -1,0 +1,320 @@
+#include "core/variance_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "common/macros.h"
+#include "common/running_stats.h"
+
+namespace pdx {
+
+namespace {
+
+double RoundToRho(double v, double rho) {
+  return std::floor((v + rho / 2.0) / rho) * rho;
+}
+
+// A group of `count` identical rounded intervals.
+struct IntervalGroup {
+  double low = 0.0;      // rounded low endpoint
+  double high = 0.0;     // rounded high endpoint
+  uint64_t steps = 0;    // (high - low) / rho
+  uint64_t count = 0;
+};
+
+}  // namespace
+
+VarianceBoundResult MaxVarianceBound(const std::vector<CostInterval>& bounds,
+                                     double rho) {
+  PDX_CHECK(!bounds.empty());
+  PDX_CHECK(rho > 0.0);
+  const double n = static_cast<double>(bounds.size());
+
+  // Round and group.
+  std::map<std::pair<int64_t, int64_t>, uint64_t> grouped;
+  double base_sum = 0.0;    // sum of v with every interval at its low end
+  double base_sumsq = 0.0;  // corresponding sum of v^2
+  double theta_acc = 0.0;   // sum(rho * high_i^rho + rho^2/4)
+  for (const CostInterval& b : bounds) {
+    PDX_CHECK(b.low <= b.high);
+    double lo = RoundToRho(b.low, rho);
+    double hi = RoundToRho(b.high, rho);
+    if (hi < lo) hi = lo;
+    int64_t lo_steps = static_cast<int64_t>(std::llround(lo / rho));
+    int64_t hi_steps = static_cast<int64_t>(std::llround(hi / rho));
+    base_sum += lo;
+    base_sumsq += lo * lo;
+    theta_acc += rho * hi + rho * rho / 4.0;
+    if (hi_steps > lo_steps) {
+      grouped[{lo_steps, hi_steps}] += 1;
+    }
+  }
+
+  std::vector<IntervalGroup> groups;
+  groups.reserve(grouped.size());
+  uint64_t total_steps = 0;
+  for (const auto& [key, count] : grouped) {
+    IntervalGroup g;
+    g.low = static_cast<double>(key.first) * rho;
+    g.high = static_cast<double>(key.second) * rho;
+    g.steps = static_cast<uint64_t>(key.second - key.first);
+    g.count = count;
+    total_steps += g.steps * g.count;
+    groups.push_back(g);
+  }
+
+  VarianceBoundResult result;
+  result.dp_states = total_steps + 1;
+  result.groups = groups.size();
+  result.theta = (2.0 / n) * theta_acc;
+
+  // DP over achievable sums: dp[j] = max extra sum(v^2) when the total sum
+  // is base_sum + j * rho; -inf marks unreachable states.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> dp(total_steps + 1, kNegInf);
+  dp[0] = 0.0;
+  std::vector<double> next(dp.size());
+
+  uint64_t reach = 0;  // largest reachable state so far
+  for (const IntervalGroup& g : groups) {
+    const uint64_t w = g.steps;                      // stride per chosen-high
+    const double v = g.high * g.high - g.low * g.low;  // value per chosen-high
+    const double ratio = v / static_cast<double>(w);
+    const uint64_t m = g.count;
+    const uint64_t new_reach = reach + w * m;
+    std::fill(next.begin(), next.begin() + new_reach + 1, kNegInf);
+
+    if (m == 1) {
+      // Singleton group: plain two-way transition (the paper's per-variable
+      // recurrence), in place and descending — no deque overhead.
+      for (uint64_t j = new_reach; j >= w; --j) {
+        double from = dp[j - w];
+        double cand = from == kNegInf ? kNegInf : from + v;
+        next[j] = std::max(j <= reach ? dp[j] : kNegInf, cand);
+        if (j == w) break;
+      }
+      for (uint64_t j = 0; j < w && j <= new_reach; ++j) {
+        next[j] = j <= reach ? dp[j] : kNegInf;
+      }
+      dp.swap(next);
+      reach = new_reach;
+      continue;
+    }
+    // For each residue class modulo w, new_dp[x] = ratio*x +
+    // max_{c in [0,m], x-cw >= 0} (dp[x-cw] - ratio*(x-cw)): a sliding-
+    // window maximum with window m+1 along the class.
+    for (uint64_t r = 0; r < w; ++r) {
+      std::deque<std::pair<uint64_t, double>> window;  // (index, g-value)
+      for (uint64_t x = r; x <= new_reach; x += w) {
+        if (x <= reach) {
+          double gval =
+              dp[x] == kNegInf ? kNegInf : dp[x] - ratio * static_cast<double>(x);
+          while (!window.empty() && window.back().second <= gval) {
+            window.pop_back();
+          }
+          window.push_back({x, gval});
+        }
+        // Drop entries outside the window [x - m*w, x].
+        while (!window.empty() && window.front().first + w * m < x) {
+          window.pop_front();
+        }
+        if (!window.empty() && window.front().second != kNegInf) {
+          next[x] = ratio * static_cast<double>(x) + window.front().second;
+        }
+      }
+    }
+    dp.swap(next);
+    if (next.size() < dp.size()) next.resize(dp.size());
+    reach = new_reach;
+  }
+
+  // Scan all achievable sums for the best variance (eq. 8).
+  double best = 0.0;
+  for (uint64_t j = 0; j <= total_steps; ++j) {
+    if (dp[j] == kNegInf) continue;
+    double sum = base_sum + static_cast<double>(j) * rho;
+    double sumsq = base_sumsq + dp[j];
+    double var = (sumsq - sum * sum / n) / n;
+    best = std::max(best, var);
+  }
+  result.sigma2_rounded = best;
+  result.upper = best + result.theta;
+  result.lower = std::max(0.0, best - result.theta);
+  return result;
+}
+
+VarianceBoundResult MaxVarianceBoundUngrouped(
+    const std::vector<CostInterval>& bounds, double rho) {
+  PDX_CHECK(!bounds.empty());
+  PDX_CHECK(rho > 0.0);
+  const double n = static_cast<double>(bounds.size());
+
+  struct WideInterval {
+    double low;
+    double high;
+    uint64_t steps;
+  };
+  std::vector<WideInterval> wide;
+  double base_sum = 0.0;
+  double base_sumsq = 0.0;
+  double theta_acc = 0.0;
+  uint64_t total_steps = 0;
+  for (const CostInterval& b : bounds) {
+    PDX_CHECK(b.low <= b.high);
+    double lo = RoundToRho(b.low, rho);
+    double hi = RoundToRho(b.high, rho);
+    if (hi < lo) hi = lo;
+    base_sum += lo;
+    base_sumsq += lo * lo;
+    theta_acc += rho * hi + rho * rho / 4.0;
+    uint64_t steps = static_cast<uint64_t>(std::llround((hi - lo) / rho));
+    if (steps > 0) {
+      wide.push_back({lo, hi, steps});
+      total_steps += steps;
+    }
+  }
+
+  VarianceBoundResult result;
+  result.dp_states = total_steps + 1;
+  result.groups = wide.size();
+  result.theta = (2.0 / n) * theta_acc;
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> dp(total_steps + 1, kNegInf);
+  dp[0] = 0.0;
+  uint64_t reach = 0;
+  for (const WideInterval& w : wide) {
+    const double gain = w.high * w.high - w.low * w.low;
+    const uint64_t r = w.steps;
+    // In-place descending update: dp[j] = max(keep-at-low, switch-to-high).
+    uint64_t new_reach = reach + r;
+    for (uint64_t j = new_reach; j >= r; --j) {
+      double from = dp[j - r];
+      if (from != kNegInf && from + gain > dp[j]) dp[j] = from + gain;
+      if (j == r) break;
+    }
+    reach = new_reach;
+  }
+
+  double best = 0.0;
+  for (uint64_t j = 0; j <= total_steps; ++j) {
+    if (dp[j] == kNegInf) continue;
+    double sum = base_sum + static_cast<double>(j) * rho;
+    double sumsq = base_sumsq + dp[j];
+    best = std::max(best, (sumsq - sum * sum / n) / n);
+  }
+  result.sigma2_rounded = best;
+  result.upper = best + result.theta;
+  result.lower = std::max(0.0, best - result.theta);
+  return result;
+}
+
+double MaxVarianceBruteForce(const std::vector<CostInterval>& bounds) {
+  const size_t n = bounds.size();
+  PDX_CHECK(n >= 1 && n <= 24);
+  double best = 0.0;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = (mask >> i) & 1 ? bounds[i].high : bounds[i].low;
+    }
+    best = std::max(best, ExactMoments::Compute(v).variance_population);
+  }
+  return best;
+}
+
+namespace {
+
+// Population variance when every value is clamped to center `mu`.
+double ClampedVariance(const std::vector<CostInterval>& bounds, double mu) {
+  std::vector<double> v(bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    v[i] = std::clamp(mu, bounds[i].low, bounds[i].high);
+  }
+  return ExactMoments::Compute(v).variance_population;
+}
+
+}  // namespace
+
+double MinVariance(const std::vector<CostInterval>& bounds) {
+  PDX_CHECK(!bounds.empty());
+  double lo = bounds[0].low;
+  double hi = bounds[0].high;
+  for (const CostInterval& b : bounds) {
+    lo = std::min(lo, b.low);
+    hi = std::max(hi, b.high);
+  }
+  if (hi <= lo) return 0.0;
+
+  // Golden-section search (the clamped variance is unimodal in mu), then
+  // refinement against interval endpoints to be safe near kinks. For
+  // large inputs only the endpoints near the golden optimum matter, so
+  // the refinement set is capped.
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = ClampedVariance(bounds, c);
+  double fd = ClampedVariance(bounds, d);
+  for (int iter = 0; iter < 200 && (b - a) > 1e-10 * (hi - lo); ++iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = ClampedVariance(bounds, c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = ClampedVariance(bounds, d);
+    }
+  }
+  double best = std::min(fc, fd);
+  double center = fc < fd ? c : d;
+
+  // Collect candidate endpoints, nearest to the golden optimum first.
+  std::vector<double> candidates;
+  candidates.reserve(2 * bounds.size());
+  for (const CostInterval& iv : bounds) {
+    candidates.push_back(iv.low);
+    candidates.push_back(iv.high);
+  }
+  constexpr size_t kMaxRefinements = 512;
+  if (candidates.size() > kMaxRefinements) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + kMaxRefinements, candidates.end(),
+                     [&](double x, double y) {
+                       return std::abs(x - center) < std::abs(y - center);
+                     });
+    candidates.resize(kMaxRefinements);
+  }
+  for (double mu : candidates) {
+    best = std::min(best, ClampedVariance(bounds, mu));
+  }
+  return best;
+}
+
+double MinVarianceBruteForce(const std::vector<CostInterval>& bounds) {
+  PDX_CHECK(!bounds.empty());
+  double lo = bounds[0].low;
+  double hi = bounds[0].high;
+  for (const CostInterval& b : bounds) {
+    lo = std::min(lo, b.low);
+    hi = std::max(hi, b.high);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  constexpr int kGrid = 4000;
+  for (int i = 0; i <= kGrid; ++i) {
+    double mu = lo + (hi - lo) * static_cast<double>(i) / kGrid;
+    best = std::min(best, ClampedVariance(bounds, mu));
+  }
+  return best;
+}
+
+}  // namespace pdx

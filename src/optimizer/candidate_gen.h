@@ -1,0 +1,66 @@
+// Copyright (c) the pdexplore authors.
+// Per-query candidate physical structures — the component §6.1 relies on:
+// "All automated physical design tools known to us have components that
+// suggest a set of structures the query may benefit from". Used to build
+// the merged "rich" configuration for lower cost bounds, and by the tuner
+// to enumerate candidate configurations.
+#pragma once
+
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_design.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// Candidate structures for one query.
+struct QueryCandidates {
+  std::vector<Index> indexes;
+  std::vector<MaterializedView> views;
+};
+
+/// Options controlling candidate generation.
+struct CandidateGenOptions {
+  /// Generate covering-index variants (keys + referenced columns).
+  bool covering_variants = true;
+  /// Generate join-column indexes (enables index-nested-loop joins).
+  bool join_indexes = true;
+  /// Generate grouping indexes (streaming aggregation).
+  bool group_indexes = true;
+  /// Generate materialized-view candidates for join queries.
+  bool view_candidates = true;
+  /// Skip index candidates on tables smaller than this many pages
+  /// (indexes on tiny tables never pay off).
+  uint64_t min_table_pages = 2;
+};
+
+/// Generates candidate structures from query shapes and catalog statistics.
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const Schema& schema, CandidateGenOptions options = {})
+      : schema_(schema), model_(schema), options_(options) {}
+
+  /// Structures potentially useful to `query`.
+  QueryCandidates ForQuery(const Query& query) const;
+
+  /// Union of candidates over one representative query per template
+  /// (instances of a template share candidate shapes), deduplicated.
+  QueryCandidates ForWorkload(const Workload& workload) const;
+
+  /// The merged configuration containing every candidate for the workload:
+  /// the "configuration containing all indexes and views that may be useful
+  /// to Q" used for lower cost bounds (§6.1).
+  Configuration RichConfiguration(const Workload& workload) const;
+
+ private:
+  void AddAccessCandidates(const SelectSpec& spec, const TableAccess& access,
+                           QueryCandidates* out) const;
+  void AddViewCandidate(const SelectSpec& spec, QueryCandidates* out) const;
+
+  const Schema& schema_;
+  CostModel model_;
+  CandidateGenOptions options_;
+};
+
+}  // namespace pdx

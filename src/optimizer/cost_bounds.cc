@@ -1,0 +1,94 @@
+#include "optimizer/cost_bounds.h"
+
+#include <algorithm>
+
+namespace pdx {
+
+CostBoundsDeriver::CostBoundsDeriver(const WhatIfOptimizer& optimizer,
+                                     const Workload& workload,
+                                     Configuration base, Configuration rich)
+    : optimizer_(optimizer),
+      workload_(workload),
+      base_(std::move(base)),
+      rich_(std::move(rich)) {
+  template_extremes_.resize(workload.num_templates());
+  for (TemplateId t = 0; t < workload.num_templates(); ++t) {
+    TemplateExtremes& ex = template_extremes_[t];
+    double min_sel = 2.0;
+    double max_sel = -1.0;
+    for (QueryId qid : workload.QueriesOfTemplate(t)) {
+      const Query& q = workload.query(qid);
+      if (!q.update.has_value()) continue;
+      ex.has_dml = true;
+      if (q.update->selectivity < min_sel) {
+        min_sel = q.update->selectivity;
+        ex.min_sel_query = qid;
+      }
+      if (q.update->selectivity > max_sel) {
+        max_sel = q.update->selectivity;
+        ex.max_sel_query = qid;
+      }
+    }
+  }
+}
+
+CostInterval CostBoundsDeriver::SelectBounds(const Query& query) const {
+  // The SELECT part alone (explanation splits DML into its two halves).
+  PlanExplanation base_plan, rich_plan;
+  optimizer_.CostExplained(query, base_, &base_plan);
+  optimizer_.CostExplained(query, rich_, &rich_plan);
+  CostInterval out;
+  out.low = rich_plan.select_cost;
+  out.high = base_plan.select_cost;
+  // Guard against model round-off; the invariant low <= high is asserted
+  // by tests on the monotonicity property.
+  if (out.low > out.high) std::swap(out.low, out.high);
+  return out;
+}
+
+std::vector<CostInterval> CostBoundsDeriver::WorkloadBounds(
+    const Configuration& config) const {
+  // Per-template update-part bounds in `config`: 2 calls per DML template.
+  std::vector<CostInterval> update_bounds(workload_.num_templates());
+  for (TemplateId t = 0; t < workload_.num_templates(); ++t) {
+    const TemplateExtremes& ex = template_extremes_[t];
+    if (!ex.has_dml) continue;
+    PlanExplanation lo_plan, hi_plan;
+    optimizer_.CostExplained(workload_.query(ex.min_sel_query), config,
+                             &lo_plan);
+    optimizer_.CostExplained(workload_.query(ex.max_sel_query), config,
+                             &hi_plan);
+    update_bounds[t].low = lo_plan.update_cost;
+    update_bounds[t].high = hi_plan.update_cost;
+  }
+
+  std::vector<CostInterval> out(workload_.size());
+  for (QueryId qid = 0; qid < workload_.size(); ++qid) {
+    const Query& q = workload_.query(qid);
+    CostInterval iv{0.0, 0.0};
+    if (!q.select.accesses.empty()) {
+      iv = SelectBounds(q);
+    }
+    if (q.update.has_value()) {
+      const CostInterval& ub = update_bounds[q.template_id];
+      iv.low += ub.low;
+      iv.high += ub.high;
+    }
+    out[qid] = iv;
+  }
+  return out;
+}
+
+std::vector<CostInterval> CostBoundsDeriver::DeltaBounds(
+    const Configuration& c1, const Configuration& c2) const {
+  std::vector<CostInterval> b1 = WorkloadBounds(c1);
+  std::vector<CostInterval> b2 = WorkloadBounds(c2);
+  std::vector<CostInterval> out(b1.size());
+  for (size_t i = 0; i < b1.size(); ++i) {
+    out[i].low = b1[i].low - b2[i].high;
+    out[i].high = b1[i].high - b2[i].low;
+  }
+  return out;
+}
+
+}  // namespace pdx

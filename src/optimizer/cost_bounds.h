@@ -1,0 +1,76 @@
+// Copyright (c) the pdexplore authors.
+// Cost bounds for unsampled queries (paper §6.1). The bound machinery of
+// §6.2 (conservative sigma^2_max / G1_max) consumes per-query intervals
+// [low_i, high_i] that are guaranteed to contain Cost(q_i, C) for every
+// configuration C under consideration:
+//
+//   * SELECT statements: a well-behaved optimizer's cost only improves as
+//     structures are added, so Cost(q, base) is an upper bound for any
+//     C >= base, and Cost(q, rich) — rich containing all structures that
+//     may be useful to q — is a lower bound.
+//   * UPDATE/INSERT/DELETE statements are split into a SELECT part
+//     (bounded as above) and a pure-update part whose cost is monotone in
+//     statement selectivity, so per template the instances with extreme
+//     selectivities bound all others: 2 optimizer calls per template and
+//     configuration.
+#pragma once
+
+#include <vector>
+
+#include "optimizer/what_if.h"
+
+namespace pdx {
+
+/// A closed cost interval.
+struct CostInterval {
+  double low = 0.0;
+  double high = 0.0;
+
+  double width() const { return high - low; }
+  bool Contains(double v) const { return v >= low && v <= high; }
+};
+
+/// Derives per-query cost intervals for a workload.
+class CostBoundsDeriver {
+ public:
+  /// `base` must be contained in every configuration that will be compared
+  /// (typically empty or the currently deployed structures); `rich` must
+  /// contain every structure any compared configuration may use (e.g.
+  /// CandidateGenerator::RichConfiguration).
+  CostBoundsDeriver(const WhatIfOptimizer& optimizer, const Workload& workload,
+                    Configuration base, Configuration rich);
+
+  /// Interval for the SELECT part of one query (2 optimizer calls).
+  CostInterval SelectBounds(const Query& query) const;
+
+  /// Intervals valid for configuration `config` for all queries of the
+  /// workload. SELECT parts use the base/rich pair; update parts use the
+  /// per-template selectivity extremes evaluated in `config` (2 calls per
+  /// DML template). The result is indexed by QueryId.
+  std::vector<CostInterval> WorkloadBounds(const Configuration& config) const;
+
+  /// Intervals for the *difference* Cost(q, c1) - Cost(q, c2), valid for
+  /// the given pair — used to bound Delta-Sampling distributions:
+  /// [low1 - high2, high1 - low2].
+  std::vector<CostInterval> DeltaBounds(const Configuration& c1,
+                                        const Configuration& c2) const;
+
+  const Configuration& base() const { return base_; }
+  const Configuration& rich() const { return rich_; }
+
+ private:
+  struct TemplateExtremes {
+    QueryId min_sel_query = 0;
+    QueryId max_sel_query = 0;
+    bool has_dml = false;
+  };
+
+  const WhatIfOptimizer& optimizer_;
+  const Workload& workload_;
+  Configuration base_;
+  Configuration rich_;
+  /// Per-template DML selectivity extremes (precomputed, no optimizer calls).
+  std::vector<TemplateExtremes> template_extremes_;
+};
+
+}  // namespace pdx

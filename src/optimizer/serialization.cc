@@ -1,0 +1,528 @@
+#include "optimizer/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+constexpr const char* kSchemaMagic = "pdx-schema 1";
+constexpr const char* kWorkloadMagic = "pdx-workload 1";
+constexpr const char* kConfigMagic = "pdx-config 1";
+
+// Doubles are serialized as hexfloats so selectivities round-trip exactly.
+std::string HexDouble(double v) { return StringFormat("%a", v); }
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::IOError("bad double '" + s + "'");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseUint(const std::string& s) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::IOError("bad integer '" + s + "'");
+  }
+  return v;
+}
+
+std::string JoinCsv(const std::vector<ColumnId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Result<std::vector<ColumnId>> ParseCsv(const std::string& s) {
+  std::vector<ColumnId> out;
+  if (s == "-") return out;
+  for (const std::string& piece : SplitString(s, ',')) {
+    auto v = ParseUint(piece);
+    PDX_RETURN_IF_ERROR(v.status());
+    out.push_back(static_cast<ColumnId>(*v));
+  }
+  return out;
+}
+
+std::string JoinRefs(const std::vector<ColumnRef>& refs) {
+  std::string out;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(refs[i].table) + ":" + std::to_string(refs[i].column);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Result<std::vector<ColumnRef>> ParseRefs(const std::string& s) {
+  std::vector<ColumnRef> out;
+  if (s == "-") return out;
+  for (const std::string& piece : SplitString(s, ',')) {
+    auto parts = SplitString(piece, ':');
+    if (parts.size() != 2) return Status::IOError("bad column ref '" + piece + "'");
+    auto t = ParseUint(parts[0]);
+    PDX_RETURN_IF_ERROR(t.status());
+    auto c = ParseUint(parts[1]);
+    PDX_RETURN_IF_ERROR(c.status());
+    out.push_back({static_cast<TableId>(*t), static_cast<ColumnId>(*c)});
+  }
+  return out;
+}
+
+// Tab-separated line reader with a current-line cursor for error messages.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& path) : in_(path), path_(path) {}
+
+  bool ok() const { return in_.good() || in_.eof(); }
+  bool opened() const { return !failed_open_; }
+
+  /// Reads the next non-empty line split on tabs; false at EOF.
+  bool Next(std::vector<std::string>* fields) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      if (line.empty()) continue;
+      *fields = SplitString(line, '\t');
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::IOError(path_ + ":" + std::to_string(line_no_) + ": " +
+                           message);
+  }
+
+  void MarkOpenFailure() { failed_open_ = true; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  int line_no_ = 0;
+  bool failed_open_ = false;
+};
+
+Result<LineReader*> OpenReader(LineReader* reader, const char* magic) {
+  std::vector<std::string> fields;
+  if (!reader->Next(&fields) || fields.size() != 1 || fields[0] != magic) {
+    return reader->Error(std::string("missing header '") + magic + "'");
+  }
+  return reader;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schema
+
+Status SaveSchema(const Schema& schema, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << kSchemaMagic << "\n";
+  out << "schema\t" << schema.name() << "\n";
+  for (const Table& t : schema.tables()) {
+    out << "table\t" << t.name << "\t" << t.row_count << "\n";
+    for (const Column& c : t.columns) {
+      out << "col\t" << c.name << "\t" << static_cast<int>(c.type) << "\t"
+          << c.width_bytes << "\t" << c.num_distinct << "\t"
+          << HexDouble(c.zipf_theta) << "\n";
+    }
+  }
+  out.flush();
+  return out ? Status::OK() : Status::IOError("write failed for '" + path + "'");
+}
+
+Result<Schema> LoadSchema(const std::string& path) {
+  std::ifstream probe(path);
+  if (!probe) return Status::IOError("cannot open '" + path + "'");
+  probe.close();
+
+  LineReader reader(path);
+  auto header = OpenReader(&reader, kSchemaMagic);
+  PDX_RETURN_IF_ERROR(header.status());
+
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 2 || f[0] != "schema") {
+    return reader.Error("expected schema record");
+  }
+  Schema schema(f[1]);
+  Table current;
+  bool have_table = false;
+  auto flush_table = [&]() {
+    if (have_table) schema.AddTable(std::move(current));
+    current = Table();
+    have_table = false;
+  };
+  while (reader.Next(&f)) {
+    if (f[0] == "table") {
+      if (f.size() != 3) return reader.Error("bad table record");
+      flush_table();
+      have_table = true;
+      current.name = f[1];
+      auto rows = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(rows.status());
+      current.row_count = *rows;
+    } else if (f[0] == "col") {
+      if (f.size() != 6 || !have_table) return reader.Error("bad col record");
+      auto type = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(type.status());
+      auto width = ParseUint(f[3]);
+      PDX_RETURN_IF_ERROR(width.status());
+      auto ndv = ParseUint(f[4]);
+      PDX_RETURN_IF_ERROR(ndv.status());
+      auto theta = ParseDouble(f[5]);
+      PDX_RETURN_IF_ERROR(theta.status());
+      current.columns.emplace_back(f[1], static_cast<DataType>(*type),
+                                   static_cast<uint32_t>(*width), *ndv,
+                                   *theta);
+    } else {
+      return reader.Error("unknown record '" + f[0] + "'");
+    }
+  }
+  flush_table();
+  PDX_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+
+Status SaveWorkload(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << kWorkloadMagic << "\n";
+  out << "schema\t" << workload.schema().name() << "\n";
+
+  for (const QueryTemplate& t : workload.templates()) {
+    std::string tables;
+    for (size_t i = 0; i < t.tables.size(); ++i) {
+      if (i > 0) tables += ",";
+      tables += std::to_string(t.tables[i]);
+    }
+    if (tables.empty()) tables = "-";
+    out << "template\t" << t.id << "\t" << t.name << "\t"
+        << static_cast<int>(t.kind) << "\t" << t.signature << "\t" << tables
+        << "\n";
+  }
+
+  for (const Query& q : workload.queries()) {
+    out << "query\t" << q.id << "\t" << q.template_id << "\t"
+        << static_cast<int>(q.kind) << "\t" << HexDouble(q.optimize_overhead)
+        << "\n";
+    for (const TableAccess& a : q.select.accesses) {
+      out << "access\t" << a.table << "\t" << JoinCsv(a.referenced_columns)
+          << "\n";
+      for (const Predicate& p : a.predicates) {
+        out << "pred\t" << p.column.table << "\t" << p.column.column << "\t"
+            << static_cast<int>(p.op) << "\t" << HexDouble(p.selectivity)
+            << "\t" << (p.sargable ? 1 : 0) << "\t" << p.value_rank << "\t"
+            << HexDouble(p.domain_fraction) << "\n";
+      }
+    }
+    for (const JoinEdge& j : q.select.joins) {
+      out << "join\t" << j.left_access << "\t" << j.right_access << "\t"
+          << j.left_column << "\t" << j.right_column << "\n";
+    }
+    if (!q.select.group_by.empty()) {
+      out << "groupby\t" << JoinRefs(q.select.group_by) << "\n";
+    }
+    if (!q.select.order_by.empty()) {
+      out << "orderby\t" << JoinRefs(q.select.order_by) << "\n";
+    }
+    if (q.select.num_aggregates > 0) {
+      out << "agg\t" << q.select.num_aggregates << "\n";
+    }
+    if (q.update.has_value()) {
+      out << "update\t" << q.update->table << "\t"
+          << static_cast<int>(q.update->kind) << "\t"
+          << HexDouble(q.update->selectivity) << "\t"
+          << JoinCsv(q.update->set_columns) << "\n";
+    }
+    out << "end\n";
+  }
+  out.flush();
+  return out ? Status::OK() : Status::IOError("write failed for '" + path + "'");
+}
+
+Result<Workload> LoadWorkload(const std::string& path, const Schema& schema) {
+  std::ifstream probe(path);
+  if (!probe) return Status::IOError("cannot open '" + path + "'");
+  probe.close();
+
+  LineReader reader(path);
+  auto header = OpenReader(&reader, kWorkloadMagic);
+  PDX_RETURN_IF_ERROR(header.status());
+
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 2 || f[0] != "schema") {
+    return reader.Error("expected schema record");
+  }
+  if (f[1] != schema.name()) {
+    return Status::InvalidArgument("workload was saved against schema '" +
+                                   f[1] + "', got '" + schema.name() + "'");
+  }
+
+  Workload workload(&schema);
+  Query query;
+  bool in_query = false;
+  int current_access = -1;
+
+  while (reader.Next(&f)) {
+    const std::string& tag = f[0];
+    if (tag == "template") {
+      if (f.size() != 6) return reader.Error("bad template record");
+      QueryTemplate t;
+      t.name = f[2];
+      auto kind = ParseUint(f[3]);
+      PDX_RETURN_IF_ERROR(kind.status());
+      t.kind = static_cast<StatementKind>(*kind);
+      auto sig = ParseUint(f[4]);
+      PDX_RETURN_IF_ERROR(sig.status());
+      t.signature = *sig;
+      if (f[5] != "-") {
+        for (const std::string& piece : SplitString(f[5], ',')) {
+          auto id = ParseUint(piece);
+          PDX_RETURN_IF_ERROR(id.status());
+          t.tables.push_back(static_cast<TableId>(*id));
+        }
+      }
+      workload.AddTemplate(std::move(t));
+    } else if (tag == "query") {
+      if (f.size() != 5) return reader.Error("bad query record");
+      if (in_query) return reader.Error("query without end");
+      query = Query();
+      in_query = true;
+      current_access = -1;
+      auto tmpl = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(tmpl.status());
+      query.template_id = static_cast<TemplateId>(*tmpl);
+      auto kind = ParseUint(f[3]);
+      PDX_RETURN_IF_ERROR(kind.status());
+      query.kind = static_cast<StatementKind>(*kind);
+      auto overhead = ParseDouble(f[4]);
+      PDX_RETURN_IF_ERROR(overhead.status());
+      query.optimize_overhead = *overhead;
+    } else if (tag == "access") {
+      if (f.size() != 3 || !in_query) return reader.Error("bad access record");
+      TableAccess a;
+      auto table = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(table.status());
+      a.table = static_cast<TableId>(*table);
+      auto refs = ParseCsv(f[2]);
+      PDX_RETURN_IF_ERROR(refs.status());
+      a.referenced_columns = *refs;
+      query.select.accesses.push_back(std::move(a));
+      current_access = static_cast<int>(query.select.accesses.size()) - 1;
+    } else if (tag == "pred") {
+      if (f.size() != 8 || current_access < 0) {
+        return reader.Error("bad pred record");
+      }
+      Predicate p;
+      auto t = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(t.status());
+      auto c = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(c.status());
+      p.column = {static_cast<TableId>(*t), static_cast<ColumnId>(*c)};
+      auto op = ParseUint(f[3]);
+      PDX_RETURN_IF_ERROR(op.status());
+      p.op = static_cast<PredOp>(*op);
+      auto sel = ParseDouble(f[4]);
+      PDX_RETURN_IF_ERROR(sel.status());
+      p.selectivity = *sel;
+      p.sargable = f[5] == "1";
+      auto rank = ParseUint(f[6]);
+      PDX_RETURN_IF_ERROR(rank.status());
+      p.value_rank = *rank;
+      auto frac = ParseDouble(f[7]);
+      PDX_RETURN_IF_ERROR(frac.status());
+      p.domain_fraction = *frac;
+      query.select.accesses[current_access].predicates.push_back(p);
+    } else if (tag == "join") {
+      if (f.size() != 5 || !in_query) return reader.Error("bad join record");
+      JoinEdge j;
+      auto l = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(l.status());
+      auto r = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(r.status());
+      auto lc = ParseUint(f[3]);
+      PDX_RETURN_IF_ERROR(lc.status());
+      auto rc = ParseUint(f[4]);
+      PDX_RETURN_IF_ERROR(rc.status());
+      j.left_access = static_cast<uint32_t>(*l);
+      j.right_access = static_cast<uint32_t>(*r);
+      j.left_column = static_cast<ColumnId>(*lc);
+      j.right_column = static_cast<ColumnId>(*rc);
+      query.select.joins.push_back(j);
+    } else if (tag == "groupby") {
+      if (f.size() != 2 || !in_query) return reader.Error("bad groupby");
+      auto refs = ParseRefs(f[1]);
+      PDX_RETURN_IF_ERROR(refs.status());
+      query.select.group_by = *refs;
+    } else if (tag == "orderby") {
+      if (f.size() != 2 || !in_query) return reader.Error("bad orderby");
+      auto refs = ParseRefs(f[1]);
+      PDX_RETURN_IF_ERROR(refs.status());
+      query.select.order_by = *refs;
+    } else if (tag == "agg") {
+      if (f.size() != 2 || !in_query) return reader.Error("bad agg");
+      auto n = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(n.status());
+      query.select.num_aggregates = static_cast<uint32_t>(*n);
+    } else if (tag == "update") {
+      if (f.size() != 5 || !in_query) return reader.Error("bad update");
+      UpdateSpec u;
+      auto t = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(t.status());
+      u.table = static_cast<TableId>(*t);
+      auto kind = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(kind.status());
+      u.kind = static_cast<StatementKind>(*kind);
+      auto sel = ParseDouble(f[3]);
+      PDX_RETURN_IF_ERROR(sel.status());
+      u.selectivity = *sel;
+      auto cols = ParseCsv(f[4]);
+      PDX_RETURN_IF_ERROR(cols.status());
+      u.set_columns = *cols;
+      query.update = std::move(u);
+    } else if (tag == "end") {
+      if (!in_query) return reader.Error("end without query");
+      workload.AddQuery(std::move(query));
+      in_query = false;
+    } else {
+      return reader.Error("unknown record '" + tag + "'");
+    }
+  }
+  if (in_query) return reader.Error("truncated file: query without end");
+  PDX_RETURN_IF_ERROR(workload.Validate());
+  return workload;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+Status SaveConfiguration(const Configuration& config, const Schema& schema,
+                         const std::string& path) {
+  (void)schema;  // reserved for name validation on save
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << kConfigMagic << "\n";
+  out << "schema\t" << schema.name() << "\n";
+  out << "name\t" << (config.name().empty() ? "-" : config.name()) << "\n";
+  for (const Index& i : config.indexes()) {
+    out << "index\t" << i.table << "\t" << JoinCsv(i.key_columns) << "\t"
+        << JoinCsv(i.include_columns) << "\n";
+  }
+  for (const MaterializedView& v : config.views()) {
+    std::string tables;
+    for (size_t i = 0; i < v.tables.size(); ++i) {
+      if (i > 0) tables += ",";
+      tables += std::to_string(v.tables[i]);
+    }
+    std::string sig;
+    for (size_t i = 0; i < v.join_signature.size(); ++i) {
+      if (i > 0) sig += ",";
+      sig += std::to_string(v.join_signature[i]);
+    }
+    out << "view\t" << (v.name.empty() ? "-" : v.name) << "\t" << v.row_count
+        << "\t" << (tables.empty() ? "-" : tables) << "\t"
+        << (sig.empty() ? "-" : sig) << "\t" << JoinRefs(v.group_by) << "\t"
+        << JoinRefs(v.exposed_columns) << "\n";
+  }
+  out.flush();
+  return out ? Status::OK() : Status::IOError("write failed for '" + path + "'");
+}
+
+Result<Configuration> LoadConfiguration(const std::string& path,
+                                        const Schema& schema) {
+  std::ifstream probe(path);
+  if (!probe) return Status::IOError("cannot open '" + path + "'");
+  probe.close();
+
+  LineReader reader(path);
+  auto header = OpenReader(&reader, kConfigMagic);
+  PDX_RETURN_IF_ERROR(header.status());
+
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 2 || f[0] != "schema") {
+    return reader.Error("expected schema record");
+  }
+  if (f[1] != schema.name()) {
+    return Status::InvalidArgument("configuration was saved against schema '" +
+                                   f[1] + "', got '" + schema.name() + "'");
+  }
+  if (!reader.Next(&f) || f.size() != 2 || f[0] != "name") {
+    return reader.Error("expected name record");
+  }
+  Configuration config(f[1] == "-" ? "" : f[1]);
+
+  while (reader.Next(&f)) {
+    if (f[0] == "index") {
+      if (f.size() != 4) return reader.Error("bad index record");
+      Index i;
+      auto table = ParseUint(f[1]);
+      PDX_RETURN_IF_ERROR(table.status());
+      i.table = static_cast<TableId>(*table);
+      if (i.table >= schema.num_tables()) {
+        return reader.Error("index table out of range");
+      }
+      auto keys = ParseCsv(f[2]);
+      PDX_RETURN_IF_ERROR(keys.status());
+      i.key_columns = *keys;
+      auto incl = ParseCsv(f[3]);
+      PDX_RETURN_IF_ERROR(incl.status());
+      i.include_columns = *incl;
+      for (ColumnId c : i.key_columns) {
+        if (c >= schema.table(i.table).columns.size()) {
+          return reader.Error("index key column out of range");
+        }
+      }
+      config.AddIndex(std::move(i));
+    } else if (f[0] == "view") {
+      if (f.size() != 7) return reader.Error("bad view record");
+      MaterializedView v;
+      v.name = f[1] == "-" ? "" : f[1];
+      auto rows = ParseUint(f[2]);
+      PDX_RETURN_IF_ERROR(rows.status());
+      v.row_count = *rows;
+      if (f[3] != "-") {
+        for (const std::string& piece : SplitString(f[3], ',')) {
+          auto id = ParseUint(piece);
+          PDX_RETURN_IF_ERROR(id.status());
+          v.tables.push_back(static_cast<TableId>(*id));
+        }
+      }
+      if (f[4] != "-") {
+        for (const std::string& piece : SplitString(f[4], ',')) {
+          auto sig = ParseUint(piece);
+          PDX_RETURN_IF_ERROR(sig.status());
+          v.join_signature.push_back(*sig);
+        }
+      }
+      auto group = ParseRefs(f[5]);
+      PDX_RETURN_IF_ERROR(group.status());
+      v.group_by = *group;
+      auto exposed = ParseRefs(f[6]);
+      PDX_RETURN_IF_ERROR(exposed.status());
+      v.exposed_columns = *exposed;
+      config.AddView(std::move(v));
+    } else {
+      return reader.Error("unknown record '" + f[0] + "'");
+    }
+  }
+  return config;
+}
+
+}  // namespace pdx

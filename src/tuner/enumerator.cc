@@ -1,0 +1,251 @@
+#include "tuner/enumerator.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+uint64_t DefaultBudget(const Schema& schema) {
+  return schema.TotalHeapBytes() * 2 / 5;
+}
+
+}  // namespace
+
+std::vector<ScoredStructure> ScoreCandidates(const WhatIfOptimizer& optimizer,
+                                             const Workload& workload,
+                                             const EnumeratorOptions& options,
+                                             Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  CandidateGenerator gen(workload.schema(), options.candidates);
+  QueryCandidates pool = gen.ForWorkload(workload);
+
+  // Evaluation sample.
+  size_t sample_size =
+      std::min<size_t>(options.eval_sample_size, workload.size());
+  std::vector<uint32_t> sample =
+      rng->SampleWithoutReplacement(workload.size(), sample_size);
+
+  Configuration empty("empty");
+  std::vector<double> base_costs(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    base_costs[i] = optimizer.Cost(workload.query(sample[i]), empty);
+  }
+
+  auto benefit_of = [&](const Configuration& single) {
+    double benefit = 0.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      benefit += base_costs[i] - optimizer.Cost(workload.query(sample[i]), single);
+    }
+    return benefit;
+  };
+
+  std::vector<ScoredStructure> scored;
+  scored.reserve(pool.indexes.size() + pool.views.size());
+  for (const Index& idx : pool.indexes) {
+    Configuration single("probe");
+    single.AddIndex(idx);
+    ScoredStructure s;
+    s.is_view = false;
+    s.index = idx;
+    s.benefit = benefit_of(single);
+    s.storage_bytes = idx.StorageBytes(workload.schema());
+    scored.push_back(std::move(s));
+  }
+  for (const MaterializedView& view : pool.views) {
+    Configuration single("probe");
+    single.AddView(view);
+    ScoredStructure s;
+    s.is_view = true;
+    s.view = view;
+    s.benefit = benefit_of(single);
+    s.storage_bytes = view.StorageBytes(workload.schema());
+    scored.push_back(std::move(s));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredStructure& a, const ScoredStructure& b) {
+              return a.benefit > b.benefit;
+            });
+  return scored;
+}
+
+std::vector<Configuration> EnumerateConfigurations(
+    const WhatIfOptimizer& optimizer, const Workload& workload,
+    const EnumeratorOptions& options, Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  PDX_CHECK(options.num_configs >= 1);
+  const Schema& schema = workload.schema();
+  const uint64_t budget = options.storage_budget_bytes > 0
+                              ? options.storage_budget_bytes
+                              : DefaultBudget(schema);
+
+  std::vector<ScoredStructure> scored =
+      ScoreCandidates(optimizer, workload, options, rng);
+
+  auto build = [&](const std::vector<const ScoredStructure*>& parts,
+                   std::string name) {
+    Configuration config(std::move(name));
+    uint64_t used = 0;
+    for (const ScoredStructure* s : parts) {
+      if (used + s->storage_bytes > budget) continue;
+      bool added = s->is_view ? config.AddView(s->view)
+                              : config.AddIndex(s->index);
+      if (added) used += s->storage_bytes;
+    }
+    return config;
+  };
+
+  std::vector<Configuration> configs;
+  std::unordered_set<uint64_t> seen;
+
+  // Greedy benefit-per-byte fill.
+  {
+    std::vector<const ScoredStructure*> by_density;
+    for (const ScoredStructure& s : scored) {
+      if (s.benefit > 0.0) by_density.push_back(&s);
+    }
+    std::sort(by_density.begin(), by_density.end(),
+              [](const ScoredStructure* a, const ScoredStructure* b) {
+                double da = a->benefit / static_cast<double>(
+                                             std::max<uint64_t>(1, a->storage_bytes));
+                double db = b->benefit / static_cast<double>(
+                                             std::max<uint64_t>(1, b->storage_bytes));
+                return da > db;
+              });
+    Configuration greedy = build(by_density, "greedy");
+    seen.insert(greedy.Hash());
+    configs.push_back(std::move(greedy));
+  }
+
+  // Randomized benefit-biased variants. Inclusion probability decays with
+  // benefit rank, so top structures recur across configurations.
+  uint32_t attempts = 0;
+  while (configs.size() < options.num_configs &&
+         attempts < options.num_configs * 30) {
+    ++attempts;
+    std::vector<const ScoredStructure*> parts;
+    for (size_t r = 0; r < scored.size(); ++r) {
+      if (scored[r].benefit <= 0.0) continue;
+      double p = options.greediness /
+                 (1.0 + 0.15 * static_cast<double>(parts.size())) /
+                 (1.0 + 0.08 * static_cast<double>(r));
+      if (rng->NextDouble() < p) parts.push_back(&scored[r]);
+    }
+    if (parts.empty()) continue;
+    Configuration config =
+        build(parts, StringFormat("cand_%u", attempts));
+    if (config.NumStructures() == 0) continue;
+    if (seen.insert(config.Hash()).second) {
+      configs.push_back(std::move(config));
+    }
+  }
+
+  // Pad with single-structure configurations if uniqueness ran dry.
+  for (size_t r = 0; configs.size() < options.num_configs && r < scored.size();
+       ++r) {
+    std::vector<const ScoredStructure*> parts = {&scored[r]};
+    Configuration config = build(parts, StringFormat("single_%zu", r));
+    if (config.NumStructures() > 0 && seen.insert(config.Hash()).second) {
+      configs.push_back(std::move(config));
+    }
+  }
+  PDX_CHECK_MSG(configs.size() >= 1, "no configurations enumerated");
+  return configs;
+}
+
+std::vector<Configuration> EnumerateNeighborhood(
+    const Configuration& base, const std::vector<ScoredStructure>& pool,
+    uint32_t num_configs, uint32_t drop, uint32_t add, Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  std::vector<Configuration> out;
+  std::unordered_set<uint64_t> seen;
+  seen.insert(base.Hash());
+
+  uint32_t attempts = 0;
+  while (out.size() < num_configs && attempts < num_configs * 40) {
+    ++attempts;
+    // Drop `drop` random structures from the base.
+    size_t n_idx = base.indexes().size();
+    size_t n_view = base.views().size();
+    size_t n_total = n_idx + n_view;
+    if (n_total == 0) break;
+    std::vector<uint32_t> dropped = rng->SampleWithoutReplacement(
+        n_total, std::min<size_t>(drop, n_total));
+    std::unordered_set<uint32_t> drop_set(dropped.begin(), dropped.end());
+
+    Configuration variant(StringFormat("nbr_%u", attempts));
+    for (size_t i = 0; i < n_idx; ++i) {
+      if (drop_set.count(static_cast<uint32_t>(i)) == 0) {
+        variant.AddIndex(base.indexes()[i]);
+      }
+    }
+    for (size_t v = 0; v < n_view; ++v) {
+      if (drop_set.count(static_cast<uint32_t>(n_idx + v)) == 0) {
+        variant.AddView(base.views()[v]);
+      }
+    }
+    // Substitute up to `add` pool structures not already present.
+    uint32_t added = 0;
+    for (uint32_t tries = 0; added < add && tries < add * 10 && !pool.empty();
+         ++tries) {
+      const ScoredStructure& s = pool[rng->NextBounded(pool.size())];
+      bool ok = s.is_view ? variant.AddView(s.view) : variant.AddIndex(s.index);
+      if (ok) ++added;
+    }
+    if (variant.NumStructures() == 0) continue;
+    if (seen.insert(variant.Hash()).second) {
+      out.push_back(std::move(variant));
+    }
+  }
+  return out;
+}
+
+std::pair<ConfigId, ConfigId> FindConfigPair(
+    const std::vector<Configuration>& configs,
+    const std::vector<double>& totals, double target_gap, double min_overlap,
+    double max_overlap) {
+  PDX_CHECK(configs.size() == totals.size());
+  PDX_CHECK(configs.size() >= 2);
+  double best_score = std::numeric_limits<double>::infinity();
+  std::pair<ConfigId, ConfigId> best{0, 1};
+  bool found = false;
+  for (ConfigId a = 0; a < configs.size(); ++a) {
+    for (ConfigId b = a + 1; b < configs.size(); ++b) {
+      double hi = std::max(totals[a], totals[b]);
+      if (hi <= 0.0) continue;
+      double gap = std::abs(totals[a] - totals[b]) / hi;
+      double overlap = configs[a].StructureOverlap(configs[b]);
+      if (overlap < min_overlap || overlap > max_overlap) continue;
+      double score = std::abs(gap - target_gap);
+      if (score < best_score) {
+        best_score = score;
+        best = totals[a] <= totals[b] ? std::make_pair(a, b)
+                                      : std::make_pair(b, a);
+        found = true;
+      }
+    }
+  }
+  // Fall back to ignoring the overlap constraint rather than aborting.
+  if (!found) {
+    for (ConfigId a = 0; a < configs.size(); ++a) {
+      for (ConfigId b = a + 1; b < configs.size(); ++b) {
+        double hi = std::max(totals[a], totals[b]);
+        if (hi <= 0.0) continue;
+        double gap = std::abs(totals[a] - totals[b]) / hi;
+        double score = std::abs(gap - target_gap);
+        if (score < best_score) {
+          best_score = score;
+          best = totals[a] <= totals[b] ? std::make_pair(a, b)
+                                        : std::make_pair(b, a);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pdx

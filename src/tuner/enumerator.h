@@ -1,0 +1,79 @@
+// Copyright (c) the pdexplore authors.
+// Candidate-configuration enumeration. Physical design tools explore a
+// space of configurations assembled from per-query candidate structures;
+// the comparison primitive then selects among them. This enumerator
+// produces realistic candidate sets for the §7.2 experiments: benefit-
+// scored structures combined greedily and stochastically under a storage
+// budget, so that good configurations share their most valuable
+// structures (the cost covariance Delta Sampling exploits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "optimizer/candidate_gen.h"
+#include "optimizer/what_if.h"
+
+namespace pdx {
+
+/// Options for configuration enumeration.
+struct EnumeratorOptions {
+  /// Number of configurations to produce.
+  uint32_t num_configs = 50;
+  /// Storage budget per configuration; 0 = 40% of the database heap size.
+  uint64_t storage_budget_bytes = 0;
+  /// Queries sampled to score structure benefits.
+  uint32_t eval_sample_size = 150;
+  /// Probability scale of including high-benefit structures in the
+  /// randomized configurations (higher = more overlap with the greedy
+  /// configuration).
+  double greediness = 0.7;
+  CandidateGenOptions candidates;
+};
+
+/// A scored candidate structure (index or view).
+struct ScoredStructure {
+  /// Either an index or a view (exactly one is meaningful).
+  bool is_view = false;
+  Index index;
+  MaterializedView view;
+  double benefit = 0.0;
+  uint64_t storage_bytes = 0;
+};
+
+/// Scores all workload candidates by their standalone benefit on an
+/// evaluation sample, descending.
+std::vector<ScoredStructure> ScoreCandidates(const WhatIfOptimizer& optimizer,
+                                             const Workload& workload,
+                                             const EnumeratorOptions& options,
+                                             Rng* rng);
+
+/// Enumerates `options.num_configs` distinct configurations. The first is
+/// the pure greedy benefit-per-byte fill; the rest are randomized
+/// benefit-biased subsets. All respect the storage budget.
+std::vector<Configuration> EnumerateConfigurations(
+    const WhatIfOptimizer& optimizer, const Workload& workload,
+    const EnumeratorOptions& options, Rng* rng);
+
+/// Enumerates variants of `base` by randomly dropping `drop` structures
+/// and substituting up to `add` structures from the scored pool. Produces
+/// the clouds of near-optimal, heavily-overlapping configurations the
+/// §7.2 selection problems are made of. The base configuration itself is
+/// not included.
+std::vector<Configuration> EnumerateNeighborhood(
+    const Configuration& base, const std::vector<ScoredStructure>& pool,
+    uint32_t num_configs, uint32_t drop, uint32_t add, Rng* rng);
+
+/// Searches `configs` for the pair whose relative total-cost gap
+/// |cost_a - cost_b| / max(...) is closest to `target_gap`, optionally
+/// constraining structure overlap (Jaccard): pass min_overlap > 0 to
+/// demand shared structures, max_overlap < 1 to demand disjoint ones.
+/// `totals[c]` are exact workload totals. Returns indices into `configs`,
+/// cheaper configuration first.
+std::pair<ConfigId, ConfigId> FindConfigPair(
+    const std::vector<Configuration>& configs,
+    const std::vector<double>& totals, double target_gap, double min_overlap,
+    double max_overlap);
+
+}  // namespace pdx

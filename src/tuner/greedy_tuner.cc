@@ -1,0 +1,213 @@
+#include "tuner/greedy_tuner.h"
+
+#include <algorithm>
+
+namespace pdx {
+
+namespace {
+
+// CostSource over a workload subset and a per-round configuration set.
+class SubsetCostSource : public CostSource {
+ public:
+  SubsetCostSource(const WhatIfOptimizer& optimizer, const Workload& workload,
+                   const std::vector<QueryId>& ids,
+                   const std::vector<Configuration>& configs)
+      : optimizer_(optimizer),
+        workload_(workload),
+        ids_(ids),
+        configs_(configs) {}
+
+  double Cost(QueryId q, ConfigId c) override {
+    PDX_CHECK(q < ids_.size());
+    PDX_CHECK(c < configs_.size());
+    calls_ += 1;
+    return optimizer_.Cost(workload_.query(ids_[q]), configs_[c]);
+  }
+  size_t num_queries() const override { return ids_.size(); }
+  size_t num_configs() const override { return configs_.size(); }
+  TemplateId TemplateOf(QueryId q) const override {
+    return workload_.query(ids_[q]).template_id;
+  }
+  size_t num_templates() const override { return workload_.num_templates(); }
+  double OptimizeOverhead(QueryId q) const override {
+    return workload_.query(ids_[q]).optimize_overhead;
+  }
+  uint64_t num_calls() const override { return calls_; }
+  void ResetCallCounter() override { calls_ = 0; }
+
+ private:
+  const WhatIfOptimizer& optimizer_;
+  const Workload& workload_;
+  const std::vector<QueryId>& ids_;
+  const std::vector<Configuration>& configs_;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace
+
+double WeightedCost(const WhatIfOptimizer& optimizer, const Workload& workload,
+                    const std::vector<QueryId>& query_ids,
+                    const std::vector<double>& weights,
+                    const Configuration& config) {
+  PDX_CHECK(weights.empty() || weights.size() == query_ids.size());
+  double total = 0.0;
+  for (size_t i = 0; i < query_ids.size(); ++i) {
+    double w = weights.empty() ? 1.0 : weights[i];
+    total += w * optimizer.Cost(workload.query(query_ids[i]), config);
+  }
+  return total;
+}
+
+TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
+                      const Workload& workload,
+                      const std::vector<QueryId>& query_ids,
+                      const std::vector<double>& weights,
+                      const TunerOptions& options, Rng* rng) {
+  PDX_CHECK(rng != nullptr);
+  PDX_CHECK(!query_ids.empty());
+  const Schema& schema = workload.schema();
+  const uint64_t budget = options.storage_budget_bytes > 0
+                              ? options.storage_budget_bytes
+                              : schema.TotalHeapBytes() * 2 / 5;
+  const uint64_t calls_before = optimizer.num_calls();
+
+  TuneResult result;
+  result.config = options.base_config;
+  result.config.set_name("tuned");
+  result.initial_cost =
+      WeightedCost(optimizer, workload, query_ids, weights, result.config);
+
+  // Candidate pool: per-query candidates of the subset, deduplicated and
+  // pre-scored by standalone benefit on the subset (beam pruning).
+  CandidateGenerator gen(schema, options.candidates);
+  std::vector<ScoredStructure> pool;
+  {
+    std::unordered_map<uint64_t, size_t> seen;
+    for (QueryId qid : query_ids) {
+      QueryCandidates qc = gen.ForQuery(workload.query(qid));
+      for (Index& idx : qc.indexes) {
+        uint64_t h = idx.Hash();
+        if (seen.emplace(h, pool.size()).second) {
+          ScoredStructure s;
+          s.is_view = false;
+          s.index = std::move(idx);
+          s.storage_bytes = s.index.StorageBytes(schema);
+          pool.push_back(std::move(s));
+        }
+      }
+      for (MaterializedView& v : qc.views) {
+        uint64_t h = v.Hash();
+        if (seen.emplace(h, pool.size()).second) {
+          ScoredStructure s;
+          s.is_view = true;
+          s.view = std::move(v);
+          s.storage_bytes = s.view.StorageBytes(schema);
+          pool.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  // Scoring set: the full tuning set, or a uniform subsample of it.
+  std::vector<QueryId> scoring_ids = query_ids;
+  std::vector<double> scoring_weights = weights;
+  if (options.scoring_sample_size > 0 &&
+      options.scoring_sample_size < query_ids.size()) {
+    std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+        query_ids.size(), options.scoring_sample_size);
+    scoring_ids.clear();
+    scoring_weights.clear();
+    for (uint32_t i : picks) {
+      scoring_ids.push_back(query_ids[i]);
+      if (!weights.empty()) scoring_weights.push_back(weights[i]);
+    }
+  }
+  double scoring_base_cost = WeightedCost(optimizer, workload, scoring_ids,
+                                          scoring_weights, result.config);
+  for (ScoredStructure& s : pool) {
+    // Standalone benefit on top of the deployed base configuration.
+    Configuration single = options.base_config;
+    if (s.is_view) {
+      single.AddView(s.view);
+    } else {
+      single.AddIndex(s.index);
+    }
+    s.benefit = scoring_base_cost - WeightedCost(optimizer, workload,
+                                                 scoring_ids, scoring_weights,
+                                                 single);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const ScoredStructure& a, const ScoredStructure& b) {
+              return a.benefit > b.benefit;
+            });
+  if (pool.size() > options.beam_width) pool.resize(options.beam_width);
+
+  double current_cost = result.initial_cost;
+  std::vector<bool> used(pool.size(), false);
+  uint64_t used_bytes = 0;
+
+  for (uint32_t round = 0; round < options.max_structures; ++round) {
+    // Collect feasible extensions.
+    std::vector<size_t> feasible;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (!used[i] && used_bytes + pool[i].storage_bytes <= budget) {
+        feasible.push_back(i);
+      }
+    }
+    if (feasible.empty()) break;
+
+    auto extend = [&](size_t i) {
+      Configuration ext = result.config;
+      if (pool[i].is_view) {
+        ext.AddView(pool[i].view);
+      } else {
+        ext.AddIndex(pool[i].index);
+      }
+      return ext;
+    };
+
+    int64_t winner = -1;
+    double winner_cost = current_cost;
+    if (options.use_comparison_primitive) {
+      PDX_CHECK_MSG(weights.empty(),
+                    "comparison-primitive tuning requires unit weights");
+      // Configs: current (index 0) plus each extension; the primitive
+      // picks the best with probabilistic guarantees.
+      std::vector<Configuration> round_configs;
+      round_configs.push_back(result.config);
+      for (size_t i : feasible) round_configs.push_back(extend(i));
+      SubsetCostSource source(optimizer, workload, query_ids, round_configs);
+      ConfigurationSelector selector(&source, options.selector);
+      SelectionResult sel = selector.Run(rng);
+      if (sel.best == 0) break;  // keeping the current configuration wins
+      winner = static_cast<int64_t>(feasible[sel.best - 1]);
+      winner_cost = WeightedCost(optimizer, workload, query_ids, weights,
+                                 round_configs[sel.best]);
+    } else {
+      for (size_t i : feasible) {
+        double c =
+            WeightedCost(optimizer, workload, query_ids, weights, extend(i));
+        if (c < winner_cost) {
+          winner_cost = c;
+          winner = static_cast<int64_t>(i);
+        }
+      }
+    }
+
+    if (winner < 0 || winner_cost >= current_cost) break;
+    size_t w = static_cast<size_t>(winner);
+    if (pool[w].is_view) {
+      result.config.AddView(pool[w].view);
+    } else {
+      result.config.AddIndex(pool[w].index);
+    }
+    used[w] = true;
+    used_bytes += pool[w].storage_bytes;
+    current_cost = winner_cost;
+  }
+
+  result.final_cost = current_cost;
+  result.optimizer_calls = optimizer.num_calls() - calls_before;
+  return result;
+}
+
+}  // namespace pdx

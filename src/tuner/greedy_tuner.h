@@ -1,0 +1,71 @@
+// Copyright (c) the pdexplore authors.
+// A small greedy physical-design tuner. Used by the §7.3 experiments to
+// measure end-to-end tuning quality when the input workload is compressed
+// ([5]/[20]) versus sampled (this paper), and as a demonstration of the
+// comparison primitive as "the core comparison primitive inside an
+// automated physical design tool".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/selector.h"
+#include "tuner/enumerator.h"
+
+namespace pdx {
+
+/// Options for the greedy tuner.
+struct TunerOptions {
+  /// Storage budget; 0 = 40% of the database heap size.
+  uint64_t storage_budget_bytes = 0;
+  /// Maximum structures added.
+  uint32_t max_structures = 12;
+  /// Candidates kept after the initial scoring round (greedy beam).
+  uint32_t beam_width = 24;
+  /// Queries used for the initial per-structure benefit scoring; 0 scores
+  /// on the full tuning set (exact but |candidates| * |WL| optimizer
+  /// calls).
+  uint32_t scoring_sample_size = 0;
+  /// Structures already deployed: tuning starts from this configuration,
+  /// candidates are added on top, and improvement is measured against it.
+  Configuration base_config;
+  /// When true, each greedy round selects the winning extension with the
+  /// sampling-based comparison primitive instead of exact evaluation.
+  bool use_comparison_primitive = false;
+  /// Selector settings for the primitive-driven mode.
+  SelectorOptions selector;
+  CandidateGenOptions candidates;
+};
+
+/// Tuning outcome.
+struct TuneResult {
+  Configuration config;
+  /// Cost of the (weighted) tuning workload before/after, exact.
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  /// Optimizer calls spent tuning.
+  uint64_t optimizer_calls = 0;
+
+  double Improvement() const {
+    return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;
+  }
+};
+
+/// Greedily tunes the (sub-)workload given by `query_ids` with per-query
+/// `weights` (e.g. cluster sizes from compression; pass empty for unit
+/// weights). Queries refer to `workload` ids.
+TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
+                      const Workload& workload,
+                      const std::vector<QueryId>& query_ids,
+                      const std::vector<double>& weights,
+                      const TunerOptions& options, Rng* rng);
+
+/// Exact weighted cost of a query set under a configuration (one optimizer
+/// call per query).
+double WeightedCost(const WhatIfOptimizer& optimizer, const Workload& workload,
+                    const std::vector<QueryId>& query_ids,
+                    const std::vector<double>& weights,
+                    const Configuration& config);
+
+}  // namespace pdx

@@ -1,0 +1,35 @@
+// Copyright (c) the pdexplore authors.
+// Trace-style workload generation for the CRM-like schema. The paper's
+// real-life workload was captured with a trace tool: "about 6K queries,
+// inserts, updates and deletes" over ">120 distinct templates". We emit a
+// statement mix with the same gross shape: OLTP point reads and writes on
+// hot tables, occasional reporting joins, Zipf-skewed template popularity.
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/crm_schema.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// Options for CRM trace generation.
+struct CrmTraceOptions {
+  /// Number of statements (paper: ~6000).
+  uint32_t num_statements = 6000;
+  /// Number of distinct templates to synthesize (paper: > 120).
+  uint32_t num_templates = 130;
+  /// Skew of template popularity in the trace.
+  double template_skew = 0.6;
+  /// Fraction of DML templates (inserts + updates + deletes).
+  double dml_template_fraction = 0.35;
+  /// Seed for deterministic generation.
+  uint64_t seed = 19991231;
+};
+
+/// Generates a CRM trace workload against `schema` (built by MakeCrmSchema).
+Workload GenerateCrmTrace(const Schema& schema,
+                          const CrmTraceOptions& options = {});
+
+}  // namespace pdx

@@ -1,0 +1,38 @@
+#include "workload/query.h"
+
+#include "common/macros.h"
+
+namespace pdx {
+
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return "SELECT";
+    case StatementKind::kInsert:
+      return "INSERT";
+    case StatementKind::kUpdate:
+      return "UPDATE";
+    case StatementKind::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+double TableAccess::CombinedSelectivity() const {
+  double sel = 1.0;
+  for (const Predicate& p : predicates) {
+    PDX_CHECK(p.selectivity > 0.0 && p.selectivity <= 1.0);
+    sel *= p.selectivity;
+  }
+  return sel;
+}
+
+double TableAccess::SargableSelectivityOn(ColumnId column) const {
+  double sel = 1.0;
+  for (const Predicate& p : predicates) {
+    if (p.sargable && p.column.column == column) sel *= p.selectivity;
+  }
+  return sel;
+}
+
+}  // namespace pdx

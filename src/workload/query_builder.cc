@@ -1,0 +1,182 @@
+#include "workload/query_builder.h"
+
+#include <algorithm>
+
+namespace pdx {
+
+uint32_t QueryBuilder::AddAccess(TableId table) {
+  PDX_CHECK(table < schema_.num_tables());
+  TableAccess access;
+  access.table = table;
+  spec_.accesses.push_back(std::move(access));
+  return static_cast<uint32_t>(spec_.accesses.size() - 1);
+}
+
+ColumnId QueryBuilder::Col(uint32_t a, std::string_view name) const {
+  PDX_CHECK(a < spec_.accesses.size());
+  ColumnId id = schema_.table(spec_.accesses[a].table).FindColumn(name);
+  PDX_CHECK_MSG(id != kInvalidColumnId, std::string(name).c_str());
+  return id;
+}
+
+void QueryBuilder::AddSampledEq(uint32_t a, ColumnId col) {
+  PDX_CHECK(a < spec_.accesses.size());
+  TableAccess& access = spec_.accesses[a];
+  const Column& column = schema_.table(access.table).columns[col];
+  ColumnStatistics stats(column);
+  uint64_t rank = stats.SampleValueRank(rng_);
+  AddEq(a, col, rank);
+}
+
+void QueryBuilder::AddEq(uint32_t a, ColumnId col, uint64_t value_rank) {
+  PDX_CHECK(a < spec_.accesses.size());
+  TableAccess& access = spec_.accesses[a];
+  const Column& column = schema_.table(access.table).columns[col];
+  ColumnStatistics stats(column);
+  Predicate p;
+  p.column = {access.table, col};
+  p.op = PredOp::kEq;
+  p.selectivity = stats.EqualitySelectivity(value_rank);
+  p.value_rank = value_rank;
+  access.predicates.push_back(p);
+}
+
+void QueryBuilder::AddSampledRange(uint32_t a, ColumnId col,
+                                   double lo_fraction, double hi_fraction) {
+  PDX_CHECK(a < spec_.accesses.size());
+  PDX_CHECK(lo_fraction > 0.0 && lo_fraction <= hi_fraction &&
+            hi_fraction <= 1.0);
+  TableAccess& access = spec_.accesses[a];
+  const Column& column = schema_.table(access.table).columns[col];
+  ColumnStatistics stats(column);
+  Predicate p;
+  p.column = {access.table, col};
+  p.op = PredOp::kRange;
+  p.domain_fraction = rng_->NextDouble(lo_fraction, hi_fraction);
+  p.selectivity = stats.RangeSelectivity(p.domain_fraction);
+  access.predicates.push_back(p);
+}
+
+void QueryBuilder::AddUnsargable(uint32_t a, ColumnId col,
+                                 double selectivity) {
+  PDX_CHECK(a < spec_.accesses.size());
+  PDX_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  TableAccess& access = spec_.accesses[a];
+  Predicate p;
+  p.column = {access.table, col};
+  p.op = PredOp::kLike;
+  p.selectivity = selectivity;
+  p.sargable = false;
+  access.predicates.push_back(p);
+}
+
+void QueryBuilder::AddJoin(uint32_t left, uint32_t right, ColumnId left_col,
+                           ColumnId right_col) {
+  PDX_CHECK(left < spec_.accesses.size());
+  PDX_CHECK(right < spec_.accesses.size());
+  PDX_CHECK(left != right);
+  JoinEdge e;
+  e.left_access = left;
+  e.right_access = right;
+  e.left_column = left_col;
+  e.right_column = right_col;
+  spec_.joins.push_back(e);
+}
+
+void QueryBuilder::GroupBy(uint32_t a, ColumnId col) {
+  PDX_CHECK(a < spec_.accesses.size());
+  spec_.group_by.push_back({spec_.accesses[a].table, col});
+}
+
+void QueryBuilder::OrderBy(uint32_t a, ColumnId col) {
+  PDX_CHECK(a < spec_.accesses.size());
+  spec_.order_by.push_back({spec_.accesses[a].table, col});
+}
+
+void QueryBuilder::Refer(uint32_t a, std::initializer_list<ColumnId> cols) {
+  PDX_CHECK(a < spec_.accesses.size());
+  TableAccess& access = spec_.accesses[a];
+  access.referenced_columns.insert(access.referenced_columns.end(),
+                                   cols.begin(), cols.end());
+}
+
+void QueryBuilder::FoldReferencedColumns() {
+  // Fold predicate, join, group-by and order-by columns into each access's
+  // referenced set, then deduplicate.
+  for (TableAccess& a : spec_.accesses) {
+    for (const Predicate& p : a.predicates) {
+      a.referenced_columns.push_back(p.column.column);
+    }
+  }
+  for (const JoinEdge& j : spec_.joins) {
+    spec_.accesses[j.left_access].referenced_columns.push_back(j.left_column);
+    spec_.accesses[j.right_access].referenced_columns.push_back(
+        j.right_column);
+  }
+  auto fold_refs = [&](const std::vector<ColumnRef>& refs) {
+    for (const ColumnRef& r : refs) {
+      for (TableAccess& a : spec_.accesses) {
+        if (a.table == r.table) {
+          a.referenced_columns.push_back(r.column);
+          break;
+        }
+      }
+    }
+  };
+  fold_refs(spec_.group_by);
+  fold_refs(spec_.order_by);
+  for (TableAccess& a : spec_.accesses) {
+    std::sort(a.referenced_columns.begin(), a.referenced_columns.end());
+    a.referenced_columns.erase(
+        std::unique(a.referenced_columns.begin(), a.referenced_columns.end()),
+        a.referenced_columns.end());
+  }
+}
+
+Query QueryBuilder::BuildSelect(TemplateId template_id) {
+  FoldReferencedColumns();
+  Query q;
+  q.template_id = template_id;
+  q.kind = StatementKind::kSelect;
+  q.select = std::move(spec_);
+  // Optimization overhead grows with join count (§5.2's non-constant
+  // optimization times).
+  q.optimize_overhead = 1.0 + 0.35 * static_cast<double>(q.select.joins.size());
+  spec_ = SelectSpec();
+  return q;
+}
+
+Query QueryBuilder::BuildDml(TemplateId template_id, StatementKind kind,
+                             TableId table, std::vector<ColumnId> set_columns,
+                             double selectivity) {
+  PDX_CHECK(kind != StatementKind::kSelect);
+  FoldReferencedColumns();
+  Query q;
+  q.template_id = template_id;
+  q.kind = kind;
+  q.select = std::move(spec_);
+  spec_ = SelectSpec();
+
+  UpdateSpec u;
+  u.table = table;
+  u.kind = kind;
+  u.set_columns = std::move(set_columns);
+  if (selectivity > 0.0) {
+    u.selectivity = selectivity;
+  } else if (kind == StatementKind::kInsert) {
+    u.selectivity = 1.0 / static_cast<double>(
+                              std::max<uint64_t>(1, schema_.table(table).row_count));
+  } else {
+    // Derive from the WHERE clause of the SELECT part.
+    double sel = 1.0;
+    for (const TableAccess& a : q.select.accesses) {
+      if (a.table == table) sel = a.CombinedSelectivity();
+    }
+    u.selectivity = std::clamp(sel, 1e-12, 1.0);
+  }
+  q.update = std::move(u);
+  q.optimize_overhead = 1.0;
+  return q;
+}
+
+}  // namespace pdx

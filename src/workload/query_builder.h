@@ -1,0 +1,74 @@
+// Copyright (c) the pdexplore authors.
+// Fluent helper for constructing Query IR from catalog statistics. Shared
+// by the TPC-D and CRM workload generators and by tests.
+#pragma once
+
+#include <initializer_list>
+#include <string_view>
+
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/rng.h"
+#include "workload/query.h"
+
+namespace pdx {
+
+/// Builds one Query. Selectivities of sampled predicates come from the
+/// referenced column's statistics, so repeated builds of the same template
+/// produce the within-template selectivity spread QGEN-style binding has.
+class QueryBuilder {
+ public:
+  QueryBuilder(const Schema& schema, Rng* rng) : schema_(schema), rng_(rng) {
+    PDX_CHECK(rng != nullptr);
+  }
+
+  /// Adds a FROM-clause table; returns its access index.
+  uint32_t AddAccess(TableId table);
+
+  /// Column id by name on the table of access `a` (aborts if missing).
+  ColumnId Col(uint32_t a, std::string_view name) const;
+
+  /// Adds `col = ?` with the literal's frequency rank sampled from the
+  /// column's value distribution (popular values are queried more often).
+  void AddSampledEq(uint32_t a, ColumnId col);
+
+  /// Adds `col = ?` with a fixed frequency rank.
+  void AddEq(uint32_t a, ColumnId col, uint64_t value_rank);
+
+  /// Adds a range predicate covering a domain fraction drawn uniformly
+  /// from [lo_fraction, hi_fraction].
+  void AddSampledRange(uint32_t a, ColumnId col, double lo_fraction,
+                       double hi_fraction);
+
+  /// Adds an unsargable filter (e.g. LIKE '%x%') with the given selectivity.
+  void AddUnsargable(uint32_t a, ColumnId col, double selectivity);
+
+  /// Adds an equi-join edge between two accesses.
+  void AddJoin(uint32_t left, uint32_t right, ColumnId left_col,
+               ColumnId right_col);
+
+  void GroupBy(uint32_t a, ColumnId col);
+  void OrderBy(uint32_t a, ColumnId col);
+  void SetAggregates(uint32_t n) { spec_.num_aggregates = n; }
+
+  /// Marks columns of access `a` as referenced by the query output.
+  void Refer(uint32_t a, std::initializer_list<ColumnId> cols);
+
+  /// Finalizes a SELECT query (referenced-column sets are deduplicated and
+  /// join/predicate/grouping columns folded in automatically).
+  Query BuildSelect(TemplateId template_id);
+
+  /// Finalizes DML: kind is kInsert/kUpdate/kDelete; `selectivity` is the
+  /// affected-row fraction (pass 0 to derive it from the WHERE clause).
+  Query BuildDml(TemplateId template_id, StatementKind kind, TableId table,
+                 std::vector<ColumnId> set_columns, double selectivity = 0.0);
+
+ private:
+  void FoldReferencedColumns();
+
+  const Schema& schema_;
+  Rng* rng_;
+  SelectSpec spec_;
+};
+
+}  // namespace pdx

@@ -1,0 +1,239 @@
+#include "workload/sql_text.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+std::string ColumnName(const Schema& schema, const ColumnRef& ref) {
+  return schema.table(ref.table).columns[ref.column].name;
+}
+
+std::string LiteralFor(const Column& column, const Predicate& pred) {
+  switch (pred.op) {
+    case PredOp::kEq:
+    case PredOp::kIn:
+      switch (column.type) {
+        case DataType::kChar:
+        case DataType::kVarchar:
+          return StringFormat("'v%llu'",
+                              static_cast<unsigned long long>(pred.value_rank));
+        case DataType::kDate:
+          return StringFormat("DATE '1998-%02u-%02u'",
+                              static_cast<unsigned>(pred.value_rank % 12 + 1),
+                              static_cast<unsigned>(pred.value_rank % 28 + 1));
+        default:
+          return StringFormat("%llu",
+                              static_cast<unsigned long long>(pred.value_rank));
+      }
+    case PredOp::kRange:
+      return FormatDouble(pred.domain_fraction * 1000.0, 2);
+    case PredOp::kLike:
+      return StringFormat("'%%v%llu%%'",
+                          static_cast<unsigned long long>(pred.value_rank));
+  }
+  return "?";
+}
+
+const char* OpText(PredOp op) {
+  switch (op) {
+    case PredOp::kEq:
+      return "=";
+    case PredOp::kRange:
+      return "<";
+    case PredOp::kLike:
+      return "LIKE";
+    case PredOp::kIn:
+      return "IN";
+  }
+  return "=";
+}
+
+void RenderPredicates(const Schema& schema, const SelectSpec& spec,
+                      std::ostringstream* os) {
+  bool first = true;
+  for (const TableAccess& a : spec.accesses) {
+    const Table& t = schema.table(a.table);
+    for (const Predicate& p : a.predicates) {
+      *os << (first ? " WHERE " : " AND ");
+      first = false;
+      const Column& col = t.columns[p.column.column];
+      *os << t.name << "." << col.name << " " << OpText(p.op) << " "
+          << LiteralFor(col, p);
+    }
+  }
+  for (const JoinEdge& j : spec.joins) {
+    *os << (first ? " WHERE " : " AND ");
+    first = false;
+    const Table& lt = schema.table(spec.accesses[j.left_access].table);
+    const Table& rt = schema.table(spec.accesses[j.right_access].table);
+    *os << lt.name << "." << lt.columns[j.left_column].name << " = " << rt.name
+        << "." << rt.columns[j.right_column].name;
+  }
+}
+
+std::string RenderSelect(const Schema& schema, const SelectSpec& spec) {
+  std::ostringstream os;
+  os << "SELECT ";
+  bool first = true;
+  for (uint32_t i = 0; i < spec.num_aggregates; ++i) {
+    os << (first ? "" : ", ") << "SUM(expr" << i << ")";
+    first = false;
+  }
+  for (const ColumnRef& g : spec.group_by) {
+    os << (first ? "" : ", ") << schema.table(g.table).name << "."
+       << ColumnName(schema, g);
+    first = false;
+  }
+  if (first) {
+    // Plain column output: render the referenced columns of the first table.
+    const TableAccess& a = spec.accesses.front();
+    const Table& t = schema.table(a.table);
+    for (ColumnId c : a.referenced_columns) {
+      os << (first ? "" : ", ") << t.name << "." << t.columns[c].name;
+      first = false;
+    }
+    if (first) os << "*";
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < spec.accesses.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << schema.table(spec.accesses[i].table).name;
+  }
+  RenderPredicates(schema, spec, &os);
+  if (!spec.group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < spec.group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << schema.table(spec.group_by[i].table).name << "."
+         << ColumnName(schema, spec.group_by[i]);
+    }
+  }
+  if (!spec.order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < spec.order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << schema.table(spec.order_by[i].table).name << "."
+         << ColumnName(schema, spec.order_by[i]);
+    }
+  }
+  return os.str();
+}
+
+std::string RenderDml(const Schema& schema, const Query& query) {
+  const UpdateSpec& u = *query.update;
+  const Table& t = schema.table(u.table);
+  std::ostringstream os;
+  switch (u.kind) {
+    case StatementKind::kInsert: {
+      os << "INSERT INTO " << t.name << " (";
+      for (size_t i = 0; i < u.set_columns.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << t.columns[u.set_columns[i]].name;
+      }
+      os << ") VALUES (";
+      for (size_t i = 0; i < u.set_columns.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << i;
+      }
+      os << ")";
+      break;
+    }
+    case StatementKind::kUpdate: {
+      os << "UPDATE " << t.name << " SET ";
+      for (size_t i = 0; i < u.set_columns.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << t.columns[u.set_columns[i]].name << " = " << i;
+      }
+      break;
+    }
+    case StatementKind::kDelete:
+      os << "DELETE FROM " << t.name;
+      break;
+    case StatementKind::kSelect:
+      PDX_CHECK_MSG(false, "RenderDml on SELECT");
+  }
+  if (u.kind != StatementKind::kInsert && !query.select.accesses.empty()) {
+    std::ostringstream preds;
+    RenderPredicates(schema, query.select, &preds);
+    os << preds.str();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderSql(const Schema& schema, const Query& query) {
+  if (query.kind == StatementKind::kSelect) {
+    return RenderSelect(schema, query.select);
+  }
+  return RenderDml(schema, query);
+}
+
+std::string NormalizeSqlTemplate(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  bool last_space = false;
+  auto push = [&](char c) {
+    if (c == ' ') {
+      if (last_space || out.empty()) return;
+      last_space = true;
+    } else {
+      last_space = false;
+    }
+    out.push_back(c);
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (c == '\'') {
+      // String literal: skip to closing quote (doubled quotes escape).
+      ++i;
+      while (i < sql.size()) {
+        if (sql[i] == '\'' &&
+            (i + 1 >= sql.size() || sql[i + 1] != '\'')) {
+          ++i;
+          break;
+        }
+        i += sql[i] == '\'' ? 2 : 1;
+      }
+      push('?');
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (out.empty() ||
+         (!std::isalnum(static_cast<unsigned char>(out.back())) &&
+          out.back() != '_'))) {
+      // Numeric literal (not part of an identifier): consume digits,
+      // decimal point, exponent.
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > 0 &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      push('?');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      push(' ');
+      ++i;
+      continue;
+    }
+    push(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    ++i;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+uint64_t SqlTemplateSignature(std::string_view sql) {
+  return Fnv1aHash(NormalizeSqlTemplate(sql));
+}
+
+}  // namespace pdx

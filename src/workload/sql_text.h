@@ -1,0 +1,34 @@
+// Copyright (c) the pdexplore authors.
+// SQL text rendering and template-signature extraction.
+//
+// The paper's preprocessing step stores query *strings* in a workload table
+// keyed by id and template; templates ("signatures"/"skeletons") identify
+// queries that are identical up to constant bindings. We render our query
+// IR to SQL so workloads can round-trip through the file-backed store, and
+// we extract signatures from raw SQL by literal normalization — the
+// "parsing the queries" route the paper mentions, which costs a small
+// fraction of optimization.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "catalog/schema.h"
+#include "workload/query.h"
+
+namespace pdx {
+
+/// Renders a query to SQL text against the given schema. The output is
+/// deterministic, and two queries of the same template render to texts with
+/// identical signatures (see NormalizeSqlTemplate).
+std::string RenderSql(const Schema& schema, const Query& query);
+
+/// Normalizes SQL text to its template skeleton: lower-cases keywords and
+/// identifiers, collapses whitespace, and replaces numeric and string
+/// literals with '?' placeholders.
+std::string NormalizeSqlTemplate(std::string_view sql);
+
+/// 64-bit signature of the normalized template text.
+uint64_t SqlTemplateSignature(std::string_view sql);
+
+}  // namespace pdx

@@ -1,0 +1,39 @@
+// Copyright (c) the pdexplore authors.
+// QGEN-like workload generation for the TPC-D schema. The paper uses "a
+// workload consisting of about 13K queries, generated using the standard
+// QGEN tool" (and a 131K-query variant for the CLT experiment). QGEN
+// instantiates each of the benchmark's query templates with randomly bound
+// parameters; we mirror that: 22 TPC-H-style templates (joins of 1-6
+// tables, grouping, ordering) plus two single-value-lookup templates, each
+// instantiated with parameters drawn from the Zipf-skewed catalog
+// statistics, so per-template cost variance is small while cross-template
+// costs span multiple orders of magnitude.
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/tpcd_schema.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// Options for TPC-D workload generation.
+struct TpcdWorkloadOptions {
+  /// Number of statements to generate (paper: ~13000 / ~131000 / 2000).
+  uint32_t num_queries = 13000;
+  /// Seed for deterministic generation.
+  uint64_t seed = 20060406;
+  /// Include the two cheap single-value-lookup templates in the mix.
+  bool include_point_lookups = true;
+  /// Skew of template popularity; 0 = queries spread evenly across
+  /// templates (QGEN's behaviour), > 0 = Zipf-weighted template choice.
+  double template_skew = 0.0;
+};
+
+/// Generates a TPC-D workload against `schema` (which must have been built
+/// by MakeTpcdSchema).
+Workload GenerateTpcdWorkload(const Schema& schema,
+                              const TpcdWorkloadOptions& options = {});
+
+}  // namespace pdx

@@ -1,0 +1,221 @@
+#include "workload/workload_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace pdx {
+
+namespace {
+// Record format: "<id>\t<template>\t<sql-with-escaped-newlines>\n".
+std::string EscapeSql(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  for (char c : sql) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeSql(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size()) {
+      ++i;
+      out.push_back(raw[i] == 'n' ? '\n' : raw[i]);
+    } else {
+      out.push_back(raw[i]);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+WorkloadStore::~WorkloadStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+WorkloadStore::WorkloadStore(WorkloadStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+WorkloadStore& WorkloadStore::operator=(WorkloadStore&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  path_ = std::move(other.path_);
+  file_ = other.file_;
+  writable_ = other.writable_;
+  index_ = std::move(other.index_);
+  other.file_ = nullptr;
+  return *this;
+}
+
+Result<WorkloadStore> WorkloadStore::Create(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create workload store at '" + path + "'");
+  }
+  WorkloadStore store;
+  store.path_ = path;
+  store.file_ = f;
+  store.writable_ = true;
+  return store;
+}
+
+Result<WorkloadStore> WorkloadStore::Open(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open workload store at '" + path + "'");
+  }
+  WorkloadStore store;
+  store.path_ = path;
+  store.file_ = f;
+  store.writable_ = false;
+
+  // One scan to rebuild the index.
+  uint64_t offset = 0;
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  while ((len = getline(&line, &cap, f)) != -1) {
+    unsigned long long id = 0, tmpl = 0;
+    if (std::sscanf(line, "%llu\t%llu\t", &id, &tmpl) != 2) {
+      std::free(line);
+      return Status::IOError("corrupt record at offset " +
+                             std::to_string(offset));
+    }
+    if (id != store.index_.size()) {
+      std::free(line);
+      return Status::IOError("non-contiguous query id at offset " +
+                             std::to_string(offset));
+    }
+    store.index_.push_back({offset, static_cast<TemplateId>(tmpl)});
+    offset += static_cast<uint64_t>(len);
+  }
+  std::free(line);
+  return store;
+}
+
+Status WorkloadStore::Append(QueryId id, TemplateId template_id,
+                             std::string_view sql) {
+  if (!writable_ || file_ == nullptr) {
+    return Status::FailedPrecondition("store not open for writing");
+  }
+  if (id != index_.size()) {
+    return Status::InvalidArgument("ids must be appended contiguously");
+  }
+  // Interleaved reads may have moved the stream position.
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek-to-end failed");
+  }
+  long pos = std::ftell(file_);
+  if (pos < 0) return Status::IOError("ftell failed");
+  std::string esc = EscapeSql(sql);
+  if (std::fprintf(file_, "%u\t%u\t%s\n", id, template_id, esc.c_str()) < 0) {
+    return Status::IOError("write failed");
+  }
+  index_.push_back({static_cast<uint64_t>(pos), template_id});
+  return Status::OK();
+}
+
+Status WorkloadStore::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("store not open");
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+Status WorkloadStore::ParseRecordAt(uint64_t offset, StoredQuery* out) const {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len = getline(&line, &cap, file_);
+  if (len == -1) {
+    std::free(line);
+    return Status::IOError("read failed at offset " + std::to_string(offset));
+  }
+  std::string_view view(line, static_cast<size_t>(len));
+  if (!view.empty() && view.back() == '\n') view.remove_suffix(1);
+  size_t tab1 = view.find('\t');
+  size_t tab2 = view.find('\t', tab1 == std::string_view::npos ? 0 : tab1 + 1);
+  if (tab1 == std::string_view::npos || tab2 == std::string_view::npos) {
+    std::free(line);
+    return Status::IOError("corrupt record");
+  }
+  out->id = static_cast<QueryId>(
+      std::strtoull(std::string(view.substr(0, tab1)).c_str(), nullptr, 10));
+  out->template_id = static_cast<TemplateId>(std::strtoull(
+      std::string(view.substr(tab1 + 1, tab2 - tab1 - 1)).c_str(), nullptr,
+      10));
+  out->sql = UnescapeSql(view.substr(tab2 + 1));
+  std::free(line);
+  return Status::OK();
+}
+
+Result<StoredQuery> WorkloadStore::Read(QueryId id) const {
+  if (file_ == nullptr) return Status::FailedPrecondition("store not open");
+  if (id >= index_.size()) {
+    return Status::OutOfRange("query id " + std::to_string(id));
+  }
+  StoredQuery out;
+  PDX_RETURN_IF_ERROR(ParseRecordAt(index_[id].offset, &out));
+  return out;
+}
+
+Result<std::vector<StoredQuery>> WorkloadStore::ReadMany(
+    std::vector<QueryId> ids) const {
+  if (file_ == nullptr) return Status::FailedPrecondition("store not open");
+  // Visit records in file order: the single forward scan of the paper's
+  // preprocessing step.
+  std::sort(ids.begin(), ids.end());
+  std::vector<StoredQuery> out;
+  out.reserve(ids.size());
+  for (QueryId id : ids) {
+    if (id >= index_.size()) {
+      return Status::OutOfRange("query id " + std::to_string(id));
+    }
+    StoredQuery q;
+    PDX_RETURN_IF_ERROR(ParseRecordAt(index_[id].offset, &q));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<std::vector<StoredQuery>> WorkloadStore::SampleQueries(
+    size_t n, Rng* rng) const {
+  PDX_CHECK(rng != nullptr);
+  if (n > index_.size()) {
+    return Status::InvalidArgument("sample larger than store");
+  }
+  std::vector<uint32_t> chosen = rng->SampleWithoutReplacement(index_.size(), n);
+  std::vector<QueryId> ids(chosen.begin(), chosen.end());
+  return ReadMany(std::move(ids));
+}
+
+Result<TemplateId> WorkloadStore::TemplateOf(QueryId id) const {
+  if (id >= index_.size()) {
+    return Status::OutOfRange("query id " + std::to_string(id));
+  }
+  return index_[id].template_id;
+}
+
+std::vector<QueryId> WorkloadStore::IdsOfTemplate(TemplateId template_id) const {
+  std::vector<QueryId> out;
+  for (size_t i = 0; i < index_.size(); ++i) {
+    if (index_[i].template_id == template_id) {
+      out.push_back(static_cast<QueryId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace pdx

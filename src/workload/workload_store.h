@@ -1,0 +1,86 @@
+// Copyright (c) the pdexplore authors.
+// File-backed workload store — the paper's preprocessing structure:
+// "For workloads large enough that the query strings do not fit into
+// memory, we write all query strings to a database table, which also
+// contains the query's ID and template. ... we can obtain a random sample
+// of size n from this table by computing a random permutation of the query
+// IDs and then (using a single scan) reading the queries corresponding to
+// the first n IDs into memory."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pdx {
+
+/// One stored statement.
+struct StoredQuery {
+  QueryId id = 0;
+  TemplateId template_id = 0;
+  std::string sql;
+};
+
+/// Append-only on-disk store of (id, template, sql-text) records with an
+/// in-memory offset index. Sampling materializes only the sampled texts,
+/// reading them in a single forward scan regardless of sample order.
+class WorkloadStore {
+ public:
+  WorkloadStore() = default;
+  ~WorkloadStore();
+  WorkloadStore(WorkloadStore&&) noexcept;
+  WorkloadStore& operator=(WorkloadStore&&) noexcept;
+  PDX_DISALLOW_COPY(WorkloadStore);
+
+  /// Creates (truncates) a store at `path` for writing.
+  static Result<WorkloadStore> Create(const std::string& path);
+
+  /// Opens an existing store, rebuilding the offset index with one scan.
+  static Result<WorkloadStore> Open(const std::string& path);
+
+  /// Appends a record. Ids must be appended in increasing order.
+  Status Append(QueryId id, TemplateId template_id, std::string_view sql);
+
+  /// Flushes buffered writes to disk.
+  Status Flush();
+
+  /// Number of stored records.
+  size_t size() const { return index_.size(); }
+
+  /// Reads a single record by id.
+  Result<StoredQuery> Read(QueryId id) const;
+
+  /// Uniform random sample of `n` distinct records, loaded with a single
+  /// forward scan of the file (offsets are visited in increasing order).
+  Result<std::vector<StoredQuery>> SampleQueries(size_t n, Rng* rng) const;
+
+  /// Reads records for an explicit id set (also a single forward scan).
+  Result<std::vector<StoredQuery>> ReadMany(std::vector<QueryId> ids) const;
+
+  /// Template id of a record without reading its SQL text.
+  Result<TemplateId> TemplateOf(QueryId id) const;
+
+  /// All ids belonging to a template (for stratified sampling by template).
+  std::vector<QueryId> IdsOfTemplate(TemplateId template_id) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    uint64_t offset = 0;
+    TemplateId template_id = 0;
+  };
+
+  Status ParseRecordAt(uint64_t offset, StoredQuery* out) const;
+
+  std::string path_;
+  FILE* file_ = nullptr;  // open for append while writing; read otherwise
+  bool writable_ = false;
+  std::vector<Entry> index_;  // position == QueryId
+};
+
+}  // namespace pdx

@@ -1,0 +1,117 @@
+#include "core/batching.h"
+
+#include <gtest/gtest.h>
+
+#include "core/selector.h"
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SyntheticMatrix;
+
+ConfigId TrueBest(const MatrixCostSource& src) {
+  ConfigId best = 0;
+  for (ConfigId c = 1; c < src.num_configs(); ++c) {
+    if (src.TotalCost(c) < src.TotalCost(best)) best = c;
+  }
+  return best;
+}
+
+TEST(BatchingTest, SelectsCorrectlyOnClearGap) {
+  MatrixCostSource src = SyntheticMatrix(8000, 2, 8, 0.10, 85);
+  BatchingOptions opt;
+  opt.alpha = 0.9;
+  Rng rng(86);
+  BatchingResult r = BatchingCompare(&src, opt, &rng);
+  EXPECT_EQ(r.best, TrueBest(src));
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_GT(r.pr_cs, 0.9);
+}
+
+TEST(BatchingTest, NeedsMinBatchesBeforeStopping) {
+  MatrixCostSource src = SyntheticMatrix(8000, 2, 8, 0.5, 87);
+  BatchingOptions opt;
+  opt.alpha = 0.6;  // trivially reachable — but not before min batches
+  opt.batch_size = 100;
+  opt.min_batches = 5;
+  Rng rng(88);
+  BatchingResult r = BatchingCompare(&src, opt, &rng);
+  EXPECT_GE(r.queries_sampled, 2u * 5u * 100u);
+  for (uint32_t b : r.batches) EXPECT_GE(b, 5u);
+}
+
+TEST(BatchingTest, FarMoreExpensiveThanThePrimitive) {
+  // The §2 claim this baseline exists to demonstrate: at the same alpha,
+  // batch-means selection burns an order of magnitude more optimizer
+  // calls than the comparison primitive.
+  MatrixCostSource src = SyntheticMatrix(8000, 2, 8, 0.07, 89);
+  BatchingOptions bopt;
+  bopt.alpha = 0.9;
+  Rng rng1(90);
+  BatchingResult batching = BatchingCompare(&src, bopt, &rng1);
+
+  SelectorOptions sopt;
+  sopt.alpha = 0.9;
+  sopt.scheme = SamplingScheme::kDelta;
+  Rng rng2(90);
+  ConfigurationSelector sel(&src, sopt);
+  SelectionResult primitive = sel.Run(&rng2);
+
+  ASSERT_TRUE(batching.reached_target);
+  ASSERT_TRUE(primitive.reached_target);
+  EXPECT_GT(batching.optimizer_calls, 5 * primitive.optimizer_calls);
+}
+
+TEST(BatchingTest, MaxSamplesRespected) {
+  MatrixCostSource src = SyntheticMatrix(8000, 3, 8, 0.001, 91);
+  BatchingOptions opt;
+  opt.alpha = 0.999;
+  opt.max_samples = 1500;
+  Rng rng(92);
+  BatchingResult r = BatchingCompare(&src, opt, &rng);
+  EXPECT_LE(r.queries_sampled, 1500u);
+}
+
+TEST(BatchingTest, ExhaustionHandled) {
+  MatrixCostSource src = SyntheticMatrix(300, 2, 4, 0.02, 93);
+  BatchingOptions opt;
+  opt.alpha = 0.99;
+  opt.batch_size = 100;
+  Rng rng(94);
+  BatchingResult r = BatchingCompare(&src, opt, &rng);
+  // Each config's pool holds 300 queries -> at most 3 batches each.
+  for (uint32_t b : r.batches) EXPECT_LE(b, 3u);
+}
+
+TEST(BatchingTest, SingleConfigTrivial) {
+  MatrixCostSource src = SyntheticMatrix(100, 1, 4, 0.0, 95);
+  BatchingOptions opt;
+  Rng rng(96);
+  BatchingResult r = BatchingCompare(&src, opt, &rng);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_EQ(r.optimizer_calls, 0u);
+}
+
+TEST(BatchingTest, AccuracyMatchesClaimedAlpha) {
+  MatrixCostSource src = SyntheticMatrix(8000, 2, 8, 0.03, 97);
+  ConfigId truth = TrueBest(src);
+  int stopped = 0, correct = 0;
+  for (int t = 0; t < 30; ++t) {
+    BatchingOptions opt;
+    opt.alpha = 0.9;
+    Rng rng(980 + t);
+    BatchingResult r = BatchingCompare(&src, opt, &rng);
+    if (r.reached_target) {
+      ++stopped;
+      correct += r.best == truth ? 1 : 0;
+    }
+  }
+  if (stopped > 10) {
+    EXPECT_GE(static_cast<double>(correct) / stopped, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace pdx

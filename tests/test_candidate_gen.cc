@@ -1,0 +1,134 @@
+#include "optimizer/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+class CandidateGenTest : public ::testing::Test {
+ protected:
+  CandidateGenTest()
+      : schema_(SmallTpcdSchema()),
+        wl_(SmallTpcdWorkload(schema_, 240)),
+        gen_(schema_) {}
+
+  Schema schema_;
+  Workload wl_;
+  CandidateGenerator gen_;
+};
+
+TEST_F(CandidateGenTest, EveryQueryWithSargablePredicatesGetsIndexes) {
+  for (const Query& q : wl_.queries()) {
+    bool has_sargable = false;
+    for (const TableAccess& a : q.select.accesses) {
+      for (const Predicate& p : a.predicates) has_sargable |= p.sargable;
+    }
+    if (!has_sargable && q.select.joins.empty()) continue;
+    QueryCandidates c = gen_.ForQuery(q);
+    EXPECT_FALSE(c.indexes.empty()) << "query " << q.id;
+  }
+}
+
+TEST_F(CandidateGenTest, CandidateIndexesAreValid) {
+  for (QueryId q = 0; q < wl_.size(); q += 5) {
+    QueryCandidates c = gen_.ForQuery(wl_.query(q));
+    for (const Index& i : c.indexes) {
+      ASSERT_LT(i.table, schema_.num_tables());
+      EXPECT_FALSE(i.key_columns.empty());
+      const Table& t = schema_.table(i.table);
+      for (ColumnId col : i.key_columns) ASSERT_LT(col, t.columns.size());
+      for (ColumnId col : i.include_columns) {
+        ASSERT_LT(col, t.columns.size());
+        // Includes must not duplicate keys.
+        EXPECT_EQ(std::find(i.key_columns.begin(), i.key_columns.end(), col),
+                  i.key_columns.end());
+      }
+    }
+  }
+}
+
+TEST_F(CandidateGenTest, CoveringVariantCoversReferencedColumns) {
+  for (const Query& q : wl_.queries()) {
+    if (q.select.accesses.size() != 1) continue;
+    const TableAccess& a = q.select.accesses[0];
+    if (a.predicates.empty()) continue;
+    QueryCandidates c = gen_.ForQuery(q);
+    bool any_covering = false;
+    for (const Index& i : c.indexes) {
+      if (i.Covers(a.referenced_columns)) any_covering = true;
+    }
+    if (!c.indexes.empty()) {
+      EXPECT_TRUE(any_covering) << "query " << q.id;
+    }
+  }
+}
+
+TEST_F(CandidateGenTest, ViewCandidatesForMultiJoinQueries) {
+  size_t with_views = 0;
+  for (const Query& q : wl_.queries()) {
+    QueryCandidates c = gen_.ForQuery(q);
+    if (q.select.joins.size() >= 2) {
+      EXPECT_FALSE(c.views.empty()) << "query " << q.id;
+    }
+    if (!c.views.empty()) {
+      ++with_views;
+      const MaterializedView& v = c.views[0];
+      EXPECT_EQ(v.tables.size(), q.select.accesses.size());
+      EXPECT_TRUE(std::is_sorted(v.tables.begin(), v.tables.end()));
+      EXPECT_GT(v.row_count, 0u);
+    }
+  }
+  EXPECT_GT(with_views, 0u);
+}
+
+TEST_F(CandidateGenTest, NoIndexesOnTinyTables) {
+  CandidateGenOptions opt;
+  opt.min_table_pages = 1000000;  // everything is "tiny"
+  CandidateGenerator strict(schema_, opt);
+  for (QueryId q = 0; q < wl_.size(); q += 7) {
+    EXPECT_TRUE(strict.ForQuery(wl_.query(q)).indexes.empty());
+  }
+}
+
+TEST_F(CandidateGenTest, WorkloadCandidatesDeduplicated) {
+  QueryCandidates all = gen_.ForWorkload(wl_);
+  std::set<uint64_t> idx_hashes;
+  for (const Index& i : all.indexes) {
+    EXPECT_TRUE(idx_hashes.insert(i.Hash()).second) << "duplicate index";
+  }
+  std::set<uint64_t> view_hashes;
+  for (const MaterializedView& v : all.views) {
+    EXPECT_TRUE(view_hashes.insert(v.Hash()).second) << "duplicate view";
+  }
+  EXPECT_GT(all.indexes.size(), 10u);
+}
+
+TEST_F(CandidateGenTest, RichConfigurationHoldsAllCandidates) {
+  QueryCandidates all = gen_.ForWorkload(wl_);
+  Configuration rich = gen_.RichConfiguration(wl_);
+  EXPECT_EQ(rich.indexes().size(), all.indexes.size());
+  EXPECT_EQ(rich.views().size(), all.views.size());
+}
+
+TEST_F(CandidateGenTest, OptionsDisableStructureKinds) {
+  CandidateGenOptions opt;
+  opt.view_candidates = false;
+  CandidateGenerator no_views(schema_, opt);
+  QueryCandidates all = no_views.ForWorkload(wl_);
+  EXPECT_TRUE(all.views.empty());
+
+  CandidateGenOptions opt2;
+  opt2.covering_variants = false;
+  CandidateGenerator no_cov(schema_, opt2);
+  for (const Index& i : no_cov.ForWorkload(wl_).indexes) {
+    EXPECT_TRUE(i.include_columns.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,176 @@
+#include "compression/clustering.h"
+#include "compression/cost_percentage.h"
+#include "compression/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/what_if.h"
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+TEST(CostPercentageTest, CoversRequestedFraction) {
+  std::vector<double> costs = {100, 50, 25, 12, 6, 3, 2, 1, 0.5, 0.5};
+  std::vector<TemplateId> templates(10, 0);
+  CompressionResult r = CompressByCostPercentage(costs, templates, 0.5);
+  EXPECT_GE(r.cost_coverage, 0.5);
+  // 100 alone covers exactly 50% of 200.
+  EXPECT_EQ(r.retained.size(), 1u);
+  EXPECT_EQ(r.retained[0], 0u);
+}
+
+TEST(CostPercentageTest, RetainsInDescendingCostOrder) {
+  std::vector<double> costs = {5, 100, 1, 50};
+  std::vector<TemplateId> templates = {0, 1, 2, 3};
+  CompressionResult r = CompressByCostPercentage(costs, templates, 0.9);
+  ASSERT_GE(r.retained.size(), 2u);
+  EXPECT_EQ(r.retained[0], 1u);
+  EXPECT_EQ(r.retained[1], 3u);
+}
+
+TEST(CostPercentageTest, FullFractionKeepsEverything) {
+  std::vector<double> costs = {1, 2, 3};
+  std::vector<TemplateId> templates = {0, 1, 2};
+  CompressionResult r = CompressByCostPercentage(costs, templates, 1.0);
+  EXPECT_EQ(r.retained.size(), 3u);
+  EXPECT_NEAR(r.cost_coverage, 1.0, 1e-12);
+}
+
+TEST(CostPercentageTest, TemplateStarvation) {
+  // The §7.3 failure mode: one expensive template monopolizes the
+  // compressed workload, starving the cheap templates of representation.
+  const size_t per_template = 100;
+  std::vector<double> costs;
+  std::vector<TemplateId> templates;
+  for (TemplateId t = 0; t < 10; ++t) {
+    for (size_t i = 0; i < per_template; ++i) {
+      costs.push_back(t == 0 ? 1000.0 : 1.0);
+      templates.push_back(t);
+    }
+  }
+  CompressionResult r = CompressByCostPercentage(costs, templates, 0.2);
+  EXPECT_EQ(r.templates_covered, 1u)
+      << "X=20% must capture only the expensive template";
+}
+
+TEST(QueryDistanceTest, DifferentTemplatesMaximallyFar) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  const Query* a = nullptr;
+  const Query* b = nullptr;
+  for (const Query& q : wl.queries()) {
+    if (a == nullptr) {
+      a = &q;
+    } else if (q.template_id != a->template_id) {
+      b = &q;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(QueryDistance(schema, *a, 10.0, *b, 7.0), 17.0);
+}
+
+TEST(QueryDistanceTest, SameBindingsZeroDistance) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  const Query& q = wl.query(0);
+  EXPECT_DOUBLE_EQ(QueryDistance(schema, q, 5.0, q, 5.0), 0.0);
+}
+
+TEST(QueryDistanceTest, SymmetricWithinTemplate) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 240);
+  TemplateId t0 = wl.query(0).template_id;
+  const auto& members = wl.QueriesOfTemplate(t0);
+  ASSERT_GE(members.size(), 2u);
+  const Query& a = wl.query(members[0]);
+  const Query& b = wl.query(members[1]);
+  EXPECT_DOUBLE_EQ(QueryDistance(schema, a, 5.0, b, 8.0),
+                   QueryDistance(schema, b, 8.0, a, 5.0));
+}
+
+TEST(ClusteringTest, ZeroThresholdKeepsDistinctBindings) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  Configuration empty("empty");
+  std::vector<double> costs;
+  for (const Query& q : wl.queries()) costs.push_back(opt.Cost(q, empty));
+  ClusteringResult r = ClusterCompress(wl, costs, 0.0);
+  // With distance threshold 0 almost nothing merges.
+  EXPECT_GT(r.clusters.size(), wl.size() / 2);
+}
+
+TEST(ClusteringTest, LargeThresholdCollapses) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  Configuration empty("empty");
+  std::vector<double> costs;
+  double total = 0.0;
+  for (const Query& q : wl.queries()) {
+    costs.push_back(opt.Cost(q, empty));
+    total += costs.back();
+  }
+  ClusteringResult r = ClusterCompress(wl, costs, total);
+  EXPECT_LT(r.clusters.size(), 10u);
+}
+
+TEST(ClusteringTest, ClustersPartitionTheWorkload) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  Configuration empty("empty");
+  std::vector<double> costs;
+  for (const Query& q : wl.queries()) costs.push_back(opt.Cost(q, empty));
+  ClusteringResult r = ClusterCompress(wl, costs, 1000.0);
+  std::set<QueryId> seen;
+  double cluster_cost = 0.0;
+  for (const QueryCluster& c : r.clusters) {
+    for (QueryId q : c.members) {
+      EXPECT_TRUE(seen.insert(q).second) << "query in two clusters";
+    }
+    cluster_cost += c.total_cost;
+    EXPECT_FALSE(c.members.empty());
+    EXPECT_NE(std::find(c.members.begin(), c.members.end(), c.medoid),
+              c.members.end());
+  }
+  EXPECT_EQ(seen.size(), wl.size());
+  double total = 0.0;
+  for (double c : costs) total += c;
+  EXPECT_NEAR(cluster_cost, total, 1e-6 * total);
+}
+
+TEST(ClusteringTest, QuadraticDistanceComputationsTracked) {
+  // The §7.3 scalability critique: preprocessing needs O(|WL|^2) distance
+  // computations in the worst case (every query its own cluster).
+  Schema schema = SmallTpcdSchema();
+  Workload wl_small = SmallTpcdWorkload(schema, 60);
+  Workload wl_large = SmallTpcdWorkload(schema, 240);
+  WhatIfOptimizer opt(schema);
+  Configuration empty("empty");
+  auto run = [&](const Workload& wl) {
+    std::vector<double> costs;
+    for (const Query& q : wl.queries()) costs.push_back(opt.Cost(q, empty));
+    return ClusterCompress(wl, costs, 0.0).distance_computations;
+  };
+  uint64_t small = run(wl_small);
+  uint64_t large = run(wl_large);
+  // 4x the queries => ~16x the distance computations.
+  EXPECT_GT(large, small * 8);
+}
+
+TEST(ClusteringTest, MedoidsHelper) {
+  ClusteringResult r;
+  r.clusters.push_back({3, {3, 4}, 10.0});
+  r.clusters.push_back({7, {7}, 5.0});
+  auto m = Medoids(r);
+  EXPECT_EQ(m, (std::vector<QueryId>{3, 7}));
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,127 @@
+#include "optimizer/cost_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/candidate_gen.h"
+#include "test_util.h"
+#include "tuner/enumerator.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallCrmSchema;
+using testing::SmallCrmTrace;
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+TEST(CostBoundsTest, SelectBoundsContainActualCostsForAnyConfig) {
+  // The §6.1 guarantee: for every configuration between base and rich, the
+  // interval must contain the query's actual cost. Property-checked over
+  // randomized configurations drawn from the candidate pool.
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  Configuration rich = gen.RichConfiguration(wl);
+  Configuration base("base");
+
+  CostBoundsDeriver deriver(opt, wl, base, rich);
+  std::vector<CostInterval> bounds = deriver.WorkloadBounds(base);
+
+  Rng rng(81);
+  for (int trial = 0; trial < 6; ++trial) {
+    Configuration config("trial");
+    for (const Index& i : rich.indexes()) {
+      if (rng.NextBernoulli(0.4)) config.AddIndex(i);
+    }
+    for (const MaterializedView& v : rich.views()) {
+      if (rng.NextBernoulli(0.4)) config.AddView(v);
+    }
+    std::vector<CostInterval> cfg_bounds = deriver.WorkloadBounds(config);
+    for (QueryId q = 0; q < wl.size(); ++q) {
+      double actual = opt.Cost(wl.query(q), config);
+      EXPECT_LE(cfg_bounds[q].low, actual * (1.0 + 1e-9))
+          << "query " << q << " trial " << trial;
+      EXPECT_GE(cfg_bounds[q].high * (1.0 + 1e-9), actual)
+          << "query " << q << " trial " << trial;
+    }
+  }
+}
+
+TEST(CostBoundsTest, BoundsAreNonTrivial) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  CostBoundsDeriver deriver(opt, wl, Configuration("base"),
+                            gen.RichConfiguration(wl));
+  std::vector<CostInterval> bounds =
+      deriver.WorkloadBounds(Configuration("base"));
+  size_t nontrivial = 0;
+  for (const CostInterval& b : bounds) {
+    EXPECT_GE(b.low, 0.0);
+    EXPECT_GE(b.high, b.low);
+    if (b.width() > 0.0) ++nontrivial;
+  }
+  // Structures help many queries, so many intervals must have real width.
+  EXPECT_GT(nontrivial, wl.size() / 4);
+}
+
+TEST(CostBoundsTest, DmlUpdatePartBoundedPerTemplate) {
+  Schema schema = SmallCrmSchema();
+  Workload wl = SmallCrmTrace(schema, 400);
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  Configuration rich = gen.RichConfiguration(wl);
+  CostBoundsDeriver deriver(opt, wl, Configuration("base"), rich);
+
+  // Validate containment on the rich configuration itself (the config the
+  // update bounds were evaluated in).
+  std::vector<CostInterval> bounds = deriver.WorkloadBounds(rich);
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    if (!wl.query(q).IsDml()) continue;
+    double actual = opt.Cost(wl.query(q), rich);
+    EXPECT_LE(bounds[q].low, actual * (1.0 + 1e-9)) << "query " << q;
+    EXPECT_GE(bounds[q].high * (1.0 + 1e-9), actual) << "query " << q;
+  }
+}
+
+TEST(CostBoundsTest, DeltaBoundsContainDifferences) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 96);
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  Configuration rich = gen.RichConfiguration(wl);
+  CostBoundsDeriver deriver(opt, wl, Configuration("base"), rich);
+
+  Configuration c1("c1"), c2("c2");
+  size_t n = 0;
+  for (const Index& i : rich.indexes()) {
+    if (n % 2 == 0) c1.AddIndex(i);
+    if (n % 3 == 0) c2.AddIndex(i);
+    ++n;
+  }
+  std::vector<CostInterval> delta = deriver.DeltaBounds(c1, c2);
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    double d = opt.Cost(wl.query(q), c1) - opt.Cost(wl.query(q), c2);
+    EXPECT_LE(delta[q].low, d + 1e-6) << "query " << q;
+    EXPECT_GE(delta[q].high, d - 1e-6) << "query " << q;
+  }
+}
+
+TEST(CostBoundsTest, CallAccountingTwoPerQueryPlusTemplates) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 96);
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  CostBoundsDeriver deriver(opt, wl, Configuration("base"),
+                            gen.RichConfiguration(wl));
+  opt.ResetCallCounter();
+  deriver.WorkloadBounds(Configuration("probe"));
+  // SELECT-only workload: 2 calls per query (base + rich), no DML
+  // template calls.
+  EXPECT_EQ(opt.num_calls(), 2 * wl.size());
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,261 @@
+#include "core/estimators.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SyntheticMatrix;
+
+std::vector<uint64_t> PopsOf(const CostSource& source) {
+  std::vector<uint64_t> pops(source.num_templates(), 0);
+  for (QueryId q = 0; q < source.num_queries(); ++q) {
+    pops[source.TemplateOf(q)] += 1;
+  }
+  return pops;
+}
+
+TEST(SamplePoolTest, DrawsEveryQueryExactlyOnce) {
+  MatrixCostSource src = SyntheticMatrix(500, 2, 5, 0.1, 1);
+  Rng rng(2);
+  StratifiedSamplePool pool(src, &rng);
+  EXPECT_EQ(pool.RemainingTotal(), 500u);
+  std::set<QueryId> seen;
+  while (auto q = pool.DrawGlobal(&rng)) seen.insert(*q);
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(pool.RemainingTotal(), 0u);
+}
+
+TEST(SamplePoolTest, StratifiedDrawStaysInStratum) {
+  MatrixCostSource src = SyntheticMatrix(600, 2, 6, 0.1, 3);
+  Rng rng(4);
+  StratifiedSamplePool pool(src, &rng);
+  Stratification strat(PopsOf(src));
+  strat.Split(0, {0, 1});  // stratum 0 = templates {0,1}
+  for (int i = 0; i < 150; ++i) {
+    auto q = pool.Draw(strat, 0, &rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_LE(src.TemplateOf(*q), 1u);
+  }
+  // 600 queries / 6 templates = 100 per template; stratum 0 has 200.
+  EXPECT_EQ(pool.RemainingInStratum(strat, 0), 50u);
+}
+
+TEST(IndependentEstimatorTest, FullSampleGivesExactTotal) {
+  MatrixCostSource src = SyntheticMatrix(400, 2, 4, 0.2, 5);
+  std::vector<uint64_t> pops = PopsOf(src);
+  IndependentEstimator est(2, 4, pops);
+  Stratification strat(pops);
+  for (QueryId q = 0; q < src.num_queries(); ++q) {
+    est.Add(0, src.TemplateOf(q), src.Cost(q, 0));
+  }
+  EXPECT_NEAR(est.Estimate(0, strat), src.TotalCost(0),
+              1e-8 * src.TotalCost(0));
+  EXPECT_NEAR(est.Variance(0, strat), 0.0, 1e-6);
+}
+
+TEST(IndependentEstimatorTest, EstimateUnbiasedOverManySamples) {
+  MatrixCostSource src = SyntheticMatrix(1000, 1, 10, 0.0, 6);
+  std::vector<uint64_t> pops = PopsOf(src);
+  Stratification strat(pops);
+  double truth = src.TotalCost(0);
+  Rng rng(7);
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    IndependentEstimator est(1, 10, pops);
+    StratifiedSamplePool pool(src, &rng);
+    for (int i = 0; i < 50; ++i) {
+      auto q = pool.DrawGlobal(&rng);
+      est.Add(0, src.TemplateOf(*q), src.Cost(*q, 0));
+    }
+    sum += est.Estimate(0, strat);
+  }
+  EXPECT_NEAR(sum / trials, truth, 0.05 * truth);
+}
+
+TEST(IndependentEstimatorTest, VarianceEstimateTracksEmpiricalVariance) {
+  MatrixCostSource src = SyntheticMatrix(2000, 1, 8, 0.0, 8);
+  std::vector<uint64_t> pops = PopsOf(src);
+  Stratification strat(pops);
+  Rng rng(9);
+  std::vector<double> estimates;
+  double var_estimate_sum = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    IndependentEstimator est(1, 8, pops);
+    StratifiedSamplePool pool(src, &rng);
+    for (int i = 0; i < 60; ++i) {
+      auto q = pool.DrawGlobal(&rng);
+      est.Add(0, src.TemplateOf(*q), src.Cost(*q, 0));
+    }
+    estimates.push_back(est.Estimate(0, strat));
+    var_estimate_sum += est.Variance(0, strat);
+  }
+  double empirical = ExactMoments::Compute(estimates).variance_sample;
+  double predicted = var_estimate_sum / trials;
+  EXPECT_NEAR(predicted / empirical, 1.0, 0.35);
+}
+
+TEST(IndependentEstimatorTest, VarianceReductionPositiveAndShrinking) {
+  MatrixCostSource src = SyntheticMatrix(500, 1, 5, 0.0, 10);
+  std::vector<uint64_t> pops = PopsOf(src);
+  Stratification strat(pops);
+  IndependentEstimator est(1, 5, pops);
+  Rng rng(11);
+  StratifiedSamplePool pool(src, &rng);
+  for (int i = 0; i < 10; ++i) {
+    auto q = pool.DrawGlobal(&rng);
+    est.Add(0, src.TemplateOf(*q), src.Cost(*q, 0));
+  }
+  double red10 = est.VarianceReductionForNext(0, strat, 0);
+  EXPECT_GT(red10, 0.0);
+  for (int i = 0; i < 40; ++i) {
+    auto q = pool.DrawGlobal(&rng);
+    est.Add(0, src.TemplateOf(*q), src.Cost(*q, 0));
+  }
+  EXPECT_LT(est.VarianceReductionForNext(0, strat, 0), red10);
+}
+
+TEST(DeltaEstimatorTest, FullSampleGivesExactDiffs) {
+  MatrixCostSource src = SyntheticMatrix(300, 3, 3, 0.15, 12);
+  std::vector<uint64_t> pops = PopsOf(src);
+  DeltaEstimator est(3, 3, pops);
+  Stratification strat(pops);
+  for (QueryId q = 0; q < src.num_queries(); ++q) {
+    est.Add(q, src.TemplateOf(q),
+            {src.Cost(q, 0), src.Cost(q, 1), src.Cost(q, 2)});
+  }
+  est.SetReference(0);
+  double d01 = src.TotalCost(0) - src.TotalCost(1);
+  EXPECT_NEAR(est.DiffEstimate(1, strat), d01, 1e-7 * std::abs(d01));
+  EXPECT_NEAR(est.DiffVariance(1, strat), 0.0, 1e-6);
+  EXPECT_NEAR(est.Estimate(2, strat), src.TotalCost(2),
+              1e-8 * src.TotalCost(2));
+}
+
+TEST(DeltaEstimatorTest, ReferenceChangeRebuildsConsistently) {
+  MatrixCostSource src = SyntheticMatrix(200, 3, 4, 0.1, 13);
+  std::vector<uint64_t> pops = PopsOf(src);
+  DeltaEstimator est(3, 4, pops);
+  Stratification strat(pops);
+  Rng rng(14);
+  StratifiedSamplePool pool(src, &rng);
+  for (int i = 0; i < 80; ++i) {
+    auto q = pool.DrawGlobal(&rng);
+    est.Add(*q, src.TemplateOf(*q),
+            {src.Cost(*q, 0), src.Cost(*q, 1), src.Cost(*q, 2)});
+  }
+  est.SetReference(0);
+  double d_0_2 = est.DiffEstimate(2, strat);
+  est.SetReference(1);
+  double d_1_2 = est.DiffEstimate(2, strat);
+  double d_1_0 = est.DiffEstimate(0, strat);
+  // X_{1,2} = X_{1,0} + X_{0,2} (same shared sample).
+  EXPECT_NEAR(d_1_2, d_1_0 + d_0_2, 1e-6 * (1.0 + std::abs(d_1_2)));
+  // Self-difference is identically zero.
+  EXPECT_NEAR(est.DiffEstimate(1, strat), 0.0, 1e-9);
+}
+
+TEST(DeltaEstimatorTest, DeltaVarianceBeatsIndependentOnCorrelatedCosts) {
+  // The §4.2 core claim: Var(diff estimator) << Var(X_l) + Var(X_j) when
+  // costs are strongly positively correlated across configurations.
+  MatrixCostSource src = SyntheticMatrix(2000, 2, 8, 0.05, 15);
+  std::vector<uint64_t> pops = PopsOf(src);
+  Stratification strat(pops);
+  Rng rng(16);
+
+  DeltaEstimator delta(2, 8, pops);
+  IndependentEstimator indep(2, 8, pops);
+  StratifiedSamplePool pool_d(src, &rng);
+  StratifiedSamplePool pool_0(src, &rng);
+  StratifiedSamplePool pool_1(src, &rng);
+  for (int i = 0; i < 100; ++i) {
+    auto q = pool_d.DrawGlobal(&rng);
+    delta.Add(*q, src.TemplateOf(*q), {src.Cost(*q, 0), src.Cost(*q, 1)});
+    auto q0 = pool_0.DrawGlobal(&rng);
+    indep.Add(0, src.TemplateOf(*q0), src.Cost(*q0, 0));
+    auto q1 = pool_1.DrawGlobal(&rng);
+    indep.Add(1, src.TemplateOf(*q1), src.Cost(*q1, 1));
+  }
+  delta.SetReference(0);
+  double var_delta = delta.DiffVariance(1, strat);
+  double var_indep = indep.Variance(0, strat) + indep.Variance(1, strat);
+  EXPECT_LT(var_delta, var_indep * 0.5);
+}
+
+TEST(DeltaEstimatorTest, EliminatedConfigsSkipNan) {
+  MatrixCostSource src = SyntheticMatrix(100, 3, 2, 0.2, 17);
+  std::vector<uint64_t> pops = PopsOf(src);
+  DeltaEstimator est(3, 2, pops);
+  Stratification strat(pops);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  est.Add(0, src.TemplateOf(0), {src.Cost(0, 0), src.Cost(0, 1), src.Cost(0, 2)});
+  est.Add(1, src.TemplateOf(1), {src.Cost(1, 0), src.Cost(1, 1), nan});
+  est.Add(2, src.TemplateOf(2), {src.Cost(2, 0), src.Cost(2, 1), nan});
+  est.SetReference(0);
+  // Config 2's estimate uses only its one valid sample; finite either way.
+  EXPECT_TRUE(std::isfinite(est.Estimate(2, strat)));
+  EXPECT_TRUE(std::isfinite(est.DiffEstimate(1, strat)));
+}
+
+TEST(DeltaEstimatorTest, TemplateCoverageAccounting) {
+  MatrixCostSource src = SyntheticMatrix(300, 2, 3, 0.1, 20);
+  std::vector<uint64_t> pops = {100, 100, 100};
+  DeltaEstimator est(2, 3, pops);
+  EXPECT_EQ(est.MinTemplateCount(), 0u);
+  EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(), 1.0);
+  // One sample of template 0: 2/3 of the population still unobserved.
+  est.Add(0, 0, {src.Cost(0, 0), src.Cost(0, 1)});
+  EXPECT_EQ(est.MinTemplateCount(), 0u);
+  EXPECT_NEAR(est.UnobservedPopulationShare(), 2.0 / 3.0, 1e-12);
+  est.Add(1, 1, {src.Cost(1, 0), src.Cost(1, 1)});
+  est.Add(2, 2, {src.Cost(2, 0), src.Cost(2, 1)});
+  EXPECT_EQ(est.MinTemplateCount(), 1u);
+  EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(), 0.0);
+}
+
+TEST(IndependentEstimatorTest, TemplateCoveragePerConfig) {
+  std::vector<uint64_t> pops = {50, 150};
+  IndependentEstimator est(2, 2, pops);
+  EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(0), 1.0);
+  est.Add(0, 0, 10.0);
+  EXPECT_NEAR(est.UnobservedPopulationShare(0), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(1), 1.0);
+  est.Add(0, 1, 20.0);
+  EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(0), 0.0);
+  EXPECT_EQ(est.MinTemplateCount(0), 1u);
+  EXPECT_EQ(est.MinTemplateCount(1), 0u);
+}
+
+TEST(DeltaEstimatorTest, AveragedTemplateStatsShape) {
+  MatrixCostSource src = SyntheticMatrix(300, 3, 3, 0.1, 18);
+  std::vector<uint64_t> pops = PopsOf(src);
+  DeltaEstimator est(3, 3, pops);
+  Rng rng(19);
+  StratifiedSamplePool pool(src, &rng);
+  for (int i = 0; i < 90; ++i) {
+    auto q = pool.DrawGlobal(&rng);
+    est.Add(*q, src.TemplateOf(*q),
+            {src.Cost(*q, 0), src.Cost(*q, 1), src.Cost(*q, 2)});
+  }
+  est.SetReference(0);
+  std::vector<bool> active = {true, true, true};
+  auto stats = est.AveragedDiffTemplateStats(active);
+  ASSERT_EQ(stats.size(), 3u);
+  uint64_t total_obs = 0;
+  for (const TemplateStats& s : stats) {
+    EXPECT_EQ(s.population, 100u);
+    EXPECT_GE(s.variance, 0.0);
+    total_obs += s.observations;
+  }
+  EXPECT_EQ(total_obs, 90u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pdx {
+namespace {
+
+std::vector<double> Uniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(0.0, 100.0);
+  return v;
+}
+
+TEST(HistogramTest, BasicProperties) {
+  EquiDepthHistogram h(Uniform(10000, 51), 16);
+  EXPECT_EQ(h.total_count(), 10000);
+  EXPECT_GE(h.min(), 0.0);
+  EXPECT_LE(h.max(), 100.0);
+  EXPECT_LE(h.num_buckets(), 16u);
+  EXPECT_GE(h.num_buckets(), 1u);
+}
+
+TEST(HistogramTest, CdfMonotoneAndBounded) {
+  EquiDepthHistogram h(Uniform(5000, 52), 10);
+  double prev = -1.0;
+  for (double x = -10.0; x <= 110.0; x += 1.0) {
+    double c = h.CdfEstimate(x);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c + 1e-12, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.CdfEstimate(-1.0), 0.0);
+  EXPECT_EQ(h.CdfEstimate(1000.0), 1.0);
+}
+
+TEST(HistogramTest, CdfAccurateOnUniformData) {
+  EquiDepthHistogram h(Uniform(50000, 53), 32);
+  for (double x : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+    EXPECT_NEAR(h.CdfEstimate(x), x / 100.0, 0.03) << "x=" << x;
+  }
+}
+
+TEST(HistogramTest, QuantileInvertsCdf) {
+  EquiDepthHistogram h(Uniform(20000, 54), 32);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double q = h.Quantile(p);
+    EXPECT_NEAR(h.CdfEstimate(q), p, 0.03) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, RangeFraction) {
+  EquiDepthHistogram h(Uniform(20000, 55), 32);
+  EXPECT_NEAR(h.RangeFraction(25.0, 75.0), 0.5, 0.04);
+  EXPECT_EQ(h.RangeFraction(50.0, 40.0), 0.0);
+}
+
+TEST(HistogramTest, HandlesDuplicateHeavyData) {
+  std::vector<double> v(1000, 42.0);
+  v.push_back(50.0);
+  EquiDepthHistogram h(std::move(v), 8);
+  EXPECT_EQ(h.total_count(), 1001);
+  EXPECT_GT(h.CdfEstimate(42.0), 0.9);
+}
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h({}, 8);
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.CdfEstimate(1.0), 0.0);
+}
+
+TEST(HistogramTest, FewerValuesThanBuckets) {
+  EquiDepthHistogram h({1.0, 2.0, 3.0}, 100);
+  EXPECT_EQ(h.total_count(), 3);
+  EXPECT_LE(h.num_buckets(), 3u);
+  EXPECT_NEAR(h.Quantile(1.0), 3.0, 1e-9);
+}
+
+TEST(HistogramTest, ToStringMentionsCounts) {
+  EquiDepthHistogram h({1.0, 2.0, 3.0, 4.0}, 2);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdx

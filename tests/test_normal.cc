@@ -1,0 +1,75 @@
+#include "common/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021048517795, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249978951482205, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(NormalTest, SurvivalComplement) {
+  for (double x : {-4.0, -1.0, 0.0, 0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalSf(x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalTest, SurvivalAccurateInFarTail) {
+  // 1 - Phi(6) ~ 9.87e-10; direct subtraction would lose precision.
+  EXPECT_NEAR(NormalSf(6.0) / 9.865876450377018e-10, 1.0, 1e-6);
+}
+
+TEST(NormalTest, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.5), NormalPdf(-1.5), 1e-15);
+  EXPECT_GT(NormalPdf(0.0), NormalPdf(0.1));
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.9), 1.2815515655446004, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.05), -1.6448536269514722, 1e-8);
+}
+
+TEST(NormalTest, QuantileCdfRoundTrip) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileExtremeTails) {
+  EXPECT_NEAR(NormalCdf(NormalQuantile(1e-12)), 1e-12, 1e-14);
+  EXPECT_NEAR(NormalCdf(NormalQuantile(1.0 - 1e-12)), 1.0 - 1e-12, 1e-13);
+}
+
+TEST(NormalTest, CoverageMatchesCdfDifference) {
+  for (double z : {0.0, 0.5, 1.0, 1.96, 3.0}) {
+    EXPECT_NEAR(NormalCoverage(z), NormalCdf(z) - NormalCdf(-z), 1e-12);
+  }
+}
+
+TEST(NormalDeathTest, QuantileRejectsOutOfRange) {
+  EXPECT_DEATH({ (void)NormalQuantile(0.0); }, "PDX_CHECK");
+  EXPECT_DEATH({ (void)NormalQuantile(1.0); }, "PDX_CHECK");
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, StrictlyIncreasing) {
+  double p = GetParam();
+  EXPECT_LT(NormalQuantile(p), NormalQuantile(p + 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileMonotone,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95, 0.98));
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,96 @@
+#include "core/pr_cs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/normal.h"
+
+namespace pdx {
+namespace {
+
+TEST(PairwisePrCsTest, ZeroGapIsCoinFlip) {
+  EXPECT_NEAR(PairwisePrCs(0.0, 1.0, 0.0), 0.5, 1e-12);
+}
+
+TEST(PairwisePrCsTest, LargeGapApproachesOne) {
+  EXPECT_GT(PairwisePrCs(10.0, 1.0, 0.0), 0.9999);
+}
+
+TEST(PairwisePrCsTest, NegativeGapBelowHalf) {
+  EXPECT_LT(PairwisePrCs(-1.0, 1.0, 0.0), 0.5);
+}
+
+TEST(PairwisePrCsTest, DeltaShiftsTheMargin) {
+  // Sensitivity delta relaxes the requirement: a configuration within
+  // delta is acceptable, so Pr(CS) rises with delta.
+  double without = PairwisePrCs(1.0, 1.0, 0.0);
+  double with = PairwisePrCs(1.0, 1.0, 2.0);
+  EXPECT_GT(with, without);
+  EXPECT_NEAR(with, NormalCdf(3.0), 1e-12);
+}
+
+TEST(PairwisePrCsTest, MatchesNormalCdf) {
+  for (double gap : {-2.0, -0.5, 0.0, 0.7, 3.0}) {
+    for (double se : {0.5, 1.0, 4.0}) {
+      EXPECT_NEAR(PairwisePrCs(gap, se, 0.0), NormalCdf(gap / se), 1e-12);
+    }
+  }
+}
+
+TEST(PairwisePrCsTest, DegenerateSe) {
+  EXPECT_EQ(PairwisePrCs(1.0, 0.0, 0.0), 1.0);
+  EXPECT_EQ(PairwisePrCs(-1.0, 0.0, 0.0), 0.0);
+  EXPECT_EQ(PairwisePrCs(0.0, 0.0, 0.0), 1.0);
+}
+
+TEST(BonferroniTest, SinglePair) {
+  EXPECT_NEAR(BonferroniPrCs({0.95}), 0.95, 1e-12);
+}
+
+TEST(BonferroniTest, SumsMisses) {
+  EXPECT_NEAR(BonferroniPrCs({0.98, 0.97, 0.99}), 1.0 - 0.02 - 0.03 - 0.01,
+              1e-12);
+}
+
+TEST(BonferroniTest, ClampsAtZero) {
+  EXPECT_EQ(BonferroniPrCs({0.5, 0.5, 0.5}), 0.0);
+}
+
+TEST(BonferroniTest, EmptyIsCertain) {
+  EXPECT_EQ(BonferroniPrCs({}), 1.0);
+}
+
+TEST(FpcStandardErrorTest, MatchesFormula) {
+  // Var(X) = N^2 * s2/n * (1 - n/N).
+  double s2 = 4.0;
+  uint64_t n = 25, N = 1000;
+  double expected = std::sqrt(1000.0 * 1000.0 * (4.0 / 25.0) * (1.0 - 0.025));
+  EXPECT_NEAR(FpcStandardError(s2, n, N), expected, 1e-9);
+}
+
+TEST(FpcStandardErrorTest, FullSampleHasZeroError) {
+  EXPECT_EQ(FpcStandardError(4.0, 1000, 1000), 0.0);
+}
+
+TEST(FpcStandardErrorTest, TinySamples) {
+  EXPECT_EQ(FpcStandardError(4.0, 0, 100), 0.0);
+  EXPECT_EQ(FpcStandardError(4.0, 1, 100), 0.0);
+}
+
+TEST(StratumVarianceTermTest, DecreasesWithSamples) {
+  double t1 = StratumVarianceTerm(2.0, 10, 500);
+  double t2 = StratumVarianceTerm(2.0, 20, 500);
+  EXPECT_GT(t1, t2);
+  EXPECT_EQ(StratumVarianceTerm(2.0, 500, 500), 0.0);
+}
+
+TEST(StratumVarianceTermTest, ScalesWithPopulationSquared) {
+  double small = StratumVarianceTerm(1.0, 10, 100);
+  double large = StratumVarianceTerm(1.0, 10, 200);
+  // With fpc, doubling N roughly quadruples the term (slightly more).
+  EXPECT_GT(large, 3.5 * small);
+}
+
+}  // namespace
+}  // namespace pdx

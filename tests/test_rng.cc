@@ -1,0 +1,166 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(6);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.NextBounded(bound)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(10);
+  auto perm = rng.Permutation(1000);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  for (size_t k : {0ul, 1ul, 5ul, 50ul, 999ul, 1000ul}) {
+    auto sample = rng.SampleWithoutReplacement(1000, k);
+    std::set<uint32_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), k);
+    for (uint32_t v : sample) EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversUniformly) {
+  // Each element should appear in a k-of-n sample with probability k/n.
+  Rng rng(12);
+  const size_t n = 100, k = 10;
+  std::vector<int> counts(n, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (uint32_t v : rng.SampleWithoutReplacement(n, k)) counts[v] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.03);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(13);
+  Rng b = a.Split();
+  // The child must not replay the parent's stream.
+  Rng a2(13);
+  a2.NextUint64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.NextUint64() == a2.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLogNormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, BoundedNeverExceedsBound) {
+  Rng rng(GetParam());
+  uint64_t bound = GetParam();
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 12345,
+                                           1ull << 32, (1ull << 63) + 5));
+
+}  // namespace
+}  // namespace pdx

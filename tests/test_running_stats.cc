@@ -1,0 +1,173 @@
+#include "common/running_stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pdx {
+namespace {
+
+std::vector<double> RandomData(size_t n, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = scale * rng.NextLogNormal(0.0, 1.5);
+  return v;
+}
+
+TEST(RunningMomentsTest, MatchesExactMoments) {
+  auto data = RandomData(5000, 31);
+  RunningMoments m;
+  for (double x : data) m.Add(x);
+  ExactMoments exact = ExactMoments::Compute(data);
+  EXPECT_EQ(m.count(), 5000);
+  EXPECT_NEAR(m.mean(), exact.mean, 1e-9 * std::abs(exact.mean));
+  EXPECT_NEAR(m.variance_population(), exact.variance_population,
+              1e-7 * exact.variance_population);
+  EXPECT_NEAR(m.variance_sample(), exact.variance_sample,
+              1e-7 * exact.variance_sample);
+  EXPECT_NEAR(m.skewness(), exact.skewness, 1e-6 * std::abs(exact.skewness));
+}
+
+TEST(RunningMomentsTest, EmptyAndSingle) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance_sample(), 0.0);
+  m.Add(5.0);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_EQ(m.mean(), 5.0);
+  EXPECT_EQ(m.variance_sample(), 0.0);
+  EXPECT_EQ(m.skewness(), 0.0);
+}
+
+TEST(RunningMomentsTest, RemoveIsInverseOfAdd) {
+  auto data = RandomData(100, 32);
+  RunningMoments m;
+  for (double x : data) m.Add(x);
+  double extra = 123.456;
+  double mean_before = m.mean();
+  double var_before = m.variance_sample();
+  m.Add(extra);
+  m.Remove(extra);
+  EXPECT_EQ(m.count(), 100);
+  EXPECT_NEAR(m.mean(), mean_before, 1e-9);
+  EXPECT_NEAR(m.variance_sample(), var_before, 1e-6 * var_before);
+}
+
+TEST(RunningMomentsTest, RemoveToEmpty) {
+  RunningMoments m;
+  m.Add(3.0);
+  m.Remove(3.0);
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential) {
+  auto data = RandomData(3000, 33);
+  RunningMoments all, left, right;
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.Add(data[i]);
+    (i < 1000 ? left : right).Add(data[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9 * std::abs(all.mean()));
+  EXPECT_NEAR(left.variance_sample(), all.variance_sample(),
+              1e-8 * all.variance_sample());
+  EXPECT_NEAR(left.skewness(), all.skewness(), 1e-6);
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningMoments a_copy = a;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.mean(), a_copy.mean(), 1e-15);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-15);
+}
+
+TEST(RunningCovarianceTest, MatchesTwoPass) {
+  Rng rng(34);
+  std::vector<double> xs(2000), ys(2000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.NextGaussian();
+    ys[i] = 0.7 * xs[i] + 0.3 * rng.NextGaussian();
+  }
+  RunningCovariance cov;
+  for (size_t i = 0; i < xs.size(); ++i) cov.Add(xs[i], ys[i]);
+  // Two-pass reference.
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= xs.size();
+  my /= ys.size();
+  double cxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) cxy += (xs[i] - mx) * (ys[i] - my);
+  cxy /= (xs.size() - 1);
+  EXPECT_NEAR(cov.covariance_sample(), cxy, 1e-9);
+  EXPECT_GT(cov.correlation(), 0.85);
+  EXPECT_LT(cov.correlation(), 1.0);
+}
+
+TEST(RunningCovarianceTest, PerfectCorrelation) {
+  RunningCovariance cov;
+  for (int i = 0; i < 100; ++i) cov.Add(i, 2.0 * i + 1.0);
+  EXPECT_NEAR(cov.correlation(), 1.0, 1e-12);
+}
+
+TEST(RunningCovarianceTest, IndependentNearZero) {
+  Rng rng(35);
+  RunningCovariance cov;
+  for (int i = 0; i < 50000; ++i) cov.Add(rng.NextGaussian(), rng.NextGaussian());
+  EXPECT_NEAR(cov.correlation(), 0.0, 0.02);
+}
+
+TEST(KahanSumTest, RecoversSmallTerms) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_NEAR(sum.Total(), 10000.0, 1.0);
+}
+
+TEST(ExactMomentsTest, MinMax) {
+  ExactMoments m = ExactMoments::Compute({3.0, -1.0, 7.0, 2.0});
+  EXPECT_EQ(m.min, -1.0);
+  EXPECT_EQ(m.max, 7.0);
+  EXPECT_NEAR(m.mean, 2.75, 1e-12);
+}
+
+TEST(ExactMomentsTest, SkewnessSign) {
+  // Right-skewed data (one large outlier).
+  ExactMoments right = ExactMoments::Compute({1, 1, 1, 1, 1, 1, 1, 100});
+  EXPECT_GT(right.skewness, 1.0);
+  ExactMoments left = ExactMoments::Compute({100, 100, 100, 100, 100, 1});
+  EXPECT_LT(left.skewness, -1.0);
+}
+
+class MomentsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MomentsSweep, RunningEqualsExactAtAllSizes) {
+  auto data = RandomData(GetParam(), 40 + GetParam());
+  RunningMoments m;
+  for (double x : data) m.Add(x);
+  ExactMoments exact = ExactMoments::Compute(data);
+  EXPECT_NEAR(m.mean(), exact.mean, 1e-8 * (1.0 + std::abs(exact.mean)));
+  EXPECT_NEAR(m.variance_sample(), exact.variance_sample,
+              1e-6 * (1.0 + exact.variance_sample));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MomentsSweep,
+                         ::testing::Values(2, 3, 10, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,161 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/crm_schema.h"
+#include "catalog/tpcd_schema.h"
+
+namespace pdx {
+namespace {
+
+TEST(SchemaTest, TpcdShape) {
+  Schema s = MakeTpcdSchema();
+  EXPECT_EQ(s.num_tables(), 8u);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.table(kLineitem).name, "lineitem");
+  EXPECT_EQ(s.table(kLineitem).row_count, 6000000u);
+  EXPECT_EQ(s.table(kOrders).row_count, 1500000u);
+  EXPECT_EQ(s.table(kRegion).row_count, 5u);
+}
+
+TEST(SchemaTest, TpcdSizeAboutOneGb) {
+  // The paper: "The total data size is ~1GB".
+  Schema s = MakeTpcdSchema();
+  double gb = static_cast<double>(s.TotalHeapBytes()) / 1e9;
+  EXPECT_GT(gb, 0.8);
+  EXPECT_LT(gb, 2.0);
+}
+
+TEST(SchemaTest, TpcdScaleFactorScalesRows) {
+  TpcdSchemaOptions opt;
+  opt.scale_factor = 0.1;
+  Schema s = MakeTpcdSchema(opt);
+  EXPECT_EQ(s.table(kLineitem).row_count, 600000u);
+  EXPECT_EQ(s.table(kRegion).row_count, 5u);  // fixed tables don't scale
+}
+
+TEST(SchemaTest, TpcdZipfThetaApplied) {
+  TpcdSchemaOptions opt;
+  opt.zipf_theta = 1.0;
+  Schema s = MakeTpcdSchema(opt);
+  ColumnId mkt = s.table(kCustomer).FindColumn("c_mktsegment");
+  ASSERT_NE(mkt, kInvalidColumnId);
+  EXPECT_DOUBLE_EQ(s.table(kCustomer).columns[mkt].zipf_theta, 1.0);
+}
+
+TEST(SchemaTest, FindColumnAndTable) {
+  Schema s = MakeTpcdSchema();
+  auto t = s.FindTable("orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, static_cast<TableId>(kOrders));
+  EXPECT_FALSE(s.FindTable("nope").ok());
+  EXPECT_EQ(s.table(kOrders).FindColumn("o_orderkey"), 0u);
+  EXPECT_EQ(s.table(kOrders).FindColumn("bogus"), kInvalidColumnId);
+}
+
+TEST(SchemaTest, RowBytesAndPages) {
+  Table t;
+  t.name = "t";
+  t.row_count = 1000;
+  t.columns = {Column("a", DataType::kInt32, 4, 10, 0.0),
+               Column("b", DataType::kChar, 100, 10, 0.0)};
+  EXPECT_EQ(t.RowBytes(), Schema::kRowHeaderBytes + 104);
+  uint64_t rows_per_page = Schema::kPageSizeBytes / t.RowBytes();
+  EXPECT_EQ(t.HeapPages(), (1000 + rows_per_page - 1) / rows_per_page);
+}
+
+TEST(SchemaTest, ValidateCatchesDuplicateTables) {
+  Schema s("bad");
+  Table t;
+  t.name = "x";
+  t.row_count = 1;
+  t.columns = {Column("c", DataType::kInt32, 4, 1, 0.0)};
+  s.AddTable(t);
+  s.AddTable(t);
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateCatchesNdvAboveRows) {
+  Schema s("bad");
+  Table t;
+  t.name = "x";
+  t.row_count = 10;
+  t.columns = {Column("c", DataType::kInt32, 4, 100, 0.0)};
+  s.AddTable(std::move(t));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateCatchesEmptyTable) {
+  Schema s("bad");
+  Table t;
+  t.name = "x";
+  t.row_count = 10;
+  s.AddTable(std::move(t));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, TpcdPrimaryKeyColumnsResolve) {
+  Schema s = MakeTpcdSchema();
+  auto pks = TpcdPrimaryKeyColumns();
+  ASSERT_EQ(pks.size(), s.num_tables());
+  for (TableId t = 0; t < s.num_tables(); ++t) {
+    for (const char* col : pks[t]) {
+      EXPECT_NE(s.table(t).FindColumn(col), kInvalidColumnId)
+          << s.table(t).name << "." << col;
+    }
+  }
+}
+
+TEST(CrmSchemaTest, ShapeMatchesPaper) {
+  // ">500 tables and of size ~0.7 GB".
+  Schema s = MakeCrmSchema();
+  EXPECT_GE(s.num_tables(), 500u);
+  EXPECT_TRUE(s.Validate().ok());
+  double gb = static_cast<double>(s.TotalHeapBytes()) / 1e9;
+  EXPECT_GT(gb, 0.4);
+  EXPECT_LT(gb, 1.2);
+}
+
+TEST(CrmSchemaTest, Deterministic) {
+  Schema a = MakeCrmSchema();
+  Schema b = MakeCrmSchema();
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (TableId t = 0; t < a.num_tables(); ++t) {
+    EXPECT_EQ(a.table(t).name, b.table(t).name);
+    EXPECT_EQ(a.table(t).row_count, b.table(t).row_count);
+    EXPECT_EQ(a.table(t).columns.size(), b.table(t).columns.size());
+  }
+}
+
+TEST(CrmSchemaTest, SkewedTableSizes) {
+  // A few hot tables should dominate the database volume.
+  Schema s = MakeCrmSchema();
+  std::vector<uint64_t> sizes;
+  for (const Table& t : s.tables()) {
+    sizes.push_back(t.HeapPages() * Schema::kPageSizeBytes);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  uint64_t top10 = 0, total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i < 10) top10 += sizes[i];
+    total += sizes[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / static_cast<double>(total), 0.4);
+}
+
+class CrmSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CrmSizeSweep, TableCountHonored) {
+  CrmSchemaOptions opt;
+  opt.num_tables = GetParam();
+  opt.target_total_bytes = 40ull * 1000 * 1000;
+  Schema s = MakeCrmSchema(opt);
+  EXPECT_EQ(s.num_tables(), GetParam());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CrmSizeSweep,
+                         ::testing::Values(10, 50, 120, 520));
+
+}  // namespace
+}  // namespace pdx

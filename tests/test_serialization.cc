@@ -1,0 +1,199 @@
+#include "optimizer/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/candidate_gen.h"
+#include "optimizer/what_if.h"
+#include "test_util.h"
+#include "tuner/enumerator.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallCrmSchema;
+using testing::SmallCrmTrace;
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    path_ = dir_ + "/ser_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".pdx";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(SerializationTest, SchemaRoundTrip) {
+  Schema original = SmallTpcdSchema();
+  ASSERT_TRUE(SaveSchema(original, path_).ok());
+  auto loaded = LoadSchema(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), original.name());
+  ASSERT_EQ(loaded->num_tables(), original.num_tables());
+  for (TableId t = 0; t < original.num_tables(); ++t) {
+    const Table& a = original.table(t);
+    const Table& b = loaded->table(t);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.row_count, b.row_count);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    for (size_t c = 0; c < a.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+      EXPECT_EQ(a.columns[c].type, b.columns[c].type);
+      EXPECT_EQ(a.columns[c].width_bytes, b.columns[c].width_bytes);
+      EXPECT_EQ(a.columns[c].num_distinct, b.columns[c].num_distinct);
+      EXPECT_DOUBLE_EQ(a.columns[c].zipf_theta, b.columns[c].zipf_theta);
+    }
+  }
+}
+
+TEST_F(SerializationTest, CrmSchemaRoundTrip) {
+  Schema original = SmallCrmSchema();
+  ASSERT_TRUE(SaveSchema(original, path_).ok());
+  auto loaded = LoadSchema(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_tables(), original.num_tables());
+  EXPECT_EQ(loaded->TotalHeapBytes(), original.TotalHeapBytes());
+}
+
+TEST_F(SerializationTest, WorkloadRoundTripCostsBitIdentical) {
+  Schema schema = SmallTpcdSchema();
+  Workload original = SmallTpcdWorkload(schema, 120);
+  ASSERT_TRUE(SaveWorkload(original, path_).ok());
+  auto loaded = LoadWorkload(path_, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->num_templates(), original.num_templates());
+
+  // The decisive property: reloaded queries cost bit-identically.
+  WhatIfOptimizer opt(schema);
+  CandidateGenerator gen(schema);
+  Configuration rich = gen.RichConfiguration(original);
+  for (QueryId q = 0; q < original.size(); q += 7) {
+    EXPECT_DOUBLE_EQ(opt.Cost(original.query(q), rich),
+                     opt.Cost(loaded->query(q), rich))
+        << "query " << q;
+  }
+}
+
+TEST_F(SerializationTest, DmlWorkloadRoundTrip) {
+  Schema schema = SmallCrmSchema();
+  Workload original = SmallCrmTrace(schema, 300);
+  ASSERT_TRUE(SaveWorkload(original, path_).ok());
+  auto loaded = LoadWorkload(path_, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->DmlFraction(), original.DmlFraction());
+  for (QueryId q = 0; q < original.size(); q += 11) {
+    const Query& a = original.query(q);
+    const Query& b = loaded->query(q);
+    EXPECT_EQ(a.kind, b.kind);
+    ASSERT_EQ(a.update.has_value(), b.update.has_value());
+    if (a.update) {
+      EXPECT_EQ(a.update->table, b.update->table);
+      EXPECT_DOUBLE_EQ(a.update->selectivity, b.update->selectivity);
+      EXPECT_EQ(a.update->set_columns, b.update->set_columns);
+    }
+  }
+}
+
+TEST_F(SerializationTest, WorkloadRejectsWrongSchema) {
+  Schema tpcd = SmallTpcdSchema();
+  Schema crm = SmallCrmSchema();
+  Workload original = SmallTpcdWorkload(tpcd, 24);
+  ASSERT_TRUE(SaveWorkload(original, path_).ok());
+  auto loaded = LoadWorkload(path_, crm);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, ConfigurationRoundTripPreservesCosts) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 120);
+  WhatIfOptimizer opt(schema);
+  Rng rng(901);
+  EnumeratorOptions eopt;
+  eopt.num_configs = 3;
+  eopt.eval_sample_size = 40;
+  auto configs = EnumerateConfigurations(opt, wl, eopt, &rng);
+  const Configuration& original = configs[0];
+  ASSERT_GT(original.NumStructures(), 0u);
+
+  ASSERT_TRUE(SaveConfiguration(original, schema, path_).ok());
+  auto loaded = LoadConfiguration(path_, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->indexes().size(), original.indexes().size());
+  EXPECT_EQ(loaded->views().size(), original.views().size());
+  EXPECT_EQ(loaded->Hash(), original.Hash());
+  for (QueryId q = 0; q < wl.size(); q += 13) {
+    EXPECT_DOUBLE_EQ(opt.Cost(wl.query(q), original),
+                     opt.Cost(wl.query(q), *loaded));
+  }
+}
+
+TEST_F(SerializationTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadSchema("/nonexistent/x.pdx").ok());
+  Schema schema = SmallTpcdSchema();
+  EXPECT_FALSE(LoadWorkload("/nonexistent/x.pdx", schema).ok());
+  EXPECT_FALSE(LoadConfiguration("/nonexistent/x.pdx", schema).ok());
+}
+
+TEST_F(SerializationTest, RejectsWrongMagic) {
+  {
+    std::ofstream out(path_);
+    out << "not-a-pdx-file\n";
+  }
+  EXPECT_FALSE(LoadSchema(path_).ok());
+  Schema schema = SmallTpcdSchema();
+  EXPECT_FALSE(LoadWorkload(path_, schema).ok());
+  EXPECT_FALSE(LoadConfiguration(path_, schema).ok());
+}
+
+TEST_F(SerializationTest, RejectsCorruptRecords) {
+  Schema schema = SmallTpcdSchema();
+  {
+    std::ofstream out(path_);
+    out << "pdx-workload 1\nschema\ttpcd\nquery\tnot\tenough\n";
+  }
+  auto loaded = LoadWorkload(path_, schema);
+  EXPECT_FALSE(loaded.ok());
+  // Error message carries file and line for debuggability.
+  EXPECT_NE(loaded.status().message().find(":3"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SerializationTest, RejectsTruncatedQuery) {
+  Schema schema = SmallTpcdSchema();
+  Workload original = SmallTpcdWorkload(schema, 24);
+  ASSERT_TRUE(SaveWorkload(original, path_).ok());
+  // Chop the trailing "end" record.
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  size_t last_end = contents.rfind("end\n");
+  ASSERT_NE(last_end, std::string::npos);
+  {
+    std::ofstream out(path_);
+    out << contents.substr(0, last_end);
+  }
+  EXPECT_FALSE(LoadWorkload(path_, schema).ok());
+}
+
+TEST_F(SerializationTest, ConfigRejectsOutOfRangeColumns) {
+  Schema schema = SmallTpcdSchema();
+  {
+    std::ofstream out(path_);
+    out << "pdx-config 1\nschema\ttpcd\nname\tx\nindex\t0\t99\t-\n";
+  }
+  EXPECT_FALSE(LoadConfiguration(path_, schema).ok());
+}
+
+}  // namespace
+}  // namespace pdx

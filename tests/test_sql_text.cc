@@ -1,0 +1,116 @@
+#include "workload/sql_text.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+TEST(SqlTextTest, NormalizeReplacesNumericLiterals) {
+  EXPECT_EQ(NormalizeSqlTemplate("SELECT * FROM t WHERE a = 42"),
+            "select * from t where a = ?");
+  EXPECT_EQ(NormalizeSqlTemplate("WHERE x < 3.14e-2"), "where x < ?");
+}
+
+TEST(SqlTextTest, NormalizeReplacesStringLiterals) {
+  EXPECT_EQ(NormalizeSqlTemplate("WHERE name = 'bob'"), "where name = ?");
+  EXPECT_EQ(NormalizeSqlTemplate("WHERE name = 'o''brien' AND x=1"),
+            "where name = ? and x=?");
+}
+
+TEST(SqlTextTest, NormalizeKeepsIdentifierDigits) {
+  EXPECT_EQ(NormalizeSqlTemplate("SELECT c1 FROM t2"), "select c1 from t2");
+}
+
+TEST(SqlTextTest, NormalizeCollapsesWhitespace) {
+  EXPECT_EQ(NormalizeSqlTemplate("SELECT   a\n\tFROM  t "), "select a from t");
+}
+
+TEST(SqlTextTest, SignatureEqualForSameTemplate) {
+  EXPECT_EQ(SqlTemplateSignature("SELECT a FROM t WHERE b = 1"),
+            SqlTemplateSignature("select a from t where b = 99999"));
+  EXPECT_NE(SqlTemplateSignature("SELECT a FROM t WHERE b = 1"),
+            SqlTemplateSignature("SELECT a FROM t WHERE c = 1"));
+}
+
+TEST(SqlTextTest, RenderedQueriesOfSameTemplateShareSignature) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 240);
+  for (TemplateId t = 0; t < wl.num_templates(); ++t) {
+    const auto& members = wl.QueriesOfTemplate(t);
+    ASSERT_GE(members.size(), 2u);
+    uint64_t sig0 =
+        SqlTemplateSignature(RenderSql(schema, wl.query(members[0])));
+    for (size_t i = 1; i < std::min<size_t>(members.size(), 5); ++i) {
+      EXPECT_EQ(
+          SqlTemplateSignature(RenderSql(schema, wl.query(members[i]))), sig0)
+          << "template " << t;
+    }
+  }
+}
+
+TEST(SqlTextTest, DistinctTemplatesHaveDistinctSignatures) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 240);
+  std::set<uint64_t> signatures;
+  for (TemplateId t = 0; t < wl.num_templates(); ++t) {
+    signatures.insert(wl.query_template(t).signature);
+  }
+  EXPECT_EQ(signatures.size(), wl.num_templates());
+}
+
+TEST(SqlTextTest, RenderSelectMentionsTablesAndWhere) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 48);
+  bool saw_join = false;
+  for (const Query& q : wl.queries()) {
+    std::string sql = RenderSql(schema, q);
+    EXPECT_TRUE(sql.rfind("SELECT", 0) == 0) << sql;
+    for (const TableAccess& a : q.select.accesses) {
+      EXPECT_NE(sql.find(schema.table(a.table).name), std::string::npos);
+    }
+    if (!q.select.joins.empty()) {
+      saw_join = true;
+      EXPECT_NE(sql.find(" WHERE "), std::string::npos) << sql;
+    }
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(SqlTextTest, RenderDmlStatements) {
+  Schema schema = testing::SmallCrmSchema();
+  Workload wl = testing::SmallCrmTrace(schema, 400);
+  bool saw_insert = false, saw_update = false, saw_delete = false;
+  for (const Query& q : wl.queries()) {
+    std::string sql = RenderSql(schema, q);
+    switch (q.kind) {
+      case StatementKind::kInsert:
+        EXPECT_TRUE(sql.rfind("INSERT INTO", 0) == 0) << sql;
+        saw_insert = true;
+        break;
+      case StatementKind::kUpdate:
+        EXPECT_TRUE(sql.rfind("UPDATE", 0) == 0) << sql;
+        EXPECT_NE(sql.find(" SET "), std::string::npos) << sql;
+        saw_update = true;
+        break;
+      case StatementKind::kDelete:
+        EXPECT_TRUE(sql.rfind("DELETE FROM", 0) == 0) << sql;
+        saw_delete = true;
+        break;
+      case StatementKind::kSelect:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_insert);
+  EXPECT_TRUE(saw_update);
+  EXPECT_TRUE(saw_delete);
+}
+
+}  // namespace
+}  // namespace pdx

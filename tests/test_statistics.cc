@@ -1,0 +1,99 @@
+#include "catalog/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(StatisticsTest, UniformEqualitySelectivity) {
+  Column c("c", DataType::kInt32, 4, 100, 0.0);
+  ColumnStatistics stats(c);
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivityUniform(), 0.01);
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(0), 0.01);
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(99), 0.01);
+}
+
+TEST(StatisticsTest, SkewedEqualitySelectivityDecreasesWithRank) {
+  Column c("c", DataType::kInt32, 4, 100, 1.0);
+  ColumnStatistics stats(c);
+  double prev = stats.EqualitySelectivity(0);
+  EXPECT_GT(prev, 0.01);  // head value is more frequent than uniform
+  for (uint64_t r = 1; r < 100; r += 7) {
+    double s = stats.EqualitySelectivity(r);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(StatisticsTest, SelectivitiesSumToAboutOne) {
+  Column c("c", DataType::kInt32, 4, 200, 1.0);
+  ColumnStatistics stats(c);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < 200; ++r) sum += stats.EqualitySelectivity(r);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(StatisticsTest, LargeDomainApproximationReasonable) {
+  Column c("c", DataType::kInt64, 8, 1000000, 1.0);
+  ColumnStatistics stats(c);
+  double top = stats.EqualitySelectivity(0);
+  // Under Zipf(1) over 1M values, top frequency ~ 1/H(1M) ~ 1/14.4.
+  EXPECT_NEAR(top, 1.0 / 14.39, 0.01);
+  EXPECT_GT(stats.EqualitySelectivity(10), stats.EqualitySelectivity(1000));
+}
+
+TEST(StatisticsTest, RankClampedToDomain) {
+  Column c("c", DataType::kInt32, 4, 10, 1.0);
+  ColumnStatistics stats(c);
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(10),
+                   stats.EqualitySelectivity(9));
+}
+
+TEST(StatisticsTest, SampleValueRankInDomain) {
+  Column c("c", DataType::kInt32, 4, 50, 1.0);
+  ColumnStatistics stats(c);
+  Rng rng(61);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(stats.SampleValueRank(&rng), 50u);
+  }
+}
+
+TEST(StatisticsTest, SampleValueRankPrefersHead) {
+  Column c("c", DataType::kInt32, 4, 100, 1.2);
+  ColumnStatistics stats(c);
+  Rng rng(62);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (stats.SampleValueRank(&rng) < 10) ++head;
+  }
+  // Under Zipf(1.2) the top-10 ranks hold well over a third of the mass.
+  EXPECT_GT(static_cast<double>(head) / n, 0.4);
+}
+
+TEST(StatisticsTest, SampleValueRankLargeDomain) {
+  Column c("c", DataType::kInt64, 8, 5000000, 1.0);
+  ColumnStatistics stats(c);
+  Rng rng(63);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(stats.SampleValueRank(&rng), 5000000u);
+  }
+}
+
+TEST(StatisticsTest, RangeSelectivityClamped) {
+  Column c("c", DataType::kInt32, 4, 100, 0.0);
+  ColumnStatistics stats(c);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(0.0), 0.01);  // floor at 1/ndv
+}
+
+TEST(StatisticsTest, DistinctAfterFilterBounds) {
+  EXPECT_EQ(DistinctAfterFilter(100, 1.0), 100u);
+  EXPECT_GE(DistinctAfterFilter(100, 0.01), 1u);
+  EXPECT_LE(DistinctAfterFilter(100, 0.5), 100u);
+  EXPECT_GT(DistinctAfterFilter(100, 0.5), DistinctAfterFilter(100, 0.05));
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,209 @@
+#include "core/stratification.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pdx {
+namespace {
+
+TEST(StratificationTest, StartsWithSingleStratum) {
+  Stratification s({100, 200, 300});
+  EXPECT_EQ(s.num_strata(), 1u);
+  EXPECT_EQ(s.PopulationOf(0), 600u);
+  EXPECT_EQ(s.total_population(), 600u);
+  for (TemplateId t = 0; t < 3; ++t) EXPECT_EQ(s.StratumOf(t), 0u);
+}
+
+TEST(StratificationTest, EmptyTemplatesExcluded) {
+  Stratification s({100, 0, 300});
+  EXPECT_EQ(s.TemplatesOf(0).size(), 2u);
+  EXPECT_EQ(s.PopulationOf(0), 400u);
+}
+
+TEST(StratificationTest, SplitMovesTemplates) {
+  Stratification s({100, 200, 300});
+  s.Split(0, {1});
+  ASSERT_EQ(s.num_strata(), 2u);
+  EXPECT_EQ(s.StratumOf(1), 0u);
+  EXPECT_EQ(s.StratumOf(0), 1u);
+  EXPECT_EQ(s.StratumOf(2), 1u);
+  EXPECT_EQ(s.PopulationOf(0), 200u);
+  EXPECT_EQ(s.PopulationOf(1), 400u);
+}
+
+TEST(StratificationTest, RepeatedSplitsToFullyFine) {
+  Stratification s({10, 20, 30, 40});
+  s.Split(0, {0});
+  s.Split(1, {1});
+  s.Split(2, {2});
+  EXPECT_EQ(s.num_strata(), 4u);
+  uint64_t total = 0;
+  for (uint32_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(s.TemplatesOf(h).size(), 1u);
+    total += s.PopulationOf(h);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StratificationDeathTest, SplitRejectsFullStratum) {
+  Stratification s({10, 20});
+  EXPECT_DEATH({ s.Split(0, {0, 1}); }, "non-empty remainder");
+}
+
+TEST(EstimateStratumTest, PopulationWeightedMoments) {
+  std::vector<TemplateStats> stats(2);
+  stats[0] = {100, 10.0, 4.0, 5};
+  stats[1] = {300, 20.0, 1.0, 7};
+  StratumEstimate e = EstimateStratum({0, 1}, stats);
+  EXPECT_EQ(e.population, 400u);
+  EXPECT_EQ(e.observations, 12u);
+  EXPECT_NEAR(e.mean, (100.0 * 10 + 300.0 * 20) / 400.0, 1e-12);
+  // Variance = within + between: within = (100*4 + 300*1)/400,
+  // between = (100*(10-17.5)^2 + 300*(20-17.5)^2)/400.
+  double within = (100.0 * 4 + 300.0 * 1) / 400.0;
+  double between = (100.0 * 56.25 + 300.0 * 6.25) / 400.0;
+  EXPECT_NEAR(e.variance, within + between, 1e-9);
+}
+
+TEST(NeymanAllocationTest, ProportionalToPopulationTimesStddev) {
+  std::vector<double> N = {100.0, 100.0};
+  std::vector<double> S = {1.0, 3.0};
+  auto alloc = NeymanAllocation(N, S, 40.0, {0.0, 0.0});
+  EXPECT_NEAR(alloc[0], 10.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 30.0, 1e-9);
+}
+
+TEST(NeymanAllocationTest, RespectsLowerBounds) {
+  std::vector<double> N = {100.0, 100.0};
+  std::vector<double> S = {0.01, 3.0};
+  auto alloc = NeymanAllocation(N, S, 40.0, {15.0, 0.0});
+  EXPECT_NEAR(alloc[0], 15.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 25.0, 1e-9);
+}
+
+TEST(NeymanAllocationTest, CapsAtPopulation) {
+  std::vector<double> N = {10.0, 1000.0};
+  std::vector<double> S = {100.0, 1.0};
+  auto alloc = NeymanAllocation(N, S, 500.0, {0.0, 0.0});
+  EXPECT_LE(alloc[0], 10.0 + 1e-9);
+  EXPECT_NEAR(alloc[0] + alloc[1], 500.0, 1.0);
+}
+
+TEST(NeymanAllocationTest, BeatsEqualAllocationOnSkewedStrata) {
+  // Neyman's allocation minimizes eq. 5; compare against equal split.
+  std::vector<double> N = {1000.0, 1000.0};
+  std::vector<double> var = {1.0, 100.0};
+  std::vector<double> S = {1.0, 10.0};
+  auto neyman = NeymanAllocation(N, S, 100.0, {0.0, 0.0});
+  double v_neyman = StratifiedVariance(N, var, neyman);
+  double v_equal = StratifiedVariance(N, var, {50.0, 50.0});
+  EXPECT_LT(v_neyman, v_equal);
+}
+
+TEST(NeymanAllocationTest, OptimalAmongRandomAllocations) {
+  std::vector<double> N = {500.0, 300.0, 1200.0};
+  std::vector<double> var = {4.0, 25.0, 0.25};
+  std::vector<double> S = {2.0, 5.0, 0.5};
+  double n = 120.0;
+  auto neyman = NeymanAllocation(N, S, n, {0.0, 0.0, 0.0});
+  double v_neyman = StratifiedVariance(N, var, neyman);
+  Rng rng(91);
+  for (int t = 0; t < 200; ++t) {
+    double a = rng.NextDouble(1.0, n - 2.0);
+    double b = rng.NextDouble(0.5, n - a - 1.0);
+    std::vector<double> alloc = {a, b, n - a - b};
+    EXPECT_GE(StratifiedVariance(N, var, alloc), v_neyman - 1e-6);
+  }
+}
+
+TEST(StratifiedVarianceTest, ZeroAtFullSampling) {
+  std::vector<double> N = {100.0, 200.0};
+  std::vector<double> var = {5.0, 7.0};
+  EXPECT_NEAR(StratifiedVariance(N, var, {100.0, 200.0}), 0.0, 1e-9);
+}
+
+TEST(MinSamplesTest, MonotoneInTarget) {
+  std::vector<double> N = {5000.0, 5000.0};
+  std::vector<double> var = {10.0, 1000.0};
+  std::vector<double> lo = {2.0, 2.0};
+  uint64_t loose = MinSamplesForTargetVariance(N, var, 1e9, lo);
+  uint64_t tight = MinSamplesForTargetVariance(N, var, 1e7, lo);
+  EXPECT_LE(loose, tight);
+}
+
+TEST(MinSamplesTest, AchievesTarget) {
+  std::vector<double> N = {5000.0, 5000.0};
+  std::vector<double> var = {10.0, 1000.0};
+  std::vector<double> lo = {2.0, 2.0};
+  double target = 5e7;
+  uint64_t n = MinSamplesForTargetVariance(N, var, target, lo);
+  std::vector<double> S = {std::sqrt(10.0), std::sqrt(1000.0)};
+  auto alloc = NeymanAllocation(N, S, static_cast<double>(n), lo);
+  EXPECT_LE(StratifiedVariance(N, var, alloc), target * 1.02);
+}
+
+TEST(MinSamplesTest, ReturnsLowerBoundWhenAlreadyMet) {
+  std::vector<double> N = {100.0};
+  std::vector<double> var = {1.0};
+  uint64_t n = MinSamplesForTargetVariance(N, var, 1e12, {30.0});
+  EXPECT_EQ(n, 30u);
+}
+
+TEST(FindBestSplitTest, SplitsBimodalTemplates) {
+  // Two template groups with very different means: splitting them apart
+  // should reduce #Samples substantially.
+  std::vector<uint64_t> pops = {2500, 2500, 2500, 2500};
+  Stratification strat(pops);
+  std::vector<TemplateStats> stats(4);
+  stats[0] = {2500, 1.0, 0.5, 40};
+  stats[1] = {2500, 2.0, 0.5, 40};
+  stats[2] = {2500, 1000.0, 0.5, 40};
+  stats[3] = {2500, 1100.0, 0.5, 40};
+  SplitDecision dec = FindBestSplit(strat, stats, /*target_variance=*/1e8,
+                                    /*n_min=*/30, /*min_template_obs=*/3);
+  ASSERT_TRUE(dec.beneficial);
+  EXPECT_EQ(dec.stratum, 0u);
+  // The cut must separate the cheap templates {0,1} from the dear {2,3}.
+  std::vector<TemplateId> part1 = dec.part1;
+  std::sort(part1.begin(), part1.end());
+  EXPECT_EQ(part1, (std::vector<TemplateId>{0, 1}));
+}
+
+TEST(FindBestSplitTest, NoSplitWhenTemplatesUnobserved) {
+  std::vector<uint64_t> pops = {1000, 1000};
+  Stratification strat(pops);
+  std::vector<TemplateStats> stats(2);
+  stats[0] = {1000, 1.0, 0.5, 40};
+  stats[1] = {1000, 1000.0, 0.5, 0};  // never sampled
+  SplitDecision dec = FindBestSplit(strat, stats, 1e8, 30, 3);
+  EXPECT_FALSE(dec.beneficial);
+}
+
+TEST(FindBestSplitTest, NoSplitForHomogeneousCosts) {
+  std::vector<uint64_t> pops = {1000, 1000, 1000};
+  Stratification strat(pops);
+  std::vector<TemplateStats> stats(3);
+  for (int t = 0; t < 3; ++t) stats[t] = {1000, 10.0, 1.0, 50};
+  SplitDecision dec = FindBestSplit(strat, stats, 1e6, 30, 3);
+  // Identical template means: a split cannot reduce #Samples.
+  EXPECT_FALSE(dec.beneficial);
+}
+
+TEST(FindBestSplitTest, RespectsTwoNminRule) {
+  // Expected allocation below 2*n_min forbids splitting (paper line 8).
+  std::vector<uint64_t> pops = {50, 50};
+  Stratification strat(pops);
+  std::vector<TemplateStats> stats(2);
+  stats[0] = {50, 1.0, 0.01, 20};
+  stats[1] = {50, 100.0, 0.01, 20};
+  // Huge target variance: only ~n_min samples expected in total.
+  SplitDecision dec = FindBestSplit(strat, stats, 1e12, 30, 3);
+  EXPECT_FALSE(dec.beneficial);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,64 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("SELECT * FROM T"), "select * from t");
+}
+
+TEST(StringUtilTest, StartsWithIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT x", "select"));
+  EXPECT_TRUE(StartsWithIgnoreCase("UpDaTe t", "UPDATE"));
+  EXPECT_FALSE(StartsWithIgnoreCase("INSERT", "UPDATE"));
+  EXPECT_FALSE(StartsWithIgnoreCase("UP", "UPDATE"));
+}
+
+TEST(StringUtilTest, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(Fnv1aHash(""), Fnv1aHash("a"));
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.123), "12.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,217 @@
+#include "tuner/enumerator.h"
+#include "tuner/greedy_tuner.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+class TunerTest : public ::testing::Test {
+ protected:
+  TunerTest()
+      : schema_(SmallTpcdSchema()),
+        wl_(SmallTpcdWorkload(schema_, 240)),
+        opt_(schema_) {}
+
+  Schema schema_;
+  Workload wl_;
+  WhatIfOptimizer opt_;
+};
+
+TEST_F(TunerTest, ScoredCandidatesSortedByBenefit) {
+  Rng rng(601);
+  EnumeratorOptions eopt;
+  eopt.eval_sample_size = 60;
+  auto scored = ScoreCandidates(opt_, wl_, eopt, &rng);
+  ASSERT_GT(scored.size(), 5u);
+  for (size_t i = 1; i < scored.size(); ++i) {
+    EXPECT_GE(scored[i - 1].benefit, scored[i].benefit);
+  }
+  EXPECT_GT(scored.front().benefit, 0.0);
+}
+
+TEST_F(TunerTest, EnumeratedConfigsDistinctAndWithinBudget) {
+  Rng rng(602);
+  EnumeratorOptions eopt;
+  eopt.num_configs = 12;
+  eopt.eval_sample_size = 60;
+  eopt.storage_budget_bytes = schema_.TotalHeapBytes() / 4;
+  auto configs = EnumerateConfigurations(opt_, wl_, eopt, &rng);
+  EXPECT_EQ(configs.size(), 12u);
+  std::set<uint64_t> hashes;
+  for (const Configuration& c : configs) {
+    EXPECT_TRUE(hashes.insert(c.Hash()).second) << "duplicate configuration";
+    EXPECT_LE(c.StorageBytes(schema_), eopt.storage_budget_bytes);
+    EXPECT_GT(c.NumStructures(), 0u);
+  }
+}
+
+TEST_F(TunerTest, ConfigsShareTopStructures) {
+  // The enumerator's whole point: overlapping configurations with
+  // positive cost covariance (what Delta Sampling exploits).
+  Rng rng(603);
+  EnumeratorOptions eopt;
+  eopt.num_configs = 10;
+  eopt.eval_sample_size = 60;
+  auto configs = EnumerateConfigurations(opt_, wl_, eopt, &rng);
+  double overlap_sum = 0.0;
+  int pairs = 0;
+  for (size_t a = 1; a < configs.size(); ++a) {
+    for (size_t b = a + 1; b < configs.size(); ++b) {
+      overlap_sum += configs[a].StructureOverlap(configs[b]);
+      ++pairs;
+    }
+  }
+  EXPECT_GT(overlap_sum / pairs, 0.05);
+}
+
+TEST_F(TunerTest, NeighborhoodVariantsNearBase) {
+  Rng rng(604);
+  EnumeratorOptions eopt;
+  eopt.eval_sample_size = 60;
+  auto scored = ScoreCandidates(opt_, wl_, eopt, &rng);
+  auto configs = EnumerateConfigurations(opt_, wl_, eopt, &rng);
+  auto variants = EnumerateNeighborhood(configs[0], scored, 8, 2, 1, &rng);
+  EXPECT_GE(variants.size(), 4u);
+  for (const Configuration& v : variants) {
+    EXPECT_NE(v.Hash(), configs[0].Hash());
+    EXPECT_GT(v.StructureOverlap(configs[0]), 0.3)
+        << "neighborhood variants must share most structures";
+  }
+}
+
+TEST_F(TunerTest, FindConfigPairTargetsGap) {
+  std::vector<Configuration> configs(4);
+  for (int i = 0; i < 4; ++i) {
+    configs[i].set_name("c" + std::to_string(i));
+  }
+  std::vector<double> totals = {100.0, 107.0, 150.0, 98.0};
+  auto [lo, hi] = FindConfigPair(configs, totals, 0.07, 0.0, 1.0);
+  // Closest pair to 7% gap: (100, 107).
+  EXPECT_EQ(totals[lo], 100.0);
+  EXPECT_EQ(totals[hi], 107.0);
+  EXPECT_LE(totals[lo], totals[hi]);
+}
+
+TEST_F(TunerTest, GreedyTunerImprovesWorkloadCost) {
+  std::vector<QueryId> ids;
+  for (QueryId q = 0; q < wl_.size(); ++q) ids.push_back(q);
+  Rng rng(605);
+  TunerOptions topt;
+  topt.max_structures = 6;
+  topt.beam_width = 12;
+  TuneResult r = GreedyTune(opt_, wl_, ids, {}, topt, &rng);
+  EXPECT_GT(r.Improvement(), 0.15);
+  EXPECT_LE(r.final_cost, r.initial_cost);
+  EXPECT_LE(r.config.NumStructures(), 6u);
+  EXPECT_GT(r.optimizer_calls, 0u);
+}
+
+TEST_F(TunerTest, GreedyTunerHonorsStorageBudget) {
+  std::vector<QueryId> ids;
+  for (QueryId q = 0; q < wl_.size(); ++q) ids.push_back(q);
+  Rng rng(606);
+  TunerOptions topt;
+  topt.storage_budget_bytes = schema_.TotalHeapBytes() / 20;
+  TuneResult r = GreedyTune(opt_, wl_, ids, {}, topt, &rng);
+  EXPECT_LE(r.config.StorageBytes(schema_), topt.storage_budget_bytes);
+}
+
+TEST_F(TunerTest, WeightedTuningPrefersHeavyQueries) {
+  // Weight one expensive join template heavily; the tuned configuration
+  // must help it.
+  std::vector<QueryId> ids;
+  std::vector<double> weights;
+  TemplateId heavy = wl_.query(0).template_id;
+  for (QueryId q = 0; q < wl_.size(); ++q) {
+    ids.push_back(q);
+    weights.push_back(wl_.query(q).template_id == heavy ? 50.0 : 1.0);
+  }
+  Rng rng(607);
+  TunerOptions topt;
+  topt.max_structures = 4;
+  TuneResult r = GreedyTune(opt_, wl_, ids, weights, topt, &rng);
+  Configuration empty("empty");
+  const Query& probe = wl_.query(wl_.QueriesOfTemplate(heavy)[0]);
+  EXPECT_LT(opt_.Cost(probe, r.config), opt_.Cost(probe, empty));
+}
+
+TEST_F(TunerTest, PrimitiveDrivenTuningMatchesExactQuality) {
+  std::vector<QueryId> ids;
+  for (QueryId q = 0; q < wl_.size(); ++q) ids.push_back(q);
+  Rng rng1(608), rng2(608);
+  TunerOptions exact;
+  exact.max_structures = 4;
+  exact.beam_width = 8;
+  TuneResult r_exact = GreedyTune(opt_, wl_, ids, {}, exact, &rng1);
+
+  TunerOptions sampled = exact;
+  sampled.use_comparison_primitive = true;
+  sampled.selector.alpha = 0.85;
+  sampled.selector.n_min = 20;
+  TuneResult r_sampled = GreedyTune(opt_, wl_, ids, {}, sampled, &rng2);
+  // The primitive-driven tuner must achieve comparable improvement.
+  EXPECT_GT(r_sampled.Improvement(), 0.5 * r_exact.Improvement());
+}
+
+TEST_F(TunerTest, BaseConfigSeedsTuning) {
+  // Tuning on top of a deployed base keeps the base structures and only
+  // measures improvement beyond it.
+  std::vector<QueryId> ids;
+  for (QueryId q = 0; q < wl_.size(); ++q) ids.push_back(q);
+  Configuration base("deployed");
+  Index pk;
+  pk.table = kCustomer;
+  pk.key_columns = {0};
+  base.AddIndex(pk);
+  Rng rng(611);
+  TunerOptions topt;
+  topt.max_structures = 3;
+  topt.base_config = base;
+  TuneResult r = GreedyTune(opt_, wl_, ids, {}, topt, &rng);
+  EXPECT_TRUE(r.config.ContainsIndex(pk));
+  EXPECT_NEAR(r.initial_cost,
+              WeightedCost(opt_, wl_, ids, {}, base), 1e-6 * r.initial_cost);
+}
+
+TEST_F(TunerTest, ScoringSampleReducesCallsSimilarQuality) {
+  std::vector<QueryId> ids;
+  for (QueryId q = 0; q < wl_.size(); ++q) ids.push_back(q);
+  TunerOptions exact;
+  exact.max_structures = 3;
+  exact.beam_width = 10;
+  Rng rng1(612);
+  opt_.ResetCallCounter();
+  TuneResult r_exact = GreedyTune(opt_, wl_, ids, {}, exact, &rng1);
+  uint64_t calls_exact = opt_.num_calls();
+
+  TunerOptions sampled = exact;
+  sampled.scoring_sample_size = 60;
+  Rng rng2(612);
+  opt_.ResetCallCounter();
+  TuneResult r_sampled = GreedyTune(opt_, wl_, ids, {}, sampled, &rng2);
+  uint64_t calls_sampled = opt_.num_calls();
+  EXPECT_LT(calls_sampled, calls_exact);
+  EXPECT_GT(r_sampled.Improvement(), 0.5 * r_exact.Improvement());
+}
+
+TEST_F(TunerTest, WeightedCostMatchesManualSum) {
+  std::vector<QueryId> ids = {0, 5, 10};
+  std::vector<double> weights = {2.0, 1.0, 3.0};
+  Configuration empty("empty");
+  double expected = 2.0 * opt_.Cost(wl_.query(0), empty) +
+                    opt_.Cost(wl_.query(5), empty) +
+                    3.0 * opt_.Cost(wl_.query(10), empty);
+  EXPECT_NEAR(WeightedCost(opt_, wl_, ids, weights, empty), expected,
+              1e-9 * expected);
+}
+
+}  // namespace
+}  // namespace pdx

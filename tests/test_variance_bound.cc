@@ -1,0 +1,157 @@
+#include "core/variance_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/running_stats.h"
+
+namespace pdx {
+namespace {
+
+std::vector<CostInterval> RandomIntervals(size_t n, uint64_t seed,
+                                          double scale = 10.0) {
+  Rng rng(seed);
+  std::vector<CostInterval> out(n);
+  for (CostInterval& iv : out) {
+    double a = rng.NextDouble(0.0, scale);
+    double b = rng.NextDouble(0.0, scale);
+    iv.low = std::min(a, b);
+    iv.high = std::max(a, b);
+  }
+  return out;
+}
+
+TEST(VarianceBoundTest, DegenerateIntervalsGiveExactVariance) {
+  // Point intervals: sigma^2_max equals the variance of the fixed values.
+  std::vector<double> values = {1.0, 5.0, 9.0, 2.0, 7.0};
+  std::vector<CostInterval> bounds;
+  for (double v : values) bounds.push_back({v, v});
+  VarianceBoundResult r = MaxVarianceBound(bounds, 0.001);
+  double exact = ExactMoments::Compute(values).variance_population;
+  EXPECT_NEAR(r.sigma2_rounded, exact, r.theta + 1e-9);
+  EXPECT_GE(r.upper, exact);
+  EXPECT_LE(r.lower, exact);
+}
+
+TEST(VarianceBoundTest, TwoIdenticalIntervalsSplit) {
+  // [0,1] x 2: max variance 0.25 at (0, 1) — a mixed assignment, which
+  // the grouped DP must find.
+  std::vector<CostInterval> bounds = {{0.0, 1.0}, {0.0, 1.0}};
+  VarianceBoundResult r = MaxVarianceBound(bounds, 0.01);
+  EXPECT_NEAR(r.sigma2_rounded, 0.25, 0.02);
+}
+
+TEST(VarianceBoundTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 100; seed < 112; ++seed) {
+    auto bounds = RandomIntervals(8, seed);
+    double brute = MaxVarianceBruteForce(bounds);
+    VarianceBoundResult r = MaxVarianceBound(bounds, 0.01);
+    EXPECT_NEAR(r.sigma2_rounded, brute, r.theta + 1e-6) << "seed " << seed;
+    EXPECT_GE(r.upper + 1e-9, brute) << "seed " << seed;
+  }
+}
+
+TEST(VarianceBoundTest, CoarserRhoLargerTheta) {
+  auto bounds = RandomIntervals(50, 120, 100.0);
+  VarianceBoundResult fine = MaxVarianceBound(bounds, 0.1);
+  VarianceBoundResult coarse = MaxVarianceBound(bounds, 10.0);
+  EXPECT_LT(fine.theta, coarse.theta);
+  // Both certified ranges must contain the (unknown) true optimum, so
+  // they must overlap.
+  EXPECT_LE(std::max(fine.lower, coarse.lower),
+            std::min(fine.upper, coarse.upper) + 1e-9);
+}
+
+TEST(VarianceBoundTest, DpStatesShrinkWithCoarserRho) {
+  auto bounds = RandomIntervals(200, 121, 100.0);
+  VarianceBoundResult fine = MaxVarianceBound(bounds, 0.1);
+  VarianceBoundResult coarse = MaxVarianceBound(bounds, 10.0);
+  EXPECT_GT(fine.dp_states, coarse.dp_states);
+}
+
+TEST(VarianceBoundTest, UpperBoundDominatesAnyFeasibleAssignment) {
+  auto bounds = RandomIntervals(40, 122);
+  VarianceBoundResult r = MaxVarianceBound(bounds, 0.05);
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(bounds.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = rng.NextDouble(bounds[i].low, bounds[i].high);
+    }
+    double var = ExactMoments::Compute(v).variance_population;
+    EXPECT_LE(var, r.upper + 1e-9);
+  }
+}
+
+TEST(VarianceBoundTest, GroupedInputsScale) {
+  // Many queries sharing a few templates — exactly the §6 workload shape;
+  // grouping should keep states far below count * steps.
+  std::vector<CostInterval> bounds;
+  for (int g = 0; g < 5; ++g) {
+    for (int i = 0; i < 2000; ++i) {
+      bounds.push_back({10.0 * g, 10.0 * g + 5.0});
+    }
+  }
+  VarianceBoundResult r = MaxVarianceBound(bounds, 1.0);
+  EXPECT_EQ(r.groups, 5u);
+  EXPECT_GT(r.sigma2_rounded, 0.0);
+}
+
+TEST(MinVarianceTest, ZeroWhenIntervalsOverlap) {
+  // All intervals share a point => everything can clamp there.
+  std::vector<CostInterval> bounds = {{0.0, 5.0}, {4.0, 9.0}, {4.5, 20.0}};
+  EXPECT_NEAR(MinVariance(bounds), 0.0, 1e-9);
+}
+
+TEST(MinVarianceTest, MatchesBruteForce) {
+  for (uint64_t seed = 130; seed < 140; ++seed) {
+    auto bounds = RandomIntervals(10, seed);
+    double brute = MinVarianceBruteForce(bounds);
+    double fast = MinVariance(bounds);
+    EXPECT_NEAR(fast, brute, 1e-3 * (1.0 + brute)) << "seed " << seed;
+  }
+}
+
+TEST(MinVarianceTest, PositiveForDisjointIntervals) {
+  std::vector<CostInterval> bounds = {{0.0, 1.0}, {100.0, 101.0}};
+  EXPECT_GT(MinVariance(bounds), 1000.0);
+}
+
+TEST(VarianceBoundTest, UngroupedVariantAgreesWithGrouped) {
+  for (uint64_t seed = 150; seed < 158; ++seed) {
+    auto bounds = RandomIntervals(30, seed);
+    VarianceBoundResult grouped = MaxVarianceBound(bounds, 0.05);
+    VarianceBoundResult ungrouped = MaxVarianceBoundUngrouped(bounds, 0.05);
+    EXPECT_NEAR(grouped.sigma2_rounded, ungrouped.sigma2_rounded,
+                1e-9 * (1.0 + grouped.sigma2_rounded))
+        << "seed " << seed;
+    EXPECT_NEAR(grouped.theta, ungrouped.theta, 1e-9);
+  }
+}
+
+TEST(VarianceBoundTest, UngroupedMatchesBruteForce) {
+  for (uint64_t seed = 160; seed < 166; ++seed) {
+    auto bounds = RandomIntervals(8, seed);
+    double brute = MaxVarianceBruteForce(bounds);
+    VarianceBoundResult r = MaxVarianceBoundUngrouped(bounds, 0.01);
+    EXPECT_NEAR(r.sigma2_rounded, brute, r.theta + 1e-6) << "seed " << seed;
+  }
+}
+
+class VarianceBoundSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VarianceBoundSweep, CertifiedRangeContainsBruteForce) {
+  auto bounds = RandomIntervals(GetParam(), 200 + GetParam());
+  double brute = MaxVarianceBruteForce(bounds);
+  VarianceBoundResult r = MaxVarianceBound(bounds, 0.02);
+  EXPECT_GE(r.upper + 1e-9, brute);
+  EXPECT_LE(r.lower, brute + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VarianceBoundSweep,
+                         ::testing::Values(2, 4, 6, 10, 14));
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,177 @@
+#include "workload/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallCrmSchema;
+using testing::SmallCrmTrace;
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+TEST(WorkloadTest, TpcdGenerationBasics) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 480);
+  EXPECT_EQ(wl.size(), 480u);
+  EXPECT_EQ(wl.num_templates(), 24u);  // 22 join templates + 2 lookups
+  EXPECT_TRUE(wl.Validate().ok());
+  EXPECT_DOUBLE_EQ(wl.DmlFraction(), 0.0);  // QGEN produces SELECTs
+}
+
+TEST(WorkloadTest, TpcdTemplatesEvenlySpread) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 480);
+  for (TemplateId t = 0; t < wl.num_templates(); ++t) {
+    EXPECT_EQ(wl.QueriesOfTemplate(t).size(), 480u / 24u) << "template " << t;
+  }
+}
+
+TEST(WorkloadTest, TpcdDeterministicForSeed) {
+  Schema schema = SmallTpcdSchema();
+  Workload a = SmallTpcdWorkload(schema, 100, 5);
+  Workload b = SmallTpcdWorkload(schema, 100, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (QueryId q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a.query(q).template_id, b.query(q).template_id);
+    ASSERT_EQ(a.query(q).select.accesses.size(),
+              b.query(q).select.accesses.size());
+    for (size_t acc = 0; acc < a.query(q).select.accesses.size(); ++acc) {
+      const auto& pa = a.query(q).select.accesses[acc].predicates;
+      const auto& pb = b.query(q).select.accesses[acc].predicates;
+      ASSERT_EQ(pa.size(), pb.size());
+      for (size_t p = 0; p < pa.size(); ++p) {
+        EXPECT_DOUBLE_EQ(pa[p].selectivity, pb[p].selectivity);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, TpcdSelectivitiesVaryWithinTemplate) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 480);
+  // Instances of a template with sampled predicates must not all share
+  // identical selectivities (QGEN binds fresh parameters per instance).
+  size_t varying_templates = 0;
+  for (TemplateId t = 0; t < wl.num_templates(); ++t) {
+    std::set<double> sels;
+    for (QueryId q : wl.QueriesOfTemplate(t)) {
+      double s = 1.0;
+      for (const auto& a : wl.query(q).select.accesses) {
+        s *= a.CombinedSelectivity();
+      }
+      sels.insert(s);
+    }
+    if (sels.size() > 1) ++varying_templates;
+  }
+  // Templates whose only parameters bind uniform key columns (point
+  // lookups) or constant-selectivity filters legitimately do not vary.
+  EXPECT_GE(varying_templates, wl.num_templates() * 2 / 3);
+}
+
+TEST(WorkloadTest, TpcdJoinEdgesConnectedInOrder) {
+  // The optimizer composes join edges left-deep in order; every edge must
+  // touch the already-joined prefix.
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 240);
+  for (const Query& q : wl.queries()) {
+    if (q.select.joins.empty()) continue;
+    std::set<uint32_t> joined = {q.select.joins[0].left_access};
+    for (const JoinEdge& e : q.select.joins) {
+      EXPECT_TRUE(joined.count(e.left_access) || joined.count(e.right_access));
+      joined.insert(e.left_access);
+      joined.insert(e.right_access);
+    }
+    EXPECT_EQ(joined.size(), q.select.accesses.size());
+  }
+}
+
+TEST(WorkloadTest, TemplateSkewOption) {
+  Schema schema = SmallTpcdSchema();
+  TpcdWorkloadOptions opt;
+  opt.num_queries = 2000;
+  opt.template_skew = 1.0;
+  Workload wl = GenerateTpcdWorkload(schema, opt);
+  // Template 0 should be far more popular than the tail template.
+  EXPECT_GT(wl.QueriesOfTemplate(0).size(),
+            3 * wl.QueriesOfTemplate(wl.num_templates() - 1).size());
+}
+
+TEST(WorkloadTest, CrmTraceBasics) {
+  Schema schema = SmallCrmSchema();
+  Workload wl = SmallCrmTrace(schema, 600);
+  EXPECT_EQ(wl.size(), 600u);
+  EXPECT_EQ(wl.num_templates(), 40u);
+  EXPECT_TRUE(wl.Validate().ok());
+  // "queries, inserts, updates and deletes".
+  EXPECT_GT(wl.DmlFraction(), 0.05);
+  EXPECT_LT(wl.DmlFraction(), 0.8);
+}
+
+TEST(WorkloadTest, CrmTraceFullScaleShape) {
+  // Paper scale: ~6K statements, > 120 templates.
+  Schema schema = SmallCrmSchema();
+  CrmTraceOptions opt;
+  opt.num_statements = 6000;
+  opt.num_templates = 130;
+  Workload wl = GenerateCrmTrace(schema, opt);
+  EXPECT_EQ(wl.size(), 6000u);
+  EXPECT_EQ(wl.num_templates(), 130u);
+  bool has_insert = false, has_update = false, has_delete = false;
+  for (const Query& q : wl.queries()) {
+    has_insert |= q.kind == StatementKind::kInsert;
+    has_update |= q.kind == StatementKind::kUpdate;
+    has_delete |= q.kind == StatementKind::kDelete;
+  }
+  EXPECT_TRUE(has_insert);
+  EXPECT_TRUE(has_update);
+  EXPECT_TRUE(has_delete);
+}
+
+TEST(WorkloadTest, CrmDmlQueriesHaveUpdateSpecs) {
+  Schema schema = SmallCrmSchema();
+  Workload wl = SmallCrmTrace(schema, 400);
+  for (const Query& q : wl.queries()) {
+    if (q.IsDml()) {
+      ASSERT_TRUE(q.update.has_value());
+      EXPECT_GT(q.update->selectivity, 0.0);
+      EXPECT_LE(q.update->selectivity, 1.0);
+    } else {
+      EXPECT_FALSE(q.update.has_value());
+    }
+  }
+}
+
+TEST(WorkloadTest, AddQueryChecksTemplateRegistered) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl(&schema);
+  Query q;
+  q.template_id = 3;  // not registered
+  EXPECT_DEATH({ wl.AddQuery(std::move(q)); }, "PDX_CHECK");
+}
+
+TEST(WorkloadTest, ValidateRejectsBadSelectivity) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl(&schema);
+  QueryTemplate tmpl;
+  tmpl.name = "t";
+  wl.AddTemplate(std::move(tmpl));
+  Query q;
+  q.template_id = 0;
+  TableAccess a;
+  a.table = kCustomer;
+  Predicate p;
+  p.column = {static_cast<TableId>(kCustomer), 0};
+  p.selectivity = 0.0;  // invalid
+  a.predicates.push_back(p);
+  q.select.accesses.push_back(a);
+  wl.AddQuery(std::move(q));
+  EXPECT_FALSE(wl.Validate().ok());
+}
+
+}  // namespace
+}  // namespace pdx

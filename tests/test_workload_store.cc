@@ -1,0 +1,146 @@
+#include "workload/workload_store.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+class WorkloadStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/store_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".wl";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(WorkloadStoreTest, CreateAppendRead) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append(0, 3, "SELECT 1").ok());
+  ASSERT_TRUE(store->Append(1, 5, "SELECT 2 FROM t WHERE x = 'a'").ok());
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->size(), 2u);
+
+  auto q0 = store->Read(0);
+  ASSERT_TRUE(q0.ok());
+  EXPECT_EQ(q0->id, 0u);
+  EXPECT_EQ(q0->template_id, 3u);
+  EXPECT_EQ(q0->sql, "SELECT 1");
+
+  auto q1 = store->Read(1);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->sql, "SELECT 2 FROM t WHERE x = 'a'");
+}
+
+TEST_F(WorkloadStoreTest, EscapedNewlinesRoundTrip) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  std::string sql = "SELECT a\nFROM t\\x";
+  ASSERT_TRUE(store->Append(0, 0, sql).ok());
+  auto q = store->Read(0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->sql, sql);
+}
+
+TEST_F(WorkloadStoreTest, OpenRebuildsIndex) {
+  {
+    auto store = WorkloadStore::Create(path_);
+    ASSERT_TRUE(store.ok());
+    for (QueryId i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          store->Append(i, i % 7, "SELECT " + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  auto reopened = WorkloadStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), 50u);
+  auto q = reopened->Read(17);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->sql, "SELECT 17");
+  EXPECT_EQ(q->template_id, 17u % 7u);
+  auto t = reopened->TemplateOf(33);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 33u % 7u);
+}
+
+TEST_F(WorkloadStoreTest, AppendRequiresContiguousIds) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append(0, 0, "a").ok());
+  EXPECT_FALSE(store->Append(2, 0, "b").ok());
+}
+
+TEST_F(WorkloadStoreTest, ReadOutOfRange) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append(0, 0, "a").ok());
+  EXPECT_FALSE(store->Read(1).ok());
+  EXPECT_FALSE(store->TemplateOf(9).ok());
+}
+
+TEST_F(WorkloadStoreTest, SampleQueriesDistinctAndComplete) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  for (QueryId i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store->Append(i, i % 4, "Q" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  Rng rng(71);
+  auto sample = store->SampleQueries(50, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 50u);
+  std::set<QueryId> ids;
+  for (const StoredQuery& q : *sample) {
+    ids.insert(q.id);
+    EXPECT_EQ(q.sql, "Q" + std::to_string(q.id));
+  }
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST_F(WorkloadStoreTest, SampleLargerThanStoreFails) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append(0, 0, "a").ok());
+  Rng rng(72);
+  EXPECT_FALSE(store->SampleQueries(2, &rng).ok());
+}
+
+TEST_F(WorkloadStoreTest, IdsOfTemplate) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  for (QueryId i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store->Append(i, i % 3, "q").ok());
+  }
+  auto ids = store->IdsOfTemplate(1);
+  EXPECT_EQ(ids.size(), 10u);
+  for (QueryId id : ids) EXPECT_EQ(id % 3, 1u);
+}
+
+TEST_F(WorkloadStoreTest, OpenMissingFileFails) {
+  EXPECT_FALSE(WorkloadStore::Open("/nonexistent/dir/x.wl").ok());
+}
+
+TEST_F(WorkloadStoreTest, ReadManyReturnsSortedByFileOrder) {
+  auto store = WorkloadStore::Create(path_);
+  ASSERT_TRUE(store.ok());
+  for (QueryId i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->Append(i, 0, "q" + std::to_string(i)).ok());
+  }
+  auto out = store->ReadMany({7, 3, 15});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].id, 3u);
+  EXPECT_EQ((*out)[1].id, 7u);
+  EXPECT_EQ((*out)[2].id, 15u);
+}
+
+}  // namespace
+}  // namespace pdx

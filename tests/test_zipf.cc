@@ -1,0 +1,78 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < z.n(); ++i) sum += z.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution z(50, 1.0);
+  for (size_t i = 1; i < z.n(); ++i) {
+    EXPECT_LE(z.Probability(i), z.Probability(i - 1));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t i = 0; i < z.n(); ++i) {
+    EXPECT_NEAR(z.Probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  ZipfDistribution mild(100, 0.5);
+  ZipfDistribution heavy(100, 2.0);
+  EXPECT_GT(heavy.Probability(0), mild.Probability(0));
+  EXPECT_LT(heavy.Probability(99), mild.Probability(99));
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  ZipfDistribution z(20, 1.0);
+  Rng rng(21);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(&rng)] += 1;
+  for (size_t i = 0; i < z.n(); ++i) {
+    double freq = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(freq, z.Probability(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, TopFrequencyMatchesDistribution) {
+  ZipfDistribution z(37, 1.0);
+  EXPECT_NEAR(ZipfTopFrequency(37, 1.0), z.Probability(0), 1e-9);
+}
+
+TEST(ZipfTest, FrequencyMatchesDistribution) {
+  ZipfDistribution z(37, 0.8);
+  for (size_t r : {0ul, 5ul, 36ul}) {
+    EXPECT_NEAR(ZipfFrequency(37, 0.8, r), z.Probability(r), 1e-9);
+  }
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  ZipfDistribution z(1, 1.0);
+  EXPECT_NEAR(z.Probability(0), 1.0, 1e-12);
+  Rng rng(22);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, Theta1ClassicRatios) {
+  // Under theta=1, Pr(rank 0) = 2 * Pr(rank 1) = 3 * Pr(rank 2).
+  ZipfDistribution z(1000, 1.0);
+  EXPECT_NEAR(z.Probability(0) / z.Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(z.Probability(0) / z.Probability(2), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdx
