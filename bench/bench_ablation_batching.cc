@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
   spec.target_gap = 0.07;
   spec.view_requirement = 1;
   ConfigPair pair = FindPair(*env, pool, totals, spec);
-  MatrixCostSource src = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
   std::printf("TPC-D pair, gap %.2f%%, alpha = 0.9\n\n", 100.0 * pair.Gap());
 
   const std::vector<int> widths = {26, 12, 12, 12};
@@ -83,6 +82,6 @@ int main(int argc, char** argv) {
       "\nexpected shape: batching needs >= min_batches * batch_size calls "
       "per configuration before it can say anything — at literature-scale "
       "batch sizes that alone dwarfs the primitive's entire budget.\n");
-  std::printf("[ablation-batching] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("ablation-batching", start);
   return 0;
 }

@@ -96,8 +96,7 @@ int main(int argc, char** argv) {
                               gen.RichConfiguration(*env->workload));
     std::vector<CostInterval> bounds =
         deriver.DeltaBounds(pair.cheap, pair.dear);
-    MatrixCostSource src = MatrixCostSource::Precompute(
-        *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+    MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
     std::printf("TPC-D pair: gap %.2f%%; the conservative run pays for its "
                 "certificate with extra samples.\n",
                 100.0 * pair.Gap());
@@ -139,6 +138,6 @@ int main(int argc, char** argv) {
       "sample variance understates sparse-tailed difference distributions);\n"
       "the conservative method never does — its price is a far larger, and\n"
       "sometimes unreachable, sample budget.\n");
-  std::printf("[ablation-conservative] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("ablation-conservative", start);
   return 0;
 }

@@ -44,8 +44,7 @@ int main(int argc, char** argv) {
     if (variants.empty()) continue;
     const Configuration& other = variants[0];
 
-    MatrixCostSource src = MatrixCostSource::Precompute(
-        *env->optimizer, *env->workload, {base, other});
+    MatrixCostSource src = TimedPrecompute(*env, {base, other});
     ConfigId truth = src.TotalCost(0) <= src.TotalCost(1) ? 0 : 1;
     double gap = std::abs(src.TotalCost(0) - src.TotalCost(1)) /
                  std::max(src.TotalCost(0), src.TotalCost(1));
@@ -80,6 +79,7 @@ int main(int argc, char** argv) {
               StringFormat("%.3f", acc_i), StringFormat("%.3f", acc_d)},
              widths);
   }
-  std::printf("\n[ablation-cov] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("ablation-cov", start);
   return 0;
 }

@@ -20,8 +20,7 @@ int main(int argc, char** argv) {
 
   Rng rng(71);
   std::vector<Configuration> pool = MakeConfigPool(*env, 60, &rng);
-  MatrixCostSource src =
-      MatrixCostSource::Precompute(*env->optimizer, *env->workload, pool);
+  MatrixCostSource src = TimedPrecompute(*env, pool);
   ConfigId truth = 0;
   std::vector<double> totals(pool.size());
   for (ConfigId c = 0; c < pool.size(); ++c) {
@@ -72,6 +71,7 @@ int main(int argc, char** argv) {
               StringFormat("%.2f%%", 100.0 * max_delta)},
              widths);
   }
-  std::printf("\n[ablation-elim] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("ablation-elim", start);
   return 0;
 }

@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
   spec.min_overlap = 0.25;
   spec.view_requirement = -1;
   ConfigPair pair = FindPair(*env, pool, totals, spec);
-  MatrixCostSource matrix = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource matrix = TimedPrecompute(*env, {pair.cheap, pair.dear});
   std::printf("pair: gap %.2f%%; per-template optimizer overheads range "
               "1.0x-%.1fx (joins are dearer to optimize)\n\n",
               100.0 * pair.Gap(),
@@ -111,6 +110,7 @@ int main(int argc, char** argv) {
       "\nexpected shape: same call count, lower weighted optimizer cost for "
       "the overhead-aware mode at comparable accuracy — it steers draws "
       "toward strata that buy variance reduction cheaply.\n");
-  std::printf("\n[ablation-overhead] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("ablation-overhead", start);
   return 0;
 }

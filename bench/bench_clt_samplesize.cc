@@ -66,6 +66,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference: ~4%% of 13K vs <0.6%% of 131K — the fraction must "
       "fall with N.\n");
-  std::printf("[clt] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("clt", start);
   return 0;
 }

@@ -1,14 +1,23 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+
 namespace pdx::bench {
 
 int TrialsFromArgs(int argc, char** argv, int default_trials) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int v = std::atoi(argv[i] + 10);
+      if (v > 0) SetGlobalThreadCount(static_cast<size_t>(v));
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trials=", 9) == 0) {
       int v = std::atoi(argv[i] + 9);
@@ -32,7 +41,9 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 void PrintHeader(const std::string& title, int trials) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("Monte-Carlo trials per data point: %d", trials);
-  std::printf("  (paper used 5000; scale with --trials=N or PDX_TRIALS)\n\n");
+  std::printf("  (paper used 5000; scale with --trials=N or PDX_TRIALS)\n");
+  std::printf("threads: %zu  (--threads=N or PDX_THREADS)\n\n",
+              GlobalThreadCount());
 }
 
 std::unique_ptr<Environment> MakeTpcdEnvironment(uint32_t num_queries,
@@ -187,10 +198,58 @@ std::vector<Configuration> MakeConfigPool(const Environment& env,
 std::vector<double> ExactTotals(const Environment& env,
                                 const std::vector<Configuration>& configs) {
   std::vector<double> totals(configs.size());
-  for (size_t c = 0; c < configs.size(); ++c) {
-    totals[c] = env.optimizer->TotalCost(*env.workload, configs[c]);
-  }
+  // Each configuration's total is an independent serial sum over the
+  // workload, so per-config fan-out leaves every total bit-identical.
+  GlobalThreadPool().ParallelFor(
+      0, configs.size(), /*chunk=*/1, [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          totals[c] = env.optimizer->TotalCost(*env.workload, configs[c]);
+        }
+      });
   return totals;
+}
+
+MatrixCostSource TimedPrecompute(const Environment& env,
+                                 const std::vector<Configuration>& configs) {
+  auto start = std::chrono::steady_clock::now();
+  MatrixCostSource src =
+      MatrixCostSource::Precompute(*env.optimizer, *env.workload, configs);
+  double secs = SecondsSince(start);
+  double cells =
+      static_cast<double>(env.workload->size()) * configs.size();
+  std::printf(
+      "precompute: %zu x %zu cost matrix in %.2fs (%.0f cells/sec, %zu "
+      "threads)\n",
+      env.workload->size(), configs.size(), secs,
+      secs > 0.0 ? cells / secs : 0.0, GlobalThreadCount());
+  return src;
+}
+
+namespace {
+std::atomic<uint64_t> g_mc_trials{0};
+std::atomic<double> g_mc_seconds{0.0};
+}  // namespace
+
+MonteCarloThroughput CumulativeMonteCarloThroughput() {
+  MonteCarloThroughput t;
+  t.trials = g_mc_trials.load(std::memory_order_relaxed);
+  t.seconds = g_mc_seconds.load(std::memory_order_relaxed);
+  return t;
+}
+
+void PrintWallClockReport(const char* tag,
+                          std::chrono::steady_clock::time_point start) {
+  MonteCarloThroughput mc = CumulativeMonteCarloThroughput();
+  if (mc.trials > 0) {
+    std::printf("[%s] done in %.1fs (%llu MC trials, %.0f trials/sec, %zu "
+                "threads)\n",
+                tag, SecondsSince(start),
+                static_cast<unsigned long long>(mc.trials), mc.TrialsPerSec(),
+                GlobalThreadCount());
+  } else {
+    std::printf("[%s] done in %.1fs (%zu threads)\n", tag, SecondsSince(start),
+                GlobalThreadCount());
+  }
 }
 
 ConfigPair FindPair(const Environment& /*env*/,
@@ -243,13 +302,27 @@ double MonteCarloAccuracy(MatrixCostSource* source, ConfigId truth,
                           uint64_t query_budget,
                           const FixedBudgetOptions& options, int trials,
                           uint64_t seed_base) {
+  auto start = std::chrono::steady_clock::now();
+  // Each trial is an independent selection with its own Rng seeded
+  // `seed_base + t` — the same derivation as the serial loop — and writes
+  // only its own slot, so the accuracy is bit-identical at every thread
+  // count.
+  std::vector<uint8_t> hit(trials, 0);
+  GlobalThreadPool().ParallelFor(
+      0, static_cast<size_t>(trials), /*chunk=*/0,
+      [&](size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          Rng rng(seed_base + static_cast<uint64_t>(t));
+          FixedBudgetResult r =
+              FixedBudgetSelect(source, query_budget, options, &rng);
+          if (r.best == truth) hit[t] = 1;
+        }
+      });
   int correct = 0;
-  for (int t = 0; t < trials; ++t) {
-    Rng rng(seed_base + static_cast<uint64_t>(t));
-    FixedBudgetResult r =
-        FixedBudgetSelect(source, query_budget, options, &rng);
-    if (r.best == truth) ++correct;
-  }
+  for (uint8_t h : hit) correct += h;
+  g_mc_trials.fetch_add(static_cast<uint64_t>(trials),
+                        std::memory_order_relaxed);
+  AtomicAddDouble(&g_mc_seconds, SecondsSince(start));
   return static_cast<double>(correct) / static_cast<double>(trials);
 }
 

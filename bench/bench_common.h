@@ -26,13 +26,16 @@
 namespace pdx::bench {
 
 /// Parses --trials=N from argv, falling back to PDX_TRIALS, then to
-/// `default_trials`.
+/// `default_trials`. Also applies --threads=N (falling back to
+/// PDX_THREADS / hardware concurrency) to the global thread pool, so
+/// every bench picks up both flags through its existing call.
 int TrialsFromArgs(int argc, char** argv, int default_trials);
 
 /// Seconds elapsed between two steady_clock points.
 double SecondsSince(std::chrono::steady_clock::time_point start);
 
-/// Prints the standard bench header (binary name + trial count + scale).
+/// Prints the standard bench header (binary name + trial count + scale +
+/// thread count).
 void PrintHeader(const std::string& title, int trials);
 
 /// A fully-constructed experiment environment. Holds the schema by value;
@@ -79,9 +82,30 @@ std::vector<Configuration> MakeConfigPool(
     bool include_views = true,
     PoolStyle style = PoolStyle::kNearOptimalCloud);
 
-/// Exact workload totals of each configuration (|WL| * k optimizer calls).
+/// Exact workload totals of each configuration (|WL| * k optimizer calls,
+/// fanned out over the global thread pool).
 std::vector<double> ExactTotals(const Environment& env,
                                 const std::vector<Configuration>& configs);
+
+/// MatrixCostSource::Precompute plus a wall-clock report: prints the
+/// matrix shape, precompute seconds and cells/sec so speedups from
+/// --threads land in the recorded bench output.
+MatrixCostSource TimedPrecompute(const Environment& env,
+                                 const std::vector<Configuration>& configs);
+
+/// Cumulative Monte-Carlo throughput (trials and wall-clock seconds spent
+/// in MonteCarloAccuracy since process start). Benches print this as
+/// their closing wall-clock report.
+struct MonteCarloThroughput {
+  uint64_t trials = 0;
+  double seconds = 0.0;
+  double TrialsPerSec() const { return seconds > 0.0 ? trials / seconds : 0.0; }
+};
+MonteCarloThroughput CumulativeMonteCarloThroughput();
+
+/// Prints "[tag] done in S s (N MC trials, R trials/sec, T threads)".
+void PrintWallClockReport(const char* tag,
+                          std::chrono::steady_clock::time_point start);
 
 /// Scenario spec for the figure experiments' configuration pairs.
 struct PairSpec {
@@ -112,6 +136,9 @@ ConfigPair FindPair(const Environment& env,
 
 /// One Monte-Carlo accuracy experiment: repeats fixed-budget selections
 /// and returns the fraction that picked the true best configuration.
+/// Trials fan out over the global thread pool; each trial's RNG is seeded
+/// `seed_base + trial` exactly as in the serial loop, so the result is
+/// bit-identical at every thread count.
 double MonteCarloAccuracy(MatrixCostSource* source, ConfigId truth,
                           uint64_t query_budget,
                           const FixedBudgetOptions& options, int trials,

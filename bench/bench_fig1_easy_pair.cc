@@ -41,8 +41,7 @@ int main(int argc, char** argv) {
   std::printf("exact evaluation would need %zu optimizer calls\n\n",
               2 * env->workload->size());
 
-  MatrixCostSource src = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
   const ConfigId truth = 0;
 
   struct SchemeSpec {
@@ -78,6 +77,7 @@ int main(int argc, char** argv) {
     }
     PrintRow(row, widths);
   }
-  std::printf("\n[fig1] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("fig1", start);
   return 0;
 }

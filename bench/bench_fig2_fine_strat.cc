@@ -28,8 +28,7 @@ int main(int argc, char** argv) {
               100.0 * pair.Gap(), env->workload->num_templates(),
               env->workload->num_templates());
 
-  MatrixCostSource src = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
   const ConfigId truth = 0;
 
   struct Variant {
@@ -66,6 +65,7 @@ int main(int argc, char** argv) {
     }
     PrintRow(row, widths);
   }
-  std::printf("\n[fig2] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("fig2", start);
   return 0;
 }

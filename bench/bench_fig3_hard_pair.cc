@@ -35,8 +35,7 @@ int main(int argc, char** argv) {
   std::printf("pair: gap=%.2f%%, overlap=%.2f (both index-only)\n\n",
               100.0 * pair.Gap(), pair.Overlap());
 
-  MatrixCostSource src = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
   const ConfigId truth = 0;
 
   struct SchemeSpec {
@@ -69,6 +68,7 @@ int main(int argc, char** argv) {
     }
     PrintRow(row, widths);
   }
-  std::printf("\n[fig3] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("fig3", start);
   return 0;
 }

@@ -38,8 +38,7 @@ int main(int argc, char** argv) {
   std::printf("pair: gap=%.2f%%, overlap=%.2f\n\n", 100.0 * pair.Gap(),
               pair.Overlap());
 
-  MatrixCostSource src = MatrixCostSource::Precompute(
-      *env->optimizer, *env->workload, {pair.cheap, pair.dear});
+  MatrixCostSource src = TimedPrecompute(*env, {pair.cheap, pair.dear});
   const ConfigId truth = 0;
 
   struct SchemeSpec {
@@ -72,6 +71,7 @@ int main(int argc, char** argv) {
     }
     PrintRow(row, widths);
   }
-  std::printf("\n[fig4] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("fig4", start);
   return 0;
 }

@@ -7,13 +7,48 @@
 // Reported per method: "True Pr(CS)" (fraction of trials selecting the
 // actually-best configuration) and "Max Delta" (worst-case relative cost
 // penalty of the selected configuration).
+//
+// Trials fan out over the global thread pool. Every per-trial RNG is
+// seeded from (seed, k, trial) exactly as in the serial loop, each trial
+// writes only its own result slots, and the reductions (counts, sums,
+// max) are order-independent — so the report is bit-identical at every
+// thread count.
 #pragma once
 
 #include <algorithm>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 
 namespace pdx::bench {
+
+/// Forwards Cost() to a shared matrix while counting calls locally, so
+/// concurrent trials each get exact per-trial call accounting (the shared
+/// matrix's own counter only provides a global total).
+class TrialCountingSource : public CostSource {
+ public:
+  explicit TrialCountingSource(MatrixCostSource* inner) : inner_(inner) {}
+
+  double Cost(QueryId q, ConfigId c) override {
+    ++calls_;
+    return inner_->Cost(q, c);
+  }
+  size_t num_queries() const override { return inner_->num_queries(); }
+  size_t num_configs() const override { return inner_->num_configs(); }
+  TemplateId TemplateOf(QueryId q) const override {
+    return inner_->TemplateOf(q);
+  }
+  size_t num_templates() const override { return inner_->num_templates(); }
+  double OptimizeOverhead(QueryId q) const override {
+    return inner_->OptimizeOverhead(q);
+  }
+  uint64_t num_calls() const override { return calls_; }
+  void ResetCallCounter() override { calls_ = 0; }
+
+ private:
+  MatrixCostSource* inner_;
+  uint64_t calls_ = 0;  // trial-local: no concurrent access
+};
 
 inline void RunMultiConfigExperiment(Environment* env,
                                      const std::vector<uint32_t>& ks,
@@ -25,6 +60,12 @@ inline void RunMultiConfigExperiment(Environment* env,
     int correct = 0;
     double max_delta = 0.0;
   };
+  /// Per-trial outcome slots, filled independently by each trial.
+  struct TrialResult {
+    double delta1 = 0.0, delta2 = 0.0, delta3 = 0.0;
+    uint64_t samples = 0;
+    uint64_t calls = 0;
+  };
 
   const std::vector<int> widths = {16, 14, 10, 10, 10};
   for (uint32_t k : ks) {
@@ -35,8 +76,7 @@ inline void RunMultiConfigExperiment(Environment* env,
       std::printf("k=%u: pool only reached %zu distinct configurations\n", k,
                   pool.size());
     }
-    MatrixCostSource src =
-        MatrixCostSource::Precompute(*env->optimizer, *env->workload, pool);
+    MatrixCostSource src = TimedPrecompute(*env, pool);
     std::vector<double> totals(pool.size());
     ConfigId truth = 0;
     for (ConfigId c = 0; c < pool.size(); ++c) {
@@ -53,48 +93,59 @@ inline void RunMultiConfigExperiment(Environment* env,
     }
     if (runner_up > 1e299) runner_up = best_total;
 
+    std::vector<TrialResult> results(trials);
+    GlobalThreadPool().ParallelFor(
+        0, static_cast<size_t>(trials), /*chunk=*/0,
+        [&](size_t begin, size_t end) {
+          for (size_t t = begin; t < end; ++t) {
+            TrialResult& out = results[t];
+            // --- Algorithm 1 (the paper's comparison primitive) ---
+            SelectorOptions sopt;
+            sopt.alpha = 0.9;
+            sopt.delta = 0.0;
+            sopt.scheme = SamplingScheme::kDelta;
+            sopt.stratify = true;
+            sopt.consecutive_to_stop = 10;
+            sopt.elimination_threshold = 0.995;
+            Rng rng1(seed + 1000003ull * k + t);
+            TrialCountingSource trial_src(&src);
+            ConfigurationSelector selector(&trial_src, sopt);
+            SelectionResult r = selector.Run(&rng1);
+            out.samples = r.queries_sampled;
+            out.calls = r.optimizer_calls;
+            out.delta1 = (totals[r.best] - best_total) / best_total;
+
+            // --- alternatives, same number of sampled queries ---
+            FixedBudgetOptions uopt;
+            uopt.scheme = SamplingScheme::kDelta;
+            uopt.allocation = AllocationPolicy::kUniform;
+            Rng rng2(seed + 2000003ull * k + t);
+            FixedBudgetResult u =
+                FixedBudgetSelect(&trial_src, r.queries_sampled, uopt, &rng2);
+            out.delta2 = (totals[u.best] - best_total) / best_total;
+
+            FixedBudgetOptions eopt2;
+            eopt2.scheme = SamplingScheme::kDelta;
+            eopt2.allocation = AllocationPolicy::kEqualPerTemplate;
+            Rng rng3(seed + 3000003ull * k + t);
+            FixedBudgetResult e =
+                FixedBudgetSelect(&trial_src, r.queries_sampled, eopt2, &rng3);
+            out.delta3 = (totals[e.best] - best_total) / best_total;
+          }
+        });
+
     MethodStats algo1, nostrat, equal;
     uint64_t total_samples = 0;
     uint64_t total_calls = 0;
-
-    for (int t = 0; t < trials; ++t) {
-      // --- Algorithm 1 (the paper's comparison primitive) ---
-      SelectorOptions sopt;
-      sopt.alpha = 0.9;
-      sopt.delta = 0.0;
-      sopt.scheme = SamplingScheme::kDelta;
-      sopt.stratify = true;
-      sopt.consecutive_to_stop = 10;
-      sopt.elimination_threshold = 0.995;
-      Rng rng1(seed + 1000003ull * k + t);
-      ConfigurationSelector selector(&src, sopt);
-      SelectionResult r = selector.Run(&rng1);
-      total_samples += r.queries_sampled;
-      total_calls += r.optimizer_calls;
-      double delta1 = (totals[r.best] - best_total) / best_total;
-      algo1.correct += delta1 <= kTieEpsilon ? 1 : 0;
-      algo1.max_delta = std::max(algo1.max_delta, delta1);
-
-      // --- alternatives, same number of sampled queries ---
-      FixedBudgetOptions uopt;
-      uopt.scheme = SamplingScheme::kDelta;
-      uopt.allocation = AllocationPolicy::kUniform;
-      Rng rng2(seed + 2000003ull * k + t);
-      FixedBudgetResult u =
-          FixedBudgetSelect(&src, r.queries_sampled, uopt, &rng2);
-      double delta2 = (totals[u.best] - best_total) / best_total;
-      nostrat.correct += delta2 <= kTieEpsilon ? 1 : 0;
-      nostrat.max_delta = std::max(nostrat.max_delta, delta2);
-
-      FixedBudgetOptions eopt2;
-      eopt2.scheme = SamplingScheme::kDelta;
-      eopt2.allocation = AllocationPolicy::kEqualPerTemplate;
-      Rng rng3(seed + 3000003ull * k + t);
-      FixedBudgetResult e =
-          FixedBudgetSelect(&src, r.queries_sampled, eopt2, &rng3);
-      double delta3 = (totals[e.best] - best_total) / best_total;
-      equal.correct += delta3 <= kTieEpsilon ? 1 : 0;
-      equal.max_delta = std::max(equal.max_delta, delta3);
+    for (const TrialResult& out : results) {
+      total_samples += out.samples;
+      total_calls += out.calls;
+      algo1.correct += out.delta1 <= kTieEpsilon ? 1 : 0;
+      algo1.max_delta = std::max(algo1.max_delta, out.delta1);
+      nostrat.correct += out.delta2 <= kTieEpsilon ? 1 : 0;
+      nostrat.max_delta = std::max(nostrat.max_delta, out.delta2);
+      equal.correct += out.delta3 <= kTieEpsilon ? 1 : 0;
+      equal.max_delta = std::max(equal.max_delta, out.delta3);
     }
 
     std::printf(
@@ -114,7 +165,10 @@ inline void RunMultiConfigExperiment(Environment* env,
     report("Delta-Sampling", algo1);
     report("No Strat.", nostrat);
     report("Equal Alloc.", equal);
-    std::printf("[k=%u] %.1fs\n\n", k, SecondsSince(k_start));
+    std::printf("[k=%u] %.1fs (%.1f trials/sec, %zu threads)\n\n", k,
+                SecondsSince(k_start),
+                trials / std::max(1e-9, SecondsSince(k_start)),
+                GlobalThreadCount());
   }
 }
 

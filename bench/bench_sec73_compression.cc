@@ -183,8 +183,7 @@ int main(int argc, char** argv) {
       {"k=10 mixed set", many},
   };
   for (const Scenario& s : scenarios) {
-    MatrixCostSource src =
-        MatrixCostSource::Precompute(*env->optimizer, *env->workload, s.configs);
+    MatrixCostSource src = TimedPrecompute(*env, s.configs);
     double frac_sum = 0.0;
     for (int t = 0; t < trials; ++t) {
       SelectorOptions sopt;
@@ -201,6 +200,7 @@ int main(int argc, char** argv) {
   }
   std::printf("  (no up-front compression parameter fits all three)\n");
 
-  std::printf("\n[sec7.3] done in %.1fs\n", SecondsSince(start));
+  std::printf("\n");
+  PrintWallClockReport("sec7.3", start);
   return 0;
 }

@@ -96,6 +96,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper reference (2.8GHz Pentium 4): 0.4s / 5.2s / 53s — the shape "
       "to match is runtime ~ 1/rho.\n");
-  std::printf("[table1] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("table1", start);
   return 0;
 }

@@ -22,6 +22,6 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu queries, %zu templates\n\n",
               env->workload->size(), env->workload->num_templates());
   RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E);
-  std::printf("[table2] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("table2", start);
   return 0;
 }

@@ -19,6 +19,6 @@ int main(int argc, char** argv) {
               env->workload->size(), env->workload->num_templates(),
               100.0 * env->workload->DmlFraction());
   RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E);
-  std::printf("[table3] done in %.1fs\n", SecondsSince(start));
+  PrintWallClockReport("table3", start);
   return 0;
 }

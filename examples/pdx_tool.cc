@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "catalog/tpcd_schema.h"
+#include "common/thread_pool.h"
 #include "core/cost_source.h"
 #include "core/selector.h"
 #include "optimizer/serialization.h"
@@ -39,12 +40,24 @@ std::string FlagValue(int argc, char** argv, const char* name,
   return fallback;
 }
 
+bool HasFlag(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 int Usage() {
   std::printf(
       "usage:\n"
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
-      "  pdx_tool show    --dir=DIR\n");
+      "                   [--no-cache]\n"
+      "  pdx_tool show    --dir=DIR\n"
+      "\n"
+      "  --threads=N applies to every command (default: PDX_THREADS or all\n"
+      "  hardware threads); compare memoizes what-if calls unless --no-cache.\n");
   return 2;
 }
 
@@ -142,7 +155,13 @@ int RunCompare(int argc, char** argv) {
               configs->size());
 
   WhatIfOptimizer optimizer(*schema);
-  WhatIfCostSource source(optimizer, *workload, *configs);
+  WhatIfCostSource live_source(optimizer, *workload, *configs);
+  // The deployed tool's what-if cache: a selection loop never pays for
+  // re-costing a (query, configuration) pair it already sampled.
+  bool use_cache = !HasFlag(argc, argv, "no-cache");
+  CachingCostSource cached_source(&live_source);
+  CostSource* source =
+      use_cache ? static_cast<CostSource*>(&cached_source) : &live_source;
   SelectorOptions sopt;
   sopt.alpha = alpha;
   sopt.scheme = scheme == "indep" ? SamplingScheme::kIndependent
@@ -158,7 +177,7 @@ int RunCompare(int argc, char** argv) {
     double scale = pilot / 50.0 * static_cast<double>(workload->size());
     sopt.delta = delta_pct / 100.0 * scale;
   }
-  ConfigurationSelector selector(&source, sopt);
+  ConfigurationSelector selector(source, sopt);
   Rng rng(42);
   SelectionResult r = selector.Run(&rng);
 
@@ -168,6 +187,12 @@ int RunCompare(int argc, char** argv) {
       r.best, r.pr_cs, static_cast<unsigned long long>(r.queries_sampled),
       workload->size(), static_cast<unsigned long long>(r.optimizer_calls),
       workload->size() * configs->size());
+  if (use_cache) {
+    std::printf(
+        "what-if cache: %llu cold calls, %llu served from cache\n",
+        static_cast<unsigned long long>(cached_source.num_misses()),
+        static_cast<unsigned long long>(cached_source.num_hits()));
+  }
   const Configuration& winner = (*configs)[r.best];
   std::printf("winner '%s': %zu indexes, %zu views, %.1f MB\n",
               winner.name().c_str(), winner.indexes().size(),
@@ -209,6 +234,16 @@ int RunShow(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  std::string threads = FlagValue(argc, argv, "threads", "");
+  if (!threads.empty()) {
+    long n = std::atol(threads.c_str());
+    if (n <= 0) {
+      std::fprintf(stderr, "error: --threads expects a positive integer, got '%s'\n",
+                   threads.c_str());
+      return 1;
+    }
+    SetGlobalThreadCount(static_cast<size_t>(n));
+  }
   std::string command = argv[1];
   if (command == "gen") return RunGen(argc, argv);
   if (command == "compare") return RunCompare(argc, argv);

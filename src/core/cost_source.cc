@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace pdx {
 
 WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
@@ -16,20 +18,44 @@ WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
 double WhatIfCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < workload_.size());
   PDX_CHECK(c < configs_.size());
-  calls_ += 1;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   return optimizer_.Cost(workload_.query(q), configs_[c]);
 }
 
 MatrixCostSource::MatrixCostSource(std::vector<std::vector<double>> costs,
-                                   std::vector<TemplateId> templates)
+                                   std::vector<TemplateId> templates,
+                                   size_t num_configs)
     : costs_(std::move(costs)), templates_(std::move(templates)) {
   PDX_CHECK(costs_.size() == templates_.size());
-  PDX_CHECK(!costs_.empty());
-  size_t width = costs_[0].size();
+  size_t width = costs_.empty() ? 0 : costs_[0].size();
   for (const auto& row : costs_) PDX_CHECK(row.size() == width);
+  if (num_configs == kDeriveNumConfigs) {
+    num_configs_ = width;
+  } else {
+    PDX_CHECK(costs_.empty() || width == num_configs);
+    num_configs_ = num_configs;
+  }
   TemplateId max_t = 0;
   for (TemplateId t : templates_) max_t = std::max(max_t, t);
-  num_templates_ = static_cast<size_t>(max_t) + 1;
+  num_templates_ = templates_.empty() ? 0 : static_cast<size_t>(max_t) + 1;
+}
+
+MatrixCostSource::MatrixCostSource(MatrixCostSource&& other) noexcept
+    : costs_(std::move(other.costs_)),
+      templates_(std::move(other.templates_)),
+      num_configs_(other.num_configs_),
+      num_templates_(other.num_templates_),
+      calls_(other.calls_.load(std::memory_order_relaxed)) {}
+
+MatrixCostSource& MatrixCostSource::operator=(
+    MatrixCostSource&& other) noexcept {
+  costs_ = std::move(other.costs_);
+  templates_ = std::move(other.templates_);
+  num_configs_ = other.num_configs_;
+  num_templates_ = other.num_templates_;
+  calls_.store(other.calls_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  return *this;
 }
 
 MatrixCostSource MatrixCostSource::Precompute(
@@ -37,35 +63,71 @@ MatrixCostSource MatrixCostSource::Precompute(
     const std::vector<Configuration>& configs) {
   std::vector<std::vector<double>> costs(workload.size());
   std::vector<TemplateId> templates(workload.size());
-  for (QueryId q = 0; q < workload.size(); ++q) {
-    costs[q].resize(configs.size());
-    templates[q] = workload.query(q).template_id;
-    for (ConfigId c = 0; c < configs.size(); ++c) {
-      costs[q][c] = optimizer.Cost(workload.query(q), configs[c]);
-    }
-  }
-  return MatrixCostSource(std::move(costs), std::move(templates));
+  // Rows are independent and each cell is a deterministic function of
+  // (query, configuration), so the fan-out is bit-identical to the serial
+  // fill at any thread count.
+  GlobalThreadPool().ParallelFor(
+      0, workload.size(), /*chunk=*/0, [&](size_t row_begin, size_t row_end) {
+        for (size_t q = row_begin; q < row_end; ++q) {
+          costs[q].resize(configs.size());
+          templates[q] = workload.query(q).template_id;
+          for (ConfigId c = 0; c < configs.size(); ++c) {
+            costs[q][c] = optimizer.Cost(workload.query(q), configs[c]);
+          }
+        }
+      });
+  return MatrixCostSource(std::move(costs), std::move(templates),
+                          configs.size());
 }
 
 double MatrixCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < costs_.size());
   PDX_CHECK(c < costs_[q].size());
-  calls_ += 1;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   return costs_[q][c];
 }
 
 std::vector<double> MatrixCostSource::Column(ConfigId c) const {
-  PDX_CHECK(!costs_.empty() && c < costs_[0].size());
+  PDX_CHECK(c < num_configs_);
   std::vector<double> out(costs_.size());
   for (size_t q = 0; q < costs_.size(); ++q) out[q] = costs_[q][c];
   return out;
 }
 
 double MatrixCostSource::TotalCost(ConfigId c) const {
-  PDX_CHECK(!costs_.empty() && c < costs_[0].size());
+  PDX_CHECK(c < num_configs_);
   double total = 0.0;
   for (const auto& row : costs_) total += row[c];
   return total;
+}
+
+CachingCostSource::CachingCostSource(CostSource* inner)
+    : inner_(inner),
+      num_queries_(inner->num_queries()),
+      num_configs_(inner->num_configs()) {
+  PDX_CHECK(inner_ != nullptr);
+  const size_t cells = num_queries_ * num_configs_;
+  if (cells > 0) {
+    filled_ = std::make_unique<std::once_flag[]>(cells);
+    values_ = std::make_unique<double[]>(cells);
+  }
+}
+
+double CachingCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < num_queries_);
+  PDX_CHECK(c < num_configs_);
+  const size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+  bool cold = false;
+  std::call_once(filled_[cell], [&] {
+    values_[cell] = inner_->Cost(q, c);
+    cold = true;
+  });
+  if (cold) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return values_[cell];
 }
 
 }  // namespace pdx

@@ -5,10 +5,20 @@
 // being optimizer calls. CostSource abstracts that: the live
 // implementation forwards to the what-if optimizer; the Monte-Carlo
 // harness replays a precomputed cost matrix so the same selection run can
-// be repeated thousands of times.
+// be repeated thousands of times; CachingCostSource memoizes a live
+// source so no (query, configuration) pair is ever costed twice.
+//
+// Thread-safety: Cost() may be called concurrently from ThreadPool
+// workers on every implementation in this header — call accounting is
+// atomic and the underlying data is immutable after construction
+// (CachingCostSource fills each cache cell exactly once via
+// std::call_once).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "catalog/types.h"
@@ -23,7 +33,7 @@ class CostSource {
   virtual ~CostSource() = default;
 
   /// Optimizer-estimated cost of query `q` in configuration `c`.
-  /// Counts one optimizer call.
+  /// Counts one optimizer call. Safe to call concurrently.
   virtual double Cost(QueryId q, ConfigId c) = 0;
 
   virtual size_t num_queries() const = 0;
@@ -44,7 +54,8 @@ class CostSource {
 
 /// Live source: forwards to a WhatIfOptimizer over a workload and a
 /// configuration set. Results are not cached — each Cost() is a real
-/// optimizer invocation, as in the deployed tool.
+/// optimizer invocation, as in the deployed tool (wrap in
+/// CachingCostSource to memoize).
 class WhatIfCostSource : public CostSource {
  public:
   WhatIfCostSource(const WhatIfOptimizer& optimizer, const Workload& workload,
@@ -60,8 +71,12 @@ class WhatIfCostSource : public CostSource {
   double OptimizeOverhead(QueryId q) const override {
     return workload_.query(q).optimize_overhead;
   }
-  uint64_t num_calls() const override { return calls_; }
-  void ResetCallCounter() override { calls_ = 0; }
+  uint64_t num_calls() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCounter() override {
+    calls_.store(0, std::memory_order_relaxed);
+  }
 
   const std::vector<Configuration>& configs() const { return configs_; }
   const Workload& workload() const { return workload_; }
@@ -70,7 +85,7 @@ class WhatIfCostSource : public CostSource {
   const WhatIfOptimizer& optimizer_;
   const Workload& workload_;
   std::vector<Configuration> configs_;
-  uint64_t calls_ = 0;
+  std::atomic<uint64_t> calls_{0};
 };
 
 /// Replay source over a dense precomputed cost matrix (row = query,
@@ -79,28 +94,41 @@ class WhatIfCostSource : public CostSource {
 class MatrixCostSource : public CostSource {
  public:
   /// `costs[q][c]`; `templates[q]` maps queries to templates.
+  /// `num_configs` disambiguates the matrix width when the matrix has no
+  /// rows (an empty workload over a non-empty configuration set); when
+  /// left at the default it is derived from the first row.
   MatrixCostSource(std::vector<std::vector<double>> costs,
-                   std::vector<TemplateId> templates);
+                   std::vector<TemplateId> templates,
+                   size_t num_configs = kDeriveNumConfigs);
+
+  /// Movable (the call counter is copied non-atomically: don't move while
+  /// another thread is calling Cost()).
+  MatrixCostSource(MatrixCostSource&& other) noexcept;
+  MatrixCostSource& operator=(MatrixCostSource&& other) noexcept;
 
   /// Builds the matrix by evaluating every (query, configuration) pair
   /// once — the "exact" evaluation whose call count the primitive is
-  /// measured against.
+  /// measured against. Rows are filled in parallel on the global
+  /// ThreadPool; the result is bit-identical at every thread count (each
+  /// cell is an independent deterministic optimizer call).
   static MatrixCostSource Precompute(const WhatIfOptimizer& optimizer,
                                      const Workload& workload,
                                      const std::vector<Configuration>& configs);
 
   double Cost(QueryId q, ConfigId c) override;
   size_t num_queries() const override { return costs_.size(); }
-  size_t num_configs() const override {
-    return costs_.empty() ? 0 : costs_[0].size();
-  }
+  size_t num_configs() const override { return num_configs_; }
   TemplateId TemplateOf(QueryId q) const override {
     PDX_CHECK(q < templates_.size());
     return templates_[q];
   }
   size_t num_templates() const override { return num_templates_; }
-  uint64_t num_calls() const override { return calls_; }
-  void ResetCallCounter() override { calls_ = 0; }
+  uint64_t num_calls() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCounter() override {
+    calls_.store(0, std::memory_order_relaxed);
+  }
 
   /// The full cost column of a configuration (no call accounting) — used
   /// by harnesses to compute ground-truth totals.
@@ -109,10 +137,61 @@ class MatrixCostSource : public CostSource {
   double TotalCost(ConfigId c) const;
 
  private:
+  static constexpr size_t kDeriveNumConfigs = static_cast<size_t>(-1);
+
   std::vector<std::vector<double>> costs_;
   std::vector<TemplateId> templates_;
+  size_t num_configs_ = 0;
   size_t num_templates_ = 0;
-  uint64_t calls_ = 0;
+  std::atomic<uint64_t> calls_{0};
+};
+
+/// Memoizing decorator: forwards each distinct (query, configuration)
+/// pair to the wrapped source exactly once and replays the stored value
+/// afterwards — the deployed tool's what-if cache, where the selection
+/// loop never pays for re-costing a pair it already sampled. num_calls()
+/// counts only cold misses (the optimizer calls actually made); hits are
+/// reported separately.
+///
+/// The cache is a dense num_queries x num_configs table; each cell is
+/// guarded by a std::once_flag, so concurrent Cost() calls for the same
+/// pair still make exactly one underlying call. Does not own `inner`.
+class CachingCostSource : public CostSource {
+ public:
+  explicit CachingCostSource(CostSource* inner);
+
+  double Cost(QueryId q, ConfigId c) override;
+  size_t num_queries() const override { return num_queries_; }
+  size_t num_configs() const override { return num_configs_; }
+  TemplateId TemplateOf(QueryId q) const override {
+    return inner_->TemplateOf(q);
+  }
+  size_t num_templates() const override { return inner_->num_templates(); }
+  double OptimizeOverhead(QueryId q) const override {
+    return inner_->OptimizeOverhead(q);
+  }
+  /// Cold misses only: the optimizer calls this source actually caused.
+  uint64_t num_calls() const override {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Resets hit/miss accounting; the cache contents are kept.
+  void ResetCallCounter() override {
+    misses_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t num_misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Calls served from the cache without touching the wrapped source.
+  uint64_t num_hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  CostSource* inner_;
+  size_t num_queries_ = 0;
+  size_t num_configs_ = 0;
+  std::unique_ptr<std::once_flag[]> filled_;
+  std::unique_ptr<double[]> values_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace pdx

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pdx {
 
@@ -385,8 +386,8 @@ double WhatIfOptimizer::UpdatePartCost(const Query& query,
 double WhatIfOptimizer::CostExplained(const Query& query,
                                       const Configuration& config,
                                       PlanExplanation* explanation) const {
-  calls_ += 1;
-  weighted_calls_ += query.optimize_overhead;
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&weighted_calls_, query.optimize_overhead);
 
   double select_cost = 0.0;
   if (!query.select.accesses.empty()) {

@@ -17,8 +17,17 @@
 //
 // Every Cost() invocation increments an optimizer-call counter — the
 // resource the comparison primitive is designed to conserve.
+//
+// Thread-safety: Cost()/CostExplained()/TotalCost() are safe to call
+// concurrently. The cost model and schema are immutable after
+// construction; the only state Cost() mutates is the pair of call
+// counters, which are atomics updated with relaxed ordering. Note that
+// weighted_calls() is a floating-point sum accumulated across threads,
+// so its last-ulp rounding can differ between thread counts; the integer
+// num_calls() is exact everywhere.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,7 +56,8 @@ class WhatIfOptimizer {
 
   /// Optimizer-estimated cost of `query` under `config`. Counts one
   /// optimizer call (weighted by the query's optimize_overhead in
-  /// weighted_calls()).
+  /// weighted_calls()). Logically const and safe to call concurrently:
+  /// the model is immutable, and the call counters are atomic.
   double Cost(const Query& query, const Configuration& config) const;
 
   /// As Cost, filling `explanation` (may be nullptr).
@@ -58,12 +68,16 @@ class WhatIfOptimizer {
   double TotalCost(const Workload& workload, const Configuration& config) const;
 
   /// Number of Cost() invocations since construction / last reset.
-  uint64_t num_calls() const { return calls_; }
+  uint64_t num_calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
   /// Calls weighted by per-query optimization overhead (§5.2).
-  double weighted_calls() const { return weighted_calls_; }
+  double weighted_calls() const {
+    return weighted_calls_.load(std::memory_order_relaxed);
+  }
   void ResetCallCounter() const {
-    calls_ = 0;
-    weighted_calls_ = 0.0;
+    calls_.store(0, std::memory_order_relaxed);
+    weighted_calls_.store(0.0, std::memory_order_relaxed);
   }
 
   const CostModel& model() const { return model_; }
@@ -104,8 +118,8 @@ class WhatIfOptimizer {
   double UpdatePartCost(const Query& query, const Configuration& config) const;
 
   CostModel model_;
-  mutable uint64_t calls_ = 0;
-  mutable double weighted_calls_ = 0.0;
+  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<double> weighted_calls_{0.0};
 };
 
 }  // namespace pdx

@@ -1,0 +1,147 @@
+// Copyright (c) the pdexplore authors.
+// Cost-source accounting: CachingCostSource hit/miss bookkeeping (exactly
+// one underlying optimizer call per distinct pair, serial and parallel),
+// the MatrixCostSource empty-matrix num_configs fix, and atomicity of the
+// call counters under concurrent Cost() calls.
+#include "core/cost_source.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SyntheticMatrix;
+
+TEST(MatrixCostSourceTest, NumConfigsSurvivesEmptyMatrix) {
+  MatrixCostSource empty({}, {}, 5);
+  EXPECT_EQ(empty.num_queries(), 0u);
+  EXPECT_EQ(empty.num_configs(), 5u);
+  EXPECT_EQ(empty.num_templates(), 0u);
+
+  MatrixCostSource fully_empty({}, {});
+  EXPECT_EQ(fully_empty.num_queries(), 0u);
+  EXPECT_EQ(fully_empty.num_configs(), 0u);
+}
+
+TEST(MatrixCostSourceTest, DerivedAndExplicitWidthsAgree) {
+  MatrixCostSource src = SyntheticMatrix(20, 3, 4, 0.1, 7);
+  EXPECT_EQ(src.num_queries(), 20u);
+  EXPECT_EQ(src.num_configs(), 3u);
+}
+
+TEST(MatrixCostSourceTest, MoveKeepsDataAndCallCount) {
+  MatrixCostSource src = SyntheticMatrix(10, 2, 2, 0.1, 9);
+  double v = src.Cost(3, 1);
+  MatrixCostSource moved = std::move(src);
+  EXPECT_EQ(moved.num_calls(), 1u);
+  EXPECT_EQ(moved.Cost(3, 1), v);
+  EXPECT_EQ(moved.num_configs(), 2u);
+}
+
+TEST(MatrixCostSourceTest, CallCounterIsAtomicUnderParallelCost) {
+  MatrixCostSource src = SyntheticMatrix(64, 4, 8, 0.1, 11);
+  ThreadPool pool(4);
+  constexpr size_t kCalls = 10000;
+  pool.ParallelFor(0, kCalls, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      src.Cost(static_cast<QueryId>(i % 64), static_cast<ConfigId>(i % 4));
+    }
+  });
+  EXPECT_EQ(src.num_calls(), kCalls);
+  src.ResetCallCounter();
+  EXPECT_EQ(src.num_calls(), 0u);
+}
+
+TEST(CachingCostSourceTest, OneUnderlyingCallPerDistinctPair) {
+  MatrixCostSource inner = SyntheticMatrix(12, 3, 4, 0.1, 3);
+  CachingCostSource cache(&inner);
+  EXPECT_EQ(cache.num_queries(), 12u);
+  EXPECT_EQ(cache.num_configs(), 3u);
+
+  // First sweep: every pair is a cold miss.
+  for (QueryId q = 0; q < 12; ++q) {
+    for (ConfigId c = 0; c < 3; ++c) {
+      EXPECT_EQ(cache.Cost(q, c), inner.Cost(q, c));
+    }
+  }
+  EXPECT_EQ(cache.num_misses(), 36u);
+  EXPECT_EQ(cache.num_hits(), 0u);
+  EXPECT_EQ(cache.num_calls(), 36u);
+  uint64_t inner_calls = inner.num_calls();
+
+  // Second sweep: all hits, no new calls to the wrapped source.
+  for (QueryId q = 0; q < 12; ++q) {
+    for (ConfigId c = 0; c < 3; ++c) {
+      EXPECT_EQ(cache.Cost(q, c), inner.Cost(q, c));
+    }
+  }
+  EXPECT_EQ(cache.num_misses(), 36u);
+  EXPECT_EQ(cache.num_hits(), 36u);
+  // Only the direct inner.Cost() comparisons above touched the inner
+  // counter; the cache added nothing.
+  EXPECT_EQ(inner.num_calls(), inner_calls + 36u);
+}
+
+TEST(CachingCostSourceTest, ResetKeepsCacheContents) {
+  MatrixCostSource inner = SyntheticMatrix(4, 2, 2, 0.1, 5);
+  CachingCostSource cache(&inner);
+  cache.Cost(0, 0);
+  cache.ResetCallCounter();
+  EXPECT_EQ(cache.num_calls(), 0u);
+  inner.ResetCallCounter();
+  cache.Cost(0, 0);  // still cached: no call to the wrapped source
+  EXPECT_EQ(inner.num_calls(), 0u);
+  EXPECT_EQ(cache.num_hits(), 1u);
+}
+
+TEST(CachingCostSourceTest, ConcurrentSamePairMakesExactlyOneCall) {
+  MatrixCostSource inner = SyntheticMatrix(8, 2, 2, 0.1, 13);
+  CachingCostSource cache(&inner);
+  inner.ResetCallCounter();
+  ThreadPool pool(4);
+  // Hammer a handful of cells from many threads at once.
+  pool.ParallelFor(0, 4000, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      cache.Cost(static_cast<QueryId>(i % 8),
+                 static_cast<ConfigId>((i / 8) % 2));
+    }
+  });
+  EXPECT_EQ(inner.num_calls(), 8u * 2u);  // at most one per distinct pair
+  EXPECT_EQ(cache.num_misses(), 8u * 2u);
+  EXPECT_EQ(cache.num_hits() + cache.num_misses(), 4000u);
+}
+
+TEST(CachingCostSourceTest, DelegatesMetadata) {
+  MatrixCostSource inner = SyntheticMatrix(10, 2, 5, 0.1, 17);
+  CachingCostSource cache(&inner);
+  EXPECT_EQ(cache.num_templates(), inner.num_templates());
+  for (QueryId q = 0; q < 10; ++q) {
+    EXPECT_EQ(cache.TemplateOf(q), inner.TemplateOf(q));
+    EXPECT_EQ(cache.OptimizeOverhead(q), inner.OptimizeOverhead(q));
+  }
+}
+
+TEST(WhatIfOptimizerTest, CallCountersAreAtomicUnderParallelCost) {
+  Schema schema = testing::SmallTpcdSchema();
+  Workload wl = testing::SmallTpcdWorkload(schema, 40);
+  WhatIfOptimizer optimizer(schema);
+  Configuration config("empty");
+  optimizer.ResetCallCounter();
+  ThreadPool pool(4);
+  pool.ParallelFor(0, wl.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      optimizer.Cost(wl.query(q), config);
+    }
+  });
+  EXPECT_EQ(optimizer.num_calls(), wl.size());
+  // Every query has overhead >= some positive epsilon, so the weighted
+  // counter must have accumulated every call (order-independent sum of
+  // positive terms is positive and bounded by max-overhead * calls).
+  EXPECT_GT(optimizer.weighted_calls(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,103 @@
+// Copyright (c) the pdexplore authors.
+// Parallel-vs-serial bit-identity: MatrixCostSource::Precompute,
+// bench::ExactTotals and bench::MonteCarloAccuracy must produce exactly
+// the same results at every thread count, because each unit of work is an
+// independent deterministic function of its index (per-trial RNGs are
+// seeded `seed_base + trial` regardless of which thread runs the trial).
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+
+namespace pdx::bench {
+namespace {
+
+/// One small TPC-D environment + candidate pool, built once.
+struct SmallSetup {
+  std::unique_ptr<Environment> env;
+  std::vector<Configuration> pool;
+
+  SmallSetup() {
+    env = MakeTpcdEnvironment(300, /*seed=*/4242);
+    Rng rng(17);
+    pool = MakeConfigPool(*env, 4, &rng, /*include_views=*/true,
+                          PoolStyle::kDiverse);
+  }
+};
+
+SmallSetup& SharedSetup() {
+  static SmallSetup setup;
+  return setup;
+}
+
+TEST(ParallelDeterminismTest, PrecomputeIsBitIdenticalAcrossThreadCounts) {
+  SmallSetup& s = SharedSetup();
+  SetGlobalThreadCount(1);
+  MatrixCostSource serial =
+      MatrixCostSource::Precompute(*s.env->optimizer, *s.env->workload, s.pool);
+  SetGlobalThreadCount(4);
+  MatrixCostSource parallel =
+      MatrixCostSource::Precompute(*s.env->optimizer, *s.env->workload, s.pool);
+  SetGlobalThreadCount(0);
+
+  ASSERT_EQ(serial.num_queries(), parallel.num_queries());
+  ASSERT_EQ(serial.num_configs(), parallel.num_configs());
+  for (ConfigId c = 0; c < serial.num_configs(); ++c) {
+    std::vector<double> col_serial = serial.Column(c);
+    std::vector<double> col_parallel = parallel.Column(c);
+    for (size_t q = 0; q < col_serial.size(); ++q) {
+      // Exact equality, not near-equality: the parallel fill must not
+      // change a single bit.
+      ASSERT_EQ(col_serial[q], col_parallel[q]) << "q=" << q << " c=" << c;
+    }
+  }
+  for (QueryId q = 0; q < serial.num_queries(); ++q) {
+    ASSERT_EQ(serial.TemplateOf(q), parallel.TemplateOf(q));
+  }
+}
+
+TEST(ParallelDeterminismTest, ExactTotalsIsBitIdenticalAcrossThreadCounts) {
+  SmallSetup& s = SharedSetup();
+  SetGlobalThreadCount(1);
+  std::vector<double> serial = ExactTotals(*s.env, s.pool);
+  SetGlobalThreadCount(4);
+  std::vector<double> parallel = ExactTotals(*s.env, s.pool);
+  SetGlobalThreadCount(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c], parallel[c]) << "config " << c;
+  }
+}
+
+TEST(ParallelDeterminismTest, MonteCarloAccuracyIsIdenticalAcrossThreadCounts) {
+  SmallSetup& s = SharedSetup();
+  SetGlobalThreadCount(1);
+  MatrixCostSource src =
+      MatrixCostSource::Precompute(*s.env->optimizer, *s.env->workload, s.pool);
+  ConfigId truth = 0;
+  for (ConfigId c = 1; c < src.num_configs(); ++c) {
+    if (src.TotalCost(c) < src.TotalCost(truth)) truth = c;
+  }
+
+  FixedBudgetOptions options;
+  options.scheme = SamplingScheme::kDelta;
+  options.allocation = AllocationPolicy::kVarianceGuided;
+  options.n_min = 20;
+  const int trials = 80;
+  const uint64_t seed_base = 0xDE7E2;
+
+  double serial =
+      MonteCarloAccuracy(&src, truth, /*query_budget=*/40, options, trials,
+                         seed_base);
+  SetGlobalThreadCount(4);
+  double parallel =
+      MonteCarloAccuracy(&src, truth, /*query_budget=*/40, options, trials,
+                         seed_base);
+  SetGlobalThreadCount(0);
+  // The accuracy is a count of per-trial booleans, each fully determined
+  // by its own seed — exact equality required.
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace pdx::bench
