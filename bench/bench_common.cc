@@ -32,6 +32,38 @@ int TrialsFromArgs(int argc, char** argv, int default_trials) {
   return default_trials;
 }
 
+WhatIfCacheMode CacheModeFromArgs(int argc, char** argv,
+                                  WhatIfCacheMode fallback) {
+  auto parse = [](const char* v, WhatIfCacheMode* out) {
+    if (std::strcmp(v, "off") == 0) {
+      *out = WhatIfCacheMode::kOff;
+    } else if (std::strcmp(v, "exact") == 0) {
+      *out = WhatIfCacheMode::kExact;
+    } else if (std::strcmp(v, "signature") == 0) {
+      *out = WhatIfCacheMode::kSignature;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      WhatIfCacheMode mode;
+      if (parse(argv[i] + 8, &mode)) return mode;
+      std::fprintf(stderr,
+                   "warning: unknown --cache value '%s' (want off|exact|"
+                   "signature); using default\n",
+                   argv[i] + 8);
+    }
+  }
+  const char* env = std::getenv("PDX_CACHE");
+  if (env != nullptr) {
+    WhatIfCacheMode mode;
+    if (parse(env, &mode)) return mode;
+  }
+  return fallback;
+}
+
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -210,18 +242,66 @@ std::vector<double> ExactTotals(const Environment& env,
 }
 
 MatrixCostSource TimedPrecompute(const Environment& env,
-                                 const std::vector<Configuration>& configs) {
+                                 const std::vector<Configuration>& configs,
+                                 WhatIfCacheMode cache) {
   auto start = std::chrono::steady_clock::now();
+  const size_t nq = env.workload->size();
+  const size_t nc = configs.size();
+  const double cells = static_cast<double>(nq) * static_cast<double>(nc);
+
+  if (cache == WhatIfCacheMode::kSignature) {
+    // Fill the matrix through the signature cache: cells whose (query,
+    // relevant-structure) signatures coincide share one optimizer call.
+    // Each cell is an independent deterministic read, so the fan-out is
+    // bit-identical to the direct precompute at every thread count.
+    SignatureCachingCostSource sig(*env.optimizer, *env.workload, configs);
+    std::vector<std::vector<double>> costs(nq);
+    std::vector<TemplateId> templates(nq);
+    GlobalThreadPool().ParallelFor(
+        0, nq, /*chunk=*/0, [&](size_t begin, size_t end) {
+          for (size_t q = begin; q < end; ++q) {
+            templates[q] = env.workload->query(q).template_id;
+            costs[q].resize(nc);
+            for (size_t c = 0; c < nc; ++c) {
+              costs[q][c] = sig.Cost(static_cast<QueryId>(q),
+                                     static_cast<ConfigId>(c));
+            }
+          }
+        });
+    double secs = SecondsSince(start);
+    uint64_t cold = sig.num_cold_calls();
+    std::printf(
+        "precompute: %zu x %zu cost matrix in %.2fs (%.0f cells/sec, %zu "
+        "threads)\n",
+        nq, nc, secs, secs > 0.0 ? cells / secs : 0.0, GlobalThreadCount());
+    std::printf(
+        "what-if cache (signature): %llu cold calls, %llu signature hits, "
+        "%llu exact hits, %llu distinct signatures — %.1fx fewer optimizer "
+        "calls than exact-cell caching (%.0f cells)\n",
+        static_cast<unsigned long long>(cold),
+        static_cast<unsigned long long>(sig.num_signature_hits()),
+        static_cast<unsigned long long>(sig.num_exact_hits()),
+        static_cast<unsigned long long>(sig.num_distinct_signatures()),
+        cold > 0 ? cells / static_cast<double>(cold) : 0.0, cells);
+    return MatrixCostSource(std::move(costs), std::move(templates), nc);
+  }
+
   MatrixCostSource src =
       MatrixCostSource::Precompute(*env.optimizer, *env.workload, configs);
   double secs = SecondsSince(start);
-  double cells =
-      static_cast<double>(env.workload->size()) * configs.size();
   std::printf(
       "precompute: %zu x %zu cost matrix in %.2fs (%.0f cells/sec, %zu "
       "threads)\n",
-      env.workload->size(), configs.size(), secs,
-      secs > 0.0 ? cells / secs : 0.0, GlobalThreadCount());
+      nq, nc, secs, secs > 0.0 ? cells / secs : 0.0, GlobalThreadCount());
+  if (cache == WhatIfCacheMode::kExact) {
+    // One precompute pass touches every (query, configuration) cell
+    // exactly once, so exact-cell caching cannot dedup anything here:
+    // its cold-call count IS the cell count. Printed as the baseline the
+    // signature tier's reduction factor is measured against.
+    std::printf(
+        "what-if cache (exact): %.0f cold calls (every cell distinct)\n",
+        cells);
+  }
   return src;
 }
 

@@ -31,6 +31,13 @@ namespace pdx::bench {
 /// every bench picks up both flags through its existing call.
 int TrialsFromArgs(int argc, char** argv, int default_trials);
 
+/// Parses --cache=off|exact|signature from argv (falling back to
+/// PDX_CACHE, then `fallback`). Selects the what-if memoization tier the
+/// experiment's precompute runs under; results are bit-identical across
+/// tiers, only the optimizer-call count changes.
+WhatIfCacheMode CacheModeFromArgs(int argc, char** argv,
+                                  WhatIfCacheMode fallback);
+
 /// Seconds elapsed between two steady_clock points.
 double SecondsSince(std::chrono::steady_clock::time_point start);
 
@@ -89,9 +96,15 @@ std::vector<double> ExactTotals(const Environment& env,
 
 /// MatrixCostSource::Precompute plus a wall-clock report: prints the
 /// matrix shape, precompute seconds and cells/sec so speedups from
-/// --threads land in the recorded bench output.
-MatrixCostSource TimedPrecompute(const Environment& env,
-                                 const std::vector<Configuration>& configs);
+/// --threads land in the recorded bench output. With kExact every cell is
+/// one optimizer call (a single pass can't revisit a cell); with
+/// kSignature cells sharing a (query, relevant-structure) signature share
+/// one call, and the report adds cold calls, signature hits and the
+/// resulting call-reduction factor. The matrix values are bit-identical
+/// across modes.
+MatrixCostSource TimedPrecompute(
+    const Environment& env, const std::vector<Configuration>& configs,
+    WhatIfCacheMode cache = WhatIfCacheMode::kOff);
 
 /// Cumulative Monte-Carlo throughput (trials and wall-clock seconds spent
 /// in MonteCarloAccuracy since process start). Benches print this as

@@ -147,6 +147,51 @@ void BM_VarianceBoundDpGrouped(benchmark::State& state) {
 }
 BENCHMARK(BM_VarianceBoundDpGrouped)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_SignatureCompute(benchmark::State& state) {
+  // Cost of canonicalizing one (query, configuration) pair down to its
+  // relevant-structure signature — the bookkeeping the signature cache
+  // adds to every lookup. Must stay well under one what-if call.
+  MicroFixture& f = Fixture();
+  SignatureCachingCostSource sig(*f.env->optimizer, *f.env->workload,
+                                 f.configs);
+  std::vector<uint32_t> out;
+  QueryId q = 0;
+  ConfigId c = 0;
+  for (auto _ : state) {
+    sig.SignatureOf(q, c, &out);
+    benchmark::DoNotOptimize(out.data());
+    c = (c + 1) % static_cast<ConfigId>(f.configs.size());
+    if (c == 0) {
+      q = (q + 1) % static_cast<QueryId>(f.env->workload->size());
+    }
+  }
+}
+BENCHMARK(BM_SignatureCompute);
+
+void BM_SignatureCacheWarmLookup(benchmark::State& state) {
+  // A fully warm signature-cache read: signature build + shard probe.
+  MicroFixture& f = Fixture();
+  static SignatureCachingCostSource* warm = [] {
+    MicroFixture& fx = Fixture();
+    auto* src = new SignatureCachingCostSource(*fx.env->optimizer,
+                                               *fx.env->workload, fx.configs);
+    for (QueryId q = 0; q < fx.env->workload->size(); ++q) {
+      for (ConfigId c = 0; c < fx.configs.size(); ++c) src->Cost(q, c);
+    }
+    return src;
+  }();
+  QueryId q = 0;
+  ConfigId c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(warm->Cost(q, c));
+    c = (c + 1) % static_cast<ConfigId>(f.configs.size());
+    if (c == 0) {
+      q = (q + 1) % static_cast<QueryId>(f.env->workload->size());
+    }
+  }
+}
+BENCHMARK(BM_SignatureCacheWarmLookup);
+
 void BM_SelectorEndToEnd(benchmark::State& state) {
   MicroFixture& f = Fixture();
   ConfigId truth = 0;
@@ -165,6 +210,76 @@ void BM_SelectorEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_SelectorEndToEnd);
 
 }  // namespace
+
+/// Prints the what-if dedup report: one full (query, configuration) sweep
+/// costed uncached versus through the signature cache, with the call
+/// counts, wall-clock speedup and the signature-computation overhead as a
+/// fraction of one uncached what-if call (the ISSUE acceptance asks for
+/// < 10%). Totals are asserted bit-identical between the two passes.
+void PrintWhatIfDedupReport() {
+  MicroFixture& f = Fixture();
+  const Workload& wl = *f.env->workload;
+  const size_t nq = wl.size();
+  const size_t nc = f.configs.size();
+  const double cells = static_cast<double>(nq) * static_cast<double>(nc);
+
+  auto t0 = std::chrono::steady_clock::now();
+  double direct_sum = 0.0;
+  for (QueryId q = 0; q < nq; ++q) {
+    for (ConfigId c = 0; c < nc; ++c) {
+      direct_sum += f.env->optimizer->Cost(wl.query(q), f.configs[c]);
+    }
+  }
+  const double direct_secs = SecondsSince(t0);
+
+  SignatureCachingCostSource sig(*f.env->optimizer, wl, f.configs);
+  t0 = std::chrono::steady_clock::now();
+  double cached_sum = 0.0;
+  for (QueryId q = 0; q < nq; ++q) {
+    for (ConfigId c = 0; c < nc; ++c) cached_sum += sig.Cost(q, c);
+  }
+  const double cached_secs = SecondsSince(t0);
+  PDX_CHECK_MSG(direct_sum == cached_sum,
+                "signature-cached sweep is not bit-identical to uncached");
+
+  // Signature-computation overhead per lookup, against the mean uncached
+  // what-if call measured above.
+  std::vector<uint32_t> out;
+  t0 = std::chrono::steady_clock::now();
+  for (QueryId q = 0; q < nq; ++q) {
+    for (ConfigId c = 0; c < nc; ++c) sig.SignatureOf(q, c, &out);
+  }
+  const double sig_secs = SecondsSince(t0);
+  const double whatif_ns = direct_secs / cells * 1e9;
+  const double sig_ns = sig_secs / cells * 1e9;
+
+  const uint64_t cold = sig.num_cold_calls();
+  std::printf(
+      "\n--- what-if dedup report (%zu queries x %zu configs) ---\n"
+      "uncached sweep:     %.0f optimizer calls in %.3fs (%.0f ns/call)\n"
+      "signature sweep:    %llu cold calls, %llu signature hits, %llu exact "
+      "hits in %.3fs\n"
+      "calls saved:        %.0f (%.1fx fewer optimizer calls)\n"
+      "sweep speedup:      %.1fx\n"
+      "signature overhead: %.0f ns/lookup = %.1f%% of one uncached what-if "
+      "call\n",
+      nq, nc, cells, direct_secs, whatif_ns,
+      static_cast<unsigned long long>(cold),
+      static_cast<unsigned long long>(sig.num_signature_hits()),
+      static_cast<unsigned long long>(sig.num_exact_hits()), cached_secs,
+      cells - static_cast<double>(cold),
+      cold > 0 ? cells / static_cast<double>(cold) : 0.0,
+      cached_secs > 0.0 ? direct_secs / cached_secs : 0.0, sig_ns,
+      whatif_ns > 0.0 ? 100.0 * sig_ns / whatif_ns : 0.0);
+}
+
 }  // namespace pdx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pdx::bench::PrintWhatIfDedupReport();
+  return 0;
+}

@@ -50,9 +50,9 @@ class TrialCountingSource : public CostSource {
   uint64_t calls_ = 0;  // trial-local: no concurrent access
 };
 
-inline void RunMultiConfigExperiment(Environment* env,
-                                     const std::vector<uint32_t>& ks,
-                                     int trials, uint64_t seed) {
+inline void RunMultiConfigExperiment(
+    Environment* env, const std::vector<uint32_t>& ks, int trials,
+    uint64_t seed, WhatIfCacheMode cache = WhatIfCacheMode::kOff) {
   // Configurations can tie exactly (e.g. two candidates differing only in
   // a structure the workload never uses); selecting either is correct.
   constexpr double kTieEpsilon = 1e-9;
@@ -65,6 +65,7 @@ inline void RunMultiConfigExperiment(Environment* env,
     double delta1 = 0.0, delta2 = 0.0, delta3 = 0.0;
     uint64_t samples = 0;
     uint64_t calls = 0;
+    uint64_t estimator_bytes = 0;
   };
 
   const std::vector<int> widths = {16, 14, 10, 10, 10};
@@ -76,7 +77,7 @@ inline void RunMultiConfigExperiment(Environment* env,
       std::printf("k=%u: pool only reached %zu distinct configurations\n", k,
                   pool.size());
     }
-    MatrixCostSource src = TimedPrecompute(*env, pool);
+    MatrixCostSource src = TimedPrecompute(*env, pool, cache);
     std::vector<double> totals(pool.size());
     ConfigId truth = 0;
     for (ConfigId c = 0; c < pool.size(); ++c) {
@@ -113,6 +114,7 @@ inline void RunMultiConfigExperiment(Environment* env,
             SelectionResult r = selector.Run(&rng1);
             out.samples = r.queries_sampled;
             out.calls = r.optimizer_calls;
+            out.estimator_bytes = r.estimator_samples_bytes;
             out.delta1 = (totals[r.best] - best_total) / best_total;
 
             // --- alternatives, same number of sampled queries ---
@@ -137,9 +139,12 @@ inline void RunMultiConfigExperiment(Environment* env,
     MethodStats algo1, nostrat, equal;
     uint64_t total_samples = 0;
     uint64_t total_calls = 0;
+    uint64_t peak_estimator_bytes = 0;
     for (const TrialResult& out : results) {
       total_samples += out.samples;
       total_calls += out.calls;
+      peak_estimator_bytes = std::max(peak_estimator_bytes,
+                                      out.estimator_bytes);
       algo1.correct += out.delta1 <= kTieEpsilon ? 1 : 0;
       algo1.max_delta = std::max(algo1.max_delta, out.delta1);
       nostrat.correct += out.delta2 <= kTieEpsilon ? 1 : 0;
@@ -150,11 +155,13 @@ inline void RunMultiConfigExperiment(Environment* env,
 
     std::printf(
         "k = %zu configurations (runner-up gap %.2f%%, avg %.0f queries "
-        "sampled, avg %.0f optimizer calls vs %zu exact)\n",
+        "sampled, avg %.0f optimizer calls vs %zu exact, peak Delta sample "
+        "store %.1f KB)\n",
         pool.size(), 100.0 * (runner_up - best_total) / best_total,
         static_cast<double>(total_samples) / trials,
         static_cast<double>(total_calls) / trials,
-        env->workload->size() * pool.size());
+        env->workload->size() * pool.size(),
+        static_cast<double>(peak_estimator_bytes) / 1024.0);
     PrintRow({"Method", "", "", "", ""}, widths);
     auto report = [&](const char* name, const MethodStats& m) {
       PrintRow({name, "True Pr(CS)",

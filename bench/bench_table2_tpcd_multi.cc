@@ -15,13 +15,17 @@ using namespace pdx::bench;
 
 int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 100);
+  const WhatIfCacheMode cache =
+      CacheModeFromArgs(argc, argv, WhatIfCacheMode::kSignature);
   PrintHeader("Table 2: multi-configuration selection, TPC-D workload",
               trials);
+  std::printf("what-if cache tier: %s  (--cache=off|exact|signature)\n",
+              WhatIfCacheModeName(cache));
   auto start = std::chrono::steady_clock::now();
   auto env = MakeTpcdEnvironment(13000);
   std::printf("workload: %zu queries, %zu templates\n\n",
               env->workload->size(), env->workload->num_templates());
-  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E);
+  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E, cache);
   PrintWallClockReport("table2", start);
   return 0;
 }

@@ -12,13 +12,17 @@ using namespace pdx::bench;
 
 int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 60);
+  const WhatIfCacheMode cache =
+      CacheModeFromArgs(argc, argv, WhatIfCacheMode::kSignature);
   PrintHeader("Table 3: multi-configuration selection, CRM workload", trials);
+  std::printf("what-if cache tier: %s  (--cache=off|exact|signature)\n",
+              WhatIfCacheModeName(cache));
   auto start = std::chrono::steady_clock::now();
   auto env = MakeCrmEnvironment();
   std::printf("workload: %zu statements, %zu templates, %.0f%% DML\n\n",
               env->workload->size(), env->workload->num_templates(),
               100.0 * env->workload->DmlFraction());
-  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E);
+  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E, cache);
   PrintWallClockReport("table3", start);
   return 0;
 }

@@ -14,6 +14,7 @@
 // Run without arguments for usage.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,11 +54,15 @@ int Usage() {
       "usage:\n"
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
-      "                   [--no-cache]\n"
+      "                   [--cache=off|exact|signature] [--no-cache]\n"
       "  pdx_tool show    --dir=DIR\n"
       "\n"
       "  --threads=N applies to every command (default: PDX_THREADS or all\n"
-      "  hardware threads); compare memoizes what-if calls unless --no-cache.\n");
+      "  hardware threads). compare memoizes what-if calls per --cache:\n"
+      "  'exact' caches (query, configuration) cells (default), 'signature'\n"
+      "  additionally shares calls across configurations that agree on the\n"
+      "  query's relevant structures, 'off' disables memoization\n"
+      "  (--no-cache is an alias for --cache=off).\n");
   return 2;
 }
 
@@ -157,11 +162,32 @@ int RunCompare(int argc, char** argv) {
   WhatIfOptimizer optimizer(*schema);
   WhatIfCostSource live_source(optimizer, *workload, *configs);
   // The deployed tool's what-if cache: a selection loop never pays for
-  // re-costing a (query, configuration) pair it already sampled.
-  bool use_cache = !HasFlag(argc, argv, "no-cache");
+  // re-costing a (query, configuration) pair it already sampled, and with
+  // signature caching also shares one optimizer call across all
+  // configurations agreeing on the query's relevant structures.
+  std::string cache_flag = FlagValue(argc, argv, "cache", "exact");
+  if (HasFlag(argc, argv, "no-cache")) cache_flag = "off";
+  WhatIfCacheMode cache_mode;
+  if (cache_flag == "off") {
+    cache_mode = WhatIfCacheMode::kOff;
+  } else if (cache_flag == "exact") {
+    cache_mode = WhatIfCacheMode::kExact;
+  } else if (cache_flag == "signature") {
+    cache_mode = WhatIfCacheMode::kSignature;
+  } else {
+    std::printf("error: unknown --cache value '%s'\n", cache_flag.c_str());
+    return Usage();
+  }
   CachingCostSource cached_source(&live_source);
-  CostSource* source =
-      use_cache ? static_cast<CostSource*>(&cached_source) : &live_source;
+  std::unique_ptr<SignatureCachingCostSource> sig_source;
+  CostSource* source = &live_source;
+  if (cache_mode == WhatIfCacheMode::kExact) {
+    source = &cached_source;
+  } else if (cache_mode == WhatIfCacheMode::kSignature) {
+    sig_source = std::make_unique<SignatureCachingCostSource>(
+        optimizer, *workload, *configs);
+    source = sig_source.get();
+  }
   SelectorOptions sopt;
   sopt.alpha = alpha;
   sopt.scheme = scheme == "indep" ? SamplingScheme::kIndependent
@@ -187,11 +213,19 @@ int RunCompare(int argc, char** argv) {
       r.best, r.pr_cs, static_cast<unsigned long long>(r.queries_sampled),
       workload->size(), static_cast<unsigned long long>(r.optimizer_calls),
       workload->size() * configs->size());
-  if (use_cache) {
+  if (cache_mode == WhatIfCacheMode::kExact) {
     std::printf(
-        "what-if cache: %llu cold calls, %llu served from cache\n",
+        "what-if cache (exact): %llu cold calls, %llu served from cache\n",
         static_cast<unsigned long long>(cached_source.num_misses()),
         static_cast<unsigned long long>(cached_source.num_hits()));
+  } else if (cache_mode == WhatIfCacheMode::kSignature) {
+    std::printf(
+        "what-if cache (signature): %llu cold calls, %llu signature hits, "
+        "%llu exact hits (%llu distinct signatures)\n",
+        static_cast<unsigned long long>(sig_source->num_cold_calls()),
+        static_cast<unsigned long long>(sig_source->num_signature_hits()),
+        static_cast<unsigned long long>(sig_source->num_exact_hits()),
+        static_cast<unsigned long long>(sig_source->num_distinct_signatures()));
   }
   const Configuration& winner = (*configs)[r.best];
   std::printf("winner '%s': %zu indexes, %zu views, %.1f MB\n",

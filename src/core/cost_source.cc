@@ -130,4 +130,231 @@ double CachingCostSource::Cost(QueryId q, ConfigId c) {
   return values_[cell];
 }
 
+// ---------------------------------------------------------------------------
+// SignatureCachingCostSource
+
+const char* WhatIfCacheModeName(WhatIfCacheMode mode) {
+  switch (mode) {
+    case WhatIfCacheMode::kOff:
+      return "off";
+    case WhatIfCacheMode::kExact:
+      return "exact";
+    case WhatIfCacheMode::kSignature:
+      return "signature";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SigKey {
+  QueryId q = 0;
+  std::vector<uint32_t> sig;
+
+  bool operator==(const SigKey& o) const { return q == o.q && sig == o.sig; }
+};
+
+struct SigKeyHash {
+  size_t operator()(const SigKey& k) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL ^ k.q;
+    for (uint32_t id : k.sig) {
+      h ^= id + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+struct SignatureCachingCostSource::Cell {
+  std::once_flag flag;
+  double value = 0.0;
+};
+
+struct SignatureCachingCostSource::Shard {
+  std::mutex mu;
+  std::unordered_map<SigKey, std::shared_ptr<Cell>, SigKeyHash> map;
+};
+
+SignatureCachingCostSource::SignatureCachingCostSource(
+    const WhatIfOptimizer& optimizer, const Workload& workload,
+    std::vector<Configuration> configs, std::vector<QueryId> query_ids)
+    : optimizer_(optimizer),
+      configs_(std::move(configs)),
+      num_templates_(workload.num_templates()) {
+  PDX_CHECK(!configs_.empty());
+  if (query_ids.empty()) {
+    queries_.reserve(workload.size());
+    for (QueryId q = 0; q < workload.size(); ++q) {
+      queries_.push_back(&workload.query(q));
+    }
+  } else {
+    queries_.reserve(query_ids.size());
+    for (QueryId q : query_ids) queries_.push_back(&workload.query(q));
+  }
+  footprints_.reserve(queries_.size());
+  for (const Query* q : queries_) footprints_.push_back(ComputeFootprint(*q));
+
+  // Intern every structure of every configuration: equal structures share
+  // one id across configurations, which is what makes signatures
+  // comparable cross-config. Hash buckets are verified with full
+  // structural equality, so hash collisions cannot merge distinct
+  // structures.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_buckets;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> view_buckets;
+  config_index_ids_.resize(configs_.size());
+  config_view_ids_.resize(configs_.size());
+  for (ConfigId c = 0; c < configs_.size(); ++c) {
+    const Configuration& cfg = configs_[c];
+    config_index_ids_[c].reserve(cfg.indexes().size());
+    for (const Index& idx : cfg.indexes()) {
+      std::vector<uint32_t>& bucket = index_buckets[idx.Hash()];
+      uint32_t id = UINT32_MAX;
+      for (uint32_t cand : bucket) {
+        if (interned_indexes_[cand] == idx) {
+          id = cand;
+          break;
+        }
+      }
+      if (id == UINT32_MAX) {
+        id = static_cast<uint32_t>(interned_indexes_.size());
+        interned_indexes_.push_back(idx);
+        bucket.push_back(id);
+      }
+      config_index_ids_[c].push_back(2 * id);  // even ids: indexes
+    }
+    config_view_ids_[c].reserve(cfg.views().size());
+    for (const MaterializedView& v : cfg.views()) {
+      std::vector<uint32_t>& bucket = view_buckets[v.Hash()];
+      uint32_t id = UINT32_MAX;
+      for (uint32_t cand : bucket) {
+        if (interned_views_[cand] == v) {
+          id = cand;
+          break;
+        }
+      }
+      if (id == UINT32_MAX) {
+        id = static_cast<uint32_t>(interned_views_.size());
+        interned_views_.push_back(v);
+        bucket.push_back(id);
+      }
+      config_view_ids_[c].push_back(2 * id + 1);  // odd ids: views
+    }
+  }
+
+  // Per-config sorted id lists: the signature of (q, c) is the relevant
+  // subsequence, already in order. Duplicate structures keep duplicate
+  // ids — the optimizer charges duplicated maintenance, so configurations
+  // with and without the duplicate must not share a signature.
+  config_sorted_ids_.resize(configs_.size());
+  for (ConfigId c = 0; c < configs_.size(); ++c) {
+    std::vector<uint32_t>& ids = config_sorted_ids_[c];
+    ids.reserve(config_index_ids_[c].size() + config_view_ids_[c].size());
+    ids.insert(ids.end(), config_index_ids_[c].begin(),
+               config_index_ids_[c].end());
+    ids.insert(ids.end(), config_view_ids_[c].begin(),
+               config_view_ids_[c].end());
+    std::sort(ids.begin(), ids.end());
+  }
+
+  // Relevance is a property of (query, structure) alone — configurations
+  // only select which structures are present — so it is precomputed once
+  // per pair here and the per-lookup work drops to a byte test per
+  // structure of the configuration. Rows are independent: fan out.
+  relevant_stride_ =
+      2 * std::max(interned_indexes_.size(), interned_views_.size());
+  if (relevant_stride_ > 0 && !queries_.empty()) {
+    relevant_.assign(queries_.size() * relevant_stride_, 0);
+    GlobalThreadPool().ParallelFor(
+        0, queries_.size(), /*chunk=*/0, [&](size_t begin, size_t end) {
+          for (size_t q = begin; q < end; ++q) {
+            uint8_t* row = relevant_.data() + q * relevant_stride_;
+            const QueryFootprint& f = footprints_[q];
+            for (size_t i = 0; i < interned_indexes_.size(); ++i) {
+              row[2 * i] = IndexRelevant(f, interned_indexes_[i]) ? 1 : 0;
+            }
+            for (size_t v = 0; v < interned_views_.size(); ++v) {
+              row[2 * v + 1] = ViewRelevant(f, interned_views_[v]) ? 1 : 0;
+            }
+          }
+        });
+  }
+
+  shards_ = std::make_unique<Shard[]>(kNumShards);
+  const size_t cells = queries_.size() * configs_.size();
+  if (cells > 0) {
+    cell_seen_ = std::make_unique<std::atomic<uint8_t>[]>(cells);
+  }
+}
+
+SignatureCachingCostSource::~SignatureCachingCostSource() = default;
+
+void SignatureCachingCostSource::BuildSignature(
+    QueryId q, ConfigId c, std::vector<uint32_t>* sig) const {
+  sig->clear();
+  const uint8_t* row = relevant_.data() + q * relevant_stride_;
+  for (uint32_t id : config_sorted_ids_[c]) {
+    if (row[id]) sig->push_back(id);
+  }
+}
+
+void SignatureCachingCostSource::SignatureOf(QueryId q, ConfigId c,
+                                             std::vector<uint32_t>* out) const {
+  PDX_CHECK(q < queries_.size());
+  PDX_CHECK(c < configs_.size());
+  BuildSignature(q, c, out);
+}
+
+double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < queries_.size());
+  PDX_CHECK(c < configs_.size());
+  // Scratch probe: signature computation must not allocate per call on
+  // the hot path (the probe key's vector reuses its capacity).
+  thread_local SigKey probe;
+  probe.q = q;
+  BuildSignature(q, c, &probe.sig);
+
+  Shard& shard = shards_[SigKeyHash{}(probe) % kNumShards];
+  std::shared_ptr<Cell> cell;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(probe);
+    if (it == shard.map.end()) {
+      it = shard.map.emplace(probe, std::make_shared<Cell>()).first;
+    }
+    cell = it->second;
+  }
+  bool cold = false;
+  std::call_once(cell->flag, [&] {
+    cell->value = optimizer_.Cost(*queries_[q], configs_[c]);
+    cold = true;
+  });
+  const size_t dense = static_cast<size_t>(q) * configs_.size() + c;
+  const bool first_touch =
+      cell_seen_[dense].exchange(1, std::memory_order_relaxed) == 0;
+  if (cold) {
+    cold_.fetch_add(1, std::memory_order_relaxed);
+  } else if (first_touch) {
+    signature_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!cold && debug_check_) {
+    double direct = optimizer_.Cost(*queries_[q], configs_[c]);
+    PDX_CHECK_MSG(direct == cell->value,
+                  "signature cache cross-check mismatch: memoized cost "
+                  "differs from direct what-if evaluation");
+  }
+  return cell->value;
+}
+
+uint64_t SignatureCachingCostSource::num_distinct_signatures() const {
+  uint64_t n = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    n += shards_[s].map.size();
+  }
+  return n;
+}
+
 }  // namespace pdx

@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/types.h"
 #include "common/macros.h"
+#include "optimizer/relevance.h"
 #include "optimizer/what_if.h"
 
 namespace pdx {
@@ -192,6 +194,138 @@ class CachingCostSource : public CostSource {
   std::unique_ptr<double[]> values_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+};
+
+/// Which what-if cache tier a caller wants (examples, benches, tuner):
+/// no memoization, exact (query, configuration) cells, or
+/// relevant-structure signatures (cross-configuration dedup).
+enum class WhatIfCacheMode { kOff, kExact, kSignature };
+
+const char* WhatIfCacheModeName(WhatIfCacheMode mode);
+
+/// Live what-if source with relevant-structure memoization: costs are
+/// keyed by (query, atomic-configuration signature) instead of
+/// (query, configuration), where the signature is the sorted id list of
+/// the configuration's structures that can influence the query's cost
+/// (see optimizer/relevance.h). All configurations agreeing on a query's
+/// relevant subset — for most queries, the vast majority of any candidate
+/// set — share a single optimizer call, which is how CoPhy-style tools
+/// cut what-if counts by orders of magnitude below exact-cell caching.
+///
+/// Costs are bit-identical to an uncached WhatIfCostSource: the optimizer
+/// examines exactly the relevant structures, and Configuration's
+/// per-table lists iterate in canonical (insertion-order-independent)
+/// order, so the replayed value is the value the optimizer would have
+/// computed. set_debug_check(true) verifies this on every memoized read.
+///
+/// Thread-safety: Cost() may be called concurrently. The memo table is
+/// sharded (mutex per shard) and each entry is filled exactly once via a
+/// per-entry std::call_once; footprints, interned ids and configurations
+/// are immutable after construction.
+///
+/// Call accounting distinguishes three outcomes:
+///   * cold calls      — the optimizer was actually invoked;
+///   * signature hits  — first touch of a (query, config) cell, served
+///                       from another configuration's identical signature;
+///   * exact hits      — a (query, config) cell seen before (what plain
+///                       CachingCostSource would also have caught).
+/// num_calls() reports cold calls only.
+class SignatureCachingCostSource : public CostSource {
+ public:
+  /// Sources over `workload` x `configs`. When `query_ids` is non-empty,
+  /// the source exposes only that subset (local QueryId i maps to
+  /// workload query query_ids[i]) — used by the tuner's per-round
+  /// sub-workload selections.
+  SignatureCachingCostSource(const WhatIfOptimizer& optimizer,
+                             const Workload& workload,
+                             std::vector<Configuration> configs,
+                             std::vector<QueryId> query_ids = {});
+  ~SignatureCachingCostSource() override;
+
+  double Cost(QueryId q, ConfigId c) override;
+  size_t num_queries() const override { return queries_.size(); }
+  size_t num_configs() const override { return configs_.size(); }
+  TemplateId TemplateOf(QueryId q) const override {
+    PDX_CHECK(q < queries_.size());
+    return queries_[q]->template_id;
+  }
+  size_t num_templates() const override { return num_templates_; }
+  double OptimizeOverhead(QueryId q) const override {
+    PDX_CHECK(q < queries_.size());
+    return queries_[q]->optimize_overhead;
+  }
+  /// Cold calls only: optimizer invocations this source actually made.
+  uint64_t num_calls() const override {
+    return cold_.load(std::memory_order_relaxed);
+  }
+  /// Resets hit/miss accounting; cache contents and cell-seen state kept.
+  void ResetCallCounter() override {
+    cold_.store(0, std::memory_order_relaxed);
+    signature_hits_.store(0, std::memory_order_relaxed);
+    exact_hits_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t num_cold_calls() const {
+    return cold_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_signature_hits() const {
+    return signature_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_exact_hits() const {
+    return exact_hits_.load(std::memory_order_relaxed);
+  }
+  /// Distinct (query, signature) entries materialized so far.
+  uint64_t num_distinct_signatures() const;
+
+  /// Debug mode: every memoized read is cross-checked against a direct
+  /// optimizer call (which must agree bitwise). Expensive — tests only.
+  void set_debug_check(bool on) { debug_check_ = on; }
+
+  /// The atomic-configuration signature of (q, c): sorted interned ids of
+  /// the structures of configuration `c` relevant to query `q`. Exposed
+  /// for tests and the signature-overhead microbenchmark.
+  void SignatureOf(QueryId q, ConfigId c, std::vector<uint32_t>* out) const;
+
+  const std::vector<Configuration>& configs() const { return configs_; }
+
+ private:
+  struct Shard;
+  struct Cell;
+
+  void BuildSignature(QueryId q, ConfigId c, std::vector<uint32_t>* sig) const;
+
+  const WhatIfOptimizer& optimizer_;
+  std::vector<const Query*> queries_;
+  std::vector<Configuration> configs_;
+  size_t num_templates_ = 0;
+  /// Per-query relevance footprints, computed once at construction.
+  std::vector<QueryFootprint> footprints_;
+  /// Structures interned across all configurations: distinct structures
+  /// get distinct ids (indexes even, views odd), shared structures share
+  /// one id — the signature alphabet.
+  std::vector<Index> interned_indexes_;
+  std::vector<MaterializedView> interned_views_;
+  /// [config][position in config.indexes()/views()] -> interned id.
+  std::vector<std::vector<uint32_t>> config_index_ids_;
+  std::vector<std::vector<uint32_t>> config_view_ids_;
+  /// [config]: all interned ids of the configuration, pre-sorted — the
+  /// signature of (q, c) is the subsequence relevant to q, so building it
+  /// needs no sort.
+  std::vector<std::vector<uint32_t>> config_sorted_ids_;
+  /// relevant_[q * relevant_stride_ + id]: can interned structure `id`
+  /// influence query q's cost? Precomputed once per (query, structure) —
+  /// config-independent — so the hot path is a byte test per structure.
+  size_t relevant_stride_ = 0;
+  std::vector<uint8_t> relevant_;
+  /// Sharded (query, signature) -> cost memo table.
+  static constexpr size_t kNumShards = 64;
+  std::unique_ptr<Shard[]> shards_;
+  /// Dense per-cell touched flags for hit classification.
+  std::unique_ptr<std::atomic<uint8_t>[]> cell_seen_;
+  std::atomic<uint64_t> cold_{0};
+  std::atomic<uint64_t> signature_hits_{0};
+  std::atomic<uint64_t> exact_hits_{0};
+  bool debug_check_ = false;
 };
 
 }  // namespace pdx

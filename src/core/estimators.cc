@@ -238,6 +238,12 @@ DeltaEstimator::DeltaEstimator(
   raw_moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
   diff_moments_.assign(num_configs,
                        std::vector<RunningMoments>(num_templates));
+  // Sampling is without replacement, so the store can never exceed the
+  // workload population; reserving it up front caps the vector's capacity
+  // at exactly that bound instead of up to 2x from growth doubling.
+  uint64_t population = 0;
+  for (uint64_t p : template_populations_) population += p;
+  samples_.reserve(population);
 }
 
 void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
@@ -253,6 +259,14 @@ void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
     diff_moments_[c][tmpl].Add(ref_cost - costs[c]);
   }
   samples_.push_back({qid, tmpl, std::move(costs)});
+}
+
+size_t DeltaEstimator::samples_bytes() const {
+  size_t bytes = samples_.capacity() * sizeof(SampleRecord);
+  for (const SampleRecord& rec : samples_) {
+    bytes += rec.costs.capacity() * sizeof(double);
+  }
+  return bytes;
 }
 
 void DeltaEstimator::SetReference(ConfigId reference) {

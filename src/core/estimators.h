@@ -120,6 +120,9 @@ class DeltaEstimator {
 
   /// Sets the reference ("best") configuration for pairwise difference
   /// moments; rebuilds diff moments from stored samples when it changes.
+  /// A reference change replays every stored sample against every
+  /// configuration — O(samples · num_configs) — so callers should switch
+  /// the incumbent only when the ranking actually changes, not per round.
   void SetReference(ConfigId reference);
   ConfigId reference() const { return reference_; }
 
@@ -141,6 +144,13 @@ class DeltaEstimator {
   /// Samples drawn in `stratum` (shared across configs).
   uint64_t SamplesIn(const Stratification& strat, uint32_t stratum) const;
   uint64_t TotalSamples() const { return samples_.size(); }
+
+  /// Bytes retained by the raw sample store (records + their cost
+  /// vectors). Delta Sampling keeps every sampled cost vector alive for
+  /// reference switches, so this is the scheme's dominant memory cost:
+  /// ~num_configs doubles per sample, bounded by the up-front reservation
+  /// (min(workload size, population) records, never reallocated past it).
+  size_t samples_bytes() const;
 
   /// Minimum sample count over all non-empty templates.
   uint64_t MinTemplateCount() const;

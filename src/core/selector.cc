@@ -161,6 +161,7 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
                               (exhausted && options_.alpha < 1.0);
       result.queries_sampled = est.TotalSamples();
       result.optimizer_calls = source_->num_calls() - calls_before;
+      result.estimator_samples_bytes = est.samples_bytes();
       result.estimates.resize(k);
       for (ConfigId c = 0; c < k; ++c) {
         result.estimates[c] = est.Estimate(c, strat);

@@ -85,6 +85,9 @@ struct SelectionResult {
   std::vector<uint32_t> final_strata;
   /// Configurations still active (not eliminated) at termination.
   uint32_t active_configs = 0;
+  /// Bytes held by the Delta estimator's raw sample store at termination
+  /// (0 for Independent Sampling, which keeps only running moments).
+  size_t estimator_samples_bytes = 0;
 };
 
 /// Algorithm 1 runner. Construct once per selection problem and call Run.

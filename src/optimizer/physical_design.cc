@@ -147,32 +147,58 @@ std::vector<uint64_t> MakeJoinSignature(
   return sig;
 }
 
+namespace {
+
+// Inserts `pos` into a per-table position list keeping it ordered by the
+// structures' identity hashes (position as tie-break): iteration order is
+// then a function of the structure *set*, not of insertion history.
+template <typename Structure>
+void InsertCanonical(const std::vector<Structure>& structures,
+                     std::vector<uint32_t>* list, uint32_t pos) {
+  uint64_t h = structures[pos].Hash();
+  auto it = std::upper_bound(
+      list->begin(), list->end(), pos, [&](uint32_t a, uint32_t b) {
+        uint64_t ha = a == pos ? h : structures[a].Hash();
+        uint64_t hb = b == pos ? h : structures[b].Hash();
+        return ha != hb ? ha < hb : a < b;
+      });
+  list->insert(it, pos);
+}
+
+const std::vector<uint32_t> kNoStructures;
+
+}  // namespace
+
 bool Configuration::AddIndex(Index index) {
   if (ContainsIndex(index)) return false;
   indexes_.push_back(std::move(index));
+  uint32_t pos = static_cast<uint32_t>(indexes_.size() - 1);
+  InsertCanonical(indexes_, &indexes_by_table_[indexes_.back().table], pos);
   return true;
 }
 
 bool Configuration::AddView(MaterializedView view) {
   if (ContainsView(view)) return false;
   views_.push_back(std::move(view));
+  uint32_t pos = static_cast<uint32_t>(views_.size() - 1);
+  TableId prev = kInvalidTableId;
+  for (TableId t : views_.back().tables) {  // sorted; skip self-join dups
+    if (t == prev) continue;
+    prev = t;
+    InsertCanonical(views_, &views_by_table_[t], pos);
+  }
   return true;
 }
 
-std::vector<uint32_t> Configuration::IndexesOnTable(TableId table) const {
-  std::vector<uint32_t> out;
-  for (size_t i = 0; i < indexes_.size(); ++i) {
-    if (indexes_[i].table == table) out.push_back(static_cast<uint32_t>(i));
-  }
-  return out;
+const std::vector<uint32_t>& Configuration::IndexesOnTable(
+    TableId table) const {
+  auto it = indexes_by_table_.find(table);
+  return it == indexes_by_table_.end() ? kNoStructures : it->second;
 }
 
-std::vector<uint32_t> Configuration::ViewsOnTable(TableId table) const {
-  std::vector<uint32_t> out;
-  for (size_t i = 0; i < views_.size(); ++i) {
-    if (views_[i].References(table)) out.push_back(static_cast<uint32_t>(i));
-  }
-  return out;
+const std::vector<uint32_t>& Configuration::ViewsOnTable(TableId table) const {
+  auto it = views_by_table_.find(table);
+  return it == views_by_table_.end() ? kNoStructures : it->second;
 }
 
 bool Configuration::ContainsIndex(const Index& index) const {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -97,10 +98,17 @@ class Configuration {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  /// Indexes on a given table (indices into indexes()).
-  std::vector<uint32_t> IndexesOnTable(TableId table) const;
-  /// Views referencing a given table.
-  std::vector<uint32_t> ViewsOnTable(TableId table) const;
+  /// Indexes on a given table (indices into indexes()). The lists are
+  /// maintained incrementally by AddIndex/AddView — no per-call
+  /// allocation on the optimizer's hot path — and are ordered by
+  /// structure identity hash (position as tie-break), so per-table
+  /// iteration order (and hence floating-point accumulation in
+  /// maintenance costing) is independent of the order structures were
+  /// added. The signature what-if cache's bit-identity guarantee relies
+  /// on this canonical order.
+  const std::vector<uint32_t>& IndexesOnTable(TableId table) const;
+  /// Views referencing a given table (same ordering guarantees).
+  const std::vector<uint32_t>& ViewsOnTable(TableId table) const;
 
   bool ContainsIndex(const Index& index) const;
   bool ContainsView(const MaterializedView& view) const;
@@ -124,6 +132,10 @@ class Configuration {
   std::string name_;
   std::vector<Index> indexes_;
   std::vector<MaterializedView> views_;
+  /// table -> positions into indexes_/views_, canonically ordered (see
+  /// IndexesOnTable).
+  std::unordered_map<TableId, std::vector<uint32_t>> indexes_by_table_;
+  std::unordered_map<TableId, std::vector<uint32_t>> views_by_table_;
 };
 
 }  // namespace pdx

@@ -1,0 +1,109 @@
+// Copyright (c) the pdexplore authors.
+// Relevant-structure analysis: which physical design structures can
+// influence the what-if cost of a query (the CoPhy/Wii "atomic
+// configuration" idea). For any (query, configuration) pair, the
+// optimizer's cost is a pure function of the query and the *relevant
+// subset* of the configuration's structures — every other structure is
+// skipped by an applicability check inside WhatIfOptimizer (no sargable
+// seek prefix and not covering, wrong join column, non-matching view
+// shape, untouched by the DML statement). Canonicalizing a configuration
+// down to that subset lets a what-if cache share one optimizer call
+// across all configurations that agree on it, which is the dominant
+// saving when candidate configurations differ only in structures a query
+// can never use.
+//
+// The predicates here are kept *exactly* in sync with the checks in
+// what_if.cc (BestAccessPath / IndexNestedLoopProbeCost / ViewMatchCost /
+// UpdatePartCost): a structure is relevant iff the optimizer would
+// examine it when costing the query. Over-approximation would only cost
+// cache-hit rate; under-approximation would be a correctness bug — the
+// property test in tests/test_signature_cache.cc pins bit-identity
+// against the uncached optimizer across randomized workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/physical_design.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// Per-table-access footprint: the column sets the optimizer's index
+/// applicability checks consult, precomputed and sorted for binary search.
+struct AccessFootprint {
+  TableId table = kInvalidTableId;
+  /// Columns of `table` the query references (covering-index check);
+  /// kept in the access's original order for Index::Covers.
+  std::vector<ColumnId> referenced_columns;
+  /// Columns with a sargable Eq/In/Range predicate — what MatchSeekPrefix
+  /// can anchor a seek on. Sorted, deduplicated.
+  std::vector<ColumnId> seek_columns;
+  /// Join columns of this access (index-nested-loop probe anchors).
+  /// Sorted, deduplicated.
+  std::vector<ColumnId> join_columns;
+};
+
+/// Everything the relevance tests need to know about one query, computed
+/// once per workload (no optimizer calls).
+struct QueryFootprint {
+  std::vector<AccessFootprint> accesses;
+  /// Accessed tables in ViewMatchCost's canonical form (sorted, one entry
+  /// per access — not deduplicated, mirroring the optimizer's comparison
+  /// against MaterializedView::tables).
+  std::vector<TableId> view_tables;
+  /// Canonical join-edge signature (empty when the query has no joins).
+  std::vector<uint64_t> join_signature;
+  /// Grouping columns (view-match subset check).
+  std::vector<ColumnRef> group_by;
+  /// All fully-qualified columns the query touches (view exposure check).
+  std::vector<ColumnRef> referenced_refs;
+  bool has_joins = false;
+  /// UPDATE part (split DML, §6.1).
+  bool has_update = false;
+  TableId update_table = kInvalidTableId;
+  StatementKind update_kind = StatementKind::kUpdate;
+  std::vector<ColumnId> update_set_columns;
+};
+
+/// Computes the footprint of one query.
+QueryFootprint ComputeFootprint(const Query& query);
+
+/// Footprints of every query of a workload, indexed by QueryId.
+std::vector<QueryFootprint> ComputeWorkloadFootprints(const Workload& workload);
+
+/// True iff BestAccessPath or IndexNestedLoopProbeCost would examine
+/// `index` for this access: seekable prefix, covering, or a leading key
+/// matching a join column.
+bool IndexRelevantToAccess(const AccessFootprint& access, const Index& index);
+
+/// True iff UpdatePartCost would charge maintenance for `index`:
+/// INSERT/DELETE touch every index on the written table, UPDATE only
+/// those containing a written column.
+bool IndexTouchedByUpdate(const QueryFootprint& footprint, const Index& index);
+
+/// True iff `index` can influence the query's cost (any access, or the
+/// update part).
+bool IndexRelevant(const QueryFootprint& footprint, const Index& index);
+
+/// True iff ViewMatchCost would accept `view` for the query's SELECT
+/// shape (exact structural match: tables, join signature, grouping
+/// subset, column exposure).
+bool ViewSelectRelevant(const QueryFootprint& footprint,
+                        const MaterializedView& view);
+
+/// True iff `view` can influence the query's cost (select-side match or
+/// maintenance under the update part).
+bool ViewRelevant(const QueryFootprint& footprint,
+                  const MaterializedView& view);
+
+/// Appends the positions (into config.indexes() / config.views()) of all
+/// structures relevant to the query, sorted and deduplicated. Uses the
+/// configuration's per-table lists, so the cost is proportional to the
+/// structures on the query's tables, not to the configuration size.
+void RelevantStructurePositions(const QueryFootprint& footprint,
+                                const Configuration& config,
+                                std::vector<uint32_t>* index_positions,
+                                std::vector<uint32_t>* view_positions);
+
+}  // namespace pdx

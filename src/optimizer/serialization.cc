@@ -212,7 +212,7 @@ Status SaveWorkload(const Workload& workload, const std::string& path) {
       if (i > 0) tables += ",";
       tables += std::to_string(t.tables[i]);
     }
-    if (tables.empty()) tables = "-";
+    if (tables.empty()) tables.push_back('-');
     out << "template\t" << t.id << "\t" << t.name << "\t"
         << static_cast<int>(t.kind) << "\t" << t.signature << "\t" << tables
         << "\n";

@@ -1,6 +1,7 @@
 #include "tuner/greedy_tuner.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace pdx {
 
@@ -121,19 +122,55 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
       if (!weights.empty()) scoring_weights.push_back(weights[i]);
     }
   }
-  double scoring_base_cost = WeightedCost(optimizer, workload, scoring_ids,
-                                          scoring_weights, result.config);
-  for (ScoredStructure& s : pool) {
-    // Standalone benefit on top of the deployed base configuration.
-    Configuration single = options.base_config;
-    if (s.is_view) {
-      single.AddView(s.view);
-    } else {
-      single.AddIndex(s.index);
+  double scoring_base_cost;
+  if (options.cache == WhatIfCacheMode::kSignature) {
+    // One signature source over [base, base+s_0, base+s_1, ...]: the
+    // scoring configurations differ from the base by a single structure,
+    // so for every query that structure can't influence, the base's
+    // optimizer call is reused. Sums run in the same per-query order as
+    // WeightedCost, so the benefits are bit-identical to the direct path.
+    std::vector<Configuration> scoring_configs;
+    scoring_configs.reserve(pool.size() + 1);
+    scoring_configs.push_back(options.base_config);
+    for (const ScoredStructure& s : pool) {
+      Configuration single = options.base_config;
+      if (s.is_view) {
+        single.AddView(s.view);
+      } else {
+        single.AddIndex(s.index);
+      }
+      scoring_configs.push_back(std::move(single));
     }
-    s.benefit = scoring_base_cost - WeightedCost(optimizer, workload,
-                                                 scoring_ids, scoring_weights,
-                                                 single);
+    SignatureCachingCostSource scorer(optimizer, workload,
+                                      std::move(scoring_configs), scoring_ids);
+    auto weighted = [&](ConfigId c) {
+      double total = 0.0;
+      for (size_t i = 0; i < scoring_ids.size(); ++i) {
+        double w = scoring_weights.empty() ? 1.0 : scoring_weights[i];
+        total += w * scorer.Cost(static_cast<QueryId>(i), c);
+      }
+      return total;
+    };
+    scoring_base_cost = weighted(0);
+    for (size_t s = 0; s < pool.size(); ++s) {
+      pool[s].benefit =
+          scoring_base_cost - weighted(static_cast<ConfigId>(s + 1));
+    }
+  } else {
+    scoring_base_cost = WeightedCost(optimizer, workload, scoring_ids,
+                                     scoring_weights, result.config);
+    for (ScoredStructure& s : pool) {
+      // Standalone benefit on top of the deployed base configuration.
+      Configuration single = options.base_config;
+      if (s.is_view) {
+        single.AddView(s.view);
+      } else {
+        single.AddIndex(s.index);
+      }
+      s.benefit = scoring_base_cost - WeightedCost(optimizer, workload,
+                                                   scoring_ids,
+                                                   scoring_weights, single);
+    }
   }
   std::sort(pool.begin(), pool.end(),
             [](const ScoredStructure& a, const ScoredStructure& b) {
@@ -175,8 +212,30 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
       std::vector<Configuration> round_configs;
       round_configs.push_back(result.config);
       for (size_t i : feasible) round_configs.push_back(extend(i));
-      SubsetCostSource source(optimizer, workload, query_ids, round_configs);
-      ConfigurationSelector selector(&source, options.selector);
+      // The round's extensions differ from the current configuration by
+      // one structure each: signature caching collapses the per-round
+      // what-if matrix down to the queries each structure can touch.
+      // Costs are bit-identical across tiers, so the selection (driven by
+      // the shared rng) is too — only the call count changes.
+      std::unique_ptr<SubsetCostSource> subset;
+      std::unique_ptr<CachingCostSource> exact;
+      std::unique_ptr<SignatureCachingCostSource> sig;
+      CostSource* source = nullptr;
+      if (options.cache == WhatIfCacheMode::kSignature) {
+        sig = std::make_unique<SignatureCachingCostSource>(
+            optimizer, workload, round_configs, query_ids);
+        source = sig.get();
+      } else {
+        subset = std::make_unique<SubsetCostSource>(optimizer, workload,
+                                                    query_ids, round_configs);
+        if (options.cache == WhatIfCacheMode::kExact) {
+          exact = std::make_unique<CachingCostSource>(subset.get());
+          source = exact.get();
+        } else {
+          source = subset.get();
+        }
+      }
+      ConfigurationSelector selector(source, options.selector);
       SelectionResult sel = selector.Run(rng);
       if (sel.best == 0) break;  // keeping the current configuration wins
       winner = static_cast<int64_t>(feasible[sel.best - 1]);

@@ -33,6 +33,13 @@ struct TunerOptions {
   /// When true, each greedy round selects the winning extension with the
   /// sampling-based comparison primitive instead of exact evaluation.
   bool use_comparison_primitive = false;
+  /// What-if memoization tier for the scoring phase and (in primitive
+  /// mode) the per-round selections. kSignature shares one optimizer call
+  /// across every candidate configuration that agrees on a query's
+  /// relevant structures — the candidates of one greedy round differ by a
+  /// single structure, so nearly all of them do. Results are bit-identical
+  /// across tiers; only the call count changes.
+  WhatIfCacheMode cache = WhatIfCacheMode::kOff;
   /// Selector settings for the primitive-driven mode.
   SelectorOptions selector;
   CandidateGenOptions candidates;

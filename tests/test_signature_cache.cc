@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/cost_source.h"
+#include "test_util.h"
+#include "tuner/enumerator.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallCrmSchema;
+using testing::SmallCrmTrace;
+using testing::SmallTpcdSchema;
+using testing::SmallTpcdWorkload;
+
+std::vector<Configuration> MakePool(const WhatIfOptimizer& opt,
+                                    const Workload& wl, uint64_t seed) {
+  Rng rng(seed);
+  EnumeratorOptions eopt;
+  eopt.num_configs = 6;
+  eopt.eval_sample_size = 60;
+  std::vector<Configuration> configs =
+      EnumerateConfigurations(opt, wl, eopt, &rng);
+  // An empty configuration and a merge widen the signature spectrum: the
+  // empty config shares every query's empty signature with any config
+  // whose structures are all irrelevant, and the merge is a superset of
+  // everything.
+  configs.emplace_back("empty");
+  if (configs.size() >= 2) {
+    Configuration merged = configs[0].Merge(configs[1]);
+    merged.set_name("merged");
+    configs.push_back(std::move(merged));
+  }
+  return configs;
+}
+
+// The headline property: every signature-cached cost is bit-identical to
+// the uncached optimizer, across randomized workloads and configuration
+// pools — both select-only (TPC-D) and DML-bearing (CRM).
+void CheckBitIdentical(const Schema& schema, const Workload& wl,
+                       uint64_t seed) {
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, seed);
+  WhatIfCostSource direct(opt, wl, configs);
+  SignatureCachingCostSource cached(opt, wl, configs);
+  ASSERT_EQ(cached.num_queries(), wl.size());
+  ASSERT_EQ(cached.num_configs(), configs.size());
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    for (ConfigId c = 0; c < configs.size(); ++c) {
+      EXPECT_EQ(cached.Cost(q, c), direct.Cost(q, c))
+          << "q=" << q << " c=" << c;
+    }
+  }
+  EXPECT_GT(cached.num_signature_hits(), 0u)
+      << "pool should share signatures somewhere";
+  EXPECT_LT(cached.num_cold_calls(), wl.size() * configs.size());
+}
+
+TEST(SignatureCacheTest, BitIdenticalToUncachedTpcd) {
+  Schema schema = SmallTpcdSchema();
+  for (uint64_t seed : {1ull, 2ull}) {
+    Workload wl = SmallTpcdWorkload(schema, 300, 123 + seed);
+    CheckBitIdentical(schema, wl, seed);
+  }
+}
+
+TEST(SignatureCacheTest, BitIdenticalToUncachedCrm) {
+  Schema schema = SmallCrmSchema();
+  for (uint64_t seed : {1ull, 2ull}) {
+    Workload wl = SmallCrmTrace(schema, 300, 77 + seed);
+    CheckBitIdentical(schema, wl, seed);
+  }
+}
+
+TEST(SignatureCacheTest, DebugCheckSweepPasses) {
+  // debug_check cross-checks every memoized read against a direct
+  // optimizer call and aborts on any bitwise mismatch: sweeping the full
+  // matrix twice under it is the self-verifying form of the property.
+  Schema schema = SmallCrmSchema();
+  Workload wl = SmallCrmTrace(schema, 200);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 3);
+  SignatureCachingCostSource cached(opt, wl, configs);
+  cached.set_debug_check(true);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (QueryId q = 0; q < wl.size(); ++q) {
+      for (ConfigId c = 0; c < configs.size(); ++c) cached.Cost(q, c);
+    }
+  }
+}
+
+TEST(SignatureCacheTest, HitAccountingPartitionsLookups) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 250);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 4);
+  SignatureCachingCostSource cached(opt, wl, configs);
+  const uint64_t cells = wl.size() * configs.size();
+
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    for (ConfigId c = 0; c < configs.size(); ++c) cached.Cost(q, c);
+  }
+  // First sweep: every lookup is either a real optimizer call or a
+  // first-touch served from another configuration's signature.
+  EXPECT_EQ(cached.num_cold_calls() + cached.num_signature_hits(), cells);
+  EXPECT_EQ(cached.num_exact_hits(), 0u);
+  EXPECT_EQ(cached.num_calls(), cached.num_cold_calls());
+  EXPECT_EQ(cached.num_distinct_signatures(), cached.num_cold_calls());
+
+  const uint64_t cold_before = cached.num_cold_calls();
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    for (ConfigId c = 0; c < configs.size(); ++c) cached.Cost(q, c);
+  }
+  // Second sweep: all exact hits, no new optimizer work.
+  EXPECT_EQ(cached.num_cold_calls(), cold_before);
+  EXPECT_EQ(cached.num_exact_hits(), cells);
+
+  // ResetCallCounter clears accounting but keeps the cache: a further
+  // sweep is again pure exact hits with zero cold calls.
+  cached.ResetCallCounter();
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    for (ConfigId c = 0; c < configs.size(); ++c) cached.Cost(q, c);
+  }
+  EXPECT_EQ(cached.num_cold_calls(), 0u);
+  EXPECT_EQ(cached.num_signature_hits(), 0u);
+  EXPECT_EQ(cached.num_exact_hits(), cells);
+}
+
+TEST(SignatureCacheTest, SignatureOfIsSortedAndInsertionOrderInvariant) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 200);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 5);
+  // The last enumerated config rebuilt with reversed insertion order must
+  // produce identical signatures and costs (canonical per-table lists).
+  const Configuration& orig = configs[0];
+  Configuration reversed("reversed");
+  for (auto it = orig.views().rbegin(); it != orig.views().rend(); ++it) {
+    reversed.AddView(*it);
+  }
+  for (auto it = orig.indexes().rbegin(); it != orig.indexes().rend(); ++it) {
+    reversed.AddIndex(*it);
+  }
+  std::vector<Configuration> pair = {orig, reversed};
+  SignatureCachingCostSource cached(opt, wl, pair);
+  std::vector<uint32_t> s0, s1;
+  for (QueryId q = 0; q < wl.size(); q += 3) {
+    cached.SignatureOf(q, 0, &s0);
+    cached.SignatureOf(q, 1, &s1);
+    EXPECT_TRUE(std::is_sorted(s0.begin(), s0.end()));
+    EXPECT_EQ(s0, s1) << "q=" << q;
+    EXPECT_EQ(cached.Cost(q, 0), cached.Cost(q, 1)) << "q=" << q;
+  }
+  // Identical configurations share all signatures: one cold call per
+  // distinct (query, signature), the second column all hits.
+  EXPECT_EQ(cached.num_cold_calls(), cached.num_distinct_signatures());
+}
+
+TEST(SignatureCacheTest, QuerySubsetMapsIds) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 200);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 6);
+  std::vector<QueryId> subset = {5, 17, 42, 99, 150};
+  SignatureCachingCostSource cached(opt, wl, configs, subset);
+  ASSERT_EQ(cached.num_queries(), subset.size());
+  WhatIfCostSource direct(opt, wl, configs);
+  for (QueryId local = 0; local < subset.size(); ++local) {
+    EXPECT_EQ(cached.TemplateOf(local), wl.query(subset[local]).template_id);
+    EXPECT_EQ(cached.OptimizeOverhead(local),
+              wl.query(subset[local]).optimize_overhead);
+    for (ConfigId c = 0; c < configs.size(); ++c) {
+      EXPECT_EQ(cached.Cost(local, c), direct.Cost(subset[local], c));
+    }
+  }
+}
+
+TEST(SignatureCacheTest, ConcurrentLookupsAreConsistent) {
+  // Hammer the cache from the thread pool: every cell read concurrently
+  // and repeatedly must equal the serial reference, and the hit
+  // accounting must still partition the lookups. Run under
+  // -DPDX_SANITIZE=thread in CI.
+  Schema schema = SmallCrmSchema();
+  Workload wl = SmallCrmTrace(schema, 200);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 7);
+  WhatIfCostSource direct(opt, wl, configs);
+  std::vector<std::vector<double>> want(wl.size());
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    want[q].resize(configs.size());
+    for (ConfigId c = 0; c < configs.size(); ++c) {
+      want[q][c] = direct.Cost(q, c);
+    }
+  }
+
+  SignatureCachingCostSource cached(opt, wl, configs);
+  const size_t cells = wl.size() * configs.size();
+  constexpr int kRounds = 3;
+  std::atomic<uint64_t> mismatches{0};
+  GlobalThreadPool().ParallelFor(
+      0, cells * kRounds, /*chunk=*/64, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          // Scatter the order so concurrent threads collide on cells.
+          size_t cell = (i * 2654435761u) % cells;
+          QueryId q = static_cast<QueryId>(cell / configs.size());
+          ConfigId c = static_cast<ConfigId>(cell % configs.size());
+          if (cached.Cost(q, c) != want[q][c]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(cached.num_cold_calls() + cached.num_signature_hits() +
+                cached.num_exact_hits(),
+            static_cast<uint64_t>(cells * kRounds));
+  EXPECT_EQ(cached.num_distinct_signatures(), cached.num_cold_calls());
+}
+
+}  // namespace
+}  // namespace pdx

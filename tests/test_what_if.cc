@@ -275,5 +275,194 @@ TEST_F(WhatIfDmlTest, UpdateOnlyPaysForTouchedIndexes) {
   GTEST_SKIP() << "no suitable update statement found";
 }
 
+// Builds a view answering exactly the given join query: same tables, same
+// join signature, all referenced columns exposed, same grouping.
+MaterializedView ViewAnswering(const Query& q) {
+  const SelectSpec& spec = q.select;
+  MaterializedView v;
+  v.name = "exact";
+  for (const TableAccess& a : spec.accesses) v.tables.push_back(a.table);
+  std::sort(v.tables.begin(), v.tables.end());
+  std::vector<std::pair<ColumnRef, ColumnRef>> edges;
+  for (const JoinEdge& j : spec.joins) {
+    edges.push_back({{spec.accesses[j.left_access].table, j.left_column},
+                     {spec.accesses[j.right_access].table, j.right_column}});
+  }
+  v.join_signature = MakeJoinSignature(edges);
+  v.group_by = spec.group_by;
+  for (const TableAccess& a : spec.accesses) {
+    for (ColumnId c : a.referenced_columns) {
+      v.exposed_columns.push_back({a.table, c});
+    }
+  }
+  v.row_count = 2000;
+  return v;
+}
+
+// ViewMatchCost edge cases: structural near-misses must be skipped — a
+// view is usable only on an exact shape match, and the relevance layer
+// (optimizer/relevance.h) mirrors these exact checks.
+class WhatIfViewMatchTest : public WhatIfTest {
+ protected:
+  // First join query with grouping (so the group-subset check is live).
+  const Query* FindJoinQuery() const {
+    for (const Query& q : wl_.queries()) {
+      if (!q.select.joins.empty() && !q.select.group_by.empty()) return &q;
+    }
+    for (const Query& q : wl_.queries()) {
+      if (!q.select.joins.empty()) return &q;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(WhatIfViewMatchTest, ExactShapeMatchUsesView) {
+  const Query* q = FindJoinQuery();
+  ASSERT_NE(q, nullptr);
+  Configuration with_view("v");
+  with_view.AddView(ViewAnswering(*q));
+  PlanExplanation ex;
+  opt_.CostExplained(*q, with_view, &ex);
+  EXPECT_TRUE(ex.used_view);
+}
+
+TEST_F(WhatIfViewMatchTest, MatchingTablesWrongJoinSignatureIgnored) {
+  const Query* q = FindJoinQuery();
+  ASSERT_NE(q, nullptr);
+  MaterializedView v = ViewAnswering(*q);
+  // Same table set, different join columns: perturb one edge.
+  const JoinEdge& j = q->select.joins[0];
+  TableId lt = q->select.accesses[j.left_access].table;
+  TableId rt = q->select.accesses[j.right_access].table;
+  v.join_signature =
+      MakeJoinSignature({{{lt, j.left_column + 1}, {rt, j.right_column}}});
+  Configuration with_view("v");
+  with_view.AddView(v);
+  PlanExplanation ex;
+  double with_cost = opt_.CostExplained(*q, with_view, &ex);
+  EXPECT_FALSE(ex.used_view);
+  Configuration empty("empty");
+  EXPECT_EQ(with_cost, opt_.Cost(*q, empty))
+      << "a non-matching view must not change the plan";
+}
+
+TEST_F(WhatIfViewMatchTest, GroupColumnNotExposedIgnored) {
+  for (const Query& q : wl_.queries()) {
+    if (q.select.joins.empty() || q.select.group_by.empty()) continue;
+    MaterializedView v = ViewAnswering(q);
+    v.group_by.clear();  // view granularity hides the grouping column
+    Configuration with_view("v");
+    with_view.AddView(v);
+    PlanExplanation ex;
+    double with_cost = opt_.CostExplained(q, with_view, &ex);
+    EXPECT_FALSE(ex.used_view);
+    Configuration empty("empty");
+    EXPECT_EQ(with_cost, opt_.Cost(q, empty));
+    return;
+  }
+  GTEST_SKIP() << "no grouped join query found";
+}
+
+TEST_F(WhatIfViewMatchTest, ReferencedColumnNotExposedIgnored) {
+  const Query* q = FindJoinQuery();
+  ASSERT_NE(q, nullptr);
+  MaterializedView v = ViewAnswering(*q);
+  ASSERT_FALSE(v.exposed_columns.empty());
+  v.exposed_columns.pop_back();  // one touched column no longer exposed
+  Configuration with_view("v");
+  with_view.AddView(v);
+  PlanExplanation ex;
+  double with_cost = opt_.CostExplained(*q, with_view, &ex);
+  EXPECT_FALSE(ex.used_view);
+  Configuration empty("empty");
+  EXPECT_EQ(with_cost, opt_.Cost(*q, empty));
+}
+
+TEST_F(WhatIfDmlTest, UpdateTouchesIndexThroughIncludeColumn) {
+  // The UPDATE touch rule consults key AND include columns: an index
+  // merely INCLUDE-ing a written column still needs maintenance.
+  for (const Query& q : wl_.queries()) {
+    if (q.kind != StatementKind::kUpdate || q.update->set_columns.empty()) {
+      continue;
+    }
+    const Table& t = schema_.table(q.update->table);
+    ColumnId set_col = q.update->set_columns[0];
+    ColumnId other = kInvalidColumnId;
+    for (ColumnId c = 0; c < t.columns.size(); ++c) {
+      if (std::find(q.update->set_columns.begin(), q.update->set_columns.end(),
+                    c) == q.update->set_columns.end()) {
+        other = c;
+        break;
+      }
+    }
+    if (other == kInvalidColumnId) continue;
+    Index including;
+    including.table = q.update->table;
+    including.key_columns = {other};
+    including.include_columns = {set_col};
+    Configuration empty("empty");
+    Configuration with_including("ix");
+    with_including.AddIndex(including);
+    PlanExplanation e1, e2;
+    opt_.CostExplained(q, empty, &e1);
+    opt_.CostExplained(q, with_including, &e2);
+    EXPECT_GT(e2.update_cost, e1.update_cost)
+        << "include-column write must pay maintenance";
+    return;
+  }
+  GTEST_SKIP() << "no suitable update statement found";
+}
+
+TEST_F(WhatIfDmlTest, InsertPaysEveryIndexUpdateOnlyTouched) {
+  // Contrast on one table: an index on a column the UPDATE never writes
+  // is free for the UPDATE but charged to an INSERT on the same table.
+  const Query* update_q = nullptr;
+  for (const Query& q : wl_.queries()) {
+    if (q.kind == StatementKind::kUpdate && !q.update->set_columns.empty()) {
+      update_q = &q;
+      break;
+    }
+  }
+  if (update_q == nullptr) GTEST_SKIP() << "no update statement found";
+  const TableId table = update_q->update->table;
+  const Table& t = schema_.table(table);
+  ColumnId untouched = kInvalidColumnId;
+  for (ColumnId c = 0; c < t.columns.size(); ++c) {
+    if (std::find(update_q->update->set_columns.begin(),
+                  update_q->update->set_columns.end(),
+                  c) == update_q->update->set_columns.end()) {
+      untouched = c;
+      break;
+    }
+  }
+  if (untouched == kInvalidColumnId) GTEST_SKIP() << "all columns written";
+
+  Query insert_q;
+  insert_q.kind = StatementKind::kInsert;
+  UpdateSpec u;
+  u.table = table;
+  u.kind = StatementKind::kInsert;
+  u.selectivity = 1.0 / std::max<uint64_t>(1, t.row_count);
+  insert_q.update = u;
+
+  Index ix;
+  ix.table = table;
+  ix.key_columns = {untouched};
+  Configuration empty("empty");
+  Configuration with_ix("ix");
+  with_ix.AddIndex(ix);
+
+  PlanExplanation up1, up2;
+  opt_.CostExplained(*update_q, empty, &up1);
+  opt_.CostExplained(*update_q, with_ix, &up2);
+  EXPECT_DOUBLE_EQ(up1.update_cost, up2.update_cost)
+      << "UPDATE must not pay for an index it does not touch";
+
+  double ins_without = opt_.Cost(insert_q, empty);
+  double ins_with = opt_.Cost(insert_q, with_ix);
+  EXPECT_GT(ins_with, ins_without)
+      << "INSERT must pay maintenance on every index of the table";
+}
+
 }  // namespace
 }  // namespace pdx
