@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 100);
   PrintHeader("Ablation: batch-means selection vs the comparison primitive",
               trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
 
   auto env = MakeTpcdEnvironment(13000);
   Rng rng(11);  // the Figure-1 pair

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 80);
   PrintHeader("Ablation: conservative (sigma^2_max + Cochran) vs plain Pr(CS)",
               trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
 
   // --- scenario 1: a real TPC-D pair with §6.1-derived bounds -------------
   {

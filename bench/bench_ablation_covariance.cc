@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 300);
   PrintHeader("Ablation: covariance drives Delta Sampling's advantage",
               trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(13000);
 
   Rng rng(61);

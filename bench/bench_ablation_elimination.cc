@@ -15,7 +15,7 @@ using namespace pdx::bench;
 int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 60);
   PrintHeader("Ablation: elimination heuristic & oscillation guard", trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(13000);
 
   Rng rng(71);

@@ -54,7 +54,7 @@ class WeightedMatrixSource : public CostSource {
 int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 200);
   PrintHeader("Ablation: overhead-aware sample selection (§5.2)", trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
 
   auto env = MakeTpcdEnvironment(13000);
   Rng rng(13);  // index-only pool; a very hard pair so stratification engages

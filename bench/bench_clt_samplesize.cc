@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   std::printf(
       "=== Section 6.2: Cochran-rule sample-size requirement vs workload "
       "size ===\n\n");
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
 
   const std::vector<int> widths = {10, 12, 12, 12, 12, 12};
   PrintRow({"N", "G1 (est)", "G1 (cert)", "n_min(est)", "fraction",

@@ -64,10 +64,23 @@ WhatIfCacheMode CacheModeFromArgs(int argc, char** argv,
   return fallback;
 }
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+double SecondsSince(const obs::Stopwatch& start) { return start.Seconds(); }
+
+std::unique_ptr<JsonlTraceSink> TraceSinkFromArgs(int argc, char** argv) {
+  std::string path = TracePathFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) path = argv[i] + 8;
+  }
+  if (path.empty()) return nullptr;
+  auto opened = JsonlTraceSink::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "warning: %s; tracing disabled\n",
+                 opened.status().ToString().c_str());
+    return nullptr;
+  }
+  obs::SetTimingEnabled(true);
+  std::printf("trace: %s\n", path.c_str());
+  return std::move(*opened);
 }
 
 void PrintHeader(const std::string& title, int trials) {
@@ -244,7 +257,7 @@ std::vector<double> ExactTotals(const Environment& env,
 MatrixCostSource TimedPrecompute(const Environment& env,
                                  const std::vector<Configuration>& configs,
                                  WhatIfCacheMode cache) {
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   const size_t nq = env.workload->size();
   const size_t nc = configs.size();
   const double cells = static_cast<double>(nq) * static_cast<double>(nc);
@@ -317,8 +330,7 @@ MonteCarloThroughput CumulativeMonteCarloThroughput() {
   return t;
 }
 
-void PrintWallClockReport(const char* tag,
-                          std::chrono::steady_clock::time_point start) {
+void PrintWallClockReport(const char* tag, const obs::Stopwatch& start) {
   MonteCarloThroughput mc = CumulativeMonteCarloThroughput();
   if (mc.trials > 0) {
     std::printf("[%s] done in %.1fs (%llu MC trials, %.0f trials/sec, %zu "
@@ -382,7 +394,7 @@ double MonteCarloAccuracy(MatrixCostSource* source, ConfigId truth,
                           uint64_t query_budget,
                           const FixedBudgetOptions& options, int trials,
                           uint64_t seed_base) {
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   // Each trial is an independent selection with its own Rng seeded
   // `seed_base + t` — the same derivation as the serial loop — and writes
   // only its own slot, so the accuracy is bit-identical at every thread

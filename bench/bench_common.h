@@ -7,7 +7,6 @@
 // PDX_TRIALS environment variable (the paper used 5000).
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,9 +14,11 @@
 
 #include "catalog/crm_schema.h"
 #include "catalog/tpcd_schema.h"
+#include "common/obs.h"
 #include "common/string_util.h"
 #include "core/cost_source.h"
 #include "core/fixed_budget.h"
+#include "core/selection_trace.h"
 #include "core/selector.h"
 #include "tuner/enumerator.h"
 #include "workload/crm_trace.h"
@@ -38,8 +39,15 @@ int TrialsFromArgs(int argc, char** argv, int default_trials);
 WhatIfCacheMode CacheModeFromArgs(int argc, char** argv,
                                   WhatIfCacheMode fallback);
 
-/// Seconds elapsed between two steady_clock points.
-double SecondsSince(std::chrono::steady_clock::time_point start);
+/// Seconds elapsed on a started stopwatch. Bench and library timing share
+/// obs::NowNs(), so the two can never drift apart.
+double SecondsSince(const obs::Stopwatch& start);
+
+/// Parses --trace=PATH from argv (falling back to PDX_TRACE, matching the
+/// PDX_CACHE/PDX_THREADS convention) and opens a JSONL trace sink; null
+/// when neither is set. Enables obs timing when a sink is opened so the
+/// what-if latency histograms fill.
+std::unique_ptr<JsonlTraceSink> TraceSinkFromArgs(int argc, char** argv);
 
 /// Prints the standard bench header (binary name + trial count + scale +
 /// thread count).
@@ -117,8 +125,7 @@ struct MonteCarloThroughput {
 MonteCarloThroughput CumulativeMonteCarloThroughput();
 
 /// Prints "[tag] done in S s (N MC trials, R trials/sec, T threads)".
-void PrintWallClockReport(const char* tag,
-                          std::chrono::steady_clock::time_point start);
+void PrintWallClockReport(const char* tag, const obs::Stopwatch& start);
 
 /// Scenario spec for the figure experiments' configuration pairs.
 struct PairSpec {

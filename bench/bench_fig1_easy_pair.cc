@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 1: Pr(CS) vs sample size, easy TPC-D pair (~7% gap)",
               trials);
 
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(13000);
   Rng rng(11);
   std::vector<Configuration> pool = MakeConfigPool(*env, 40, &rng, true, PoolStyle::kDiverse);

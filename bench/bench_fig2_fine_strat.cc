@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 2: progressive vs fine stratification (TPC-D pair)",
               trials);
 
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(13000);
   Rng rng(11);  // same pool seed as Figure 1 -> same pair
   std::vector<Configuration> pool = MakeConfigPool(*env, 40, &rng, true, PoolStyle::kDiverse);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
       "Figure 4: Pr(CS) vs sample size, CRM pair (<1% gap, little overlap)",
       trials);
 
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeCrmEnvironment();
   std::printf("workload: %zu statements, %zu templates, %.0f%% DML\n",
               env->workload->size(), env->workload->num_templates(),

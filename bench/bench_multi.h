@@ -52,7 +52,8 @@ class TrialCountingSource : public CostSource {
 
 inline void RunMultiConfigExperiment(
     Environment* env, const std::vector<uint32_t>& ks, int trials,
-    uint64_t seed, WhatIfCacheMode cache = WhatIfCacheMode::kOff) {
+    uint64_t seed, WhatIfCacheMode cache = WhatIfCacheMode::kOff,
+    TraceSink* trace = nullptr) {
   // Configurations can tie exactly (e.g. two candidates differing only in
   // a structure the workload never uses); selecting either is correct.
   constexpr double kTieEpsilon = 1e-9;
@@ -70,7 +71,7 @@ inline void RunMultiConfigExperiment(
 
   const std::vector<int> widths = {16, 14, 10, 10, 10};
   for (uint32_t k : ks) {
-    auto k_start = std::chrono::steady_clock::now();
+    obs::Stopwatch k_start;
     Rng pool_rng(seed ^ k);
     std::vector<Configuration> pool = MakeConfigPool(*env, k, &pool_rng);
     if (pool.size() < k) {
@@ -108,6 +109,11 @@ inline void RunMultiConfigExperiment(
             sopt.stratify = true;
             sopt.consecutive_to_stop = 10;
             sopt.elimination_threshold = 0.995;
+            // Trace only trial 0 of each k: one representative run per
+            // data point, not trials-many interleaved streams. Tracing
+            // never perturbs the run, so trial 0 stays bit-identical to
+            // its untraced siblings.
+            if (t == 0) sopt.trace = trace;
             Rng rng1(seed + 1000003ull * k + t);
             TrialCountingSource trial_src(&src);
             ConfigurationSelector selector(&trial_src, sopt);

@@ -58,7 +58,7 @@ Configuration MakePkConfiguration(const Schema& schema) {
 int main(int argc, char** argv) {
   const int trials = TrialsFromArgs(argc, argv, 5);
   PrintHeader("Section 7.3: comparison to workload compression", trials);
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(2000);
   std::printf("workload: %zu queries, %zu templates\n\n",
               env->workload->size(), env->workload->num_templates());

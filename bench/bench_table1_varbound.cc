@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   (void)TrialsFromArgs(argc, argv, 1);
   std::printf("=== Table 1: overhead of approximating sigma^2_max ===\n\n");
 
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
   auto env = MakeTpcdEnvironment(100000);
   std::printf("workload: %zu queries\n", env->workload->size());
 
@@ -75,11 +75,11 @@ int main(int argc, char** argv) {
             "grouped(s)"},
            widths);
   for (double rho : {10.0, 1.0, 0.1}) {
-    auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch t0;
     VarianceBoundResult paper_dp = MaxVarianceBoundUngrouped(bounds, rho);
     double paper_time = SecondsSince(t0);
 
-    auto t1 = std::chrono::steady_clock::now();
+    obs::Stopwatch t1;
     VarianceBoundResult grouped = MaxVarianceBound(bounds, rho);
     double grouped_time = SecondsSince(t1);
 

@@ -21,11 +21,17 @@ int main(int argc, char** argv) {
               trials);
   std::printf("what-if cache tier: %s  (--cache=off|exact|signature)\n",
               WhatIfCacheModeName(cache));
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
+  std::unique_ptr<JsonlTraceSink> trace = TraceSinkFromArgs(argc, argv);
   auto env = MakeTpcdEnvironment(13000);
   std::printf("workload: %zu queries, %zu templates\n\n",
               env->workload->size(), env->workload->num_templates());
-  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E, cache);
+  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E, cache,
+                           trace.get());
+  if (trace != nullptr) {
+    EmitWhatIfLatencySummary(trace.get());
+    trace->Flush();
+  }
   PrintWallClockReport("table2", start);
   return 0;
 }

@@ -17,12 +17,18 @@ int main(int argc, char** argv) {
   PrintHeader("Table 3: multi-configuration selection, CRM workload", trials);
   std::printf("what-if cache tier: %s  (--cache=off|exact|signature)\n",
               WhatIfCacheModeName(cache));
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch start;
+  std::unique_ptr<JsonlTraceSink> trace = TraceSinkFromArgs(argc, argv);
   auto env = MakeCrmEnvironment();
   std::printf("workload: %zu statements, %zu templates, %.0f%% DML\n\n",
               env->workload->size(), env->workload->num_templates(),
               100.0 * env->workload->DmlFraction());
-  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E, cache);
+  RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E, cache,
+                           trace.get());
+  if (trace != nullptr) {
+    EmitWhatIfLatencySummary(trace.get());
+    trace->Flush();
+  }
   PrintWallClockReport("table3", start);
   return 0;
 }

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "catalog/tpcd_schema.h"
+#include "common/obs.h"
 #include "common/thread_pool.h"
 #include "core/cost_source.h"
+#include "core/selection_trace.h"
 #include "core/selector.h"
 #include "optimizer/serialization.h"
 #include "tuner/enumerator.h"
@@ -55,6 +57,8 @@ int Usage() {
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
       "                   [--cache=off|exact|signature] [--no-cache]\n"
+      "                   [--trace=PATH] [--metrics[=csv]]\n"
+      "  pdx_tool report  --trace=PATH\n"
       "  pdx_tool show    --dir=DIR\n"
       "\n"
       "  --threads=N applies to every command (default: PDX_THREADS or all\n"
@@ -62,7 +66,14 @@ int Usage() {
       "  'exact' caches (query, configuration) cells (default), 'signature'\n"
       "  additionally shares calls across configurations that agree on the\n"
       "  query's relevant structures, 'off' disables memoization\n"
-      "  (--no-cache is an alias for --cache=off).\n");
+      "  (--no-cache is an alias for --cache=off).\n"
+      "\n"
+      "  --trace=PATH writes a JSONL selection trace (PDX_TRACE env is the\n"
+      "  fallback, like PDX_CACHE/PDX_THREADS); tracing never changes the\n"
+      "  run's sampling or optimizer-call decisions. --metrics dumps the\n"
+      "  process metric registry after the run (Prometheus text format;\n"
+      "  --metrics=csv for a flat CSV). report reads a trace back and\n"
+      "  prints its convergence table: Pr(CS) vs optimizer calls per round.\n");
   return 2;
 }
 
@@ -188,8 +199,24 @@ int RunCompare(int argc, char** argv) {
         optimizer, *workload, *configs);
     source = sig_source.get();
   }
+  // Observability surface: --trace (PDX_TRACE fallback) and --metrics.
+  std::string trace_path = FlagValue(argc, argv, "trace", TracePathFromEnv());
+  std::string metrics_fmt = FlagValue(argc, argv, "metrics", "");
+  bool metrics = HasFlag(argc, argv, "metrics") || !metrics_fmt.empty();
+  std::unique_ptr<JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    auto opened = JsonlTraceSink::Open(trace_path);
+    if (!opened.ok()) {
+      std::printf("error: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    trace_sink = std::move(*opened);
+  }
+  if (trace_sink != nullptr || metrics) obs::SetTimingEnabled(true);
+
   SelectorOptions sopt;
   sopt.alpha = alpha;
+  sopt.trace = trace_sink.get();
   sopt.scheme = scheme == "indep" ? SamplingScheme::kIndependent
                                   : SamplingScheme::kDelta;
   if (delta_pct > 0.0) {
@@ -232,6 +259,78 @@ int RunCompare(int argc, char** argv) {
               winner.name().c_str(), winner.indexes().size(),
               winner.views().size(),
               static_cast<double>(winner.StorageBytes(*schema)) / 1e6);
+  if (trace_sink != nullptr) {
+    EmitWhatIfLatencySummary(trace_sink.get());
+    trace_sink->Flush();
+    std::printf("trace written to %s (pdx_tool report --trace=%s)\n",
+                trace_path.c_str(), trace_path.c_str());
+  }
+  if (metrics) {
+    std::printf("%s", metrics_fmt == "csv"
+                          ? obs::Registry::Global().DumpCsv().c_str()
+                          : obs::Registry::Global().DumpPrometheus().c_str());
+  }
+  return 0;
+}
+
+int RunReport(int argc, char** argv) {
+  std::string path = FlagValue(argc, argv, "trace", TracePathFromEnv());
+  if (path.empty()) return Usage();
+  auto report = ReadTraceReport(path);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trace %s: scheme=%s k=%llu alpha=%.3f\n", path.c_str(),
+              report->scheme.c_str(),
+              static_cast<unsigned long long>(report->num_configs),
+              report->alpha);
+  std::printf("%8s %10s %10s %10s %7s %7s\n", "round", "samples", "calls",
+              "Pr(CS)", "active", "strata");
+  // Downsample long runs to ~40 evenly spaced rows (always keeping the
+  // first and the last round).
+  const size_t n = report->rounds.size();
+  const size_t stride = n > 40 ? (n + 39) / 40 : 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (i % stride != 0 && i + 1 != n) continue;
+    const TraceConvergenceRow& row = report->rounds[i];
+    std::printf("%8llu %10llu %10llu %10.6f %7u %7u\n",
+                static_cast<unsigned long long>(row.round),
+                static_cast<unsigned long long>(row.samples),
+                static_cast<unsigned long long>(row.optimizer_calls),
+                row.pr_cs, row.active_configs, row.num_strata);
+  }
+  if (stride > 1) {
+    std::printf("(%zu rounds, showing every %zu-th)\n", n, stride);
+  }
+  for (const TraceElimination& e : report->eliminations) {
+    std::printf("eliminated config %u at round %llu: Pr(CS)=%.6f > %.6f (%s)\n",
+                e.config, static_cast<unsigned long long>(e.round), e.pr_cs,
+                e.threshold, e.reason.c_str());
+  }
+  if (report->num_splits > 0 || report->num_incumbent_changes > 0) {
+    std::printf("%llu stratification splits, %llu incumbent changes\n",
+                static_cast<unsigned long long>(report->num_splits),
+                static_cast<unsigned long long>(report->num_incumbent_changes));
+  }
+  if (report->has_run_end) {
+    std::printf(
+        "result: best=%u Pr(CS)=%.6f reached_target=%s rounds=%llu "
+        "samples=%llu calls=%llu active=%u\n",
+        report->end.best, report->end.pr_cs,
+        report->end.reached_target ? "yes" : "no",
+        static_cast<unsigned long long>(report->end.rounds),
+        static_cast<unsigned long long>(report->end.samples),
+        static_cast<unsigned long long>(report->end.optimizer_calls),
+        report->end.active_configs);
+  }
+  for (const TraceWhatIfLatency& w : report->whatif) {
+    std::printf(
+        "what-if %-13s n=%-8llu mean=%.1fus p50=%.1fus p95=%.1fus "
+        "p99=%.1fus\n",
+        w.bucket.c_str(), static_cast<unsigned long long>(w.count),
+        w.mean_ns / 1e3, w.p50_ns / 1e3, w.p95_ns / 1e3, w.p99_ns / 1e3);
+  }
   return 0;
 }
 
@@ -281,6 +380,7 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "gen") return RunGen(argc, argv);
   if (command == "compare") return RunCompare(argc, argv);
+  if (command == "report") return RunReport(argc, argv);
   if (command == "show") return RunShow(argc, argv);
   return Usage();
 }

@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace pdx {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes log emission: concurrent ThreadPool workers must not
+// interleave fragments of their lines.
+std::mutex g_log_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,8 +46,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
+    // Assemble the complete line (including the newline) before taking
+    // the lock, then emit it with a single write.
     std::string msg = stream_.str();
-    std::fprintf(stderr, "%s\n", msg.c_str());
+    msg.push_back('\n');
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+    std::fflush(stderr);
   }
 }
 

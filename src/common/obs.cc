@@ -1,0 +1,222 @@
+#include "common/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace pdx::obs {
+
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+/// Stable per-thread shard index: hashed once per thread.
+size_t ThreadShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shard;
+}
+
+/// Index of the power-of-two bucket holding `v`: floor(log2(v)), clamped.
+size_t BucketOf(uint64_t v) {
+  if (v <= 1) return 0;
+  size_t b = 63 - static_cast<size_t>(__builtin_clzll(v));
+  return std::min(b, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool TimingEnabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTimingEnabled(bool on) {
+  g_timing_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::Add(uint64_t v) {
+  cells_[ThreadShard() % kShards].v.fetch_add(v, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::UpdateMax(int64_t v) {
+  int64_t cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketOf(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperNs(size_t b) {
+  PDX_CHECK(b < kNumBuckets);
+  return (b + 1 >= 64) ? UINT64_MAX : (uint64_t{1} << (b + 1)) - 1;
+}
+
+double Histogram::Quantile(double p) const {
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  // Snapshot the buckets (relaxed: concurrent Record may shift the answer
+  // by the in-flight observations, which is fine for reporting).
+  std::array<uint64_t, kNumBuckets> snap;
+  uint64_t total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += snap[b];
+  }
+  if (total == 0) return 0.0;
+  double target = p * static_cast<double>(total);
+  double below = 0.0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    double next = below + static_cast<double>(snap[b]);
+    if (next >= target || b + 1 == kNumBuckets) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+      double hi = static_cast<double>(BucketUpperNs(b)) + 1.0;
+      double inside = static_cast<double>(snap[b]);
+      double frac = inside > 0.0 ? (target - below) / inside : 0.0;
+      frac = std::clamp(frac, 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    below = next;
+  }
+  return static_cast<double>(BucketUpperNs(kNumBuckets - 1));
+}
+
+double Histogram::MeanNs() const {
+  uint64_t n = Count();
+  return n > 0 ? static_cast<double>(SumNs()) / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    uint64_t v = other.buckets_[b].load(std::memory_order_relaxed);
+    if (v > 0) buckets_[b].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;  // handles outlive static-destruction order races
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::DumpPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StringFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                        name.c_str(),
+                        static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StringFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                        name.c_str(), static_cast<long long>(g->Value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StringFormat("# TYPE %s summary\n", name.c_str());
+    for (double q : {0.5, 0.95, 0.99}) {
+      out += StringFormat("%s{quantile=\"%.2f\"} %.0f\n", name.c_str(), q,
+                          h->Quantile(q));
+    }
+    out += StringFormat("%s_sum %llu\n%s_count %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h->SumNs()),
+                        name.c_str(),
+                        static_cast<unsigned long long>(h->Count()));
+  }
+  return out;
+}
+
+std::string Registry::DumpCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "name,kind,count,value,p50_ns,p95_ns,p99_ns\n";
+  for (const auto& [name, c] : counters_) {
+    out += StringFormat("%s,counter,,%llu,,,\n", name.c_str(),
+                        static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StringFormat("%s,gauge,,%lld,,,\n", name.c_str(),
+                        static_cast<long long>(g->Value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StringFormat("%s,histogram,%llu,%llu,%.0f,%.0f,%.0f\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(h->Count()),
+                        static_cast<unsigned long long>(h->SumNs()),
+                        h->Quantile(0.5), h->Quantile(0.95),
+                        h->Quantile(0.99));
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // In place: call sites cache the metric handles in static locals, so
+  // the objects themselves must survive a reset.
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->Set(0);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->Reset();
+  }
+}
+
+}  // namespace pdx::obs

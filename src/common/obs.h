@@ -1,0 +1,190 @@
+// Copyright (c) the pdexplore authors.
+// Process-wide observability primitives: sharded counters, gauges and
+// fixed-bucket latency histograms behind a named registry, plus the
+// monotonic clock every wall-clock report in the repository shares.
+//
+// Design constraints (ISSUE 3):
+//   * Counters/gauges are always on — one relaxed atomic add on a
+//     thread-hashed cache-line-padded cell, cheap enough for the what-if
+//     hot path (~ns against a ~us optimizer call).
+//   * Anything that needs a clock read (latency histograms, scoped
+//     timers) is gated on a single global flag, off by default, so a run
+//     without --trace/--metrics pays one relaxed load + branch per site.
+//   * Histograms use fixed power-of-two nanosecond buckets; quantiles
+//     (p50/p95/p99) are bucket-interpolated. Recording is a relaxed add
+//     into one atomic bucket — safe from any thread.
+//
+// Naming convention: `pdx_<subsystem>_<what>[_total|_ns]`, mirroring
+// Prometheus idiom; Registry::DumpPrometheus() emits the standard text
+// exposition format and DumpCsv() a flat summary for spreadsheets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+
+namespace pdx::obs {
+
+/// Monotonic nanoseconds (steady clock). The single time source shared by
+/// the library's instrumentation and the bench harness, so the two can
+/// never drift apart.
+uint64_t NowNs();
+
+/// A started monotonic stopwatch. Trivially copyable; replaces the
+/// steady_clock::time_point plumbing in the bench harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(NowNs()) {}
+
+  uint64_t ElapsedNs() const { return NowNs() - start_ns_; }
+  double Seconds() const {
+    return static_cast<double>(ElapsedNs()) / 1e9;
+  }
+  uint64_t start_ns() const { return start_ns_; }
+
+ private:
+  uint64_t start_ns_;
+};
+
+/// Global gate for clock-reading instrumentation (latency histograms and
+/// scoped timers). Off by default; tools flip it on for --trace/--metrics.
+bool TimingEnabled();
+void SetTimingEnabled(bool on);
+
+/// Monotonically increasing event counter, sharded over cache-line-padded
+/// cells hashed by thread id so concurrent ThreadPool workers do not
+/// contend on one line.
+class Counter {
+ public:
+  Counter() = default;
+  PDX_DISALLOW_COPY(Counter);
+
+  void Add(uint64_t v = 1);
+  uint64_t Value() const;
+  /// Zeroes all shards. Not atomic against concurrent Add — callers must
+  /// quiesce writers (tests and bench A/B sections do).
+  void Reset();
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// Last-write-wins signed gauge (e.g. configured thread count, current
+/// queue depth). Add() supports concurrent up/down ticking.
+class Gauge {
+ public:
+  Gauge() = default;
+  PDX_DISALLOW_COPY(Gauge);
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  /// Sets v if it exceeds the current value (racy max — fine for
+  /// high-watermark reporting).
+  void UpdateMax(int64_t v);
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram over uint64 nanosecond observations.
+/// Bucket b holds values in [2^b, 2^(b+1)) ns (bucket 0 also takes 0);
+/// 48 buckets cover up to ~78 hours. Quantiles interpolate linearly
+/// inside the winning bucket, which is accurate to the bucket's factor-2
+/// width — plenty for p50/p95/p99 latency reporting.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 48;
+
+  Histogram() = default;
+  PDX_DISALLOW_COPY(Histogram);
+
+  void Record(uint64_t value_ns);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumNs() const { return sum_.load(std::memory_order_relaxed); }
+  /// Approximate p-quantile in ns (p in [0, 1]); 0 when empty.
+  double Quantile(double p) const;
+  double MeanNs() const;
+
+  /// Adds another histogram's buckets into this one (same fixed bucket
+  /// boundaries by construction). Relaxed per-bucket reads: merging while
+  /// the other histogram is being written yields a valid snapshot-ish sum.
+  void MergeFrom(const Histogram& other);
+
+  void Reset();
+
+  /// Inclusive upper bound of bucket `b` in ns.
+  static uint64_t BucketUpperNs(size_t b);
+  uint64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Process-wide named metric registry. Get*() interns by name (stable
+/// pointers for the process lifetime) so call sites cache the handle in a
+/// static local and pay one mutex hit ever.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition format: counters/gauges as single
+  /// samples, histograms as _count/_sum plus p50/p95/p99 gauge lines
+  /// (quantile label), names sorted.
+  std::string DumpPrometheus() const;
+  /// Flat CSV summary: name,kind,count,value,p50_ns,p95_ns,p99_ns.
+  std::string DumpCsv() const;
+
+  /// Zeroes every registered metric (tests and bench A/B sections).
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Starts a gated timer: 0 when timing is disabled, otherwise the start
+/// timestamp. Pair with TimerStop.
+inline uint64_t TimerStart() { return TimingEnabled() ? NowNs() : 0; }
+
+/// Records the elapsed time when the matching TimerStart was live.
+inline void TimerStop(uint64_t start_ns, Histogram* h) {
+  if (start_ns != 0) h->Record(NowNs() - start_ns);
+}
+
+/// RAII form of TimerStart/TimerStop.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), start_ns_(TimerStart()) {}
+  ~ScopedTimer() { TimerStop(start_ns_, h_); }
+  PDX_DISALLOW_COPY(ScopedTimer);
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_;
+};
+
+}  // namespace pdx::obs

@@ -4,9 +4,35 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/obs.h"
+
 namespace pdx {
 
 namespace {
+
+// Interned pool metrics. busy_ns / job_ns need clock reads, so they are
+// gated on obs::TimingEnabled() like every other timing site.
+struct PoolMetricSet {
+  obs::Counter* jobs;
+  obs::Counter* chunks;
+  obs::Counter* busy_ns;
+  obs::Gauge* queue_depth;
+  obs::Gauge* threads;
+  obs::Histogram* job_ns;
+};
+
+PoolMetricSet& PoolMetrics() {
+  static PoolMetricSet m = [] {
+    obs::Registry& r = obs::Registry::Global();
+    return PoolMetricSet{r.GetCounter("pdx_pool_jobs_total"),
+                         r.GetCounter("pdx_pool_chunks_total"),
+                         r.GetCounter("pdx_pool_busy_ns_total"),
+                         r.GetGauge("pdx_pool_queue_depth"),
+                         r.GetGauge("pdx_pool_threads"),
+                         r.GetHistogram("pdx_pool_job_ns")};
+  }();
+  return m;
+}
 
 thread_local bool tls_in_worker = false;
 // Depth of ParallelFor parallel-path invocations on this thread. A chunk
@@ -50,6 +76,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  PoolMetrics().threads->Set(static_cast<int64_t>(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -64,10 +91,13 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InWorker() { return tls_in_worker; }
 
 void ThreadPool::RunChunks() {
+  const uint64_t t0 = obs::TimerStart();
+  uint64_t chunks_run = 0;
   while (true) {
     size_t start = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
     if (start >= end_) break;
     size_t stop = std::min(start + chunk_, end_);
+    ++chunks_run;
     try {
       (*fn_)(start, stop);
     } catch (...) {
@@ -75,6 +105,14 @@ void ThreadPool::RunChunks() {
       if (!error_) error_ = std::current_exception();
       // Cancel remaining chunks; in-flight ones finish normally.
       cursor_.store(end_, std::memory_order_relaxed);
+    }
+  }
+  if (chunks_run > 0) {
+    PoolMetrics().chunks->Add(chunks_run);
+    if (t0 != 0) {
+      const uint64_t busy = obs::NowNs() - t0;
+      PoolMetrics().busy_ns->Add(busy);
+      PoolMetrics().job_ns->Record(busy);
     }
   }
 }
@@ -120,6 +158,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t chunk,
 
   ParallelDepthScope depth_scope;
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  PoolMetrics().jobs->Add();
+  // Depth of the chunk queue this job fans out (last-write-wins gauge;
+  // reset to 0 once the job drains).
+  PoolMetrics().queue_depth->Set(
+      static_cast<int64_t>((n + chunk - 1) / chunk));
   {
     std::lock_guard<std::mutex> lock(mu_);
     end_ = end;
@@ -135,6 +178,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t chunk,
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return workers_active_ == 0; });
   fn_ = nullptr;
+  PoolMetrics().queue_depth->Set(0);
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;

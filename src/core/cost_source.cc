@@ -2,9 +2,47 @@
 
 #include <algorithm>
 
+#include "common/obs.h"
 #include "common/thread_pool.h"
+#include "core/selection_trace.h"
 
 namespace pdx {
+
+namespace {
+
+// Interned metric handles for the what-if call path. Latency histograms
+// are shared with the trace layer's whatif_latency summary (see
+// core/selection_trace.h); recording is gated on obs::TimingEnabled(), so
+// runs without --trace/--metrics never read the clock here.
+struct CacheMetrics {
+  obs::Counter* whatif_calls;
+  obs::Counter* exact_cold;
+  obs::Counter* exact_hit;
+  obs::Counter* sig_cold;
+  obs::Counter* sig_signature_hit;
+  obs::Counter* sig_exact_hit;
+  obs::Histogram* cold_ns;
+  obs::Histogram* signature_hit_ns;
+  obs::Histogram* exact_hit_ns;
+};
+
+CacheMetrics& CMetrics() {
+  static CacheMetrics m = [] {
+    obs::Registry& r = obs::Registry::Global();
+    return CacheMetrics{r.GetCounter("pdx_whatif_calls_total"),
+                        r.GetCounter("pdx_cache_exact_cold_total"),
+                        r.GetCounter("pdx_cache_exact_hit_total"),
+                        r.GetCounter("pdx_cache_sig_cold_total"),
+                        r.GetCounter("pdx_cache_sig_signature_hit_total"),
+                        r.GetCounter("pdx_cache_sig_exact_hit_total"),
+                        r.GetHistogram(kWhatIfColdNsMetric),
+                        r.GetHistogram(kWhatIfSignatureHitNsMetric),
+                        r.GetHistogram(kWhatIfExactHitNsMetric)};
+  }();
+  return m;
+}
+
+}  // namespace
 
 WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
                                    const Workload& workload,
@@ -19,7 +57,13 @@ double WhatIfCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < workload_.size());
   PDX_CHECK(c < configs_.size());
   calls_.fetch_add(1, std::memory_order_relaxed);
-  return optimizer_.Cost(workload_.query(q), configs_[c]);
+  CMetrics().whatif_calls->Add();
+  // Every call through this tier is a cold optimizer invocation; the
+  // caching tiers above attribute their own hit latencies.
+  const uint64_t t0 = obs::TimerStart();
+  double cost = optimizer_.Cost(workload_.query(q), configs_[c]);
+  obs::TimerStop(t0, CMetrics().cold_ns);
+  return cost;
 }
 
 MatrixCostSource::MatrixCostSource(std::vector<std::vector<double>> costs,
@@ -117,15 +161,21 @@ double CachingCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < num_queries_);
   PDX_CHECK(c < num_configs_);
   const size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+  const uint64_t t0 = obs::TimerStart();
   bool cold = false;
   std::call_once(filled_[cell], [&] {
     values_[cell] = inner_->Cost(q, c);
     cold = true;
   });
   if (cold) {
+    // Cold latency is recorded by the inner source (the actual what-if
+    // call); recording it here too would double-count.
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CMetrics().exact_cold->Add();
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    CMetrics().exact_hit->Add();
+    obs::TimerStop(t0, CMetrics().exact_hit_ns);
   }
   return values_[cell];
 }
@@ -310,6 +360,7 @@ double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(c < configs_.size());
   // Scratch probe: signature computation must not allocate per call on
   // the hot path (the probe key's vector reuses its capacity).
+  const uint64_t t0 = obs::TimerStart();
   thread_local SigKey probe;
   probe.q = q;
   BuildSignature(q, c, &probe.sig);
@@ -334,10 +385,17 @@ double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
       cell_seen_[dense].exchange(1, std::memory_order_relaxed) == 0;
   if (cold) {
     cold_.fetch_add(1, std::memory_order_relaxed);
+    CMetrics().sig_cold->Add();
+    CMetrics().whatif_calls->Add();
+    obs::TimerStop(t0, CMetrics().cold_ns);
   } else if (first_touch) {
     signature_hits_.fetch_add(1, std::memory_order_relaxed);
+    CMetrics().sig_signature_hit->Add();
+    obs::TimerStop(t0, CMetrics().signature_hit_ns);
   } else {
     exact_hits_.fetch_add(1, std::memory_order_relaxed);
+    CMetrics().sig_exact_hit->Add();
+    obs::TimerStop(t0, CMetrics().exact_hit_ns);
   }
   if (!cold && debug_check_) {
     double direct = optimizer_.Cost(*queries_[q], configs_[c]);

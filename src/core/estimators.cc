@@ -4,9 +4,26 @@
 #include <cmath>
 #include <limits>
 
+#include "common/obs.h"
 #include "core/pr_cs.h"
 
 namespace pdx {
+
+namespace {
+
+obs::Counter* SamplesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("pdx_estimator_samples_total");
+  return c;
+}
+
+obs::Counter* ReferenceSwitchCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "pdx_estimator_reference_switches_total");
+  return c;
+}
+
+}  // namespace
 
 std::vector<uint64_t> TemplatePopulationsOf(const CostSource& source) {
   std::vector<uint64_t> pops(source.num_templates(), 0);
@@ -117,6 +134,7 @@ void IndependentEstimator::Add(ConfigId config, TemplateId tmpl, double cost) {
   PDX_CHECK(config < moments_.size());
   PDX_CHECK(tmpl < moments_[config].size());
   moments_[config][tmpl].Add(cost);
+  SamplesCounter()->Add();
 }
 
 RunningMoments IndependentEstimator::StratumMoments(
@@ -259,6 +277,7 @@ void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
     diff_moments_[c][tmpl].Add(ref_cost - costs[c]);
   }
   samples_.push_back({qid, tmpl, std::move(costs)});
+  SamplesCounter()->Add();
 }
 
 size_t DeltaEstimator::samples_bytes() const {
@@ -273,6 +292,9 @@ void DeltaEstimator::SetReference(ConfigId reference) {
   PDX_CHECK(reference < num_configs_);
   if (reference == reference_) return;
   reference_ = reference;
+  // A reference switch replays every stored sample (O(samples * configs));
+  // the counter makes that cost visible in metric dumps.
+  ReferenceSwitchCounter()->Add();
   RebuildDiffMoments();
 }
 

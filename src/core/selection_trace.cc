@@ -1,0 +1,339 @@
+#include "core/selection_trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/obs.h"
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+/// Minimal JSON string escaping (the sink only emits strings it builds
+/// itself, but reasons may contain quotes or backslashes in the future).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // %.17g round-trips IEEE doubles bit-exactly; JSON has no nan/inf, so
+  // encode those as null (readers treat null as 0).
+  if (!(v == v) || v > 1.79e308 || v < -1.79e308) return "null";
+  return StringFormat("%.17g", v);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<JsonlTraceSink>> JsonlTraceSink::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "' for write");
+  }
+  return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(f));
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTraceSink::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlTraceSink::RunStart(const TraceRunStart& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"run_start\",\"scheme\":\"%s\",\"k\":%llu,"
+      "\"templates\":%llu,\"queries\":%llu,\"alpha\":%s,\"delta\":%s,"
+      "\"n_min\":%u,\"stratify\":%s,\"elimination_threshold\":%s}",
+      e.scheme, static_cast<unsigned long long>(e.num_configs),
+      static_cast<unsigned long long>(e.num_templates),
+      static_cast<unsigned long long>(e.workload_size),
+      JsonDouble(e.alpha).c_str(), JsonDouble(e.delta).c_str(), e.n_min,
+      e.stratify ? "true" : "false",
+      JsonDouble(e.elimination_threshold).c_str()));
+}
+
+void JsonlTraceSink::Round(const TraceRound& e) {
+  // Scalars precede the pairs array so first-match extraction in the
+  // reader hits the top-level keys.
+  std::string line = StringFormat(
+      "{\"ev\":\"round\",\"round\":%llu,\"samples\":%llu,\"calls\":%llu,"
+      "\"incumbent\":%u,\"pr_cs\":%s,\"active\":%u,\"strata\":%u,"
+      "\"pairs\":[",
+      static_cast<unsigned long long>(e.round),
+      static_cast<unsigned long long>(e.samples),
+      static_cast<unsigned long long>(e.optimizer_calls), e.incumbent,
+      JsonDouble(e.bonferroni).c_str(), e.active_configs, e.num_strata);
+  for (size_t i = 0; i < e.pairs.size(); ++i) {
+    const TracePair& p = e.pairs[i];
+    line += StringFormat(
+        "%s{\"config\":%u,\"pr_cs\":%s,\"gap\":%s,\"se\":%s,\"active\":%s}",
+        i == 0 ? "" : ",", p.config, JsonDouble(p.pr_cs).c_str(),
+        JsonDouble(p.gap).c_str(), JsonDouble(p.se).c_str(),
+        p.active ? "true" : "false");
+  }
+  line += "]}";
+  WriteLine(line);
+}
+
+void JsonlTraceSink::Elimination(const TraceElimination& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"eliminate\",\"round\":%llu,\"config\":%u,\"pr_cs\":%s,"
+      "\"threshold\":%s,\"reason\":\"%s\"}",
+      static_cast<unsigned long long>(e.round), e.config,
+      JsonDouble(e.pr_cs).c_str(), JsonDouble(e.threshold).c_str(),
+      JsonEscape(e.reason).c_str()));
+}
+
+void JsonlTraceSink::Split(const TraceSplit& e) {
+  std::string line = StringFormat(
+      "{\"ev\":\"split\",\"round\":%llu,\"config\":%d,\"stratum\":%u,"
+      "\"new_stratum\":%u,\"est_samples\":%llu,\"part1\":[",
+      static_cast<unsigned long long>(e.round), e.config, e.stratum,
+      e.new_stratum, static_cast<unsigned long long>(e.est_total_samples));
+  for (size_t i = 0; i < e.part1.size(); ++i) {
+    line += StringFormat("%s%u", i == 0 ? "" : ",", e.part1[i]);
+  }
+  line += "],\"neyman\":[";
+  for (size_t i = 0; i < e.neyman.size(); ++i) {
+    line += (i == 0 ? "" : ",");
+    line += JsonDouble(e.neyman[i]);
+  }
+  line += "]}";
+  WriteLine(line);
+}
+
+void JsonlTraceSink::Incumbent(const TraceIncumbent& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"incumbent\",\"round\":%llu,\"from\":%u,\"to\":%u}",
+      static_cast<unsigned long long>(e.round), e.from, e.to));
+}
+
+void JsonlTraceSink::RunEnd(const TraceRunEnd& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"run_end\",\"best\":%u,\"pr_cs\":%s,"
+      "\"reached_target\":%s,\"rounds\":%llu,\"samples\":%llu,"
+      "\"calls\":%llu,\"active\":%u}",
+      e.best, JsonDouble(e.pr_cs).c_str(),
+      e.reached_target ? "true" : "false",
+      static_cast<unsigned long long>(e.rounds),
+      static_cast<unsigned long long>(e.samples),
+      static_cast<unsigned long long>(e.optimizer_calls), e.active_configs));
+}
+
+void JsonlTraceSink::WhatIfLatency(const TraceWhatIfLatency& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"whatif_latency\",\"bucket\":\"%s\",\"count\":%llu,"
+      "\"mean_ns\":%s,\"p50_ns\":%s,\"p95_ns\":%s,\"p99_ns\":%s}",
+      JsonEscape(e.bucket).c_str(), static_cast<unsigned long long>(e.count),
+      JsonDouble(e.mean_ns).c_str(), JsonDouble(e.p50_ns).c_str(),
+      JsonDouble(e.p95_ns).c_str(), JsonDouble(e.p99_ns).c_str()));
+}
+
+void JsonlTraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
+
+std::string TracePathFromEnv() {
+  const char* env = std::getenv("PDX_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+void EmitWhatIfLatencySummary(TraceSink* sink) {
+  if (sink == nullptr) return;
+  const struct {
+    const char* bucket;
+    const char* metric;
+  } kBuckets[] = {
+      {"cold", kWhatIfColdNsMetric},
+      {"signature_hit", kWhatIfSignatureHitNsMetric},
+      {"exact_hit", kWhatIfExactHitNsMetric},
+  };
+  for (const auto& b : kBuckets) {
+    obs::Histogram* h = obs::Registry::Global().GetHistogram(b.metric);
+    if (h->Count() == 0) continue;
+    TraceWhatIfLatency e;
+    e.bucket = b.bucket;
+    e.count = h->Count();
+    e.mean_ns = h->MeanNs();
+    e.p50_ns = h->Quantile(0.5);
+    e.p95_ns = h->Quantile(0.95);
+    e.p99_ns = h->Quantile(0.99);
+    sink->WhatIfLatency(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace reading
+
+namespace {
+
+/// First-match scalar extraction against the flat JSON the sink writes.
+/// `needle` must include the quotes and colon ("\"round\":") so that e.g.
+/// "round" never matches "rounds". Returns nullptr when absent.
+const char* FindValue(const std::string& line, const char* needle) {
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return nullptr;
+  return line.c_str() + pos + std::strlen(needle);
+}
+
+bool GetUint(const std::string& line, const char* needle, uint64_t* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return false;
+  *out = std::strtoull(v, nullptr, 10);
+  return true;
+}
+
+bool GetDouble(const std::string& line, const char* needle, double* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return false;
+  if (std::strncmp(v, "null", 4) == 0) {
+    *out = 0.0;
+    return true;
+  }
+  *out = std::strtod(v, nullptr);
+  return true;
+}
+
+bool GetBool(const std::string& line, const char* needle, bool* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return false;
+  *out = std::strncmp(v, "true", 4) == 0;
+  return true;
+}
+
+bool GetString(const std::string& line, const char* needle,
+               std::string* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr || *v != '"') return false;
+  ++v;
+  const char* end = std::strchr(v, '"');
+  if (end == nullptr) return false;
+  out->assign(v, end);
+  return true;
+}
+
+}  // namespace
+
+Result<TraceReport> ReadTraceReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  TraceReport report;
+  std::string line;
+  char buf[4096];
+  int line_no = 0;
+  bool at_line_start = true;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line.append(buf);
+    if (line.empty() || line.back() != '\n') {
+      at_line_start = false;
+      continue;  // long line: keep accumulating
+    }
+    (void)at_line_start;
+    ++line_no;
+    line.pop_back();
+    if (line.empty()) {
+      continue;
+    }
+    std::string ev;
+    if (!GetString(line, "\"ev\":", &ev)) {
+      std::fclose(f);
+      return Status::InvalidArgument(StringFormat(
+          "%s:%d: trace line has no \"ev\" discriminator", path.c_str(),
+          line_no));
+    }
+    if (ev == "run_start") {
+      GetString(line, "\"scheme\":", &report.scheme);
+      GetUint(line, "\"k\":", &report.num_configs);
+      GetDouble(line, "\"alpha\":", &report.alpha);
+    } else if (ev == "round") {
+      TraceConvergenceRow row;
+      uint64_t v = 0;
+      GetUint(line, "\"round\":", &row.round);
+      GetUint(line, "\"samples\":", &row.samples);
+      GetUint(line, "\"calls\":", &row.optimizer_calls);
+      GetDouble(line, "\"pr_cs\":", &row.pr_cs);
+      if (GetUint(line, "\"active\":", &v)) {
+        row.active_configs = static_cast<uint32_t>(v);
+      }
+      if (GetUint(line, "\"strata\":", &v)) {
+        row.num_strata = static_cast<uint32_t>(v);
+      }
+      report.rounds.push_back(std::move(row));
+    } else if (ev == "eliminate") {
+      TraceElimination e;
+      uint64_t v = 0;
+      GetUint(line, "\"round\":", &e.round);
+      if (GetUint(line, "\"config\":", &v)) {
+        e.config = static_cast<ConfigId>(v);
+      }
+      GetDouble(line, "\"pr_cs\":", &e.pr_cs);
+      GetDouble(line, "\"threshold\":", &e.threshold);
+      GetString(line, "\"reason\":", &e.reason);
+      report.eliminations.push_back(std::move(e));
+    } else if (ev == "split") {
+      ++report.num_splits;
+    } else if (ev == "incumbent") {
+      ++report.num_incumbent_changes;
+    } else if (ev == "run_end") {
+      uint64_t v = 0;
+      if (GetUint(line, "\"best\":", &v)) {
+        report.end.best = static_cast<ConfigId>(v);
+      }
+      GetDouble(line, "\"pr_cs\":", &report.end.pr_cs);
+      GetBool(line, "\"reached_target\":", &report.end.reached_target);
+      GetUint(line, "\"rounds\":", &report.end.rounds);
+      GetUint(line, "\"samples\":", &report.end.samples);
+      GetUint(line, "\"calls\":", &report.end.optimizer_calls);
+      if (GetUint(line, "\"active\":", &v)) {
+        report.end.active_configs = static_cast<uint32_t>(v);
+      }
+      report.has_run_end = true;
+    } else if (ev == "whatif_latency") {
+      TraceWhatIfLatency e;
+      GetString(line, "\"bucket\":", &e.bucket);
+      GetUint(line, "\"count\":", &e.count);
+      GetDouble(line, "\"mean_ns\":", &e.mean_ns);
+      GetDouble(line, "\"p50_ns\":", &e.p50_ns);
+      GetDouble(line, "\"p95_ns\":", &e.p95_ns);
+      GetDouble(line, "\"p99_ns\":", &e.p99_ns);
+      report.whatif.push_back(std::move(e));
+    }
+    // Unknown event types are skipped (forward compatibility).
+    line.clear();
+  }
+  std::fclose(f);
+  if (line_no == 0 && line.empty()) {
+    return Status::InvalidArgument("trace file '" + path + "' is empty");
+  }
+  return report;
+}
+
+}  // namespace pdx

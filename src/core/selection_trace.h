@@ -1,0 +1,219 @@
+// Copyright (c) the pdexplore authors.
+// Structured tracing of a selection run (ISSUE 3). A TraceSink observes
+// the events Algorithm 1 produces — per-round Pr(CS) state, eliminations,
+// stratification splits, incumbent changes — without perturbing the run:
+// the selector draws no randomness and makes no optimizer calls on behalf
+// of the sink, so a traced run is byte-identical to an untraced one.
+//
+// Cost discipline: a null sink is the disabled state and costs exactly one
+// pointer test per event site; event structs are only materialized inside
+// that branch. The JSONL sink serializes each event to one JSON line and
+// emits it with a single locked write, so it is safe to share across
+// ThreadPool workers (e.g. one traced trial inside a parallel Monte-Carlo
+// sweep).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace pdx {
+
+/// Shared obs-histogram names for per-call what-if latency, attributed to
+/// the cache outcome of the call (see core/cost_source.cc). The trace's
+/// whatif_latency summary events read these back.
+inline constexpr char kWhatIfColdNsMetric[] = "pdx_whatif_cold_ns";
+inline constexpr char kWhatIfSignatureHitNsMetric[] =
+    "pdx_whatif_signature_hit_ns";
+inline constexpr char kWhatIfExactHitNsMetric[] = "pdx_whatif_exact_hit_ns";
+
+/// Per-pair Pr(CS) state within a round event. `gap` is the observed cost
+/// gap in the direction that favors the incumbent (positive = incumbent
+/// ahead), `se` the standard error of the gap estimator; both are 0 for
+/// pairs frozen by elimination (their Pr(CS) is the frozen value).
+struct TracePair {
+  ConfigId config = 0;
+  double pr_cs = 0.0;
+  double gap = 0.0;
+  double se = 0.0;
+  bool active = true;
+};
+
+/// Emitted once when a selection run begins.
+struct TraceRunStart {
+  const char* scheme = "delta";  // "delta" | "independent"
+  uint64_t num_configs = 0;
+  uint64_t num_templates = 0;
+  uint64_t workload_size = 0;
+  double alpha = 0.0;
+  double delta = 0.0;
+  uint32_t n_min = 0;
+  bool stratify = false;
+  double elimination_threshold = 1.0;
+};
+
+/// Emitted once per selection-loop round, after the Bonferroni bound is
+/// evaluated. `samples`/`optimizer_calls` are cumulative for the run.
+struct TraceRound {
+  uint64_t round = 0;
+  uint64_t samples = 0;
+  uint64_t optimizer_calls = 0;
+  ConfigId incumbent = 0;
+  double bonferroni = 0.0;
+  uint32_t active_configs = 0;
+  uint32_t num_strata = 0;
+  std::vector<TracePair> pairs;
+};
+
+/// A configuration frozen out by elimination.
+struct TraceElimination {
+  uint64_t round = 0;
+  ConfigId config = 0;
+  double pr_cs = 0.0;
+  double threshold = 0.0;
+  std::string reason;
+};
+
+/// A stratification split accepted by Algorithm 2. `config` is the
+/// configuration whose stratification split (kSharedStratification for
+/// Delta Sampling's shared one). `neyman` is the post-split Neyman
+/// allocation of the estimated required sample total over all strata.
+struct TraceSplit {
+  static constexpr int32_t kSharedStratification = -1;
+
+  uint64_t round = 0;
+  int32_t config = kSharedStratification;
+  uint32_t stratum = 0;
+  uint32_t new_stratum = 0;
+  std::vector<TemplateId> part1;
+  uint64_t est_total_samples = 0;
+  std::vector<double> neyman;
+};
+
+/// Incumbent-best change between rounds.
+struct TraceIncumbent {
+  uint64_t round = 0;
+  ConfigId from = 0;
+  ConfigId to = 0;
+};
+
+/// Emitted once when the run terminates; mirrors SelectionResult.
+struct TraceRunEnd {
+  ConfigId best = 0;
+  double pr_cs = 0.0;
+  bool reached_target = false;
+  uint64_t rounds = 0;
+  uint64_t samples = 0;
+  uint64_t optimizer_calls = 0;
+  uint32_t active_configs = 0;
+};
+
+/// Per-call what-if latency summary for one cache bucket ("cold",
+/// "signature_hit", "exact_hit"), read from the obs histograms.
+struct TraceWhatIfLatency {
+  std::string bucket;
+  uint64_t count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Observer interface. All methods default to no-ops, so sinks override
+/// only what they consume. Implementations must be thread-safe: a sink
+/// can be shared by concurrent selection runs.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void RunStart(const TraceRunStart&) {}
+  virtual void Round(const TraceRound&) {}
+  virtual void Elimination(const TraceElimination&) {}
+  virtual void Split(const TraceSplit&) {}
+  virtual void Incumbent(const TraceIncumbent&) {}
+  virtual void RunEnd(const TraceRunEnd&) {}
+  virtual void WhatIfLatency(const TraceWhatIfLatency&) {}
+  virtual void Flush() {}
+};
+
+/// Enabled-but-discarding sink: exercises the full event-construction
+/// path with zero output. Used by the overhead microbenchmarks.
+class NoopTraceSink : public TraceSink {};
+
+/// JSONL file sink: one event per line, `{"ev":"<type>",...}`. Doubles
+/// are printed with %.17g so the recorded values round-trip bit-exactly.
+/// Each line is assembled fully and written under one mutex-held fwrite —
+/// no torn lines under concurrent writers.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static Result<std::unique_ptr<JsonlTraceSink>> Open(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void RunStart(const TraceRunStart& e) override;
+  void Round(const TraceRound& e) override;
+  void Elimination(const TraceElimination& e) override;
+  void Split(const TraceSplit& e) override;
+  void Incumbent(const TraceIncumbent& e) override;
+  void RunEnd(const TraceRunEnd& e) override;
+  void WhatIfLatency(const TraceWhatIfLatency& e) override;
+  void Flush() override;
+
+ private:
+  explicit JsonlTraceSink(std::FILE* f) : file_(f) {}
+
+  void WriteLine(const std::string& line);
+
+  std::FILE* file_;
+  std::mutex mu_;
+};
+
+/// The PDX_TRACE environment fallback (the --trace flag's sibling,
+/// mirroring the PDX_CACHE / PDX_THREADS convention). Returns an empty
+/// string when unset.
+std::string TracePathFromEnv();
+
+/// Emits one whatif_latency summary event per non-empty cache bucket
+/// (cold / signature_hit / exact_hit), reading the shared obs histograms.
+/// No-op when `sink` is null or obs timing never ran.
+void EmitWhatIfLatencySummary(TraceSink* sink);
+
+// ---------------------------------------------------------------------------
+// Trace reading (pdx_tool report)
+
+/// One convergence-table row recovered from a "round" trace event.
+struct TraceConvergenceRow {
+  uint64_t round = 0;
+  uint64_t samples = 0;
+  uint64_t optimizer_calls = 0;
+  double pr_cs = 0.0;
+  uint32_t active_configs = 0;
+  uint32_t num_strata = 0;
+};
+
+/// Aggregate view of one JSONL trace file.
+struct TraceReport {
+  std::string scheme;
+  uint64_t num_configs = 0;
+  double alpha = 0.0;
+  std::vector<TraceConvergenceRow> rounds;
+  std::vector<TraceElimination> eliminations;
+  uint64_t num_splits = 0;
+  uint64_t num_incumbent_changes = 0;
+  bool has_run_end = false;
+  TraceRunEnd end;
+  std::vector<TraceWhatIfLatency> whatif;
+};
+
+/// Parses a JSONL trace written by JsonlTraceSink. Fails on unreadable
+/// files or lines missing the "ev" discriminator; unknown event types are
+/// skipped (forward compatibility).
+Result<TraceReport> ReadTraceReport(const std::string& path);
+
+}  // namespace pdx

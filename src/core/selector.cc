@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/normal.h"
+#include "common/obs.h"
+#include "core/selection_trace.h"
 
 namespace pdx {
 
@@ -15,6 +18,50 @@ namespace {
 // standard error as a stand-in gap, keeping Algorithm 2's #Samples
 // comparisons meaningful during the ambiguous phase.
 constexpr double kGapFloorSeFraction = 0.25;
+
+// Interned metric handles; one registry lookup per process.
+struct SelectorMetrics {
+  obs::Counter* runs;
+  obs::Counter* rounds;
+  obs::Counter* eliminations;
+  obs::Counter* splits;
+  obs::Histogram* run_ns;
+  obs::Histogram* split_search_ns;
+};
+
+SelectorMetrics& Metrics() {
+  static SelectorMetrics m = [] {
+    obs::Registry& r = obs::Registry::Global();
+    return SelectorMetrics{r.GetCounter("pdx_selector_runs_total"),
+                           r.GetCounter("pdx_selector_rounds_total"),
+                           r.GetCounter("pdx_selector_eliminations_total"),
+                           r.GetCounter("pdx_selector_splits_total"),
+                           r.GetHistogram("pdx_selector_run_ns"),
+                           r.GetHistogram("pdx_strat_split_search_ns")};
+  }();
+  return m;
+}
+
+// Post-split Neyman allocation over all strata for the trace's split
+// event. Pure arithmetic on already-estimated moments — draws nothing,
+// calls no optimizer — and only runs when a sink is attached.
+std::vector<double> TraceSplitNeyman(const Stratification& strat,
+                                     const std::vector<TemplateStats>& stats,
+                                     uint64_t est_total_samples,
+                                     uint32_t n_min) {
+  const size_t H = strat.num_strata();
+  std::vector<double> pops(H, 0.0);
+  std::vector<double> sds(H, 0.0);
+  std::vector<double> lo(H, 0.0);
+  for (uint32_t h = 0; h < H; ++h) {
+    StratumEstimate e = EstimateStratum(strat.TemplatesOf(h), stats);
+    pops[h] = static_cast<double>(e.population);
+    sds[h] = std::sqrt(std::max(0.0, e.variance));
+    lo[h] = std::min(static_cast<double>(n_min), pops[h]);
+  }
+  return NeymanAllocation(pops, sds, static_cast<double>(est_total_samples),
+                          lo);
+}
 
 }  // namespace
 
@@ -66,6 +113,9 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   const size_t k = source_->num_configs();
   const size_t T = source_->num_templates();
   const uint64_t calls_before = source_->num_calls();
+  TraceSink* const sink = options_.trace;
+  Metrics().runs->Add();
+  const uint64_t run_t0 = obs::TimerStart();
   std::vector<uint64_t> pops = TemplatePopulationsOf(*source_);
   std::vector<double> overheads =
       options_.overhead_aware ? PerTemplateOverheads(*source_, pops)
@@ -76,7 +126,39 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   DeltaEstimator est(k, T, pops);
   std::vector<bool> active(k, true);
   std::vector<double> frozen_prcs(k, 1.0);
+  std::vector<uint32_t> eliminated_at(k, 0);
   const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  if (sink != nullptr) {
+    TraceRunStart ev;
+    ev.scheme = "delta";
+    ev.num_configs = k;
+    ev.num_templates = T;
+    ev.workload_size = std::accumulate(pops.begin(), pops.end(), uint64_t{0});
+    ev.alpha = options_.alpha;
+    ev.delta = options_.delta;
+    ev.n_min = options_.n_min;
+    ev.stratify = options_.stratify;
+    ev.elimination_threshold = elim_threshold;
+    sink->RunStart(ev);
+  }
+
+  auto finish = [&](const SelectionResult& res) {
+    Metrics().rounds->Add(res.rounds);
+    obs::TimerStop(run_t0, Metrics().run_ns);
+    if (sink != nullptr) {
+      TraceRunEnd ev;
+      ev.best = res.best;
+      ev.pr_cs = res.pr_cs;
+      ev.reached_target = res.reached_target;
+      ev.rounds = res.rounds;
+      ev.samples = res.queries_sampled;
+      ev.optimizer_calls = res.optimizer_calls;
+      ev.active_configs = res.active_configs;
+      sink->RunEnd(ev);
+      sink->Flush();
+    }
+  };
 
   auto evaluate = [&](QueryId q) {
     std::vector<double> costs(k, std::numeric_limits<double>::quiet_NaN());
@@ -94,6 +176,8 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     result.active_configs = 1;
     result.final_strata = {1};
     result.estimates = {0.0};
+    result.eliminated_at = {0};
+    finish(result);
     return result;
   }
 
@@ -106,6 +190,7 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
 
   uint32_t consecutive = 0;
   uint64_t iteration = 0;
+  ConfigId prev_best = static_cast<ConfigId>(k);  // sentinel: no incumbent
   while (true) {
     ++iteration;
 
@@ -121,6 +206,15 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       }
     }
     est.SetReference(best);
+    if (sink != nullptr && prev_best != static_cast<ConfigId>(k) &&
+        best != prev_best) {
+      TraceIncumbent ev;
+      ev.round = iteration;
+      ev.from = prev_best;
+      ev.to = best;
+      sink->Incumbent(ev);
+    }
+    prev_best = best;
 
     // Pairwise Pr(CS) and the Bonferroni bound (eq. 3).
     std::vector<double> pairwise;
@@ -144,6 +238,31 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       pairwise.push_back(PairwisePrCs(-diff, se, options_.delta));
     }
     double pr = BonferroniPrCs(pairwise);
+
+    if (sink != nullptr) {
+      TraceRound ev;
+      ev.round = iteration;
+      ev.samples = est.TotalSamples();
+      ev.optimizer_calls = source_->num_calls() - calls_before;
+      ev.incumbent = best;
+      ev.bonferroni = pr;
+      ev.active_configs = static_cast<uint32_t>(
+          std::count(active.begin(), active.end(), true));
+      ev.num_strata = static_cast<uint32_t>(strat.num_strata());
+      ev.pairs.reserve(k - 1);
+      size_t p_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        TracePair p;
+        p.config = j;
+        p.pr_cs = pairwise[p_idx++];
+        p.gap = gaps[j];
+        p.se = ses[j];
+        p.active = active[j];
+        ev.pairs.push_back(p);
+      }
+      sink->Round(ev);
+    }
 
     if (pr > options_.alpha) {
       ++consecutive;
@@ -169,6 +288,9 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       result.final_strata = {static_cast<uint32_t>(strat.num_strata())};
       result.active_configs = static_cast<uint32_t>(
           std::count(active.begin(), active.end(), true));
+      result.rounds = iteration;
+      result.eliminated_at = std::move(eliminated_at);
+      finish(result);
       return result;
     }
 
@@ -188,6 +310,17 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
         if (active[j] && p > elim_threshold) {
           active[j] = false;
           frozen_prcs[j] = p;
+          eliminated_at[j] = static_cast<uint32_t>(iteration);
+          Metrics().eliminations->Add();
+          if (sink != nullptr) {
+            TraceElimination ev;
+            ev.round = iteration;
+            ev.config = j;
+            ev.pr_cs = p;
+            ev.threshold = elim_threshold;
+            ev.reason = "pr_cs_above_threshold";
+            sink->Elimination(ev);
+          }
         }
       }
     }
@@ -203,14 +336,30 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
         target_se = std::min(target_se, se_needed);
       }
       if (std::isfinite(target_se) && target_se > 0.0) {
-        SplitDecision dec = FindBestSplit(
-            strat, est.AveragedDiffTemplateStats(active),
-            target_se * target_se, options_.n_min,
-            options_.min_template_observations);
+        std::vector<TemplateStats> tstats =
+            est.AveragedDiffTemplateStats(active);
+        const uint64_t split_t0 = obs::TimerStart();
+        SplitDecision dec =
+            FindBestSplit(strat, tstats, target_se * target_se,
+                          options_.n_min, options_.min_template_observations);
+        obs::TimerStop(split_t0, Metrics().split_search_ns);
         if (dec.beneficial) {
           uint32_t old_stratum = dec.stratum;
           strat.Split(old_stratum, dec.part1);
           uint32_t new_stratum = static_cast<uint32_t>(strat.num_strata() - 1);
+          Metrics().splits->Add();
+          if (sink != nullptr) {
+            TraceSplit ev;
+            ev.round = iteration;
+            ev.config = TraceSplit::kSharedStratification;
+            ev.stratum = old_stratum;
+            ev.new_stratum = new_stratum;
+            ev.part1 = dec.part1;
+            ev.est_total_samples = dec.est_total_samples;
+            ev.neyman = TraceSplitNeyman(strat, tstats, dec.est_total_samples,
+                                         options_.n_min);
+            sink->Split(ev);
+          }
           // Top-up: every stratum must hold >= n_min samples.
           for (uint32_t h : {old_stratum, new_stratum}) {
             while (est.SamplesIn(strat, h) < options_.n_min) {
@@ -255,6 +404,9 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   const size_t k = source_->num_configs();
   const size_t T = source_->num_templates();
   const uint64_t calls_before = source_->num_calls();
+  TraceSink* const sink = options_.trace;
+  Metrics().runs->Add();
+  const uint64_t run_t0 = obs::TimerStart();
   std::vector<uint64_t> pops = TemplatePopulationsOf(*source_);
   std::vector<double> overheads =
       options_.overhead_aware ? PerTemplateOverheads(*source_, pops)
@@ -271,7 +423,39 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   IndependentEstimator est(k, T, pops);
   std::vector<bool> active(k, true);
   std::vector<double> frozen_prcs(k, 1.0);
+  std::vector<uint32_t> eliminated_at(k, 0);
   const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  if (sink != nullptr) {
+    TraceRunStart ev;
+    ev.scheme = "independent";
+    ev.num_configs = k;
+    ev.num_templates = T;
+    ev.workload_size = std::accumulate(pops.begin(), pops.end(), uint64_t{0});
+    ev.alpha = options_.alpha;
+    ev.delta = options_.delta;
+    ev.n_min = options_.n_min;
+    ev.stratify = options_.stratify;
+    ev.elimination_threshold = elim_threshold;
+    sink->RunStart(ev);
+  }
+
+  auto finish = [&](const SelectionResult& res) {
+    Metrics().rounds->Add(res.rounds);
+    obs::TimerStop(run_t0, Metrics().run_ns);
+    if (sink != nullptr) {
+      TraceRunEnd ev;
+      ev.best = res.best;
+      ev.pr_cs = res.pr_cs;
+      ev.reached_target = res.reached_target;
+      ev.rounds = res.rounds;
+      ev.samples = res.queries_sampled;
+      ev.optimizer_calls = res.optimizer_calls;
+      ev.active_configs = res.active_configs;
+      sink->RunEnd(ev);
+      sink->Flush();
+    }
+  };
 
   auto evaluate = [&](ConfigId c, QueryId q) {
     est.Add(c, source_->TemplateOf(q), source_->Cost(q, c));
@@ -285,6 +469,8 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     result.active_configs = 1;
     result.final_strata = {1};
     result.estimates = {0.0};
+    result.eliminated_at = {0};
+    finish(result);
     return result;
   }
 
@@ -300,6 +486,7 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   uint32_t consecutive = 0;
   uint64_t iteration = 0;
   ConfigId last_sampled = 0;
+  ConfigId prev_best = static_cast<ConfigId>(k);  // sentinel: no incumbent
   while (true) {
     ++iteration;
 
@@ -337,6 +524,46 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     }
     double pr = BonferroniPrCs(pairwise);
 
+    uint64_t total_samples = 0;
+    for (ConfigId c = 0; c < k; ++c) total_samples += est.TotalSamples(c);
+
+    if (sink != nullptr) {
+      if (prev_best != static_cast<ConfigId>(k) && best != prev_best) {
+        TraceIncumbent iev;
+        iev.round = iteration;
+        iev.from = prev_best;
+        iev.to = best;
+        sink->Incumbent(iev);
+      }
+      TraceRound ev;
+      ev.round = iteration;
+      ev.samples = total_samples;
+      ev.optimizer_calls = source_->num_calls() - calls_before;
+      ev.incumbent = best;
+      ev.bonferroni = pr;
+      ev.active_configs = static_cast<uint32_t>(
+          std::count(active.begin(), active.end(), true));
+      uint32_t strata_total = 0;
+      for (ConfigId c = 0; c < k; ++c) {
+        strata_total += static_cast<uint32_t>(strat[c].num_strata());
+      }
+      ev.num_strata = strata_total;
+      ev.pairs.reserve(k - 1);
+      size_t p_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        TracePair p;
+        p.config = j;
+        p.pr_cs = pairwise[p_idx++];
+        p.gap = gaps[j];
+        p.se = ses[j];
+        p.active = active[j];
+        ev.pairs.push_back(p);
+      }
+      sink->Round(ev);
+    }
+    prev_best = best;
+
     if (pr > options_.alpha) {
       ++consecutive;
     } else {
@@ -350,8 +577,6 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
         break;
       }
     }
-    uint64_t total_samples = 0;
-    for (ConfigId c = 0; c < k; ++c) total_samples += est.TotalSamples(c);
     bool capped =
         options_.max_samples > 0 && total_samples >= options_.max_samples;
 
@@ -369,6 +594,9 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
       }
       result.active_configs = static_cast<uint32_t>(
           std::count(active.begin(), active.end(), true));
+      result.rounds = iteration;
+      result.eliminated_at = std::move(eliminated_at);
+      finish(result);
       return result;
     }
 
@@ -386,6 +614,17 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
                 options_.elimination_coverage_slack) {
           active[j] = false;
           frozen_prcs[j] = p;
+          eliminated_at[j] = static_cast<uint32_t>(iteration);
+          Metrics().eliminations->Add();
+          if (sink != nullptr) {
+            TraceElimination ev;
+            ev.round = iteration;
+            ev.config = j;
+            ev.pr_cs = p;
+            ev.threshold = elim_threshold;
+            ev.reason = "pr_cs_above_threshold";
+            sink->Elimination(ev);
+          }
         }
       }
     }
@@ -411,14 +650,31 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
         target_var = se_needed * se_needed / 2.0;
       }
       if (target_var > 0.0) {
+        std::vector<TemplateStats> tstats = est.TemplateStatsFor(c);
+        const uint64_t split_t0 = obs::TimerStart();
         SplitDecision dec =
-            FindBestSplit(strat[c], est.TemplateStatsFor(c), target_var,
-                          options_.n_min, options_.min_template_observations);
+            FindBestSplit(strat[c], tstats, target_var, options_.n_min,
+                          options_.min_template_observations);
+        obs::TimerStop(split_t0, Metrics().split_search_ns);
         if (dec.beneficial) {
           uint32_t old_stratum = dec.stratum;
           strat[c].Split(old_stratum, dec.part1);
           uint32_t new_stratum =
               static_cast<uint32_t>(strat[c].num_strata() - 1);
+          Metrics().splits->Add();
+          if (sink != nullptr) {
+            TraceSplit ev;
+            ev.round = iteration;
+            ev.config = static_cast<int32_t>(c);
+            ev.stratum = old_stratum;
+            ev.new_stratum = new_stratum;
+            ev.part1 = dec.part1;
+            ev.est_total_samples = dec.est_total_samples;
+            ev.neyman = TraceSplitNeyman(strat[c], tstats,
+                                         dec.est_total_samples,
+                                         options_.n_min);
+            sink->Split(ev);
+          }
           for (uint32_t h : {old_stratum, new_stratum}) {
             while (est.SamplesIn(c, strat[c], h) < options_.n_min) {
               std::optional<QueryId> q = pools[c].Draw(strat[c], h, rng);

@@ -20,6 +20,8 @@
 
 namespace pdx {
 
+class TraceSink;
+
 /// Which sampling scheme the selector runs (paper §4.1 / §4.2).
 enum class SamplingScheme { kIndependent, kDelta };
 
@@ -63,6 +65,12 @@ struct SelectorOptions {
   /// paper-faithful; larger values trade fidelity for speed in large
   /// Monte-Carlo sweeps).
   uint32_t stratification_period = 1;
+  /// Observer of the run's per-round events (not owned; may be shared
+  /// across runs). Null disables tracing at the cost of one pointer test
+  /// per event site. Tracing never perturbs the run: the sink triggers no
+  /// sampling and no optimizer calls, so a traced run is byte-identical
+  /// to an untraced one.
+  TraceSink* trace = nullptr;
 };
 
 /// Outcome of a selection run.
@@ -85,6 +93,11 @@ struct SelectionResult {
   std::vector<uint32_t> final_strata;
   /// Configurations still active (not eliminated) at termination.
   uint32_t active_configs = 0;
+  /// Selection-loop rounds executed (0 when k == 1: no loop ran).
+  uint64_t rounds = 0;
+  /// Round at which each configuration was eliminated (0 = never; the
+  /// winner is always 0). Matches the trace's eliminate events.
+  std::vector<uint32_t> eliminated_at;
   /// Bytes held by the Delta estimator's raw sample store at termination
   /// (0 for Independent Sampling, which keeps only running moments).
   size_t estimator_samples_bytes = 0;

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/obs.h"
+
 namespace pdx {
 
 namespace {
+
+struct TunerMetrics {
+  obs::Counter* rounds;
+  obs::Counter* structures_added;
+  obs::Histogram* round_ns;
+};
+
+TunerMetrics& TMetrics() {
+  static TunerMetrics m = [] {
+    obs::Registry& r = obs::Registry::Global();
+    return TunerMetrics{r.GetCounter("pdx_tuner_rounds_total"),
+                        r.GetCounter("pdx_tuner_structures_added_total"),
+                        r.GetHistogram("pdx_tuner_round_ns")};
+  }();
+  return m;
+}
 
 // CostSource over a workload subset and a per-round configuration set.
 class SubsetCostSource : public CostSource {
@@ -183,6 +201,8 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
   uint64_t used_bytes = 0;
 
   for (uint32_t round = 0; round < options.max_structures; ++round) {
+    TMetrics().rounds->Add();
+    obs::ScopedTimer round_timer(TMetrics().round_ns);
     // Collect feasible extensions.
     std::vector<size_t> feasible;
     for (size_t i = 0; i < pool.size(); ++i) {
@@ -262,6 +282,7 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
     used[w] = true;
     used_bytes += pool[w].storage_bytes;
     current_cost = winner_cost;
+    TMetrics().structures_added->Add();
   }
 
   result.final_cost = current_cost;

@@ -1,0 +1,198 @@
+#include "common/obs.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdx::obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddUpdateMax) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+  g.UpdateMax(5);
+  EXPECT_EQ(g.Value(), 5);
+  g.UpdateMax(2);  // lower: no change
+  EXPECT_EQ(g.Value(), 5);
+}
+
+TEST(HistogramTest, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_EQ(h.MeanNs(), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.SumNs(), 1000u);
+  EXPECT_EQ(h.MeanNs(), 1000.0);
+  // 1000 ns lands in bucket [512, 1024); any interpolated quantile must
+  // stay inside that bucket.
+  for (double p : {0.01, 0.5, 0.99}) {
+    EXPECT_GE(h.Quantile(p), 512.0) << "p=" << p;
+    EXPECT_LE(h.Quantile(p), 1024.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, ZeroGoesToBucketZero) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+}
+
+TEST(HistogramTest, QuantilesOrderedAndBucketAccurate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v * 1000);  // 1us..1ms
+  double p50 = h.Quantile(0.5);
+  double p95 = h.Quantile(0.95);
+  double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Power-of-two buckets: quantiles accurate to a factor of 2.
+  EXPECT_GE(p50, 500e3 / 2);
+  EXPECT_LE(p50, 500e3 * 2);
+  EXPECT_GE(p99, 990e3 / 2);
+  EXPECT_LE(p99, 990e3 * 2);
+}
+
+TEST(HistogramTest, MergeOfDisjointBucketRanges) {
+  // One histogram with ~100ns observations, another with ~1s: merging must
+  // sum counts and preserve both tails (bimodal quantiles).
+  Histogram fast, slow;
+  for (int i = 0; i < 90; ++i) fast.Record(100);
+  for (int i = 0; i < 10; ++i) slow.Record(1000000000);  // 1s
+  fast.MergeFrom(slow);
+  EXPECT_EQ(fast.Count(), 100u);
+  EXPECT_EQ(fast.SumNs(), 90ull * 100 + 10ull * 1000000000);
+  EXPECT_LE(fast.Quantile(0.5), 256.0);          // median in the fast mode
+  EXPECT_GE(fast.Quantile(0.95), 536870912.0);   // p95 in the slow mode
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumNs(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreIncreasing) {
+  for (size_t b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_GT(Histogram::BucketUpperNs(b), Histogram::BucketUpperNs(b - 1));
+  }
+}
+
+TEST(RegistryTest, InternsStableHandles) {
+  Registry& r = Registry::Global();
+  Counter* a = r.GetCounter("pdx_test_obs_intern_total");
+  Counter* b = r.GetCounter("pdx_test_obs_intern_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, r.GetCounter("pdx_test_obs_intern_other_total"));
+  EXPECT_NE(static_cast<void*>(r.GetGauge("pdx_test_obs_intern_gauge")),
+            static_cast<void*>(r.GetHistogram("pdx_test_obs_intern_ns")));
+}
+
+TEST(RegistryTest, DumpPrometheusContainsAllKinds) {
+  Registry& r = Registry::Global();
+  r.GetCounter("pdx_test_obs_dump_total")->Add(3);
+  r.GetGauge("pdx_test_obs_dump_gauge")->Set(-5);
+  r.GetHistogram("pdx_test_obs_dump_ns")->Record(1000);
+  std::string out = r.DumpPrometheus();
+  EXPECT_NE(out.find("# TYPE pdx_test_obs_dump_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("pdx_test_obs_dump_gauge -5"), std::string::npos);
+  EXPECT_NE(out.find("pdx_test_obs_dump_ns{quantile=\"0.50\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("pdx_test_obs_dump_ns_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, DumpCsvHasHeaderAndRows) {
+  Registry& r = Registry::Global();
+  r.GetCounter("pdx_test_obs_csv_total")->Add(9);
+  std::string out = r.DumpCsv();
+  EXPECT_EQ(out.rfind("name,kind,count,value,p50_ns,p95_ns,p99_ns\n", 0), 0u);
+  EXPECT_NE(out.find("pdx_test_obs_csv_total,counter,,9"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetAllZeroesInPlace) {
+  // Handles cached before ResetAll must stay valid and writable after —
+  // the registry resets metrics in place rather than rebuilding them.
+  Registry& r = Registry::Global();
+  Counter* c = r.GetCounter("pdx_test_obs_resetall_total");
+  Histogram* h = r.GetHistogram("pdx_test_obs_resetall_ns");
+  c->Add(11);
+  h->Record(500);
+  r.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  c->Add(2);
+  EXPECT_EQ(r.GetCounter("pdx_test_obs_resetall_total")->Value(), 2u);
+}
+
+TEST(TimingGateTest, TimerGatedOnGlobalFlag) {
+  const bool was_enabled = TimingEnabled();
+  Histogram h;
+  SetTimingEnabled(false);
+  uint64_t t0 = TimerStart();
+  EXPECT_EQ(t0, 0u);
+  TimerStop(t0, &h);  // no-op when the start was gated off
+  EXPECT_EQ(h.Count(), 0u);
+
+  SetTimingEnabled(true);
+  t0 = TimerStart();
+  EXPECT_NE(t0, 0u);
+  TimerStop(t0, &h);
+  EXPECT_EQ(h.Count(), 1u);
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.Count(), 2u);
+  SetTimingEnabled(was_enabled);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch sw;
+  uint64_t a = sw.ElapsedNs();
+  uint64_t b = sw.ElapsedNs();
+  EXPECT_GE(b, a);
+  EXPECT_GE(sw.Seconds(), 0.0);
+  EXPECT_EQ(sw.start_ns() + a, sw.start_ns() + a);  // start_ns is stable
+  EXPECT_GE(NowNs(), sw.start_ns());
+}
+
+}  // namespace
+}  // namespace pdx::obs

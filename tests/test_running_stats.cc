@@ -43,6 +43,37 @@ TEST(RunningMomentsTest, EmptyAndSingle) {
   EXPECT_EQ(m.skewness(), 0.0);
 }
 
+TEST(RunningMomentsTest, SingleSampleVarianceIsZeroNotNan) {
+  // n = 1 leaves the sample variance undefined (n - 1 = 0); the estimator
+  // must report 0, never NaN, so downstream Pr(CS) math stays finite.
+  RunningMoments m;
+  m.Add(-17.25);
+  EXPECT_EQ(m.variance_sample(), 0.0);
+  EXPECT_EQ(m.variance_population(), 0.0);
+  EXPECT_FALSE(std::isnan(m.variance_sample()));
+  EXPECT_FALSE(std::isnan(m.skewness()));
+}
+
+TEST(RunningMomentsTest, MergeOfDisjointValueRanges) {
+  // Two accumulators over disjoint magnitude ranges (1e-3-scale vs
+  // 1e6-scale): the merged moments must match a sequential pass — the
+  // bimodal case that breaks naive mean-of-means merging.
+  RunningMoments small, large, all;
+  for (int i = 0; i < 50; ++i) {
+    double s = 1e-3 * (1.0 + i);
+    double l = 1e6 * (1.0 + i);
+    small.Add(s);
+    large.Add(l);
+    all.Add(s);
+    all.Add(l);
+  }
+  small.Merge(large);
+  EXPECT_EQ(small.count(), all.count());
+  EXPECT_NEAR(small.mean(), all.mean(), 1e-9 * all.mean());
+  EXPECT_NEAR(small.variance_sample(), all.variance_sample(),
+              1e-9 * all.variance_sample());
+}
+
 TEST(RunningMomentsTest, RemoveIsInverseOfAdd) {
   auto data = RandomData(100, 32);
   RunningMoments m;

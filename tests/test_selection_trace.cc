@@ -1,0 +1,343 @@
+#include "core/selection_trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/selector.h"
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SyntheticMatrix;
+
+std::string TempTracePath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+TEST(JsonlTraceSinkTest, RoundTripsAllEventTypes) {
+  const std::string path = TempTracePath("roundtrip.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+
+  TraceRunStart rs;
+  rs.scheme = "delta";
+  rs.num_configs = 3;
+  rs.num_templates = 7;
+  rs.workload_size = 4000;
+  rs.alpha = 0.9;
+  rs.delta = 0.125;
+  rs.n_min = 30;
+  rs.stratify = true;
+  rs.elimination_threshold = 0.9987654321012345;
+  sink->RunStart(rs);
+
+  TraceRound round;
+  round.round = 1;
+  round.samples = 60;
+  round.optimizer_calls = 180;
+  round.incumbent = 2;
+  round.bonferroni = 0.8123456789012345;
+  round.active_configs = 3;
+  round.num_strata = 2;
+  TracePair pair;
+  pair.config = 0;
+  pair.pr_cs = 0.91;
+  pair.gap = 123.456;
+  pair.se = 7.25;
+  pair.active = true;
+  round.pairs.push_back(pair);
+  sink->Round(round);
+
+  TraceElimination elim;
+  elim.round = 2;
+  elim.config = 1;
+  elim.pr_cs = 0.9991;
+  elim.threshold = 0.9987654321012345;
+  elim.reason = "pr_cs_above_threshold";
+  sink->Elimination(elim);
+
+  TraceSplit split;
+  split.round = 3;
+  split.config = TraceSplit::kSharedStratification;
+  split.stratum = 0;
+  split.new_stratum = 1;
+  split.part1 = {2, 5};
+  split.est_total_samples = 900;
+  split.neyman = {500.5, 399.5};
+  sink->Split(split);
+
+  TraceIncumbent inc;
+  inc.round = 4;
+  inc.from = 2;
+  inc.to = 0;
+  sink->Incumbent(inc);
+
+  TraceWhatIfLatency lat;
+  lat.bucket = "cold";
+  lat.count = 42;
+  lat.mean_ns = 1500.0;
+  lat.p50_ns = 1400.0;
+  lat.p95_ns = 2600.0;
+  lat.p99_ns = 3100.0;
+  sink->WhatIfLatency(lat);
+
+  TraceRunEnd end;
+  end.best = 0;
+  end.pr_cs = 0.9312345678901234;
+  end.reached_target = true;
+  end.rounds = 4;
+  end.samples = 240;
+  end.optimizer_calls = 700;
+  end.active_configs = 2;
+  sink->RunEnd(end);
+  sink->Flush();
+  sink.reset();
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReport& rep = read.value();
+  EXPECT_EQ(rep.scheme, "delta");
+  EXPECT_EQ(rep.num_configs, 3u);
+  EXPECT_EQ(rep.alpha, 0.9);
+
+  ASSERT_EQ(rep.rounds.size(), 1u);
+  EXPECT_EQ(rep.rounds[0].round, 1u);
+  EXPECT_EQ(rep.rounds[0].samples, 60u);
+  EXPECT_EQ(rep.rounds[0].optimizer_calls, 180u);
+  // %.17g serialization: doubles round-trip bit-exactly.
+  EXPECT_EQ(rep.rounds[0].pr_cs, 0.8123456789012345);
+  EXPECT_EQ(rep.rounds[0].active_configs, 3u);
+  EXPECT_EQ(rep.rounds[0].num_strata, 2u);
+
+  ASSERT_EQ(rep.eliminations.size(), 1u);
+  EXPECT_EQ(rep.eliminations[0].round, 2u);
+  EXPECT_EQ(rep.eliminations[0].config, 1u);
+  EXPECT_EQ(rep.eliminations[0].pr_cs, 0.9991);
+  EXPECT_EQ(rep.eliminations[0].threshold, 0.9987654321012345);
+
+  EXPECT_EQ(rep.num_splits, 1u);
+  EXPECT_EQ(rep.num_incumbent_changes, 1u);
+
+  ASSERT_TRUE(rep.has_run_end);
+  EXPECT_EQ(rep.end.best, 0u);
+  EXPECT_EQ(rep.end.pr_cs, 0.9312345678901234);
+  EXPECT_TRUE(rep.end.reached_target);
+  EXPECT_EQ(rep.end.rounds, 4u);
+  EXPECT_EQ(rep.end.samples, 240u);
+  EXPECT_EQ(rep.end.optimizer_calls, 700u);
+  EXPECT_EQ(rep.end.active_configs, 2u);
+
+  ASSERT_EQ(rep.whatif.size(), 1u);
+  EXPECT_EQ(rep.whatif[0].bucket, "cold");
+  EXPECT_EQ(rep.whatif[0].count, 42u);
+  EXPECT_EQ(rep.whatif[0].mean_ns, 1500.0);
+}
+
+TEST(ReadTraceReportTest, MissingFileFails) {
+  auto read = ReadTraceReport(TempTracePath("does_not_exist.jsonl"));
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(ReadTraceReportTest, EmptyFileFails) {
+  const std::string path = TempTracePath("empty.jsonl");
+  WriteFile(path, "");
+  auto read = ReadTraceReport(path);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(ReadTraceReportTest, LineWithoutDiscriminatorFails) {
+  const std::string path = TempTracePath("no_ev.jsonl");
+  WriteFile(path, "{\"foo\":1}\n");
+  auto read = ReadTraceReport(path);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(ReadTraceReportTest, UnknownEventTypesAreSkipped) {
+  const std::string path = TempTracePath("unknown_ev.jsonl");
+  WriteFile(path,
+            "{\"ev\":\"run_start\",\"scheme\":\"delta\",\"k\":2,"
+            "\"alpha\":0.9}\n"
+            "{\"ev\":\"some_future_event\",\"x\":1}\n");
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().scheme, "delta");
+  EXPECT_EQ(read.value().num_configs, 2u);
+}
+
+TEST(TracePathFromEnvTest, ReadsPdxTrace) {
+  ASSERT_EQ(setenv("PDX_TRACE", "/tmp/pdx_env_trace.jsonl", 1), 0);
+  EXPECT_EQ(TracePathFromEnv(), "/tmp/pdx_env_trace.jsonl");
+  ASSERT_EQ(unsetenv("PDX_TRACE"), 0);
+  EXPECT_EQ(TracePathFromEnv(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Selector integration: the trace must agree with the SelectionResult and
+// must never perturb the run.
+
+SelectorOptions EliminatingOptions(SamplingScheme scheme) {
+  SelectorOptions opt;
+  opt.alpha = 0.95;
+  opt.scheme = scheme;
+  opt.consecutive_to_stop = 5;
+  opt.elimination_threshold = 0.995;
+  return opt;
+}
+
+TEST(SelectorTraceTest, DeltaTraceAgreesWithSelectionResult) {
+  MatrixCostSource src = SyntheticMatrix(4000, 6, 8, 0.02, 91);
+  const std::string path = TempTracePath("delta_run.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+
+  SelectorOptions opt = EliminatingOptions(SamplingScheme::kDelta);
+  opt.trace = sink.get();
+  Rng rng(92);
+  SelectionResult r = ConfigurationSelector(&src, opt).Run(&rng);
+  sink.reset();
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReport& rep = read.value();
+
+  EXPECT_EQ(rep.scheme, "delta");
+  EXPECT_EQ(rep.num_configs, 6u);
+  ASSERT_TRUE(rep.has_run_end);
+  EXPECT_EQ(rep.end.best, r.best);
+  EXPECT_EQ(rep.end.pr_cs, r.pr_cs);  // bit-exact through %.17g
+  EXPECT_EQ(rep.end.reached_target, r.reached_target);
+  EXPECT_EQ(rep.end.rounds, r.rounds);
+  EXPECT_EQ(rep.end.samples, r.queries_sampled);
+  EXPECT_EQ(rep.end.optimizer_calls, r.optimizer_calls);
+  EXPECT_EQ(rep.end.active_configs, r.active_configs);
+
+  // One round event per selection-loop round, cumulative counters
+  // monotone.
+  ASSERT_EQ(rep.rounds.size(), r.rounds);
+  for (size_t i = 1; i < rep.rounds.size(); ++i) {
+    EXPECT_EQ(rep.rounds[i].round, rep.rounds[i - 1].round + 1);
+    EXPECT_GE(rep.rounds[i].samples, rep.rounds[i - 1].samples);
+    EXPECT_GE(rep.rounds[i].optimizer_calls,
+              rep.rounds[i - 1].optimizer_calls);
+    EXPECT_LE(rep.rounds[i].active_configs,
+              rep.rounds[i - 1].active_configs);
+  }
+
+  // eliminated_at mirrors the eliminate events exactly.
+  ASSERT_EQ(r.eliminated_at.size(), 6u);
+  size_t eliminated = 0;
+  for (ConfigId c = 0; c < r.eliminated_at.size(); ++c) {
+    if (r.eliminated_at[c] != 0) ++eliminated;
+  }
+  EXPECT_EQ(rep.eliminations.size(), eliminated);
+  for (const TraceElimination& e : rep.eliminations) {
+    ASSERT_LT(e.config, r.eliminated_at.size());
+    EXPECT_EQ(r.eliminated_at[e.config], e.round);
+    EXPECT_GT(e.pr_cs, e.threshold);
+  }
+  EXPECT_EQ(r.eliminated_at[r.best], 0u) << "the winner is never eliminated";
+  EXPECT_EQ(6u - eliminated, r.active_configs);
+}
+
+TEST(SelectorTraceTest, IndependentTraceAgreesWithSelectionResult) {
+  MatrixCostSource src = SyntheticMatrix(3000, 4, 8, 0.05, 93);
+  const std::string path = TempTracePath("indep_run.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+
+  SelectorOptions opt = EliminatingOptions(SamplingScheme::kIndependent);
+  opt.trace = sink.get();
+  Rng rng(94);
+  SelectionResult r = ConfigurationSelector(&src, opt).Run(&rng);
+  sink.reset();
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReport& rep = read.value();
+  EXPECT_EQ(rep.scheme, "independent");
+  ASSERT_TRUE(rep.has_run_end);
+  EXPECT_EQ(rep.end.best, r.best);
+  EXPECT_EQ(rep.end.pr_cs, r.pr_cs);
+  EXPECT_EQ(rep.end.rounds, r.rounds);
+  EXPECT_EQ(rep.end.samples, r.queries_sampled);
+  EXPECT_EQ(rep.end.optimizer_calls, r.optimizer_calls);
+  ASSERT_EQ(rep.rounds.size(), r.rounds);
+}
+
+TEST(SelectorTraceTest, TracingNeverPerturbsTheRun) {
+  MatrixCostSource src = SyntheticMatrix(4000, 6, 8, 0.02, 95);
+  SelectorOptions opt = EliminatingOptions(SamplingScheme::kDelta);
+
+  Rng rng_plain(96);
+  SelectionResult plain = ConfigurationSelector(&src, opt).Run(&rng_plain);
+
+  const std::string path = TempTracePath("identity_run.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+  opt.trace = sink.get();
+  Rng rng_traced(96);
+  SelectionResult traced = ConfigurationSelector(&src, opt).Run(&rng_traced);
+
+  EXPECT_EQ(traced.best, plain.best);
+  EXPECT_EQ(traced.pr_cs, plain.pr_cs);
+  EXPECT_EQ(traced.queries_sampled, plain.queries_sampled);
+  EXPECT_EQ(traced.optimizer_calls, plain.optimizer_calls);
+  EXPECT_EQ(traced.rounds, plain.rounds);
+  EXPECT_EQ(traced.eliminated_at, plain.eliminated_at);
+  EXPECT_EQ(traced.estimates, plain.estimates);
+}
+
+TEST(SelectorTraceTest, NoopSinkIsAlsoTransparent) {
+  MatrixCostSource src = SyntheticMatrix(2000, 3, 8, 0.05, 97);
+  SelectorOptions opt = EliminatingOptions(SamplingScheme::kDelta);
+  Rng rng_plain(98);
+  SelectionResult plain = ConfigurationSelector(&src, opt).Run(&rng_plain);
+
+  NoopTraceSink noop;
+  opt.trace = &noop;
+  Rng rng_noop(98);
+  SelectionResult traced = ConfigurationSelector(&src, opt).Run(&rng_noop);
+  EXPECT_EQ(traced.best, plain.best);
+  EXPECT_EQ(traced.pr_cs, plain.pr_cs);
+  EXPECT_EQ(traced.optimizer_calls, plain.optimizer_calls);
+}
+
+TEST(SelectorTraceTest, SingleConfigEmitsRunEndWithZeroRounds) {
+  MatrixCostSource src = SyntheticMatrix(200, 1, 4, 0.0, 99);
+  const std::string path = TempTracePath("single_config.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+  SelectorOptions opt;
+  opt.trace = sink.get();
+  Rng rng(100);
+  SelectionResult r = ConfigurationSelector(&src, opt).Run(&rng);
+  sink.reset();
+  EXPECT_EQ(r.rounds, 0u);
+  ASSERT_EQ(r.eliminated_at.size(), 1u);
+  EXPECT_EQ(r.eliminated_at[0], 0u);
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().has_run_end);
+  EXPECT_EQ(read.value().end.rounds, 0u);
+  EXPECT_EQ(read.value().rounds.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pdx
