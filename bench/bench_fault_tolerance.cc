@@ -1,0 +1,150 @@
+// Fault-tolerant what-if execution (core/fault.h): does the comparison
+// primitive survive an unreliable optimizer service without giving up its
+// statistical guarantees — and does the tolerance layer cost anything
+// when the service is healthy?
+//
+// Three experiments over a TPC-D matrix replay (the matrix cells are the
+// optimizer's exact costs, so §6 bound intervals provably contain them):
+//
+//   1. Layer-off vs layer-on with zero faults: the selection must be
+//      byte-identical — same winner, Pr(CS), sample count, call count and
+//      estimates. The tolerance layer is free when nothing fails.
+//   2. p_fail = p_slow = 5% across several fault seeds: every run must
+//      still terminate with Pr(CS) >= alpha, paying only retries.
+//   3. Heavy faults (p_fail = 50%, 2 attempts): retries exhaust and cells
+//      degrade to §6 cost-bound intervals; the selection still terminates
+//      and reports the degradation honestly (Pr(CS) stays < 1).
+//
+// Violations abort via PDX_CHECK, so this bench doubles as an acceptance
+// gate.
+#include "bench_common.h"
+#include "core/fault.h"
+#include "optimizer/cost_bounds.h"
+
+using namespace pdx;
+using namespace pdx::bench;
+
+namespace {
+
+SelectionResult RunOnce(CostSource* source, const SelectorOptions& options,
+                        uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  ConfigurationSelector selector(source, options);
+  return selector.Run(&rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int fault_seeds = TrialsFromArgs(argc, argv, 5);
+  PrintHeader("Fault tolerance: retries, deadlines, bound degradation",
+              fault_seeds);
+
+  obs::Stopwatch start;
+  auto env = MakeTpcdEnvironment(2000);
+  Rng rng(11);
+  std::vector<Configuration> pool =
+      MakeConfigPool(*env, 4, &rng, true, PoolStyle::kDiverse);
+  MatrixCostSource matrix = TimedPrecompute(*env, pool);
+
+  ConfigId truth = 0;
+  for (ConfigId c = 1; c < matrix.num_configs(); ++c) {
+    if (matrix.TotalCost(c) < matrix.TotalCost(truth)) truth = c;
+  }
+
+  SelectorOptions base_opts;
+  base_opts.alpha = 0.9;
+
+  // --- 1. Byte-identity when nothing fails -------------------------------
+  SelectionResult off = RunOnce(&matrix, base_opts, /*rng_seed=*/101);
+  SelectorOptions on_opts = base_opts;
+  on_opts.exec.enabled = true;  // executor wired, zero faults injected
+  SelectionResult on = RunOnce(&matrix, on_opts, /*rng_seed=*/101);
+  PDX_CHECK_MSG(off.best == on.best, "fault layer changed the selection");
+  PDX_CHECK_MSG(off.pr_cs == on.pr_cs, "fault layer changed Pr(CS)");
+  PDX_CHECK_MSG(off.queries_sampled == on.queries_sampled,
+                "fault layer changed the sample count");
+  PDX_CHECK_MSG(off.optimizer_calls == on.optimizer_calls,
+                "fault layer changed the optimizer-call count");
+  PDX_CHECK_MSG(off.estimates == on.estimates,
+                "fault layer changed the cost estimates");
+  PDX_CHECK_MSG(on.whatif_retries == 0 && on.degraded_cells == 0,
+                "zero-fault run reported executor work");
+  std::printf(
+      "faults off: layer-on run byte-identical to layer-off "
+      "(best=%u, Pr(CS)=%.3f, %llu samples, %llu calls)\n\n",
+      off.best, off.pr_cs, static_cast<unsigned long long>(off.queries_sampled),
+      static_cast<unsigned long long>(off.optimizer_calls));
+
+  // --- 2. Moderate faults: alpha still reached, paid in retries ----------
+  // Real §6 bounds: base = empty configuration, rich = union of the pool.
+  Configuration rich;
+  for (const Configuration& c : pool) rich = rich.Merge(c);
+  CostBoundsDeriver deriver(*env->optimizer, *env->workload, Configuration(),
+                            rich);
+  WorkloadBoundsCache bounds(&deriver, &pool);
+
+  const std::vector<int> widths = {6, 8, 8, 9, 9, 8, 9, 9, 9};
+  PrintRow({"seed", "Pr(CS)", "best==*", "samples", "calls", "retries",
+            "timeouts", "failures", "degraded"},
+           widths);
+  uint64_t total_retries = 0;
+  for (int s = 0; s < fault_seeds; ++s) {
+    FaultSpec spec;
+    spec.p_fail = 0.05;
+    spec.p_slow = 0.05;
+    spec.seed = 1000 + static_cast<uint64_t>(s);
+    FaultInjectingCostSource injector(&matrix, spec);
+    SelectorOptions opts = base_opts;
+    opts.exec.enabled = true;
+    opts.exec.seed = spec.seed;
+    opts.bounds = &bounds;
+    injector.set_deadline_ms(opts.exec.retry.deadline_ms);
+    SelectionResult res = RunOnce(&injector, opts, /*rng_seed=*/101);
+    PDX_CHECK_MSG(res.reached_target && res.pr_cs >= base_opts.alpha,
+                  "faulted run failed to reach alpha");
+    total_retries += res.whatif_retries;
+    PrintRow({std::to_string(spec.seed), StringFormat("%.3f", res.pr_cs),
+              res.best == truth ? "yes" : "no",
+              std::to_string(res.queries_sampled),
+              std::to_string(res.optimizer_calls),
+              std::to_string(res.whatif_retries),
+              std::to_string(res.whatif_timeouts),
+              std::to_string(res.whatif_failures),
+              std::to_string(res.degraded_cells)},
+             widths);
+  }
+  PDX_CHECK_MSG(total_retries > 0, "5% fault rate injected no retries");
+  std::printf("\n");
+
+  // --- 3. Heavy faults: degradation engages, certainty is never faked ----
+  FaultSpec heavy;
+  heavy.p_fail = 0.5;
+  heavy.p_slow = 0.3;
+  heavy.seed = 4242;
+  FaultInjectingCostSource injector(&matrix, heavy);
+  SelectorOptions opts = base_opts;
+  opts.exec.enabled = true;
+  opts.exec.seed = heavy.seed;
+  opts.exec.retry.max_attempts = 2;
+  opts.bounds = &bounds;
+  injector.set_deadline_ms(opts.exec.retry.deadline_ms);
+  SelectionResult res = RunOnce(&injector, opts, /*rng_seed=*/101);
+  PDX_CHECK_MSG(res.degraded_cells > 0,
+                "heavy faults with 2 attempts degraded no cells");
+  PDX_CHECK_MSG(res.pr_cs < 1.0,
+                "degraded run claimed census certainty");
+  std::printf(
+      "heavy faults (p_fail=%.2f, p_slow=%.2f, 2 attempts): best=%u (truth %u), "
+      "Pr(CS)=%.3f, %llu degraded cells, %llu retries, %llu timeouts, "
+      "%llu failures\n",
+      heavy.p_fail, heavy.p_slow, res.best, truth, res.pr_cs,
+      static_cast<unsigned long long>(res.degraded_cells),
+      static_cast<unsigned long long>(res.whatif_retries),
+      static_cast<unsigned long long>(res.whatif_timeouts),
+      static_cast<unsigned long long>(res.whatif_failures));
+
+  std::printf("\n");
+  PrintWallClockReport("fault_tolerance", start);
+  return 0;
+}

@@ -8,24 +8,38 @@
 //   pdx_tool compare --dir=/tmp/pdx [--alpha=0.9] [--delta-pct=0]
 //       reload the artifacts and run the probabilistic comparison
 //       primitive across all saved configurations;
+//   pdx_tool tune    --dir=/tmp/pdx
+//       greedily tune the workload with the comparison primitive inside;
 //   pdx_tool show    --dir=/tmp/pdx
 //       print the saved artifacts' inventory.
 //
+// compare and tune accept --faults=p_fail,p_slow[,seed] to run against a
+// deliberately unreliable what-if optimizer (deterministic injection) with
+// the fault-tolerant executor — retries, deadlines, degradation to §6 cost
+// bounds — engaged.
+//
 // Run without arguments for usage.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "catalog/tpcd_schema.h"
 #include "common/obs.h"
 #include "common/thread_pool.h"
 #include "core/cost_source.h"
+#include "core/fault.h"
 #include "core/selection_trace.h"
 #include "core/selector.h"
+#include "optimizer/cost_bounds.h"
 #include "optimizer/serialization.h"
 #include "tuner/enumerator.h"
+#include "tuner/greedy_tuner.h"
 #include "workload/tpcd_qgen.h"
 
 using namespace pdx;
@@ -51,13 +65,149 @@ bool HasFlag(int argc, char** argv, const char* name) {
   return false;
 }
 
+// True when the flag appears at all — bare (--name) or with a value
+// (--name=...), including an EMPTY value. FlagValue cannot make that
+// distinction, and "--trace=" silently falling back to the default used to
+// hide typos.
+bool FlagPresent(int argc, char** argv, const char* name) {
+  std::string eq = std::string("--") + name + "=";
+  std::string bare = std::string("--") + name;
+  for (int i = 2; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+    if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) return true;
+  }
+  return false;
+}
+
+// Strict numeric flag parsing: the whole value must parse (std::stoul
+// accepted "12abc" and threw std::invalid_argument — an uncaught abort —
+// on "abc"). Errors are reported and the command exits with status 1.
+bool U64Flag(int argc, char** argv, const char* name, uint64_t fallback,
+             uint64_t* out) {
+  if (!FlagPresent(argc, argv, name)) {
+    *out = fallback;
+    return true;
+  }
+  std::string v = FlagValue(argc, argv, name, "");
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (v.empty() || errno != 0 || end != v.c_str() + v.size()) {
+    std::printf("error: --%s expects an unsigned integer, got '%s'\n", name,
+                v.c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool DoubleFlag(int argc, char** argv, const char* name, double fallback,
+                double* out) {
+  if (!FlagPresent(argc, argv, name)) {
+    *out = fallback;
+    return true;
+  }
+  std::string v = FlagValue(argc, argv, name, "");
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || errno != 0 || end != v.c_str() + v.size()) {
+    std::printf("error: --%s expects a number, got '%s'\n", name, v.c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// --cache=off|exact|signature with --no-cache as an alias for off. Rejects
+// unknown and empty values.
+bool CacheFlag(int argc, char** argv, WhatIfCacheMode* out) {
+  std::string flag = FlagValue(argc, argv, "cache", "exact");
+  if (HasFlag(argc, argv, "no-cache")) flag = "off";
+  if (flag == "off") {
+    *out = WhatIfCacheMode::kOff;
+  } else if (flag == "exact") {
+    *out = WhatIfCacheMode::kExact;
+  } else if (flag == "signature") {
+    *out = WhatIfCacheMode::kSignature;
+  } else {
+    std::printf(
+        "error: --cache expects off, exact or signature, got '%s'\n",
+        flag.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Trace destination: --trace=PATH wins, PDX_TRACE is the fallback. An
+// explicitly empty --trace= or a set-but-empty PDX_TRACE is an error (it
+// used to silently disable tracing); an unset PDX_TRACE means "no trace".
+bool TraceFlag(int argc, char** argv, std::string* out) {
+  if (FlagPresent(argc, argv, "trace")) {
+    std::string v = FlagValue(argc, argv, "trace", "");
+    if (v.empty()) {
+      std::printf("error: --trace= requires a non-empty path\n");
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+  const char* env = std::getenv("PDX_TRACE");
+  if (env != nullptr && *env == '\0') {
+    std::printf(
+        "error: PDX_TRACE is set but empty; unset it or point it at a "
+        "path\n");
+    return false;
+  }
+  *out = env != nullptr ? std::string(env) : std::string();
+  return true;
+}
+
+// --faults=p_fail,p_slow[,seed]. `engaged` is true whenever the flag was
+// given — even p_fail=p_slow=0 runs through the executor (the byte-identity
+// configuration bench_fault_tolerance pins down).
+bool FaultsFlag(int argc, char** argv, FaultSpec* out, bool* engaged) {
+  *engaged = false;
+  if (!FlagPresent(argc, argv, "faults")) return true;
+  auto parsed = ParseFaultSpec(FlagValue(argc, argv, "faults", ""));
+  if (!parsed.ok()) {
+    std::printf("error: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = *parsed;
+  *engaged = true;
+  return true;
+}
+
+// Union of every structure appearing in any configuration — the `rich`
+// bracket for §6 bound derivation.
+Configuration UnionConfiguration(const std::vector<Configuration>& configs) {
+  Configuration rich;
+  rich.set_name("rich");
+  std::unordered_set<uint64_t> seen;
+  for (const Configuration& c : configs) {
+    for (const Index& idx : c.indexes()) {
+      if (seen.insert(idx.Hash()).second) rich.AddIndex(idx);
+    }
+    for (const MaterializedView& v : c.views()) {
+      if (seen.insert(v.Hash()).second) rich.AddView(v);
+    }
+  }
+  return rich;
+}
+
 int Usage() {
   std::printf(
       "usage:\n"
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
       "                   [--cache=off|exact|signature] [--no-cache]\n"
+      "                   [--faults=p_fail,p_slow[,seed]]\n"
       "                   [--trace=PATH] [--metrics[=csv]]\n"
+      "  pdx_tool tune    --dir=DIR [--alpha=0.9] [--max-structures=8]\n"
+      "                   [--budget-mb=0] [--cache=off|exact|signature]\n"
+      "                   [--faults=p_fail,p_slow[,seed]] [--seed=42]\n"
+      "                   [--metrics[=csv]]\n"
       "  pdx_tool report  --trace=PATH\n"
       "  pdx_tool show    --dir=DIR\n"
       "\n"
@@ -73,7 +223,15 @@ int Usage() {
       "  run's sampling or optimizer-call decisions. --metrics dumps the\n"
       "  process metric registry after the run (Prometheus text format;\n"
       "  --metrics=csv for a flat CSV). report reads a trace back and\n"
-      "  prints its convergence table: Pr(CS) vs optimizer calls per round.\n");
+      "  prints its convergence table: Pr(CS) vs optimizer calls per round.\n"
+      "\n"
+      "  --faults=p_fail,p_slow[,seed] injects deterministic what-if\n"
+      "  failures and latency spikes and engages the fault-tolerant\n"
+      "  executor: bounded retries with backoff, a per-call deadline, and\n"
+      "  degradation of exhausted cells to Section-6 cost bounds (widening\n"
+      "  the reported standard errors, never treating a bound as exact).\n"
+      "  Incompatible with --cache=signature, whose shared optimizer calls\n"
+      "  bypass the injection point.\n");
   return 2;
 }
 
@@ -88,11 +246,14 @@ std::string ConfigPath(const std::string& dir, size_t i) {
 int RunGen(int argc, char** argv) {
   std::string dir = FlagValue(argc, argv, "dir", "");
   if (dir.empty()) return Usage();
-  uint32_t queries =
-      static_cast<uint32_t>(std::stoul(FlagValue(argc, argv, "queries", "2000")));
-  uint32_t num_configs =
-      static_cast<uint32_t>(std::stoul(FlagValue(argc, argv, "configs", "6")));
-  uint64_t seed = std::stoull(FlagValue(argc, argv, "seed", "1"));
+  uint64_t queries64, configs64, seed;
+  if (!U64Flag(argc, argv, "queries", 2000, &queries64) ||
+      !U64Flag(argc, argv, "configs", 6, &configs64) ||
+      !U64Flag(argc, argv, "seed", 1, &seed)) {
+    return 1;
+  }
+  uint32_t queries = static_cast<uint32_t>(queries64);
+  uint32_t num_configs = static_cast<uint32_t>(configs64);
 
   Schema schema = MakeTpcdSchema();
   TpcdWorkloadOptions wopt;
@@ -148,9 +309,31 @@ Result<std::vector<Configuration>> LoadAllConfigs(const std::string& dir,
 int RunCompare(int argc, char** argv) {
   std::string dir = FlagValue(argc, argv, "dir", "");
   if (dir.empty()) return Usage();
-  double alpha = std::stod(FlagValue(argc, argv, "alpha", "0.9"));
-  double delta_pct = std::stod(FlagValue(argc, argv, "delta-pct", "0"));
+  // Validate every flag before touching the artifacts: a malformed flag
+  // should fail fast with a clear message, not after minutes of loading.
+  double alpha, delta_pct;
+  WhatIfCacheMode cache_mode;
+  std::string trace_path;
+  FaultSpec fault_spec;
+  bool faults_on = false;
+  if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
+      !DoubleFlag(argc, argv, "delta-pct", 0.0, &delta_pct) ||
+      !CacheFlag(argc, argv, &cache_mode) || !TraceFlag(argc, argv, &trace_path) ||
+      !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
+    return 1;
+  }
   std::string scheme = FlagValue(argc, argv, "scheme", "delta");
+  if (scheme != "delta" && scheme != "indep") {
+    std::printf("error: --scheme expects delta or indep, got '%s'\n",
+                scheme.c_str());
+    return 1;
+  }
+  if (faults_on && cache_mode == WhatIfCacheMode::kSignature) {
+    std::printf(
+        "error: --faults is incompatible with --cache=signature (signature "
+        "caching calls the optimizer directly, bypassing injection)\n");
+    return 1;
+  }
 
   auto schema = LoadSchema(SchemaPath(dir));
   if (!schema.ok()) {
@@ -176,19 +359,6 @@ int RunCompare(int argc, char** argv) {
   // re-costing a (query, configuration) pair it already sampled, and with
   // signature caching also shares one optimizer call across all
   // configurations agreeing on the query's relevant structures.
-  std::string cache_flag = FlagValue(argc, argv, "cache", "exact");
-  if (HasFlag(argc, argv, "no-cache")) cache_flag = "off";
-  WhatIfCacheMode cache_mode;
-  if (cache_flag == "off") {
-    cache_mode = WhatIfCacheMode::kOff;
-  } else if (cache_flag == "exact") {
-    cache_mode = WhatIfCacheMode::kExact;
-  } else if (cache_flag == "signature") {
-    cache_mode = WhatIfCacheMode::kSignature;
-  } else {
-    std::printf("error: unknown --cache value '%s'\n", cache_flag.c_str());
-    return Usage();
-  }
   CachingCostSource cached_source(&live_source);
   std::unique_ptr<SignatureCachingCostSource> sig_source;
   CostSource* source = &live_source;
@@ -200,7 +370,6 @@ int RunCompare(int argc, char** argv) {
     source = sig_source.get();
   }
   // Observability surface: --trace (PDX_TRACE fallback) and --metrics.
-  std::string trace_path = FlagValue(argc, argv, "trace", TracePathFromEnv());
   std::string metrics_fmt = FlagValue(argc, argv, "metrics", "");
   bool metrics = HasFlag(argc, argv, "metrics") || !metrics_fmt.empty();
   std::unique_ptr<JsonlTraceSink> trace_sink;
@@ -229,6 +398,25 @@ int RunCompare(int argc, char** argv) {
     for (uint32_t q : ids) pilot += optimizer.Cost(workload->query(q), first);
     double scale = pilot / 50.0 * static_cast<double>(workload->size());
     sopt.delta = delta_pct / 100.0 * scale;
+  }
+  // Fault injection + the fault-tolerant executor. The injector sits on
+  // top of the cache so a cell that resolved once stays resolved; the
+  // executor (interposed by the selector via sopt.exec) retries through it
+  // and degrades exhausted cells to §6 bounds over all saved structures.
+  std::unique_ptr<FaultInjectingCostSource> injector;
+  std::unique_ptr<CostBoundsDeriver> bounds_deriver;
+  std::unique_ptr<WorkloadBoundsCache> bounds_cache;
+  if (faults_on) {
+    injector = std::make_unique<FaultInjectingCostSource>(source, fault_spec);
+    injector->set_deadline_ms(sopt.exec.retry.deadline_ms);
+    source = injector.get();
+    sopt.exec.enabled = true;
+    sopt.exec.seed = fault_spec.seed;
+    bounds_deriver = std::make_unique<CostBoundsDeriver>(
+        optimizer, *workload, Configuration(), UnionConfiguration(*configs));
+    bounds_cache =
+        std::make_unique<WorkloadBoundsCache>(bounds_deriver.get(), &*configs);
+    sopt.bounds = bounds_cache.get();
   }
   ConfigurationSelector selector(source, sopt);
   Rng rng(42);
@@ -259,6 +447,21 @@ int RunCompare(int argc, char** argv) {
               winner.name().c_str(), winner.indexes().size(),
               winner.views().size(),
               static_cast<double>(winner.StorageBytes(*schema)) / 1e6);
+  if (faults_on) {
+    std::printf(
+        "faults: %llu failures, %llu latency spikes injected (%llu timed "
+        "out)\n",
+        static_cast<unsigned long long>(injector->injected_failures()),
+        static_cast<unsigned long long>(injector->injected_slow_calls()),
+        static_cast<unsigned long long>(injector->injected_timeouts()));
+    std::printf(
+        "executor: %llu retries, %llu timeouts, %llu failures, %llu cells "
+        "degraded to bounds\n",
+        static_cast<unsigned long long>(r.whatif_retries),
+        static_cast<unsigned long long>(r.whatif_timeouts),
+        static_cast<unsigned long long>(r.whatif_failures),
+        static_cast<unsigned long long>(r.degraded_cells));
+  }
   if (trace_sink != nullptr) {
     EmitWhatIfLatencySummary(trace_sink.get());
     trace_sink->Flush();
@@ -274,7 +477,8 @@ int RunCompare(int argc, char** argv) {
 }
 
 int RunReport(int argc, char** argv) {
-  std::string path = FlagValue(argc, argv, "trace", TracePathFromEnv());
+  std::string path;
+  if (!TraceFlag(argc, argv, &path)) return 1;
   if (path.empty()) return Usage();
   auto report = ReadTraceReport(path);
   if (!report.ok()) {
@@ -331,6 +535,93 @@ int RunReport(int argc, char** argv) {
         w.bucket.c_str(), static_cast<unsigned long long>(w.count),
         w.mean_ns / 1e3, w.p50_ns / 1e3, w.p95_ns / 1e3, w.p99_ns / 1e3);
   }
+  if (report->whatif_failures + report->whatif_timeouts +
+          report->whatif_degraded >
+      0) {
+    std::printf(
+        "what-if errors: %llu failures, %llu timeouts, %llu cells degraded "
+        "to bounds\n",
+        static_cast<unsigned long long>(report->whatif_failures),
+        static_cast<unsigned long long>(report->whatif_timeouts),
+        static_cast<unsigned long long>(report->whatif_degraded));
+  }
+  return 0;
+}
+
+int RunTune(int argc, char** argv) {
+  std::string dir = FlagValue(argc, argv, "dir", "");
+  if (dir.empty()) return Usage();
+  double alpha;
+  uint64_t max_structures, budget_mb, seed;
+  WhatIfCacheMode cache_mode;
+  FaultSpec fault_spec;
+  bool faults_on = false;
+  if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
+      !U64Flag(argc, argv, "max-structures", 8, &max_structures) ||
+      !U64Flag(argc, argv, "budget-mb", 0, &budget_mb) ||
+      !U64Flag(argc, argv, "seed", 42, &seed) ||
+      !CacheFlag(argc, argv, &cache_mode) ||
+      !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
+    return 1;
+  }
+  if (faults_on && cache_mode == WhatIfCacheMode::kSignature) {
+    std::printf(
+        "error: --faults is incompatible with --cache=signature (signature "
+        "caching calls the optimizer directly, bypassing injection)\n");
+    return 1;
+  }
+  std::string metrics_fmt = FlagValue(argc, argv, "metrics", "");
+  bool metrics = HasFlag(argc, argv, "metrics") || !metrics_fmt.empty();
+
+  auto schema = LoadSchema(SchemaPath(dir));
+  if (!schema.ok()) {
+    std::printf("error: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto workload = LoadWorkload(WorkloadPath(dir), *schema);
+  if (!workload.ok()) {
+    std::printf("error: %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu queries, %zu templates\n", workload->size(),
+              workload->num_templates());
+
+  WhatIfOptimizer optimizer(*schema);
+  std::vector<QueryId> ids(workload->size());
+  std::iota(ids.begin(), ids.end(), 0);
+
+  TunerOptions topt;
+  topt.use_comparison_primitive = true;
+  topt.cache = cache_mode;
+  topt.max_structures = static_cast<uint32_t>(max_structures);
+  topt.storage_budget_bytes = budget_mb * 1000000;
+  topt.selector.alpha = alpha;
+  topt.faults = fault_spec;
+  Rng rng(seed);
+  TuneResult r =
+      GreedyTune(optimizer, *workload, ids, {}, topt, &rng);
+
+  std::printf(
+      "tuned: %zu indexes, %zu views, %.1f MB\n"
+      "cost %.3e -> %.3e (%.1f%% improvement), %llu optimizer calls\n",
+      r.config.indexes().size(), r.config.views().size(),
+      static_cast<double>(r.config.StorageBytes(*schema)) / 1e6,
+      r.initial_cost, r.final_cost, 100.0 * r.Improvement(),
+      static_cast<unsigned long long>(r.optimizer_calls));
+  if (faults_on) {
+    std::printf(
+        "executor: %llu retries, %llu timeouts, %llu failures, %llu cells "
+        "degraded to bounds\n",
+        static_cast<unsigned long long>(r.whatif_retries),
+        static_cast<unsigned long long>(r.whatif_timeouts),
+        static_cast<unsigned long long>(r.whatif_failures),
+        static_cast<unsigned long long>(r.degraded_cells));
+  }
+  if (metrics) {
+    std::printf("%s", metrics_fmt == "csv"
+                          ? obs::Registry::Global().DumpCsv().c_str()
+                          : obs::Registry::Global().DumpPrometheus().c_str());
+  }
   return 0;
 }
 
@@ -380,6 +671,7 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "gen") return RunGen(argc, argv);
   if (command == "compare") return RunCompare(argc, argv);
+  if (command == "tune") return RunTune(argc, argv);
   if (command == "report") return RunReport(argc, argv);
   if (command == "show") return RunShow(argc, argv);
   return Usage();

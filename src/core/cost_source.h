@@ -49,6 +49,15 @@ class CostSource {
   /// Relative optimizer-call overhead of a query (1.0 = average).
   virtual double OptimizeOverhead(QueryId /*q*/) const { return 1.0; }
 
+  /// Half-width of the uncertainty interval around Cost(q, c). 0.0 means
+  /// the value is an exact optimizer measurement (every source in this
+  /// header); FaultTolerantCostSource (core/fault.h) reports a positive
+  /// half-width for cells degraded to §6 cost bounds, which estimators
+  /// fold into the standard error. Only meaningful after Cost(q, c).
+  virtual double CostUncertainty(QueryId /*q*/, ConfigId /*c*/) const {
+    return 0.0;
+  }
+
   /// Optimizer calls made through this source.
   virtual uint64_t num_calls() const = 0;
   virtual void ResetCallCounter() = 0;

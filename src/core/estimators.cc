@@ -23,6 +23,19 @@ obs::Counter* ReferenceSwitchCounter() {
   return c;
 }
 
+/// Square of the pessimal systematic shift a stratum's degraded samples
+/// can impose on its mean-sum estimate: every measurement may be off by
+/// its half-width, all in the same direction, moving the mean by
+/// sum(u)/n and the N-scaled estimate by (N/n) * sum(u). No fpc — a
+/// measurement-error bias does not shrink as the sample approaches a
+/// census.
+double UncertaintyBiasSquared(double uncertainty_sum, uint64_t n, uint64_t N) {
+  if (uncertainty_sum <= 0.0 || n == 0) return 0.0;
+  double bias = static_cast<double>(N) / static_cast<double>(n) *
+                uncertainty_sum;
+  return bias * bias;
+}
+
 }  // namespace
 
 std::vector<uint64_t> TemplatePopulationsOf(const CostSource& source) {
@@ -128,13 +141,27 @@ IndependentEstimator::IndependentEstimator(
     : template_populations_(template_populations) {
   PDX_CHECK(template_populations_.size() == num_templates);
   moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
+  uncertainty_.assign(num_configs, std::vector<double>(num_templates, 0.0));
 }
 
-void IndependentEstimator::Add(ConfigId config, TemplateId tmpl, double cost) {
+void IndependentEstimator::Add(ConfigId config, TemplateId tmpl, double cost,
+                               double uncertainty) {
   PDX_CHECK(config < moments_.size());
   PDX_CHECK(tmpl < moments_[config].size());
+  PDX_CHECK(uncertainty >= 0.0 && !std::isnan(uncertainty));
   moments_[config][tmpl].Add(cost);
+  uncertainty_[config][tmpl] += uncertainty;
   SamplesCounter()->Add();
+}
+
+double IndependentEstimator::StratumUncertainty(ConfigId config,
+                                                const Stratification& strat,
+                                                uint32_t stratum) const {
+  double sum = 0.0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    sum += uncertainty_[config][t];
+  }
+  return sum;
 }
 
 RunningMoments IndependentEstimator::StratumMoments(
@@ -165,6 +192,9 @@ double IndependentEstimator::Variance(ConfigId config,
     var += StratumVarianceTerm(m.variance_sample(),
                                static_cast<uint64_t>(m.count()),
                                strat.PopulationOf(h));
+    var += UncertaintyBiasSquared(StratumUncertainty(config, strat, h),
+                                  static_cast<uint64_t>(m.count()),
+                                  strat.PopulationOf(h));
   }
   return var;
 }
@@ -185,7 +215,11 @@ double IndependentEstimator::VarianceReductionForNext(
   }
   double now = StratumVarianceTerm(m.variance_sample(), n, N);
   double next = StratumVarianceTerm(m.variance_sample(), n + 1, N);
-  return now - next;
+  // An extra (presumed exact) sample also dilutes the degraded samples'
+  // pessimal bias from (N/n)U to (N/(n+1))U.
+  double u = StratumUncertainty(config, strat, stratum);
+  return now - next + UncertaintyBiasSquared(u, n, N) -
+         UncertaintyBiasSquared(u, n + 1, N);
 }
 
 uint64_t IndependentEstimator::SamplesIn(ConfigId config,
@@ -256,6 +290,8 @@ DeltaEstimator::DeltaEstimator(
   raw_moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
   diff_moments_.assign(num_configs,
                        std::vector<RunningMoments>(num_templates));
+  diff_uncertainty_.assign(num_configs,
+                           std::vector<double>(num_templates, 0.0));
   // Sampling is without replacement, so the store can never exceed the
   // workload population; reserving it up front caps the vector's capacity
   // at exactly that bound instead of up to 2x from growth doubling.
@@ -265,18 +301,27 @@ DeltaEstimator::DeltaEstimator(
 }
 
 void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
-                         std::vector<double> costs) {
+                         std::vector<double> costs,
+                         std::vector<double> uncertainties) {
   PDX_CHECK(costs.size() == num_configs_);
+  PDX_CHECK(uncertainties.empty() || uncertainties.size() == num_configs_);
   PDX_CHECK(tmpl < template_counts_.size());
   template_counts_[tmpl] += 1;
   double ref_cost = costs[reference_];
   PDX_CHECK_MSG(!std::isnan(ref_cost), "reference config not evaluated");
+  double ref_u = uncertainties.empty() ? 0.0 : uncertainties[reference_];
   for (ConfigId c = 0; c < num_configs_; ++c) {
     if (std::isnan(costs[c])) continue;
     raw_moments_[c][tmpl].Add(costs[c]);
     diff_moments_[c][tmpl].Add(ref_cost - costs[c]);
+    // The difference against the reference itself is identically 0 —
+    // even a degraded measurement cancels against itself — so only the
+    // other pairs inherit the summed half-widths.
+    if (c != reference_ && !uncertainties.empty()) {
+      diff_uncertainty_[c][tmpl] += ref_u + uncertainties[c];
+    }
   }
-  samples_.push_back({qid, tmpl, std::move(costs)});
+  samples_.push_back({qid, tmpl, std::move(costs), std::move(uncertainties)});
   SamplesCounter()->Add();
 }
 
@@ -284,6 +329,7 @@ size_t DeltaEstimator::samples_bytes() const {
   size_t bytes = samples_.capacity() * sizeof(SampleRecord);
   for (const SampleRecord& rec : samples_) {
     bytes += rec.costs.capacity() * sizeof(double);
+    bytes += rec.uncert.capacity() * sizeof(double);
   }
   return bytes;
 }
@@ -302,14 +348,31 @@ void DeltaEstimator::RebuildDiffMoments() {
   for (auto& per_config : diff_moments_) {
     for (auto& m : per_config) m.Reset();
   }
+  for (auto& per_config : diff_uncertainty_) {
+    for (auto& u : per_config) u = 0.0;
+  }
   for (const SampleRecord& rec : samples_) {
     double ref_cost = rec.costs[reference_];
     if (std::isnan(ref_cost)) continue;
+    double ref_u = rec.uncert.empty() ? 0.0 : rec.uncert[reference_];
     for (ConfigId c = 0; c < num_configs_; ++c) {
       if (std::isnan(rec.costs[c])) continue;
       diff_moments_[c][rec.tmpl].Add(ref_cost - rec.costs[c]);
+      if (c != reference_ && !rec.uncert.empty()) {
+        diff_uncertainty_[c][rec.tmpl] += ref_u + rec.uncert[c];
+      }
     }
   }
+}
+
+double DeltaEstimator::StratumDiffUncertainty(ConfigId j,
+                                              const Stratification& strat,
+                                              uint32_t stratum) const {
+  double sum = 0.0;
+  for (TemplateId t : strat.TemplatesOf(stratum)) {
+    sum += diff_uncertainty_[j][t];
+  }
+  return sum;
 }
 
 double DeltaEstimator::Estimate(ConfigId config,
@@ -351,6 +414,9 @@ double DeltaEstimator::DiffVariance(ConfigId j,
     var += StratumVarianceTerm(merged.variance_sample(),
                                static_cast<uint64_t>(merged.count()),
                                strat.PopulationOf(h));
+    var += UncertaintyBiasSquared(StratumDiffUncertainty(j, strat, h),
+                                  static_cast<uint64_t>(merged.count()),
+                                  strat.PopulationOf(h));
   }
   return var;
 }
@@ -379,6 +445,9 @@ double DeltaEstimator::VarianceReductionForNext(
     if (nj + 1 > N) continue;
     reduction += StratumVarianceTerm(merged.variance_sample(), nj, N) -
                  StratumVarianceTerm(merged.variance_sample(), nj + 1, N);
+    double u = StratumDiffUncertainty(j, strat, stratum);
+    reduction += UncertaintyBiasSquared(u, nj, N) -
+                 UncertaintyBiasSquared(u, nj + 1, N);
   }
   return reduction;
 }

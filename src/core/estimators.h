@@ -60,13 +60,25 @@ class StratifiedSamplePool {
 /// Independent Sampling state (paper §4.1): each configuration has its own
 /// sample; estimates and variances follow eq. 2 / eq. 5 with sample
 /// variances and finite-population correction.
+///
+/// Degraded measurements (ISSUE 4): a sample may carry an `uncertainty`
+/// half-width u > 0 when its cost is a §6 bound-interval midpoint rather
+/// than an exact optimizer value. Each observed value can then be off by
+/// up to u in either direction, and in the worst case every error points
+/// the same way, shifting a stratum's mean-sum estimate by up to
+/// (N_h / n_h) * sum(u). Variance() adds the square of that pessimal
+/// systematic shift per stratum, so Pr(CS) computed from it stays an
+/// underestimate; the term has no finite-population correction — a
+/// measurement-error bias does not vanish at n_h == N_h.
 class IndependentEstimator {
  public:
   IndependentEstimator(size_t num_configs, size_t num_templates,
                        const std::vector<uint64_t>& template_populations);
 
-  /// Records Cost(q, config) = cost for a query of `tmpl`.
-  void Add(ConfigId config, TemplateId tmpl, double cost);
+  /// Records Cost(q, config) = cost for a query of `tmpl`; `uncertainty`
+  /// is the half-width of the measurement's interval (0 = exact).
+  void Add(ConfigId config, TemplateId tmpl, double cost,
+           double uncertainty = 0.0);
 
   /// Stratified estimate X_i of Cost(WL, C_i) under `strat`.
   double Estimate(ConfigId config, const Stratification& strat) const;
@@ -99,9 +111,15 @@ class IndependentEstimator {
                                 uint32_t stratum) const;
 
  private:
+  /// Summed uncertainty half-widths of the templates in one stratum.
+  double StratumUncertainty(ConfigId config, const Stratification& strat,
+                            uint32_t stratum) const;
+
   std::vector<uint64_t> template_populations_;
   /// [config][template] moments of sampled costs.
   std::vector<std::vector<RunningMoments>> moments_;
+  /// [config][template] sum of uncertainty half-widths (0 = all exact).
+  std::vector<std::vector<double>> uncertainty_;
 };
 
 /// Delta Sampling state (paper §4.2): a single shared sample, every query
@@ -115,8 +133,12 @@ class DeltaEstimator {
 
   /// Records one sampled query evaluated in all configurations;
   /// `costs[c]` may be NaN for configurations eliminated before this
-  /// sample was drawn.
-  void Add(QueryId qid, TemplateId tmpl, std::vector<double> costs);
+  /// sample was drawn. `uncertainties` (empty = all exact) carries the
+  /// per-configuration measurement half-widths of degraded cells; the
+  /// difference (ref - c) inherits u_ref + u_c, folded into DiffVariance
+  /// as the pessimal systematic shift (see IndependentEstimator).
+  void Add(QueryId qid, TemplateId tmpl, std::vector<double> costs,
+           std::vector<double> uncertainties = {});
 
   /// Sets the reference ("best") configuration for pairwise difference
   /// moments; rebuilds diff moments from stored samples when it changes.
@@ -171,10 +193,14 @@ class DeltaEstimator {
   struct SampleRecord {
     QueryId qid;
     TemplateId tmpl;
-    std::vector<double> costs;  // NaN = not evaluated
+    std::vector<double> costs;   // NaN = not evaluated
+    std::vector<double> uncert;  // empty = all exact
   };
 
   void RebuildDiffMoments();
+  /// Summed (u_ref + u_j) half-widths of the templates in one stratum.
+  double StratumDiffUncertainty(ConfigId j, const Stratification& strat,
+                                uint32_t stratum) const;
 
   size_t num_configs_;
   std::vector<uint64_t> template_populations_;
@@ -183,6 +209,9 @@ class DeltaEstimator {
   std::vector<std::vector<RunningMoments>> raw_moments_;
   /// [config][template] moments of (cost_ref - cost_j).
   std::vector<std::vector<RunningMoments>> diff_moments_;
+  /// [config][template] sum of (u_ref + u_j) uncertainty half-widths of
+  /// the recorded differences; rebuilt alongside diff_moments_.
+  std::vector<std::vector<double>> diff_uncertainty_;
   /// Per-template shared sample counts.
   std::vector<uint64_t> template_counts_;
   ConfigId reference_ = 0;

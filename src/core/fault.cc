@@ -1,0 +1,358 @@
+#include "core/fault.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/obs.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/selection_trace.h"
+
+namespace pdx {
+
+namespace {
+
+struct FaultMetricSet {
+  obs::Counter* injected_failures;
+  obs::Counter* injected_slow;
+  obs::Counter* retries;
+  obs::Counter* failures;
+  obs::Counter* timeouts;
+  obs::Counter* degraded_cells;
+};
+
+FaultMetricSet& FMetrics() {
+  static FaultMetricSet m = [] {
+    auto& r = obs::Registry::Global();
+    return FaultMetricSet{r.GetCounter("pdx_fault_injected_failures_total"),
+                          r.GetCounter("pdx_fault_injected_slow_total"),
+                          r.GetCounter("pdx_whatif_retries_total"),
+                          r.GetCounter("pdx_whatif_failures_total"),
+                          r.GetCounter("pdx_whatif_timeouts_total"),
+                          r.GetCounter("pdx_whatif_degraded_cells_total")};
+  }();
+  return m;
+}
+
+/// One SplitMix64 finalization round: a high-quality 64-bit mix of
+/// `state ^ f(word)`. Chaining these makes the fault draw a pure function
+/// of (seed, q, c, attempt) — independent of thread interleaving.
+uint64_t MixWord(uint64_t state, uint64_t word) {
+  SplitMix64 sm(state ^ (word + 0x9E3779B97F4A7C15ULL));
+  return sm.Next();
+}
+
+uint64_t CellAttemptHash(uint64_t seed, QueryId q, ConfigId c,
+                         uint32_t attempt) {
+  uint64_t h = MixWord(seed, 0x7D1C4F5AULL);
+  h = MixWord(h, q);
+  h = MixWord(h, c);
+  h = MixWord(h, attempt);
+  return h;
+}
+
+/// Uniform in [0, 1) from 53 high bits, matching Rng::NextDouble.
+double UnitDouble(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool ParseUnitProb(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  if (!std::isfinite(v) || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseSeed(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char ch : text) {
+    if (ch == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  parts.push_back(cur);
+  if (parts.size() != 2 && parts.size() != 3) {
+    return Status::InvalidArgument(
+        "--faults expects p_fail,p_slow[,seed] (got '" + text + "')");
+  }
+  FaultSpec spec;
+  if (!ParseUnitProb(parts[0], &spec.p_fail)) {
+    return Status::InvalidArgument("--faults: p_fail must be a probability in "
+                                   "[0,1] (got '" +
+                                   parts[0] + "')");
+  }
+  if (!ParseUnitProb(parts[1], &spec.p_slow)) {
+    return Status::InvalidArgument("--faults: p_slow must be a probability in "
+                                   "[0,1] (got '" +
+                                   parts[1] + "')");
+  }
+  if (parts.size() == 3 && !ParseSeed(parts[2], &spec.seed)) {
+    return Status::InvalidArgument(
+        "--faults: seed must be a non-negative integer (got '" + parts[2] +
+        "')");
+  }
+  return spec;
+}
+
+const char* WhatIfErrorKindName(WhatIfErrorKind kind) {
+  switch (kind) {
+    case WhatIfErrorKind::kFailure:
+      return "failure";
+    case WhatIfErrorKind::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+WhatIfCallError::WhatIfCallError(WhatIfErrorKind kind, QueryId q, ConfigId c,
+                                 uint32_t attempt, double latency_ms)
+    : kind_(kind),
+      query_(q),
+      config_(c),
+      attempt_(attempt),
+      latency_ms_(latency_ms),
+      message_(StringFormat("what-if %s: query=%u config=%u attempt=%u "
+                            "latency_ms=%.1f",
+                            WhatIfErrorKindName(kind), q, c, attempt,
+                            latency_ms)) {}
+
+FaultInjectingCostSource::FaultInjectingCostSource(CostSource* inner,
+                                                  const FaultSpec& spec)
+    : inner_(inner), spec_(spec) {
+  PDX_CHECK(inner != nullptr);
+  PDX_CHECK(spec.p_fail >= 0.0 && spec.p_fail <= 1.0);
+  PDX_CHECK(spec.p_slow >= 0.0 && spec.p_slow <= 1.0);
+  size_t cells = inner->num_queries() * inner->num_configs();
+  attempts_ = std::make_unique<std::atomic<uint32_t>[]>(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    attempts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+double FaultInjectingCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < inner_->num_queries() && c < inner_->num_configs());
+  size_t cell = static_cast<size_t>(q) * inner_->num_configs() + c;
+  uint32_t attempt = attempts_[cell].fetch_add(1, std::memory_order_relaxed);
+  uint64_t h = CellAttemptHash(spec_.seed, q, c, attempt);
+  double u_fail = UnitDouble(h);
+  double u_slow = UnitDouble(SplitMix64(h).Next());
+  if (u_fail < spec_.p_fail) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    FMetrics().injected_failures->Add();
+    // The service refused the call: no optimizer call is spent.
+    throw WhatIfCallError(WhatIfErrorKind::kFailure, q, c, attempt, 0.0);
+  }
+  double latency_ms = spec_.base_latency_ms;
+  if (u_slow < spec_.p_slow) {
+    latency_ms = spec_.slow_latency_ms;
+    injected_slow_calls_.fetch_add(1, std::memory_order_relaxed);
+    FMetrics().injected_slow->Add();
+  }
+  // The call goes out either way — a response that arrives after the
+  // deadline still spent the optimizer call; only the result is discarded.
+  double value = inner_->Cost(q, c);
+  if (latency_ms > deadline_ms_) {
+    injected_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    (void)value;
+    throw WhatIfCallError(WhatIfErrorKind::kTimeout, q, c, attempt,
+                          latency_ms);
+  }
+  return value;
+}
+
+WorkloadBoundsCache::WorkloadBoundsCache(const CostBoundsDeriver* deriver,
+                                         const std::vector<Configuration>* configs,
+                                         std::vector<QueryId> query_ids)
+    : deriver_(deriver),
+      configs_(configs),
+      query_ids_(std::move(query_ids)) {
+  PDX_CHECK(deriver != nullptr && configs != nullptr);
+  per_config_.resize(configs->size());
+}
+
+CostInterval WorkloadBoundsCache::BoundsFor(QueryId q, ConfigId c) {
+  PDX_CHECK(c < per_config_.size());
+  QueryId wq = query_ids_.empty() ? q : query_ids_.at(q);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (per_config_[c] == nullptr) {
+    per_config_[c] = std::make_unique<std::vector<CostInterval>>(
+        deriver_->WorkloadBounds((*configs_)[c]));
+  }
+  PDX_CHECK(wq < per_config_[c]->size());
+  return (*per_config_[c])[wq];
+}
+
+FaultTolerantCostSource::FaultTolerantCostSource(CostSource* inner,
+                                                 const ExecutionPolicy& policy,
+                                                 CellBoundsProvider* bounds,
+                                                 TraceSink* trace)
+    : inner_(inner),
+      policy_(policy),
+      bounds_(bounds),
+      trace_(trace),
+      num_queries_(inner->num_queries()),
+      num_configs_(inner->num_configs()) {
+  PDX_CHECK(inner != nullptr);
+  PDX_CHECK(policy.retry.max_attempts >= 1);
+  size_t cells = num_queries_ * num_configs_;
+  state_ = std::make_unique<std::atomic<uint8_t>[]>(cells);
+  values_ = std::make_unique<double[]>(cells);
+  uncertainty_ = std::make_unique<double[]>(cells);
+  degraded_ = std::make_unique<std::atomic<uint8_t>[]>(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    state_[i].store(kUnresolved, std::memory_order_relaxed);
+    degraded_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+double FaultTolerantCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < num_queries_ && c < num_configs_);
+  size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+  // Lock-free fast path for already-resolved cells: the acquire pairs
+  // with the release below, so the value (and uncertainty) written by the
+  // resolving thread is visible.
+  if (state_[cell].load(std::memory_order_acquire) == kResolved) {
+    return values_[cell];
+  }
+  std::unique_lock<std::mutex> lock(resolve_mu_);
+  for (;;) {
+    uint8_t s = state_[cell].load(std::memory_order_relaxed);
+    if (s == kResolved) return values_[cell];
+    if (s == kUnresolved) {
+      state_[cell].store(kResolving, std::memory_order_relaxed);
+      lock.unlock();  // resolution makes inner calls — never under the lock
+      try {
+        ResolveCell(q, c, cell);
+      } catch (...) {
+        // Exception-safe reset: a failed resolution (retries exhausted,
+        // no degradation path) returns the cell to unresolved so a later
+        // call starts the retry loop afresh. This is why the protocol is
+        // not std::call_once (see header).
+        lock.lock();
+        state_[cell].store(kUnresolved, std::memory_order_relaxed);
+        resolve_cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      state_[cell].store(kResolved, std::memory_order_release);
+      resolve_cv_.notify_all();
+      return values_[cell];
+    }
+    // Another thread is resolving this cell; wait for its outcome. The
+    // condvar is shared across cells, so wake-ups for other cells just
+    // re-test the state.
+    resolve_cv_.wait(lock);
+  }
+}
+
+double FaultTolerantCostSource::CostUncertainty(QueryId q, ConfigId c) const {
+  PDX_CHECK(q < num_queries_ && c < num_configs_);
+  size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+  // The acquire pairs with the release in ResolveCell: a reader that sees
+  // degraded==1 also sees the uncertainty written before it. Cells
+  // resolved exactly (or not yet resolved) report 0.
+  if (degraded_[cell].load(std::memory_order_acquire) == 0) return 0.0;
+  return uncertainty_[cell];
+}
+
+void FaultTolerantCostSource::ResolveCell(QueryId q, ConfigId c, size_t cell) {
+  const RetryPolicy& retry = policy_.retry;
+  // Per-cell jitter stream: deterministic for (policy seed, q, c), shared
+  // by no other cell, so retries of concurrent cells never interleave
+  // their draws.
+  Rng jitter_rng(CellAttemptHash(policy_.seed, q, c, 0xB0FFu));
+  for (uint32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    try {
+      double value = inner_->Cost(q, c);
+      values_[cell] = value;
+      uncertainty_[cell] = inner_->CostUncertainty(q, c);
+      return;
+    } catch (const WhatIfCallError& err) {
+      if (err.kind() == WhatIfErrorKind::kFailure) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        FMetrics().failures->Add();
+      } else {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        FMetrics().timeouts->Add();
+      }
+      if (trace_ != nullptr) {
+        TraceWhatIfError ev;
+        ev.kind = WhatIfErrorKindName(err.kind());
+        ev.query = q;
+        ev.config = c;
+        ev.attempt = attempt;
+        ev.latency_ms = err.latency_ms();
+        trace_->WhatIfError(ev);
+      }
+      if (attempt + 1 < retry.max_attempts) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        FMetrics().retries->Add();
+        double backoff =
+            retry.backoff_base_ms *
+            std::pow(retry.backoff_multiplier, static_cast<double>(attempt));
+        backoff *= 1.0 + retry.backoff_jitter * jitter_rng.NextDouble();
+        AtomicAddDouble(&backoff_ms_, backoff);
+        continue;
+      }
+      if (policy_.degrade_to_bounds && bounds_ != nullptr) {
+        CostInterval interval = bounds_->BoundsFor(q, c);
+        PDX_CHECK_MSG(interval.high >= interval.low,
+                      "degradation interval inverted");
+        values_[cell] = 0.5 * (interval.low + interval.high);
+        uncertainty_[cell] = 0.5 * interval.width();
+        degraded_[cell].store(1, std::memory_order_release);
+        degraded_cells_.fetch_add(1, std::memory_order_relaxed);
+        FMetrics().degraded_cells->Add();
+        if (trace_ != nullptr) {
+          TraceWhatIfError ev;
+          ev.kind = "degraded";
+          ev.query = q;
+          ev.config = c;
+          ev.attempt = attempt;
+          ev.bound_low = interval.low;
+          ev.bound_high = interval.high;
+          trace_->WhatIfError(ev);
+        }
+        return;
+      }
+      throw;  // no degradation path: the caller sees the final error
+    }
+  }
+}
+
+std::vector<std::pair<QueryId, ConfigId>> FaultTolerantCostSource::DegradedCells()
+    const {
+  std::vector<std::pair<QueryId, ConfigId>> out;
+  for (size_t q = 0; q < num_queries_; ++q) {
+    for (size_t c = 0; c < num_configs_; ++c) {
+      if (degraded_[q * num_configs_ + c].load(std::memory_order_acquire)) {
+        out.emplace_back(static_cast<QueryId>(q), static_cast<ConfigId>(c));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pdx

@@ -352,6 +352,23 @@ FixedBudgetResult FixedBudgetSelect(CostSource* source, uint64_t query_budget,
                                     Rng* rng) {
   PDX_CHECK(source != nullptr && rng != nullptr);
   PDX_CHECK(query_budget >= 1);
+  if (options.exec.enabled) {
+    // Interpose the retry/degrade layer and recurse with it disabled. The
+    // wrapper forwards num_calls, so the inner run's optimizer accounting
+    // is unchanged; degraded cells feed bound midpoints into the
+    // estimates.
+    FaultTolerantCostSource executor(source, options.exec, options.bounds,
+                                     options.trace);
+    FixedBudgetOptions inner = options;
+    inner.exec.enabled = false;
+    FixedBudgetResult out =
+        FixedBudgetSelect(&executor, query_budget, inner, rng);
+    out.degraded_cells = executor.num_degraded_cells();
+    out.whatif_retries = executor.num_retries();
+    out.whatif_timeouts = executor.num_timeouts();
+    out.whatif_failures = executor.num_failures();
+    return out;
+  }
   if (options.scheme == SamplingScheme::kDelta) {
     return RunDeltaFixed(source, query_budget, options, rng);
   }

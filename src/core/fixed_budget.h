@@ -42,6 +42,15 @@ struct FixedBudgetOptions {
   /// overhead (§5.2's non-constant optimization times). Only meaningful
   /// for kVarianceGuided / kFinePerTemplate.
   bool overhead_aware = false;
+  /// Fault-tolerant execution (see SelectorOptions::exec): when enabled the
+  /// run interposes a FaultTolerantCostSource over `source` with these
+  /// retry/deadline/degradation settings.
+  ExecutionPolicy exec;
+  /// §6 bounds provider for degradation (not owned; may be null).
+  CellBoundsProvider* bounds = nullptr;
+  /// Sink for whatif_error events of the execution layer (not owned; may
+  /// be null). Fixed-budget runs emit no other trace events.
+  TraceSink* trace = nullptr;
 };
 
 /// Outcome of a fixed-budget comparison.
@@ -52,6 +61,11 @@ struct FixedBudgetResult {
   /// Queries sampled (Delta: distinct queries; Independent: total draws).
   uint64_t queries_sampled = 0;
   uint64_t optimizer_calls = 0;
+  /// Execution-layer totals (all 0 when options.exec was disabled).
+  uint64_t degraded_cells = 0;
+  uint64_t whatif_retries = 0;
+  uint64_t whatif_timeouts = 0;
+  uint64_t whatif_failures = 0;
 };
 
 /// Runs one comparison spending at most `query_budget` sampled queries

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/macros.h"
 #include "common/normal.h"
@@ -10,9 +11,19 @@ namespace pdx {
 
 double PairwisePrCs(double observed_gap, double se, double delta) {
   PDX_CHECK(delta >= 0.0);
+  PDX_CHECK_MSG(!std::isnan(observed_gap),
+                "PairwisePrCs: observed_gap is NaN");
+  // A NaN standard error means the variance estimate is corrupt (e.g.
+  // round-off-negative variance upstream): clamp to the conservative
+  // "nothing known" state rather than poisoning the Bonferroni sum.
+  if (std::isnan(se)) se = std::numeric_limits<double>::infinity();
   double margin = observed_gap + delta;
   if (se <= 0.0) return margin >= 0.0 ? 1.0 : 0.0;
-  return NormalCdf(margin / se);
+  double z = margin / se;
+  // inf/inf (unbounded margin over unknown variance) is NaN: no evidence
+  // either way.
+  if (std::isnan(z)) z = 0.0;
+  return NormalCdf(z);
 }
 
 double BonferroniPrCs(const std::vector<double>& pairwise) {
@@ -25,7 +36,13 @@ double BonferroniPrCs(const std::vector<double>& pairwise) {
 }
 
 double FpcStandardError(double sample_variance, uint64_t n, uint64_t N) {
-  if (n < 2 || N == 0) return 0.0;
+  if (N == 0) return 0.0;
+  // Census: every population unit was measured, the estimator is exact.
+  if (n >= N) return 0.0;
+  // Fewer than two samples carry no variance information. The old
+  // behavior returned 0, which let PairwisePrCs report certainty from a
+  // single sample; an unknown variance must read as unbounded error.
+  if (n < 2) return std::numeric_limits<double>::infinity();
   double nn = static_cast<double>(n);
   double NN = static_cast<double>(N);
   double fpc = std::max(0.0, 1.0 - nn / NN);
@@ -34,7 +51,9 @@ double FpcStandardError(double sample_variance, uint64_t n, uint64_t N) {
 }
 
 double StratumVarianceTerm(double sample_variance, uint64_t n_h, uint64_t N_h) {
-  if (n_h < 1 || N_h == 0) return 0.0;
+  if (N_h == 0) return 0.0;
+  if (n_h >= N_h) return 0.0;  // stratum census: exact
+  if (n_h < 2) return std::numeric_limits<double>::infinity();
   double nn = static_cast<double>(n_h);
   double NN = static_cast<double>(N_h);
   double fpc = std::max(0.0, 1.0 - nn / NN);

@@ -21,7 +21,8 @@ namespace pdx {
 /// Pairwise Pr(CS_{l,j}). `observed_gap` is X_j - X_l (may be negative
 /// transiently during sampling); `se` the standard error of the gap.
 /// Degenerate se <= 0 returns 1 when gap + delta >= 0 (the distribution is
-/// a point mass on the correct side), else 0.
+/// a point mass on the correct side), else 0. A NaN se is clamped to +inf
+/// (conservative: Pr = Phi(0) = 0.5); a NaN observed_gap aborts.
 double PairwisePrCs(double observed_gap, double se, double delta);
 
 /// Bonferroni lower bound (eq. 3): 1 - sum_j (1 - Pr(CS_{i,j})), clamped
@@ -29,11 +30,15 @@ double PairwisePrCs(double observed_gap, double se, double delta);
 double BonferroniPrCs(const std::vector<double>& pairwise);
 
 /// Standard error of an unstratified finite-population mean-sum estimator
-/// X = N * sample_mean: N * sqrt(s2/n * (1 - n/N)). Returns 0 when n < 2.
+/// X = N * sample_mean: N * sqrt(s2/n * (1 - n/N)). Degenerate cases are
+/// conservative: n >= N (census) is exactly 0; n < 2 with population left
+/// unseen is +inf — fewer than two samples carry no variance information,
+/// so certainty may only be claimed when the population is exhausted.
 double FpcStandardError(double sample_variance, uint64_t n, uint64_t N);
 
 /// Variance contribution of one stratum to a stratified estimator
-/// (one term of eq. 5): N_h^2 * s2_h / n_h * (1 - n_h / N_h).
+/// (one term of eq. 5): N_h^2 * s2_h / n_h * (1 - n_h / N_h). Same
+/// degenerate-case semantics as FpcStandardError (census 0, n_h < 2 inf).
 double StratumVarianceTerm(double sample_variance, uint64_t n_h, uint64_t N_h);
 
 }  // namespace pdx

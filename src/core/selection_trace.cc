@@ -154,6 +154,15 @@ void JsonlTraceSink::WhatIfLatency(const TraceWhatIfLatency& e) {
       JsonDouble(e.p95_ns).c_str(), JsonDouble(e.p99_ns).c_str()));
 }
 
+void JsonlTraceSink::WhatIfError(const TraceWhatIfError& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"whatif_error\",\"kind\":\"%s\",\"query\":%u,\"config\":%u,"
+      "\"attempt\":%u,\"latency_ms\":%s,\"low\":%s,\"high\":%s}",
+      JsonEscape(e.kind).c_str(), e.query, e.config, e.attempt,
+      JsonDouble(e.latency_ms).c_str(), JsonDouble(e.bound_low).c_str(),
+      JsonDouble(e.bound_high).c_str()));
+}
+
 void JsonlTraceSink::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fflush(file_);
@@ -316,6 +325,16 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
         report.end.active_configs = static_cast<uint32_t>(v);
       }
       report.has_run_end = true;
+    } else if (ev == "whatif_error") {
+      std::string kind;
+      GetString(line, "\"kind\":", &kind);
+      if (kind == "failure") {
+        ++report.whatif_failures;
+      } else if (kind == "timeout") {
+        ++report.whatif_timeouts;
+      } else if (kind == "degraded") {
+        ++report.whatif_degraded;
+      }
     } else if (ev == "whatif_latency") {
       TraceWhatIfLatency e;
       GetString(line, "\"bucket\":", &e.bucket);

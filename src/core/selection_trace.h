@@ -125,6 +125,20 @@ struct TraceWhatIfLatency {
   double p99_ns = 0.0;
 };
 
+/// A failed, timed-out, or degraded what-if call (ISSUE 4). `kind` is
+/// "failure" or "timeout" for an individual erroring attempt, "degraded"
+/// when a cell exhausted its retries and fell back to the §6 cost-bound
+/// interval [bound_low, bound_high] (only then are the bounds non-zero).
+struct TraceWhatIfError {
+  std::string kind;
+  QueryId query = 0;
+  ConfigId config = 0;
+  uint32_t attempt = 0;
+  double latency_ms = 0.0;
+  double bound_low = 0.0;
+  double bound_high = 0.0;
+};
+
 /// Observer interface. All methods default to no-ops, so sinks override
 /// only what they consume. Implementations must be thread-safe: a sink
 /// can be shared by concurrent selection runs.
@@ -139,6 +153,7 @@ class TraceSink {
   virtual void Incumbent(const TraceIncumbent&) {}
   virtual void RunEnd(const TraceRunEnd&) {}
   virtual void WhatIfLatency(const TraceWhatIfLatency&) {}
+  virtual void WhatIfError(const TraceWhatIfError&) {}
   virtual void Flush() {}
 };
 
@@ -163,6 +178,7 @@ class JsonlTraceSink : public TraceSink {
   void Incumbent(const TraceIncumbent& e) override;
   void RunEnd(const TraceRunEnd& e) override;
   void WhatIfLatency(const TraceWhatIfLatency& e) override;
+  void WhatIfError(const TraceWhatIfError& e) override;
   void Flush() override;
 
  private:
@@ -209,6 +225,10 @@ struct TraceReport {
   bool has_run_end = false;
   TraceRunEnd end;
   std::vector<TraceWhatIfLatency> whatif;
+  /// whatif_error event counts by kind (ISSUE 4 fault tolerance).
+  uint64_t whatif_failures = 0;
+  uint64_t whatif_timeouts = 0;
+  uint64_t whatif_degraded = 0;
 };
 
 /// Parses a JSONL trace written by JsonlTraceSink. Fails on unreadable

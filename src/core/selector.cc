@@ -42,6 +42,15 @@ SelectorMetrics& Metrics() {
   return m;
 }
 
+// Standard error from an estimated variance. NaN variance (possible when a
+// degenerate stratum reports an infinite term that cancels badly) must map
+// to +inf, not 0: std::max(0.0, NaN) returns 0.0, which would silently turn
+// "no information" into "perfect certainty".
+double SafeSe(double variance) {
+  if (std::isnan(variance)) return std::numeric_limits<double>::infinity();
+  return std::sqrt(std::max(0.0, variance));
+}
+
 // Post-split Neyman allocation over all strata for the trace's split
 // event. Pure arithmetic on already-estimated moments — draws nothing,
 // calls no optimizer — and only runs when a sink is attached.
@@ -100,6 +109,31 @@ double ConfigurationSelector::EffectiveEliminationThreshold(size_t k) const {
 
 SelectionResult ConfigurationSelector::Run(Rng* rng) {
   PDX_CHECK(rng != nullptr);
+  if (!options_.exec.enabled) return RunScheme(rng);
+  // Fault-tolerant execution: interpose the retry/degrade layer for the
+  // duration of this run only. The wrapper is deterministic and caches each
+  // resolved cell, so the sampling schedule below is unchanged; only the
+  // values (and their uncertainty half-widths) can differ when cells
+  // degrade to bounds.
+  FaultTolerantCostSource executor(source_, options_.exec, options_.bounds,
+                                   options_.trace);
+  CostSource* const saved = source_;
+  source_ = &executor;
+  SelectionResult result;
+  try {
+    result = RunScheme(rng);
+  } catch (...) {
+    source_ = saved;
+    throw;
+  }
+  source_ = saved;
+  result.whatif_retries = executor.num_retries();
+  result.whatif_timeouts = executor.num_timeouts();
+  result.whatif_failures = executor.num_failures();
+  return result;
+}
+
+SelectionResult ConfigurationSelector::RunScheme(Rng* rng) {
   if (options_.scheme == SamplingScheme::kIndependent) {
     return RunIndependent(rng);
   }
@@ -160,12 +194,21 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     }
   };
 
+  uint64_t degraded_cells = 0;
   auto evaluate = [&](QueryId q) {
     std::vector<double> costs(k, std::numeric_limits<double>::quiet_NaN());
+    std::vector<double> uncerts;
     for (ConfigId c = 0; c < k; ++c) {
-      if (active[c]) costs[c] = source_->Cost(q, c);
+      if (!active[c]) continue;
+      costs[c] = source_->Cost(q, c);
+      double u = source_->CostUncertainty(q, c);
+      if (u > 0.0) {
+        if (uncerts.empty()) uncerts.assign(k, 0.0);
+        uncerts[c] = u;
+        ++degraded_cells;
+      }
     }
-    est.Add(q, source_->TemplateOf(q), std::move(costs));
+    est.Add(q, source_->TemplateOf(q), std::move(costs), std::move(uncerts));
   };
 
   SelectionResult result;
@@ -232,7 +275,7 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       // X_{best,j} should be negative when best is better; the gap fed to
       // PairwisePrCs is -X_{best,j}.
       double diff = est.DiffEstimate(j, strat);
-      double se = std::sqrt(std::max(0.0, est.DiffVariance(j, strat)));
+      double se = SafeSe(est.DiffVariance(j, strat));
       gaps[j] = -diff;
       ses[j] = se;
       pairwise.push_back(PairwisePrCs(-diff, se, options_.delta));
@@ -274,10 +317,16 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     bool capped = options_.max_samples > 0 &&
                   est.TotalSamples() >= options_.max_samples;
     if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
+      // Exhausting the sample space only yields an exact census — and thus
+      // Pr(CS) = 1 — when every cell was measured exactly; any degraded
+      // (bound-interval) cell keeps residual uncertainty in the estimate.
+      const bool exact_exhausted = exhausted && degraded_cells == 0;
       result.best = best;
-      result.pr_cs = exhausted ? 1.0 : pr;
+      result.pr_cs = exact_exhausted ? 1.0 : pr;
       result.reached_target = consecutive >= options_.consecutive_to_stop ||
-                              (exhausted && options_.alpha < 1.0);
+                              (exact_exhausted && options_.alpha < 1.0) ||
+                              (exhausted && pr > options_.alpha);
+      result.degraded_cells = degraded_cells;
       result.queries_sampled = est.TotalSamples();
       result.optimizer_calls = source_->num_calls() - calls_before;
       result.estimator_samples_bytes = est.samples_bytes();
@@ -457,8 +506,12 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     }
   };
 
+  uint64_t degraded_cells = 0;
   auto evaluate = [&](ConfigId c, QueryId q) {
-    est.Add(c, source_->TemplateOf(q), source_->Cost(q, c));
+    double cost = source_->Cost(q, c);
+    double u = source_->CostUncertainty(q, c);
+    if (u > 0.0) ++degraded_cells;
+    est.Add(c, source_->TemplateOf(q), cost, u);
   };
 
   SelectionResult result;
@@ -517,7 +570,7 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
       }
       ++active_pairs;
       double gap = estimates[j] - estimates[best];
-      double se = std::sqrt(std::max(0.0, variances[j] + variances[best]));
+      double se = SafeSe(variances[j] + variances[best]);
       gaps[j] = gap;
       ses[j] = se;
       pairwise.push_back(PairwisePrCs(gap, se, options_.delta));
@@ -581,10 +634,14 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
         options_.max_samples > 0 && total_samples >= options_.max_samples;
 
     if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
+      // See the Delta path: a census is only exact when no cell degraded.
+      const bool exact_exhausted = exhausted && degraded_cells == 0;
       result.best = best;
-      result.pr_cs = exhausted ? 1.0 : pr;
+      result.pr_cs = exact_exhausted ? 1.0 : pr;
       result.reached_target = consecutive >= options_.consecutive_to_stop ||
-                              (exhausted && options_.alpha < 1.0);
+                              (exact_exhausted && options_.alpha < 1.0) ||
+                              (exhausted && pr > options_.alpha);
+      result.degraded_cells = degraded_cells;
       result.queries_sampled = total_samples;
       result.optimizer_calls = source_->num_calls() - calls_before;
       result.estimates = std::move(estimates);

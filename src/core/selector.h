@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/cost_source.h"
 #include "core/estimators.h"
+#include "core/fault.h"
 #include "core/pr_cs.h"
 
 namespace pdx {
@@ -71,6 +72,20 @@ struct SelectorOptions {
   /// sampling and no optimizer calls, so a traced run is byte-identical
   /// to an untraced one.
   TraceSink* trace = nullptr;
+  /// Fault-tolerant execution (core/fault.h). When exec.enabled, Run()
+  /// wraps the cost source in a FaultTolerantCostSource — bounded retries
+  /// with backoff, per-call deadlines, and degradation of exhausted cells
+  /// to §6 cost bounds via `bounds`. Degraded cells feed the estimators
+  /// with their interval half-width, widening the SE so Pr(CS) stays an
+  /// underestimate; a degraded run never claims the exhausted-sample
+  /// Pr(CS) = 1 shortcut. With exec.enabled == false (default) the layer
+  /// is not instantiated and the run is byte-identical to before it
+  /// existed.
+  ExecutionPolicy exec;
+  /// §6 cost-interval provider for degradation (not owned; required for
+  /// exec.degrade_to_bounds to engage — without it, exhausted cells
+  /// rethrow their last WhatIfCallError).
+  CellBoundsProvider* bounds = nullptr;
 };
 
 /// Outcome of a selection run.
@@ -101,6 +116,14 @@ struct SelectionResult {
   /// Bytes held by the Delta estimator's raw sample store at termination
   /// (0 for Independent Sampling, which keeps only running moments).
   size_t estimator_samples_bytes = 0;
+  /// Evaluations that consumed a bound-degraded cell (ISSUE 4; 0 unless
+  /// the run executed under a fault-tolerant source).
+  uint64_t degraded_cells = 0;
+  /// Retry/timeout/failure totals of the run's execution layer (0 when
+  /// options.exec was disabled).
+  uint64_t whatif_retries = 0;
+  uint64_t whatif_timeouts = 0;
+  uint64_t whatif_failures = 0;
 };
 
 /// Algorithm 1 runner. Construct once per selection problem and call Run.
@@ -112,6 +135,7 @@ class ConfigurationSelector {
   SelectionResult Run(Rng* rng);
 
  private:
+  SelectionResult RunScheme(Rng* rng);
   SelectionResult RunIndependent(Rng* rng);
   SelectionResult RunDelta(Rng* rng);
 

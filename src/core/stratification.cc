@@ -105,17 +105,27 @@ std::vector<double> NeymanAllocation(const std::vector<double>& populations,
 
   for (size_t iter = 0; iter <= L; ++iter) {
     double weight_sum = 0.0;
+    size_t unpinned = 0;
     for (size_t h = 0; h < L; ++h) {
-      if (!pinned[h]) weight_sum += populations[h] * std::max(0.0, stddevs[h]);
+      if (!pinned[h]) {
+        weight_sum += populations[h] * std::max(0.0, stddevs[h]);
+        ++unpinned;
+      }
     }
+    if (unpinned == 0) break;
     bool changed = false;
     for (size_t h = 0; h < L; ++h) {
       if (pinned[h]) continue;
+      // Zero-variance strata (weight_sum == 0) split the remainder evenly
+      // over the strata still unpinned — dividing by L here would leak
+      // budget already committed to pinned strata. A remainder driven
+      // negative by lower bounds pins everything at lo, which the final
+      // clamp also guarantees.
       double share =
           weight_sum > 0.0
               ? remaining * (populations[h] * std::max(0.0, stddevs[h])) /
                     weight_sum
-              : remaining / static_cast<double>(L);
+              : std::max(0.0, remaining) / static_cast<double>(unpinned);
       if (share < lo[h]) {
         alloc[h] = std::min(lo[h], populations[h]);
         pinned[h] = true;

@@ -196,6 +196,25 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
             });
   if (pool.size() > options.beam_width) pool.resize(options.beam_width);
 
+  // Degradation fallback for fault-tolerant rounds: one deriver per tune.
+  // base must be contained in every compared configuration and rich must
+  // contain every structure any of them may use; the greedy rounds only
+  // ever add pool structures on top of base, so base/base+pool brackets
+  // all of them.
+  std::unique_ptr<CostBoundsDeriver> bounds_deriver;
+  if (options.use_comparison_primitive && options.faults.enabled()) {
+    Configuration rich = options.base_config;
+    for (const ScoredStructure& s : pool) {
+      if (s.is_view) {
+        rich.AddView(s.view);
+      } else {
+        rich.AddIndex(s.index);
+      }
+    }
+    bounds_deriver = std::make_unique<CostBoundsDeriver>(
+        optimizer, workload, options.base_config, std::move(rich));
+  }
+
   double current_cost = result.initial_cost;
   std::vector<bool> used(pool.size(), false);
   uint64_t used_bytes = 0;
@@ -255,8 +274,31 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
           source = subset.get();
         }
       }
-      ConfigurationSelector selector(source, options.selector);
+      std::unique_ptr<FaultInjectingCostSource> injector;
+      std::unique_ptr<WorkloadBoundsCache> bounds_cache;
+      SelectorOptions sel_opts = options.selector;
+      if (options.faults.enabled()) {
+        // Mix the round index into the seed so each round's schedule is an
+        // independent draw while the whole tune stays reproducible.
+        FaultSpec spec = options.faults;
+        spec.seed ^= 0x9E3779B97F4A7C15ULL * (round + 1);
+        injector = std::make_unique<FaultInjectingCostSource>(source, spec);
+        injector->set_deadline_ms(sel_opts.exec.retry.deadline_ms);
+        source = injector.get();
+        sel_opts.exec.enabled = true;
+        sel_opts.exec.seed ^= spec.seed;
+        if (bounds_deriver != nullptr) {
+          bounds_cache = std::make_unique<WorkloadBoundsCache>(
+              bounds_deriver.get(), &round_configs, query_ids);
+          sel_opts.bounds = bounds_cache.get();
+        }
+      }
+      ConfigurationSelector selector(source, sel_opts);
       SelectionResult sel = selector.Run(rng);
+      result.whatif_retries += sel.whatif_retries;
+      result.whatif_timeouts += sel.whatif_timeouts;
+      result.whatif_failures += sel.whatif_failures;
+      result.degraded_cells += sel.degraded_cells;
       if (sel.best == 0) break;  // keeping the current configuration wins
       winner = static_cast<int64_t>(feasible[sel.best - 1]);
       winner_cost = WeightedCost(optimizer, workload, query_ids, weights,

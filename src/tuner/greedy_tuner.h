@@ -43,6 +43,16 @@ struct TunerOptions {
   /// Selector settings for the primitive-driven mode.
   SelectorOptions selector;
   CandidateGenOptions candidates;
+  /// Fault injection over the primitive-driven per-round selections
+  /// (core/fault.h). When enabled(), each round's what-if source is
+  /// wrapped in a seeded FaultInjectingCostSource (the round index is
+  /// mixed into the seed so rounds draw independent schedules) and the
+  /// selector runs under selector.exec's retry policy with §6 bound
+  /// degradation; a once-per-tune CostBoundsDeriver over base + the
+  /// pruned candidate pool supplies the intervals. Ignored when
+  /// use_comparison_primitive is false (exact evaluation has no what-if
+  /// loop to perturb).
+  FaultSpec faults;
 };
 
 /// Tuning outcome.
@@ -53,6 +63,12 @@ struct TuneResult {
   double final_cost = 0.0;
   /// Optimizer calls spent tuning.
   uint64_t optimizer_calls = 0;
+  /// Execution-layer totals summed over the per-round selections (all 0
+  /// unless options.faults was enabled).
+  uint64_t whatif_retries = 0;
+  uint64_t whatif_timeouts = 0;
+  uint64_t whatif_failures = 0;
+  uint64_t degraded_cells = 0;
 
   double Improvement() const {
     return initial_cost > 0.0 ? 1.0 - final_cost / initial_cost : 0.0;

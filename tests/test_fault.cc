@@ -1,0 +1,574 @@
+// Copyright (c) the pdexplore authors.
+// Fault-tolerant what-if execution (core/fault.h): the injector's
+// deterministic fault schedule, call-spend accounting, the executor's
+// retry/degradation state machine, and the selector integration — in
+// particular that the layer is byte-identical when it injects nothing and
+// exactly-once under concurrent resolution.
+#include "core/fault.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/selector.h"
+#include "test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing::SyntheticMatrix;
+
+// ---------------------------------------------------------------------------
+// Test doubles
+
+/// Throws kFailure for the first `fail_first` attempts of every cell and
+/// returns a deterministic value afterwards. Mirrors the injector's
+/// accounting: a refused call spends no optimizer call.
+class FlakySource : public CostSource {
+ public:
+  FlakySource(size_t num_queries, size_t num_configs, uint32_t fail_first)
+      : num_queries_(num_queries),
+        num_configs_(num_configs),
+        fail_first_(fail_first),
+        attempts_(std::make_unique<std::atomic<uint32_t>[]>(num_queries *
+                                                            num_configs)) {
+    for (size_t i = 0; i < num_queries * num_configs; ++i) {
+      attempts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  static double ValueOf(QueryId q, ConfigId c) {
+    return 100.0 * (q + 1) + static_cast<double>(c);
+  }
+
+  double Cost(QueryId q, ConfigId c) override {
+    size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+    uint32_t attempt = attempts_[cell].fetch_add(1, std::memory_order_relaxed);
+    if (attempt < fail_first_) {
+      throw WhatIfCallError(WhatIfErrorKind::kFailure, q, c, attempt, 0.0);
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return ValueOf(q, c);
+  }
+
+  size_t num_queries() const override { return num_queries_; }
+  size_t num_configs() const override { return num_configs_; }
+  TemplateId TemplateOf(QueryId) const override { return 0; }
+  size_t num_templates() const override { return 1; }
+  uint64_t num_calls() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCounter() override {
+    calls_.store(0, std::memory_order_relaxed);
+  }
+
+  uint32_t attempts(QueryId q, ConfigId c) const {
+    return attempts_[static_cast<size_t>(q) * num_configs_ + c].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  size_t num_queries_;
+  size_t num_configs_;
+  uint32_t fail_first_;
+  std::unique_ptr<std::atomic<uint32_t>[]> attempts_;
+  std::atomic<uint64_t> calls_{0};
+};
+
+/// A constant degradation interval for every cell.
+class FixedBoundsProvider : public CellBoundsProvider {
+ public:
+  FixedBoundsProvider(double low, double high) : interval_{low, high} {}
+  CostInterval BoundsFor(QueryId, ConfigId) override { return interval_; }
+
+ private:
+  CostInterval interval_;
+};
+
+/// Bounds derived from a matrix's true costs: [scale_lo * v, scale_hi * v].
+/// Always contains the true value, with controllable width.
+class MatrixBoundsProvider : public CellBoundsProvider {
+ public:
+  MatrixBoundsProvider(const MatrixCostSource& src, double scale_lo,
+                       double scale_hi)
+      : scale_lo_(scale_lo), scale_hi_(scale_hi) {
+    columns_.reserve(src.num_configs());
+    for (ConfigId c = 0; c < src.num_configs(); ++c) {
+      columns_.push_back(src.Column(c));
+    }
+  }
+  CostInterval BoundsFor(QueryId q, ConfigId c) override {
+    double v = columns_[c][q];
+    return CostInterval{scale_lo_ * v, scale_hi_ * v};
+  }
+
+ private:
+  double scale_lo_;
+  double scale_hi_;
+  std::vector<std::vector<double>> columns_;
+};
+
+ConfigId TrueBest(const MatrixCostSource& src) {
+  ConfigId best = 0;
+  for (ConfigId c = 1; c < src.num_configs(); ++c) {
+    if (src.TotalCost(c) < src.TotalCost(best)) best = c;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// ParseFaultSpec
+
+TEST(ParseFaultSpecTest, TwoFields) {
+  Result<FaultSpec> r = ParseFaultSpec("0.1,0.25");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->p_fail, 0.1);
+  EXPECT_DOUBLE_EQ(r->p_slow, 0.25);
+  EXPECT_EQ(r->seed, 0u);
+  EXPECT_TRUE(r->enabled());
+}
+
+TEST(ParseFaultSpecTest, ThreeFieldsWithSeed) {
+  Result<FaultSpec> r = ParseFaultSpec("0,0.5,77");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->p_fail, 0.0);
+  EXPECT_DOUBLE_EQ(r->p_slow, 0.5);
+  EXPECT_EQ(r->seed, 77u);
+  EXPECT_TRUE(r->enabled());
+}
+
+TEST(ParseFaultSpecTest, ZeroZeroParsesButDisabled) {
+  Result<FaultSpec> r = ParseFaultSpec("0,0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->enabled());
+}
+
+TEST(ParseFaultSpecTest, RejectsWrongArity) {
+  for (const char* text : {"", "0.1", "0.1,0.2,3,4"}) {
+    Result<FaultSpec> r = ParseFaultSpec(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("p_fail,p_slow[,seed]"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(ParseFaultSpecTest, RejectsOutOfRangeOrMalformedProbabilities) {
+  for (const char* text : {"1.5,0", "-0.1,0", "nope,0", "nan,0", ",0"}) {
+    Result<FaultSpec> r = ParseFaultSpec(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("p_fail must be a probability"),
+              std::string::npos)
+        << r.status().message();
+  }
+  for (const char* text : {"0,2", "0,abc", "0,"}) {
+    Result<FaultSpec> r = ParseFaultSpec(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("p_slow must be a probability"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(ParseFaultSpecTest, RejectsBadSeed) {
+  for (const char* text : {"0,0,-1", "0,0,12x", "0,0,"}) {
+    Result<FaultSpec> r = ParseFaultSpec(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("seed must be a non-negative integer"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingCostSource
+
+enum class Outcome { kOk, kFailure, kTimeout };
+
+Outcome Probe(FaultInjectingCostSource* src, QueryId q, ConfigId c) {
+  try {
+    src->Cost(q, c);
+    return Outcome::kOk;
+  } catch (const WhatIfCallError& err) {
+    return err.kind() == WhatIfErrorKind::kFailure ? Outcome::kFailure
+                                                   : Outcome::kTimeout;
+  }
+}
+
+TEST(FaultInjectorTest, ScheduleIsDeterministicPerSeed) {
+  MatrixCostSource m1 = SyntheticMatrix(50, 3, 5, 0.10, 9);
+  MatrixCostSource m2 = SyntheticMatrix(50, 3, 5, 0.10, 9);
+  FaultSpec spec;
+  spec.p_fail = 0.3;
+  spec.p_slow = 0.3;
+  spec.seed = 42;
+  FaultInjectingCostSource a(&m1, spec);
+  FaultInjectingCostSource b(&m2, spec);
+  a.set_deadline_ms(100.0);
+  b.set_deadline_ms(100.0);
+  std::vector<Outcome> seq_a, seq_b;
+  for (QueryId q = 0; q < 50; ++q) {
+    for (ConfigId c = 0; c < 3; ++c) {
+      seq_a.push_back(Probe(&a, q, c));
+      seq_b.push_back(Probe(&b, q, c));
+    }
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(a.injected_failures(), b.injected_failures());
+  EXPECT_EQ(a.injected_slow_calls(), b.injected_slow_calls());
+  EXPECT_EQ(a.injected_timeouts(), b.injected_timeouts());
+  // And the schedule exercised every outcome at these rates.
+  EXPECT_GT(a.injected_failures(), 0u);
+  EXPECT_GT(a.injected_timeouts(), 0u);
+
+  // A different seed gives an independent schedule.
+  MatrixCostSource m3 = SyntheticMatrix(50, 3, 5, 0.10, 9);
+  spec.seed = 43;
+  FaultInjectingCostSource d(&m3, spec);
+  d.set_deadline_ms(100.0);
+  std::vector<Outcome> seq_d;
+  for (QueryId q = 0; q < 50; ++q) {
+    for (ConfigId c = 0; c < 3; ++c) seq_d.push_back(Probe(&d, q, c));
+  }
+  EXPECT_NE(seq_a, seq_d);
+}
+
+TEST(FaultInjectorTest, AttemptIndexAdvancesTheSchedule) {
+  // Repeated calls to one cell draw per-attempt: with p_fail = 0.5 the
+  // outcome sequence mixes failures and successes, and replaying it on a
+  // fresh injector reproduces it exactly (the attempt counter is part of
+  // the draw, not hidden mutable state).
+  FaultSpec spec;
+  spec.p_fail = 0.5;
+  spec.seed = 7;
+  MatrixCostSource m1 = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  MatrixCostSource m2 = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  FaultInjectingCostSource a(&m1, spec);
+  FaultInjectingCostSource b(&m2, spec);
+  std::vector<Outcome> seq_a, seq_b;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(Probe(&a, 1, 1));
+    seq_b.push_back(Probe(&b, 1, 1));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  size_t failures = 0;
+  for (Outcome o : seq_a) failures += o == Outcome::kFailure ? 1 : 0;
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, 64u);
+}
+
+TEST(FaultInjectorTest, InjectedFailureSpendsNoOptimizerCall) {
+  MatrixCostSource m = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  FaultSpec spec;
+  spec.p_fail = 1.0;
+  FaultInjectingCostSource src(&m, spec);
+  EXPECT_THROW(src.Cost(0, 0), WhatIfCallError);
+  EXPECT_EQ(m.num_calls(), 0u);
+  EXPECT_EQ(src.num_calls(), 0u);
+  EXPECT_EQ(src.injected_failures(), 1u);
+}
+
+TEST(FaultInjectorTest, TimedOutCallIsStillSpent) {
+  // A latency spike past the deadline discards the result but the
+  // optimizer call went out — exactly what a real late response costs.
+  MatrixCostSource m = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  FaultSpec spec;
+  spec.p_slow = 1.0;
+  FaultInjectingCostSource src(&m, spec);
+  src.set_deadline_ms(100.0);  // slow_latency_ms defaults to 250
+  try {
+    src.Cost(0, 0);
+    FAIL() << "expected WhatIfCallError";
+  } catch (const WhatIfCallError& err) {
+    EXPECT_EQ(err.kind(), WhatIfErrorKind::kTimeout);
+    EXPECT_DOUBLE_EQ(err.latency_ms(), spec.slow_latency_ms);
+  }
+  EXPECT_EQ(m.num_calls(), 1u);
+  EXPECT_EQ(src.injected_slow_calls(), 1u);
+  EXPECT_EQ(src.injected_timeouts(), 1u);
+}
+
+TEST(FaultInjectorTest, SlowCallWithoutDeadlineIsJustLatency) {
+  MatrixCostSource m = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  double expected = m.Cost(0, 0);
+  m.ResetCallCounter();
+  FaultSpec spec;
+  spec.p_slow = 1.0;
+  FaultInjectingCostSource src(&m, spec);  // default deadline: +inf
+  EXPECT_EQ(src.Cost(0, 0), expected);
+  EXPECT_EQ(src.injected_slow_calls(), 1u);
+  EXPECT_EQ(src.injected_timeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultTolerantCostSource
+
+TEST(FaultTolerantSourceTest, RetriesUntilSuccess) {
+  FlakySource flaky(4, 2, /*fail_first=*/2);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 4;
+  FaultTolerantCostSource exec(&flaky, policy);
+  for (QueryId q = 0; q < 4; ++q) {
+    for (ConfigId c = 0; c < 2; ++c) {
+      EXPECT_EQ(exec.Cost(q, c), FlakySource::ValueOf(q, c));
+      EXPECT_EQ(exec.CostUncertainty(q, c), 0.0);
+    }
+  }
+  // 8 cells x (2 failures then success).
+  EXPECT_EQ(exec.num_failures(), 16u);
+  EXPECT_EQ(exec.num_retries(), 16u);
+  EXPECT_EQ(exec.num_timeouts(), 0u);
+  EXPECT_EQ(exec.num_degraded_cells(), 0u);
+  EXPECT_GT(exec.simulated_backoff_ms(), 0.0);
+  EXPECT_TRUE(exec.DegradedCells().empty());
+}
+
+TEST(FaultTolerantSourceTest, ResolutionIsSticky) {
+  FlakySource flaky(2, 2, /*fail_first=*/1);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  FaultTolerantCostSource exec(&flaky, policy);
+  EXPECT_EQ(exec.Cost(0, 1), FlakySource::ValueOf(0, 1));
+  EXPECT_EQ(flaky.attempts(0, 1), 2u);  // one failure, one success
+  // Re-reads replay the stored value without touching the inner source.
+  EXPECT_EQ(exec.Cost(0, 1), FlakySource::ValueOf(0, 1));
+  EXPECT_EQ(flaky.attempts(0, 1), 2u);
+  EXPECT_EQ(exec.num_retries(), 1u);
+}
+
+TEST(FaultTolerantSourceTest, DegradesToBoundsWhenRetriesExhaust) {
+  FlakySource flaky(2, 2, /*fail_first=*/1000);  // never succeeds
+  FixedBoundsProvider bounds(10.0, 30.0);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 3;
+  FaultTolerantCostSource exec(&flaky, policy, &bounds);
+  // Midpoint as value, half-width as uncertainty.
+  EXPECT_DOUBLE_EQ(exec.Cost(1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(exec.CostUncertainty(1, 0), 10.0);
+  EXPECT_EQ(exec.num_failures(), 3u);
+  EXPECT_EQ(exec.num_retries(), 2u);
+  EXPECT_EQ(exec.num_degraded_cells(), 1u);
+  std::vector<std::pair<QueryId, ConfigId>> degraded = exec.DegradedCells();
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0], std::make_pair(QueryId{1}, ConfigId{0}));
+  // The degraded outcome is sticky too.
+  EXPECT_DOUBLE_EQ(exec.Cost(1, 0), 20.0);
+  EXPECT_EQ(exec.num_failures(), 3u);
+}
+
+TEST(FaultTolerantSourceTest, RethrowsWithoutBoundsAndRetriesFromScratch) {
+  FlakySource flaky(1, 1, /*fail_first=*/1000);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 3;
+  // degrade_to_bounds defaults to true but no provider is wired: the last
+  // error must escape to the caller.
+  FaultTolerantCostSource exec(&flaky, policy, /*bounds=*/nullptr);
+  EXPECT_THROW(exec.Cost(0, 0), WhatIfCallError);
+  EXPECT_EQ(exec.num_failures(), 3u);
+  // The once-flag stays unset after a thrown resolution: a later call
+  // starts a fresh retry loop instead of replaying garbage.
+  EXPECT_THROW(exec.Cost(0, 0), WhatIfCallError);
+  EXPECT_EQ(exec.num_failures(), 6u);
+  EXPECT_EQ(exec.num_degraded_cells(), 0u);
+}
+
+TEST(FaultTolerantSourceTest, ClassifiesTimeoutsSeparately) {
+  MatrixCostSource m = SyntheticMatrix(4, 2, 2, 0.10, 3);
+  FaultSpec spec;
+  spec.p_slow = 1.0;  // every attempt spikes
+  FaultInjectingCostSource injector(&m, spec);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 2;
+  injector.set_deadline_ms(policy.retry.deadline_ms);
+  FixedBoundsProvider bounds(0.0, 2.0);
+  FaultTolerantCostSource exec(&injector, policy, &bounds);
+  EXPECT_DOUBLE_EQ(exec.Cost(0, 0), 1.0);
+  EXPECT_EQ(exec.num_timeouts(), 2u);
+  EXPECT_EQ(exec.num_failures(), 0u);
+  EXPECT_EQ(exec.num_degraded_cells(), 1u);
+  // Both timed-out attempts spent their optimizer call.
+  EXPECT_EQ(m.num_calls(), 2u);
+}
+
+TEST(FaultTolerantSourceTest, ConcurrentResolutionIsExactlyOnce) {
+  FlakySource flaky(1, 1, /*fail_first=*/1);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 4;
+  FaultTolerantCostSource exec(&flaky, policy);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (exec.Cost(0, 0) != FlakySource::ValueOf(0, 0)) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // The cell was resolved by exactly one thread: one failed attempt plus
+  // one successful one, regardless of how many readers raced.
+  EXPECT_EQ(flaky.attempts(0, 0), 2u);
+  EXPECT_EQ(exec.num_retries(), 1u);
+}
+
+TEST(FaultTolerantSourceTest, ParallelResolutionMatchesSerial) {
+  // Resolve every cell serially and with 4 racing threads: values,
+  // degraded sets and counter totals must agree exactly — the fault draw
+  // is a pure function of (seed, q, c, attempt) and each cell resolves
+  // exactly once, so thread interleaving has nothing to perturb.
+  const size_t kQ = 100, kC = 3;
+  FaultSpec spec;
+  spec.p_fail = 0.4;
+  spec.p_slow = 0.2;
+  spec.seed = 5;
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 3;
+
+  MatrixCostSource m_serial = SyntheticMatrix(kQ, kC, 5, 0.10, 9);
+  MatrixBoundsProvider bounds_serial(m_serial, 0.9, 1.1);
+  FaultInjectingCostSource inj_serial(&m_serial, spec);
+  inj_serial.set_deadline_ms(policy.retry.deadline_ms);
+  FaultTolerantCostSource serial(&inj_serial, policy, &bounds_serial);
+  for (QueryId q = 0; q < kQ; ++q) {
+    for (ConfigId c = 0; c < kC; ++c) serial.Cost(q, c);
+  }
+
+  MatrixCostSource m_par = SyntheticMatrix(kQ, kC, 5, 0.10, 9);
+  MatrixBoundsProvider bounds_par(m_par, 0.9, 1.1);
+  FaultInjectingCostSource inj_par(&m_par, spec);
+  inj_par.set_deadline_ms(policy.retry.deadline_ms);
+  FaultTolerantCostSource parallel(&inj_par, policy, &bounds_par);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < kQ * kC; i += 4) {
+        parallel.Cost(static_cast<QueryId>(i / kC),
+                      static_cast<ConfigId>(i % kC));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (QueryId q = 0; q < kQ; ++q) {
+    for (ConfigId c = 0; c < kC; ++c) {
+      ASSERT_EQ(serial.Cost(q, c), parallel.Cost(q, c)) << q << "," << c;
+      ASSERT_EQ(serial.CostUncertainty(q, c), parallel.CostUncertainty(q, c));
+    }
+  }
+  EXPECT_EQ(serial.DegradedCells(), parallel.DegradedCells());
+  EXPECT_EQ(serial.num_retries(), parallel.num_retries());
+  EXPECT_EQ(serial.num_failures(), parallel.num_failures());
+  EXPECT_EQ(serial.num_timeouts(), parallel.num_timeouts());
+  EXPECT_EQ(serial.num_degraded_cells(), parallel.num_degraded_cells());
+  // The schedule at these rates actually exercised every path.
+  EXPECT_GT(serial.num_failures(), 0u);
+  EXPECT_GT(serial.num_timeouts(), 0u);
+  EXPECT_GT(serial.num_degraded_cells(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Selector integration
+
+TEST(SelectorFaultTest, DisabledPolicyIsByteIdentical) {
+  // exec.enabled == false must leave the selection bit-for-bit unchanged
+  // — same selection, same Pr(CS), same call count, same estimates.
+  for (SamplingScheme scheme :
+       {SamplingScheme::kDelta, SamplingScheme::kIndependent}) {
+    MatrixCostSource m_plain = SyntheticMatrix(2000, 3, 10, 0.08, 33);
+    MatrixCostSource m_exec = SyntheticMatrix(2000, 3, 10, 0.08, 33);
+    SelectorOptions plain_opts;
+    plain_opts.alpha = 0.9;
+    plain_opts.scheme = scheme;
+    SelectorOptions exec_opts = plain_opts;
+    exec_opts.exec.enabled = true;  // layer on, but nothing ever fails
+
+    Rng rng_plain(5), rng_exec(5);
+    ConfigurationSelector sel_plain(&m_plain, plain_opts);
+    ConfigurationSelector sel_exec(&m_exec, exec_opts);
+    SelectionResult a = sel_plain.Run(&rng_plain);
+    SelectionResult b = sel_exec.Run(&rng_exec);
+
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(a.pr_cs, b.pr_cs);
+    EXPECT_EQ(a.reached_target, b.reached_target);
+    EXPECT_EQ(a.queries_sampled, b.queries_sampled);
+    EXPECT_EQ(a.optimizer_calls, b.optimizer_calls);
+    EXPECT_EQ(a.estimates, b.estimates);
+    EXPECT_EQ(b.whatif_retries, 0u);
+    EXPECT_EQ(b.whatif_failures, 0u);
+    EXPECT_EQ(b.degraded_cells, 0u);
+  }
+}
+
+TEST(SelectorFaultTest, SelectsCorrectlyUnderHeavyFaults) {
+  MatrixCostSource m = SyntheticMatrix(2000, 3, 10, 0.10, 21);
+  ConfigId truth = TrueBest(m);
+  MatrixBoundsProvider bounds(m, 0.9, 1.1);
+  FaultSpec spec;
+  spec.p_fail = 0.3;
+  spec.p_slow = 0.2;
+  spec.seed = 11;
+  FaultInjectingCostSource injector(&m, spec);
+
+  SelectorOptions opts;
+  opts.alpha = 0.9;
+  opts.exec.enabled = true;
+  opts.exec.seed = 11;
+  opts.bounds = &bounds;
+  injector.set_deadline_ms(opts.exec.retry.deadline_ms);
+
+  Rng rng(5);
+  ConfigurationSelector sel(&injector, opts);
+  SelectionResult res = sel.Run(&rng);
+  EXPECT_EQ(res.best, truth);
+  EXPECT_GE(res.pr_cs, 0.0);
+  EXPECT_LE(res.pr_cs, 1.0);
+  EXPECT_GT(res.whatif_failures, 0u);
+  EXPECT_GT(res.whatif_retries, 0u);
+  EXPECT_GT(res.whatif_timeouts, 0u);
+  EXPECT_GT(injector.injected_failures(), 0u);
+}
+
+TEST(SelectorFaultTest, DegradedRunNeverClaimsExhaustionCertainty) {
+  // A tiny workload that the selector fully exhausts: without faults the
+  // census shortcut reports Pr(CS) = 1; with degraded cells in play the
+  // estimate must stay an honest underestimate (< 1), because some cells
+  // are intervals, not measurements.
+  MatrixCostSource m = SyntheticMatrix(40, 2, 4, 0.30, 13);
+  MatrixBoundsProvider bounds(m, 0.5, 1.5);
+  FaultSpec spec;
+  spec.p_fail = 0.95;  // most cells exhaust retries and degrade
+  spec.seed = 3;
+  FaultInjectingCostSource injector(&m, spec);
+
+  SelectorOptions opts;
+  opts.alpha = 0.99;
+  opts.exec.enabled = true;
+  opts.exec.retry.max_attempts = 2;
+  opts.bounds = &bounds;
+  injector.set_deadline_ms(opts.exec.retry.deadline_ms);
+
+  Rng rng(7);
+  ConfigurationSelector sel(&injector, opts);
+  SelectionResult res = sel.Run(&rng);
+  EXPECT_GT(res.degraded_cells, 0u);
+  EXPECT_LT(res.pr_cs, 1.0);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -8,6 +8,8 @@
 
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "core/fault.h"
+#include "core/selector.h"
 
 namespace pdx::bench {
 namespace {
@@ -97,6 +99,73 @@ TEST(ParallelDeterminismTest, MonteCarloAccuracyIsIdenticalAcrossThreadCounts) {
   // The accuracy is a count of per-trial booleans, each fully determined
   // by its own seed — exact equality required.
   EXPECT_EQ(serial, parallel);
+}
+
+/// Bounds from a matrix's true costs — degradation intervals that always
+/// contain the truth, with no optimizer calls.
+class MatrixBoundsProvider : public CellBoundsProvider {
+ public:
+  explicit MatrixBoundsProvider(const MatrixCostSource& src) {
+    columns_.reserve(src.num_configs());
+    for (ConfigId c = 0; c < src.num_configs(); ++c) {
+      columns_.push_back(src.Column(c));
+    }
+  }
+  CostInterval BoundsFor(QueryId q, ConfigId c) override {
+    double v = columns_[c][q];
+    return CostInterval{0.9 * v, 1.1 * v};
+  }
+
+ private:
+  std::vector<std::vector<double>> columns_;
+};
+
+TEST(ParallelDeterminismTest, FaultInjectedSelectionIsIdenticalAcrossThreadCounts) {
+  // The fault schedule is a pure function of (seed, q, c, attempt) and the
+  // executor resolves each cell exactly once, so a fault-injected
+  // selection — retry counts, degraded set and all — must not depend on
+  // the global thread count used to precompute its cost matrix or on any
+  // pool the run may touch.
+  SmallSetup& s = SharedSetup();
+  FaultSpec spec;
+  spec.p_fail = 0.2;
+  spec.p_slow = 0.2;
+  spec.seed = 99;
+
+  auto run_at = [&](size_t threads) {
+    SetGlobalThreadCount(threads);
+    MatrixCostSource matrix = MatrixCostSource::Precompute(
+        *s.env->optimizer, *s.env->workload, s.pool);
+    MatrixBoundsProvider bounds(matrix);
+    FaultInjectingCostSource injector(&matrix, spec);
+    SelectorOptions opts;
+    opts.alpha = 0.9;
+    opts.exec.enabled = true;
+    opts.exec.seed = spec.seed;
+    opts.exec.retry.max_attempts = 3;
+    opts.bounds = &bounds;
+    injector.set_deadline_ms(opts.exec.retry.deadline_ms);
+    Rng rng(31);
+    ConfigurationSelector selector(&injector, opts);
+    SelectionResult res = selector.Run(&rng);
+    SetGlobalThreadCount(0);
+    return res;
+  };
+
+  SelectionResult serial = run_at(1);
+  SelectionResult parallel = run_at(4);
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.pr_cs, parallel.pr_cs);
+  EXPECT_EQ(serial.reached_target, parallel.reached_target);
+  EXPECT_EQ(serial.queries_sampled, parallel.queries_sampled);
+  EXPECT_EQ(serial.optimizer_calls, parallel.optimizer_calls);
+  EXPECT_EQ(serial.estimates, parallel.estimates);
+  EXPECT_EQ(serial.degraded_cells, parallel.degraded_cells);
+  EXPECT_EQ(serial.whatif_retries, parallel.whatif_retries);
+  EXPECT_EQ(serial.whatif_timeouts, parallel.whatif_timeouts);
+  EXPECT_EQ(serial.whatif_failures, parallel.whatif_failures);
+  // The schedule actually injected work to keep deterministic.
+  EXPECT_GT(serial.whatif_retries, 0u);
 }
 
 }  // namespace

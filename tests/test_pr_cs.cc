@@ -1,6 +1,7 @@
 #include "core/pr_cs.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -44,6 +45,29 @@ TEST(PairwisePrCsTest, DegenerateSe) {
   EXPECT_EQ(PairwisePrCs(0.0, 0.0, 0.0), 1.0);
 }
 
+TEST(PairwisePrCsTest, InfiniteSeIsCoinFlip) {
+  // An se of +inf means "no variance information yet" (e.g. a stratum
+  // with n < 2): the comparison must stay maximally uncertain, never
+  // confident.
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(PairwisePrCs(5.0, inf, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(PairwisePrCs(-5.0, inf, 3.0), 0.5, 1e-12);
+}
+
+TEST(PairwisePrCsTest, NanSeClampsToUncertain) {
+  // NaN must not poison the Bonferroni sum: clamp to the conservative
+  // +inf semantics (Pr = 0.5), and never return NaN.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  double p = PairwisePrCs(2.0, nan, 0.0);
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+TEST(PairwisePrCsTest, NanGapAborts) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(PairwisePrCs(nan, 1.0, 0.0), "observed_gap");
+}
+
 TEST(BonferroniTest, SinglePair) {
   EXPECT_NEAR(BonferroniPrCs({0.95}), 0.95, 1e-12);
 }
@@ -73,9 +97,24 @@ TEST(FpcStandardErrorTest, FullSampleHasZeroError) {
   EXPECT_EQ(FpcStandardError(4.0, 1000, 1000), 0.0);
 }
 
-TEST(FpcStandardErrorTest, TinySamples) {
-  EXPECT_EQ(FpcStandardError(4.0, 0, 100), 0.0);
-  EXPECT_EQ(FpcStandardError(4.0, 1, 100), 0.0);
+TEST(FpcStandardErrorTest, TinySamplesAreMaximallyUncertain) {
+  // n < 2 carries no variance information. The old behaviour returned
+  // se = 0.0 — false certainty that let a single sample (or none) claim a
+  // confident selection. Conservative semantics: +inf unless the
+  // population is exhausted.
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(FpcStandardError(4.0, 0, 100), inf);
+  EXPECT_EQ(FpcStandardError(4.0, 1, 100), inf);
+  EXPECT_EQ(FpcStandardError(0.0, 1, 100), inf);
+}
+
+TEST(FpcStandardErrorTest, CensusBeatsTinySampleRule) {
+  // Certainty is only claimed when the sample IS the population: n >= N
+  // is exactly 0 even for n < 2, and an empty population has nothing to
+  // estimate.
+  EXPECT_EQ(FpcStandardError(4.0, 1, 1), 0.0);
+  EXPECT_EQ(FpcStandardError(4.0, 3, 2), 0.0);
+  EXPECT_EQ(FpcStandardError(4.0, 0, 0), 0.0);
 }
 
 TEST(StratumVarianceTermTest, DecreasesWithSamples) {
@@ -83,6 +122,15 @@ TEST(StratumVarianceTermTest, DecreasesWithSamples) {
   double t2 = StratumVarianceTerm(2.0, 20, 500);
   EXPECT_GT(t1, t2);
   EXPECT_EQ(StratumVarianceTerm(2.0, 500, 500), 0.0);
+}
+
+TEST(StratumVarianceTermTest, TinyStratumSamplesAreMaximallyUncertain) {
+  // Same n < 2 semantics as FpcStandardError, per stratum.
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(StratumVarianceTerm(2.0, 0, 500), inf);
+  EXPECT_EQ(StratumVarianceTerm(2.0, 1, 500), inf);
+  EXPECT_EQ(StratumVarianceTerm(2.0, 1, 1), 0.0);  // census
+  EXPECT_EQ(StratumVarianceTerm(2.0, 0, 0), 0.0);  // empty stratum
 }
 
 TEST(StratumVarianceTermTest, ScalesWithPopulationSquared) {

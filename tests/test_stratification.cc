@@ -120,6 +120,71 @@ TEST(NeymanAllocationTest, OptimalAmongRandomAllocations) {
   }
 }
 
+TEST(NeymanAllocationTest, AllZeroVarianceSplitsEvenly) {
+  // weight_sum == 0 (all strata variance-free): the budget must still be
+  // spent, split evenly over the strata.
+  std::vector<double> N = {100.0, 100.0, 100.0};
+  std::vector<double> S = {0.0, 0.0, 0.0};
+  auto alloc = NeymanAllocation(N, S, 60.0, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(alloc[0], 20.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 20.0, 1e-9);
+  EXPECT_NEAR(alloc[2], 20.0, 1e-9);
+}
+
+TEST(NeymanAllocationTest, ZeroVarianceEvenSplitExcludesPinnedStrata) {
+  // Regression: with one stratum pinned at its lower bound and the rest
+  // variance-free, the even split used to divide `remaining` by L (all
+  // strata), leaking budget already committed to the pinned one — the
+  // unpinned strata then under-allocated and the total fell short of n.
+  std::vector<double> N = {100.0, 100.0, 100.0};
+  std::vector<double> S = {0.0, 0.0, 0.0};
+  auto alloc = NeymanAllocation(N, S, 90.0, {60.0, 0.0, 0.0});
+  EXPECT_NEAR(alloc[0], 60.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 15.0, 1e-9);
+  EXPECT_NEAR(alloc[2], 15.0, 1e-9);
+  EXPECT_NEAR(alloc[0] + alloc[1] + alloc[2], 90.0, 1e-9);
+}
+
+TEST(NeymanAllocationTest, SingleStratumGetsWholeBudget) {
+  // L == 1: the whole budget lands in the only stratum, capped at N.
+  auto alloc = NeymanAllocation({100.0}, {2.0}, 40.0, {0.0});
+  EXPECT_NEAR(alloc[0], 40.0, 1e-9);
+  auto capped = NeymanAllocation({100.0}, {2.0}, 400.0, {0.0});
+  EXPECT_NEAR(capped[0], 100.0, 1e-9);
+  auto zero_var = NeymanAllocation({100.0}, {0.0}, 40.0, {0.0});
+  EXPECT_NEAR(zero_var[0], 40.0, 1e-9);
+}
+
+TEST(NeymanAllocationTest, SingleQueryStratum) {
+  // A stratum with one population unit can hold at most one sample; the
+  // rest of the budget must flow to the other stratum.
+  std::vector<double> N = {1.0, 1000.0};
+  std::vector<double> S = {50.0, 1.0};
+  auto alloc = NeymanAllocation(N, S, 100.0, {0.0, 0.0});
+  EXPECT_LE(alloc[0], 1.0 + 1e-9);
+  EXPECT_NEAR(alloc[0] + alloc[1], 100.0, 1e-6);
+}
+
+TEST(NeymanAllocationTest, LowerBoundsExceedingBudgetStayClamped) {
+  // Sum of lower bounds above n drives `remaining` negative: every
+  // stratum pins at lo (capped at N) and nothing goes negative.
+  std::vector<double> N = {100.0, 100.0};
+  std::vector<double> S = {1.0, 1.0};
+  auto alloc = NeymanAllocation(N, S, 10.0, {30.0, 30.0});
+  EXPECT_NEAR(alloc[0], 30.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 30.0, 1e-9);
+}
+
+TEST(MinSamplesTest, TerminatesOnDegenerateStrata) {
+  // All-zero variance meets any positive target at the lower bound; a
+  // single-unit stratum must not stall the binary search.
+  EXPECT_EQ(MinSamplesForTargetVariance({100.0}, {0.0}, 1.0, {2.0}), 2u);
+  uint64_t n = MinSamplesForTargetVariance({1.0, 1000.0}, {0.0, 100.0}, 1e6,
+                                           {1.0, 2.0});
+  EXPECT_GE(n, 3u);
+  EXPECT_LE(n, 1001u);
+}
+
 TEST(StratifiedVarianceTest, ZeroAtFullSampling) {
   std::vector<double> N = {100.0, 200.0};
   std::vector<double> var = {5.0, 7.0};
