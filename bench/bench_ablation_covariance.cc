@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
     FixedBudgetOptions dopt;
     dopt.scheme = SamplingScheme::kDelta;
     const uint64_t n = 60;
-    double acc_i =
-        MonteCarloAccuracy(&src, truth, 2 * n, iopt, trials, 0xAB10000 + drop);
-    double acc_d =
-        MonteCarloAccuracy(&src, truth, n, dopt, trials, 0xAB20000 + drop);
+    double acc_i = MonteCarloAccuracy(&src, truth, 2 * n, iopt, trials,
+                                      TrialSeedBase(0xAB1, drop));
+    double acc_d = MonteCarloAccuracy(&src, truth, n, dopt, trials,
+                                      TrialSeedBase(0xAB2, drop));
 
     PrintRow({StringFormat("base vs drop-%u", drop),
               StringFormat("%.2f", base.StructureOverlap(other)),

@@ -395,6 +395,12 @@ double MonteCarloAccuracy(MatrixCostSource* source, ConfigId truth,
                           const FixedBudgetOptions& options, int trials,
                           uint64_t seed_base) {
   obs::Stopwatch start;
+  // Seed audit: this is the single entry point where `seed_base + t`
+  // seeds are consumed, so the span claim here covers every accuracy
+  // harness. Identical re-claims (replaying the same experiment) pass;
+  // a partial overlap with another ensemble aborts.
+  ClaimTrialSeedSpan(seed_base, static_cast<uint64_t>(trials),
+                     "MonteCarloAccuracy");
   // Each trial is an independent selection with its own Rng seeded
   // `seed_base + t` — the same derivation as the serial loop — and writes
   // only its own slot, so the accuracy is bit-identical at every thread

@@ -71,8 +71,9 @@ int main(int argc, char** argv) {
       // Equal optimizer-call budgets: Delta evaluates each sampled query
       // in both configurations, Independent spreads draws across them.
       uint64_t budget = s.scheme == SamplingScheme::kDelta ? n : 2 * n;
-      double acc = MonteCarloAccuracy(&src, truth, budget, opt, trials,
-                                      0xF160000 + n);
+      double acc =
+          MonteCarloAccuracy(&src, truth, budget, opt, trials,
+                             TrialSeedBase(0xF1, static_cast<uint32_t>(n)));
       row.push_back(StringFormat("%.3f", acc));
     }
     PrintRow(row, widths);

@@ -59,8 +59,9 @@ int main(int argc, char** argv) {
       opt.allocation = v.allocation;
       opt.stratify = true;
       uint64_t budget = v.scheme == SamplingScheme::kDelta ? n : 2 * n;
-      double acc = MonteCarloAccuracy(&src, truth, budget, opt, trials,
-                                      0xF260000 + n);
+      double acc =
+          MonteCarloAccuracy(&src, truth, budget, opt, trials,
+                             TrialSeedBase(0xF2, static_cast<uint32_t>(n)));
       row.push_back(StringFormat("%.3f", acc));
     }
     PrintRow(row, widths);

@@ -67,8 +67,9 @@ int main(int argc, char** argv) {
       opt.allocation = AllocationPolicy::kVarianceGuided;
       opt.stratify = s.stratify;
       uint64_t budget = s.scheme == SamplingScheme::kDelta ? n : 2 * n;
-      double acc = MonteCarloAccuracy(&src, truth, budget, opt, trials,
-                                      0xF360000 + n);
+      double acc =
+          MonteCarloAccuracy(&src, truth, budget, opt, trials,
+                             TrialSeedBase(0xF3, static_cast<uint32_t>(n)));
       row.push_back(StringFormat("%.3f", acc));
     }
     PrintRow(row, widths);

@@ -65,8 +65,9 @@ int main(int argc, char** argv) {
       opt.allocation = AllocationPolicy::kVarianceGuided;
       opt.stratify = s.stratify;
       uint64_t budget = s.scheme == SamplingScheme::kDelta ? n : 2 * n;
-      double acc = MonteCarloAccuracy(&src, truth, budget, opt, trials,
-                                      0xF460000 + n);
+      double acc =
+          MonteCarloAccuracy(&src, truth, budget, opt, trials,
+                             TrialSeedBase(0xF4, static_cast<uint32_t>(n)));
       row.push_back(StringFormat("%.3f", acc));
     }
     PrintRow(row, widths);

@@ -22,6 +22,18 @@
 
 namespace pdx::bench {
 
+/// Per-(experiment seed, k, method) trial seed base. SplitMix64-mixing
+/// scatters the three method streams of every k across the 64-bit seed
+/// space instead of packing them `1000003 * k` apart, where large trial
+/// counts could walk one stream into the next; the span claims in
+/// RunMultiConfigExperiment turn any residual collision into an abort.
+inline uint64_t MultiTrialSeedBase(uint64_t seed, uint32_t k,
+                                   uint32_t method) {
+  SplitMix64 mix(seed ^ (static_cast<uint64_t>(k) << 32) ^ method);
+  mix.Next();
+  return mix.Next();
+}
+
 /// Forwards Cost() to a shared matrix while counting calls locally, so
 /// concurrent trials each get exact per-trial call accounting (the shared
 /// matrix's own counter only provides a global total).
@@ -95,6 +107,13 @@ inline void RunMultiConfigExperiment(
     }
     if (runner_up > 1e299) runner_up = best_total;
 
+    const uint64_t base_algo1 = MultiTrialSeedBase(seed, k, 1);
+    const uint64_t base_uniform = MultiTrialSeedBase(seed, k, 2);
+    const uint64_t base_equal = MultiTrialSeedBase(seed, k, 3);
+    ClaimTrialSeedSpan(base_algo1, trials, "bench_multi:algo1");
+    ClaimTrialSeedSpan(base_uniform, trials, "bench_multi:uniform");
+    ClaimTrialSeedSpan(base_equal, trials, "bench_multi:equal");
+
     std::vector<TrialResult> results(trials);
     GlobalThreadPool().ParallelFor(
         0, static_cast<size_t>(trials), /*chunk=*/0,
@@ -114,7 +133,7 @@ inline void RunMultiConfigExperiment(
             // never perturbs the run, so trial 0 stays bit-identical to
             // its untraced siblings.
             if (t == 0) sopt.trace = trace;
-            Rng rng1(seed + 1000003ull * k + t);
+            Rng rng1(base_algo1 + t);
             TrialCountingSource trial_src(&src);
             ConfigurationSelector selector(&trial_src, sopt);
             SelectionResult r = selector.Run(&rng1);
@@ -127,7 +146,7 @@ inline void RunMultiConfigExperiment(
             FixedBudgetOptions uopt;
             uopt.scheme = SamplingScheme::kDelta;
             uopt.allocation = AllocationPolicy::kUniform;
-            Rng rng2(seed + 2000003ull * k + t);
+            Rng rng2(base_uniform + t);
             FixedBudgetResult u =
                 FixedBudgetSelect(&trial_src, r.queries_sampled, uopt, &rng2);
             out.delta2 = (totals[u.best] - best_total) / best_total;
@@ -135,7 +154,7 @@ inline void RunMultiConfigExperiment(
             FixedBudgetOptions eopt2;
             eopt2.scheme = SamplingScheme::kDelta;
             eopt2.allocation = AllocationPolicy::kEqualPerTemplate;
-            Rng rng3(seed + 3000003ull * k + t);
+            Rng rng3(base_equal + t);
             FixedBudgetResult e =
                 FixedBudgetSelect(&trial_src, r.queries_sampled, eopt2, &rng3);
             out.delta3 = (totals[e.best] - best_total) / best_total;

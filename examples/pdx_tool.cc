@@ -40,6 +40,9 @@
 #include "optimizer/serialization.h"
 #include "tuner/enumerator.h"
 #include "tuner/greedy_tuner.h"
+#include "validation/calibration.h"
+#include "validation/golden.h"
+#include "validation/property.h"
 #include "workload/tpcd_qgen.h"
 
 using namespace pdx;
@@ -210,6 +213,7 @@ int Usage() {
       "                   [--metrics[=csv]]\n"
       "  pdx_tool report  --trace=PATH\n"
       "  pdx_tool show    --dir=DIR\n"
+      "  pdx_tool validate [--quick|--full] [--regen-golden] [--csv=PATH]\n"
       "\n"
       "  --threads=N applies to every command (default: PDX_THREADS or all\n"
       "  hardware threads). compare memoizes what-if calls per --cache:\n"
@@ -231,8 +235,111 @@ int Usage() {
       "  degradation of exhausted cells to Section-6 cost bounds (widening\n"
       "  the reported standard errors, never treating a bound as exact).\n"
       "  Incompatible with --cache=signature, whose shared optimizer calls\n"
-      "  bypass the injection point.\n");
+      "  bypass the injection point.\n"
+      "\n"
+      "  validate runs the statistical conformance harness: the seeded\n"
+      "  property sweep, the closed-form estimator/interval checks, the\n"
+      "  Monte-Carlo Pr(CS) calibration grid with Clopper-Pearson gates,\n"
+      "  and the golden-trace regression. --quick (the default) runs the\n"
+      "  4-cell grid; --full runs the 24-cell scheme x stratification x\n"
+      "  cache x fault grid. Output is deterministic: byte-identical across\n"
+      "  runs and thread counts. --csv=PATH additionally writes the grid as\n"
+      "  CSV (the scheduled-CI artifact); --regen-golden rewrites the\n"
+      "  golden files under tests/golden (or $PDX_GOLDEN_DIR) instead of\n"
+      "  validating.\n");
   return 2;
+}
+
+int RunValidate(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "full");
+  const bool quick = HasFlag(argc, argv, "quick");
+  if (full && quick) {
+    std::printf("error: --quick and --full are mutually exclusive\n");
+    return 1;
+  }
+
+  if (HasFlag(argc, argv, "regen-golden")) {
+    Status st = RegenerateGoldens();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("regenerated %zu golden cases under %s\n",
+                GoldenCaseNames().size(), GoldenDir().c_str());
+    return 0;
+  }
+
+  bool ok = true;
+
+  // 1. Property sweep. --quick trades instance count for latency; the
+  // tier-1 ctest target (test_property) always runs the full 200.
+  PropertyOptions popt;
+  popt.iterations = full ? 200 : 60;
+  popt = PropertyOptionsFromEnv(popt);
+  std::printf("[properties] %llu instances per invariant, seed base 0x%llx\n",
+              static_cast<unsigned long long>(popt.iterations),
+              static_cast<unsigned long long>(popt.seed_base));
+  for (const PropertyRunResult& r : RunAllMatrixProperties(popt)) {
+    if (r.passed) {
+      std::printf("  PASS %s\n", r.name.c_str());
+    } else {
+      ok = false;
+      std::printf("  FAIL %s: %s\n       shrunk (%u steps): %s\n       %s\n",
+                  r.name.c_str(), r.message.c_str(), r.shrink_steps,
+                  r.shrunk_instance.c_str(), r.repro.c_str());
+    }
+  }
+
+  // 2. Closed-form conformance checks (analytic answers, no ensembles).
+  std::printf("[closed-form]\n");
+  for (const ConformanceCheck& c : RunClosedFormChecks()) {
+    if (c.passed) {
+      std::printf("  PASS %s\n", c.name.c_str());
+    } else {
+      ok = false;
+      std::printf("  FAIL %s: %s\n", c.name.c_str(), c.detail.c_str());
+    }
+  }
+
+  // 3. Monte-Carlo calibration grid with Clopper-Pearson gates.
+  CalibrationOptions copt;
+  std::vector<CalibrationCellSpec> grid =
+      full ? FullCalibrationGrid() : QuickCalibrationGrid();
+  std::printf("[calibration] %zu cells, %llu trials each, alpha=%.2f, "
+              "gate confidence %.2f\n",
+              grid.size(), static_cast<unsigned long long>(copt.trials),
+              copt.alpha, copt.gate_confidence);
+  std::vector<CalibrationCellResult> cells = RunCalibrationGrid(grid, copt);
+  std::printf("%s", FormatCalibrationTable(cells).c_str());
+  for (const CalibrationCellResult& c : cells) ok = ok && c.passed;
+  std::string csv_path = FlagValue(argc, argv, "csv", "");
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::printf("error: cannot open '%s' for writing\n", csv_path.c_str());
+      return 1;
+    }
+    std::string csv = CalibrationGridCsv(cells);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("grid CSV written to %s\n", csv_path.c_str());
+  }
+
+  // 4. Golden-trace regression.
+  std::printf("[golden] dir %s\n", GoldenDir().c_str());
+  for (const GoldenOutcome& g : CompareAllGoldenCases()) {
+    if (g.passed) {
+      std::printf("  PASS %s\n", g.name.c_str());
+    } else {
+      ok = false;
+      std::printf("  FAIL %s: %s\n       (intended change? regenerate with "
+                  "pdx_tool validate --regen-golden)\n",
+                  g.name.c_str(), g.detail.c_str());
+    }
+  }
+
+  std::printf("validate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 std::string SchemaPath(const std::string& dir) { return dir + "/schema.pdx"; }
@@ -674,5 +781,6 @@ int main(int argc, char** argv) {
   if (command == "tune") return RunTune(argc, argv);
   if (command == "report") return RunReport(argc, argv);
   if (command == "show") return RunShow(argc, argv);
+  if (command == "validate") return RunValidate(argc, argv);
   return Usage();
 }

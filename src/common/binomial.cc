@@ -1,0 +1,174 @@
+#include "common/binomial.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/normal.h"
+
+namespace pdx {
+
+double LogChoose(uint64_t n, uint64_t k) {
+  PDX_CHECK(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Lentz's method,
+/// Numerical Recipes betacf). Converges quickly for x < (a+1)/(a+b+2).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-16;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  PDX_CHECK(a > 0.0 && b > 0.0);
+  PDX_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the
+  // fast-converging region of the continued fraction.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double BetaQuantile(double p, double a, double b) {
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Bisection: monotone, branch-free to reason about, and fast enough for
+  // the gate (one inversion per calibration cell). ~60 iterations reach
+  // full double precision on [0, 1].
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (RegularizedIncompleteBeta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double BinomialPmf(uint64_t n, uint64_t k, double p) {
+  PDX_CHECK(k <= n);
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogChoose(n, k) + static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialTailGeq(uint64_t n, uint64_t k, double p) {
+  PDX_CHECK(k <= n);
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  if (k == 0) return 1.0;
+  // P(X >= k) = I_p(k, n - k + 1).
+  return RegularizedIncompleteBeta(static_cast<double>(k),
+                                   static_cast<double>(n - k) + 1.0, p);
+}
+
+double BinomialCdf(uint64_t n, uint64_t k, double p) {
+  PDX_CHECK(p >= 0.0 && p <= 1.0);
+  if (k >= n) return 1.0;
+  return 1.0 - BinomialTailGeq(n, k + 1, p);
+}
+
+double ClopperPearsonLower(uint64_t successes, uint64_t trials,
+                           double confidence) {
+  PDX_CHECK(successes <= trials);
+  PDX_CHECK(trials > 0);
+  PDX_CHECK(confidence > 0.0 && confidence < 1.0);
+  if (successes == 0) return 0.0;
+  // p_L solves P(X >= s | p_L) = 1 - confidence, i.e.
+  // I_{p_L}(s, n - s + 1) = 1 - confidence.
+  return BetaQuantile(1.0 - confidence, static_cast<double>(successes),
+                      static_cast<double>(trials - successes) + 1.0);
+}
+
+double ClopperPearsonUpper(uint64_t successes, uint64_t trials,
+                           double confidence) {
+  PDX_CHECK(successes <= trials);
+  PDX_CHECK(trials > 0);
+  PDX_CHECK(confidence > 0.0 && confidence < 1.0);
+  if (successes == trials) return 1.0;
+  // p_U solves P(X <= s | p_U) = 1 - confidence, i.e.
+  // I_{p_U}(s + 1, n - s) = confidence.
+  return BetaQuantile(confidence, static_cast<double>(successes) + 1.0,
+                      static_cast<double>(trials - successes));
+}
+
+namespace {
+
+double WilsonBound(uint64_t successes, uint64_t trials, double confidence,
+                   bool upper) {
+  PDX_CHECK(successes <= trials);
+  PDX_CHECK(trials > 0);
+  PDX_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z = NormalQuantile(confidence);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  const double bound = upper ? center + half : center - half;
+  return bound < 0.0 ? 0.0 : (bound > 1.0 ? 1.0 : bound);
+}
+
+}  // namespace
+
+double WilsonLower(uint64_t successes, uint64_t trials, double confidence) {
+  return WilsonBound(successes, trials, confidence, /*upper=*/false);
+}
+
+double WilsonUpper(uint64_t successes, uint64_t trials, double confidence) {
+  return WilsonBound(successes, trials, confidence, /*upper=*/true);
+}
+
+}  // namespace pdx

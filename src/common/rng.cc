@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
 #include <unordered_set>
 
 namespace pdx {
@@ -126,5 +130,90 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 }
 
 Rng Rng::Split() { return Rng(NextUint64()); }
+
+namespace {
+
+struct SeedSpan {
+  uint64_t length = 0;
+  std::string owner;
+};
+
+struct SeedSpanRegistry {
+  std::mutex mu;
+  // Keyed by span start; spans are non-overlapping by construction.
+  std::map<uint64_t, SeedSpan> spans;
+};
+
+SeedSpanRegistry& GlobalSeedSpanRegistry() {
+  static SeedSpanRegistry* registry = new SeedSpanRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+uint64_t TrialSeedBase(uint32_t bench_id, uint32_t cell) {
+  PDX_CHECK_MSG(bench_id <= 0x7FFF, "bench_id exceeds 15-bit partition");
+  PDX_CHECK_MSG(cell <= 0xFFFFFF, "cell exceeds 24-bit partition");
+  return (1ull << 63) | (static_cast<uint64_t>(bench_id) << 48) |
+         (static_cast<uint64_t>(cell) << 24);
+}
+
+bool TryClaimTrialSeedSpan(uint64_t seed_base, uint64_t trials,
+                           const char* owner) {
+  PDX_CHECK(trials > 0);
+  PDX_CHECK_MSG(seed_base <= UINT64_MAX - (trials - 1),
+                "seed span wraps past 2^64");
+  PDX_CHECK(owner != nullptr);
+  SeedSpanRegistry& reg = GlobalSeedSpanRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // First span at or after seed_base, then step back one to check the
+  // predecessor for overlap from the left.
+  auto it = reg.spans.lower_bound(seed_base);
+  if (it != reg.spans.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + (prev->second.length - 1) >= seed_base) {
+      // Identical re-claim is deterministic replay; allow it.
+      if (prev->first == seed_base && prev->second.length == trials) {
+        return true;
+      }
+      std::fprintf(stderr,
+                   "seed span collision: [%llu, +%llu) (%s) overlaps "
+                   "[%llu, +%llu) (%s)\n",
+                   (unsigned long long)seed_base, (unsigned long long)trials,
+                   owner, (unsigned long long)prev->first,
+                   (unsigned long long)prev->second.length,
+                   prev->second.owner.c_str());
+      return false;
+    }
+  }
+  if (it != reg.spans.end() && it->first <= seed_base + (trials - 1)) {
+    if (it->first == seed_base && it->second.length == trials) {
+      return true;
+    }
+    std::fprintf(stderr,
+                 "seed span collision: [%llu, +%llu) (%s) overlaps "
+                 "[%llu, +%llu) (%s)\n",
+                 (unsigned long long)seed_base, (unsigned long long)trials,
+                 owner, (unsigned long long)it->first,
+                 (unsigned long long)it->second.length,
+                 it->second.owner.c_str());
+    return false;
+  }
+  reg.spans.emplace(seed_base, SeedSpan{trials, owner});
+  return true;
+}
+
+void ClaimTrialSeedSpan(uint64_t seed_base, uint64_t trials,
+                        const char* owner) {
+  PDX_CHECK_MSG(TryClaimTrialSeedSpan(seed_base, trials, owner),
+                "trial seed span collides with a previously claimed span; "
+                "partition bases via TrialSeedBase()");
+}
+
+void ResetClaimedTrialSeedSpansForTests() {
+  SeedSpanRegistry& reg = GlobalSeedSpanRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.spans.clear();
+}
 
 }  // namespace pdx

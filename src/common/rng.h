@@ -82,4 +82,35 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+// --- Trial seed-space partitioning -----------------------------------------
+//
+// Monte-Carlo harnesses seed trial t of an ensemble with `seed_base + t`.
+// Two ensembles whose bases differ by less than their trial counts silently
+// share trial seeds — correlated "independent" cells, the exact bug class the
+// seed audit exists to catch. The registry below is the single enforcement
+// point: every harness claims its [seed_base, seed_base + trials) span before
+// running. Claiming the identical span twice is allowed (deterministic
+// replay of the same experiment is a feature); a *partial* overlap aborts.
+
+/// Canonical partitioned seed base for bench/calibration harnesses:
+/// bit 63 set (clear of hand-picked test seeds), `bench_id` in bits 48..62,
+/// `cell` in bits 24..47. Leaves 2^24 (~16.7M) trial seeds per cell.
+uint64_t TrialSeedBase(uint32_t bench_id, uint32_t cell);
+
+/// Claims [seed_base, seed_base + trials) in the process-wide registry.
+/// Returns false if the span partially overlaps a previously claimed span
+/// (identical re-claims return true). `trials` must be > 0 and must not
+/// wrap past 2^64.
+bool TryClaimTrialSeedSpan(uint64_t seed_base, uint64_t trials,
+                           const char* owner);
+
+/// PDX_CHECK-aborting wrapper around TryClaimTrialSeedSpan, printing both
+/// owners on collision. Call this at every Monte-Carlo entry point.
+void ClaimTrialSeedSpan(uint64_t seed_base, uint64_t trials,
+                        const char* owner);
+
+/// Clears the registry. Test-only: lets one process exercise the collision
+/// paths repeatedly.
+void ResetClaimedTrialSeedSpansForTests();
+
 }  // namespace pdx

@@ -258,18 +258,24 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
   std::string line;
   char buf[4096];
   int line_no = 0;
-  bool at_line_start = true;
   while (std::fgets(buf, sizeof(buf), f) != nullptr) {
     line.append(buf);
     if (line.empty() || line.back() != '\n') {
-      at_line_start = false;
       continue;  // long line: keep accumulating
     }
-    (void)at_line_start;
     ++line_no;
     line.pop_back();
     if (line.empty()) {
       continue;
+    }
+    // Malformed (torn write, disk corruption) is an error, distinct from
+    // an *unknown event*, which is skipped below: every line the sink
+    // writes is one complete {...} object carrying an "ev" discriminator.
+    if (line.front() != '{' || line.back() != '}') {
+      std::fclose(f);
+      return Status::InvalidArgument(StringFormat(
+          "%s:%d: malformed trace line (not a complete JSON object)",
+          path.c_str(), line_no));
     }
     std::string ev;
     if (!GetString(line, "\"ev\":", &ev)) {
@@ -348,8 +354,20 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
     // Unknown event types are skipped (forward compatibility).
     line.clear();
   }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  if (line_no == 0 && line.empty()) {
+  if (read_error) {
+    return Status::IOError("read error on trace file '" + path + "'");
+  }
+  if (!line.empty()) {
+    // A trailing fragment without its newline is a truncated write (the
+    // sink always ends lines with '\n'); dropping it silently used to
+    // make a cut-off file parse as a shorter-but-valid trace.
+    return Status::InvalidArgument(StringFormat(
+        "%s:%d: truncated trace line (missing trailing newline)",
+        path.c_str(), line_no + 1));
+  }
+  if (line_no == 0) {
     return Status::InvalidArgument("trace file '" + path + "' is empty");
   }
   return report;

@@ -231,9 +231,11 @@ struct TraceReport {
   uint64_t whatif_degraded = 0;
 };
 
-/// Parses a JSONL trace written by JsonlTraceSink. Fails on unreadable
-/// files or lines missing the "ev" discriminator; unknown event types are
-/// skipped (forward compatibility).
+/// Parses a JSONL trace written by JsonlTraceSink. Fails (with the line
+/// number) on unreadable files, malformed lines — torn/truncated JSON
+/// objects, a trailing fragment missing its newline, a line without the
+/// "ev" discriminator — while *unknown* event types (a complete object
+/// with an unrecognized "ev") are skipped for forward compatibility.
 Result<TraceReport> ReadTraceReport(const std::string& path);
 
 }  // namespace pdx

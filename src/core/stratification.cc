@@ -99,49 +99,67 @@ std::vector<double> NeymanAllocation(const std::vector<double>& populations,
   const size_t L = populations.size();
   PDX_CHECK(stddevs.size() == L && lo.size() == L);
   std::vector<double> alloc(L, 0.0);
-  // free[i]: stratum still allocated proportionally (not pinned at a bound).
   std::vector<bool> pinned(L, false);
-  double remaining = n;
-
-  for (size_t iter = 0; iter <= L; ++iter) {
-    double weight_sum = 0.0;
-    size_t unpinned = 0;
-    for (size_t h = 0; h < L; ++h) {
-      if (!pinned[h]) {
-        weight_sum += populations[h] * std::max(0.0, stddevs[h]);
-        ++unpinned;
+  auto weight = [&](size_t h) {
+    return populations[h] * std::max(0.0, stddevs[h]);
+  };
+  // One proportional pass over the unpinned strata: `remaining` is
+  // recomputed from the pinned total each time. The historical version
+  // decremented `remaining` mid-pass against a stale weight sum and could
+  // over-commit the budget — caught by the neyman_allocation_feasible
+  // property (generator seed 0x5eed0018: four strata where pinning the
+  // largest at its population starved the lower bounds of the rest, total
+  // 10 against a budget of 9.81).
+  //
+  // `violation` pins a stratum when its share crosses the given bound:
+  // phase 1 pins scarcity (share < lo, pinned at lo), phase 2 pins
+  // abundance (share > population, pinned at the population). Scarcity
+  // must fully settle first: a lower-bound pin shrinks every other share,
+  // so deciding population caps before all lo pins are known is what made
+  // the old single-pass loop unsound. Cap pins in phase 2 only ever
+  // *raise* the surviving shares, so they can never re-introduce a
+  // lower-bound violation.
+  auto distribute = [&](bool scarcity_phase) {
+    for (size_t iter = 0; iter <= L; ++iter) {
+      double remaining = n;
+      double weight_sum = 0.0;
+      size_t open = 0;
+      for (size_t h = 0; h < L; ++h) {
+        if (pinned[h]) {
+          remaining -= alloc[h];
+        } else {
+          weight_sum += weight(h);
+          ++open;
+        }
       }
-    }
-    if (unpinned == 0) break;
-    bool changed = false;
-    for (size_t h = 0; h < L; ++h) {
-      if (pinned[h]) continue;
-      // Zero-variance strata (weight_sum == 0) split the remainder evenly
-      // over the strata still unpinned — dividing by L here would leak
-      // budget already committed to pinned strata. A remainder driven
-      // negative by lower bounds pins everything at lo, which the final
-      // clamp also guarantees.
-      double share =
-          weight_sum > 0.0
-              ? remaining * (populations[h] * std::max(0.0, stddevs[h])) /
-                    weight_sum
-              : std::max(0.0, remaining) / static_cast<double>(unpinned);
-      if (share < lo[h]) {
-        alloc[h] = std::min(lo[h], populations[h]);
-        pinned[h] = true;
-        remaining -= alloc[h];
-        changed = true;
-      } else if (share > populations[h]) {
-        alloc[h] = populations[h];
-        pinned[h] = true;
-        remaining -= alloc[h];
-        changed = true;
-      } else {
-        alloc[h] = share;
+      if (open == 0) return;
+      bool changed = false;
+      for (size_t h = 0; h < L; ++h) {
+        if (pinned[h]) continue;
+        // Zero-variance strata (weight_sum == 0) split the remainder
+        // evenly over the strata still open. A remainder driven negative
+        // by lower bounds pins everything at lo via the scarcity phase.
+        double share =
+            weight_sum > 0.0
+                ? remaining * weight(h) / weight_sum
+                : std::max(0.0, remaining) / static_cast<double>(open);
+        if (scarcity_phase && share < lo[h]) {
+          alloc[h] = std::min(lo[h], populations[h]);
+          pinned[h] = true;
+          changed = true;
+        } else if (!scarcity_phase && share > populations[h]) {
+          alloc[h] = populations[h];
+          pinned[h] = true;
+          changed = true;
+        } else if (!scarcity_phase) {
+          alloc[h] = share;
+        }
       }
+      if (!changed) return;
     }
-    if (!changed) break;
-  }
+  };
+  distribute(/*scarcity_phase=*/true);
+  distribute(/*scarcity_phase=*/false);
   for (size_t h = 0; h < L; ++h) {
     alloc[h] = std::clamp(alloc[h], std::min(lo[h], populations[h]),
                           populations[h]);

@@ -1,0 +1,141 @@
+// Copyright (c) the pdexplore authors.
+// Monte-Carlo calibration of the Pr(CS) >= alpha guarantee (ISSUE 5).
+// Algorithm 1 claims that when it stops with reached_target, the selected
+// configuration is the cheapest (within sensitivity delta) with
+// probability at least alpha. Computing that number is not the same as it
+// being true: estimators, stratification, caching tiers and fault
+// degradation all feed the same bound, and any of them can silently break
+// it. The calibration engine replays the selector over an ensemble of
+// independently seeded trials against exact ground truth (the full cost
+// matrix) and gates the empirical success fraction with a one-sided
+// Clopper-Pearson interval, so the gate's own false-alarm rate is
+// quantified: a cell fails only when the data proves — at the gate
+// confidence — that the true P(correct) is below alpha.
+//
+// Cells span estimator scheme x stratification x what-if cache tier x
+// fault level. The signature cache tier is deliberately absent: it
+// requires a live optimizer (costs keyed by relevant-structure signature),
+// and its bit-identity to the uncached source is certified separately by
+// the property framework and test_signature_cache — bit-identical costs
+// cannot change calibration.
+//
+// Trial t of a cell is seeded TrialSeedBase(kCalibrationBenchId, cell)+t;
+// the span is claimed in the process-wide seed registry (common/rng.h), so
+// calibration trials can never silently share seeds with a bench ensemble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_source.h"
+#include "core/selector.h"
+
+namespace pdx {
+
+/// The seed-partition bench id of the calibration engine (see
+/// TrialSeedBase in common/rng.h and the partition table in DESIGN.md).
+inline constexpr uint32_t kCalibrationBenchId = 0x7C;
+
+/// One cell of the calibration grid.
+struct CalibrationCellSpec {
+  SamplingScheme scheme = SamplingScheme::kDelta;
+  bool stratify = true;
+  /// kOff or kExact (see the header comment for why not kSignature).
+  WhatIfCacheMode cache = WhatIfCacheMode::kOff;
+  /// Fault level: p_fail = p_slow = fault_rate on every what-if call,
+  /// executed under the default retry policy with bound degradation.
+  double fault_rate = 0.0;
+
+  /// "delta/strat/exact/f0.05"-style stable cell name.
+  std::string Name() const;
+};
+
+/// Grid-wide knobs.
+struct CalibrationOptions {
+  /// The guarantee under test.
+  double alpha = 0.9;
+  /// Sensitivity as a fraction of the best configuration's total cost.
+  double relative_delta = 0.01;
+  /// Trials per cell.
+  uint64_t trials = 200;
+  /// One-sided confidence of the Clopper-Pearson gate: a cell fails only
+  /// when the CP upper bound on P(correct) is below alpha, a false alarm
+  /// with probability <= 1 - gate_confidence per cell when the true
+  /// probability equals alpha.
+  double gate_confidence = 0.99;
+  /// Seed of the shared ground-truth ensemble instance.
+  uint64_t ensemble_seed = 0x0CA11B8ull;
+  /// Ground-truth instance dimensions.
+  size_t num_queries = 400;
+  size_t num_configs = 4;
+  size_t num_templates = 12;
+  /// Relative total-cost gap between the best and second-best config.
+  double gap = 0.05;
+};
+
+/// Ensemble outcome of one cell.
+struct CalibrationCellResult {
+  CalibrationCellSpec spec;
+  uint64_t trials = 0;
+  /// Trials whose selected configuration was within delta of the optimum.
+  uint64_t successes = 0;
+  /// Trials that stopped claiming Pr(CS) >= alpha (the guarantee applies
+  /// to these; non-reached trials terminated on an exhausted sample space
+  /// and their estimates are exact).
+  uint64_t reached = 0;
+  /// Trials that consumed at least one bound-degraded cell.
+  uint64_t degraded_trials = 0;
+  double alpha = 0.0;
+  double empirical = 0.0;
+  /// One-sided bounds on the true P(correct) at gate_confidence.
+  double cp_lower = 0.0;
+  double cp_upper = 0.0;
+  double wilson_lower = 0.0;
+  bool passed = false;
+};
+
+/// The tier-1 grid: both schemes x stratification, no faults, cache off —
+/// 4 cells, fast enough for `pdx_tool validate --quick`.
+std::vector<CalibrationCellSpec> QuickCalibrationGrid();
+
+/// The scheduled-CI grid: scheme x stratification x {off, exact} cache x
+/// {0, 0.05, 0.15} fault levels — 24 cells.
+std::vector<CalibrationCellSpec> FullCalibrationGrid();
+
+/// Runs one cell. `cell_index` selects the cell's trial-seed span within
+/// the calibration partition; distinct cells MUST pass distinct indices.
+/// Deterministic and bit-identical at every thread count (each trial has
+/// its own seed and result slot).
+CalibrationCellResult CalibrateCell(const CalibrationCellSpec& spec,
+                                    const CalibrationOptions& options,
+                                    uint32_t cell_index);
+
+/// Runs every cell of `grid` with cell_index = position.
+std::vector<CalibrationCellResult> RunCalibrationGrid(
+    const std::vector<CalibrationCellSpec>& grid,
+    const CalibrationOptions& options);
+
+/// CSV rendering of grid results (header + one row per cell), the
+/// scheduled-CI artifact format.
+std::string CalibrationGridCsv(const std::vector<CalibrationCellResult>& r);
+
+/// Fixed-width human-readable table, deterministic (no timings).
+std::string FormatCalibrationTable(const std::vector<CalibrationCellResult>& r);
+
+// ---------------------------------------------------------------------------
+// Closed-form conformance checks: properties with analytic answers, not
+// ensembles — estimator unbiasedness/variance on a known matrix, SE
+// formulas vs closed form, Bonferroni arithmetic, binomial-interval
+// self-consistency. Deterministic, no tolerance for sampling noise beyond
+// the stated bounds.
+
+struct ConformanceCheck {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+std::vector<ConformanceCheck> RunClosedFormChecks();
+
+}  // namespace pdx

@@ -1,0 +1,59 @@
+// Copyright (c) the pdexplore authors.
+// Golden-trace regression (ISSUE 5): canonical seeded selection runs
+// serialize their JSONL trace plus a final result-summary line; a
+// normalizing comparator diffs the produced text against checked-in
+// goldens under tests/golden/. Because every selection run is
+// deterministic (seeded sampling, thread-count-independent, tracing
+// perturbs nothing), any diff is a behavior change — intended changes are
+// absorbed with the one-command regeneration path:
+//
+//   ./examples/pdx_tool validate --regen-golden      (or)
+//   PDX_GOLDEN_DIR=tests/golden ./examples/pdx_tool validate --regen-golden
+//
+// The comparator normalizes both sides before diffing: every JSON number
+// is re-rendered through strtod -> %.17g, so formatting-only differences
+// (trailing zeros, exponent casing) can never fail the gate while any
+// last-ulp value change still does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdx {
+
+/// Directory holding the golden files: $PDX_GOLDEN_DIR when set, else the
+/// compile-time default (the source tree's tests/golden).
+std::string GoldenDir();
+
+/// Names of the canonical runs, in a fixed order.
+std::vector<std::string> GoldenCaseNames();
+
+/// Executes the named canonical run and returns its normalized trace +
+/// summary text. Aborts on an unknown name.
+std::string ProduceGoldenContent(const std::string& name);
+
+/// Rewrites every JSON number in `raw` through strtod -> %.17g (string
+/// contents untouched) and normalizes line endings. Idempotent.
+std::string NormalizeTraceText(const std::string& raw);
+
+/// Outcome of one golden comparison.
+struct GoldenOutcome {
+  std::string name;
+  bool passed = false;
+  /// On mismatch: the first differing line (1-based) with both sides, or
+  /// the I/O error.
+  std::string detail;
+};
+
+/// Produces the named case and diffs it against <GoldenDir()>/<name>.jsonl.
+GoldenOutcome CompareGoldenCase(const std::string& name);
+
+/// Runs every case.
+std::vector<GoldenOutcome> CompareAllGoldenCases();
+
+/// Regenerates <GoldenDir()>/<name>.jsonl for every case.
+Status RegenerateGoldens();
+
+}  // namespace pdx

@@ -1,0 +1,203 @@
+// Promoted counterexamples (ISSUE 5 satellite): shrunk instances the
+// property harness produced, pinned as named deterministic regression
+// tests. Each test regenerates the instance from its cited generator seed
+// (reproducible standalone via
+//   PDX_PROPERTY_SEED=0x<seed> PDX_PROPERTY_ITERS=1
+//       ./tests/test_property --gtest_filter='*<property>*'
+// ), shows the historical defect — reconstructed inline as a mutant —
+// still fails on it, and shows the production code satisfies the
+// invariant. If a future change re-introduces the defect, the builtin
+// property fails with this exact seed in its repro command.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pr_cs.h"
+#include "core/stratification.h"
+#include "validation/property.h"
+
+namespace pdx {
+namespace {
+
+const PropertyDef& PropertyByName(const std::string& name) {
+  for (const PropertyDef& def : BuiltinMatrixProperties()) {
+    if (def.name == name) return def;
+  }
+  ADD_FAILURE() << "no builtin property named " << name;
+  static PropertyDef missing;
+  return missing;
+}
+
+// The NeymanAllocation inputs exactly as the neyman_allocation_feasible
+// property derives them from an instance.
+struct NeymanInputs {
+  std::vector<double> pops, sds, lo;
+  double n = 0.0;
+  double budget_lo = 0.0;
+};
+
+NeymanInputs DeriveNeymanInputs(const MatrixInstance& inst) {
+  NeymanInputs in;
+  Rng rng(inst.seed ^ 0x4E7);
+  const size_t strata = 1 + rng.NextBounded(inst.num_templates);
+  in.pops.resize(strata);
+  in.sds.resize(strata);
+  in.lo.resize(strata);
+  double total_pop = 0.0;
+  for (size_t h = 0; h < strata; ++h) {
+    in.pops[h] = static_cast<double>(rng.NextInt(1, 50));
+    in.sds[h] = rng.NextBounded(3) == 0 ? 0.0 : rng.NextDouble(0.1, 10.0);
+    in.lo[h] = std::min(in.pops[h], static_cast<double>(rng.NextInt(0, 4)));
+    total_pop += in.pops[h];
+  }
+  for (double v : in.lo) in.budget_lo += v;
+  in.n = rng.NextDouble(in.budget_lo, total_pop);
+  return in;
+}
+
+// The pre-fix single-pass NeymanAllocation: decrements `remaining`
+// mid-pass against a stale weight sum and decides population caps before
+// lower-bound scarcity has settled.
+std::vector<double> SinglePassNeymanMutant(
+    const std::vector<double>& populations,
+    const std::vector<double>& stddevs, double n,
+    const std::vector<double>& lo) {
+  const size_t L = populations.size();
+  std::vector<double> alloc(L, 0.0);
+  std::vector<bool> pinned(L, false);
+  double remaining = n;
+  for (size_t iter = 0; iter <= L; ++iter) {
+    double weight_sum = 0.0;
+    size_t unpinned = 0;
+    for (size_t h = 0; h < L; ++h) {
+      if (!pinned[h]) {
+        weight_sum += populations[h] * std::max(0.0, stddevs[h]);
+        ++unpinned;
+      }
+    }
+    if (unpinned == 0) break;
+    bool changed = false;
+    for (size_t h = 0; h < L; ++h) {
+      if (pinned[h]) continue;
+      double share =
+          weight_sum > 0.0
+              ? remaining * (populations[h] * std::max(0.0, stddevs[h])) /
+                    weight_sum
+              : std::max(0.0, remaining) / static_cast<double>(unpinned);
+      if (share < lo[h]) {
+        alloc[h] = std::min(lo[h], populations[h]);
+        pinned[h] = true;
+        remaining -= alloc[h];
+        changed = true;
+      } else if (share > populations[h]) {
+        alloc[h] = populations[h];
+        pinned[h] = true;
+        remaining -= alloc[h];
+        changed = true;
+      } else {
+        alloc[h] = share;
+      }
+    }
+    if (!changed) break;
+  }
+  for (size_t h = 0; h < L; ++h) {
+    alloc[h] = std::clamp(alloc[h], std::min(lo[h], populations[h]),
+                          populations[h]);
+  }
+  return alloc;
+}
+
+// Counterexample 1 — generator seed 0x5eed0018, property
+// neyman_allocation_feasible. Shrunk core: four strata, populations
+// {5, 2, 2, 2}, one zero-variance stratum, budget n = 9.8057. The
+// single-pass allocator pins the dominant stratum at its population
+// before the other strata's lower bounds are known and over-commits the
+// budget to 10.0; the two-phase rewrite stays feasible.
+TEST(PromotedCounterexampleTest, NeymanSinglePassOverCommitsSeed0x5eed0018) {
+  const MatrixInstance inst = GenerateMatrixInstance(0x5eed0018ull);
+  const NeymanInputs in = DeriveNeymanInputs(inst);
+  ASSERT_EQ(in.pops.size(), 4u);
+
+  const std::vector<double> bad =
+      SinglePassNeymanMutant(in.pops, in.sds, in.n, in.lo);
+  double bad_total = 0.0;
+  for (double a : bad) bad_total += a;
+  EXPECT_GT(bad_total, std::max(in.n, in.budget_lo) + 1e-6)
+      << "mutant no longer over-commits; counterexample is stale";
+
+  const std::vector<double> good =
+      NeymanAllocation(in.pops, in.sds, in.n, in.lo);
+  double good_total = 0.0;
+  for (size_t h = 0; h < good.size(); ++h) {
+    EXPECT_GE(good[h], in.lo[h] - 1e-6) << "stratum " << h;
+    EXPECT_LE(good[h], in.pops[h] + 1e-6) << "stratum " << h;
+    good_total += good[h];
+  }
+  EXPECT_LE(good_total, std::max(in.n, in.budget_lo) + 1e-6);
+
+  // And the registered property accepts the instance end-to-end.
+  EXPECT_EQ(PropertyByName("neyman_allocation_feasible").check(inst), "");
+}
+
+// Counterexample 2 — generator seed 0x5eed042e, property
+// bonferroni_dominance. Three near-tied pairwise comparisons where
+// combining per-pair Pr(CS) by *product* (treating the comparisons as
+// independent) certifies 0.8122 while the Fréchet/Bonferroni lower bound
+// is 0.8027: at any alpha between the two, the product mutant stops with
+// an unearned guarantee. Dominance (bound == clamp(1 - sum of misses))
+// is exactly what forbids the mutant.
+TEST(PromotedCounterexampleTest, BonferroniProductMutantSeed0x5eed042e) {
+  const MatrixInstance inst = GenerateMatrixInstance(0x5eed042eull);
+  Rng rng(inst.seed ^ 0xB0F);  // the property's derivation, verbatim
+  std::vector<double> pairwise;
+  for (size_t c = 1; c < inst.num_configs; ++c) {
+    const double gap = inst.TotalCost(c) - inst.TotalCost(0);
+    const double se = rng.NextDouble(1e-6, 2.0 * (std::fabs(gap) + 1.0));
+    pairwise.push_back(PairwisePrCs(gap, se, 0.0));
+  }
+  ASSERT_EQ(pairwise.size(), 3u);
+
+  double product = 1.0;
+  double sum_miss = 0.0;
+  for (double p : pairwise) {
+    product *= p;
+    sum_miss += 1.0 - p;
+  }
+  const double exact = std::max(0.0, 1.0 - sum_miss);
+  EXPECT_NEAR(product, 0.812205, 1e-5);
+  EXPECT_NEAR(exact, 0.802722, 1e-5);
+
+  const double alpha = 0.5 * (product + exact);
+  EXPECT_GE(product, alpha) << "mutant must certify alpha here";
+  EXPECT_LT(BonferroniPrCs(pairwise), alpha)
+      << "the real bound must refuse alpha here";
+
+  EXPECT_EQ(PropertyByName("bonferroni_dominance").check(inst), "");
+}
+
+// Counterexample 3 — generator seed 0x5eed0000, property
+// fpc_se_degenerate_cases. Derived stratum: s^2 = 69.05, N = 237. An SE
+// without the finite-population correction reports ~127.9 at census
+// (n = N), so a selector that has read every cost would still claim
+// uncertainty and never certify; the corrected SE is exactly 0.
+TEST(PromotedCounterexampleTest, FpcLessStandardErrorMutantSeed0x5eed0000) {
+  const MatrixInstance inst = GenerateMatrixInstance(0x5eed0000ull);
+  Rng rng(inst.seed ^ 0xF9C);  // the property's derivation, verbatim
+  const double s2 = rng.NextDouble(0.0, 100.0);
+  const uint64_t N = 1 + rng.NextBounded(1000);
+  ASSERT_GT(s2, 1.0);
+  ASSERT_GE(N, 3u);
+
+  const double mutant_census_se =
+      static_cast<double>(N) * std::sqrt(s2 / static_cast<double>(N));
+  EXPECT_GT(mutant_census_se, 100.0);
+  EXPECT_EQ(FpcStandardError(s2, N, N), 0.0);
+
+  EXPECT_EQ(PropertyByName("fpc_se_degenerate_cases").check(inst), "");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,125 @@
+// Tier-1 sweep of the seeded property framework (ISSUE 5). Each builtin
+// invariant runs as its own parameterized test named after the property,
+// so the repro command CheckMatrixProperty prints —
+//   PDX_PROPERTY_SEED=0x<seed> PDX_PROPERTY_ITERS=1
+//       ./tests/test_property --gtest_filter='*<name>*'
+// — selects exactly the failing sweep.
+#include "validation/property.h"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+TEST(MatrixGeneratorTest, IsAPureFunctionOfTheSeed) {
+  for (uint64_t seed : {0ull, 1ull, 0x5EED0000ull, 0xDEADBEEFull}) {
+    MatrixInstance a = GenerateMatrixInstance(seed);
+    MatrixInstance b = GenerateMatrixInstance(seed);
+    ASSERT_EQ(a.shape, b.shape);
+    ASSERT_EQ(a.costs, b.costs);
+    ASSERT_EQ(a.templates, b.templates);
+  }
+}
+
+TEST(MatrixGeneratorTest, CoversEveryAdversarialShape) {
+  std::set<MatrixShape> seen;
+  for (uint64_t s = 0; s < 100; ++s) {
+    seen.insert(GenerateMatrixInstance(s).shape);
+  }
+  EXPECT_EQ(seen.size(), 6u) << "generator shape coverage collapsed";
+}
+
+TEST(MatrixGeneratorTest, InstancesAreAlwaysValid) {
+  for (uint64_t s = 0; s < 200; ++s) {
+    MatrixInstance inst = GenerateMatrixInstance(s);
+    ASSERT_GE(inst.num_queries(), 1u) << inst.Describe();
+    ASSERT_GE(inst.num_configs, 2u) << inst.Describe();
+    ASSERT_EQ(inst.templates.size(), inst.num_queries());
+    for (size_t q = 0; q < inst.num_queries(); ++q) {
+      ASSERT_LT(inst.templates[q], inst.num_templates) << inst.Describe();
+      ASSERT_EQ(inst.costs[q].size(), inst.num_configs);
+      for (double c : inst.costs[q]) {
+        ASSERT_GT(c, 0.0) << inst.Describe();
+      }
+    }
+  }
+}
+
+TEST(PropertyOptionsTest, EnvOverridesDefaults) {
+  ASSERT_EQ(setenv("PDX_PROPERTY_SEED", "0xABC0", 1), 0);
+  ASSERT_EQ(setenv("PDX_PROPERTY_ITERS", "7", 1), 0);
+  PropertyOptions opts = PropertyOptionsFromEnv();
+  EXPECT_EQ(opts.seed_base, 0xABC0ull);
+  EXPECT_EQ(opts.iterations, 7ull);
+  ASSERT_EQ(unsetenv("PDX_PROPERTY_SEED"), 0);
+  ASSERT_EQ(unsetenv("PDX_PROPERTY_ITERS"), 0);
+  PropertyOptions defaults = PropertyOptionsFromEnv();
+  EXPECT_EQ(defaults.seed_base, PropertyOptions{}.seed_base);
+  EXPECT_EQ(defaults.iterations, PropertyOptions{}.iterations);
+}
+
+TEST(ShrinkerTest, ReducesAPlantedFailureToItsCore) {
+  // A property that rejects any instance with more than 4 queries: the
+  // shrinker must walk a large failing instance down to a handful of
+  // queries while preserving failure.
+  MatrixProperty check = [](const MatrixInstance& inst) {
+    return inst.num_queries() > 4 ? "too many queries" : "";
+  };
+  MatrixInstance big;
+  for (uint64_t s = 0;; ++s) {
+    big = GenerateMatrixInstance(s);
+    if (big.num_queries() > 20) break;
+  }
+  std::string message;
+  uint32_t steps = 0;
+  MatrixInstance small = ShrinkMatrixInstance(big, check, &message, &steps);
+  EXPECT_FALSE(check(small).empty()) << "shrinker lost the failure";
+  EXPECT_GT(small.num_queries(), 4u);
+  EXPECT_LE(small.num_queries(), 10u) << "shrinker barely reduced";
+  EXPECT_GT(steps, 0u);
+  EXPECT_EQ(message, "too many queries");
+}
+
+TEST(PropertyRunTest, FailureProducesACopyPasteableRepro) {
+  PropertyDef def;
+  def.name = "planted_failure";
+  def.check = [](const MatrixInstance& inst) {
+    return inst.num_queries() >= 1 ? "always fails" : "";
+  };
+  PropertyOptions opts;
+  opts.seed_base = 0x1234;
+  opts.iterations = 3;
+  PropertyRunResult r = CheckMatrixProperty(def, opts);
+  EXPECT_FALSE(r.passed);
+  EXPECT_EQ(r.failing_seed, 0x1234ull);
+  EXPECT_NE(r.repro.find("PDX_PROPERTY_SEED=0x1234"), std::string::npos)
+      << r.repro;
+  EXPECT_NE(r.repro.find("planted_failure"), std::string::npos) << r.repro;
+  EXPECT_FALSE(r.shrunk_instance.empty());
+}
+
+// --- the sweep: one test per builtin invariant ----------------------------
+
+class BuiltinPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BuiltinPropertyTest, HoldsOverRandomInstances) {
+  const PropertyDef& def = BuiltinMatrixProperties()[GetParam()];
+  PropertyRunResult r = CheckMatrixProperty(def, PropertyOptionsFromEnv());
+  EXPECT_TRUE(r.passed) << def.name << " failed: " << r.message
+                        << "\nshrunk: " << r.shrunk_instance
+                        << "\nrepro:  " << r.repro;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuiltinPropertyTest,
+    ::testing::Range<size_t>(0, BuiltinMatrixProperties().size()),
+    [](const ::testing::TestParamInfo<size_t>& pinfo) {
+      return BuiltinMatrixProperties()[pinfo.param].name;
+    });
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,102 @@
+// Seed-space partition audit (ISSUE 5 satellite): Monte-Carlo harnesses
+// seed trial t with `seed_base + t`, so two ensembles whose bases sit
+// closer than their trial counts silently share seeds — correlated
+// "independent" cells. These tests pin the TrialSeedBase layout, the
+// claim-registry semantics, and the historical bench overlap the audit
+// caught (see DESIGN.md §8 for the partition table).
+#include "common/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdx {
+namespace {
+
+class SeedPartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetClaimedTrialSeedSpansForTests(); }
+  void TearDown() override { ResetClaimedTrialSeedSpansForTests(); }
+};
+
+TEST_F(SeedPartitionTest, TrialSeedBaseLayoutIsDocumented) {
+  // Bit 63 set (clear of hand-picked test seeds), bench id in 48..62,
+  // cell in 24..47, 2^24 trial seeds per cell.
+  EXPECT_EQ(TrialSeedBase(0, 0), 1ull << 63);
+  EXPECT_EQ(TrialSeedBase(0x7C, 5),
+            (1ull << 63) | (0x7Cull << 48) | (5ull << 24));
+  EXPECT_EQ(TrialSeedBase(0x7FFF, 0xFFFFFF),
+            (1ull << 63) | (0x7FFFull << 48) | (0xFFFFFFull << 24));
+}
+
+TEST_F(SeedPartitionTest, DistinctCellsAreDisjointUpTo16MTrials) {
+  const uint64_t kSpan = 1ull << 24;
+  for (uint32_t cell = 0; cell < 8; ++cell) {
+    EXPECT_TRUE(
+        TryClaimTrialSeedSpan(TrialSeedBase(0xF1, cell), kSpan, "cell"))
+        << "cell " << cell;
+  }
+  // Distinct bench ids are disjoint too, even at full cell width.
+  EXPECT_TRUE(
+      TryClaimTrialSeedSpan(TrialSeedBase(0xF2, 0), kSpan, "other-bench"));
+  // One past the per-cell budget walks into the next cell's span.
+  ResetClaimedTrialSeedSpansForTests();
+  ASSERT_TRUE(
+      TryClaimTrialSeedSpan(TrialSeedBase(0xF1, 0), kSpan + 1, "greedy"));
+  EXPECT_FALSE(
+      TryClaimTrialSeedSpan(TrialSeedBase(0xF1, 1), kSpan, "neighbor"));
+}
+
+TEST_F(SeedPartitionTest, IdenticalReclaimIsAllowed) {
+  // Deterministic replay of the same experiment (e.g. the determinism
+  // tests running MonteCarloAccuracy twice on one seed base) must pass.
+  EXPECT_TRUE(TryClaimTrialSeedSpan(0xDE7E2, 400, "first"));
+  EXPECT_TRUE(TryClaimTrialSeedSpan(0xDE7E2, 400, "replay"));
+}
+
+TEST_F(SeedPartitionTest, PartialOverlapIsRejected) {
+  ASSERT_TRUE(TryClaimTrialSeedSpan(1000, 300, "a"));
+  EXPECT_FALSE(TryClaimTrialSeedSpan(1100, 300, "b"));   // straddles a's tail
+  EXPECT_FALSE(TryClaimTrialSeedSpan(900, 200, "c"));    // straddles a's head
+  EXPECT_FALSE(TryClaimTrialSeedSpan(1000, 100, "d"));   // proper subset
+  EXPECT_FALSE(TryClaimTrialSeedSpan(900, 600, "e"));    // proper superset
+  EXPECT_TRUE(TryClaimTrialSeedSpan(1300, 300, "f"));    // adjacent is fine
+  EXPECT_TRUE(TryClaimTrialSeedSpan(700, 300, "g"));
+}
+
+TEST_F(SeedPartitionTest, RegressionHistoricalAblationBasesOverlapped) {
+  // Before the audit, bench_ablation_covariance seeded its ensembles with
+  // 0xAB10000 + drop for drop in {1, 3, 6, 10, 14} at 300 trials each:
+  // consecutive drops differ by a handful of seeds, so the ensembles
+  // shared ~99% of their trial seeds. The registry turns that silent
+  // correlation into a hard failure...
+  ASSERT_TRUE(TryClaimTrialSeedSpan(0xAB10000 + 1, 300, "drop-1"));
+  EXPECT_FALSE(TryClaimTrialSeedSpan(0xAB10000 + 3, 300, "drop-3"));
+  // ...while the partitioned bases the benches use now stay disjoint.
+  ResetClaimedTrialSeedSpansForTests();
+  for (uint32_t drop : {1u, 3u, 6u, 10u, 14u}) {
+    EXPECT_TRUE(
+        TryClaimTrialSeedSpan(TrialSeedBase(0xAB1, drop), 300, "indep"));
+    EXPECT_TRUE(
+        TryClaimTrialSeedSpan(TrialSeedBase(0xAB2, drop), 300, "delta"));
+  }
+}
+
+TEST_F(SeedPartitionTest, PartitionedBasesClearHandPickedSeeds) {
+  // Every partitioned base has bit 63 set; the repo's hand-picked seeds
+  // (42, 0xDE7E2, 20060406, ...) are all far below 2^63, so the partition
+  // can never collide with an ad-hoc Rng seed.
+  std::set<uint64_t> bases;
+  for (uint32_t bench : {0xF1u, 0xF2u, 0xF3u, 0xF4u, 0xAB1u, 0xAB2u, 0x7Cu}) {
+    for (uint32_t cell = 0; cell < 32; ++cell) {
+      uint64_t base = TrialSeedBase(bench, cell);
+      EXPECT_NE(base >> 63, 0u);
+      bases.insert(base);
+    }
+  }
+  EXPECT_EQ(bases.size(), 7u * 32u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -176,6 +176,42 @@ TEST(ReadTraceReportTest, UnknownEventTypesAreSkipped) {
   EXPECT_EQ(read.value().num_configs, 2u);
 }
 
+TEST(ReadTraceReportTest, TruncatedFinalLineFails) {
+  // A cut-off file (torn write, copy interrupted mid-line) must be an
+  // error carrying the fragment's line number, not a silently shorter
+  // trace.
+  const std::string path = TempTracePath("truncated.jsonl");
+  WriteFile(path,
+            "{\"ev\":\"run_start\",\"scheme\":\"delta\",\"k\":2,"
+            "\"alpha\":0.9}\n"
+            "{\"ev\":\"round\",\"round\":1,\"sam");
+  auto read = ReadTraceReport(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find("truncated trace line"),
+            std::string::npos)
+      << read.status().ToString();
+  EXPECT_NE(read.status().ToString().find(":2:"), std::string::npos)
+      << read.status().ToString();
+}
+
+TEST(ReadTraceReportTest, MalformedMidFileLineFailsWithLineNumber) {
+  // Unlike an unknown event (a complete object, skipped), a line that is
+  // not a complete {...} object is corruption and must fail loudly.
+  const std::string path = TempTracePath("malformed.jsonl");
+  WriteFile(path,
+            "{\"ev\":\"run_start\",\"scheme\":\"delta\",\"k\":2,"
+            "\"alpha\":0.9}\n"
+            "ev\":\"round\",\"round\":1}\n"
+            "{\"ev\":\"run_end\",\"best\":0}\n");
+  auto read = ReadTraceReport(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find("malformed trace line"),
+            std::string::npos)
+      << read.status().ToString();
+  EXPECT_NE(read.status().ToString().find(":2:"), std::string::npos)
+      << read.status().ToString();
+}
+
 TEST(TracePathFromEnvTest, ReadsPdxTrace) {
   ASSERT_EQ(setenv("PDX_TRACE", "/tmp/pdx_env_trace.jsonl", 1), 0);
   EXPECT_EQ(TracePathFromEnv(), "/tmp/pdx_env_trace.jsonl");
