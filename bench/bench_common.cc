@@ -83,6 +83,13 @@ std::unique_ptr<JsonlTraceSink> TraceSinkFromArgs(int argc, char** argv) {
   return std::move(*opened);
 }
 
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return {};
+}
+
 void PrintHeader(const std::string& title, int trials) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("Monte-Carlo trials per data point: %d", trials);

@@ -49,6 +49,11 @@ double SecondsSince(const obs::Stopwatch& start);
 /// what-if latency histograms fill.
 std::unique_ptr<JsonlTraceSink> TraceSinkFromArgs(int argc, char** argv);
 
+/// Parses --json=PATH from argv; empty string when absent. The table
+/// benchmarks write a per-k throughput snapshot there (bench/snapshot.sh,
+/// CI perf-smoke gate).
+std::string JsonPathFromArgs(int argc, char** argv);
+
 /// Prints the standard bench header (binary name + trial count + scale +
 /// thread count).
 void PrintHeader(const std::string& title, int trials);

@@ -7,6 +7,8 @@
 // directly visible.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_common.h"
 #include "common/normal.h"
 #include "core/variance_bound.h"
@@ -334,14 +336,222 @@ void PrintTraceOverheadReport() {
       kRuns, base_secs, noop_secs, overhead);
 }
 
+/// One data point of the estimator-kernel report.
+struct KernelPoint {
+  size_t k = 0;
+  uint64_t rounds = 0;
+  double scalar_secs = 0.0;
+  double batched_secs = 0.0;
+  double scalar_cells_per_sec = 0.0;
+  double batched_cells_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+/// Estimator-kernel throughput: the selector's per-round hot kernel —
+/// price one query under all k configurations, fold it into the Delta
+/// estimator, recompute the incumbent estimates and every pairwise
+/// diff/variance — timed through the per-cell scalar API (one virtual
+/// Cost per cell, one heap vector per sample, one moment-merge sweep per
+/// Estimate/DiffEstimate/DiffVariance call, exactly the seed's code
+/// shape) against the batched columnar API (one CostAcross gather, the
+/// reusable-arena Add, one Estimates sweep, one DiffStats sweep). Both
+/// passes run identical rounds in the same order; every estimate, diff
+/// and variance is recorded and asserted bitwise identical before the
+/// throughput is reported. Cells/sec counts priced matrix cells
+/// (rounds * k).
+KernelPoint RunEstimatorKernel(size_t k, uint64_t rounds) {
+  const size_t nq = 4096;
+  const size_t T = 24;
+  Rng gen(0xD00D ^ static_cast<uint64_t>(k));
+  std::vector<TemplateId> templates(nq);
+  std::vector<std::vector<double>> costs(nq, std::vector<double>(k));
+  for (QueryId q = 0; q < nq; ++q) {
+    templates[q] = static_cast<TemplateId>(q % T);
+    const double base = 100.0 + 10.0 * static_cast<double>(q % T);
+    for (ConfigId c = 0; c < k; ++c) {
+      costs[q][c] = base * (1.0 + 0.01 * static_cast<double>(c)) +
+                    gen.NextDouble(0.0, 5.0);
+    }
+  }
+  MatrixCostSource matrix(std::move(costs), std::move(templates));
+  CostSource* src = &matrix;  // force virtual dispatch in both passes
+  std::vector<uint64_t> pops(T, 0);
+  for (QueryId q = 0; q < nq; ++q) pops[src->TemplateOf(q)] += 1;
+  std::vector<QueryId> qseq(rounds);
+  for (uint64_t r = 0; r < rounds; ++r) {
+    qseq[r] = static_cast<QueryId>(gen.NextBounded(nq));
+  }
+
+  // Per-round recorded values (k estimates + k diffs + k variances),
+  // compared bitwise across the two passes after timing.
+  std::vector<double> s_vals, b_vals;
+  s_vals.reserve(rounds * k * 3);
+  b_vals.reserve(rounds * k * 3);
+
+  KernelPoint out;
+  out.k = k;
+  out.rounds = rounds;
+
+  {
+    // --- scalar pass: the seed's per-cell shape ---
+    DeltaEstimator est(k, T, pops);
+    Stratification strat(pops);
+    obs::Stopwatch t0;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      const QueryId q = qseq[r];
+      std::vector<double> cbuf(k);
+      for (ConfigId c = 0; c < k; ++c) cbuf[c] = src->Cost(q, c);
+      est.Add(q, src->TemplateOf(q), cbuf);
+      ConfigId best = 0;
+      double best_est = std::numeric_limits<double>::infinity();
+      for (ConfigId c = 0; c < k; ++c) {
+        const double e = est.Estimate(c, strat);
+        s_vals.push_back(e);
+        if (e < best_est) {
+          best_est = e;
+          best = c;
+        }
+      }
+      est.SetReference(best);
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) {
+          s_vals.push_back(0.0);
+          s_vals.push_back(0.0);
+          continue;
+        }
+        s_vals.push_back(est.DiffEstimate(j, strat));
+        s_vals.push_back(est.DiffVariance(j, strat));
+      }
+    }
+    out.scalar_secs = SecondsSince(t0);
+  }
+
+  {
+    // --- batched pass: one sweep per kernel, zero per-round allocation ---
+    DeltaEstimator est(k, T, pops);
+    Stratification strat(pops);
+    EstimatorScratch scratch;
+    std::vector<double> cbuf(k, 0.0);
+    std::vector<double> estimates_buf(k, 0.0);
+    std::vector<double> diffs_buf(k, 0.0);
+    std::vector<double> vars_buf(k, 0.0);
+    std::vector<ConfigId> all_ids(k);
+    for (ConfigId c = 0; c < k; ++c) all_ids[c] = c;
+    obs::Stopwatch t0;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      const QueryId q = qseq[r];
+      src->CostAcross(q, all_ids, cbuf);
+      est.Add(q, src->TemplateOf(q), cbuf);
+      est.Estimates(strat, &scratch, estimates_buf);
+      ConfigId best = 0;
+      double best_est = std::numeric_limits<double>::infinity();
+      for (ConfigId c = 0; c < k; ++c) {
+        b_vals.push_back(estimates_buf[c]);
+        if (estimates_buf[c] < best_est) {
+          best_est = estimates_buf[c];
+          best = c;
+        }
+      }
+      est.SetReference(best);
+      est.DiffStats(strat, &scratch, diffs_buf, vars_buf);
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) {
+          b_vals.push_back(0.0);
+          b_vals.push_back(0.0);
+          continue;
+        }
+        b_vals.push_back(diffs_buf[j]);
+        b_vals.push_back(vars_buf[j]);
+      }
+    }
+    out.batched_secs = SecondsSince(t0);
+  }
+
+  PDX_CHECK_MSG(s_vals.size() == b_vals.size() &&
+                    std::memcmp(s_vals.data(), b_vals.data(),
+                                s_vals.size() * sizeof(double)) == 0,
+                "batched estimator kernel is not bit-identical to scalar");
+
+  const double cells = static_cast<double>(rounds) * static_cast<double>(k);
+  out.scalar_cells_per_sec = cells / std::max(1e-12, out.scalar_secs);
+  out.batched_cells_per_sec = cells / std::max(1e-12, out.batched_secs);
+  out.speedup = out.scalar_secs / std::max(1e-12, out.batched_secs);
+  return out;
+}
+
+std::vector<KernelPoint> PrintEstimatorKernelReport(bool quick) {
+  std::printf(
+      "\n--- estimator kernel report (scalar per-cell API vs batched "
+      "columnar API, bit-identical asserted) ---\n");
+  std::printf("%8s %10s %12s %16s %16s %9s\n", "k", "rounds", "scalar s",
+              "scalar cells/s", "batched cells/s", "speedup");
+  std::vector<KernelPoint> points;
+  const std::vector<size_t> ks = quick ? std::vector<size_t>{64, 256}
+                                       : std::vector<size_t>{64, 256, 512};
+  for (size_t k : ks) {
+    const uint64_t rounds = quick ? 400 : 1500;
+    KernelPoint p = RunEstimatorKernel(k, rounds);
+    std::printf("%8zu %10llu %12.3f %16.0f %16.0f %8.1fx\n", p.k,
+                static_cast<unsigned long long>(p.rounds), p.scalar_secs,
+                p.scalar_cells_per_sec, p.batched_cells_per_sec, p.speedup);
+    points.push_back(p);
+  }
+  return points;
+}
+
+void WriteKernelJson(const std::string& path,
+                     const std::vector<KernelPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"estimator_kernel\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KernelPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"k\": %zu, \"rounds\": %llu, \"scalar_cells_per_sec\": "
+                 "%.0f, \"batched_cells_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                 p.k, static_cast<unsigned long long>(p.rounds),
+                 p.scalar_cells_per_sec, p.batched_cells_per_sec, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace pdx::bench
 
 int main(int argc, char** argv) {
+  // Strip the flags google-benchmark does not know before Initialize.
+  bool quick = false;
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!quick) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
-  pdx::bench::PrintWhatIfDedupReport();
-  pdx::bench::PrintTraceOverheadReport();
+  if (!quick) {
+    pdx::bench::PrintWhatIfDedupReport();
+    pdx::bench::PrintTraceOverheadReport();
+  }
+  std::vector<pdx::bench::KernelPoint> kernel =
+      pdx::bench::PrintEstimatorKernelReport(quick);
+  if (!json_path.empty()) pdx::bench::WriteKernelJson(json_path, kernel);
   return 0;
 }

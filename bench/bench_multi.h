@@ -16,6 +16,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
 
 #include "bench_common.h"
 #include "common/thread_pool.h"
@@ -45,6 +48,16 @@ class TrialCountingSource : public CostSource {
     ++calls_;
     return inner_->Cost(q, c);
   }
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override {
+    calls_ += queries.size();
+    inner_->CostMany(queries, c, out);
+  }
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override {
+    calls_ += configs.size();
+    inner_->CostAcross(q, configs, out);
+  }
   size_t num_queries() const override { return inner_->num_queries(); }
   size_t num_configs() const override { return inner_->num_configs(); }
   TemplateId TemplateOf(QueryId q) const override {
@@ -62,10 +75,43 @@ class TrialCountingSource : public CostSource {
   uint64_t calls_ = 0;  // trial-local: no concurrent access
 };
 
+/// Per-k throughput / accuracy snapshot, exported as JSON by the table
+/// benchmarks for the perf-smoke CI gate (bench/snapshot.sh).
+struct MultiKStats {
+  uint32_t k = 0;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double avg_samples = 0.0;
+  double avg_calls = 0.0;
+  double pr_cs_delta = 0.0;
+};
+
+inline void WriteMultiStatsJson(const std::string& path,
+                                const std::vector<MultiKStats>& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"points\": [\n");
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const MultiKStats& s = stats[i];
+    std::fprintf(f,
+                 "    {\"k\": %u, \"seconds\": %.3f, \"trials_per_sec\": "
+                 "%.3f, \"avg_samples\": %.1f, \"avg_calls\": %.1f, "
+                 "\"pr_cs_delta\": %.4f}%s\n",
+                 s.k, s.seconds, s.trials_per_sec, s.avg_samples, s.avg_calls,
+                 s.pr_cs_delta, i + 1 < stats.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 inline void RunMultiConfigExperiment(
     Environment* env, const std::vector<uint32_t>& ks, int trials,
     uint64_t seed, WhatIfCacheMode cache = WhatIfCacheMode::kOff,
-    TraceSink* trace = nullptr) {
+    TraceSink* trace = nullptr, std::vector<MultiKStats>* stats_out = nullptr) {
   // Configurations can tie exactly (e.g. two candidates differing only in
   // a structure the workload never uses); selecting either is correct.
   constexpr double kTieEpsilon = 1e-9;
@@ -197,10 +243,19 @@ inline void RunMultiConfigExperiment(
     report("Delta-Sampling", algo1);
     report("No Strat.", nostrat);
     report("Equal Alloc.", equal);
-    std::printf("[k=%u] %.1fs (%.1f trials/sec, %zu threads)\n\n", k,
-                SecondsSince(k_start),
-                trials / std::max(1e-9, SecondsSince(k_start)),
-                GlobalThreadCount());
+    const double secs = SecondsSince(k_start);
+    std::printf("[k=%u] %.1fs (%.1f trials/sec, %zu threads)\n\n", k, secs,
+                trials / std::max(1e-9, secs), GlobalThreadCount());
+    if (stats_out != nullptr) {
+      MultiKStats s;
+      s.k = k;
+      s.seconds = secs;
+      s.trials_per_sec = trials / std::max(1e-9, secs);
+      s.avg_samples = static_cast<double>(total_samples) / trials;
+      s.avg_calls = static_cast<double>(total_calls) / trials;
+      s.pr_cs_delta = static_cast<double>(algo1.correct) / trials;
+      stats_out->push_back(s);
+    }
   }
 }
 

@@ -26,8 +26,11 @@ int main(int argc, char** argv) {
   auto env = MakeTpcdEnvironment(13000);
   std::printf("workload: %zu queries, %zu templates\n\n",
               env->workload->size(), env->workload->num_templates());
+  std::vector<MultiKStats> stats;
   RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB2E, cache,
-                           trace.get());
+                           trace.get(), &stats);
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) WriteMultiStatsJson(json_path, stats);
   if (trace != nullptr) {
     EmitWhatIfLatencySummary(trace.get());
     trace->Flush();

@@ -23,8 +23,11 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu statements, %zu templates, %.0f%% DML\n\n",
               env->workload->size(), env->workload->num_templates(),
               100.0 * env->workload->DmlFraction());
+  std::vector<MultiKStats> stats;
   RunMultiConfigExperiment(env.get(), {50, 100, 500}, trials, 0x7AB3E, cache,
-                           trace.get());
+                           trace.get(), &stats);
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) WriteMultiStatsJson(json_path, stats);
   if (trace != nullptr) {
     EmitWhatIfLatencySummary(trace.get());
     trace->Flush();

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark snapshots (BENCH_*.json at the repo
+# root). Run from the repo root after a perf-relevant change, on an
+# otherwise idle machine, and commit the refreshed files together with the
+# change that motivated them:
+#
+#   ./bench/snapshot.sh [build-dir]
+#
+# The micro snapshot is what CI's perf-smoke job gates on (speedup ratio,
+# not absolute cells/sec, so machine differences mostly cancel); the two
+# table snapshots are reference points for EXPERIMENTS.md, not gated.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_micro not built." >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+echo "== bench_micro (estimator kernel snapshot) =="
+"$BUILD_DIR/bench/bench_micro" --quick --json=BENCH_micro.json
+
+echo "== bench_table2 (TPC-D multi-config trials/sec) =="
+"$BUILD_DIR/bench/bench_table2_tpcd_multi" --json=BENCH_table2.json
+
+echo "== bench_table3 (CRM multi-config trials/sec) =="
+"$BUILD_DIR/bench/bench_table3_crm_multi" --json=BENCH_table3.json
+
+echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json"

@@ -72,6 +72,14 @@ void Histogram::Record(uint64_t value_ns) {
   sum_.fetch_add(value_ns, std::memory_order_relaxed);
 }
 
+void Histogram::RecordBatch(uint64_t total_ns, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketOf(total_ns / count)].fetch_add(count,
+                                                 std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(total_ns, std::memory_order_relaxed);
+}
+
 uint64_t Histogram::BucketUpperNs(size_t b) {
   PDX_CHECK(b < kNumBuckets);
   return (b + 1 >= 64) ? UINT64_MAX : (uint64_t{1} << (b + 1)) - 1;

@@ -26,6 +26,12 @@ class KahanSum {
 /// (Cochran's rule, paper eq. 9) needs for Fisher's G1.
 class RunningMoments {
  public:
+  RunningMoments() = default;
+  /// Assembles an accumulator from its stored components (used by the
+  /// SoA moment arrays to materialize one cell for scalar Merge paths).
+  RunningMoments(int64_t n, double mean, double m2, double m3)
+      : n_(n), mean_(mean), m2_(m2), m3_(m3) {}
+
   void Add(double x);
   /// Removes one previously-added observation. Exact arithmetic inverse of
   /// Add for the first two moments (used when a stratum is re-split); the

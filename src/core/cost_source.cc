@@ -44,6 +44,38 @@ CacheMetrics& CMetrics() {
 
 }  // namespace
 
+// Default batched sweeps: exactly the scalar loop, in index order, so any
+// CostSource that only overrides Cost() inherits bit-identical batched
+// behavior — same values, same accounting, same exception at the same cell.
+void CostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
+                          std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  for (size_t i = 0; i < queries.size(); ++i) out[i] = Cost(queries[i], c);
+}
+
+void CostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
+                            std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  for (size_t i = 0; i < configs.size(); ++i) out[i] = Cost(q, configs[i]);
+}
+
+void CostSource::CostUncertaintyMany(std::span<const QueryId> queries,
+                                     ConfigId c, std::span<double> out) const {
+  PDX_CHECK(queries.size() == out.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = CostUncertainty(queries[i], c);
+  }
+}
+
+void CostSource::CostUncertaintyAcross(QueryId q,
+                                       std::span<const ConfigId> configs,
+                                       std::span<double> out) const {
+  PDX_CHECK(configs.size() == out.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    out[i] = CostUncertainty(q, configs[i]);
+  }
+}
+
 WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
                                    const Workload& workload,
                                    std::vector<Configuration> configs)
@@ -66,18 +98,57 @@ double WhatIfCostSource::Cost(QueryId q, ConfigId c) {
   return cost;
 }
 
+void WhatIfCostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
+                                std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < configs_.size());
+  const Configuration& cfg = configs_[c];
+  const uint64_t t0 = obs::TimerStart();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PDX_CHECK(queries[i] < workload_.size());
+    out[i] = optimizer_.Cost(workload_.query(queries[i]), cfg);
+  }
+  calls_.fetch_add(queries.size(), std::memory_order_relaxed);
+  CMetrics().whatif_calls->Add(queries.size());
+  obs::TimerStopBatch(t0, CMetrics().cold_ns, queries.size());
+}
+
+void WhatIfCostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
+                                  std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < workload_.size());
+  const Query& query = workload_.query(q);
+  const uint64_t t0 = obs::TimerStart();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PDX_CHECK(configs[i] < configs_.size());
+    out[i] = optimizer_.Cost(query, configs_[configs[i]]);
+  }
+  calls_.fetch_add(configs.size(), std::memory_order_relaxed);
+  CMetrics().whatif_calls->Add(configs.size());
+  obs::TimerStopBatch(t0, CMetrics().cold_ns, configs.size());
+}
+
 MatrixCostSource::MatrixCostSource(std::vector<std::vector<double>> costs,
                                    std::vector<TemplateId> templates,
                                    size_t num_configs)
-    : costs_(std::move(costs)), templates_(std::move(templates)) {
-  PDX_CHECK(costs_.size() == templates_.size());
-  size_t width = costs_.empty() ? 0 : costs_[0].size();
-  for (const auto& row : costs_) PDX_CHECK(row.size() == width);
+    : templates_(std::move(templates)), num_queries_(costs.size()) {
+  PDX_CHECK(costs.size() == templates_.size());
+  size_t width = costs.empty() ? 0 : costs[0].size();
+  for (const auto& row : costs) PDX_CHECK(row.size() == width);
   if (num_configs == kDeriveNumConfigs) {
     num_configs_ = width;
   } else {
-    PDX_CHECK(costs_.empty() || width == num_configs);
+    PDX_CHECK(costs.empty() || width == num_configs);
     num_configs_ = num_configs;
+  }
+  // Transpose the row-major input into the columnar layout: column c (all
+  // queries of one configuration) lands contiguous at c * num_queries_.
+  cells_.resize(num_queries_ * num_configs_);
+  for (size_t q = 0; q < num_queries_; ++q) {
+    const std::vector<double>& row = costs[q];
+    for (size_t c = 0; c < num_configs_; ++c) {
+      cells_[c * num_queries_ + q] = row[c];
+    }
   }
   TemplateId max_t = 0;
   for (TemplateId t : templates_) max_t = std::max(max_t, t);
@@ -85,16 +156,18 @@ MatrixCostSource::MatrixCostSource(std::vector<std::vector<double>> costs,
 }
 
 MatrixCostSource::MatrixCostSource(MatrixCostSource&& other) noexcept
-    : costs_(std::move(other.costs_)),
+    : cells_(std::move(other.cells_)),
       templates_(std::move(other.templates_)),
+      num_queries_(other.num_queries_),
       num_configs_(other.num_configs_),
       num_templates_(other.num_templates_),
       calls_(other.calls_.load(std::memory_order_relaxed)) {}
 
 MatrixCostSource& MatrixCostSource::operator=(
     MatrixCostSource&& other) noexcept {
-  costs_ = std::move(other.costs_);
+  cells_ = std::move(other.cells_);
   templates_ = std::move(other.templates_);
+  num_queries_ = other.num_queries_;
   num_configs_ = other.num_configs_;
   num_templates_ = other.num_templates_;
   calls_.store(other.calls_.load(std::memory_order_relaxed),
@@ -125,23 +198,49 @@ MatrixCostSource MatrixCostSource::Precompute(
 }
 
 double MatrixCostSource::Cost(QueryId q, ConfigId c) {
-  PDX_CHECK(q < costs_.size());
-  PDX_CHECK(c < costs_[q].size());
+  PDX_CHECK(q < num_queries_);
+  PDX_CHECK(c < num_configs_);
   calls_.fetch_add(1, std::memory_order_relaxed);
-  return costs_[q][c];
+  return cells_[static_cast<size_t>(c) * num_queries_ + q];
+}
+
+void MatrixCostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
+                                std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < num_configs_);
+  // One contiguous column gather, one counter add: the whole point of the
+  // columnar layout. Values are the very doubles Cost() would return.
+  const double* col = cells_.data() + static_cast<size_t>(c) * num_queries_;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PDX_CHECK(queries[i] < num_queries_);
+    out[i] = col[queries[i]];
+  }
+  calls_.fetch_add(queries.size(), std::memory_order_relaxed);
+}
+
+void MatrixCostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
+                                  std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < num_queries_);
+  const double* base = cells_.data() + q;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PDX_CHECK(configs[i] < num_configs_);
+    out[i] = base[static_cast<size_t>(configs[i]) * num_queries_];
+  }
+  calls_.fetch_add(configs.size(), std::memory_order_relaxed);
 }
 
 std::vector<double> MatrixCostSource::Column(ConfigId c) const {
   PDX_CHECK(c < num_configs_);
-  std::vector<double> out(costs_.size());
-  for (size_t q = 0; q < costs_.size(); ++q) out[q] = costs_[q][c];
-  return out;
+  const double* col = cells_.data() + static_cast<size_t>(c) * num_queries_;
+  return std::vector<double>(col, col + num_queries_);
 }
 
 double MatrixCostSource::TotalCost(ConfigId c) const {
   PDX_CHECK(c < num_configs_);
+  const double* col = cells_.data() + static_cast<size_t>(c) * num_queries_;
   double total = 0.0;
-  for (const auto& row : costs_) total += row[c];
+  for (size_t q = 0; q < num_queries_; ++q) total += col[q];
   return total;
 }
 
@@ -157,17 +256,21 @@ CachingCostSource::CachingCostSource(CostSource* inner)
   }
 }
 
-double CachingCostSource::Cost(QueryId q, ConfigId c) {
-  PDX_CHECK(q < num_queries_);
-  PDX_CHECK(c < num_configs_);
-  const size_t cell = static_cast<size_t>(q) * num_configs_ + c;
-  const uint64_t t0 = obs::TimerStart();
+bool CachingCostSource::FillCell(QueryId q, ConfigId c, size_t cell) {
   bool cold = false;
   std::call_once(filled_[cell], [&] {
     values_[cell] = inner_->Cost(q, c);
     cold = true;
   });
-  if (cold) {
+  return cold;
+}
+
+double CachingCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < num_queries_);
+  PDX_CHECK(c < num_configs_);
+  const size_t cell = CellOf(q, c);
+  const uint64_t t0 = obs::TimerStart();
+  if (FillCell(q, c, cell)) {
     // Cold latency is recorded by the inner source (the actual what-if
     // call); recording it here too would double-count.
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -178,6 +281,66 @@ double CachingCostSource::Cost(QueryId q, ConfigId c) {
     obs::TimerStop(t0, CMetrics().exact_hit_ns);
   }
   return values_[cell];
+}
+
+void CachingCostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
+                                 std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < num_configs_);
+  // Accounting is hoisted: tallies are batch-local and the atomics /
+  // metric counters take one add per class. Hit latency is attributed at
+  // the batch's per-cell mean (cold inner calls record their own latency),
+  // which keeps the batch at one clock read instead of one per cell.
+  CacheMetrics& m = CMetrics();
+  const uint64_t t0 = obs::TimerStart();
+  uint64_t cold = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryId q = queries[i];
+    PDX_CHECK(q < num_queries_);
+    const size_t cell = CellOf(q, c);
+    if (FillCell(q, c, cell)) ++cold;
+    out[i] = values_[cell];
+  }
+  const uint64_t n = queries.size();
+  const uint64_t hits = n - cold;
+  if (cold > 0) {
+    misses_.fetch_add(cold, std::memory_order_relaxed);
+    m.exact_cold->Add(cold);
+  }
+  if (hits > 0) {
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    m.exact_hit->Add(hits);
+    if (t0 != 0) m.exact_hit_ns->RecordBatch(((obs::NowNs() - t0) / n) * hits,
+                                             hits);
+  }
+}
+
+void CachingCostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
+                                   std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < num_queries_);
+  CacheMetrics& m = CMetrics();
+  const uint64_t t0 = obs::TimerStart();
+  uint64_t cold = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ConfigId c = configs[i];
+    PDX_CHECK(c < num_configs_);
+    const size_t cell = CellOf(q, c);
+    if (FillCell(q, c, cell)) ++cold;
+    out[i] = values_[cell];
+  }
+  const uint64_t n = configs.size();
+  const uint64_t hits = n - cold;
+  if (cold > 0) {
+    misses_.fetch_add(cold, std::memory_order_relaxed);
+    m.exact_cold->Add(cold);
+  }
+  if (hits > 0) {
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    m.exact_hit->Add(hits);
+    if (t0 != 0) m.exact_hit_ns->RecordBatch(((obs::NowNs() - t0) / n) * hits,
+                                             hits);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -355,12 +518,12 @@ void SignatureCachingCostSource::SignatureOf(QueryId q, ConfigId c,
   BuildSignature(q, c, out);
 }
 
-double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
-  PDX_CHECK(q < queries_.size());
-  PDX_CHECK(c < configs_.size());
-  // Scratch probe: signature computation must not allocate per call on
-  // the hot path (the probe key's vector reuses its capacity).
-  const uint64_t t0 = obs::TimerStart();
+double SignatureCachingCostSource::ResolveCell(QueryId q, ConfigId c,
+                                               CellClass* cls) {
+  // Scratch probe: signature computation must not allocate on the hot
+  // path (the probe key's vector reuses its capacity), and each cell's
+  // signature is computed exactly once — the batched paths call this once
+  // per cell instead of paying BuildSignature again for classification.
   thread_local SigKey probe;
   probe.q = q;
   BuildSignature(q, c, &probe.sig);
@@ -383,20 +546,9 @@ double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
   const size_t dense = static_cast<size_t>(q) * configs_.size() + c;
   const bool first_touch =
       cell_seen_[dense].exchange(1, std::memory_order_relaxed) == 0;
-  if (cold) {
-    cold_.fetch_add(1, std::memory_order_relaxed);
-    CMetrics().sig_cold->Add();
-    CMetrics().whatif_calls->Add();
-    obs::TimerStop(t0, CMetrics().cold_ns);
-  } else if (first_touch) {
-    signature_hits_.fetch_add(1, std::memory_order_relaxed);
-    CMetrics().sig_signature_hit->Add();
-    obs::TimerStop(t0, CMetrics().signature_hit_ns);
-  } else {
-    exact_hits_.fetch_add(1, std::memory_order_relaxed);
-    CMetrics().sig_exact_hit->Add();
-    obs::TimerStop(t0, CMetrics().exact_hit_ns);
-  }
+  *cls = cold ? CellClass::kCold
+              : (first_touch ? CellClass::kSignatureHit
+                             : CellClass::kExactHit);
   if (!cold && debug_check_) {
     double direct = optimizer_.Cost(*queries_[q], configs_[c]);
     PDX_CHECK_MSG(direct == cell->value,
@@ -404,6 +556,94 @@ double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
                   "differs from direct what-if evaluation");
   }
   return cell->value;
+}
+
+double SignatureCachingCostSource::Cost(QueryId q, ConfigId c) {
+  PDX_CHECK(q < queries_.size());
+  PDX_CHECK(c < configs_.size());
+  const uint64_t t0 = obs::TimerStart();
+  CellClass cls;
+  const double value = ResolveCell(q, c, &cls);
+  switch (cls) {
+    case CellClass::kCold:
+      cold_.fetch_add(1, std::memory_order_relaxed);
+      CMetrics().sig_cold->Add();
+      CMetrics().whatif_calls->Add();
+      obs::TimerStop(t0, CMetrics().cold_ns);
+      break;
+    case CellClass::kSignatureHit:
+      signature_hits_.fetch_add(1, std::memory_order_relaxed);
+      CMetrics().sig_signature_hit->Add();
+      obs::TimerStop(t0, CMetrics().signature_hit_ns);
+      break;
+    case CellClass::kExactHit:
+      exact_hits_.fetch_add(1, std::memory_order_relaxed);
+      CMetrics().sig_exact_hit->Add();
+      obs::TimerStop(t0, CMetrics().exact_hit_ns);
+      break;
+  }
+  return value;
+}
+
+void SignatureCachingCostSource::FlushBatchAccounting(uint64_t t0, size_t n,
+                                                      const uint64_t* tally) {
+  CacheMetrics& m = CMetrics();
+  const uint64_t cold = tally[static_cast<size_t>(CellClass::kCold)];
+  const uint64_t sig = tally[static_cast<size_t>(CellClass::kSignatureHit)];
+  const uint64_t exact = tally[static_cast<size_t>(CellClass::kExactHit)];
+  if (cold > 0) {
+    cold_.fetch_add(cold, std::memory_order_relaxed);
+    m.sig_cold->Add(cold);
+    m.whatif_calls->Add(cold);
+  }
+  if (sig > 0) {
+    signature_hits_.fetch_add(sig, std::memory_order_relaxed);
+    m.sig_signature_hit->Add(sig);
+  }
+  if (exact > 0) {
+    exact_hits_.fetch_add(exact, std::memory_order_relaxed);
+    m.sig_exact_hit->Add(exact);
+  }
+  // One clock read per batch; each class is charged the batch's per-cell
+  // mean latency (counts stay exact). The scalar path's per-cell timers
+  // remain available for single-cell calls.
+  if (t0 != 0 && n > 0) {
+    const uint64_t mean = (obs::NowNs() - t0) / n;
+    if (cold > 0) m.cold_ns->RecordBatch(mean * cold, cold);
+    if (sig > 0) m.signature_hit_ns->RecordBatch(mean * sig, sig);
+    if (exact > 0) m.exact_hit_ns->RecordBatch(mean * exact, exact);
+  }
+}
+
+void SignatureCachingCostSource::CostMany(std::span<const QueryId> queries,
+                                          ConfigId c, std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < configs_.size());
+  const uint64_t t0 = obs::TimerStart();
+  uint64_t tally[3] = {0, 0, 0};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PDX_CHECK(queries[i] < queries_.size());
+    CellClass cls;
+    out[i] = ResolveCell(queries[i], c, &cls);
+    ++tally[static_cast<size_t>(cls)];
+  }
+  FlushBatchAccounting(t0, queries.size(), tally);
+}
+
+void SignatureCachingCostSource::CostAcross(QueryId q,
+                                            std::span<const ConfigId> configs,
+                                            std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < queries_.size());
+  const uint64_t t0 = obs::TimerStart();
+  uint64_t tally[3] = {0, 0, 0};
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PDX_CHECK(configs[i] < configs_.size());
+    CellClass cls;
+    out[i] = ResolveCell(q, configs[i], &cls);
+    ++tally[static_cast<size_t>(cls)];
+  }
+  FlushBatchAccounting(t0, configs.size(), tally);
 }
 
 uint64_t SignatureCachingCostSource::num_distinct_signatures() const {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,35 @@ class CostSource {
   /// Optimizer-estimated cost of query `q` in configuration `c`.
   /// Counts one optimizer call. Safe to call concurrently.
   virtual double Cost(QueryId q, ConfigId c) = 0;
+
+  /// Batched column sweep: prices queries[i] under configuration `c` into
+  /// out[i] (out.size() == queries.size()). The contract is exactly the
+  /// scalar loop `out[i] = Cost(queries[i], c)` — same values bit for bit,
+  /// same call accounting, same cache fills, same exceptions at the same
+  /// cell — and the default implementation IS that loop, so third-party
+  /// sources that only override Cost() keep working unchanged. Overrides
+  /// exist to make the sweep cheap (columnar gathers, hoisted metric
+  /// handles, one counter add per batch), never to change its meaning.
+  virtual void CostMany(std::span<const QueryId> queries, ConfigId c,
+                        std::span<double> out);
+
+  /// Batched row sweep — the Delta-sampling hot path: prices query `q`
+  /// under configs[i] into out[i], so sampling one query prices all k
+  /// candidate configurations in one virtual dispatch instead of k. Same
+  /// scalar-loop contract and default fallback as CostMany.
+  virtual void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                          std::span<double> out);
+
+  /// Batched CostUncertainty over queries[i] x {c}; scalar-loop contract
+  /// and default fallback as CostMany. Only meaningful after the matching
+  /// cost sweep.
+  virtual void CostUncertaintyMany(std::span<const QueryId> queries,
+                                   ConfigId c, std::span<double> out) const;
+
+  /// Batched CostUncertainty over {q} x configs[i].
+  virtual void CostUncertaintyAcross(QueryId q,
+                                     std::span<const ConfigId> configs,
+                                     std::span<double> out) const;
 
   virtual size_t num_queries() const = 0;
   virtual size_t num_configs() const = 0;
@@ -73,6 +103,13 @@ class WhatIfCostSource : public CostSource {
                    std::vector<Configuration> configs);
 
   double Cost(QueryId q, ConfigId c) override;
+  /// Batched live sweeps: every cell is still a real optimizer call, but
+  /// the call counter, whatif metric and latency histogram are updated
+  /// once per batch (latency at the batch's per-cell mean).
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override;
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override;
   size_t num_queries() const override { return workload_.size(); }
   size_t num_configs() const override { return configs_.size(); }
   TemplateId TemplateOf(QueryId q) const override {
@@ -99,15 +136,21 @@ class WhatIfCostSource : public CostSource {
   std::atomic<uint64_t> calls_{0};
 };
 
-/// Replay source over a dense precomputed cost matrix (row = query,
-/// column = configuration). Used by the Monte-Carlo experiment harness;
-/// still counts "calls" so sampling efficiency can be reported.
+/// Replay source over a dense precomputed cost matrix. Used by the
+/// Monte-Carlo experiment harness; still counts "calls" so sampling
+/// efficiency can be reported.
+///
+/// Storage is columnar and config-major — one flat array with the full
+/// query column of each configuration contiguous — so CostMany() is a
+/// sequential gather over one column and TotalCost()/Column() stream
+/// cache lines instead of hopping row allocations.
 class MatrixCostSource : public CostSource {
  public:
-  /// `costs[q][c]`; `templates[q]` maps queries to templates.
-  /// `num_configs` disambiguates the matrix width when the matrix has no
-  /// rows (an empty workload over a non-empty configuration set); when
-  /// left at the default it is derived from the first row.
+  /// `costs[q][c]` (row-major input, transposed internally);
+  /// `templates[q]` maps queries to templates. `num_configs`
+  /// disambiguates the matrix width when the matrix has no rows (an empty
+  /// workload over a non-empty configuration set); when left at the
+  /// default it is derived from the first row.
   MatrixCostSource(std::vector<std::vector<double>> costs,
                    std::vector<TemplateId> templates,
                    size_t num_configs = kDeriveNumConfigs);
@@ -127,7 +170,11 @@ class MatrixCostSource : public CostSource {
                                      const std::vector<Configuration>& configs);
 
   double Cost(QueryId q, ConfigId c) override;
-  size_t num_queries() const override { return costs_.size(); }
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override;
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override;
+  size_t num_queries() const override { return num_queries_; }
   size_t num_configs() const override { return num_configs_; }
   TemplateId TemplateOf(QueryId q) const override {
     PDX_CHECK(q < templates_.size());
@@ -150,8 +197,11 @@ class MatrixCostSource : public CostSource {
  private:
   static constexpr size_t kDeriveNumConfigs = static_cast<size_t>(-1);
 
-  std::vector<std::vector<double>> costs_;
+  /// cells_[c * num_queries_ + q]: column c (all queries of one
+  /// configuration) is contiguous.
+  std::vector<double> cells_;
   std::vector<TemplateId> templates_;
+  size_t num_queries_ = 0;
   size_t num_configs_ = 0;
   size_t num_templates_ = 0;
   std::atomic<uint64_t> calls_{0};
@@ -164,14 +214,20 @@ class MatrixCostSource : public CostSource {
 /// counts only cold misses (the optimizer calls actually made); hits are
 /// reported separately.
 ///
-/// The cache is a dense num_queries x num_configs table; each cell is
-/// guarded by a std::once_flag, so concurrent Cost() calls for the same
-/// pair still make exactly one underlying call. Does not own `inner`.
+/// The cache is a dense num_queries x num_configs table stored
+/// config-major (matching MatrixCostSource's columnar layout, so batched
+/// column sweeps touch consecutive cells); each cell is guarded by a
+/// std::once_flag, so concurrent Cost() calls for the same pair still
+/// make exactly one underlying call. Does not own `inner`.
 class CachingCostSource : public CostSource {
  public:
   explicit CachingCostSource(CostSource* inner);
 
   double Cost(QueryId q, ConfigId c) override;
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override;
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override;
   size_t num_queries() const override { return num_queries_; }
   size_t num_configs() const override { return num_configs_; }
   TemplateId TemplateOf(QueryId q) const override {
@@ -196,6 +252,13 @@ class CachingCostSource : public CostSource {
   uint64_t num_hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
+  /// Config-major cell index of (q, c).
+  size_t CellOf(QueryId q, ConfigId c) const {
+    return static_cast<size_t>(c) * num_queries_ + q;
+  }
+  /// Fills `cell` if cold; returns true when this call was the miss.
+  bool FillCell(QueryId q, ConfigId c, size_t cell);
+
   CostSource* inner_;
   size_t num_queries_ = 0;
   size_t num_configs_ = 0;
@@ -252,6 +315,15 @@ class SignatureCachingCostSource : public CostSource {
   ~SignatureCachingCostSource() override;
 
   double Cost(QueryId q, ConfigId c) override;
+  /// Batched fills share one signature scratch buffer per batch, compute
+  /// each cell's relevance signature exactly once, and hoist the metric
+  /// handles / timing flag out of the loop: accounting classifies every
+  /// cell (cold / signature hit / exact hit) exactly as the scalar loop
+  /// would, but the atomics and histogram are updated once per batch.
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override;
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override;
   size_t num_queries() const override { return queries_.size(); }
   size_t num_configs() const override { return configs_.size(); }
   TemplateId TemplateOf(QueryId q) const override {
@@ -301,7 +373,20 @@ class SignatureCachingCostSource : public CostSource {
   struct Shard;
   struct Cell;
 
+  /// How a single cell lookup was served (indexes a batch tally array).
+  enum class CellClass : uint8_t { kCold = 0, kSignatureHit = 1, kExactHit = 2 };
+
   void BuildSignature(QueryId q, ConfigId c, std::vector<uint32_t>* sig) const;
+  /// Resolves one (q, c) cell — signature built exactly once into a
+  /// thread-local scratch, memo probe, optimizer call if cold — and
+  /// classifies it, without touching any counter or histogram. Shared by
+  /// the scalar path (which then does per-call accounting) and the batched
+  /// paths (which tally locally and flush once per batch).
+  double ResolveCell(QueryId q, ConfigId c, CellClass* cls);
+  /// Publishes a batch's tally (indexed by CellClass) to the atomics and
+  /// metric registry in one add per class; latency is attributed at the
+  /// batch's per-cell mean.
+  void FlushBatchAccounting(uint64_t t0, size_t n, const uint64_t* tally);
 
   const WhatIfOptimizer& optimizer_;
   std::vector<const Query*> queries_;

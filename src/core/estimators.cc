@@ -138,19 +138,22 @@ uint64_t StratifiedSamplePool::RemainingInStratum(const Stratification& strat,
 IndependentEstimator::IndependentEstimator(
     size_t num_configs, size_t num_templates,
     const std::vector<uint64_t>& template_populations)
-    : template_populations_(template_populations) {
+    : num_templates_(num_templates),
+      template_populations_(template_populations) {
   PDX_CHECK(template_populations_.size() == num_templates);
-  moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
-  uncertainty_.assign(num_configs, std::vector<double>(num_templates, 0.0));
+  num_configs_ = num_configs;
+  moments_.assign(num_configs * num_templates, RunningMoments());
+  uncertainty_.assign(num_configs * num_templates, 0.0);
 }
 
 void IndependentEstimator::Add(ConfigId config, TemplateId tmpl, double cost,
                                double uncertainty) {
-  PDX_CHECK(config < moments_.size());
-  PDX_CHECK(tmpl < moments_[config].size());
+  PDX_CHECK(config < num_configs_);
+  PDX_CHECK(tmpl < num_templates_);
   PDX_CHECK(uncertainty >= 0.0 && !std::isnan(uncertainty));
-  moments_[config][tmpl].Add(cost);
-  uncertainty_[config][tmpl] += uncertainty;
+  const size_t cell = CellOf(config, tmpl);
+  moments_[cell].Add(cost);
+  uncertainty_[cell] += uncertainty;
   SamplesCounter()->Add();
 }
 
@@ -159,7 +162,7 @@ double IndependentEstimator::StratumUncertainty(ConfigId config,
                                                 uint32_t stratum) const {
   double sum = 0.0;
   for (TemplateId t : strat.TemplatesOf(stratum)) {
-    sum += uncertainty_[config][t];
+    sum += uncertainty_[CellOf(config, t)];
   }
   return sum;
 }
@@ -168,7 +171,7 @@ RunningMoments IndependentEstimator::StratumMoments(
     ConfigId config, const Stratification& strat, uint32_t stratum) const {
   RunningMoments merged;
   for (TemplateId t : strat.TemplatesOf(stratum)) {
-    merged.Merge(moments_[config][t]);
+    merged.Merge(moments_[CellOf(config, t)]);
   }
   return merged;
 }
@@ -227,25 +230,26 @@ uint64_t IndependentEstimator::SamplesIn(ConfigId config,
                                          uint32_t stratum) const {
   uint64_t n = 0;
   for (TemplateId t : strat.TemplatesOf(stratum)) {
-    n += static_cast<uint64_t>(moments_[config][t].count());
+    n += static_cast<uint64_t>(moments_[CellOf(config, t)].count());
   }
   return n;
 }
 
 uint64_t IndependentEstimator::TotalSamples(ConfigId config) const {
   uint64_t n = 0;
-  for (const RunningMoments& m : moments_[config]) {
-    n += static_cast<uint64_t>(m.count());
+  const RunningMoments* row = moments_.data() + CellOf(config, 0);
+  for (size_t t = 0; t < num_templates_; ++t) {
+    n += static_cast<uint64_t>(row[t].count());
   }
   return n;
 }
 
 uint64_t IndependentEstimator::MinTemplateCount(ConfigId config) const {
   uint64_t min_count = UINT64_MAX;
-  for (TemplateId t = 0; t < moments_[config].size(); ++t) {
+  const RunningMoments* row = moments_.data() + CellOf(config, 0);
+  for (TemplateId t = 0; t < num_templates_; ++t) {
     if (template_populations_[t] == 0) continue;
-    min_count = std::min(min_count,
-                         static_cast<uint64_t>(moments_[config][t].count()));
+    min_count = std::min(min_count, static_cast<uint64_t>(row[t].count()));
   }
   return min_count == UINT64_MAX ? 0 : min_count;
 }
@@ -254,9 +258,10 @@ double IndependentEstimator::UnobservedPopulationShare(
     ConfigId config) const {
   uint64_t unobserved = 0;
   uint64_t total = 0;
-  for (TemplateId t = 0; t < moments_[config].size(); ++t) {
+  const RunningMoments* row = moments_.data() + CellOf(config, 0);
+  for (TemplateId t = 0; t < num_templates_; ++t) {
     total += template_populations_[t];
-    if (moments_[config][t].count() == 0) {
+    if (row[t].count() == 0) {
       unobserved += template_populations_[t];
     }
   }
@@ -267,12 +272,13 @@ double IndependentEstimator::UnobservedPopulationShare(
 
 std::vector<TemplateStats> IndependentEstimator::TemplateStatsFor(
     ConfigId config) const {
-  std::vector<TemplateStats> out(moments_[config].size());
+  std::vector<TemplateStats> out(num_templates_);
+  const RunningMoments* row = moments_.data() + CellOf(config, 0);
   for (TemplateId t = 0; t < out.size(); ++t) {
     out[t].population = template_populations_[t];
-    out[t].observations = static_cast<uint64_t>(moments_[config][t].count());
-    out[t].mean = moments_[config][t].mean();
-    out[t].variance = moments_[config][t].variance_sample();
+    out[t].observations = static_cast<uint64_t>(row[t].count());
+    out[t].mean = row[t].mean();
+    out[t].variance = row[t].variance_sample();
   }
   return out;
 }
@@ -287,22 +293,23 @@ DeltaEstimator::DeltaEstimator(
       template_populations_(template_populations),
       template_counts_(num_templates, 0) {
   PDX_CHECK(template_populations_.size() == num_templates);
-  raw_moments_.assign(num_configs, std::vector<RunningMoments>(num_templates));
-  diff_moments_.assign(num_configs,
-                       std::vector<RunningMoments>(num_templates));
-  diff_uncertainty_.assign(num_configs,
-                           std::vector<double>(num_templates, 0.0));
-  // Sampling is without replacement, so the store can never exceed the
-  // workload population; reserving it up front caps the vector's capacity
-  // at exactly that bound instead of up to 2x from growth doubling.
+  raw_.Assign(num_templates * num_configs);
+  diff_.Assign(num_templates * num_configs);
+  diff_uncertainty_.assign(num_templates * num_configs, 0.0);
+  // Sampling is without replacement, so the record store can never exceed
+  // the workload population; reserving the (8-byte) records up front caps
+  // that vector at exactly the bound. The flat cost arena is NOT
+  // pre-reserved — population * num_configs doubles would be tens of MB
+  // at Table-2 scale before a single sample lands; doubling growth keeps
+  // it at O(log n) allocations over a run.
   uint64_t population = 0;
   for (uint64_t p : template_populations_) population += p;
   samples_.reserve(population);
 }
 
 void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
-                         std::vector<double> costs,
-                         std::vector<double> uncertainties) {
+                         std::span<const double> costs,
+                         std::span<const double> uncertainties) {
   PDX_CHECK(costs.size() == num_configs_);
   PDX_CHECK(uncertainties.empty() || uncertainties.size() == num_configs_);
   PDX_CHECK(tmpl < template_counts_.size());
@@ -310,28 +317,41 @@ void DeltaEstimator::Add(QueryId qid, TemplateId tmpl,
   double ref_cost = costs[reference_];
   PDX_CHECK_MSG(!std::isnan(ref_cost), "reference config not evaluated");
   double ref_u = uncertainties.empty() ? 0.0 : uncertainties[reference_];
+  const size_t base = CellOf(tmpl, 0);
+  double* u_row = diff_uncertainty_.data() + base;
   for (ConfigId c = 0; c < num_configs_; ++c) {
     if (std::isnan(costs[c])) continue;
-    raw_moments_[c][tmpl].Add(costs[c]);
-    diff_moments_[c][tmpl].Add(ref_cost - costs[c]);
+    raw_.AddAt(base + c, costs[c]);
+    diff_.AddAt(base + c, ref_cost - costs[c]);
     // The difference against the reference itself is identically 0 —
     // even a degraded measurement cancels against itself — so only the
     // other pairs inherit the summed half-widths.
     if (c != reference_ && !uncertainties.empty()) {
-      diff_uncertainty_[c][tmpl] += ref_u + uncertainties[c];
+      u_row[c] += ref_u + uncertainties[c];
     }
   }
-  samples_.push_back({qid, tmpl, std::move(costs), std::move(uncertainties)});
+  // Arena invariant: sample_uncerts_ is empty until the first uncertain
+  // sample, then carries one row per record (earlier all-exact records
+  // are backfilled with zeros here, once).
+  if (!uncertainties.empty() &&
+      sample_uncerts_.size() < samples_.size() * num_configs_) {
+    sample_uncerts_.resize(samples_.size() * num_configs_, 0.0);
+  }
+  samples_.push_back({qid, tmpl});
+  sample_costs_.insert(sample_costs_.end(), costs.begin(), costs.end());
+  if (!uncertainties.empty()) {
+    sample_uncerts_.insert(sample_uncerts_.end(), uncertainties.begin(),
+                           uncertainties.end());
+  } else if (!sample_uncerts_.empty()) {
+    sample_uncerts_.resize(sample_uncerts_.size() + num_configs_, 0.0);
+  }
   SamplesCounter()->Add();
 }
 
 size_t DeltaEstimator::samples_bytes() const {
-  size_t bytes = samples_.capacity() * sizeof(SampleRecord);
-  for (const SampleRecord& rec : samples_) {
-    bytes += rec.costs.capacity() * sizeof(double);
-    bytes += rec.uncert.capacity() * sizeof(double);
-  }
-  return bytes;
+  return samples_.capacity() * sizeof(SampleRecord) +
+         sample_costs_.capacity() * sizeof(double) +
+         sample_uncerts_.capacity() * sizeof(double);
 }
 
 void DeltaEstimator::SetReference(ConfigId reference) {
@@ -345,21 +365,24 @@ void DeltaEstimator::SetReference(ConfigId reference) {
 }
 
 void DeltaEstimator::RebuildDiffMoments() {
-  for (auto& per_config : diff_moments_) {
-    for (auto& m : per_config) m.Reset();
-  }
-  for (auto& per_config : diff_uncertainty_) {
-    for (auto& u : per_config) u = 0.0;
-  }
-  for (const SampleRecord& rec : samples_) {
-    double ref_cost = rec.costs[reference_];
+  diff_.ResetAll();
+  for (auto& u : diff_uncertainty_) u = 0.0;
+  const bool have_uncerts = !sample_uncerts_.empty();
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const SampleRecord& rec = samples_[i];
+    const double* costs = sample_costs_.data() + i * num_configs_;
+    const double* uncert =
+        have_uncerts ? sample_uncerts_.data() + i * num_configs_ : nullptr;
+    double ref_cost = costs[reference_];
     if (std::isnan(ref_cost)) continue;
-    double ref_u = rec.uncert.empty() ? 0.0 : rec.uncert[reference_];
+    double ref_u = uncert == nullptr ? 0.0 : uncert[reference_];
+    const size_t base = CellOf(rec.tmpl, 0);
+    double* u_row = diff_uncertainty_.data() + base;
     for (ConfigId c = 0; c < num_configs_; ++c) {
-      if (std::isnan(rec.costs[c])) continue;
-      diff_moments_[c][rec.tmpl].Add(ref_cost - rec.costs[c]);
-      if (c != reference_ && !rec.uncert.empty()) {
-        diff_uncertainty_[c][rec.tmpl] += ref_u + rec.uncert[c];
+      if (std::isnan(costs[c])) continue;
+      diff_.AddAt(base + c, ref_cost - costs[c]);
+      if (c != reference_ && uncert != nullptr) {
+        u_row[c] += ref_u + uncert[c];
       }
     }
   }
@@ -370,7 +393,7 @@ double DeltaEstimator::StratumDiffUncertainty(ConfigId j,
                                               uint32_t stratum) const {
   double sum = 0.0;
   for (TemplateId t : strat.TemplatesOf(stratum)) {
-    sum += diff_uncertainty_[j][t];
+    sum += diff_uncertainty_[CellOf(t, j)];
   }
   return sum;
 }
@@ -381,7 +404,7 @@ double DeltaEstimator::Estimate(ConfigId config,
   for (uint32_t h = 0; h < strat.num_strata(); ++h) {
     RunningMoments merged;
     for (TemplateId t : strat.TemplatesOf(h)) {
-      merged.Merge(raw_moments_[config][t]);
+      merged.Merge(raw_.At(CellOf(t, config)));
     }
     if (merged.count() == 0) continue;
     total += static_cast<double>(strat.PopulationOf(h)) * merged.mean();
@@ -395,7 +418,7 @@ double DeltaEstimator::DiffEstimate(ConfigId j,
   for (uint32_t h = 0; h < strat.num_strata(); ++h) {
     RunningMoments merged;
     for (TemplateId t : strat.TemplatesOf(h)) {
-      merged.Merge(diff_moments_[j][t]);
+      merged.Merge(diff_.At(CellOf(t, j)));
     }
     if (merged.count() == 0) continue;
     total += static_cast<double>(strat.PopulationOf(h)) * merged.mean();
@@ -409,7 +432,7 @@ double DeltaEstimator::DiffVariance(ConfigId j,
   for (uint32_t h = 0; h < strat.num_strata(); ++h) {
     RunningMoments merged;
     for (TemplateId t : strat.TemplatesOf(h)) {
-      merged.Merge(diff_moments_[j][t]);
+      merged.Merge(diff_.At(CellOf(t, j)));
     }
     var += StratumVarianceTerm(merged.variance_sample(),
                                static_cast<uint64_t>(merged.count()),
@@ -419,6 +442,106 @@ double DeltaEstimator::DiffVariance(ConfigId j,
                                   strat.PopulationOf(h));
   }
   return var;
+}
+
+namespace {
+
+/// Lanewise Pébay merge of one template row into the scratch accumulators,
+/// over the contiguous config dimension. Per lane this performs exactly
+/// the arithmetic of RunningMoments::Merge (same expression trees, same
+/// order), with the two empty-side early-outs expressed as selects — the
+/// selected values are the unmodified stored components, so results stay
+/// bitwise identical while the loop stays branch-free and vectorizable.
+/// (M3 is not maintained: the batched kernels only derive means and
+/// sample variances.) The general-case formula divides by na + nb, which
+/// is 0.0 only in the both-empty lane where the quotient is discarded by
+/// the selects; the NaN it produces is harmless.
+inline void MergeRowLanewise(const double* src_n, const double* src_mean,
+                             const double* src_m2, double* acc_n,
+                             double* acc_mean, double* acc_m2, size_t k) {
+  for (size_t c = 0; c < k; ++c) {
+    const double nb = src_n[c];
+    const double na = acc_n[c];
+    const double nx = na + nb;
+    const double delta = src_mean[c] - acc_mean[c];
+    const double mean = acc_mean[c] + delta * nb / nx;
+    const double m2 = acc_m2[c] + src_m2[c] + delta * delta * na * nb / nx;
+    acc_mean[c] = nb == 0.0 ? acc_mean[c] : (na == 0.0 ? src_mean[c] : mean);
+    acc_m2[c] = nb == 0.0 ? acc_m2[c] : (na == 0.0 ? src_m2[c] : m2);
+    acc_n[c] = nx;
+  }
+}
+
+}  // namespace
+
+void DeltaEstimator::DiffStats(const Stratification& strat,
+                               EstimatorScratch* scratch,
+                               std::span<double> diff_out,
+                               std::span<double> var_out) const {
+  PDX_CHECK(scratch != nullptr);
+  PDX_CHECK(diff_out.size() == num_configs_);
+  PDX_CHECK(var_out.size() == num_configs_);
+  scratch->Prepare(num_configs_);
+  const size_t k = num_configs_;
+  double* acc_n = scratch->n.data();
+  double* acc_mean = scratch->mean.data();
+  double* acc_m2 = scratch->m2.data();
+  double* usum = scratch->sums.data();
+  std::fill(diff_out.begin(), diff_out.end(), 0.0);
+  std::fill(var_out.begin(), var_out.end(), 0.0);
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    std::fill_n(acc_n, k, 0.0);
+    std::fill_n(acc_mean, k, 0.0);
+    std::fill_n(acc_m2, k, 0.0);
+    std::fill_n(usum, k, 0.0);
+    // Per-stratum merge, config-contiguous inner loop: each config's
+    // merged state is built in the same template order as the scalar
+    // DiffEstimate/DiffVariance pair, so means and variances derived from
+    // it are bit-identical — computed once here instead of twice there.
+    for (TemplateId t : strat.TemplatesOf(h)) {
+      const size_t base = CellOf(t, 0);
+      MergeRowLanewise(diff_.n.data() + base, diff_.mean.data() + base,
+                       diff_.m2.data() + base, acc_n, acc_mean, acc_m2, k);
+      const double* u_row = diff_uncertainty_.data() + base;
+      for (size_t c = 0; c < k; ++c) usum[c] += u_row[c];
+    }
+    const double pop = static_cast<double>(strat.PopulationOf(h));
+    const uint64_t pop_u = strat.PopulationOf(h);
+    for (size_t c = 0; c < k; ++c) {
+      const uint64_t n = static_cast<uint64_t>(acc_n[c]);
+      if (n > 0) diff_out[c] += pop * acc_mean[c];
+      const double s2 = n > 1 ? acc_m2[c] / (acc_n[c] - 1.0) : 0.0;
+      var_out[c] += StratumVarianceTerm(s2, n, pop_u);
+      var_out[c] += UncertaintyBiasSquared(usum[c], n, pop_u);
+    }
+  }
+}
+
+void DeltaEstimator::Estimates(const Stratification& strat,
+                               EstimatorScratch* scratch,
+                               std::span<double> out) const {
+  PDX_CHECK(scratch != nullptr);
+  PDX_CHECK(out.size() == num_configs_);
+  scratch->Prepare(num_configs_);
+  const size_t k = num_configs_;
+  double* acc_n = scratch->n.data();
+  double* acc_mean = scratch->mean.data();
+  double* acc_m2 = scratch->m2.data();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (uint32_t h = 0; h < strat.num_strata(); ++h) {
+    std::fill_n(acc_n, k, 0.0);
+    std::fill_n(acc_mean, k, 0.0);
+    std::fill_n(acc_m2, k, 0.0);
+    for (TemplateId t : strat.TemplatesOf(h)) {
+      const size_t base = CellOf(t, 0);
+      MergeRowLanewise(raw_.n.data() + base, raw_.mean.data() + base,
+                       raw_.m2.data() + base, acc_n, acc_mean, acc_m2, k);
+    }
+    const double pop = static_cast<double>(strat.PopulationOf(h));
+    for (size_t c = 0; c < k; ++c) {
+      if (acc_n[c] > 0.0) out[c] += pop * acc_mean[c];
+    }
+  }
 }
 
 double DeltaEstimator::VarianceReductionForNext(
@@ -439,7 +562,7 @@ double DeltaEstimator::VarianceReductionForNext(
     if (!active[j] || j == reference_) continue;
     RunningMoments merged;
     for (TemplateId t : strat.TemplatesOf(stratum)) {
-      merged.Merge(diff_moments_[j][t]);
+      merged.Merge(diff_.At(CellOf(t, j)));
     }
     uint64_t nj = static_cast<uint64_t>(merged.count());
     if (nj + 1 > N) continue;
@@ -497,10 +620,12 @@ std::vector<TemplateStats> DeltaEstimator::AveragedDiffTemplateStats(
     if (num_active_pairs == 0) continue;
     double mean_abs = 0.0;
     double var = 0.0;
+    // Config-contiguous row: the active-pair sweep reads consecutive cells.
+    const size_t base = CellOf(t, 0);
     for (ConfigId j = 0; j < num_configs_; ++j) {
       if (!active[j] || j == reference_) continue;
-      mean_abs += std::abs(diff_moments_[j][t].mean());
-      var += diff_moments_[j][t].variance_sample();
+      mean_abs += std::abs(diff_.MeanAt(base + j));
+      var += diff_.VarianceSampleAt(base + j);
     }
     // Single ranking over the pairs (§5.1): order templates by the average
     // magnitude of their cost differences; score splits by average

@@ -5,8 +5,11 @@
 // harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -15,6 +18,80 @@
 #include "core/stratification.h"
 
 namespace pdx {
+
+/// Structure-of-arrays moment storage over flat cells: count / mean / M2
+/// / M3 live in separate parallel arrays so the batched per-stratum merge
+/// over the config dimension compiles to plain lanewise loops the
+/// auto-vectorizer can handle (an array of RunningMoments structs forces
+/// strided loads). Counts are stored as doubles — exact up to 2^53, and
+/// every Welford/Pébay formula converts them to double anyway — so all
+/// four streams share one element type. Every per-cell update replicates
+/// RunningMoments' arithmetic operation for operation; materializing a
+/// cell with At() yields an accumulator with identical stored values.
+struct MomentSoA {
+  std::vector<double> n, mean, m2, m3;
+
+  void Assign(size_t cells) {
+    n.assign(cells, 0.0);
+    mean.assign(cells, 0.0);
+    m2.assign(cells, 0.0);
+    m3.assign(cells, 0.0);
+  }
+  void ResetAll() {
+    std::fill(n.begin(), n.end(), 0.0);
+    std::fill(mean.begin(), mean.end(), 0.0);
+    std::fill(m2.begin(), m2.end(), 0.0);
+    std::fill(m3.begin(), m3.end(), 0.0);
+  }
+
+  /// Bitwise-identical to RunningMoments::Add applied to cell `i`.
+  void AddAt(size_t i, double x) {
+    const double n1 = n[i];
+    const double nx = n1 + 1.0;
+    n[i] = nx;
+    const double delta = x - mean[i];
+    const double delta_n = delta / nx;
+    const double term1 = delta * delta_n * n1;
+    mean[i] += delta_n;
+    m3[i] += term1 * delta_n * (nx - 2.0) - 3.0 * delta_n * m2[i];
+    m2[i] += term1;
+  }
+
+  /// Materializes cell `i` (same component values as an accumulator that
+  /// received the same observations).
+  RunningMoments At(size_t i) const {
+    return RunningMoments(static_cast<int64_t>(n[i]), mean[i], m2[i], m3[i]);
+  }
+
+  double MeanAt(size_t i) const { return n[i] > 0.0 ? mean[i] : 0.0; }
+  double VarianceSampleAt(size_t i) const {
+    return n[i] > 1.0 ? m2[i] / (n[i] - 1.0) : 0.0;
+  }
+};
+
+/// Caller-owned reusable buffers for the batched estimator kernels
+/// (DiffStats / Estimates). The no-allocation rule for estimator hot
+/// loops: a selection loop allocates one scratch up front and every
+/// per-round kernel call reuses it — the kernels themselves never touch
+/// the heap after the first Prepare. The merged-moment accumulators are
+/// SoA for the same lanewise-merge reason as MomentSoA.
+struct EstimatorScratch {
+  /// Per-config merged stratum moments (count / mean / M2 components).
+  std::vector<double> n, mean, m2;
+  /// Per-config summed uncertainty half-widths of the current stratum.
+  std::vector<double> sums;
+
+  /// Ensures capacity for `k` configurations (grows only; values are
+  /// reset by the kernels per stratum).
+  void Prepare(size_t k) {
+    if (n.size() < k) {
+      n.resize(k, 0.0);
+      mean.resize(k, 0.0);
+      m2.resize(k, 0.0);
+      sums.resize(k, 0.0);
+    }
+  }
+};
 
 /// Per-template query populations of a cost source.
 std::vector<uint64_t> TemplatePopulationsOf(const CostSource& source);
@@ -115,11 +192,19 @@ class IndependentEstimator {
   double StratumUncertainty(ConfigId config, const Stratification& strat,
                             uint32_t stratum) const;
 
+  /// Flat cell index of (config, template).
+  size_t CellOf(ConfigId config, TemplateId tmpl) const {
+    return static_cast<size_t>(config) * num_templates_ + tmpl;
+  }
+
+  size_t num_configs_ = 0;
+  size_t num_templates_ = 0;
   std::vector<uint64_t> template_populations_;
-  /// [config][template] moments of sampled costs.
-  std::vector<std::vector<RunningMoments>> moments_;
-  /// [config][template] sum of uncertainty half-widths (0 = all exact).
-  std::vector<std::vector<double>> uncertainty_;
+  /// moments_[config * num_templates_ + t]: one config's per-template
+  /// moments are contiguous (flat storage, no per-config row allocations).
+  std::vector<RunningMoments> moments_;
+  /// Same layout: sum of uncertainty half-widths (0 = all exact).
+  std::vector<double> uncertainty_;
 };
 
 /// Delta Sampling state (paper §4.2): a single shared sample, every query
@@ -136,9 +221,15 @@ class DeltaEstimator {
   /// sample was drawn. `uncertainties` (empty = all exact) carries the
   /// per-configuration measurement half-widths of degraded cells; the
   /// difference (ref - c) inherits u_ref + u_c, folded into DiffVariance
-  /// as the pessimal systematic shift (see IndependentEstimator).
-  void Add(QueryId qid, TemplateId tmpl, std::vector<double> costs,
-           std::vector<double> uncertainties = {});
+  /// as the pessimal systematic shift (see IndependentEstimator). The
+  /// spans are copied into the flat sample arena — callers reuse their
+  /// buffers across samples (no per-call allocation).
+  void Add(QueryId qid, TemplateId tmpl, std::span<const double> costs,
+           std::span<const double> uncertainties = {});
+  /// Brace-literal convenience for tests: Add(q, t, {c0, c1}).
+  void Add(QueryId qid, TemplateId tmpl, std::initializer_list<double> costs) {
+    Add(qid, tmpl, std::span<const double>(costs.begin(), costs.size()));
+  }
 
   /// Sets the reference ("best") configuration for pairwise difference
   /// moments; rebuilds diff moments from stored samples when it changes.
@@ -158,6 +249,22 @@ class DeltaEstimator {
   /// the difference distribution).
   double DiffVariance(ConfigId j, const Stratification& strat) const;
 
+  /// Batched DiffEstimate + DiffVariance over ALL configurations in one
+  /// sweep: diff_out[j] and var_out[j] are bit-identical to the scalar
+  /// calls (each stratum's moments are merged in the same template order;
+  /// the scalar pair merges that identical state twice, once per call, so
+  /// the batch also halves the merge work). Both spans must have
+  /// num_configs elements; entries for the reference or inactive
+  /// configurations are computed too (harmless — callers ignore them).
+  /// Zero allocation after scratch->Prepare's first growth.
+  void DiffStats(const Stratification& strat, EstimatorScratch* scratch,
+                 std::span<double> diff_out, std::span<double> var_out) const;
+
+  /// Batched Estimate over all configurations; out[c] bit-identical to
+  /// Estimate(c, strat). Zero allocation (see DiffStats).
+  void Estimates(const Stratification& strat, EstimatorScratch* scratch,
+                 std::span<double> out) const;
+
   /// Sum over active pairs (ref, j) of the variance reduction from one
   /// more sample in `stratum` (§5.2 for Delta Sampling).
   double VarianceReductionForNext(const Stratification& strat, uint32_t stratum,
@@ -167,11 +274,11 @@ class DeltaEstimator {
   uint64_t SamplesIn(const Stratification& strat, uint32_t stratum) const;
   uint64_t TotalSamples() const { return samples_.size(); }
 
-  /// Bytes retained by the raw sample store (records + their cost
-  /// vectors). Delta Sampling keeps every sampled cost vector alive for
-  /// reference switches, so this is the scheme's dominant memory cost:
-  /// ~num_configs doubles per sample, bounded by the up-front reservation
-  /// (min(workload size, population) records, never reallocated past it).
+  /// Bytes retained by the raw sample store (records + the flat cost /
+  /// uncertainty arenas). Delta Sampling keeps every sampled cost vector
+  /// alive for reference switches, so this is the scheme's dominant
+  /// memory cost: num_configs doubles per sample in one contiguous arena
+  /// (amortized growth — O(log n) allocations over a run, none per Add).
   size_t samples_bytes() const;
 
   /// Minimum sample count over all non-empty templates.
@@ -193,8 +300,6 @@ class DeltaEstimator {
   struct SampleRecord {
     QueryId qid;
     TemplateId tmpl;
-    std::vector<double> costs;   // NaN = not evaluated
-    std::vector<double> uncert;  // empty = all exact
   };
 
   void RebuildDiffMoments();
@@ -202,16 +307,30 @@ class DeltaEstimator {
   double StratumDiffUncertainty(ConfigId j, const Stratification& strat,
                                 uint32_t stratum) const;
 
+  /// Flat cell index of (template, config): the config dimension is the
+  /// contiguous inner axis, so Add's per-config loop and the batched
+  /// kernels' per-stratum merges sweep consecutive cells.
+  size_t CellOf(TemplateId tmpl, ConfigId c) const {
+    return static_cast<size_t>(tmpl) * num_configs_ + c;
+  }
+
   size_t num_configs_;
   std::vector<uint64_t> template_populations_;
   std::vector<SampleRecord> samples_;
-  /// [config][template] moments of raw costs (valid rows only).
-  std::vector<std::vector<RunningMoments>> raw_moments_;
-  /// [config][template] moments of (cost_ref - cost_j).
-  std::vector<std::vector<RunningMoments>> diff_moments_;
-  /// [config][template] sum of (u_ref + u_j) uncertainty half-widths of
-  /// the recorded differences; rebuilt alongside diff_moments_.
-  std::vector<std::vector<double>> diff_uncertainty_;
+  /// Flat sample arenas: sample i's costs live at [i * num_configs_,
+  /// (i+1) * num_configs_) of sample_costs_ (NaN = not evaluated).
+  /// sample_uncerts_ is either empty (every sample exact) or holds one
+  /// num_configs_ row per record — rows of zeros are backfilled the first
+  /// time a sample arrives with uncertainties, keeping that invariant.
+  std::vector<double> sample_costs_;
+  std::vector<double> sample_uncerts_;
+  /// raw_[t * num_configs_ + c]: SoA moments of raw costs.
+  MomentSoA raw_;
+  /// Same layout: SoA moments of (cost_ref - cost_j).
+  MomentSoA diff_;
+  /// Same layout: sum of (u_ref + u_j) uncertainty half-widths of the
+  /// recorded differences; rebuilt alongside diff_.
+  std::vector<double> diff_uncertainty_;
   /// Per-template shared sample counts.
   std::vector<uint64_t> template_counts_;
   ConfigId reference_ = 0;

@@ -231,11 +231,49 @@ double FaultTolerantCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < num_queries_ && c < num_configs_);
   size_t cell = static_cast<size_t>(q) * num_configs_ + c;
   // Lock-free fast path for already-resolved cells: the acquire pairs
-  // with the release below, so the value (and uncertainty) written by the
-  // resolving thread is visible.
+  // with the release in ResolveAndRead, so the value (and uncertainty)
+  // written by the resolving thread is visible.
   if (state_[cell].load(std::memory_order_acquire) == kResolved) {
     return values_[cell];
   }
+  return ResolveAndRead(q, c, cell);
+}
+
+void FaultTolerantCostSource::CostMany(std::span<const QueryId> queries,
+                                       ConfigId c, std::span<double> out) {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < num_configs_);
+  // Strictly sequential in index order: a throwing cell propagates
+  // immediately, leaving later siblings unresolved — exactly the scalar
+  // loop's behavior (and what the fault tests pin down).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryId q = queries[i];
+    PDX_CHECK(q < num_queries_);
+    const size_t cell = static_cast<size_t>(q) * num_configs_ + c;
+    out[i] = state_[cell].load(std::memory_order_acquire) == kResolved
+                 ? values_[cell]
+                 : ResolveAndRead(q, c, cell);
+  }
+}
+
+void FaultTolerantCostSource::CostAcross(QueryId q,
+                                         std::span<const ConfigId> configs,
+                                         std::span<double> out) {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < num_queries_);
+  const size_t row = static_cast<size_t>(q) * num_configs_;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ConfigId c = configs[i];
+    PDX_CHECK(c < num_configs_);
+    const size_t cell = row + c;
+    out[i] = state_[cell].load(std::memory_order_acquire) == kResolved
+                 ? values_[cell]
+                 : ResolveAndRead(q, c, cell);
+  }
+}
+
+double FaultTolerantCostSource::ResolveAndRead(QueryId q, ConfigId c,
+                                               size_t cell) {
   std::unique_lock<std::mutex> lock(resolve_mu_);
   for (;;) {
     uint8_t s = state_[cell].load(std::memory_order_relaxed);
@@ -275,6 +313,33 @@ double FaultTolerantCostSource::CostUncertainty(QueryId q, ConfigId c) const {
   // resolved exactly (or not yet resolved) report 0.
   if (degraded_[cell].load(std::memory_order_acquire) == 0) return 0.0;
   return uncertainty_[cell];
+}
+
+void FaultTolerantCostSource::CostUncertaintyMany(
+    std::span<const QueryId> queries, ConfigId c, std::span<double> out) const {
+  PDX_CHECK(queries.size() == out.size());
+  PDX_CHECK(c < num_configs_);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PDX_CHECK(queries[i] < num_queries_);
+    const size_t cell = static_cast<size_t>(queries[i]) * num_configs_ + c;
+    out[i] = degraded_[cell].load(std::memory_order_acquire) == 0
+                 ? 0.0
+                 : uncertainty_[cell];
+  }
+}
+
+void FaultTolerantCostSource::CostUncertaintyAcross(
+    QueryId q, std::span<const ConfigId> configs, std::span<double> out) const {
+  PDX_CHECK(configs.size() == out.size());
+  PDX_CHECK(q < num_queries_);
+  const size_t row = static_cast<size_t>(q) * num_configs_;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PDX_CHECK(configs[i] < num_configs_);
+    const size_t cell = row + configs[i];
+    out[i] = degraded_[cell].load(std::memory_order_acquire) == 0
+                 ? 0.0
+                 : uncertainty_[cell];
+  }
 }
 
 void FaultTolerantCostSource::ResolveCell(QueryId q, ConfigId c, size_t cell) {

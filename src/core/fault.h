@@ -249,9 +249,24 @@ class FaultTolerantCostSource : public CostSource {
                           TraceSink* trace = nullptr);
 
   double Cost(QueryId q, ConfigId c) override;
+  /// Batched sweeps resolve cells strictly in index order, one at a time —
+  /// resolution is where retries, degradation and exceptions live, and the
+  /// scalar-loop contract requires that a cell whose resolution throws
+  /// leaves every later sibling in the batch untouched (unresolved). The
+  /// win over the default fallback is the lock-free fast path: cells
+  /// already resolved are read straight from the columnar value array
+  /// without a virtual dispatch per cell.
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override;
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override;
   /// Half-width of the degraded interval of (q, c); 0.0 for cells
   /// resolved exactly (or not yet resolved).
   double CostUncertainty(QueryId q, ConfigId c) const override;
+  void CostUncertaintyMany(std::span<const QueryId> queries, ConfigId c,
+                           std::span<double> out) const override;
+  void CostUncertaintyAcross(QueryId q, std::span<const ConfigId> configs,
+                             std::span<double> out) const override;
 
   size_t num_queries() const override { return num_queries_; }
   size_t num_configs() const override { return num_configs_; }
@@ -289,6 +304,11 @@ class FaultTolerantCostSource : public CostSource {
   enum : uint8_t { kUnresolved = 0, kResolving = 1, kResolved = 2 };
 
   void ResolveCell(QueryId q, ConfigId c, size_t cell);
+  /// The slow path shared by Cost() and the batched sweeps: claims or
+  /// waits on the cell's once state, resolves it if this thread won, and
+  /// returns the resolved value. Exceptions reset the cell to unresolved
+  /// and propagate.
+  double ResolveAndRead(QueryId q, ConfigId c, size_t cell);
 
   CostSource* inner_;
   ExecutionPolicy policy_;

@@ -53,10 +53,20 @@ FixedBudgetResult RunDeltaFixed(CostSource* source, uint64_t query_budget,
       options.overhead_aware ? PerTemplateOverheads(*source, pops)
                              : std::vector<double>();
 
+  // Hot-loop buffers, allocated once per run (the estimator no-allocation
+  // rule). Budget mode never eliminates, so every sweep covers all k
+  // configurations in ascending order — the scalar visit order.
+  EstimatorScratch scratch;
+  std::vector<double> estimates_buf(k, 0.0);
+  std::vector<double> diffs_buf(k, 0.0);
+  std::vector<double> vars_buf(k, 0.0);
+  std::vector<double> costs_buf(k, 0.0);
+  std::vector<ConfigId> all_ids(k);
+  for (ConfigId c = 0; c < k; ++c) all_ids[c] = c;
+
   auto evaluate = [&](QueryId q) {
-    std::vector<double> costs(k);
-    for (ConfigId c = 0; c < k; ++c) costs[c] = source->Cost(q, c);
-    est.Add(q, source->TemplateOf(q), std::move(costs));
+    source->CostAcross(q, all_ids, costs_buf);
+    est.Add(q, source->TemplateOf(q), costs_buf);
   };
 
   uint64_t drawn = 0;
@@ -120,10 +130,10 @@ FixedBudgetResult RunDeltaFixed(CostSource* source, uint64_t query_budget,
         ++iteration;
         ConfigId best = 0;
         double best_est = std::numeric_limits<double>::infinity();
+        est.Estimates(strat, &scratch, estimates_buf);
         for (ConfigId c = 0; c < k; ++c) {
-          double e = est.Estimate(c, strat);
-          if (e < best_est) {
-            best_est = e;
+          if (estimates_buf[c] < best_est) {
+            best_est = estimates_buf[c];
             best = c;
           }
         }
@@ -134,10 +144,11 @@ FixedBudgetResult RunDeltaFixed(CostSource* source, uint64_t query_budget,
           // a nominal 95% level (budget mode has no alpha).
           double z = NormalQuantile(0.975);
           double target_se = std::numeric_limits<double>::infinity();
+          est.DiffStats(strat, &scratch, diffs_buf, vars_buf);
           for (ConfigId j = 0; j < k; ++j) {
             if (j == best) continue;
-            double gap = -est.DiffEstimate(j, strat);
-            double se = std::sqrt(std::max(0.0, est.DiffVariance(j, strat)));
+            double gap = -diffs_buf[j];
+            double se = std::sqrt(std::max(0.0, vars_buf[j]));
             gap = std::max(gap, 0.25 * se);
             if (gap > 0.0) target_se = std::min(target_se, gap / z);
           }
@@ -183,7 +194,7 @@ FixedBudgetResult RunDeltaFixed(CostSource* source, uint64_t query_budget,
 
   FixedBudgetResult out;
   out.estimates.resize(k);
-  for (ConfigId c = 0; c < k; ++c) out.estimates[c] = est.Estimate(c, strat);
+  est.Estimates(strat, &scratch, out.estimates);
   out.best = ArgMin(out.estimates);
   out.queries_sampled = est.TotalSamples();
   out.optimizer_calls = source->num_calls() - calls_before;

@@ -194,21 +194,50 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     }
   };
 
+  // Hot-loop buffers, allocated once per run and reused every sample /
+  // round (the estimator no-allocation rule). batch_ids carries the
+  // active configurations in ascending order — the same order the scalar
+  // loop visited them — so the batched sweep prices identical cells in an
+  // identical sequence.
   uint64_t degraded_cells = 0;
+  EstimatorScratch scratch;
+  std::vector<double> estimates_buf(k, 0.0);
+  std::vector<double> diffs_buf(k, 0.0);
+  std::vector<double> vars_buf(k, 0.0);
+  std::vector<double> costs_buf(k, 0.0);
+  std::vector<double> uncerts_buf(k, 0.0);
+  std::vector<double> batch_vals(k, 0.0);
+  std::vector<ConfigId> batch_ids;
+  batch_ids.reserve(k);
   auto evaluate = [&](QueryId q) {
-    std::vector<double> costs(k, std::numeric_limits<double>::quiet_NaN());
-    std::vector<double> uncerts;
+    batch_ids.clear();
     for (ConfigId c = 0; c < k; ++c) {
-      if (!active[c]) continue;
-      costs[c] = source_->Cost(q, c);
-      double u = source_->CostUncertainty(q, c);
-      if (u > 0.0) {
-        if (uncerts.empty()) uncerts.assign(k, 0.0);
-        uncerts[c] = u;
+      if (active[c]) batch_ids.push_back(c);
+    }
+    std::span<double> vals(batch_vals.data(), batch_ids.size());
+    std::fill(costs_buf.begin(), costs_buf.end(),
+              std::numeric_limits<double>::quiet_NaN());
+    // One batched sweep prices the query under every active configuration;
+    // the uncertainty sweep afterwards is safe to separate from the cost
+    // sweep because CostUncertainty is side-effect-free and fixed once the
+    // cell is resolved.
+    source_->CostAcross(q, batch_ids, vals);
+    for (size_t i = 0; i < batch_ids.size(); ++i) {
+      costs_buf[batch_ids[i]] = vals[i];
+    }
+    source_->CostUncertaintyAcross(q, batch_ids, vals);
+    bool any_uncertain = false;
+    std::fill(uncerts_buf.begin(), uncerts_buf.end(), 0.0);
+    for (size_t i = 0; i < batch_ids.size(); ++i) {
+      if (vals[i] > 0.0) {
+        uncerts_buf[batch_ids[i]] = vals[i];
+        any_uncertain = true;
         ++degraded_cells;
       }
     }
-    est.Add(q, source_->TemplateOf(q), std::move(costs), std::move(uncerts));
+    est.Add(q, source_->TemplateOf(q), costs_buf,
+            any_uncertain ? std::span<const double>(uncerts_buf)
+                          : std::span<const double>());
   };
 
   SelectionResult result;
@@ -237,14 +266,16 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   while (true) {
     ++iteration;
 
-    // Select the incumbent best among active configurations.
+    // Select the incumbent best among active configurations. One batched
+    // sweep computes every configuration's estimate (bit-identical to the
+    // scalar Estimate calls); inactive entries are simply not compared.
     ConfigId best = 0;
     double best_est = std::numeric_limits<double>::infinity();
+    est.Estimates(strat, &scratch, estimates_buf);
     for (ConfigId c = 0; c < k; ++c) {
       if (!active[c]) continue;
-      double e = est.Estimate(c, strat);
-      if (e < best_est) {
-        best_est = e;
+      if (estimates_buf[c] < best_est) {
+        best_est = estimates_buf[c];
         best = c;
       }
     }
@@ -259,7 +290,11 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     }
     prev_best = best;
 
-    // Pairwise Pr(CS) and the Bonferroni bound (eq. 3).
+    // Pairwise Pr(CS) and the Bonferroni bound (eq. 3). DiffStats computes
+    // every pair's estimate and variance from one merged-moment sweep —
+    // the same merged state the scalar DiffEstimate/DiffVariance pair
+    // derived twice — so gaps, ses and Pr(CS) match bit for bit.
+    est.DiffStats(strat, &scratch, diffs_buf, vars_buf);
     std::vector<double> pairwise;
     pairwise.reserve(k - 1);
     std::vector<double> gaps(k, 0.0);
@@ -274,11 +309,10 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       ++active_pairs;
       // X_{best,j} should be negative when best is better; the gap fed to
       // PairwisePrCs is -X_{best,j}.
-      double diff = est.DiffEstimate(j, strat);
-      double se = SafeSe(est.DiffVariance(j, strat));
-      gaps[j] = -diff;
+      double se = SafeSe(vars_buf[j]);
+      gaps[j] = -diffs_buf[j];
       ses[j] = se;
-      pairwise.push_back(PairwisePrCs(-diff, se, options_.delta));
+      pairwise.push_back(PairwisePrCs(-diffs_buf[j], se, options_.delta));
     }
     double pr = BonferroniPrCs(pairwise);
 
@@ -330,10 +364,10 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       result.queries_sampled = est.TotalSamples();
       result.optimizer_calls = source_->num_calls() - calls_before;
       result.estimator_samples_bytes = est.samples_bytes();
-      result.estimates.resize(k);
-      for (ConfigId c = 0; c < k; ++c) {
-        result.estimates[c] = est.Estimate(c, strat);
-      }
+      // No samples were added since the round-top Estimates sweep, so the
+      // buffer already holds Estimate(c, strat) for every c — including
+      // eliminated configurations — bit for bit.
+      result.estimates.assign(estimates_buf.begin(), estimates_buf.end());
       result.final_strata = {static_cast<uint32_t>(strat.num_strata())};
       result.active_configs = static_cast<uint32_t>(
           std::count(active.begin(), active.end(), true));
@@ -527,12 +561,29 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     return result;
   }
 
-  // Pilot: n_min samples per configuration.
-  for (ConfigId c = 0; c < k; ++c) {
-    for (uint32_t i = 0; i < options_.n_min; ++i) {
-      std::optional<QueryId> q = pools[c].DrawGlobal(rng);
-      if (!q) break;
-      evaluate(c, *q);
+  // Pilot: n_min samples per configuration. Each configuration's draws are
+  // taken first — pricing consumes no randomness, so the RNG stream is
+  // unchanged — then priced in one batched config-major sweep.
+  {
+    std::vector<QueryId> qbuf;
+    std::vector<double> cbuf(options_.n_min, 0.0);
+    std::vector<double> ubuf(options_.n_min, 0.0);
+    qbuf.reserve(options_.n_min);
+    for (ConfigId c = 0; c < k; ++c) {
+      qbuf.clear();
+      for (uint32_t i = 0; i < options_.n_min; ++i) {
+        std::optional<QueryId> q = pools[c].DrawGlobal(rng);
+        if (!q) break;
+        qbuf.push_back(*q);
+      }
+      std::span<double> costs(cbuf.data(), qbuf.size());
+      std::span<double> uncerts(ubuf.data(), qbuf.size());
+      source_->CostMany(qbuf, c, costs);
+      source_->CostUncertaintyMany(qbuf, c, uncerts);
+      for (size_t i = 0; i < qbuf.size(); ++i) {
+        if (ubuf[i] > 0.0) ++degraded_cells;
+        est.Add(c, source_->TemplateOf(qbuf[i]), cbuf[i], ubuf[i]);
+      }
     }
   }
 

@@ -161,11 +161,19 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
     }
     SignatureCachingCostSource scorer(optimizer, workload,
                                       std::move(scoring_configs), scoring_ids);
+    std::vector<QueryId> batch_qids(scoring_ids.size());
+    for (size_t i = 0; i < batch_qids.size(); ++i) {
+      batch_qids[i] = static_cast<QueryId>(i);
+    }
+    std::vector<double> batch_costs(scoring_ids.size(), 0.0);
     auto weighted = [&](ConfigId c) {
+      // One batched sweep per candidate; the weighted sum runs in the same
+      // per-query order as the scalar loop, so totals are bit-identical.
+      scorer.CostMany(batch_qids, c, batch_costs);
       double total = 0.0;
-      for (size_t i = 0; i < scoring_ids.size(); ++i) {
+      for (size_t i = 0; i < batch_costs.size(); ++i) {
         double w = scoring_weights.empty() ? 1.0 : scoring_weights[i];
-        total += w * scorer.Cost(static_cast<QueryId>(i), c);
+        total += w * batch_costs[i];
       }
       return total;
     };

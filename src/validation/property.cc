@@ -650,6 +650,84 @@ std::string CheckIndependentMatchesDeltaAtCensus(const MatrixInstance& inst) {
   return "";
 }
 
+std::string CheckBatchedMatchesScalarBitwise(const MatrixInstance& inst) {
+  // The batched cost API (CostMany / CostAcross) and the batched estimator
+  // kernels (Estimates / DiffStats) must be BIT-identical to their scalar
+  // counterparts on every generator shape — batching is a layout/dispatch
+  // optimization and may not move a single ulp.
+  auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  std::vector<uint64_t> pops(inst.num_templates, 0);
+  for (TemplateId t : inst.templates) ++pops[t];
+  MatrixCostSource src(inst.costs, inst.templates,
+                       inst.num_configs);
+  const size_t k = inst.num_configs;
+  const size_t nq = inst.num_queries();
+
+  std::vector<QueryId> qids(nq);
+  for (size_t q = 0; q < nq; ++q) qids[q] = static_cast<QueryId>(q);
+  std::vector<ConfigId> cids(k);
+  for (size_t c = 0; c < k; ++c) cids[c] = static_cast<ConfigId>(c);
+  std::vector<double> buf(std::max(nq, k));
+
+  for (ConfigId c = 0; c < k; ++c) {
+    std::span<double> out(buf.data(), nq);
+    src.CostMany(qids, c, out);
+    for (size_t q = 0; q < nq; ++q) {
+      if (!same_bits(out[q], src.Cost(static_cast<QueryId>(q), c))) {
+        return StringFormat("CostMany(q=%zu, c=%u) differs from Cost", q, c);
+      }
+    }
+  }
+  for (QueryId q = 0; q < nq; ++q) {
+    std::span<double> out(buf.data(), k);
+    src.CostAcross(q, cids, out);
+    for (size_t c = 0; c < k; ++c) {
+      if (!same_bits(out[c], src.Cost(q, static_cast<ConfigId>(c)))) {
+        return StringFormat("CostAcross(q=%u, c=%zu) differs from Cost", q, c);
+      }
+    }
+  }
+
+  // Estimator kernels: feed a random sample prefix, apply a random valid
+  // stratification split and reference, then compare batched vs scalar.
+  Rng rng(inst.seed ^ 0xBA7C4);
+  DeltaEstimator est(k, inst.num_templates, pops);
+  Stratification strat(pops);
+  const size_t take = 1 + rng.NextBounded(nq);
+  for (size_t q = 0; q < take; ++q) {
+    est.Add(static_cast<QueryId>(q), inst.templates[q], inst.costs[q]);
+  }
+  for (int step = 0; step < 2; ++step) {
+    const uint32_t h =
+        static_cast<uint32_t>(rng.NextBounded(strat.num_strata()));
+    const std::vector<TemplateId>& members = strat.TemplatesOf(h);
+    if (members.size() < 2) continue;
+    const size_t split_take = 1 + rng.NextBounded(members.size() - 1);
+    strat.Split(h, std::vector<TemplateId>(members.begin(),
+                                           members.begin() + split_take));
+  }
+  est.SetReference(static_cast<ConfigId>(rng.NextBounded(k)));
+
+  EstimatorScratch scratch;
+  std::vector<double> estimates(k, 0.0), diffs(k, 0.0), vars(k, 0.0);
+  est.Estimates(strat, &scratch, estimates);
+  est.DiffStats(strat, &scratch, diffs, vars);
+  for (ConfigId c = 0; c < k; ++c) {
+    if (!same_bits(estimates[c], est.Estimate(c, strat))) {
+      return StringFormat("Estimates[%u] differs from Estimate", c);
+    }
+    if (!same_bits(diffs[c], est.DiffEstimate(c, strat))) {
+      return StringFormat("DiffStats diff[%u] differs from DiffEstimate", c);
+    }
+    if (!same_bits(vars[c], est.DiffVariance(c, strat))) {
+      return StringFormat("DiffStats var[%u] differs from DiffVariance", c);
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 const std::vector<PropertyDef>& BuiltinMatrixProperties() {
@@ -668,6 +746,7 @@ const std::vector<PropertyDef>& BuiltinMatrixProperties() {
       {"fpc_se_degenerate_cases", CheckFpcSeDegenerate},
       {"split_preserves_partition", CheckSplitPreservesPartition},
       {"schemes_agree_at_census", CheckIndependentMatchesDeltaAtCensus},
+      {"batched_matches_scalar_bitwise", CheckBatchedMatchesScalarBitwise},
   };
   return *defs;
 }

@@ -5,6 +5,10 @@
 // call counters under concurrent Cost() calls.
 #include "core/cost_source.h"
 
+#include <atomic>
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
@@ -122,6 +126,140 @@ TEST(CachingCostSourceTest, DelegatesMetadata) {
     EXPECT_EQ(cache.TemplateOf(q), inner.TemplateOf(q));
     EXPECT_EQ(cache.OptimizeOverhead(q), inner.OptimizeOverhead(q));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batched fills (CostMany / CostAcross)
+
+TEST(MatrixCostSourceTest, BatchedFillsMatchScalarAndCountPerCell) {
+  MatrixCostSource src = SyntheticMatrix(20, 3, 4, 0.1, 21);
+  std::vector<QueryId> qids(20);
+  for (QueryId q = 0; q < 20; ++q) qids[q] = q;
+  const std::vector<ConfigId> cids = {2, 0, 1};  // arbitrary order is fine
+
+  std::vector<double> col(20, -1.0);
+  src.ResetCallCounter();
+  src.CostMany(qids, 1, col);
+  EXPECT_EQ(src.num_calls(), 20u);  // one accounted call per cell
+  for (size_t i = 0; i < qids.size(); ++i) {
+    EXPECT_EQ(col[i], src.Cost(qids[i], 1));
+  }
+
+  std::vector<double> row(cids.size(), -1.0);
+  src.ResetCallCounter();
+  src.CostAcross(7, cids, row);
+  EXPECT_EQ(src.num_calls(), cids.size());
+  for (size_t i = 0; i < cids.size(); ++i) {
+    EXPECT_EQ(row[i], src.Cost(7, cids[i]));
+  }
+}
+
+/// Overrides only the scalar virtuals: exercises the base-class batched
+/// defaults, which are contractually the plain scalar loop so third-party
+/// sources keep working unchanged.
+class ScalarOnlySource : public CostSource {
+ public:
+  double Cost(QueryId q, ConfigId c) override {
+    ++calls_;
+    return 10.0 * q + c;
+  }
+  double CostUncertainty(QueryId q, ConfigId) const override {
+    return q == 0 ? 0.5 : 0.0;
+  }
+  size_t num_queries() const override { return 6; }
+  size_t num_configs() const override { return 3; }
+  TemplateId TemplateOf(QueryId) const override { return 0; }
+  size_t num_templates() const override { return 1; }
+  uint64_t num_calls() const override { return calls_; }
+  void ResetCallCounter() override { calls_ = 0; }
+
+ private:
+  uint64_t calls_ = 0;
+};
+
+TEST(CostSourceTest, DefaultBatchedFallbackIsTheScalarLoop) {
+  ScalarOnlySource src;
+  const std::vector<QueryId> qids = {0, 3, 5, 1};
+  std::vector<double> out(4, -1.0);
+  src.CostMany(qids, 2, out);
+  EXPECT_EQ(src.num_calls(), 4u);  // one Cost() per cell
+  for (size_t i = 0; i < qids.size(); ++i) {
+    EXPECT_EQ(out[i], 10.0 * qids[i] + 2.0);
+  }
+
+  const std::vector<ConfigId> cids = {1, 0, 2};
+  std::vector<double> row(3, -1.0);
+  src.CostAcross(4, cids, row);
+  EXPECT_EQ(src.num_calls(), 7u);
+  for (size_t i = 0; i < cids.size(); ++i) {
+    EXPECT_EQ(row[i], 40.0 + cids[i]);
+  }
+
+  std::vector<double> unc(4, -1.0);
+  src.CostUncertaintyMany(qids, 2, unc);
+  EXPECT_EQ(unc[0], 0.5);  // qids[0] == 0
+  EXPECT_EQ(unc[1], 0.0);
+  std::vector<double> unc_row(3, -1.0);
+  src.CostUncertaintyAcross(0, cids, unc_row);
+  for (double u : unc_row) EXPECT_EQ(u, 0.5);
+}
+
+TEST(CachingCostSourceTest, BatchedSweepAccountingMatchesScalar) {
+  MatrixCostSource inner = SyntheticMatrix(12, 3, 4, 0.1, 3);
+  CachingCostSource cache(&inner);
+  std::vector<QueryId> qids(12);
+  for (QueryId q = 0; q < 12; ++q) qids[q] = q;
+  std::vector<double> col(12, 0.0);
+
+  // First sweep, one CostMany per column: every cell is a cold miss and
+  // the wrapped source is called exactly once per cell — the same
+  // accounting the scalar double loop produces.
+  for (ConfigId c = 0; c < 3; ++c) cache.CostMany(qids, c, col);
+  EXPECT_EQ(cache.num_misses(), 36u);
+  EXPECT_EQ(cache.num_hits(), 0u);
+  EXPECT_EQ(inner.num_calls(), 36u);
+
+  // Second sweep along the other axis: pure hits, no new inner calls.
+  const std::vector<ConfigId> cids = {0, 1, 2};
+  std::vector<double> row(3, 0.0);
+  for (QueryId q = 0; q < 12; ++q) {
+    cache.CostAcross(q, cids, row);
+    for (size_t i = 0; i < cids.size(); ++i) {
+      EXPECT_EQ(row[i], inner.Cost(q, cids[i]));
+    }
+  }
+  EXPECT_EQ(cache.num_misses(), 36u);
+  EXPECT_EQ(cache.num_hits(), 36u);
+}
+
+TEST(CachingCostSourceTest, ConcurrentCostManyMakesExactlyOneCallPerPair) {
+  MatrixCostSource inner = SyntheticMatrix(16, 4, 4, 0.1, 29);
+  std::vector<std::vector<double>> cols;
+  for (ConfigId c = 0; c < 4; ++c) cols.push_back(inner.Column(c));
+  CachingCostSource cache(&inner);
+  inner.ResetCallCounter();
+  std::vector<QueryId> qids(16);
+  for (QueryId q = 0; q < 16; ++q) qids[q] = q;
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  // Every thread hammers all four columns through the batched path: the
+  // first-touch races must resolve to exactly one inner call per cell and
+  // every batch must read the same stored doubles. (This is the test the
+  // TSan build leans on for the batched fill path.)
+  pool.ParallelFor(0, 1000, 1, [&](size_t begin, size_t end) {
+    std::vector<double> out(16, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      const ConfigId c = static_cast<ConfigId>(i % 4);
+      cache.CostMany(qids, c, out);
+      for (size_t q = 0; q < 16; ++q) {
+        if (out[q] != cols[c][q]) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(inner.num_calls(), 16u * 4u);
+  EXPECT_EQ(cache.num_misses(), 16u * 4u);
+  EXPECT_EQ(cache.num_hits() + cache.num_misses(), 16u * 1000u);
 }
 
 TEST(WhatIfOptimizerTest, CallCountersAreAtomicUnderParallelCost) {

@@ -1,6 +1,7 @@
 #include "core/estimators.h"
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -231,6 +232,44 @@ TEST(IndependentEstimatorTest, TemplateCoveragePerConfig) {
   EXPECT_DOUBLE_EQ(est.UnobservedPopulationShare(0), 0.0);
   EXPECT_EQ(est.MinTemplateCount(0), 1u);
   EXPECT_EQ(est.MinTemplateCount(1), 0u);
+}
+
+TEST(DeltaEstimatorTest, BatchedStatsMatchScalarBitwise) {
+  // The batched kernels (Estimates / DiffStats) are the hot path of the
+  // vectorized selector; they must reproduce the scalar accessors bit for
+  // bit, including the degraded-measurement uncertainty term.
+  MatrixCostSource src = SyntheticMatrix(240, 4, 5, 0.12, 23);
+  std::vector<uint64_t> pops = PopsOf(src);
+  const size_t k = 4;
+  DeltaEstimator est(k, 5, pops);
+  Stratification strat(pops);
+  strat.Split(0, {0, 1});  // non-trivial stratification
+  Rng rng(24);
+  StratifiedSamplePool pool(src, &rng);
+  std::vector<double> costs(k), uncerts(k);
+  for (int i = 0; i < 120; ++i) {
+    auto q = pool.DrawGlobal(&rng);
+    for (ConfigId c = 0; c < k; ++c) costs[c] = src.Cost(*q, c);
+    // A sprinkling of degraded cells exercises the uncertainty sweep.
+    for (ConfigId c = 0; c < k; ++c) {
+      uncerts[c] = (i % 7 == 0) ? 0.01 * costs[c] : 0.0;
+    }
+    est.Add(*q, src.TemplateOf(*q), costs, uncerts);
+  }
+  est.SetReference(1);
+
+  EstimatorScratch scratch;
+  std::vector<double> estimates(k), diffs(k), vars(k);
+  est.Estimates(strat, &scratch, estimates);
+  est.DiffStats(strat, &scratch, diffs, vars);
+  for (ConfigId c = 0; c < k; ++c) {
+    const double e = est.Estimate(c, strat);
+    const double d = est.DiffEstimate(c, strat);
+    const double v = est.DiffVariance(c, strat);
+    EXPECT_EQ(std::memcmp(&estimates[c], &e, sizeof(double)), 0) << "c=" << c;
+    EXPECT_EQ(std::memcmp(&diffs[c], &d, sizeof(double)), 0) << "c=" << c;
+    EXPECT_EQ(std::memcmp(&vars[c], &v, sizeof(double)), 0) << "c=" << c;
+  }
 }
 
 TEST(DeltaEstimatorTest, AveragedTemplateStatsShape) {

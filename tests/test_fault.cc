@@ -402,6 +402,93 @@ TEST(FaultTolerantSourceTest, ClassifiesTimeoutsSeparately) {
   EXPECT_EQ(m.num_calls(), 2u);
 }
 
+/// Fails one designated cell on every attempt; all other cells succeed on
+/// the first try. The per-cell attempt counters expose exactly which cells
+/// a batched fill touched before a throw escaped.
+class PoisonedCellSource : public CostSource {
+ public:
+  PoisonedCellSource(size_t num_queries, size_t num_configs, QueryId bad_q,
+                     ConfigId bad_c)
+      : num_queries_(num_queries),
+        num_configs_(num_configs),
+        bad_q_(bad_q),
+        bad_c_(bad_c),
+        attempts_(num_queries * num_configs, 0) {}
+
+  static double ValueOf(QueryId q, ConfigId c) {
+    return 100.0 * (q + 1) + static_cast<double>(c);
+  }
+
+  double Cost(QueryId q, ConfigId c) override {
+    uint32_t attempt = attempts_[static_cast<size_t>(q) * num_configs_ + c]++;
+    if (q == bad_q_ && c == bad_c_) {
+      throw WhatIfCallError(WhatIfErrorKind::kFailure, q, c, attempt, 0.0);
+    }
+    return ValueOf(q, c);
+  }
+  size_t num_queries() const override { return num_queries_; }
+  size_t num_configs() const override { return num_configs_; }
+  TemplateId TemplateOf(QueryId) const override { return 0; }
+  size_t num_templates() const override { return 1; }
+  uint64_t num_calls() const override { return 0; }
+  void ResetCallCounter() override {}
+
+  uint32_t attempts(QueryId q, ConfigId c) const {
+    return attempts_[static_cast<size_t>(q) * num_configs_ + c];
+  }
+
+ private:
+  size_t num_queries_;
+  size_t num_configs_;
+  QueryId bad_q_;
+  ConfigId bad_c_;
+  std::vector<uint32_t> attempts_;
+};
+
+TEST(FaultTolerantSourceTest, ThrownCellLeavesLaterBatchCellsUnresolved) {
+  PoisonedCellSource src(6, 2, /*bad_q=*/3, /*bad_c=*/0);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 2;
+  // No bounds provider: exhausted retries rethrow out of the batch.
+  FaultTolerantCostSource exec(&src, policy, /*bounds=*/nullptr);
+  const std::vector<QueryId> qids = {0, 1, 2, 3, 4, 5};
+  std::vector<double> out(6, -1.0);
+  EXPECT_THROW(exec.CostMany(qids, 0, out), WhatIfCallError);
+  // Cells before the poisoned one resolved on their first attempt and
+  // their values landed in the output span before the throw...
+  EXPECT_EQ(src.attempts(0, 0), 1u);
+  EXPECT_EQ(src.attempts(1, 0), 1u);
+  EXPECT_EQ(src.attempts(2, 0), 1u);
+  EXPECT_EQ(out[2], PoisonedCellSource::ValueOf(2, 0));
+  // ...the poisoned cell burned its whole retry budget...
+  EXPECT_EQ(src.attempts(3, 0), 2u);
+  // ...and the batch stopped there: later siblings were never attempted.
+  EXPECT_EQ(src.attempts(4, 0), 0u);
+  EXPECT_EQ(src.attempts(5, 0), 0u);
+  // Earlier resolutions are sticky (replay without touching the inner
+  // source); the unresolved tail resolves on demand afterwards.
+  EXPECT_EQ(exec.Cost(1, 0), PoisonedCellSource::ValueOf(1, 0));
+  EXPECT_EQ(src.attempts(1, 0), 1u);
+  EXPECT_EQ(exec.Cost(5, 0), PoisonedCellSource::ValueOf(5, 0));
+  EXPECT_EQ(src.attempts(5, 0), 1u);
+}
+
+TEST(FaultTolerantSourceTest, ThrownCellLeavesLaterAcrossCellsUnresolved) {
+  PoisonedCellSource src(4, 3, /*bad_q=*/2, /*bad_c=*/1);
+  ExecutionPolicy policy;
+  policy.enabled = true;
+  policy.retry.max_attempts = 1;
+  FaultTolerantCostSource exec(&src, policy, /*bounds=*/nullptr);
+  const std::vector<ConfigId> cids = {0, 1, 2};
+  std::vector<double> row(3, -1.0);
+  EXPECT_THROW(exec.CostAcross(2, cids, row), WhatIfCallError);
+  EXPECT_EQ(src.attempts(2, 0), 1u);
+  EXPECT_EQ(row[0], PoisonedCellSource::ValueOf(2, 0));
+  EXPECT_EQ(src.attempts(2, 1), 1u);  // single attempt, rethrown
+  EXPECT_EQ(src.attempts(2, 2), 0u);  // never reached
+}
+
 TEST(FaultTolerantSourceTest, ConcurrentResolutionIsExactlyOnce) {
   FlakySource flaky(1, 1, /*fail_first=*/1);
   ExecutionPolicy policy;

@@ -130,6 +130,56 @@ TEST(SignatureCacheTest, HitAccountingPartitionsLookups) {
   EXPECT_EQ(cached.num_exact_hits(), cells);
 }
 
+TEST(SignatureCacheTest, BatchedSweepMatchesScalarAccountingBitwise) {
+  Schema schema = SmallTpcdSchema();
+  Workload wl = SmallTpcdWorkload(schema, 200);
+  WhatIfOptimizer opt(schema);
+  std::vector<Configuration> configs = MakePool(opt, wl, 6);
+  const size_t k = configs.size();
+
+  // Scalar reference sweep (q-outer / c-inner) and its accounting.
+  SignatureCachingCostSource scalar(opt, wl, configs);
+  std::vector<std::vector<double>> want(wl.size(), std::vector<double>(k));
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    for (ConfigId c = 0; c < k; ++c) want[q][c] = scalar.Cost(q, c);
+  }
+
+  // Batched sweep visiting cells in the same order via CostAcross: the
+  // per-batch signature scratch and hoisted accounting must classify every
+  // cell (cold / signature hit) exactly as the scalar loop did, and the
+  // returned doubles must be bit-identical.
+  SignatureCachingCostSource batched(opt, wl, configs);
+  std::vector<ConfigId> cids(k);
+  for (ConfigId c = 0; c < k; ++c) cids[c] = c;
+  std::vector<double> row(k, 0.0);
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    batched.CostAcross(q, cids, row);
+    for (size_t c = 0; c < k; ++c) {
+      ASSERT_EQ(row[c], want[q][c]) << "q=" << q << " c=" << c;
+    }
+  }
+  EXPECT_EQ(batched.num_cold_calls(), scalar.num_cold_calls());
+  EXPECT_EQ(batched.num_signature_hits(), scalar.num_signature_hits());
+  EXPECT_EQ(batched.num_exact_hits(), 0u);
+  EXPECT_EQ(batched.num_distinct_signatures(),
+            scalar.num_distinct_signatures());
+
+  // Second sweep along the other axis: pure exact hits, batch-accounted,
+  // no new optimizer work.
+  const uint64_t cold_before = batched.num_cold_calls();
+  std::vector<QueryId> qids(wl.size());
+  for (QueryId q = 0; q < wl.size(); ++q) qids[q] = q;
+  std::vector<double> col(wl.size(), 0.0);
+  for (ConfigId c = 0; c < k; ++c) {
+    batched.CostMany(qids, c, col);
+    for (size_t q = 0; q < wl.size(); ++q) {
+      ASSERT_EQ(col[q], want[q][c]) << "q=" << q << " c=" << c;
+    }
+  }
+  EXPECT_EQ(batched.num_exact_hits(), wl.size() * k);
+  EXPECT_EQ(batched.num_cold_calls(), cold_before);
+}
+
 TEST(SignatureCacheTest, SignatureOfIsSortedAndInsertionOrderInvariant) {
   Schema schema = SmallTpcdSchema();
   Workload wl = SmallTpcdWorkload(schema, 200);
