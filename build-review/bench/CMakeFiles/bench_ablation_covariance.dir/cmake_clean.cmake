@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_covariance.dir/bench_ablation_covariance.cc.o"
+  "CMakeFiles/bench_ablation_covariance.dir/bench_ablation_covariance.cc.o.d"
+  "bench_ablation_covariance"
+  "bench_ablation_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elimination.dir/bench_ablation_elimination.cc.o"
+  "CMakeFiles/bench_ablation_elimination.dir/bench_ablation_elimination.cc.o.d"
+  "bench_ablation_elimination"
+  "bench_ablation_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

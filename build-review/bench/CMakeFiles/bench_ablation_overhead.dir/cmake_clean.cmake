@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overhead.dir/bench_ablation_overhead.cc.o"
+  "CMakeFiles/bench_ablation_overhead.dir/bench_ablation_overhead.cc.o.d"
+  "bench_ablation_overhead"
+  "bench_ablation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

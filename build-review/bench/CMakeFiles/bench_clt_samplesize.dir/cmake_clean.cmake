@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clt_samplesize.dir/bench_clt_samplesize.cc.o"
+  "CMakeFiles/bench_clt_samplesize.dir/bench_clt_samplesize.cc.o.d"
+  "bench_clt_samplesize"
+  "bench_clt_samplesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clt_samplesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_easy_pair.cc" "bench/CMakeFiles/bench_fig1_easy_pair.dir/bench_fig1_easy_pair.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_easy_pair.dir/bench_fig1_easy_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/pdx_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tuner/CMakeFiles/pdx_tuner.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/pdx_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compression/CMakeFiles/pdx_compression.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/optimizer/CMakeFiles/pdx_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/pdx_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/catalog/CMakeFiles/pdx_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fine_strat.dir/bench_fig2_fine_strat.cc.o"
+  "CMakeFiles/bench_fig2_fine_strat.dir/bench_fig2_fine_strat.cc.o.d"
+  "bench_fig2_fine_strat"
+  "bench_fig2_fine_strat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fine_strat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

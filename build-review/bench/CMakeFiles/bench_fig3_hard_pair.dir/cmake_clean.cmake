@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hard_pair.dir/bench_fig3_hard_pair.cc.o"
+  "CMakeFiles/bench_fig3_hard_pair.dir/bench_fig3_hard_pair.cc.o.d"
+  "bench_fig3_hard_pair"
+  "bench_fig3_hard_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hard_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_varbound.dir/bench_table1_varbound.cc.o"
+  "CMakeFiles/bench_table1_varbound.dir/bench_table1_varbound.cc.o.d"
+  "bench_table1_varbound"
+  "bench_table1_varbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_varbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tpcd_multi.dir/bench_table2_tpcd_multi.cc.o"
+  "CMakeFiles/bench_table2_tpcd_multi.dir/bench_table2_tpcd_multi.cc.o.d"
+  "bench_table2_tpcd_multi"
+  "bench_table2_tpcd_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tpcd_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

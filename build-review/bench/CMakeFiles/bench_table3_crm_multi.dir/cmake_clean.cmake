@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_crm_multi.dir/bench_table3_crm_multi.cc.o"
+  "CMakeFiles/bench_table3_crm_multi.dir/bench_table3_crm_multi.cc.o.d"
+  "bench_table3_crm_multi"
+  "bench_table3_crm_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_crm_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

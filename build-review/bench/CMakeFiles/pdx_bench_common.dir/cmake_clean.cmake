@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pdx_bench_common.dir/bench_common.cc.o.d"
+  "libpdx_bench_common.a"
+  "libpdx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

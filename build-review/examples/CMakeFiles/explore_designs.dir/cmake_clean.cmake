@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_designs.dir/explore_designs.cc.o"
+  "CMakeFiles/explore_designs.dir/explore_designs.cc.o.d"
+  "explore_designs"
+  "explore_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_tool.dir/pdx_tool.cc.o"
+  "CMakeFiles/pdx_tool.dir/pdx_tool.cc.o.d"
+  "pdx_tool"
+  "pdx_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

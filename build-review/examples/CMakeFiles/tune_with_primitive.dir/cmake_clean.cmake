@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_with_primitive.dir/tune_with_primitive.cc.o"
+  "CMakeFiles/tune_with_primitive.dir/tune_with_primitive.cc.o.d"
+  "tune_with_primitive"
+  "tune_with_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_with_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_bounds.dir/validate_bounds.cc.o"
+  "CMakeFiles/validate_bounds.dir/validate_bounds.cc.o.d"
+  "validate_bounds"
+  "validate_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

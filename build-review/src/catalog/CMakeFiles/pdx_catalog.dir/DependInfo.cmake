@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/crm_schema.cc" "src/catalog/CMakeFiles/pdx_catalog.dir/crm_schema.cc.o" "gcc" "src/catalog/CMakeFiles/pdx_catalog.dir/crm_schema.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/catalog/CMakeFiles/pdx_catalog.dir/schema.cc.o" "gcc" "src/catalog/CMakeFiles/pdx_catalog.dir/schema.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/catalog/CMakeFiles/pdx_catalog.dir/statistics.cc.o" "gcc" "src/catalog/CMakeFiles/pdx_catalog.dir/statistics.cc.o.d"
+  "/root/repo/src/catalog/tpcd_schema.cc" "src/catalog/CMakeFiles/pdx_catalog.dir/tpcd_schema.cc.o" "gcc" "src/catalog/CMakeFiles/pdx_catalog.dir/tpcd_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

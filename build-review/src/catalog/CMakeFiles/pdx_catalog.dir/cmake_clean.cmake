@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_catalog.dir/crm_schema.cc.o"
+  "CMakeFiles/pdx_catalog.dir/crm_schema.cc.o.d"
+  "CMakeFiles/pdx_catalog.dir/schema.cc.o"
+  "CMakeFiles/pdx_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/pdx_catalog.dir/statistics.cc.o"
+  "CMakeFiles/pdx_catalog.dir/statistics.cc.o.d"
+  "CMakeFiles/pdx_catalog.dir/tpcd_schema.cc.o"
+  "CMakeFiles/pdx_catalog.dir/tpcd_schema.cc.o.d"
+  "libpdx_catalog.a"
+  "libpdx_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_common.dir/binomial.cc.o"
+  "CMakeFiles/pdx_common.dir/binomial.cc.o.d"
+  "CMakeFiles/pdx_common.dir/histogram.cc.o"
+  "CMakeFiles/pdx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/pdx_common.dir/logging.cc.o"
+  "CMakeFiles/pdx_common.dir/logging.cc.o.d"
+  "CMakeFiles/pdx_common.dir/normal.cc.o"
+  "CMakeFiles/pdx_common.dir/normal.cc.o.d"
+  "CMakeFiles/pdx_common.dir/obs.cc.o"
+  "CMakeFiles/pdx_common.dir/obs.cc.o.d"
+  "CMakeFiles/pdx_common.dir/rng.cc.o"
+  "CMakeFiles/pdx_common.dir/rng.cc.o.d"
+  "CMakeFiles/pdx_common.dir/running_stats.cc.o"
+  "CMakeFiles/pdx_common.dir/running_stats.cc.o.d"
+  "CMakeFiles/pdx_common.dir/status.cc.o"
+  "CMakeFiles/pdx_common.dir/status.cc.o.d"
+  "CMakeFiles/pdx_common.dir/string_util.cc.o"
+  "CMakeFiles/pdx_common.dir/string_util.cc.o.d"
+  "CMakeFiles/pdx_common.dir/thread_pool.cc.o"
+  "CMakeFiles/pdx_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/pdx_common.dir/zipf.cc.o"
+  "CMakeFiles/pdx_common.dir/zipf.cc.o.d"
+  "libpdx_common.a"
+  "libpdx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/clustering.cc" "src/compression/CMakeFiles/pdx_compression.dir/clustering.cc.o" "gcc" "src/compression/CMakeFiles/pdx_compression.dir/clustering.cc.o.d"
+  "/root/repo/src/compression/cost_percentage.cc" "src/compression/CMakeFiles/pdx_compression.dir/cost_percentage.cc.o" "gcc" "src/compression/CMakeFiles/pdx_compression.dir/cost_percentage.cc.o.d"
+  "/root/repo/src/compression/distance.cc" "src/compression/CMakeFiles/pdx_compression.dir/distance.cc.o" "gcc" "src/compression/CMakeFiles/pdx_compression.dir/distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/pdx_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/optimizer/CMakeFiles/pdx_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/catalog/CMakeFiles/pdx_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_compression.dir/clustering.cc.o"
+  "CMakeFiles/pdx_compression.dir/clustering.cc.o.d"
+  "CMakeFiles/pdx_compression.dir/cost_percentage.cc.o"
+  "CMakeFiles/pdx_compression.dir/cost_percentage.cc.o.d"
+  "CMakeFiles/pdx_compression.dir/distance.cc.o"
+  "CMakeFiles/pdx_compression.dir/distance.cc.o.d"
+  "libpdx_compression.a"
+  "libpdx_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batching.cc" "src/core/CMakeFiles/pdx_core.dir/batching.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/batching.cc.o.d"
+  "/root/repo/src/core/clt_check.cc" "src/core/CMakeFiles/pdx_core.dir/clt_check.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/clt_check.cc.o.d"
+  "/root/repo/src/core/conservative.cc" "src/core/CMakeFiles/pdx_core.dir/conservative.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/conservative.cc.o.d"
+  "/root/repo/src/core/cost_source.cc" "src/core/CMakeFiles/pdx_core.dir/cost_source.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/cost_source.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/core/CMakeFiles/pdx_core.dir/estimators.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/estimators.cc.o.d"
+  "/root/repo/src/core/fault.cc" "src/core/CMakeFiles/pdx_core.dir/fault.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/fault.cc.o.d"
+  "/root/repo/src/core/fixed_budget.cc" "src/core/CMakeFiles/pdx_core.dir/fixed_budget.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/fixed_budget.cc.o.d"
+  "/root/repo/src/core/pr_cs.cc" "src/core/CMakeFiles/pdx_core.dir/pr_cs.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/pr_cs.cc.o.d"
+  "/root/repo/src/core/selection_trace.cc" "src/core/CMakeFiles/pdx_core.dir/selection_trace.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/selection_trace.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/core/CMakeFiles/pdx_core.dir/selector.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/selector.cc.o.d"
+  "/root/repo/src/core/skew_bound.cc" "src/core/CMakeFiles/pdx_core.dir/skew_bound.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/skew_bound.cc.o.d"
+  "/root/repo/src/core/stratification.cc" "src/core/CMakeFiles/pdx_core.dir/stratification.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/stratification.cc.o.d"
+  "/root/repo/src/core/variance_bound.cc" "src/core/CMakeFiles/pdx_core.dir/variance_bound.cc.o" "gcc" "src/core/CMakeFiles/pdx_core.dir/variance_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/catalog/CMakeFiles/pdx_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/pdx_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/optimizer/CMakeFiles/pdx_optimizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

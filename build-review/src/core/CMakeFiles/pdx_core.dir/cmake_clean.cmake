@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_core.dir/batching.cc.o"
+  "CMakeFiles/pdx_core.dir/batching.cc.o.d"
+  "CMakeFiles/pdx_core.dir/clt_check.cc.o"
+  "CMakeFiles/pdx_core.dir/clt_check.cc.o.d"
+  "CMakeFiles/pdx_core.dir/conservative.cc.o"
+  "CMakeFiles/pdx_core.dir/conservative.cc.o.d"
+  "CMakeFiles/pdx_core.dir/cost_source.cc.o"
+  "CMakeFiles/pdx_core.dir/cost_source.cc.o.d"
+  "CMakeFiles/pdx_core.dir/estimators.cc.o"
+  "CMakeFiles/pdx_core.dir/estimators.cc.o.d"
+  "CMakeFiles/pdx_core.dir/fault.cc.o"
+  "CMakeFiles/pdx_core.dir/fault.cc.o.d"
+  "CMakeFiles/pdx_core.dir/fixed_budget.cc.o"
+  "CMakeFiles/pdx_core.dir/fixed_budget.cc.o.d"
+  "CMakeFiles/pdx_core.dir/pr_cs.cc.o"
+  "CMakeFiles/pdx_core.dir/pr_cs.cc.o.d"
+  "CMakeFiles/pdx_core.dir/selection_trace.cc.o"
+  "CMakeFiles/pdx_core.dir/selection_trace.cc.o.d"
+  "CMakeFiles/pdx_core.dir/selector.cc.o"
+  "CMakeFiles/pdx_core.dir/selector.cc.o.d"
+  "CMakeFiles/pdx_core.dir/skew_bound.cc.o"
+  "CMakeFiles/pdx_core.dir/skew_bound.cc.o.d"
+  "CMakeFiles/pdx_core.dir/stratification.cc.o"
+  "CMakeFiles/pdx_core.dir/stratification.cc.o.d"
+  "CMakeFiles/pdx_core.dir/variance_bound.cc.o"
+  "CMakeFiles/pdx_core.dir/variance_bound.cc.o.d"
+  "libpdx_core.a"
+  "libpdx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

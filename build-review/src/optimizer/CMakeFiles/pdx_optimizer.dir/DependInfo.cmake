@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/candidate_gen.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/candidate_gen.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/candidate_gen.cc.o.d"
+  "/root/repo/src/optimizer/cost_bounds.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/cost_bounds.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/cost_bounds.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/physical_design.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/physical_design.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/physical_design.cc.o.d"
+  "/root/repo/src/optimizer/relevance.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/relevance.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/relevance.cc.o.d"
+  "/root/repo/src/optimizer/serialization.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/serialization.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/serialization.cc.o.d"
+  "/root/repo/src/optimizer/what_if.cc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/what_if.cc.o" "gcc" "src/optimizer/CMakeFiles/pdx_optimizer.dir/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/catalog/CMakeFiles/pdx_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/pdx_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

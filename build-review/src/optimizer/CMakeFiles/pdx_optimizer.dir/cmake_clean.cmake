@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_optimizer.dir/candidate_gen.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/candidate_gen.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/cost_bounds.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/cost_bounds.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/physical_design.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/physical_design.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/relevance.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/relevance.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/serialization.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/serialization.cc.o.d"
+  "CMakeFiles/pdx_optimizer.dir/what_if.cc.o"
+  "CMakeFiles/pdx_optimizer.dir/what_if.cc.o.d"
+  "libpdx_optimizer.a"
+  "libpdx_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_tuner.dir/enumerator.cc.o"
+  "CMakeFiles/pdx_tuner.dir/enumerator.cc.o.d"
+  "CMakeFiles/pdx_tuner.dir/greedy_tuner.cc.o"
+  "CMakeFiles/pdx_tuner.dir/greedy_tuner.cc.o.d"
+  "libpdx_tuner.a"
+  "libpdx_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_validation.dir/calibration.cc.o"
+  "CMakeFiles/pdx_validation.dir/calibration.cc.o.d"
+  "CMakeFiles/pdx_validation.dir/golden.cc.o"
+  "CMakeFiles/pdx_validation.dir/golden.cc.o.d"
+  "CMakeFiles/pdx_validation.dir/property.cc.o"
+  "CMakeFiles/pdx_validation.dir/property.cc.o.d"
+  "libpdx_validation.a"
+  "libpdx_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

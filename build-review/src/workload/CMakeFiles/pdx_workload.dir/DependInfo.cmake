@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/crm_trace.cc" "src/workload/CMakeFiles/pdx_workload.dir/crm_trace.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/crm_trace.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/workload/CMakeFiles/pdx_workload.dir/query.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/query.cc.o.d"
+  "/root/repo/src/workload/query_builder.cc" "src/workload/CMakeFiles/pdx_workload.dir/query_builder.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/query_builder.cc.o.d"
+  "/root/repo/src/workload/sql_text.cc" "src/workload/CMakeFiles/pdx_workload.dir/sql_text.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/sql_text.cc.o.d"
+  "/root/repo/src/workload/tpcd_qgen.cc" "src/workload/CMakeFiles/pdx_workload.dir/tpcd_qgen.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/tpcd_qgen.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/pdx_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/workload.cc.o.d"
+  "/root/repo/src/workload/workload_store.cc" "src/workload/CMakeFiles/pdx_workload.dir/workload_store.cc.o" "gcc" "src/workload/CMakeFiles/pdx_workload.dir/workload_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pdx_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/catalog/CMakeFiles/pdx_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdx_workload.dir/crm_trace.cc.o"
+  "CMakeFiles/pdx_workload.dir/crm_trace.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/query.cc.o"
+  "CMakeFiles/pdx_workload.dir/query.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/query_builder.cc.o"
+  "CMakeFiles/pdx_workload.dir/query_builder.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/sql_text.cc.o"
+  "CMakeFiles/pdx_workload.dir/sql_text.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/tpcd_qgen.cc.o"
+  "CMakeFiles/pdx_workload.dir/tpcd_qgen.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/workload.cc.o"
+  "CMakeFiles/pdx_workload.dir/workload.cc.o.d"
+  "CMakeFiles/pdx_workload.dir/workload_store.cc.o"
+  "CMakeFiles/pdx_workload.dir/workload_store.cc.o.d"
+  "libpdx_workload.a"
+  "libpdx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

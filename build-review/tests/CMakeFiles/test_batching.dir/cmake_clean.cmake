@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batching.dir/test_batching.cc.o"
+  "CMakeFiles/test_batching.dir/test_batching.cc.o.d"
+  "test_batching"
+  "test_batching.pdb"
+  "test_batching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_gen.dir/test_candidate_gen.cc.o"
+  "CMakeFiles/test_candidate_gen.dir/test_candidate_gen.cc.o.d"
+  "test_candidate_gen"
+  "test_candidate_gen.pdb"
+  "test_candidate_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

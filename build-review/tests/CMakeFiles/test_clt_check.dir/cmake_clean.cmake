@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clt_check.dir/test_clt_check.cc.o"
+  "CMakeFiles/test_clt_check.dir/test_clt_check.cc.o.d"
+  "test_clt_check"
+  "test_clt_check.pdb"
+  "test_clt_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clt_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

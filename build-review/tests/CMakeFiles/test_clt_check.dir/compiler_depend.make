@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_clt_check.
+# This may be replaced when dependencies are built.

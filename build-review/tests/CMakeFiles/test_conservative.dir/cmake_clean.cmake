@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conservative.dir/test_conservative.cc.o"
+  "CMakeFiles/test_conservative.dir/test_conservative.cc.o.d"
+  "test_conservative"
+  "test_conservative.pdb"
+  "test_conservative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conservative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_bounds.dir/test_cost_bounds.cc.o"
+  "CMakeFiles/test_cost_bounds.dir/test_cost_bounds.cc.o.d"
+  "test_cost_bounds"
+  "test_cost_bounds.pdb"
+  "test_cost_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_source.dir/test_cost_source.cc.o"
+  "CMakeFiles/test_cost_source.dir/test_cost_source.cc.o.d"
+  "test_cost_source"
+  "test_cost_source.pdb"
+  "test_cost_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counterexamples.dir/test_counterexamples.cc.o"
+  "CMakeFiles/test_counterexamples.dir/test_counterexamples.cc.o.d"
+  "test_counterexamples"
+  "test_counterexamples.pdb"
+  "test_counterexamples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counterexamples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

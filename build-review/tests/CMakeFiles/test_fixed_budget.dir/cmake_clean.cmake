@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_budget.dir/test_fixed_budget.cc.o"
+  "CMakeFiles/test_fixed_budget.dir/test_fixed_budget.cc.o.d"
+  "test_fixed_budget"
+  "test_fixed_budget.pdb"
+  "test_fixed_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

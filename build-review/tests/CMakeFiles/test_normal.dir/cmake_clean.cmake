@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normal.dir/test_normal.cc.o"
+  "CMakeFiles/test_normal.dir/test_normal.cc.o.d"
+  "test_normal"
+  "test_normal.pdb"
+  "test_normal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_design.dir/test_physical_design.cc.o"
+  "CMakeFiles/test_physical_design.dir/test_physical_design.cc.o.d"
+  "test_physical_design"
+  "test_physical_design.pdb"
+  "test_physical_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

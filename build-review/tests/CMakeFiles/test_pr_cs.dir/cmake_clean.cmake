@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pr_cs.dir/test_pr_cs.cc.o"
+  "CMakeFiles/test_pr_cs.dir/test_pr_cs.cc.o.d"
+  "test_pr_cs"
+  "test_pr_cs.pdb"
+  "test_pr_cs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pr_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relevance.dir/test_relevance.cc.o"
+  "CMakeFiles/test_relevance.dir/test_relevance.cc.o.d"
+  "test_relevance"
+  "test_relevance.pdb"
+  "test_relevance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_partition.dir/test_seed_partition.cc.o"
+  "CMakeFiles/test_seed_partition.dir/test_seed_partition.cc.o.d"
+  "test_seed_partition"
+  "test_seed_partition.pdb"
+  "test_seed_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

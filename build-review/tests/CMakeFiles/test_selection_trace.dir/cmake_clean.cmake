@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_trace.dir/test_selection_trace.cc.o"
+  "CMakeFiles/test_selection_trace.dir/test_selection_trace.cc.o.d"
+  "test_selection_trace"
+  "test_selection_trace.pdb"
+  "test_selection_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

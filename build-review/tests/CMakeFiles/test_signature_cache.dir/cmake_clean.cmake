@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signature_cache.dir/test_signature_cache.cc.o"
+  "CMakeFiles/test_signature_cache.dir/test_signature_cache.cc.o.d"
+  "test_signature_cache"
+  "test_signature_cache.pdb"
+  "test_signature_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signature_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

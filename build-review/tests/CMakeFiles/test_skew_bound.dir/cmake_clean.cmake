@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew_bound.dir/test_skew_bound.cc.o"
+  "CMakeFiles/test_skew_bound.dir/test_skew_bound.cc.o.d"
+  "test_skew_bound"
+  "test_skew_bound.pdb"
+  "test_skew_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

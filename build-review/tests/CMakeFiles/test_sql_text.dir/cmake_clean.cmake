@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_text.dir/test_sql_text.cc.o"
+  "CMakeFiles/test_sql_text.dir/test_sql_text.cc.o.d"
+  "test_sql_text"
+  "test_sql_text.pdb"
+  "test_sql_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

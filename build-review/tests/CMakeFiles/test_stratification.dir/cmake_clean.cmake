@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stratification.dir/test_stratification.cc.o"
+  "CMakeFiles/test_stratification.dir/test_stratification.cc.o.d"
+  "test_stratification"
+  "test_stratification.pdb"
+  "test_stratification[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stratification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variance_bound.dir/test_variance_bound.cc.o"
+  "CMakeFiles/test_variance_bound.dir/test_variance_bound.cc.o.d"
+  "test_variance_bound"
+  "test_variance_bound.pdb"
+  "test_variance_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variance_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_what_if.dir/test_what_if.cc.o"
+  "CMakeFiles/test_what_if.dir/test_what_if.cc.o.d"
+  "test_what_if"
+  "test_what_if.pdb"
+  "test_what_if[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_what_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

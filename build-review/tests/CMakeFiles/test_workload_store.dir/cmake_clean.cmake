@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_store.dir/test_workload_store.cc.o"
+  "CMakeFiles/test_workload_store.dir/test_workload_store.cc.o.d"
+  "test_workload_store"
+  "test_workload_store.pdb"
+  "test_workload_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
