@@ -6,9 +6,11 @@
 #
 #   ./bench/snapshot.sh [build-dir]
 #
-# The micro snapshot is what CI's perf-smoke job gates on (speedup ratio,
-# not absolute cells/sec, so machine differences mostly cancel); the two
-# table snapshots are reference points for EXPERIMENTS.md, not gated.
+# CI's perf-smoke job gates on the micro snapshot (batched/scalar speedup
+# ratio) and the budget snapshot (static/dynamic optimizer-call ratio) —
+# both are same-machine ratios, so runner hardware churn mostly cancels.
+# The two table snapshots are reference points for EXPERIMENTS.md, not
+# gated.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -30,4 +32,7 @@ echo "== bench_table2 (TPC-D multi-config trials/sec) =="
 echo "== bench_table3 (CRM multi-config trials/sec) =="
 "$BUILD_DIR/bench/bench_table3_crm_multi" --json=BENCH_table3.json
 
-echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json"
+echo "== bench_budget (static vs dynamic optimizer-call ratio) =="
+"$BUILD_DIR/bench/bench_budget" --json=BENCH_budget.json
+
+echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json BENCH_budget.json"

@@ -166,6 +166,18 @@ bool TraceFlag(int argc, char** argv, std::string* out) {
   return true;
 }
 
+// --budget=static|dynamic (core/budget.h). Rejects unknown and empty
+// values; static is the default and is byte-identical to pre-budget runs.
+bool BudgetFlag(int argc, char** argv, BudgetPolicy* out) {
+  auto parsed = ParseBudgetPolicy(FlagValue(argc, argv, "budget", "static"));
+  if (!parsed.ok()) {
+    std::printf("error: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
 // --faults=p_fail,p_slow[,seed]. `engaged` is true whenever the flag was
 // given — even p_fail=p_slow=0 runs through the executor (the byte-identity
 // configuration bench_fault_tolerance pins down).
@@ -205,10 +217,12 @@ int Usage() {
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
       "                   [--cache=off|exact|signature] [--no-cache]\n"
+      "                   [--budget=static|dynamic]\n"
       "                   [--faults=p_fail,p_slow[,seed]]\n"
       "                   [--trace=PATH] [--metrics[=csv]]\n"
       "  pdx_tool tune    --dir=DIR [--alpha=0.9] [--max-structures=8]\n"
       "                   [--budget-mb=0] [--cache=off|exact|signature]\n"
+      "                   [--budget=static|dynamic]\n"
       "                   [--faults=p_fail,p_slow[,seed]] [--seed=42]\n"
       "                   [--metrics[=csv]]\n"
       "  pdx_tool report  --trace=PATH\n"
@@ -228,6 +242,14 @@ int Usage() {
       "  process metric registry after the run (Prometheus text format;\n"
       "  --metrics=csv for a flat CSV). report reads a trace back and\n"
       "  prints its convergence table: Pr(CS) vs optimizer calls per round.\n"
+      "\n"
+      "  --budget=dynamic reallocates the what-if budget each selection\n"
+      "  round (DESIGN.md Section 10): the run may spend cheap Section-6\n"
+      "  bound derivations instead of full-price optimizer calls and\n"
+      "  eliminates configurations by interval dominance once their cost\n"
+      "  envelopes separate. The final selection is unchanged; only the\n"
+      "  number of real optimizer calls drops. 'static' (the default) is\n"
+      "  the paper-faithful behavior.\n"
       "\n"
       "  --faults=p_fail,p_slow[,seed] injects deterministic what-if\n"
       "  failures and latency spikes and engages the fault-tolerant\n"
@@ -420,12 +442,15 @@ int RunCompare(int argc, char** argv) {
   // should fail fast with a clear message, not after minutes of loading.
   double alpha, delta_pct;
   WhatIfCacheMode cache_mode;
+  BudgetPolicy budget_policy;
   std::string trace_path;
   FaultSpec fault_spec;
   bool faults_on = false;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
       !DoubleFlag(argc, argv, "delta-pct", 0.0, &delta_pct) ||
-      !CacheFlag(argc, argv, &cache_mode) || !TraceFlag(argc, argv, &trace_path) ||
+      !CacheFlag(argc, argv, &cache_mode) ||
+      !BudgetFlag(argc, argv, &budget_policy) ||
+      !TraceFlag(argc, argv, &trace_path) ||
       !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
     return 1;
   }
@@ -519,12 +544,17 @@ int RunCompare(int argc, char** argv) {
     source = injector.get();
     sopt.exec.enabled = true;
     sopt.exec.seed = fault_spec.seed;
+  }
+  if (faults_on || budget_policy == BudgetPolicy::kDynamic) {
+    // Shared §6 interval service: fault degradation and dynamic budget
+    // refinement draw from the same lazily-filled bounds cache.
     bounds_deriver = std::make_unique<CostBoundsDeriver>(
         optimizer, *workload, Configuration(), UnionConfiguration(*configs));
     bounds_cache =
         std::make_unique<WorkloadBoundsCache>(bounds_deriver.get(), &*configs);
     sopt.bounds = bounds_cache.get();
   }
+  sopt.budget_policy = budget_policy;
   ConfigurationSelector selector(source, sopt);
   Rng rng(42);
   SelectionResult r = selector.Run(&rng);
@@ -554,6 +584,14 @@ int RunCompare(int argc, char** argv) {
               winner.name().c_str(), winner.indexes().size(),
               winner.views().size(),
               static_cast<double>(winner.StorageBytes(*schema)) / 1e6);
+  if (budget_policy == BudgetPolicy::kDynamic) {
+    std::printf(
+        "budget (dynamic): %llu bound-refinement calls (in the call total), "
+        "%llu queries refined, %llu configurations dominance-eliminated\n",
+        static_cast<unsigned long long>(r.bound_refinement_calls),
+        static_cast<unsigned long long>(r.refined_queries),
+        static_cast<unsigned long long>(r.dominance_eliminations));
+  }
   if (faults_on) {
     std::printf(
         "faults: %llu failures, %llu latency spikes injected (%llu timed "
@@ -652,6 +690,34 @@ int RunReport(int argc, char** argv) {
         static_cast<unsigned long long>(report->whatif_timeouts),
         static_cast<unsigned long long>(report->whatif_degraded));
   }
+  // Budget-economics table: where the run's optimizer budget went — the
+  // degradation counters (whatif_error events) and the dynamic-budget
+  // counters (budget_decision events) side by side.
+  if (report->budget_decisions > 0 ||
+      report->whatif_failures + report->whatif_timeouts +
+              report->whatif_degraded >
+          0) {
+    std::printf("economics:\n");
+    std::printf("  %-32s %12llu\n", "what-if failures",
+                static_cast<unsigned long long>(report->whatif_failures));
+    std::printf("  %-32s %12llu\n", "what-if timeouts",
+                static_cast<unsigned long long>(report->whatif_timeouts));
+    std::printf("  %-32s %12llu\n", "cells degraded to bounds",
+                static_cast<unsigned long long>(report->whatif_degraded));
+    std::printf("  %-32s %12llu\n", "budget decision rounds",
+                static_cast<unsigned long long>(report->budget_decisions));
+    std::printf("  %-32s %12llu\n", "rounds choosing refinement",
+                static_cast<unsigned long long>(report->budget_refine_rounds));
+    std::printf(
+        "  %-32s %12llu\n", "queries bound-refined",
+        static_cast<unsigned long long>(report->budget_refined_queries));
+    std::printf("  %-32s %12llu\n", "bound-refinement calls",
+                static_cast<unsigned long long>(report->budget_bound_calls));
+    std::printf("  %-32s %12llu\n", "dominance eliminations",
+                static_cast<unsigned long long>(report->budget_dominated));
+    std::printf("  %-32s %12llu\n", "refinement halts",
+                static_cast<unsigned long long>(report->budget_halts));
+  }
   return 0;
 }
 
@@ -661,6 +727,7 @@ int RunTune(int argc, char** argv) {
   double alpha;
   uint64_t max_structures, budget_mb, seed;
   WhatIfCacheMode cache_mode;
+  BudgetPolicy budget_policy;
   FaultSpec fault_spec;
   bool faults_on = false;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
@@ -668,6 +735,7 @@ int RunTune(int argc, char** argv) {
       !U64Flag(argc, argv, "budget-mb", 0, &budget_mb) ||
       !U64Flag(argc, argv, "seed", 42, &seed) ||
       !CacheFlag(argc, argv, &cache_mode) ||
+      !BudgetFlag(argc, argv, &budget_policy) ||
       !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
     return 1;
   }
@@ -703,6 +771,7 @@ int RunTune(int argc, char** argv) {
   topt.max_structures = static_cast<uint32_t>(max_structures);
   topt.storage_budget_bytes = budget_mb * 1000000;
   topt.selector.alpha = alpha;
+  topt.selector.budget_policy = budget_policy;
   topt.faults = fault_spec;
   Rng rng(seed);
   TuneResult r =
@@ -715,6 +784,14 @@ int RunTune(int argc, char** argv) {
       static_cast<double>(r.config.StorageBytes(*schema)) / 1e6,
       r.initial_cost, r.final_cost, 100.0 * r.Improvement(),
       static_cast<unsigned long long>(r.optimizer_calls));
+  if (budget_policy == BudgetPolicy::kDynamic) {
+    std::printf(
+        "budget (dynamic): %llu bound-refinement calls (in the call total), "
+        "%llu queries refined, %llu configurations dominance-eliminated\n",
+        static_cast<unsigned long long>(r.bound_refinement_calls),
+        static_cast<unsigned long long>(r.refined_queries),
+        static_cast<unsigned long long>(r.dominance_eliminations));
+  }
   if (faults_on) {
     std::printf(
         "executor: %llu retries, %llu timeouts, %llu failures, %llu cells "

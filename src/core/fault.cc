@@ -182,6 +182,52 @@ double FaultInjectingCostSource::Cost(QueryId q, ConfigId c) {
   return value;
 }
 
+namespace {
+
+/// Slot states of the bounds cache's once protocol.
+constexpr uint8_t kSlotEmpty = 0;
+constexpr uint8_t kSlotFilling = 1;
+constexpr uint8_t kSlotFilled = 2;
+
+/// The shared fill-once slow path: claims or waits on `state` under the
+/// shard lock, runs `derive` outside it if this thread won, and publishes
+/// the result with a release store (pairs with the callers' acquire fast
+/// path). A throwing derivation resets the slot to empty — the same
+/// exception-safe hand-rolled protocol as FaultTolerantCostSource.
+template <typename Derive>
+CostInterval FillSlotOnce(std::mutex& mu, std::condition_variable& cv,
+                          std::atomic<uint8_t>& state, CostInterval& slot,
+                          Derive&& derive) {
+  std::unique_lock<std::mutex> lock(mu);
+  for (;;) {
+    uint8_t s = state.load(std::memory_order_relaxed);
+    if (s == kSlotFilled) return slot;
+    if (s == kSlotEmpty) {
+      state.store(kSlotFilling, std::memory_order_relaxed);
+      lock.unlock();  // derivation makes optimizer calls — never locked
+      CostInterval iv;
+      try {
+        iv = derive();
+      } catch (...) {
+        lock.lock();
+        state.store(kSlotEmpty, std::memory_order_relaxed);
+        cv.notify_all();
+        throw;
+      }
+      lock.lock();
+      slot = iv;
+      state.store(kSlotFilled, std::memory_order_release);
+      cv.notify_all();
+      return iv;
+    }
+    // Another thread is filling this slot; the condvar is shared across
+    // the shard's slots, so wake-ups for siblings just re-test the state.
+    cv.wait(lock);
+  }
+}
+
+}  // namespace
+
 WorkloadBoundsCache::WorkloadBoundsCache(const CostBoundsDeriver* deriver,
                                          const std::vector<Configuration>* configs,
                                          std::vector<QueryId> query_ids)
@@ -189,19 +235,69 @@ WorkloadBoundsCache::WorkloadBoundsCache(const CostBoundsDeriver* deriver,
       configs_(configs),
       query_ids_(std::move(query_ids)) {
   PDX_CHECK(deriver != nullptr && configs != nullptr);
-  per_config_.resize(configs->size());
+  num_workload_queries_ = deriver->workload().size();
+  num_templates_ = deriver->workload().num_templates();
+  select_state_ = std::make_unique<std::atomic<uint8_t>[]>(num_workload_queries_);
+  select_iv_ = std::make_unique<CostInterval[]>(num_workload_queries_);
+  for (size_t i = 0; i < num_workload_queries_; ++i) {
+    select_state_[i].store(kSlotEmpty, std::memory_order_relaxed);
+  }
+  size_t dml_slots = num_templates_ * configs->size();
+  dml_state_ = std::make_unique<std::atomic<uint8_t>[]>(dml_slots);
+  dml_iv_ = std::make_unique<CostInterval[]>(dml_slots);
+  for (size_t i = 0; i < dml_slots; ++i) {
+    dml_state_[i].store(kSlotEmpty, std::memory_order_relaxed);
+  }
+}
+
+CostInterval WorkloadBoundsCache::EnsureSelect(QueryId wq, const Query& query) {
+  if (select_state_[wq].load(std::memory_order_acquire) == kSlotFilled) {
+    return select_iv_[wq];
+  }
+  Shard& shard = shards_[wq % kShards];
+  return FillSlotOnce(shard.mu, shard.cv, select_state_[wq], select_iv_[wq],
+                      [&]() -> CostInterval {
+                        if (query.select.accesses.empty()) {
+                          return CostInterval(0.0, 0.0);  // no SELECT part
+                        }
+                        derivation_calls_.fetch_add(2,
+                                                    std::memory_order_relaxed);
+                        select_fills_.fetch_add(1, std::memory_order_relaxed);
+                        return deriver_->SelectBounds(query);
+                      });
+}
+
+CostInterval WorkloadBoundsCache::EnsureDml(TemplateId t, ConfigId c) {
+  const size_t slot = static_cast<size_t>(t) * configs_->size() + c;
+  if (dml_state_[slot].load(std::memory_order_acquire) == kSlotFilled) {
+    return dml_iv_[slot];
+  }
+  // Offset by the query count so DML slots spread over different shards
+  // than the SELECT slots they are combined with.
+  Shard& shard = shards_[(num_workload_queries_ + slot) % kShards];
+  return FillSlotOnce(shard.mu, shard.cv, dml_state_[slot], dml_iv_[slot],
+                      [&]() -> CostInterval {
+                        if (!deriver_->TemplateHasDml(t)) {
+                          return CostInterval(0.0, 0.0);
+                        }
+                        derivation_calls_.fetch_add(2,
+                                                    std::memory_order_relaxed);
+                        dml_fills_.fetch_add(1, std::memory_order_relaxed);
+                        return deriver_->UpdateBounds(t, (*configs_)[c]);
+                      });
 }
 
 CostInterval WorkloadBoundsCache::BoundsFor(QueryId q, ConfigId c) {
-  PDX_CHECK(c < per_config_.size());
+  PDX_CHECK(c < configs_->size());
   QueryId wq = query_ids_.empty() ? q : query_ids_.at(q);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (per_config_[c] == nullptr) {
-    per_config_[c] = std::make_unique<std::vector<CostInterval>>(
-        deriver_->WorkloadBounds((*configs_)[c]));
+  PDX_CHECK(wq < num_workload_queries_);
+  const Query& query = deriver_->workload().query(wq);
+  CostInterval iv = EnsureSelect(wq, query);
+  if (query.update.has_value()) {
+    CostInterval dml = EnsureDml(query.template_id, c);
+    iv = CostInterval(iv.low + dml.low, iv.high + dml.high);
   }
-  PDX_CHECK(wq < per_config_[c]->size());
-  return (*per_config_[c])[wq];
+  return iv;
 }
 
 FaultTolerantCostSource::FaultTolerantCostSource(CostSource* inner,

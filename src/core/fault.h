@@ -193,17 +193,36 @@ struct ExecutionPolicy {
 };
 
 /// Supplies a §6 cost interval guaranteed to contain Cost(q, c) — the
-/// degradation fallback. Must be safe to call concurrently.
+/// degradation fallback and the budget manager's refinement source. Must
+/// be safe to call concurrently.
 class CellBoundsProvider {
  public:
   virtual ~CellBoundsProvider() = default;
   virtual CostInterval BoundsFor(QueryId q, ConfigId c) = 0;
+  /// Real optimizer calls this provider has spent deriving bounds so far.
+  /// The budget manager charges refinements against this meter; providers
+  /// with free bounds (e.g. a precomputed matrix) keep the default 0.
+  virtual uint64_t derivation_calls() const { return 0; }
 };
 
-/// CellBoundsProvider over CostBoundsDeriver::WorkloadBounds, memoized
-/// per configuration (the first degraded cell of a configuration pays the
-/// derivation: 2 calls per DML template + 2 per SELECT query). When
-/// `query_ids` is non-empty, local QueryId i maps to workload query
+/// CellBoundsProvider over CostBoundsDeriver, kept as a shared service:
+/// dominance checks and bound refinements hammer BoundsFor on the hot
+/// path, so the fill is per-*piece* and sharded rather than the old
+/// whole-workload-per-config derivation behind one mutex:
+///
+///   * the SELECT interval of a workload query is configuration-
+///     independent (§6.1) — derived once (2 optimizer calls) and shared
+///     by every compared configuration;
+///   * the update interval of a DML template is per (template, config) —
+///     2 calls on the template's selectivity extremes, shared by every
+///     instance of the template;
+///   * each piece fills exactly once under a hand-rolled per-slot once
+///     protocol (16 shards of mutex+condvar, exception-safe reset — same
+///     rationale as FaultTolerantCostSource: TSan's pthread_once
+///     interceptor is not exception-aware), with a lock-free acquire fast
+///     path for filled slots.
+///
+/// When `query_ids` is non-empty, local QueryId i maps to workload query
 /// query_ids[i] (the tuner's per-round sub-workload convention).
 class WorkloadBoundsCache : public CellBoundsProvider {
  public:
@@ -212,14 +231,45 @@ class WorkloadBoundsCache : public CellBoundsProvider {
                       std::vector<QueryId> query_ids = {});
 
   CostInterval BoundsFor(QueryId q, ConfigId c) override;
+  uint64_t derivation_calls() const override {
+    return derivation_calls_.load(std::memory_order_relaxed);
+  }
+
+  /// SELECT-piece fills so far (one per distinct workload query touched).
+  uint64_t select_fills() const {
+    return select_fills_.load(std::memory_order_relaxed);
+  }
+  /// DML-piece fills so far (one per distinct (DML template, config)).
+  uint64_t dml_fills() const {
+    return dml_fills_.load(std::memory_order_relaxed);
+  }
 
  private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  CostInterval EnsureSelect(QueryId wq, const Query& query);
+  CostInterval EnsureDml(TemplateId t, ConfigId c);
+
   const CostBoundsDeriver* deriver_;
   const std::vector<Configuration>* configs_;
   std::vector<QueryId> query_ids_;
-  std::mutex mu_;
-  /// [config] -> per-workload-query intervals, derived lazily.
-  std::vector<std::unique_ptr<std::vector<CostInterval>>> per_config_;
+  size_t num_workload_queries_ = 0;
+  size_t num_templates_ = 0;
+  /// Per-workload-query SELECT pieces and per-(template, config) DML
+  /// pieces; state arrays hold the once protocol (0 empty / 1 filling /
+  /// 2 filled), interval arrays the filled values.
+  std::unique_ptr<std::atomic<uint8_t>[]> select_state_;
+  std::unique_ptr<CostInterval[]> select_iv_;
+  std::unique_ptr<std::atomic<uint8_t>[]> dml_state_;
+  std::unique_ptr<CostInterval[]> dml_iv_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> derivation_calls_{0};
+  std::atomic<uint64_t> select_fills_{0};
+  std::atomic<uint64_t> dml_fills_{0};
 };
 
 /// The executor: retries, deadlines, and bound-based degradation around

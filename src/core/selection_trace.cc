@@ -163,6 +163,18 @@ void JsonlTraceSink::WhatIfError(const TraceWhatIfError& e) {
       JsonDouble(e.bound_high).c_str()));
 }
 
+void JsonlTraceSink::BudgetDecision(const TraceBudgetDecision& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"budget_decision\",\"round\":%llu,\"action\":\"%s\","
+      "\"refined\":%llu,\"bound_calls\":%llu,\"dominated\":%llu,"
+      "\"value_refine\":%s,\"value_sample\":%s}",
+      static_cast<unsigned long long>(e.round), JsonEscape(e.action).c_str(),
+      static_cast<unsigned long long>(e.refined_queries),
+      static_cast<unsigned long long>(e.bound_calls),
+      static_cast<unsigned long long>(e.dominated),
+      JsonDouble(e.value_refine).c_str(), JsonDouble(e.value_sample).c_str()));
+}
+
 void JsonlTraceSink::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fflush(file_);
@@ -341,6 +353,17 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
       } else if (kind == "degraded") {
         ++report.whatif_degraded;
       }
+    } else if (ev == "budget_decision") {
+      ++report.budget_decisions;
+      std::string action;
+      GetString(line, "\"action\":", &action);
+      if (action == "refine") ++report.budget_refine_rounds;
+      if (action == "halt_refine") ++report.budget_halts;
+      uint64_t v = 0;
+      if (GetUint(line, "\"refined\":", &v)) report.budget_refined_queries += v;
+      if (GetUint(line, "\"dominated\":", &v)) report.budget_dominated += v;
+      // Cumulative-per-run field: keep the last event's value.
+      GetUint(line, "\"bound_calls\":", &report.budget_bound_calls);
     } else if (ev == "whatif_latency") {
       TraceWhatIfLatency e;
       GetString(line, "\"bucket\":", &e.bucket);

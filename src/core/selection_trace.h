@@ -139,6 +139,23 @@ struct TraceWhatIfError {
   double bound_high = 0.0;
 };
 
+/// One BudgetManager round decision (ISSUE 7). `action` is "refine" (a
+/// bound-refinement chunk was taken), "sample" (the what-if draw won the
+/// value-per-ms comparison), or "halt_refine" (the §6.2 projection says no
+/// pair can still be dominated; refinement stops for the run).
+/// `bound_calls` is cumulative for the run; `refined_queries` and
+/// `dominated` are this round's counts; `value_*` are the compared
+/// expected-Pr(CS)-gain-per-millisecond scores (0 when not computed).
+struct TraceBudgetDecision {
+  uint64_t round = 0;
+  std::string action;
+  uint64_t refined_queries = 0;
+  uint64_t bound_calls = 0;
+  uint64_t dominated = 0;
+  double value_refine = 0.0;
+  double value_sample = 0.0;
+};
+
 /// Observer interface. All methods default to no-ops, so sinks override
 /// only what they consume. Implementations must be thread-safe: a sink
 /// can be shared by concurrent selection runs.
@@ -154,6 +171,7 @@ class TraceSink {
   virtual void RunEnd(const TraceRunEnd&) {}
   virtual void WhatIfLatency(const TraceWhatIfLatency&) {}
   virtual void WhatIfError(const TraceWhatIfError&) {}
+  virtual void BudgetDecision(const TraceBudgetDecision&) {}
   virtual void Flush() {}
 };
 
@@ -179,6 +197,7 @@ class JsonlTraceSink : public TraceSink {
   void RunEnd(const TraceRunEnd& e) override;
   void WhatIfLatency(const TraceWhatIfLatency& e) override;
   void WhatIfError(const TraceWhatIfError& e) override;
+  void BudgetDecision(const TraceBudgetDecision& e) override;
   void Flush() override;
 
  private:
@@ -229,6 +248,14 @@ struct TraceReport {
   uint64_t whatif_failures = 0;
   uint64_t whatif_timeouts = 0;
   uint64_t whatif_degraded = 0;
+  /// budget_decision aggregates (ISSUE 7). Counts are over all events;
+  /// budget_bound_calls is the last event's cumulative value.
+  uint64_t budget_decisions = 0;
+  uint64_t budget_refine_rounds = 0;
+  uint64_t budget_refined_queries = 0;
+  uint64_t budget_bound_calls = 0;
+  uint64_t budget_dominated = 0;
+  uint64_t budget_halts = 0;
 };
 
 /// Parses a JSONL trace written by JsonlTraceSink. Fails (with the line

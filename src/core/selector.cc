@@ -161,7 +161,20 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   std::vector<bool> active(k, true);
   std::vector<double> frozen_prcs(k, 1.0);
   std::vector<uint32_t> eliminated_at(k, 0);
+  std::vector<bool> dominance_eliminated;
   const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  // Dynamic budget reallocation (DESIGN.md §10): instantiated only under
+  // kDynamic, so the static path stays byte-identical to pre-budget runs.
+  std::unique_ptr<BudgetManager> budget;
+  if (options_.budget_policy == BudgetPolicy::kDynamic && k > 1) {
+    PDX_CHECK_MSG(options_.bounds != nullptr,
+                  "BudgetPolicy::kDynamic requires SelectorOptions::bounds");
+    const uint64_t N = std::accumulate(pops.begin(), pops.end(), uint64_t{0});
+    budget = std::make_unique<BudgetManager>(k, N, options_.bounds,
+                                             options_.budget_model, sink);
+    dominance_eliminated.assign(k, false);
+  }
 
   if (sink != nullptr) {
     TraceRunStart ev;
@@ -238,6 +251,11 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     est.Add(q, source_->TemplateOf(q), costs_buf,
             any_uncertain ? std::span<const double>(uncerts_buf)
                           : std::span<const double>());
+    if (budget) {
+      for (ConfigId c : batch_ids) {
+        budget->ObserveSample(q, c, costs_buf[c], uncerts_buf[c]);
+      }
+    }
   };
 
   SelectionResult result;
@@ -363,6 +381,17 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       result.degraded_cells = degraded_cells;
       result.queries_sampled = est.TotalSamples();
       result.optimizer_calls = source_->num_calls() - calls_before;
+      if (budget) {
+        const BudgetStats& bs = budget->stats();
+        // Refinement spends real optimizer calls outside the cost source's
+        // meter; fold them in so optimizer_calls stays the total price.
+        result.optimizer_calls += bs.bound_refinement_calls;
+        result.bound_refinement_calls = bs.bound_refinement_calls;
+        result.dominance_eliminations = bs.dominance_eliminations;
+        result.refined_queries = bs.refined_queries;
+        result.refine_halts = bs.refine_halted;
+        result.dominance_eliminated = std::move(dominance_eliminated);
+      }
       result.estimator_samples_bytes = est.samples_bytes();
       // No samples were added since the round-top Estimates sweep, so the
       // buffer already holds Estimate(c, strat) for every c — including
@@ -404,6 +433,38 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
             ev.reason = "pr_cs_above_threshold";
             sink->Elimination(ev);
           }
+        }
+      }
+    }
+
+    // Dynamic budget reallocation (DESIGN.md §10): the manager may spend
+    // §6.1 bound refinements and returns the configurations proven
+    // non-best by interval dominance — frozen at Pr(CS) = 1, which only
+    // tightens the Bonferroni bound (the envelope contains the true cost,
+    // so a dominated configuration is certainly not the true argmin).
+    if (budget) {
+      std::vector<double> pair_prcs(k, 1.0);
+      size_t pp_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        pair_prcs[j] = pairwise[pp_idx++];
+      }
+      std::vector<ConfigId> dominated =
+          budget->DecideRound(iteration, best, active, pair_prcs, pr);
+      for (ConfigId j : dominated) {
+        active[j] = false;
+        frozen_prcs[j] = 1.0;
+        eliminated_at[j] = static_cast<uint32_t>(iteration);
+        dominance_eliminated[j] = true;
+        Metrics().eliminations->Add();
+        if (sink != nullptr) {
+          TraceElimination ev;
+          ev.round = iteration;
+          ev.config = j;
+          ev.pr_cs = 1.0;
+          ev.threshold = elim_threshold;
+          ev.reason = "interval_dominance";
+          sink->Elimination(ev);
         }
       }
     }
@@ -507,7 +568,19 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   std::vector<bool> active(k, true);
   std::vector<double> frozen_prcs(k, 1.0);
   std::vector<uint32_t> eliminated_at(k, 0);
+  std::vector<bool> dominance_eliminated;
   const double elim_threshold = EffectiveEliminationThreshold(k);
+
+  // Dynamic budget reallocation (DESIGN.md §10); see the Delta path.
+  std::unique_ptr<BudgetManager> budget;
+  if (options_.budget_policy == BudgetPolicy::kDynamic && k > 1) {
+    PDX_CHECK_MSG(options_.bounds != nullptr,
+                  "BudgetPolicy::kDynamic requires SelectorOptions::bounds");
+    const uint64_t N = std::accumulate(pops.begin(), pops.end(), uint64_t{0});
+    budget = std::make_unique<BudgetManager>(k, N, options_.bounds,
+                                             options_.budget_model, sink);
+    dominance_eliminated.assign(k, false);
+  }
 
   if (sink != nullptr) {
     TraceRunStart ev;
@@ -546,6 +619,7 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     double u = source_->CostUncertainty(q, c);
     if (u > 0.0) ++degraded_cells;
     est.Add(c, source_->TemplateOf(q), cost, u);
+    if (budget) budget->ObserveSample(q, c, cost, u);
   };
 
   SelectionResult result;
@@ -583,6 +657,7 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
       for (size_t i = 0; i < qbuf.size(); ++i) {
         if (ubuf[i] > 0.0) ++degraded_cells;
         est.Add(c, source_->TemplateOf(qbuf[i]), cbuf[i], ubuf[i]);
+        if (budget) budget->ObserveSample(qbuf[i], c, cbuf[i], ubuf[i]);
       }
     }
   }
@@ -695,6 +770,15 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
       result.degraded_cells = degraded_cells;
       result.queries_sampled = total_samples;
       result.optimizer_calls = source_->num_calls() - calls_before;
+      if (budget) {
+        const BudgetStats& bs = budget->stats();
+        result.optimizer_calls += bs.bound_refinement_calls;
+        result.bound_refinement_calls = bs.bound_refinement_calls;
+        result.dominance_eliminations = bs.dominance_eliminations;
+        result.refined_queries = bs.refined_queries;
+        result.refine_halts = bs.refine_halted;
+        result.dominance_eliminated = std::move(dominance_eliminated);
+      }
       result.estimates = std::move(estimates);
       result.final_strata.resize(k);
       for (ConfigId c = 0; c < k; ++c) {
@@ -733,6 +817,35 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
             ev.reason = "pr_cs_above_threshold";
             sink->Elimination(ev);
           }
+        }
+      }
+    }
+
+    // Dynamic budget reallocation; see the Delta path for the soundness
+    // argument.
+    if (budget) {
+      std::vector<double> pair_prcs(k, 1.0);
+      size_t pp_idx = 0;
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        pair_prcs[j] = pairwise[pp_idx++];
+      }
+      std::vector<ConfigId> dominated =
+          budget->DecideRound(iteration, best, active, pair_prcs, pr);
+      for (ConfigId j : dominated) {
+        active[j] = false;
+        frozen_prcs[j] = 1.0;
+        eliminated_at[j] = static_cast<uint32_t>(iteration);
+        dominance_eliminated[j] = true;
+        Metrics().eliminations->Add();
+        if (sink != nullptr) {
+          TraceElimination ev;
+          ev.round = iteration;
+          ev.config = j;
+          ev.pr_cs = 1.0;
+          ev.threshold = elim_threshold;
+          ev.reason = "interval_dominance";
+          sink->Elimination(ev);
         }
       }
     }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/budget.h"
 #include "core/cost_source.h"
 #include "core/estimators.h"
 #include "core/fault.h"
@@ -86,6 +87,14 @@ struct SelectorOptions {
   /// exec.degrade_to_bounds to engage — without it, exhausted cells
   /// rethrow their last WhatIfCallError).
   CellBoundsProvider* bounds = nullptr;
+  /// Dynamic budget reallocation (core/budget.h; DESIGN.md §10). With
+  /// kDynamic the run owns a BudgetManager that may spend §6.1 bound
+  /// refinements through `bounds` (required non-null) and eliminate
+  /// configurations by interval dominance. kStatic (default) instantiates
+  /// nothing: the run is byte-identical to pre-budget behavior.
+  BudgetPolicy budget_policy = BudgetPolicy::kStatic;
+  /// Millisecond cost model the dynamic policy schedules against.
+  BudgetCostModel budget_model;
 };
 
 /// Outcome of a selection run.
@@ -124,6 +133,23 @@ struct SelectionResult {
   uint64_t whatif_retries = 0;
   uint64_t whatif_timeouts = 0;
   uint64_t whatif_failures = 0;
+  /// Budget-reallocation economics (ISSUE 7; all 0 under kStatic). Real
+  /// optimizer calls spent on §6.1 bound refinements — already included
+  /// in optimizer_calls.
+  uint64_t bound_refinement_calls = 0;
+  /// Configurations this run eliminated by interval dominance.
+  uint64_t dominance_eliminations = 0;
+  /// Queries whose §6.1 interval the run refined.
+  uint64_t refined_queries = 0;
+  /// Rounds where the §6.2 projection concluded refinement can no longer
+  /// produce a dominance and halted it for the rest of the run (0 or 1;
+  /// counted so benches can assert the projection engages on workloads
+  /// whose bounds are too wide to ever dominate).
+  uint64_t refine_halts = 0;
+  /// Per-configuration flag: eliminated by interval dominance (as opposed
+  /// to the statistical race). Empty under kStatic; consumed by the
+  /// dominance_elimination_sound validation property.
+  std::vector<bool> dominance_eliminated;
 };
 
 /// Algorithm 1 runner. Construct once per selection problem and call Run.

@@ -215,6 +215,11 @@ double VertexSearchMaxSkew(const std::vector<CostInterval>& bounds) {
 
 SkewBoundResult MaxSkewBound(const std::vector<CostInterval>& bounds) {
   PDX_CHECK(!bounds.empty());
+  // Degenerate inputs abort rather than silently skewing the vertex
+  // search: an inverted or NaN interval cannot have passed the validating
+  // CostInterval constructor, so it signals a corrupted caller. (NaN fails
+  // the <= comparison, so one check covers both.)
+  for (const CostInterval& b : bounds) PDX_CHECK(b.low <= b.high);
   const size_t n = bounds.size();
   SkewBoundResult out;
 

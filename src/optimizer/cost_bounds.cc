@@ -37,13 +37,21 @@ CostInterval CostBoundsDeriver::SelectBounds(const Query& query) const {
   PlanExplanation base_plan, rich_plan;
   optimizer_.CostExplained(query, base_, &base_plan);
   optimizer_.CostExplained(query, rich_, &rich_plan);
-  CostInterval out;
-  out.low = rich_plan.select_cost;
-  out.high = base_plan.select_cost;
-  // Guard against model round-off; the invariant low <= high is asserted
-  // by tests on the monotonicity property.
-  if (out.low > out.high) std::swap(out.low, out.high);
-  return out;
+  // The validating constructor normalizes model round-off inversions; the
+  // monotonicity property itself is asserted by tests.
+  return CostInterval(rich_plan.select_cost, base_plan.select_cost);
+}
+
+CostInterval CostBoundsDeriver::UpdateBounds(TemplateId t,
+                                             const Configuration& config) const {
+  const TemplateExtremes& ex = template_extremes_[t];
+  if (!ex.has_dml) return CostInterval(0.0, 0.0);
+  PlanExplanation lo_plan, hi_plan;
+  optimizer_.CostExplained(workload_.query(ex.min_sel_query), config,
+                           &lo_plan);
+  optimizer_.CostExplained(workload_.query(ex.max_sel_query), config,
+                           &hi_plan);
+  return CostInterval(lo_plan.update_cost, hi_plan.update_cost);
 }
 
 std::vector<CostInterval> CostBoundsDeriver::WorkloadBounds(
@@ -51,15 +59,7 @@ std::vector<CostInterval> CostBoundsDeriver::WorkloadBounds(
   // Per-template update-part bounds in `config`: 2 calls per DML template.
   std::vector<CostInterval> update_bounds(workload_.num_templates());
   for (TemplateId t = 0; t < workload_.num_templates(); ++t) {
-    const TemplateExtremes& ex = template_extremes_[t];
-    if (!ex.has_dml) continue;
-    PlanExplanation lo_plan, hi_plan;
-    optimizer_.CostExplained(workload_.query(ex.min_sel_query), config,
-                             &lo_plan);
-    optimizer_.CostExplained(workload_.query(ex.max_sel_query), config,
-                             &hi_plan);
-    update_bounds[t].low = lo_plan.update_cost;
-    update_bounds[t].high = hi_plan.update_cost;
+    update_bounds[t] = UpdateBounds(t, config);
   }
 
   std::vector<CostInterval> out(workload_.size());
@@ -85,8 +85,7 @@ std::vector<CostInterval> CostBoundsDeriver::DeltaBounds(
   std::vector<CostInterval> b2 = WorkloadBounds(c2);
   std::vector<CostInterval> out(b1.size());
   for (size_t i = 0; i < b1.size(); ++i) {
-    out[i].low = b1[i].low - b2[i].high;
-    out[i].high = b1[i].high - b2[i].low;
+    out[i] = CostInterval(b1[i].low - b2[i].high, b1[i].high - b2[i].low);
   }
   return out;
 }

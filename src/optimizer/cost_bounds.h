@@ -15,8 +15,11 @@
 //     configuration.
 #pragma once
 
+#include <cmath>
+#include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "optimizer/what_if.h"
 
 namespace pdx {
@@ -25,6 +28,18 @@ namespace pdx {
 struct CostInterval {
   double low = 0.0;
   double high = 0.0;
+
+  CostInterval() = default;
+  /// Validating constructor: NaN endpoints abort (a NaN bound carries no
+  /// information and would silently poison the §6.2 DP/vertex searches),
+  /// and inverted intervals (lo > hi, e.g. optimizer round-off on a
+  /// near-tie) are normalized by swapping. Zero-width intervals are legal:
+  /// they encode an exactly-known cost.
+  CostInterval(double lo, double hi) : low(lo), high(hi) {
+    PDX_CHECK_MSG(!std::isnan(lo) && !std::isnan(hi),
+                  "CostInterval endpoint is NaN");
+    if (low > high) std::swap(low, high);
+  }
 
   double width() const { return high - low; }
   bool Contains(double v) const { return v >= low && v <= high; }
@@ -40,8 +55,25 @@ class CostBoundsDeriver {
   CostBoundsDeriver(const WhatIfOptimizer& optimizer, const Workload& workload,
                     Configuration base, Configuration rich);
 
-  /// Interval for the SELECT part of one query (2 optimizer calls).
+  /// Interval for the SELECT part of one query (2 optimizer calls). The
+  /// result is configuration-independent: it brackets Cost(q, C) for every
+  /// base_ <= C <= rich_, so one derivation serves all compared configs.
   CostInterval SelectBounds(const Query& query) const;
+
+  /// Interval for the pure-update part of every instance of template `t`
+  /// evaluated in `config` (2 optimizer calls on the template's
+  /// selectivity extremes; zero-width {0,0} for SELECT-only templates).
+  /// Unlike SelectBounds this depends on `config` (update maintenance cost
+  /// is structure-dependent), so callers cache it per (template, config).
+  CostInterval UpdateBounds(TemplateId t, const Configuration& config) const;
+
+  /// True iff template `t` has at least one DML instance (and therefore a
+  /// non-trivial update part needing per-config derivation).
+  bool TemplateHasDml(TemplateId t) const {
+    return template_extremes_[t].has_dml;
+  }
+
+  const Workload& workload() const { return workload_; }
 
   /// Intervals valid for configuration `config` for all queries of the
   /// workload. SELECT parts use the base/rich pair; update parts use the

@@ -204,13 +204,16 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
             });
   if (pool.size() > options.beam_width) pool.resize(options.beam_width);
 
-  // Degradation fallback for fault-tolerant rounds: one deriver per tune.
-  // base must be contained in every compared configuration and rich must
-  // contain every structure any of them may use; the greedy rounds only
-  // ever add pool structures on top of base, so base/base+pool brackets
-  // all of them.
+  // §6.1 interval source for fault degradation AND for dynamic budget
+  // refinement: one deriver per tune. base must be contained in every
+  // compared configuration and rich must contain every structure any of
+  // them may use; the greedy rounds only ever add pool structures on top
+  // of base, so base/base+pool brackets all of them.
   std::unique_ptr<CostBoundsDeriver> bounds_deriver;
-  if (options.use_comparison_primitive && options.faults.enabled()) {
+  const bool dynamic_budget =
+      options.selector.budget_policy == BudgetPolicy::kDynamic;
+  if (options.use_comparison_primitive &&
+      (options.faults.enabled() || dynamic_budget)) {
     Configuration rich = options.base_config;
     for (const ScoredStructure& s : pool) {
       if (s.is_view) {
@@ -295,11 +298,13 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
         source = injector.get();
         sel_opts.exec.enabled = true;
         sel_opts.exec.seed ^= spec.seed;
-        if (bounds_deriver != nullptr) {
-          bounds_cache = std::make_unique<WorkloadBoundsCache>(
-              bounds_deriver.get(), &round_configs, query_ids);
-          sel_opts.bounds = bounds_cache.get();
-        }
+      }
+      if (bounds_deriver != nullptr) {
+        // Shared by fault degradation and budget refinement; the lazy
+        // sharded cache fills each piece at most once per round.
+        bounds_cache = std::make_unique<WorkloadBoundsCache>(
+            bounds_deriver.get(), &round_configs, query_ids);
+        sel_opts.bounds = bounds_cache.get();
       }
       ConfigurationSelector selector(source, sel_opts);
       SelectionResult sel = selector.Run(rng);
@@ -307,6 +312,9 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
       result.whatif_timeouts += sel.whatif_timeouts;
       result.whatif_failures += sel.whatif_failures;
       result.degraded_cells += sel.degraded_cells;
+      result.bound_refinement_calls += sel.bound_refinement_calls;
+      result.dominance_eliminations += sel.dominance_eliminations;
+      result.refined_queries += sel.refined_queries;
       if (sel.best == 0) break;  // keeping the current configuration wins
       winner = static_cast<int64_t>(feasible[sel.best - 1]);
       winner_cost = WeightedCost(optimizer, workload, query_ids, weights,

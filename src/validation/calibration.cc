@@ -147,9 +147,9 @@ GroundTruth MakeGroundTruth(const CalibrationOptions& opt) {
 
 /// Bounds provider over the ground-truth matrix rows: [row min, row max]
 /// always contains the true cell value, the §6 contract.
-class MatrixRowBoundsProvider : public CellBoundsProvider {
+class GroundTruthRowBoundsProvider : public CellBoundsProvider {
  public:
-  explicit MatrixRowBoundsProvider(const MatrixCostSource* source)
+  explicit GroundTruthRowBoundsProvider(const MatrixCostSource* source)
       : source_(source) {}
 
   CostInterval BoundsFor(QueryId q, ConfigId /*c*/) override {
@@ -204,7 +204,7 @@ CalibrationCellResult CalibrateCell(const CalibrationCellSpec& spec,
             top = cache.get();
           }
           std::unique_ptr<FaultInjectingCostSource> faults;
-          MatrixRowBoundsProvider bounds(&gt.source);
+          GroundTruthRowBoundsProvider bounds(&gt.source);
           SelectorOptions opts;
           opts.alpha = options.alpha;
           opts.delta = delta_abs;

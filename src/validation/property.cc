@@ -728,6 +728,57 @@ std::string CheckBatchedMatchesScalarBitwise(const MatrixInstance& inst) {
   return "";
 }
 
+std::string CheckDominanceEliminationSound(const MatrixInstance& inst) {
+  // Dynamic budget reallocation (core/budget.h) may eliminate a
+  // configuration only by interval dominance — UB(other) < LB(it) over the
+  // full workload envelope — which is a certainty about the exact totals,
+  // not a probabilistic claim. Cross-check against the ground-truth matrix:
+  // an eliminated configuration must never be (or tie) the exact argmin,
+  // the winner must never carry the mark, and the dynamic run's winner must
+  // be the static run's winner or the exact argmin (eliminations can only
+  // shift which *statistical* pick survives, never eliminate the truth).
+  RowBoundsProvider bounds(&inst);
+  SelectorOptions dyn = DefaultSelectorOptions(inst);
+  dyn.budget_policy = BudgetPolicy::kDynamic;
+  dyn.bounds = &bounds;
+  MatrixCostSource s1 = SourceOf(inst);
+  Rng r1(inst.seed ^ 0xD0B0);
+  SelectionResult res = ConfigurationSelector(&s1, dyn).Run(&r1);
+
+  const size_t truth = ArgMinTotal(inst);
+  const double min_total = inst.TotalCost(truth);
+  if (res.dominance_eliminated.size() != inst.num_configs &&
+      !res.dominance_eliminated.empty()) {
+    return "dominance_eliminated mask size mismatch";
+  }
+  if (!res.dominance_eliminated.empty()) {
+    if (res.dominance_eliminated[res.best]) {
+      return "winner carries a dominance elimination";
+    }
+    for (size_t c = 0; c < inst.num_configs; ++c) {
+      if (!res.dominance_eliminated[c]) continue;
+      if (inst.TotalCost(c) <= min_total) {
+        return StringFormat(
+            "config %zu dominance-eliminated but its exact total %.17g <= "
+            "minimum total %.17g",
+            c, inst.TotalCost(c), min_total);
+      }
+    }
+  }
+
+  MatrixCostSource s2 = SourceOf(inst);
+  SelectorOptions stat = DefaultSelectorOptions(inst);
+  Rng r2(inst.seed ^ 0xD0B0);
+  SelectionResult base = ConfigurationSelector(&s2, stat).Run(&r2);
+  if (res.best != base.best && res.best != truth) {
+    return StringFormat(
+        "dynamic best %llu is neither the static best %llu nor the exact "
+        "argmin %zu",
+        (unsigned long long)res.best, (unsigned long long)base.best, truth);
+  }
+  return "";
+}
+
 }  // namespace
 
 const std::vector<PropertyDef>& BuiltinMatrixProperties() {
@@ -747,6 +798,7 @@ const std::vector<PropertyDef>& BuiltinMatrixProperties() {
       {"split_preserves_partition", CheckSplitPreservesPartition},
       {"schemes_agree_at_census", CheckIndependentMatchesDeltaAtCensus},
       {"batched_matches_scalar_bitwise", CheckBatchedMatchesScalarBitwise},
+      {"dominance_elimination_sound", CheckDominanceEliminationSound},
   };
   return *defs;
 }
