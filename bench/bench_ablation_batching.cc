@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
       "per configuration before it can say anything — at literature-scale "
       "batch sizes that alone dwarfs the primitive's entire budget.\n");
   PrintWallClockReport("ablation-batching", start);
+  FinishBenchObs("bench_ablation_batching", argc, argv, start);
   return 0;
 }

@@ -139,5 +139,6 @@ int main(int argc, char** argv) {
       "the conservative method never does — its price is a far larger, and\n"
       "sometimes unreachable, sample budget.\n");
   PrintWallClockReport("ablation-conservative", start);
+  FinishBenchObs("bench_ablation_conservative", argc, argv, start);
   return 0;
 }

@@ -81,5 +81,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   PrintWallClockReport("ablation-cov", start);
+  FinishBenchObs("bench_ablation_covariance", argc, argv, start);
   return 0;
 }

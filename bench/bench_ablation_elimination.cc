@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   PrintWallClockReport("ablation-elim", start);
+  FinishBenchObs("bench_ablation_elimination", argc, argv, start);
   return 0;
 }

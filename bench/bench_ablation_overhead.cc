@@ -112,5 +112,6 @@ int main(int argc, char** argv) {
       "toward strata that buy variance reduction cheaply.\n");
   std::printf("\n");
   PrintWallClockReport("ablation-overhead", start);
+  FinishBenchObs("bench_ablation_overhead", argc, argv, start);
   return 0;
 }

@@ -231,5 +231,6 @@ int main(int argc, char** argv) {
                 "dynamic budget reallocation fell below the 1.5x "
                 "call-reduction bar");
   PrintWallClockReport("budget", start);
+  FinishBenchObs("bench_budget", argc, argv, start);
   return 0;
 }

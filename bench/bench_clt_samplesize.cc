@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
       "\npaper reference: ~4%% of 13K vs <0.6%% of 131K — the fraction must "
       "fall with N.\n");
   PrintWallClockReport("clt", start);
+  FinishBenchObs("bench_clt_samplesize", argc, argv, start);
   return 0;
 }

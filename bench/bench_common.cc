@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/run_ledger.h"
+#include "common/span.h"
 #include "common/thread_pool.h"
 
 namespace pdx::bench {
@@ -16,6 +18,14 @@ int TrialsFromArgs(int argc, char** argv, int default_trials) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       int v = std::atoi(argv[i] + 10);
       if (v > 0) SetGlobalThreadCount(static_cast<size_t>(v));
+    }
+    // The observability tail flags imply timing from the start of the run
+    // (FinishBenchObs reads the spans and histograms they fill).
+    if (std::strcmp(argv[i], "--metrics") == 0 ||
+        std::strncmp(argv[i], "--metrics=", 10) == 0 ||
+        std::strcmp(argv[i], "--ledger") == 0 ||
+        std::strncmp(argv[i], "--ledger=", 9) == 0) {
+      obs::SetTimingEnabled(true);
     }
   }
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +98,49 @@ std::string JsonPathFromArgs(int argc, char** argv) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
   }
   return {};
+}
+
+void FinishBenchObs(const char* tool, int argc, char** argv,
+                    const obs::Stopwatch& start) {
+  bool metrics = false;
+  std::string metrics_spec;
+  bool ledger = false;
+  std::string ledger_dir = "runs";
+  std::string flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics = true;
+      metrics_spec = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--ledger") == 0) {
+      ledger = true;
+    } else if (std::strncmp(argv[i], "--ledger=", 9) == 0) {
+      ledger = true;
+      if (argv[i][9] != '\0') ledger_dir = argv[i] + 9;
+    }
+    if (!flags.empty()) flags += ' ';
+    flags += argv[i];
+  }
+  if (ledger) {
+    obs::SpanSnapshot spans = obs::DrainSpans();
+    RunManifest m = BuildRunManifest(tool, flags, /*seed=*/0,
+                                     SecondsSince(start) * 1e3, spans);
+    auto written = WriteManifest(m, ledger_dir);
+    if (written.ok()) {
+      std::printf("run manifest written to %s (pdx_tool runs diff)\n",
+                  written->c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n",
+                   written.status().ToString().c_str());
+    }
+  }
+  if (metrics) {
+    Status st = obs::WriteMetricsDump(metrics_spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+    }
+  }
 }
 
 void PrintHeader(const std::string& title, int trials) {

@@ -54,6 +54,16 @@ std::unique_ptr<JsonlTraceSink> TraceSinkFromArgs(int argc, char** argv);
 /// CI perf-smoke gate).
 std::string JsonPathFromArgs(int argc, char** argv);
 
+/// Shared observability tail, called once at the end of a bench main:
+/// --metrics[=SPEC] dumps the metric registry (SPEC as in
+/// obs::WriteMetricsDump — bare Prometheus, csv, csv:PATH, PATH) and
+/// --ledger[=DIR] appends a run manifest (DIR defaults to runs/) with the
+/// bench's wall-clock and per-phase span rollup. TrialsFromArgs enables
+/// obs timing when either flag is present, so spans and latency
+/// histograms fill from the start of the run.
+void FinishBenchObs(const char* tool, int argc, char** argv,
+                    const obs::Stopwatch& start);
+
 /// Prints the standard bench header (binary name + trial count + scale +
 /// thread count).
 void PrintHeader(const std::string& title, int trials);

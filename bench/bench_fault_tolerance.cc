@@ -146,5 +146,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   PrintWallClockReport("fault_tolerance", start);
+  FinishBenchObs("bench_fault_tolerance", argc, argv, start);
   return 0;
 }

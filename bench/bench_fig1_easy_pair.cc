@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   PrintWallClockReport("fig1", start);
+  FinishBenchObs("bench_fig1_easy_pair", argc, argv, start);
   return 0;
 }

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   PrintWallClockReport("fig2", start);
+  FinishBenchObs("bench_fig2_fine_strat", argc, argv, start);
   return 0;
 }

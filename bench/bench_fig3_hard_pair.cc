@@ -118,5 +118,6 @@ int main(int argc, char** argv) {
   }
 
   PrintWallClockReport("fig3", start);
+  FinishBenchObs("bench_fig3_hard_pair", argc, argv, start);
   return 0;
 }

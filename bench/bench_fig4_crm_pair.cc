@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   PrintWallClockReport("fig4", start);
+  FinishBenchObs("bench_fig4_crm_pair", argc, argv, start);
   return 0;
 }

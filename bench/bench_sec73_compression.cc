@@ -202,5 +202,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   PrintWallClockReport("sec7.3", start);
+  FinishBenchObs("bench_sec73_compression", argc, argv, start);
   return 0;
 }

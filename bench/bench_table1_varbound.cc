@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
       "\npaper reference (2.8GHz Pentium 4): 0.4s / 5.2s / 53s — the shape "
       "to match is runtime ~ 1/rho.\n");
   PrintWallClockReport("table1", start);
+  FinishBenchObs("bench_table1_varbound", argc, argv, start);
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
     trace->Flush();
   }
   PrintWallClockReport("table2", start);
+  FinishBenchObs("bench_table2_tpcd_multi", argc, argv, start);
   return 0;
 }

@@ -33,5 +33,6 @@ int main(int argc, char** argv) {
     trace->Flush();
   }
   PrintWallClockReport("table3", start);
+  FinishBenchObs("bench_table3_crm_multi", argc, argv, start);
   return 0;
 }

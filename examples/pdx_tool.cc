@@ -30,7 +30,10 @@
 #include <vector>
 
 #include "catalog/tpcd_schema.h"
+#include "common/metrics_server.h"
 #include "common/obs.h"
+#include "common/run_ledger.h"
+#include "common/span.h"
 #include "common/thread_pool.h"
 #include "core/cost_source.h"
 #include "core/fault.h"
@@ -194,6 +197,53 @@ bool FaultsFlag(int argc, char** argv, FaultSpec* out, bool* engaged) {
   return true;
 }
 
+// The command line after the executable name, for the run-ledger
+// manifest's `flags` field.
+std::string JoinArgs(int argc, char** argv) {
+  std::string joined;
+  for (int i = 1; i < argc; ++i) {
+    if (!joined.empty()) joined += ' ';
+    joined += argv[i];
+  }
+  return joined;
+}
+
+// --ledger[=DIR]: write a run manifest under DIR (default runs/). Bare
+// --ledger uses the default; --ledger= (explicitly empty) is an error.
+bool LedgerFlag(int argc, char** argv, std::string* dir, bool* engaged) {
+  *engaged = false;
+  if (!FlagPresent(argc, argv, "ledger")) return true;
+  *dir = FlagValue(argc, argv, "ledger", "");
+  if (dir->empty()) {
+    if (!HasFlag(argc, argv, "ledger")) {
+      std::printf("error: --ledger= requires a non-empty directory\n");
+      return false;
+    }
+    *dir = "runs";
+  }
+  *engaged = true;
+  return true;
+}
+
+// Drains all spans (into the trace when one is attached) and appends the
+// run manifest; shared by compare and tune.
+int WriteLedgerEntry(const std::string& tool, const std::string& ledger_dir,
+                     int argc, char** argv, uint64_t seed, double wall_ms,
+                     TraceSink* sink) {
+  obs::SpanSnapshot spans =
+      sink != nullptr ? DrainSpansToSink(sink) : obs::DrainSpans();
+  RunManifest m =
+      BuildRunManifest(tool, JoinArgs(argc, argv), seed, wall_ms, spans);
+  auto written = WriteManifest(m, ledger_dir);
+  if (!written.ok()) {
+    std::printf("error: %s\n", written.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("run manifest written to %s (pdx_tool runs diff)\n",
+              written->c_str());
+  return 0;
+}
+
 // Union of every structure appearing in any configuration — the `rich`
 // bracket for §6 bound derivation.
 Configuration UnionConfiguration(const std::vector<Configuration>& configs) {
@@ -219,13 +269,15 @@ int Usage() {
       "                   [--cache=off|exact|signature] [--no-cache]\n"
       "                   [--budget=static|dynamic]\n"
       "                   [--faults=p_fail,p_slow[,seed]]\n"
-      "                   [--trace=PATH] [--metrics[=csv]]\n"
+      "                   [--trace=PATH] [--metrics[=SPEC]] [--ledger[=DIR]]\n"
       "  pdx_tool tune    --dir=DIR [--alpha=0.9] [--max-structures=8]\n"
       "                   [--budget-mb=0] [--cache=off|exact|signature]\n"
       "                   [--budget=static|dynamic]\n"
       "                   [--faults=p_fail,p_slow[,seed]] [--seed=42]\n"
-      "                   [--metrics[=csv]]\n"
-      "  pdx_tool report  --trace=PATH\n"
+      "                   [--metrics[=SPEC]] [--ledger[=DIR]]\n"
+      "  pdx_tool report  --trace=PATH [--profile=OUT.json]\n"
+      "  pdx_tool runs    list | diff A B   [--runs-dir=DIR]\n"
+      "  pdx_tool serve-metrics [--port=9464] [--max-requests=0]\n"
       "  pdx_tool show    --dir=DIR\n"
       "  pdx_tool validate [--quick|--full] [--regen-golden] [--csv=PATH]\n"
       "\n"
@@ -239,9 +291,20 @@ int Usage() {
       "  --trace=PATH writes a JSONL selection trace (PDX_TRACE env is the\n"
       "  fallback, like PDX_CACHE/PDX_THREADS); tracing never changes the\n"
       "  run's sampling or optimizer-call decisions. --metrics dumps the\n"
-      "  process metric registry after the run (Prometheus text format;\n"
-      "  --metrics=csv for a flat CSV). report reads a trace back and\n"
-      "  prints its convergence table: Pr(CS) vs optimizer calls per round.\n"
+      "  process metric registry after the run: bare for Prometheus text\n"
+      "  on stdout, =csv for CSV on stdout, =csv:PATH or =PATH to write a\n"
+      "  file instead of interleaving with the run's own output. report\n"
+      "  reads a trace back and prints its convergence table plus the\n"
+      "  per-phase span profile; --profile=OUT.json additionally exports\n"
+      "  the trace's spans as a Chrome trace-event file (chrome://tracing,\n"
+      "  ui.perfetto.dev).\n"
+      "\n"
+      "  --ledger[=DIR] appends a run manifest (git revision, flags, seed,\n"
+      "  final counters, per-phase span rollup) under DIR (default runs/).\n"
+      "  'runs list' enumerates recorded manifests; 'runs diff A B' prints\n"
+      "  a regression-attribution table between two of them, ranked by\n"
+      "  wall-clock delta. serve-metrics exposes GET /metrics (Prometheus)\n"
+      "  and /healthz on 127.0.0.1.\n"
       "\n"
       "  --budget=dynamic reallocates the what-if budget each selection\n"
       "  round (DESIGN.md Section 10): the run may spend cheap Section-6\n"
@@ -446,12 +509,15 @@ int RunCompare(int argc, char** argv) {
   std::string trace_path;
   FaultSpec fault_spec;
   bool faults_on = false;
+  std::string ledger_dir;
+  bool ledger_on = false;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
       !DoubleFlag(argc, argv, "delta-pct", 0.0, &delta_pct) ||
       !CacheFlag(argc, argv, &cache_mode) ||
       !BudgetFlag(argc, argv, &budget_policy) ||
       !TraceFlag(argc, argv, &trace_path) ||
-      !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
+      !FaultsFlag(argc, argv, &fault_spec, &faults_on) ||
+      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on)) {
     return 1;
   }
   std::string scheme = FlagValue(argc, argv, "scheme", "delta");
@@ -513,7 +579,11 @@ int RunCompare(int argc, char** argv) {
     }
     trace_sink = std::move(*opened);
   }
-  if (trace_sink != nullptr || metrics) obs::SetTimingEnabled(true);
+  // The ledger's per-phase rollup is built from spans, so --ledger turns
+  // timing on too (tracing/timing never changes the run's decisions).
+  if (trace_sink != nullptr || metrics || ledger_on) {
+    obs::SetTimingEnabled(true);
+  }
 
   SelectorOptions sopt;
   sopt.alpha = alpha;
@@ -557,7 +627,10 @@ int RunCompare(int argc, char** argv) {
   sopt.budget_policy = budget_policy;
   ConfigurationSelector selector(source, sopt);
   Rng rng(42);
+  const uint64_t wall_t0 = obs::NowNs();
   SelectionResult r = selector.Run(&rng);
+  const double wall_ms =
+      static_cast<double>(obs::NowNs() - wall_t0) / 1e6;
 
   std::printf(
       "selected configuration %u with Pr(CS) = %.3f\n"
@@ -607,18 +680,29 @@ int RunCompare(int argc, char** argv) {
         static_cast<unsigned long long>(r.whatif_failures),
         static_cast<unsigned long long>(r.degraded_cells));
   }
+  if (trace_sink != nullptr) EmitWhatIfLatencySummary(trace_sink.get());
+  // Span drain order: spans land in the trace (when one is attached)
+  // before the final flush; the ledger entry reuses the same snapshot.
+  int ledger_rc = 0;
+  if (ledger_on) {
+    ledger_rc = WriteLedgerEntry("compare", ledger_dir, argc, argv, 42,
+                                 wall_ms, trace_sink.get());
+  } else if (trace_sink != nullptr) {
+    DrainSpansToSink(trace_sink.get());
+  }
   if (trace_sink != nullptr) {
-    EmitWhatIfLatencySummary(trace_sink.get());
     trace_sink->Flush();
     std::printf("trace written to %s (pdx_tool report --trace=%s)\n",
                 trace_path.c_str(), trace_path.c_str());
   }
   if (metrics) {
-    std::printf("%s", metrics_fmt == "csv"
-                          ? obs::Registry::Global().DumpCsv().c_str()
-                          : obs::Registry::Global().DumpPrometheus().c_str());
+    Status st = obs::WriteMetricsDump(metrics_fmt);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
-  return 0;
+  return ledger_rc;
 }
 
 int RunReport(int argc, char** argv) {
@@ -718,6 +802,34 @@ int RunReport(int argc, char** argv) {
     std::printf("  %-32s %12llu\n", "refinement halts",
                 static_cast<unsigned long long>(report->budget_halts));
   }
+  // Per-phase profile: the span rollup, ranked by total wall-clock. The
+  // aggregation is keyed, not positional, so interleaved multi-thread
+  // span streams report identically however the lines landed in the file.
+  if (report->num_spans > 0) {
+    std::printf("profile: %llu spans\n",
+                static_cast<unsigned long long>(report->num_spans));
+    std::printf("  %-28s %10s %14s %14s\n", "phase", "count", "total_ms",
+                "counter");
+    for (const obs::SpanRollupRow& row : report->span_rollup) {
+      std::string key = row.category + "/" + row.name;
+      std::printf("  %-28s %10llu %14.3f %14llu\n", key.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  static_cast<double>(row.total_ns) / 1e6,
+                  static_cast<unsigned long long>(row.counter_delta));
+    }
+  }
+  std::string profile_path = FlagValue(argc, argv, "profile", "");
+  if (!profile_path.empty()) {
+    auto written = WriteChromeTrace(path, profile_path);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "chrome trace with %llu events written to %s (load via "
+        "chrome://tracing or ui.perfetto.dev)\n",
+        static_cast<unsigned long long>(*written), profile_path.c_str());
+  }
   return 0;
 }
 
@@ -730,13 +842,16 @@ int RunTune(int argc, char** argv) {
   BudgetPolicy budget_policy;
   FaultSpec fault_spec;
   bool faults_on = false;
+  std::string ledger_dir;
+  bool ledger_on = false;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
       !U64Flag(argc, argv, "max-structures", 8, &max_structures) ||
       !U64Flag(argc, argv, "budget-mb", 0, &budget_mb) ||
       !U64Flag(argc, argv, "seed", 42, &seed) ||
       !CacheFlag(argc, argv, &cache_mode) ||
       !BudgetFlag(argc, argv, &budget_policy) ||
-      !FaultsFlag(argc, argv, &fault_spec, &faults_on)) {
+      !FaultsFlag(argc, argv, &fault_spec, &faults_on) ||
+      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on)) {
     return 1;
   }
   if (faults_on && cache_mode == WhatIfCacheMode::kSignature) {
@@ -747,6 +862,7 @@ int RunTune(int argc, char** argv) {
   }
   std::string metrics_fmt = FlagValue(argc, argv, "metrics", "");
   bool metrics = HasFlag(argc, argv, "metrics") || !metrics_fmt.empty();
+  if (metrics || ledger_on) obs::SetTimingEnabled(true);
 
   auto schema = LoadSchema(SchemaPath(dir));
   if (!schema.ok()) {
@@ -774,8 +890,11 @@ int RunTune(int argc, char** argv) {
   topt.selector.budget_policy = budget_policy;
   topt.faults = fault_spec;
   Rng rng(seed);
+  const uint64_t wall_t0 = obs::NowNs();
   TuneResult r =
       GreedyTune(optimizer, *workload, ids, {}, topt, &rng);
+  const double wall_ms =
+      static_cast<double>(obs::NowNs() - wall_t0) / 1e6;
 
   std::printf(
       "tuned: %zu indexes, %zu views, %.1f MB\n"
@@ -801,10 +920,107 @@ int RunTune(int argc, char** argv) {
         static_cast<unsigned long long>(r.whatif_failures),
         static_cast<unsigned long long>(r.degraded_cells));
   }
+  int ledger_rc = 0;
+  if (ledger_on) {
+    ledger_rc = WriteLedgerEntry("tune", ledger_dir, argc, argv, seed,
+                                 wall_ms, nullptr);
+  }
   if (metrics) {
-    std::printf("%s", metrics_fmt == "csv"
-                          ? obs::Registry::Global().DumpCsv().c_str()
-                          : obs::Registry::Global().DumpPrometheus().c_str());
+    Status st = obs::WriteMetricsDump(metrics_fmt);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return ledger_rc;
+}
+
+// pdx_tool runs list|diff A B: the run-ledger query side. `list` prints
+// every manifest under the ledger directory; `diff` renders the
+// regression-attribution table between two of them (path, exact file
+// name, or unique name prefix).
+int RunRuns(int argc, char** argv) {
+  std::string dir = FlagValue(argc, argv, "runs-dir", "runs");
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) pos.push_back(argv[i]);
+  }
+  if (pos.empty()) return Usage();
+  if (pos[0] == "list") {
+    auto files = ListManifestFiles(dir);
+    if (!files.ok()) {
+      std::printf("error: %s\n", files.status().ToString().c_str());
+      return 1;
+    }
+    if (files->empty()) {
+      std::printf("no run manifests under %s\n", dir.c_str());
+      return 0;
+    }
+    std::printf("%-44s %-8s %10s %8s %-24s\n", "run", "tool", "wall_ms",
+                "phases", "git");
+    for (const std::string& f : *files) {
+      auto m = ReadManifest(dir + "/" + f);
+      if (!m.ok()) {
+        std::printf("%-44s (unreadable: %s)\n", f.c_str(),
+                    m.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-44s %-8s %10.1f %8zu %-24s\n", f.c_str(),
+                  m->tool.c_str(), m->wall_ms, m->phases.size(),
+                  m->git.c_str());
+    }
+    return 0;
+  }
+  if (pos[0] == "diff") {
+    if (pos.size() != 3) {
+      std::printf("usage: pdx_tool runs diff A B [--runs-dir=DIR]\n");
+      return 1;
+    }
+    auto path_a = ResolveManifestRef(pos[1], dir);
+    auto path_b = ResolveManifestRef(pos[2], dir);
+    if (!path_a.ok() || !path_b.ok()) {
+      std::printf("error: %s\n", (!path_a.ok() ? path_a.status() :
+                                                 path_b.status())
+                                     .ToString()
+                                     .c_str());
+      return 1;
+    }
+    auto a = ReadManifest(*path_a);
+    auto b = ReadManifest(*path_b);
+    if (!a.ok() || !b.ok()) {
+      std::printf("error: %s\n",
+                  (!a.ok() ? a.status() : b.status()).ToString().c_str());
+      return 1;
+    }
+    std::vector<LedgerDiffRow> rows = DiffManifests(*a, *b);
+    std::printf("%s", FormatLedgerDiff(*a, *b, rows).c_str());
+    return 0;
+  }
+  std::printf("error: unknown runs subcommand '%s' (list, diff)\n",
+              pos[0].c_str());
+  return 1;
+}
+
+// pdx_tool serve-metrics: expose the process registry over HTTP. Mostly
+// useful composed with library embedders; standalone it demonstrates the
+// exporter and gives CI a curl target.
+int RunServeMetrics(int argc, char** argv) {
+  uint64_t port, max_requests;
+  if (!U64Flag(argc, argv, "port", 9464, &port) ||
+      !U64Flag(argc, argv, "max-requests", 0, &max_requests)) {
+    return 1;
+  }
+  if (port > 65535) {
+    std::printf("error: --port expects 0..65535\n");
+    return 1;
+  }
+  obs::MetricsServerOptions mopt;
+  mopt.port = static_cast<int>(port);
+  mopt.max_requests = max_requests;
+  Status st = obs::ServeMetrics(mopt);
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
   }
   return 0;
 }
@@ -857,6 +1073,8 @@ int main(int argc, char** argv) {
   if (command == "compare") return RunCompare(argc, argv);
   if (command == "tune") return RunTune(argc, argv);
   if (command == "report") return RunReport(argc, argv);
+  if (command == "runs") return RunRuns(argc, argv);
+  if (command == "serve-metrics") return RunServeMetrics(argc, argv);
   if (command == "show") return RunShow(argc, argv);
   if (command == "validate") return RunValidate(argc, argv);
   return Usage();

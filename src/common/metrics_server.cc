@@ -1,0 +1,126 @@
+#include "common/metrics_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/obs.h"
+#include "common/string_util.h"
+
+namespace pdx::obs {
+
+namespace {
+
+std::string HttpMessage(int code, const char* reason,
+                        const char* content_type, const std::string& body) {
+  return StringFormat(
+             "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: "
+             "%zu\r\nConnection: close\r\n\r\n",
+             code, reason, content_type, body.size()) +
+         body;
+}
+
+Status SocketError(const char* what) {
+  return Status::IOError(StringFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+std::string MetricsHttpResponse(const std::string& request_head) {
+  Registry::Global().GetCounter("pdx_exporter_requests_total")->Add();
+  size_t eol = request_head.find('\n');
+  std::string line = request_head.substr(
+      0, eol == std::string::npos ? request_head.size() : eol);
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.pop_back();
+  }
+  if (line.rfind("GET ", 0) != 0) {
+    return HttpMessage(405, "Method Not Allowed", "text/plain",
+                       "method not allowed\n");
+  }
+  size_t sp = line.find(' ', 4);
+  std::string path =
+      sp == std::string::npos ? line.substr(4) : line.substr(4, sp - 4);
+  if (path == "/metrics") {
+    return HttpMessage(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                       Registry::Global().DumpPrometheus());
+  }
+  if (path == "/healthz") {
+    return HttpMessage(200, "OK", "text/plain", "ok\n");
+  }
+  return HttpMessage(404, "Not Found", "text/plain", "not found\n");
+}
+
+Status ServeMetrics(const MetricsServerOptions& options, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = SocketError("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status st = SocketError("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = SocketError("getsockname");
+    ::close(fd);
+    return st;
+  }
+  const int port = ntohs(addr.sin_port);
+  if (bound_port != nullptr) *bound_port = port;
+  std::printf("serving metrics on http://127.0.0.1:%d/metrics\n", port);
+  std::fflush(stdout);
+  for (uint64_t served = 0;
+       options.max_requests == 0 || served < options.max_requests;
+       ++served) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        --served;
+        continue;
+      }
+      Status st = SocketError("accept");
+      ::close(fd);
+      return st;
+    }
+    // Read the request head (through the blank line); this server never
+    // consumes a body.
+    std::string head;
+    char buf[2048];
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+      ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) break;
+      head.append(buf, static_cast<size_t>(n));
+    }
+    const std::string resp = MetricsHttpResponse(head);
+    size_t off = 0;
+    while (off < resp.size()) {
+      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the tool.
+      ssize_t n = ::send(conn, resp.data() + off, resp.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::shutdown(conn, SHUT_WR);
+    ::close(conn);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace pdx::obs

@@ -1,0 +1,40 @@
+// Copyright (c) the pdexplore authors.
+// Minimal single-threaded HTTP exporter for the metric registry
+// (ISSUE 8): `pdx_tool serve-metrics --port=N` serves GET /metrics
+// (Prometheus text exposition, straight from obs::Registry) and GET
+// /healthz. This is deliberately tiny — one blocking accept loop, no
+// keep-alive, no TLS, no threads — the first resident-process slice of
+// the ROADMAP's selection-as-a-service daemon, not a web framework.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pdx::obs {
+
+struct MetricsServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port (the
+  /// chosen one is printed and reported via *bound_port).
+  int port = 9464;
+  /// Exit cleanly after this many requests; 0 serves forever. The CI
+  /// smoke and tests use this to get a deterministic shutdown.
+  uint64_t max_requests = 0;
+};
+
+/// The full HTTP response for one request head (everything up to the
+/// blank line). Pure function of the request and the registry — the
+/// socket loop and the tests share it. Bumps
+/// pdx_exporter_requests_total.
+std::string MetricsHttpResponse(const std::string& request_head);
+
+/// Binds 127.0.0.1:<port>, prints "serving metrics on
+/// http://127.0.0.1:PORT/metrics", and serves requests one at a time
+/// until max_requests is reached (never returns when max_requests is 0,
+/// short of a socket error). `bound_port`, when non-null, receives the
+/// actual port before the first accept.
+Status ServeMetrics(const MetricsServerOptions& options,
+                    int* bound_port = nullptr);
+
+}  // namespace pdx::obs

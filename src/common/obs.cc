@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <thread>
 
@@ -103,6 +104,11 @@ double Histogram::Quantile(double p) const {
     if (next >= target || b + 1 == kNumBuckets) {
       double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
       double hi = static_cast<double>(BucketUpperNs(b)) + 1.0;
+      // All samples in this one bucket: the within-bucket rank carries no
+      // information (frac would just replay p), so every quantile is the
+      // bucket midpoint — p99 of one observation must not report the
+      // bucket's upper edge.
+      if (snap[b] == total) return lo + 0.5 * (hi - lo);
       double inside = static_cast<double>(snap[b]);
       double frac = inside > 0.0 ? (target - below) / inside : 0.0;
       frac = std::clamp(frac, 0.0, 1.0);
@@ -161,20 +167,101 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+namespace {
+
+/// Escapes a `# HELP` value per the Prometheus text exposition rules:
+/// backslash and newline are the two characters with meaning there.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricHelp(const std::string& name) {
+  static const std::map<std::string, std::string>* kHelp =
+      new std::map<std::string, std::string>{
+          {"pdx_whatif_calls_total", "Real what-if optimizer calls issued"},
+          {"pdx_whatif_cold_ns", "Per-call latency of cold what-if calls"},
+          {"pdx_whatif_signature_hit_ns",
+           "Per-call latency of signature-cache hits"},
+          {"pdx_whatif_exact_hit_ns",
+           "Per-call latency of exact-cell cache hits"},
+          {"pdx_whatif_retries_total", "What-if executor retry attempts"},
+          {"pdx_whatif_timeouts_total", "What-if calls exceeding deadline"},
+          {"pdx_whatif_failures_total", "What-if calls failing all retries"},
+          {"pdx_whatif_degraded_cells_total",
+           "Cells degraded to Section-6 cost bounds"},
+          {"pdx_cache_exact_cold_total", "Exact-cell cache misses"},
+          {"pdx_cache_exact_hit_total", "Exact-cell cache hits"},
+          {"pdx_cache_sig_cold_total", "Signature cache cold fills"},
+          {"pdx_cache_sig_signature_hit_total",
+           "Signature cache structure-signature hits"},
+          {"pdx_cache_sig_exact_hit_total", "Signature cache exact hits"},
+          {"pdx_selector_runs_total", "Selection runs started"},
+          {"pdx_selector_rounds_total", "Selection-loop rounds executed"},
+          {"pdx_selector_eliminations_total",
+           "Configurations frozen by elimination"},
+          {"pdx_selector_splits_total", "Stratification splits accepted"},
+          {"pdx_selector_run_ns", "End-to-end selection run latency"},
+          {"pdx_strat_split_search_ns", "Algorithm-2 split-search latency"},
+          {"pdx_estimator_samples_total", "Samples folded into estimators"},
+          {"pdx_pool_jobs_total", "ThreadPool jobs executed"},
+          {"pdx_pool_chunks_total", "ThreadPool chunks executed"},
+          {"pdx_pool_busy_ns_total", "Cumulative worker busy time"},
+          {"pdx_pool_queue_depth", "Current ThreadPool queue depth"},
+          {"pdx_pool_threads", "Configured ThreadPool worker count"},
+          {"pdx_pool_job_ns", "Per-job ThreadPool latency"},
+          {"pdx_budget_bound_calls_total",
+           "Section-6.1 bound-refinement derivations"},
+          {"pdx_budget_refine_rounds_total", "Rounds choosing refinement"},
+          {"pdx_budget_refined_queries_total", "Queries bound-refined"},
+          {"pdx_budget_dominance_eliminations_total",
+           "Configurations eliminated by interval dominance"},
+          {"pdx_budget_refine_halts_total",
+           "Runs halting refinement by the separability projection"},
+          {"pdx_fault_injected_failures_total", "Injected what-if failures"},
+          {"pdx_fault_injected_slow_total", "Injected what-if latency spikes"},
+          {"pdx_tuner_rounds_total", "Greedy tuner rounds executed"},
+          {"pdx_tuner_structures_added_total",
+           "Structures accepted by the greedy tuner"},
+          {"pdx_tuner_round_ns", "Per-round greedy tuner latency"},
+          {"pdx_exporter_requests_total",
+           "HTTP requests served by pdx_tool serve-metrics"},
+      };
+  auto it = kHelp->find(name);
+  if (it != kHelp->end()) return it->second;
+  return "pdexplore metric " + name + " (see src/common/obs.h)";
+}
+
 std::string Registry::DumpPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
-    out += StringFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
-                        name.c_str(),
+    out += StringFormat("# HELP %s %s\n# TYPE %s counter\n%s %llu\n",
+                        name.c_str(), EscapeHelp(MetricHelp(name)).c_str(),
+                        name.c_str(), name.c_str(),
                         static_cast<unsigned long long>(c->Value()));
   }
   for (const auto& [name, g] : gauges_) {
-    out += StringFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(),
-                        name.c_str(), static_cast<long long>(g->Value()));
+    out += StringFormat("# HELP %s %s\n# TYPE %s gauge\n%s %lld\n",
+                        name.c_str(), EscapeHelp(MetricHelp(name)).c_str(),
+                        name.c_str(), name.c_str(),
+                        static_cast<long long>(g->Value()));
   }
   for (const auto& [name, h] : histograms_) {
-    out += StringFormat("# TYPE %s summary\n", name.c_str());
+    out += StringFormat("# HELP %s %s\n# TYPE %s summary\n", name.c_str(),
+                        EscapeHelp(MetricHelp(name)).c_str(), name.c_str());
     for (double q : {0.5, 0.95, 0.99}) {
       out += StringFormat("%s{quantile=\"%.2f\"} %.0f\n", name.c_str(), q,
                           h->Quantile(q));
@@ -183,6 +270,24 @@ std::string Registry::DumpPrometheus() const {
                         static_cast<unsigned long long>(h->SumNs()),
                         name.c_str(),
                         static_cast<unsigned long long>(h->Count()));
+  }
+  return out;
+}
+
+std::vector<Registry::Sample> Registry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(c->Value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", static_cast<double>(g->Value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(
+        {name + "_count", "histogram", static_cast<double>(h->Count())});
+    out.push_back(
+        {name + "_sum", "histogram", static_cast<double>(h->SumNs())});
   }
   return out;
 }
@@ -207,6 +312,42 @@ std::string Registry::DumpCsv() const {
                         h->Quantile(0.99));
   }
   return out;
+}
+
+Status WriteMetricsDump(const std::string& spec) {
+  std::string dump;
+  std::string path;
+  if (spec.empty() || spec == "prom") {
+    dump = Registry::Global().DumpPrometheus();
+  } else if (spec == "csv") {
+    dump = Registry::Global().DumpCsv();
+  } else if (spec.rfind("csv:", 0) == 0) {
+    path = spec.substr(4);
+    if (path.empty()) {
+      return Status::InvalidArgument("--metrics=csv: requires a path");
+    }
+    dump = Registry::Global().DumpCsv();
+  } else {
+    path = spec;
+    dump = Registry::Global().DumpPrometheus();
+  }
+  if (path.empty()) {
+    std::fwrite(dump.data(), 1, dump.size(), stdout);
+    return Status::OK();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file '" + path +
+                           "' for write");
+  }
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  const bool write_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (write_error) {
+    return Status::IOError("write error on metrics file '" + path + "'");
+  }
+  std::printf("metrics written to %s\n", path.c_str());
+  return Status::OK();
 }
 
 void Registry::ResetAll() {

@@ -26,8 +26,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace pdx::obs {
 
@@ -101,7 +103,10 @@ class Gauge {
 /// Bucket b holds values in [2^b, 2^(b+1)) ns (bucket 0 also takes 0);
 /// 48 buckets cover up to ~78 hours. Quantiles interpolate linearly
 /// inside the winning bucket, which is accurate to the bucket's factor-2
-/// width — plenty for p50/p95/p99 latency reporting.
+/// width — plenty for p50/p95/p99 latency reporting. When every sample
+/// landed in a single bucket the interpolation has no information to
+/// spread on, so all quantiles report that bucket's midpoint instead of
+/// fanning out toward the upper edge.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 48;
@@ -154,12 +159,25 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// Prometheus text exposition format: counters/gauges as single
-  /// samples, histograms as _count/_sum plus p50/p95/p99 gauge lines
-  /// (quantile label), names sorted.
+  /// Prometheus text exposition format: every metric preceded by its
+  /// `# HELP` (escaped per the exposition rules: backslash and newline)
+  /// and `# TYPE` lines; counters/gauges as single samples, histograms as
+  /// summaries — p50/p95/p99 quantile-labeled lines plus _sum/_count.
+  /// Names sorted within each kind.
   std::string DumpPrometheus() const;
   /// Flat CSV summary: name,kind,count,value,p50_ns,p95_ns,p99_ns.
   std::string DumpCsv() const;
+
+  /// One registered metric flattened to a scalar, for the run ledger.
+  /// Histograms expand to two samples: <name>_count and <name>_sum.
+  struct Sample {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    double value = 0.0;
+  };
+  /// Snapshot of every registered metric as flat samples, name-sorted
+  /// within each kind (the DumpPrometheus order).
+  std::vector<Sample> Samples() const;
 
   /// Zeroes every registered metric (tests and bench A/B sections).
   void ResetAll();
@@ -172,6 +190,18 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Help text for a registry metric name: a known-name table with a
+/// generic fallback, so DumpPrometheus always has a `# HELP` line to
+/// emit. Exposed for tests.
+std::string MetricHelp(const std::string& name);
+
+/// Applies a --metrics[=spec] flag shared by pdx_tool and the benches:
+/// "" or "prom" dumps Prometheus text to stdout, "csv" dumps CSV to
+/// stdout, "csv:PATH" writes CSV to PATH, and any other value is a path
+/// that receives the Prometheus dump. File targets print a one-line
+/// confirmation so reports and registry dumps stop interleaving.
+Status WriteMetricsDump(const std::string& spec);
 
 /// Starts a gated timer: 0 when timing is disabled, otherwise the start
 /// timestamp. Pair with TimerStop.

@@ -1,0 +1,383 @@
+#include "common/run_ledger.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// First-match scalar extraction, same contract as the trace reader:
+/// `needle` includes quotes and colon so "name" never matches "rename".
+const char* FindValue(const std::string& line, const char* needle) {
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return nullptr;
+  return line.c_str() + pos + std::strlen(needle);
+}
+
+bool GetUint(const std::string& line, const char* needle, uint64_t* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return false;
+  *out = std::strtoull(v, nullptr, 10);
+  return true;
+}
+
+bool GetDouble(const std::string& line, const char* needle, double* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return false;
+  *out = std::strtod(v, nullptr);
+  return true;
+}
+
+/// Unescapes the \", \\, \n, \t the writer produces. Stops at the first
+/// unescaped closing quote.
+bool GetString(const std::string& line, const char* needle,
+               std::string* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr || *v != '"') return false;
+  ++v;
+  out->clear();
+  for (; *v != '\0'; ++v) {
+    if (*v == '"') return true;
+    if (*v == '\\' && v[1] != '\0') {
+      ++v;
+      switch (*v) {
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        default:
+          out->push_back(*v);
+      }
+    } else {
+      out->push_back(*v);
+    }
+  }
+  return false;  // unterminated string
+}
+
+std::string JsonDouble(double v) {
+  if (!(v == v) || v > 1.79e308 || v < -1.79e308) return "0";
+  return StringFormat("%.17g", v);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+  std::FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[256];
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+  ::pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+RunManifest BuildRunManifest(const std::string& tool, const std::string& flags,
+                             uint64_t seed, double wall_ms,
+                             const obs::SpanSnapshot& spans) {
+  RunManifest m;
+  m.tool = tool;
+  m.flags = flags;
+  m.seed = seed;
+  m.wall_ms = wall_ms;
+  m.git = GitDescribe();
+  m.started_unix_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  m.spans_dropped = spans.dropped;
+  m.counters = obs::Registry::Global().Samples();
+  m.phases = obs::RollupSpans(spans.records);
+  return m;
+}
+
+std::string ManifestToJson(const RunManifest& m) {
+  std::string out = "{\n";
+  out += StringFormat("\"tool\":\"%s\",\n", JsonEscape(m.tool).c_str());
+  out += StringFormat("\"git\":\"%s\",\n", JsonEscape(m.git).c_str());
+  out += StringFormat("\"started_unix_ms\":%llu,\n",
+                      static_cast<unsigned long long>(m.started_unix_ms));
+  out += StringFormat("\"wall_ms\":%s,\n", JsonDouble(m.wall_ms).c_str());
+  out += StringFormat("\"seed\":%llu,\n",
+                      static_cast<unsigned long long>(m.seed));
+  out += StringFormat("\"spans_dropped\":%llu,\n",
+                      static_cast<unsigned long long>(m.spans_dropped));
+  out += StringFormat("\"flags\":\"%s\",\n", JsonEscape(m.flags).c_str());
+  out += "\"counters\":[\n";
+  for (size_t i = 0; i < m.counters.size(); ++i) {
+    const obs::Registry::Sample& s = m.counters[i];
+    out += StringFormat("{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%s}%s\n",
+                        JsonEscape(s.name).c_str(), s.kind.c_str(),
+                        JsonDouble(s.value).c_str(),
+                        i + 1 == m.counters.size() ? "" : ",");
+  }
+  out += "],\n\"phases\":[\n";
+  for (size_t i = 0; i < m.phases.size(); ++i) {
+    const obs::SpanRollupRow& p = m.phases[i];
+    out += StringFormat(
+        "{\"cat\":\"%s\",\"name\":\"%s\",\"count\":%llu,\"total_ns\":%llu,"
+        "\"delta\":%llu}%s\n",
+        JsonEscape(p.category).c_str(), JsonEscape(p.name).c_str(),
+        static_cast<unsigned long long>(p.count),
+        static_cast<unsigned long long>(p.total_ns),
+        static_cast<unsigned long long>(p.counter_delta),
+        i + 1 == m.phases.size() ? "" : ",");
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+Result<RunManifest> ParseManifestJson(const std::string& json,
+                                      const std::string& origin) {
+  RunManifest m;
+  m.git.clear();
+  size_t pos = 0;
+  bool saw_tool = false;
+  while (pos < json.size()) {
+    size_t end = json.find('\n', pos);
+    if (end == std::string::npos) end = json.size();
+    std::string line = json.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    // Entry lines before top-level scalars: a phase row also carries
+    // "name", and a counter row also carries "value".
+    if (line.rfind("{\"cat\":", 0) == 0) {
+      obs::SpanRollupRow row;
+      GetString(line, "\"cat\":", &row.category);
+      GetString(line, "\"name\":", &row.name);
+      GetUint(line, "\"count\":", &row.count);
+      GetUint(line, "\"total_ns\":", &row.total_ns);
+      GetUint(line, "\"delta\":", &row.counter_delta);
+      m.phases.push_back(std::move(row));
+    } else if (line.rfind("{\"name\":", 0) == 0) {
+      obs::Registry::Sample s;
+      GetString(line, "\"name\":", &s.name);
+      GetString(line, "\"kind\":", &s.kind);
+      GetDouble(line, "\"value\":", &s.value);
+      m.counters.push_back(std::move(s));
+    } else {
+      if (GetString(line, "\"tool\":", &m.tool)) saw_tool = true;
+      GetString(line, "\"git\":", &m.git);
+      GetString(line, "\"flags\":", &m.flags);
+      GetUint(line, "\"started_unix_ms\":", &m.started_unix_ms);
+      GetDouble(line, "\"wall_ms\":", &m.wall_ms);
+      GetUint(line, "\"seed\":", &m.seed);
+      GetUint(line, "\"spans_dropped\":", &m.spans_dropped);
+    }
+  }
+  if (!saw_tool) {
+    return Status::InvalidArgument("'" + origin +
+                                   "' is not a run manifest (no \"tool\")");
+  }
+  if (m.git.empty()) m.git = "unknown";
+  return m;
+}
+
+Result<RunManifest> ReadManifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open manifest '" + path + "'");
+  }
+  std::string json;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("read error on manifest '" + path + "'");
+  }
+  return ParseManifestJson(json, path);
+}
+
+Result<std::string> WriteManifest(const RunManifest& m,
+                                  const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create ledger directory '" + dir + "'");
+  }
+  std::string base = StringFormat(
+      "%s/%llu-%s", dir.c_str(),
+      static_cast<unsigned long long>(m.started_unix_ms), m.tool.c_str());
+  std::string path = base + ".json";
+  for (int i = 2; FileExists(path); ++i) {
+    path = base + StringFormat("-%d.json", i);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open manifest '" + path + "' for write");
+  }
+  std::string json = ManifestToJson(m);
+  std::fwrite(json.data(), 1, json.size(), f);
+  const bool write_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (write_error) {
+    return Status::IOError("write error on manifest '" + path + "'");
+  }
+  return path;
+}
+
+Result<std::vector<std::string>> ListManifestFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("no ledger directory '" + dir + "'");
+  }
+  std::vector<std::string> files;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 5 && name.rfind(".json") == name.size() - 5) {
+      files.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::string> ResolveManifestRef(const std::string& ref,
+                                       const std::string& dir) {
+  if (FileExists(ref)) return ref;
+  auto files = ListManifestFiles(dir);
+  if (!files.ok()) return files.status();
+  std::vector<std::string> matches;
+  for (const std::string& f : files.value()) {
+    if (f == ref) return dir + "/" + f;
+    if (f.rfind(ref, 0) == 0) matches.push_back(f);
+  }
+  if (matches.size() == 1) return dir + "/" + matches[0];
+  if (matches.empty()) {
+    return Status::NotFound("no ledger entry matching '" + ref + "' in '" +
+                            dir + "'");
+  }
+  return Status::InvalidArgument(
+      StringFormat("'%s' is ambiguous: %zu ledger entries match (e.g. %s, %s)",
+                   ref.c_str(), matches.size(), matches[0].c_str(),
+                   matches[1].c_str()));
+}
+
+std::vector<LedgerDiffRow> DiffManifests(const RunManifest& a,
+                                         const RunManifest& b) {
+  std::vector<LedgerDiffRow> rows;
+  // Phases: union over both runs, in milliseconds.
+  std::map<std::string, std::pair<double, double>> phases;
+  for (const obs::SpanRollupRow& p : a.phases) {
+    phases[p.category + "/" + p.name].first =
+        static_cast<double>(p.total_ns) / 1e6;
+  }
+  for (const obs::SpanRollupRow& p : b.phases) {
+    phases[p.category + "/" + p.name].second =
+        static_cast<double>(p.total_ns) / 1e6;
+  }
+  std::vector<LedgerDiffRow> phase_rows;
+  for (const auto& [key, ab] : phases) {
+    phase_rows.push_back(
+        {"phase", key, ab.first, ab.second, ab.second - ab.first});
+  }
+  // Counters: only the ones that moved.
+  std::map<std::string, std::pair<double, double>> counters;
+  for (const obs::Registry::Sample& s : a.counters) {
+    counters[s.name].first = s.value;
+  }
+  for (const obs::Registry::Sample& s : b.counters) {
+    counters[s.name].second = s.value;
+  }
+  std::vector<LedgerDiffRow> counter_rows;
+  for (const auto& [key, ab] : counters) {
+    if (ab.first == ab.second) continue;
+    counter_rows.push_back(
+        {"counter", key, ab.first, ab.second, ab.second - ab.first});
+  }
+  auto by_abs_delta = [](const LedgerDiffRow& x, const LedgerDiffRow& y) {
+    double ax = std::fabs(x.delta), ay = std::fabs(y.delta);
+    if (ax != ay) return ax > ay;
+    return x.key < y.key;
+  };
+  std::sort(phase_rows.begin(), phase_rows.end(), by_abs_delta);
+  std::sort(counter_rows.begin(), counter_rows.end(), by_abs_delta);
+  rows.reserve(phase_rows.size() + counter_rows.size());
+  rows.insert(rows.end(), phase_rows.begin(), phase_rows.end());
+  rows.insert(rows.end(), counter_rows.begin(), counter_rows.end());
+  return rows;
+}
+
+std::string FormatLedgerDiff(const RunManifest& a, const RunManifest& b,
+                             const std::vector<LedgerDiffRow>& rows) {
+  std::string out = StringFormat(
+      "A: %s (git %s, seed %llu)\nB: %s (git %s, seed %llu)\n"
+      "wall_ms: %.1f -> %.1f (%+.1f)\n",
+      a.tool.c_str(), a.git.c_str(), static_cast<unsigned long long>(a.seed),
+      b.tool.c_str(), b.git.c_str(), static_cast<unsigned long long>(b.seed),
+      a.wall_ms, b.wall_ms, b.wall_ms - a.wall_ms);
+  bool phase_header = false, counter_header = false;
+  for (const LedgerDiffRow& r : rows) {
+    if (r.kind == "phase") {
+      if (!phase_header) {
+        out += StringFormat("%-36s %12s %12s %12s\n", "phase", "A_ms", "B_ms",
+                            "delta_ms");
+        phase_header = true;
+      }
+      out += StringFormat("%-36s %12.2f %12.2f %+12.2f\n", r.key.c_str(), r.a,
+                          r.b, r.delta);
+    } else {
+      if (!counter_header) {
+        out += StringFormat("%-36s %12s %12s %12s\n", "counter", "A", "B",
+                            "delta");
+        counter_header = true;
+      }
+      out += StringFormat("%-36s %12.0f %12.0f %+12.0f\n", r.key.c_str(), r.a,
+                          r.b, r.delta);
+    }
+  }
+  if (!phase_header) out += "(no span phases recorded in either run)\n";
+  if (!counter_header) out += "(no counters moved)\n";
+  return out;
+}
+
+}  // namespace pdx

@@ -1,0 +1,93 @@
+// Copyright (c) the pdexplore authors.
+// The run ledger (ISSUE 8): every bench and pdx_tool compare|tune run can
+// append a small JSON manifest — git revision, seed, flags, final registry
+// counters, per-phase span rollup — under a ledger directory (runs/ by
+// default). `pdx_tool runs list` enumerates them and `pdx_tool runs diff
+// A B` turns two manifests into a regression-attribution table: which
+// phase or counter moved, by how much, ranked by wall-clock delta. The
+// point is that "this got slower" becomes "the what-if phase got 45 ms
+// slower while everything else held still" without re-running anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/obs.h"
+#include "common/span.h"
+#include "common/status.h"
+
+namespace pdx {
+
+/// One recorded run. `counters` snapshots the metric registry at the end
+/// of the run; `phases` is the span rollup (obs::RollupSpans) of the
+/// run's drained spans.
+struct RunManifest {
+  std::string tool;           // "compare", "tune", "bench_micro", ...
+  std::string git = "unknown";  // git describe --always --dirty
+  std::string flags;          // the command line after the tool name
+  uint64_t started_unix_ms = 0;
+  double wall_ms = 0.0;
+  uint64_t seed = 0;
+  uint64_t spans_dropped = 0;
+  std::vector<obs::Registry::Sample> counters;
+  std::vector<obs::SpanRollupRow> phases;
+};
+
+/// `git describe --always --dirty` of the working tree, "unknown" when
+/// git is unavailable (not a repo, no binary).
+std::string GitDescribe();
+
+/// Assembles a manifest from the process state: git revision, wall-clock
+/// time-of-day, the registry snapshot, and the rollup of `spans`.
+RunManifest BuildRunManifest(const std::string& tool, const std::string& flags,
+                             uint64_t seed, double wall_ms,
+                             const obs::SpanSnapshot& spans);
+
+/// The manifest's JSON form: one object, one entry per line (the reader
+/// is line-oriented, like the JSONL trace reader).
+std::string ManifestToJson(const RunManifest& m);
+
+/// Parses a manifest written by ManifestToJson.
+Result<RunManifest> ParseManifestJson(const std::string& json,
+                                      const std::string& origin);
+
+/// Reads one manifest file.
+Result<RunManifest> ReadManifest(const std::string& path);
+
+/// Writes `m` under `dir` (created if missing) as
+/// <started_unix_ms>-<tool>.json, suffixed -2, -3... on collision.
+/// Returns the path written.
+Result<std::string> WriteManifest(const RunManifest& m,
+                                  const std::string& dir);
+
+/// The *.json entries of a ledger directory, name-sorted (the
+/// <timestamp>-<tool> naming makes that chronological).
+Result<std::vector<std::string>> ListManifestFiles(const std::string& dir);
+
+/// Resolves a `runs diff` operand: an existing path is used as-is;
+/// otherwise it must match exactly one ledger entry by full name or
+/// unique prefix.
+Result<std::string> ResolveManifestRef(const std::string& ref,
+                                       const std::string& dir);
+
+/// One attribution row of a ledger diff.
+struct LedgerDiffRow {
+  std::string kind;  // "phase" | "counter"
+  std::string key;   // "selector/whatif" or the counter name
+  double a = 0.0;    // phase: milliseconds; counter: value
+  double b = 0.0;
+  double delta = 0.0;  // b - a, the ranking key (absolute, descending)
+};
+
+/// Phases first (every phase present in either run, ranked by absolute
+/// wall-clock delta), then the counters that moved (ranked by absolute
+/// delta). Deterministic: ties break on the key.
+std::vector<LedgerDiffRow> DiffManifests(const RunManifest& a,
+                                         const RunManifest& b);
+
+/// Renders the regression-attribution table for `pdx_tool runs diff`.
+std::string FormatLedgerDiff(const RunManifest& a, const RunManifest& b,
+                             const std::vector<LedgerDiffRow>& rows);
+
+}  // namespace pdx

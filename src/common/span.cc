@@ -1,0 +1,194 @@
+#include "common/span.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace pdx::obs {
+
+namespace {
+
+/// Ring capacity per thread (power of two). A selection run on the
+/// Table-2 fixture closes ~5 spans per round over a few thousand rounds,
+/// so one run fits with headroom; anything longer should drain mid-run
+/// (the drop counter makes silent loss visible either way).
+constexpr uint64_t kRingCap = 32768;
+constexpr uint64_t kRingMask = kRingCap - 1;
+
+/// An open (not yet closed) span frame on the owner thread's stack.
+struct OpenFrame {
+  const char* name;
+  const char* category;
+  uint64_t id;
+  uint64_t parent;
+  uint64_t start_ns;
+  const Counter* tracked;
+  const char* tracked_name;
+  uint64_t tracked_at_open;
+};
+
+/// Per-thread span state. Constructed on a thread's first enabled span and
+/// leaked into the global registry (never destroyed), so drains that
+/// outlive the thread read stable memory. The ring is a classic SPSC
+/// publish protocol: only the owner writes records and bumps `published`
+/// (release); drainers read behind `published` (acquire) and advance
+/// `drained` (release), which the owner checks (acquire) before reusing a
+/// slot.
+struct ThreadSpans {
+  explicit ThreadSpans(uint32_t tid_in)
+      : tid(tid_in), ring(new SpanRecord[kRingCap]) {}
+
+  // Owner-thread only.
+  std::vector<OpenFrame> stack;
+  uint64_t next_seq = 0;
+  const uint32_t tid;
+
+  // Shared with drainers.
+  SpanRecord* const ring;
+  std::atomic<uint64_t> published{0};
+  std::atomic<uint64_t> drained{0};
+  std::atomic<uint64_t> dropped{0};
+
+  void Append(const SpanRecord& r) {
+    uint64_t pub = published.load(std::memory_order_relaxed);
+    if (pub - drained.load(std::memory_order_acquire) >= kRingCap) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring[pub & kRingMask] = r;
+    published.store(pub + 1, std::memory_order_release);
+  }
+};
+
+struct GlobalSpanState {
+  std::mutex mu;  // guards `threads` growth and serializes drains
+  std::vector<ThreadSpans*> threads;
+};
+
+GlobalSpanState& Global() {
+  static GlobalSpanState* g = new GlobalSpanState();  // never destroyed
+  return *g;
+}
+
+ThreadSpans& Tls() {
+  static thread_local ThreadSpans* t = nullptr;
+  if (t == nullptr) {
+    GlobalSpanState& g = Global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    t = new ThreadSpans(static_cast<uint32_t>(g.threads.size()));
+    g.threads.push_back(t);
+  }
+  return *t;
+}
+
+}  // namespace
+
+SpanScope::SpanScope(const char* name, const char* category,
+                     TrackedCounter tracked) {
+  if (!TimingEnabled()) return;  // the one relaxed load an untraced run pays
+  Open(name, category, tracked);
+}
+
+SpanScope::SpanScope(bool enabled, const char* name, const char* category,
+                     TrackedCounter tracked) {
+  if (!enabled || !TimingEnabled()) return;
+  Open(name, category, tracked);
+}
+
+void SpanScope::Open(const char* name, const char* category,
+                     TrackedCounter tracked) {
+  ThreadSpans& t = Tls();
+  OpenFrame f;
+  f.name = name;
+  f.category = category;
+  f.id = (static_cast<uint64_t>(t.tid) << 32) | ++t.next_seq;
+  f.parent = t.stack.empty() ? 0 : t.stack.back().id;
+  f.tracked = tracked.counter;
+  f.tracked_name = tracked.name;
+  f.tracked_at_open =
+      tracked.counter != nullptr ? tracked.counter->Value() : 0;
+  f.start_ns = NowNs();  // read last so frame setup is outside the span
+  t.stack.push_back(f);
+  id_ = f.id;
+}
+
+SpanScope::~SpanScope() {
+  if (id_ == 0) return;
+  const uint64_t end_ns = NowNs();  // read first, symmetric with the ctor
+  ThreadSpans& t = Tls();
+  PDX_CHECK_MSG(!t.stack.empty() && t.stack.back().id == id_,
+                "SpanScope closed out of LIFO order");
+  const OpenFrame f = t.stack.back();
+  t.stack.pop_back();
+  SpanRecord r;
+  r.name = f.name;
+  r.category = f.category;
+  r.id = f.id;
+  r.parent = f.parent;
+  r.tid = t.tid;
+  r.start_ns = f.start_ns;
+  r.end_ns = end_ns;
+  if (f.tracked != nullptr) {
+    r.counter = f.tracked_name;
+    r.counter_delta = f.tracked->Value() - f.tracked_at_open;
+  }
+  t.Append(r);
+}
+
+SpanSnapshot DrainSpans() {
+  GlobalSpanState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  SpanSnapshot snap;
+  for (ThreadSpans* t : g.threads) {
+    const uint64_t pub = t->published.load(std::memory_order_acquire);
+    for (uint64_t i = t->drained.load(std::memory_order_relaxed); i < pub;
+         ++i) {
+      snap.records.push_back(t->ring[i & kRingMask]);
+    }
+    t->drained.store(pub, std::memory_order_release);
+    snap.dropped += t->dropped.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void ResetSpans() {
+  GlobalSpanState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (ThreadSpans* t : g.threads) {
+    t->drained.store(t->published.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+}
+
+size_t OpenSpanDepth() { return Tls().stack.size(); }
+
+std::vector<SpanRollupRow> RollupSpans(
+    const std::vector<SpanRecord>& records) {
+  std::map<std::pair<std::string, std::string>, SpanRollupRow> agg;
+  for (const SpanRecord& r : records) {
+    SpanRollupRow& row = agg[{r.category, r.name}];
+    if (row.count == 0) {
+      row.category = r.category;
+      row.name = r.name;
+    }
+    ++row.count;
+    row.total_ns += r.end_ns - r.start_ns;
+    row.counter_delta += r.counter_delta;
+  }
+  std::vector<SpanRollupRow> rows;
+  rows.reserve(agg.size());
+  for (auto& [key, row] : agg) {
+    (void)key;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanRollupRow& a, const SpanRollupRow& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              if (a.category != b.category) return a.category < b.category;
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+}  // namespace pdx::obs

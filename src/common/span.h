@@ -1,0 +1,127 @@
+// Copyright (c) the pdexplore authors.
+// Hierarchical self-profiling spans (ISSUE 8). A SpanScope brackets one
+// phase of work — a selector round phase, a budget decision, a cold
+// what-if batch, a pool job — and records where the wall-clock went with
+// parent linkage, so a traced run can be rolled up per phase (run ledger)
+// or exploded into a Chrome trace-event timeline (pdx_tool report
+// --profile=...).
+//
+// Discipline (same as the ISSUE 3 timers):
+//   * Everything is gated on obs::TimingEnabled(): an untraced run pays
+//     exactly one relaxed load + branch per span site, and an enabled
+//     span draws no randomness and makes no optimizer calls — a traced
+//     run stays byte-identical to an untraced one.
+//   * Buffers are per-thread and lock-free on the hot path: the owning
+//     thread appends closed spans into a fixed-capacity SPSC ring
+//     (release-published), and drainers read behind the published index
+//     without ever blocking a writer. A full ring drops (and counts)
+//     rather than stalls.
+//   * Span records reference only static-storage strings (call-site
+//     literals), so draining after the recording thread exited is safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/obs.h"
+
+namespace pdx::obs {
+
+/// One closed span, as published into the per-thread ring.
+struct SpanRecord {
+  const char* name = "";      // call-site literal, e.g. "estimate"
+  const char* category = "";  // subsystem, e.g. "selector"
+  uint64_t id = 0;            // unique per process: (tid << 32) | seq
+  uint64_t parent = 0;        // enclosing span's id on this thread; 0 = root
+  uint32_t tid = 0;           // stable per-thread index (registration order)
+  uint64_t start_ns = 0;      // obs::NowNs() at open
+  uint64_t end_ns = 0;        // obs::NowNs() at close
+  const char* counter = nullptr;  // tracked counter's name; nullptr if none
+  uint64_t counter_delta = 0;     // tracked counter's growth over the span
+};
+
+/// A registry counter watched by a span: its Value() is read at open and
+/// close and the delta lands in SpanRecord::counter_delta (e.g. "how many
+/// what-if calls did this round phase issue"). Reads only — tracking a
+/// counter never mutates it.
+struct TrackedCounter {
+  const Counter* counter = nullptr;
+  const char* name = nullptr;
+};
+
+/// RAII span. Inactive (a single relaxed load) when timing is disabled at
+/// construction; otherwise pushes an open frame on this thread's span
+/// stack and publishes the closed record on destruction. Must be opened
+/// and closed on the same thread (RAII guarantees it).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, const char* category,
+                     TrackedCounter tracked = {});
+  /// Gated form: additionally inactive when `enabled` is false, whatever
+  /// the timing state. Used for per-round decimation (SampledSpanRound).
+  SpanScope(bool enabled, const char* name, const char* category,
+            TrackedCounter tracked = {});
+  ~SpanScope();
+  PDX_DISALLOW_COPY(SpanScope);
+
+  /// This span's id, 0 when inactive (testing / manual parenting).
+  uint64_t id() const { return id_; }
+
+ private:
+  void Open(const char* name, const char* category, TrackedCounter tracked);
+
+  uint64_t id_ = 0;  // 0 = inactive: timing was off at construction
+};
+
+/// Deterministic 1-in-64 decimation for per-round phase spans. A fine
+/// round phase (estimate, pairwise, termination, ...) costs two clock
+/// reads plus a ring slot; recording every round would dominate
+/// microsecond-scale rounds against a precomputed cost matrix and
+/// overflow the ring on multi-thousand-round selections. Sampling every
+/// 64th round keeps both ~1.5% of the full-rate cost, and rollups stay
+/// comparable across runs because both sides of a ledger diff sample the
+/// same round indices. Run-level spans (run/pilot/stratify) are not
+/// decimated, so their totals are exact.
+constexpr uint64_t kSpanRoundInterval = 64;
+inline bool SampledSpanRound(uint64_t round) {
+  return (round % kSpanRoundInterval) == 0;
+}
+
+/// Everything closed-and-published since the last drain, across all
+/// threads that ever recorded a span. `dropped` counts records lost to
+/// full rings (cumulative since process start).
+struct SpanSnapshot {
+  std::vector<SpanRecord> records;
+  uint64_t dropped = 0;
+};
+
+/// Collects closed spans from every thread's ring and advances the drain
+/// cursors. Safe concurrently with writers (they publish ahead of the
+/// cursor; a record is either in this drain or the next). Drains are
+/// serialized against each other.
+SpanSnapshot DrainSpans();
+
+/// Discards all undrained spans (bench A/B sections, test isolation).
+/// Does not reset the `dropped` counter.
+void ResetSpans();
+
+/// Number of currently open (unclosed) spans on the calling thread.
+size_t OpenSpanDepth();
+
+/// Per-phase aggregate of a span set: the run-ledger rollup unit.
+struct SpanRollupRow {
+  std::string category;
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t counter_delta = 0;
+};
+
+/// Aggregates records by (category, name), ordered by total_ns descending
+/// (ties by category then name) — deterministic and independent of record
+/// order, i.e. of thread interleaving.
+std::vector<SpanRollupRow> RollupSpans(const std::vector<SpanRecord>& records);
+
+}  // namespace pdx::obs

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/obs.h"
+#include "common/span.h"
 
 namespace pdx {
 
@@ -91,6 +92,9 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InWorker() { return tls_in_worker; }
 
 void ThreadPool::RunChunks() {
+  // One span per participating thread per job — chunk granularity would
+  // swamp the ring on fine-grained ParallelFor bodies.
+  obs::SpanScope job_span("run_chunks", "pool");
   const uint64_t t0 = obs::TimerStart();
   uint64_t chunks_run = 0;
   while (true) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/obs.h"
+#include "common/span.h"
 #include "core/selection_trace.h"
 #include "core/skew_bound.h"
 #include "core/variance_bound.h"
@@ -230,6 +231,7 @@ size_t BudgetManager::RefineChunk(size_t quota, const std::vector<bool>& active)
 std::vector<ConfigId> BudgetManager::DecideRound(
     uint64_t round, ConfigId best, const std::vector<bool>& active,
     const std::vector<double>& pair_prcs, double bonferroni) {
+  obs::SpanScope decide_span("decide_round", "budget");
   PDX_CHECK(best < k_ && active.size() == k_ && pair_prcs.size() == k_);
   size_t k_active = 0;
   for (ConfigId c = 0; c < k_; ++c) k_active += active[c] ? 1 : 0;

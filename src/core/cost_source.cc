@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/obs.h"
+#include "common/span.h"
 #include "common/thread_pool.h"
 #include "core/selection_trace.h"
 
@@ -88,6 +89,9 @@ WhatIfCostSource::WhatIfCostSource(const WhatIfOptimizer& optimizer,
 double WhatIfCostSource::Cost(QueryId q, ConfigId c) {
   PDX_CHECK(q < workload_.size());
   PDX_CHECK(c < configs_.size());
+  // Span per call is affordable here: this tier is the real optimizer
+  // invocation, orders of magnitude above the span's two clock reads.
+  obs::SpanScope cold_span("cold", "cost");
   calls_.fetch_add(1, std::memory_order_relaxed);
   CMetrics().whatif_calls->Add();
   // Every call through this tier is a cold optimizer invocation; the
@@ -102,6 +106,7 @@ void WhatIfCostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
                                 std::span<double> out) {
   PDX_CHECK(queries.size() == out.size());
   PDX_CHECK(c < configs_.size());
+  obs::SpanScope cold_span("cold_batch", "cost");
   const Configuration& cfg = configs_[c];
   const uint64_t t0 = obs::TimerStart();
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -117,6 +122,7 @@ void WhatIfCostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
                                   std::span<double> out) {
   PDX_CHECK(configs.size() == out.size());
   PDX_CHECK(q < workload_.size());
+  obs::SpanScope cold_span("cold_batch", "cost");
   const Query& query = workload_.query(q);
   const uint64_t t0 = obs::TimerStart();
   for (size_t i = 0; i < configs.size(); ++i) {
@@ -287,6 +293,7 @@ void CachingCostSource::CostMany(std::span<const QueryId> queries, ConfigId c,
                                  std::span<double> out) {
   PDX_CHECK(queries.size() == out.size());
   PDX_CHECK(c < num_configs_);
+  obs::SpanScope batch_span("exact_batch", "cost");
   // Accounting is hoisted: tallies are batch-local and the atomics /
   // metric counters take one add per class. Hit latency is attributed at
   // the batch's per-cell mean (cold inner calls record their own latency),
@@ -319,6 +326,7 @@ void CachingCostSource::CostAcross(QueryId q, std::span<const ConfigId> configs,
                                    std::span<double> out) {
   PDX_CHECK(configs.size() == out.size());
   PDX_CHECK(q < num_queries_);
+  obs::SpanScope batch_span("exact_batch", "cost");
   CacheMetrics& m = CMetrics();
   const uint64_t t0 = obs::TimerStart();
   uint64_t cold = 0;
@@ -619,6 +627,7 @@ void SignatureCachingCostSource::CostMany(std::span<const QueryId> queries,
                                           ConfigId c, std::span<double> out) {
   PDX_CHECK(queries.size() == out.size());
   PDX_CHECK(c < configs_.size());
+  obs::SpanScope batch_span("sig_batch", "cost");
   const uint64_t t0 = obs::TimerStart();
   uint64_t tally[3] = {0, 0, 0};
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -635,6 +644,7 @@ void SignatureCachingCostSource::CostAcross(QueryId q,
                                             std::span<double> out) {
   PDX_CHECK(configs.size() == out.size());
   PDX_CHECK(q < queries_.size());
+  obs::SpanScope batch_span("sig_batch", "cost");
   const uint64_t t0 = obs::TimerStart();
   uint64_t tally[3] = {0, 0, 0};
   for (size_t i = 0; i < configs.size(); ++i) {

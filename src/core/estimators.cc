@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/obs.h"
+#include "common/span.h"
 #include "core/pr_cs.h"
 
 namespace pdx {
@@ -478,6 +479,12 @@ void DeltaEstimator::DiffStats(const Stratification& strat,
                                EstimatorScratch* scratch,
                                std::span<double> diff_out,
                                std::span<double> var_out) const {
+  // Called once per selector round; span decimated by call index (the
+  // enclosing "pairwise" round-phase span is decimated the same way).
+  thread_local uint64_t diff_stats_calls = 0;
+  obs::SpanScope kernel_span(
+      obs::TimingEnabled() && obs::SampledSpanRound(diff_stats_calls++),
+      "diff_stats", "estimator");
   PDX_CHECK(scratch != nullptr);
   PDX_CHECK(diff_out.size() == num_configs_);
   PDX_CHECK(var_out.size() == num_configs_);
@@ -520,6 +527,10 @@ void DeltaEstimator::DiffStats(const Stratification& strat,
 void DeltaEstimator::Estimates(const Stratification& strat,
                                EstimatorScratch* scratch,
                                std::span<double> out) const {
+  thread_local uint64_t estimates_calls = 0;  // decimated as in DiffStats
+  obs::SpanScope kernel_span(
+      obs::TimingEnabled() && obs::SampledSpanRound(estimates_calls++),
+      "estimates", "estimator");
   PDX_CHECK(scratch != nullptr);
   PDX_CHECK(out.size() == num_configs_);
   scratch->Prepare(num_configs_);

@@ -1,7 +1,10 @@
 #include "core/selection_trace.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <utility>
 
 #include "common/obs.h"
 #include "common/string_util.h"
@@ -175,6 +178,20 @@ void JsonlTraceSink::BudgetDecision(const TraceBudgetDecision& e) {
       JsonDouble(e.value_refine).c_str(), JsonDouble(e.value_sample).c_str()));
 }
 
+void JsonlTraceSink::Span(const TraceSpan& e) {
+  WriteLine(StringFormat(
+      "{\"ev\":\"span\",\"name\":\"%s\",\"cat\":\"%s\",\"tid\":%u,"
+      "\"id\":%llu,\"parent\":%llu,\"start_ns\":%llu,\"dur_ns\":%llu,"
+      "\"counter\":\"%s\",\"delta\":%llu}",
+      JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(), e.tid,
+      static_cast<unsigned long long>(e.id),
+      static_cast<unsigned long long>(e.parent),
+      static_cast<unsigned long long>(e.start_ns),
+      static_cast<unsigned long long>(e.dur_ns),
+      JsonEscape(e.counter).c_str(),
+      static_cast<unsigned long long>(e.counter_delta)));
+}
+
 void JsonlTraceSink::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fflush(file_);
@@ -207,6 +224,29 @@ void EmitWhatIfLatencySummary(TraceSink* sink) {
     e.p99_ns = h->Quantile(0.99);
     sink->WhatIfLatency(e);
   }
+}
+
+void EmitSpans(TraceSink* sink, const std::vector<obs::SpanRecord>& records) {
+  if (sink == nullptr) return;
+  for (const obs::SpanRecord& r : records) {
+    TraceSpan e;
+    e.name = r.name;
+    e.category = r.category;
+    e.id = r.id;
+    e.parent = r.parent;
+    e.tid = r.tid;
+    e.start_ns = r.start_ns;
+    e.dur_ns = r.end_ns - r.start_ns;
+    if (r.counter != nullptr) e.counter = r.counter;
+    e.counter_delta = r.counter_delta;
+    sink->Span(e);
+  }
+}
+
+obs::SpanSnapshot DrainSpansToSink(TraceSink* sink) {
+  obs::SpanSnapshot snap = obs::DrainSpans();
+  EmitSpans(sink, snap.records);
+  return snap;
 }
 
 // ---------------------------------------------------------------------------
@@ -267,6 +307,10 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
     return Status::IOError("cannot open trace file '" + path + "'");
   }
   TraceReport report;
+  // span events aggregate into a keyed map first: the rollup must come
+  // out identical no matter how span lines from different threads were
+  // interleaved in the file.
+  std::map<std::pair<std::string, std::string>, obs::SpanRollupRow> spans;
   std::string line;
   char buf[4096];
   int line_no = 0;
@@ -364,6 +408,20 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
       if (GetUint(line, "\"dominated\":", &v)) report.budget_dominated += v;
       // Cumulative-per-run field: keep the last event's value.
       GetUint(line, "\"bound_calls\":", &report.budget_bound_calls);
+    } else if (ev == "span") {
+      ++report.num_spans;
+      std::string name, cat;
+      GetString(line, "\"name\":", &name);
+      GetString(line, "\"cat\":", &cat);
+      obs::SpanRollupRow& row = spans[{cat, name}];
+      if (row.count == 0) {
+        row.category = cat;
+        row.name = name;
+      }
+      ++row.count;
+      uint64_t v = 0;
+      if (GetUint(line, "\"dur_ns\":", &v)) row.total_ns += v;
+      if (GetUint(line, "\"delta\":", &v)) row.counter_delta += v;
     } else if (ev == "whatif_latency") {
       TraceWhatIfLatency e;
       GetString(line, "\"bucket\":", &e.bucket);
@@ -393,7 +451,106 @@ Result<TraceReport> ReadTraceReport(const std::string& path) {
   if (line_no == 0) {
     return Status::InvalidArgument("trace file '" + path + "' is empty");
   }
+  report.span_rollup.reserve(spans.size());
+  for (auto& [key, row] : spans) {
+    (void)key;
+    report.span_rollup.push_back(std::move(row));
+  }
+  std::sort(report.span_rollup.begin(), report.span_rollup.end(),
+            [](const obs::SpanRollupRow& a, const obs::SpanRollupRow& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              if (a.category != b.category) return a.category < b.category;
+              return a.name < b.name;
+            });
   return report;
+}
+
+Result<uint64_t> WriteChromeTrace(const std::string& trace_path,
+                                  const std::string& out_path) {
+  std::FILE* in = std::fopen(trace_path.c_str(), "r");
+  if (in == nullptr) {
+    return Status::IOError("cannot open trace file '" + trace_path + "'");
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    return Status::IOError("cannot open profile file '" + out_path +
+                           "' for write");
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", out);
+  uint64_t written = 0;
+  std::string line;
+  char buf[4096];
+  int line_no = 0;
+  Status fail = Status::OK();
+  while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+    line.append(buf);
+    if (line.empty() || line.back() != '\n') continue;
+    ++line_no;
+    line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      fail = Status::InvalidArgument(StringFormat(
+          "%s:%d: malformed trace line (not a complete JSON object)",
+          trace_path.c_str(), line_no));
+      break;
+    }
+    std::string ev;
+    if (!GetString(line, "\"ev\":", &ev)) {
+      fail = Status::InvalidArgument(StringFormat(
+          "%s:%d: trace line has no \"ev\" discriminator", trace_path.c_str(),
+          line_no));
+      break;
+    }
+    if (ev == "span") {
+      std::string name, cat, counter;
+      uint64_t id = 0, parent = 0, tid = 0, start_ns = 0, dur_ns = 0,
+               delta = 0;
+      GetString(line, "\"name\":", &name);
+      GetString(line, "\"cat\":", &cat);
+      GetString(line, "\"counter\":", &counter);
+      GetUint(line, "\"id\":", &id);
+      GetUint(line, "\"parent\":", &parent);
+      GetUint(line, "\"tid\":", &tid);
+      GetUint(line, "\"start_ns\":", &start_ns);
+      GetUint(line, "\"dur_ns\":", &dur_ns);
+      GetUint(line, "\"delta\":", &delta);
+      // Complete ("ph":"X") events, microsecond timestamps, one Chrome
+      // track per recording thread. args carries the hierarchy and the
+      // tracked-counter delta for the Perfetto detail pane.
+      std::fprintf(
+          out,
+          "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%llu,\"args\":{\"id\":%llu,"
+          "\"parent\":%llu,\"counter\":\"%s\",\"delta\":%llu}}",
+          written == 0 ? "" : ",", name.c_str(), cat.c_str(),
+          static_cast<double>(start_ns) / 1e3,
+          static_cast<double>(dur_ns) / 1e3,
+          static_cast<unsigned long long>(tid),
+          static_cast<unsigned long long>(id),
+          static_cast<unsigned long long>(parent), counter.c_str(),
+          static_cast<unsigned long long>(delta));
+      ++written;
+    }
+    line.clear();
+  }
+  if (fail.ok() && std::ferror(in) != 0) {
+    fail = Status::IOError("read error on trace file '" + trace_path + "'");
+  }
+  if (fail.ok() && !line.empty()) {
+    fail = Status::InvalidArgument(StringFormat(
+        "%s:%d: truncated trace line (missing trailing newline)",
+        trace_path.c_str(), line_no + 1));
+  }
+  std::fclose(in);
+  std::fputs("]}\n", out);
+  const bool write_error = std::ferror(out) != 0;
+  std::fclose(out);
+  if (!fail.ok()) return fail;
+  if (write_error) {
+    return Status::IOError("write error on profile file '" + out_path + "'");
+  }
+  return written;
 }
 
 }  // namespace pdx

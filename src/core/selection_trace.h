@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "catalog/types.h"
+#include "common/span.h"
 #include "common/status.h"
 
 namespace pdx {
@@ -156,6 +157,23 @@ struct TraceBudgetDecision {
   double value_sample = 0.0;
 };
 
+/// One closed self-profiling span (ISSUE 8), drained from the per-thread
+/// span buffers at the end of a run. `id`/`parent` link the hierarchy
+/// within a thread (`parent` 0 = root); `counter` names the tracked
+/// registry counter whose growth over the span is `counter_delta` (empty
+/// when none was tracked).
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  uint32_t tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  std::string counter;
+  uint64_t counter_delta = 0;
+};
+
 /// Observer interface. All methods default to no-ops, so sinks override
 /// only what they consume. Implementations must be thread-safe: a sink
 /// can be shared by concurrent selection runs.
@@ -172,6 +190,7 @@ class TraceSink {
   virtual void WhatIfLatency(const TraceWhatIfLatency&) {}
   virtual void WhatIfError(const TraceWhatIfError&) {}
   virtual void BudgetDecision(const TraceBudgetDecision&) {}
+  virtual void Span(const TraceSpan&) {}
   virtual void Flush() {}
 };
 
@@ -198,6 +217,7 @@ class JsonlTraceSink : public TraceSink {
   void WhatIfLatency(const TraceWhatIfLatency& e) override;
   void WhatIfError(const TraceWhatIfError& e) override;
   void BudgetDecision(const TraceBudgetDecision& e) override;
+  void Span(const TraceSpan& e) override;
   void Flush() override;
 
  private:
@@ -218,6 +238,15 @@ std::string TracePathFromEnv();
 /// (cold / signature_hit / exact_hit), reading the shared obs histograms.
 /// No-op when `sink` is null or obs timing never ran.
 void EmitWhatIfLatencySummary(TraceSink* sink);
+
+/// Emits one `span` event per record. No-op when `sink` is null.
+void EmitSpans(TraceSink* sink, const std::vector<obs::SpanRecord>& records);
+
+/// Drains the process span buffers and emits every closed span to `sink`
+/// (obs::DrainSpans + EmitSpans). Returns the drained snapshot so the
+/// caller can also roll it up into a run-ledger manifest. When `sink` is
+/// null the buffers are still drained.
+obs::SpanSnapshot DrainSpansToSink(TraceSink* sink);
 
 // ---------------------------------------------------------------------------
 // Trace reading (pdx_tool report)
@@ -256,6 +285,11 @@ struct TraceReport {
   uint64_t budget_bound_calls = 0;
   uint64_t budget_dominated = 0;
   uint64_t budget_halts = 0;
+  /// span event rollup (ISSUE 8): aggregated by (category, name), ordered
+  /// by total_ns descending — independent of the event order in the file,
+  /// so traces with spans interleaved across threads roll up identically.
+  uint64_t num_spans = 0;
+  std::vector<obs::SpanRollupRow> span_rollup;
 };
 
 /// Parses a JSONL trace written by JsonlTraceSink. Fails (with the line
@@ -264,5 +298,13 @@ struct TraceReport {
 /// "ev" discriminator — while *unknown* event types (a complete object
 /// with an unrecognized "ev") are skipped for forward compatibility.
 Result<TraceReport> ReadTraceReport(const std::string& path);
+
+/// Converts the `span` events of a JSONL trace into Chrome trace-event
+/// JSON (the chrome://tracing / Perfetto "traceEvents" array of complete
+/// "X" events; timestamps in microseconds, one track per recording
+/// thread). Returns the number of spans written; fails on unreadable
+/// input, malformed lines, or an unwritable output path.
+Result<uint64_t> WriteChromeTrace(const std::string& trace_path,
+                                  const std::string& out_path);
 
 }  // namespace pdx

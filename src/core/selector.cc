@@ -7,6 +7,7 @@
 
 #include "common/normal.h"
 #include "common/obs.h"
+#include "common/span.h"
 #include "core/selection_trace.h"
 
 namespace pdx {
@@ -27,6 +28,7 @@ struct SelectorMetrics {
   obs::Counter* splits;
   obs::Histogram* run_ns;
   obs::Histogram* split_search_ns;
+  obs::Counter* whatif_calls;  // tracked (read-only) by the whatif span
 };
 
 SelectorMetrics& Metrics() {
@@ -37,9 +39,17 @@ SelectorMetrics& Metrics() {
                            r.GetCounter("pdx_selector_eliminations_total"),
                            r.GetCounter("pdx_selector_splits_total"),
                            r.GetHistogram("pdx_selector_run_ns"),
-                           r.GetHistogram("pdx_strat_split_search_ns")};
+                           r.GetHistogram("pdx_strat_split_search_ns"),
+                           r.GetCounter("pdx_whatif_calls_total")};
   }();
   return m;
+}
+
+// The counter every "whatif" span tracks: the cost source bumps it on
+// each optimizer invocation, so the span's delta says how many what-if
+// calls the bracketed batch issued.
+obs::TrackedCounter WhatIfTracked() {
+  return obs::TrackedCounter{Metrics().whatif_calls, "pdx_whatif_calls_total"};
 }
 
 // Standard error from an estimated variance. NaN variance (possible when a
@@ -144,6 +154,7 @@ SelectionResult ConfigurationSelector::RunScheme(Rng* rng) {
 // Delta Sampling (paper §4.2 + §5)
 
 SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
+  obs::SpanScope run_span("run_delta", "selector");
   const size_t k = source_->num_configs();
   const size_t T = source_->num_templates();
   const uint64_t calls_before = source_->num_calls();
@@ -222,6 +233,11 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   std::vector<double> batch_vals(k, 0.0);
   std::vector<ConfigId> batch_ids;
   batch_ids.reserve(k);
+  // Per-round phase spans are decimated (SampledSpanRound); run-level
+  // spans above are not. False through the pilot — the pilot span's
+  // tracked counter already accounts for its what-if calls, and per-call
+  // children there would cost n_min ring slots per run.
+  bool span_round = false;
   auto evaluate = [&](QueryId q) {
     batch_ids.clear();
     for (ConfigId c = 0; c < k; ++c) {
@@ -234,7 +250,11 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     // the uncertainty sweep afterwards is safe to separate from the cost
     // sweep because CostUncertainty is side-effect-free and fixed once the
     // cell is resolved.
-    source_->CostAcross(q, batch_ids, vals);
+    {
+      obs::SpanScope whatif_span(span_round, "whatif", "selector",
+                                 WhatIfTracked());
+      source_->CostAcross(q, batch_ids, vals);
+    }
     for (size_t i = 0; i < batch_ids.size(); ++i) {
       costs_buf[batch_ids[i]] = vals[i];
     }
@@ -272,10 +292,13 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   }
 
   // Pilot sample (Algorithm 1, line 4).
-  for (uint32_t i = 0; i < options_.n_min; ++i) {
-    std::optional<QueryId> q = pool.DrawGlobal(rng);
-    if (!q) break;
-    evaluate(*q);
+  {
+    obs::SpanScope pilot_span("pilot", "selector", WhatIfTracked());
+    for (uint32_t i = 0; i < options_.n_min; ++i) {
+      std::optional<QueryId> q = pool.DrawGlobal(rng);
+      if (!q) break;
+      evaluate(*q);
+    }
   }
 
   uint32_t consecutive = 0;
@@ -283,21 +306,25 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
   ConfigId prev_best = static_cast<ConfigId>(k);  // sentinel: no incumbent
   while (true) {
     ++iteration;
+    span_round = obs::SampledSpanRound(iteration - 1);
 
     // Select the incumbent best among active configurations. One batched
     // sweep computes every configuration's estimate (bit-identical to the
     // scalar Estimate calls); inactive entries are simply not compared.
     ConfigId best = 0;
-    double best_est = std::numeric_limits<double>::infinity();
-    est.Estimates(strat, &scratch, estimates_buf);
-    for (ConfigId c = 0; c < k; ++c) {
-      if (!active[c]) continue;
-      if (estimates_buf[c] < best_est) {
-        best_est = estimates_buf[c];
-        best = c;
+    {
+      obs::SpanScope estimate_span(span_round, "estimate", "selector");
+      double best_est = std::numeric_limits<double>::infinity();
+      est.Estimates(strat, &scratch, estimates_buf);
+      for (ConfigId c = 0; c < k; ++c) {
+        if (!active[c]) continue;
+        if (estimates_buf[c] < best_est) {
+          best_est = estimates_buf[c];
+          best = c;
+        }
       }
+      est.SetReference(best);
     }
-    est.SetReference(best);
     if (sink != nullptr && prev_best != static_cast<ConfigId>(k) &&
         best != prev_best) {
       TraceIncumbent ev;
@@ -312,27 +339,31 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     // every pair's estimate and variance from one merged-moment sweep —
     // the same merged state the scalar DiffEstimate/DiffVariance pair
     // derived twice — so gaps, ses and Pr(CS) match bit for bit.
-    est.DiffStats(strat, &scratch, diffs_buf, vars_buf);
     std::vector<double> pairwise;
     pairwise.reserve(k - 1);
     std::vector<double> gaps(k, 0.0);
     std::vector<double> ses(k, 0.0);
     size_t active_pairs = 0;
-    for (ConfigId j = 0; j < k; ++j) {
-      if (j == best) continue;
-      if (!active[j]) {
-        pairwise.push_back(frozen_prcs[j]);
-        continue;
+    double pr = 0.0;
+    {
+      obs::SpanScope pairwise_span(span_round, "pairwise", "selector");
+      est.DiffStats(strat, &scratch, diffs_buf, vars_buf);
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        if (!active[j]) {
+          pairwise.push_back(frozen_prcs[j]);
+          continue;
+        }
+        ++active_pairs;
+        // X_{best,j} should be negative when best is better; the gap fed to
+        // PairwisePrCs is -X_{best,j}.
+        double se = SafeSe(vars_buf[j]);
+        gaps[j] = -diffs_buf[j];
+        ses[j] = se;
+        pairwise.push_back(PairwisePrCs(-diffs_buf[j], se, options_.delta));
       }
-      ++active_pairs;
-      // X_{best,j} should be negative when best is better; the gap fed to
-      // PairwisePrCs is -X_{best,j}.
-      double se = SafeSe(vars_buf[j]);
-      gaps[j] = -diffs_buf[j];
-      ses[j] = se;
-      pairwise.push_back(PairwisePrCs(-diffs_buf[j], se, options_.delta));
+      pr = BonferroniPrCs(pairwise);
     }
-    double pr = BonferroniPrCs(pairwise);
 
     if (sink != nullptr) {
       TraceRound ev;
@@ -359,15 +390,19 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
       sink->Round(ev);
     }
 
-    if (pr > options_.alpha) {
-      ++consecutive;
-    } else {
-      consecutive = 0;
+    bool exhausted = false;
+    bool capped = false;
+    {
+      obs::SpanScope termination_span(span_round, "termination", "selector");
+      if (pr > options_.alpha) {
+        ++consecutive;
+      } else {
+        consecutive = 0;
+      }
+      exhausted = pool.RemainingTotal() == 0;
+      capped = options_.max_samples > 0 &&
+               est.TotalSamples() >= options_.max_samples;
     }
-
-    bool exhausted = pool.RemainingTotal() == 0;
-    bool capped = options_.max_samples > 0 &&
-                  est.TotalSamples() >= options_.max_samples;
     if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
       // Exhausting the sample space only yields an exact census — and thus
       // Pr(CS) = 1 — when every cell was measured exactly; any degraded
@@ -471,6 +506,12 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
 
     // Progressive stratification (Algorithm 2).
     if (options_.stratify && iteration % options_.stratification_period == 0) {
+      // Fires every stratification_period rounds and usually declines to
+      // split, so it is decimated by call index like the round phases.
+      thread_local uint64_t stratify_calls = 0;
+      obs::SpanScope stratify_span(
+          obs::TimingEnabled() && obs::SampledSpanRound(stratify_calls++),
+          "stratify", "selector", WhatIfTracked());
       double z = RequiredZ(std::max<size_t>(1, active_pairs));
       double target_se = std::numeric_limits<double>::infinity();
       for (ConfigId j = 0; j < k; ++j) {
@@ -519,6 +560,8 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
     // Next sample (§5.2): stratum with the largest estimated reduction in
     // the sum of active pair variances, optionally per unit of optimizer
     // overhead.
+    obs::SpanScope sample_span(span_round, "sample", "selector",
+                               WhatIfTracked());
     uint32_t chosen = 0;
     double best_score = -1.0;
     for (uint32_t h = 0; h < strat.num_strata(); ++h) {
@@ -545,6 +588,7 @@ SelectionResult ConfigurationSelector::RunDelta(Rng* rng) {
 // Independent Sampling (paper §4.1 + §5)
 
 SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
+  obs::SpanScope run_span("run_independent", "selector");
   const size_t k = source_->num_configs();
   const size_t T = source_->num_templates();
   const uint64_t calls_before = source_->num_calls();
@@ -614,8 +658,14 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   };
 
   uint64_t degraded_cells = 0;
+  bool span_round = false;  // decimated per round, as in RunDelta
   auto evaluate = [&](ConfigId c, QueryId q) {
-    double cost = source_->Cost(q, c);
+    double cost;
+    {
+      obs::SpanScope whatif_span(span_round, "whatif", "selector",
+                                 WhatIfTracked());
+      cost = source_->Cost(q, c);
+    }
     double u = source_->CostUncertainty(q, c);
     if (u > 0.0) ++degraded_cells;
     est.Add(c, source_->TemplateOf(q), cost, u);
@@ -639,6 +689,7 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   // taken first — pricing consumes no randomness, so the RNG stream is
   // unchanged — then priced in one batched config-major sweep.
   {
+    obs::SpanScope pilot_span("pilot", "selector", WhatIfTracked());
     std::vector<QueryId> qbuf;
     std::vector<double> cbuf(options_.n_min, 0.0);
     std::vector<double> ubuf(options_.n_min, 0.0);
@@ -668,18 +719,22 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
   ConfigId prev_best = static_cast<ConfigId>(k);  // sentinel: no incumbent
   while (true) {
     ++iteration;
+    span_round = obs::SampledSpanRound(iteration - 1);
 
     ConfigId best = 0;
-    double best_est = std::numeric_limits<double>::infinity();
     std::vector<double> estimates(k, 0.0);
     std::vector<double> variances(k, 0.0);
-    for (ConfigId c = 0; c < k; ++c) {
-      if (!active[c]) continue;
-      estimates[c] = est.Estimate(c, strat[c]);
-      variances[c] = est.Variance(c, strat[c]);
-      if (estimates[c] < best_est) {
-        best_est = estimates[c];
-        best = c;
+    {
+      obs::SpanScope estimate_span(span_round, "estimate", "selector");
+      double best_est = std::numeric_limits<double>::infinity();
+      for (ConfigId c = 0; c < k; ++c) {
+        if (!active[c]) continue;
+        estimates[c] = est.Estimate(c, strat[c]);
+        variances[c] = est.Variance(c, strat[c]);
+        if (estimates[c] < best_est) {
+          best_est = estimates[c];
+          best = c;
+        }
       }
     }
 
@@ -688,20 +743,24 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     std::vector<double> gaps(k, 0.0);
     std::vector<double> ses(k, 0.0);
     size_t active_pairs = 0;
-    for (ConfigId j = 0; j < k; ++j) {
-      if (j == best) continue;
-      if (!active[j]) {
-        pairwise.push_back(frozen_prcs[j]);
-        continue;
+    double pr = 0.0;
+    {
+      obs::SpanScope pairwise_span(span_round, "pairwise", "selector");
+      for (ConfigId j = 0; j < k; ++j) {
+        if (j == best) continue;
+        if (!active[j]) {
+          pairwise.push_back(frozen_prcs[j]);
+          continue;
+        }
+        ++active_pairs;
+        double gap = estimates[j] - estimates[best];
+        double se = SafeSe(variances[j] + variances[best]);
+        gaps[j] = gap;
+        ses[j] = se;
+        pairwise.push_back(PairwisePrCs(gap, se, options_.delta));
       }
-      ++active_pairs;
-      double gap = estimates[j] - estimates[best];
-      double se = SafeSe(variances[j] + variances[best]);
-      gaps[j] = gap;
-      ses[j] = se;
-      pairwise.push_back(PairwisePrCs(gap, se, options_.delta));
+      pr = BonferroniPrCs(pairwise);
     }
-    double pr = BonferroniPrCs(pairwise);
 
     uint64_t total_samples = 0;
     for (ConfigId c = 0; c < k; ++c) total_samples += est.TotalSamples(c);
@@ -743,21 +802,24 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     }
     prev_best = best;
 
-    if (pr > options_.alpha) {
-      ++consecutive;
-    } else {
-      consecutive = 0;
-    }
-
     bool exhausted = true;
-    for (ConfigId c = 0; c < k; ++c) {
-      if (active[c] && pools[c].RemainingTotal() > 0) {
-        exhausted = false;
-        break;
+    bool capped = false;
+    {
+      obs::SpanScope termination_span(span_round, "termination", "selector");
+      if (pr > options_.alpha) {
+        ++consecutive;
+      } else {
+        consecutive = 0;
       }
+      for (ConfigId c = 0; c < k; ++c) {
+        if (active[c] && pools[c].RemainingTotal() > 0) {
+          exhausted = false;
+          break;
+        }
+      }
+      capped =
+          options_.max_samples > 0 && total_samples >= options_.max_samples;
     }
-    bool capped =
-        options_.max_samples > 0 && total_samples >= options_.max_samples;
 
     if (consecutive >= options_.consecutive_to_stop || exhausted || capped) {
       // See the Delta path: a census is only exact when no cell degraded.
@@ -854,6 +916,10 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
     // previous sample can have changed (paper §5.1).
     if (options_.stratify && active[last_sampled] &&
         iteration % options_.stratification_period == 0) {
+      thread_local uint64_t stratify_calls = 0;  // as in RunDelta
+      obs::SpanScope stratify_span(
+          obs::TimingEnabled() && obs::SampledSpanRound(stratify_calls++),
+          "stratify", "selector", WhatIfTracked());
       ConfigId c = last_sampled;
       double z = RequiredZ(std::max<size_t>(1, active_pairs));
       double target_var;
@@ -909,6 +975,8 @@ SelectionResult ConfigurationSelector::RunIndependent(Rng* rng) {
 
     // Next sample (§5.2): the (configuration, stratum) pair with the
     // largest estimated reduction of the variance sum.
+    obs::SpanScope sample_span(span_round, "sample", "selector",
+                               WhatIfTracked());
     ConfigId chosen_c = best;
     uint32_t chosen_h = 0;
     double best_score = -1.0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/obs.h"
+#include "common/span.h"
 
 namespace pdx {
 
@@ -233,6 +234,7 @@ TuneResult GreedyTune(const WhatIfOptimizer& optimizer,
   for (uint32_t round = 0; round < options.max_structures; ++round) {
     TMetrics().rounds->Add();
     obs::ScopedTimer round_timer(TMetrics().round_ns);
+    obs::SpanScope round_span("round", "tuner");
     // Collect feasible extensions.
     std::vector<size_t> feasible;
     for (size_t i = 0; i < pool.size(); ++i) {

@@ -1,0 +1,127 @@
+#include "common/metrics_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/obs.h"
+
+namespace pdx::obs {
+namespace {
+
+TEST(MetricsHttpResponseTest, MetricsEndpointServesRegistry) {
+  Registry::Global().GetCounter("pdx_test_http_total")->Add(7);
+  std::string resp = MetricsHttpResponse("GET /metrics HTTP/1.1");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("pdx_test_http_total 7"), std::string::npos);
+  EXPECT_NE(resp.find("# HELP"), std::string::npos);
+}
+
+TEST(MetricsHttpResponseTest, HealthzIsOk) {
+  std::string resp = MetricsHttpResponse("GET /healthz HTTP/1.1");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("ok\n"), std::string::npos);
+}
+
+TEST(MetricsHttpResponseTest, UnknownPathIs404AndNonGetIs405) {
+  EXPECT_EQ(MetricsHttpResponse("GET /nope HTTP/1.1")
+                .rfind("HTTP/1.1 404 Not Found\r\n", 0),
+            0u);
+  EXPECT_EQ(MetricsHttpResponse("POST /metrics HTTP/1.1")
+                .rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0),
+            0u);
+}
+
+TEST(MetricsHttpResponseTest, CountsRequests) {
+  Counter* c = Registry::Global().GetCounter("pdx_exporter_requests_total");
+  const uint64_t before = c->Value();
+  MetricsHttpResponse("GET /metrics HTTP/1.1");
+  MetricsHttpResponse("GET /healthz HTTP/1.1");
+  EXPECT_EQ(c->Value(), before + 2);
+}
+
+/// One blocking HTTP GET against 127.0.0.1:port, returning the raw
+/// response (empty on any socket failure).
+std::string HttpGet(int port, const std::string& path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (send(fd, req.data(), req.size(), 0) < 0) {
+    close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return resp;
+}
+
+/// Reserves an ephemeral loopback port: bind :0, read the assignment,
+/// close. ServeMetrics sets SO_REUSEADDR, so rebinding it right away is
+/// safe; nothing else grabs a just-released ephemeral port in the test's
+/// window.
+int ReserveLoopbackPort() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  close(fd);
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+TEST(ServeMetricsTest, ServesOverRealSocketsAndStopsAtMaxRequests) {
+  Registry::Global().GetCounter("pdx_test_serve_total")->Add(1);
+
+  MetricsServerOptions opt;
+  opt.port = ReserveLoopbackPort();
+  opt.max_requests = 2;
+  Status served = Status::OK();
+  int reported_port = 0;
+  std::thread server(
+      [&] { served = ServeMetrics(opt, &reported_port); });
+
+  // Retry until the listener is up, then spend its two-request budget.
+  std::string metrics;
+  for (int i = 0; i < 5000 && metrics.empty(); ++i) {
+    metrics = HttpGet(opt.port, "/metrics");
+    if (metrics.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string health = HttpGet(opt.port, "/healthz");
+  server.join();
+
+  ASSERT_TRUE(served.ok()) << served.message();
+  EXPECT_EQ(reported_port, opt.port);
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(metrics.find("pdx_test_serve_total"), std::string::npos);
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace pdx::obs

@@ -1,5 +1,7 @@
 #include "common/obs.h"
 
+#include <fstream>
+#include <iterator>
 #include <thread>
 #include <vector>
 
@@ -182,6 +184,111 @@ TEST(TimingGateTest, TimerGatedOnGlobalFlag) {
   { ScopedTimer timer(&h); }
   EXPECT_EQ(h.Count(), 2u);
   SetTimingEnabled(was_enabled);
+}
+
+TEST(HistogramTest, SingleBucketQuantilesCollapseToMidpoint) {
+  // When every sample landed in one bucket the within-bucket rank carries
+  // no information, so interpolation must not fan p50/p95/p99 across the
+  // bucket — all of them report the bucket midpoint.
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.Record(1000);  // bucket [512, 1024)
+  const double mid = 512.0 + 0.5 * (1024.0 - 512.0);
+  EXPECT_EQ(h.Quantile(0.5), mid);
+  EXPECT_EQ(h.Quantile(0.95), mid);
+  EXPECT_EQ(h.Quantile(0.99), mid);
+  // Bucket 0 spans [0, 2): its midpoint is 1.
+  Histogram z;
+  z.Record(0);
+  z.Record(1);
+  EXPECT_EQ(z.Quantile(0.5), 1.0);
+  EXPECT_EQ(z.Quantile(0.99), 1.0);
+  // Two occupied buckets: quantiles spread again and stay ordered.
+  h.Record(100000);
+  EXPECT_LT(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(RegistryTest, DumpPrometheusEmitsHelpAndTypeForEveryKind) {
+  Registry& r = Registry::Global();
+  r.GetCounter("pdx_test_obs_help_total")->Add(1);
+  r.GetGauge("pdx_test_obs_help_gauge")->Set(2);
+  r.GetHistogram("pdx_test_obs_help_ns")->Record(100);
+  std::string out = r.DumpPrometheus();
+  for (const char* name :
+       {"pdx_test_obs_help_total", "pdx_test_obs_help_gauge",
+        "pdx_test_obs_help_ns"}) {
+    EXPECT_NE(out.find(std::string("# HELP ") + name + " "), std::string::npos)
+        << name;
+    EXPECT_NE(out.find(std::string("# TYPE ") + name + " "), std::string::npos)
+        << name;
+  }
+  // HELP precedes TYPE precedes the sample line for a given metric.
+  size_t help = out.find("# HELP pdx_test_obs_help_total");
+  size_t type = out.find("# TYPE pdx_test_obs_help_total");
+  size_t sample = out.find("\npdx_test_obs_help_total ");
+  EXPECT_LT(help, type);
+  EXPECT_LT(type, sample);
+  // Help text never tears the exposition format: no raw newlines between
+  // a HELP line and its metric (escaped as \n per the format rules).
+  std::string help_line = out.substr(help, out.find('\n', help) - help);
+  EXPECT_EQ(help_line.find('\n'), std::string::npos);
+}
+
+TEST(RegistryTest, SamplesFlattenEveryMetric) {
+  Registry& r = Registry::Global();
+  r.GetCounter("pdx_test_obs_samples_total")->Add(4);
+  r.GetGauge("pdx_test_obs_samples_gauge")->Set(-2);
+  Histogram* h = r.GetHistogram("pdx_test_obs_samples_ns");
+  h->Record(100);
+  h->Record(300);
+  std::vector<Registry::Sample> samples = r.Samples();
+  auto find = [&samples](const std::string& name) -> const Registry::Sample* {
+    for (const Registry::Sample& s : samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const Registry::Sample* c = find("pdx_test_obs_samples_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, "counter");
+  EXPECT_EQ(c->value, 4.0);
+  const Registry::Sample* g = find("pdx_test_obs_samples_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, -2.0);
+  // Histograms expand to _count and _sum scalars.
+  const Registry::Sample* hc = find("pdx_test_obs_samples_ns_count");
+  const Registry::Sample* hs = find("pdx_test_obs_samples_ns_sum");
+  ASSERT_NE(hc, nullptr);
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hc->kind, "histogram");
+  EXPECT_EQ(hc->value, 2.0);
+  EXPECT_EQ(hs->value, 400.0);
+}
+
+TEST(WriteMetricsDumpTest, SpecSelectsFormatAndTarget) {
+  Registry::Global().GetCounter("pdx_test_obs_dumpspec_total")->Add(6);
+  std::string dir = ::testing::TempDir();
+
+  // csv:PATH → CSV file.
+  std::string csv_path = dir + "/pdx_test_metrics.csv";
+  ASSERT_TRUE(WriteMetricsDump("csv:" + csv_path).ok());
+  std::ifstream csv(csv_path);
+  std::string csv_text((std::istreambuf_iterator<char>(csv)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(csv_text.rfind("name,kind,", 0), 0u);
+  EXPECT_NE(csv_text.find("pdx_test_obs_dumpspec_total,counter"),
+            std::string::npos);
+
+  // Bare PATH → Prometheus file.
+  std::string prom_path = dir + "/pdx_test_metrics.prom";
+  ASSERT_TRUE(WriteMetricsDump(prom_path).ok());
+  std::ifstream prom(prom_path);
+  std::string prom_text((std::istreambuf_iterator<char>(prom)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(prom_text.find("# TYPE pdx_test_obs_dumpspec_total counter"),
+            std::string::npos);
+
+  // An unwritable target reports an error instead of dying.
+  EXPECT_FALSE(WriteMetricsDump("/nonexistent-dir/x/y.prom").ok());
 }
 
 TEST(StopwatchTest, ElapsedIsMonotone) {

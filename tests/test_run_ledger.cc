@@ -1,0 +1,291 @@
+#include "common/run_ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost_source.h"
+#include "core/selector.h"
+
+namespace pdx {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+RunManifest SampleManifest() {
+  RunManifest m;
+  m.tool = "compare";
+  m.git = "abc1234-dirty";
+  m.flags = "--queries=2000 --ledger=\"runs dir\" --path=a\\b";
+  m.started_unix_ms = 1754600000000;
+  m.wall_ms = 123.5;
+  m.seed = 42;
+  m.spans_dropped = 3;
+  m.counters.push_back({"pdx_whatif_calls_total", "counter", 1234.0});
+  m.counters.push_back({"pdx_whatif_ns_sum", "histogram", 9.5e8});
+  obs::SpanRollupRow row;
+  row.category = "selector";
+  row.name = "whatif";
+  row.count = 77;
+  row.total_ns = 45000000;
+  row.counter_delta = 616;
+  m.phases.push_back(row);
+  return m;
+}
+
+TEST(RunManifestTest, JsonRoundTripsEveryField) {
+  RunManifest m = SampleManifest();
+  Result<RunManifest> parsed = ParseManifestJson(ManifestToJson(m), "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const RunManifest& p = *parsed;
+  EXPECT_EQ(p.tool, m.tool);
+  EXPECT_EQ(p.git, m.git);
+  EXPECT_EQ(p.flags, m.flags);  // quotes and backslashes survive
+  EXPECT_EQ(p.started_unix_ms, m.started_unix_ms);
+  EXPECT_DOUBLE_EQ(p.wall_ms, m.wall_ms);
+  EXPECT_EQ(p.seed, m.seed);
+  EXPECT_EQ(p.spans_dropped, m.spans_dropped);
+  ASSERT_EQ(p.counters.size(), m.counters.size());
+  EXPECT_EQ(p.counters[0].name, "pdx_whatif_calls_total");
+  EXPECT_EQ(p.counters[0].kind, "counter");
+  EXPECT_DOUBLE_EQ(p.counters[0].value, 1234.0);
+  ASSERT_EQ(p.phases.size(), 1u);
+  EXPECT_EQ(p.phases[0].category, "selector");
+  EXPECT_EQ(p.phases[0].name, "whatif");
+  EXPECT_EQ(p.phases[0].count, 77u);
+  EXPECT_EQ(p.phases[0].total_ns, 45000000u);
+  EXPECT_EQ(p.phases[0].counter_delta, 616u);
+}
+
+TEST(RunManifestTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseManifestJson("not json at all", "test").ok());
+  // Anything missing the "tool" key is not a manifest.
+  EXPECT_FALSE(ParseManifestJson("{\n\"flags\":\"-x\",\n}", "test").ok());
+  EXPECT_FALSE(ParseManifestJson("", "test").ok());
+}
+
+TEST(RunLedgerTest, WriteListResolveRead) {
+  std::string dir = FreshDir("pdx_ledger_wlr");
+  RunManifest a = SampleManifest();
+  a.started_unix_ms = 1000;
+  RunManifest b = SampleManifest();
+  b.tool = "tune";
+  b.started_unix_ms = 2000;
+
+  Result<std::string> pa = WriteManifest(a, dir);
+  ASSERT_TRUE(pa.ok()) << pa.status().message();
+  Result<std::string> pb = WriteManifest(b, dir);
+  ASSERT_TRUE(pb.ok()) << pb.status().message();
+
+  Result<std::vector<std::string>> files = ListManifestFiles(dir);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  // <timestamp>-<tool> naming sorts chronologically.
+  EXPECT_NE((*files)[0].find("1000-compare"), std::string::npos);
+  EXPECT_NE((*files)[1].find("2000-tune"), std::string::npos);
+
+  // Resolve by path, by full name, and by unique prefix.
+  EXPECT_TRUE(ResolveManifestRef(*pa, dir).ok());
+  Result<std::string> by_prefix = ResolveManifestRef("2000", dir);
+  ASSERT_TRUE(by_prefix.ok());
+  // Resolution returns a full path ending in the listed name.
+  EXPECT_NE(by_prefix->find((*files)[1]), std::string::npos);
+  EXPECT_FALSE(ResolveManifestRef("nope", dir).ok());
+
+  Result<RunManifest> read = ReadManifest(*by_prefix);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->tool, "tune");
+}
+
+TEST(RunLedgerTest, CollidingNamesGetSuffixed) {
+  std::string dir = FreshDir("pdx_ledger_collide");
+  RunManifest m = SampleManifest();
+  m.started_unix_ms = 7;
+  ASSERT_TRUE(WriteManifest(m, dir).ok());
+  Result<std::string> second = WriteManifest(m, dir);
+  ASSERT_TRUE(second.ok());
+  Result<std::string> third = WriteManifest(m, dir);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(*second, *third);
+  Result<std::vector<std::string>> files = ListManifestFiles(dir);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 3u);
+}
+
+TEST(LedgerDiffTest, RanksPhasesByAbsoluteDeltaThenMovedCounters) {
+  RunManifest a;
+  a.tool = "compare";
+  a.wall_ms = 100.0;
+  a.counters.push_back({"pdx_whatif_calls_total", "counter", 100.0});
+  a.counters.push_back({"pdx_steady_total", "counter", 5.0});
+  auto phase = [](const char* cat, const char* name, uint64_t ms) {
+    obs::SpanRollupRow r;
+    r.category = cat;
+    r.name = name;
+    r.count = 1;
+    r.total_ns = ms * 1000000;
+    return r;
+  };
+  a.phases.push_back(phase("selector", "whatif", 50));
+  a.phases.push_back(phase("selector", "estimate", 10));
+
+  RunManifest b = a;
+  b.wall_ms = 160.0;
+  b.phases[0] = phase("selector", "whatif", 95);   // +45 ms
+  b.phases[1] = phase("selector", "estimate", 12); // +2 ms
+  b.phases.push_back(phase("cost", "cold_batch", 8));  // new phase: +8 ms
+  b.counters[0].value = 140.0;  // moved; pdx_steady_total did not
+
+  std::vector<LedgerDiffRow> rows = DiffManifests(a, b);
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0].kind, "phase");
+  EXPECT_EQ(rows[0].key, "selector/whatif");
+  EXPECT_DOUBLE_EQ(rows[0].a, 50.0);
+  EXPECT_DOUBLE_EQ(rows[0].b, 95.0);
+  EXPECT_DOUBLE_EQ(rows[0].delta, 45.0);
+  EXPECT_EQ(rows[1].key, "cost/cold_batch");  // absent in A counts from 0
+  EXPECT_EQ(rows[2].key, "selector/estimate");
+
+  // Counters follow every phase row; unmoved ones are not listed.
+  bool saw_counter = false;
+  for (size_t i = 3; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].kind, "counter");
+    EXPECT_NE(rows[i].key, "pdx_steady_total");
+    saw_counter |= rows[i].key == "pdx_whatif_calls_total";
+  }
+  EXPECT_TRUE(saw_counter);
+
+  std::string table = FormatLedgerDiff(a, b, rows);
+  EXPECT_NE(table.find("selector/whatif"), std::string::npos);
+  EXPECT_NE(table.find("wall_ms"), std::string::npos);
+}
+
+/// Delegating cost source that busy-waits `delay_ns` per priced cell —
+/// the "deliberately injected slowdown" of the attribution test. Spinning
+/// draws no randomness and calls the inner source exactly as the scalar
+/// contract does, so the selection itself is unchanged.
+class SlowCostSource : public CostSource {
+ public:
+  SlowCostSource(CostSource* inner, uint64_t delay_ns)
+      : inner_(inner), delay_ns_(delay_ns) {}
+
+  double Cost(QueryId q, ConfigId c) override {
+    Spin();
+    return inner_->Cost(q, c);
+  }
+  void CostMany(std::span<const QueryId> queries, ConfigId c,
+                std::span<double> out) override {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = Cost(queries[i], c);
+  }
+  void CostAcross(QueryId q, std::span<const ConfigId> configs,
+                  std::span<double> out) override {
+    for (size_t i = 0; i < configs.size(); ++i) out[i] = Cost(q, configs[i]);
+  }
+  size_t num_queries() const override { return inner_->num_queries(); }
+  size_t num_configs() const override { return inner_->num_configs(); }
+  TemplateId TemplateOf(QueryId q) const override {
+    return inner_->TemplateOf(q);
+  }
+  size_t num_templates() const override { return inner_->num_templates(); }
+  uint64_t num_calls() const override { return inner_->num_calls(); }
+  void ResetCallCounter() override { inner_->ResetCallCounter(); }
+
+ private:
+  void Spin() const {
+    const uint64_t until = obs::NowNs() + delay_ns_;
+    while (obs::NowNs() < until) {
+    }
+  }
+
+  CostSource* inner_;
+  uint64_t delay_ns_;
+};
+
+MatrixCostSource MakeNearTieMatrix(size_t nq, size_t k) {
+  Rng gen(0xA11CE);
+  std::vector<TemplateId> templates(nq);
+  std::vector<std::vector<double>> costs(nq, std::vector<double>(k));
+  for (QueryId q = 0; q < nq; ++q) {
+    templates[q] = static_cast<TemplateId>(q % 16);
+    const double base = 100.0 + static_cast<double>(q % 16);
+    for (ConfigId c = 0; c < k; ++c) {
+      costs[q][c] =
+          base * (1.0 + 0.001 * static_cast<double>(c)) +
+          gen.NextDouble(0.0, 2.0);
+    }
+  }
+  return MatrixCostSource(std::move(costs), std::move(templates));
+}
+
+RunManifest RunAndRecord(const std::string& tool, CostSource* source) {
+  obs::ResetSpans();
+  SelectorOptions opt;
+  opt.alpha = 0.9999;  // effectively unreachable: run until the sample cap
+  opt.max_samples = 4030;
+  opt.stratify = false;
+  opt.elimination_threshold = 1.0;
+  Rng rng(99);
+  ConfigurationSelector sel(source, opt);
+  const uint64_t t0 = obs::NowNs();
+  sel.Run(&rng);
+  const double wall_ms =
+      static_cast<double>(obs::NowNs() - t0) / 1e6;
+  return BuildRunManifest(tool, "--test", 99, wall_ms, obs::DrainSpans());
+}
+
+TEST(LedgerDiffTest, AttributesInjectedSlowdownToWhatIfPhase) {
+  const bool was_enabled = obs::TimingEnabled();
+  obs::SetTimingEnabled(true);
+
+  MatrixCostSource matrix = MakeNearTieMatrix(8192, 8);
+  RunManifest fast = RunAndRecord("compare", &matrix);
+  // 5us per priced cell: invisible per call, minutes at workload scale.
+  SlowCostSource slow(&matrix, 5000);
+  RunManifest slowed = RunAndRecord("compare", &slow);
+
+  obs::SetTimingEnabled(was_enabled);
+  EXPECT_GT(slowed.wall_ms, fast.wall_ms);
+
+  std::vector<LedgerDiffRow> rows = DiffManifests(fast, slowed);
+  ASSERT_FALSE(rows.empty());
+  // Every phase ranked at or above selector/whatif must be one that
+  // *contains* what-if pricing (the run root, the pilot, and the sample
+  // phase all do — the pilot prices n_min x k cells in one span, and the
+  // sample span wraps the per-round evaluate). Phases that do no pricing
+  // (estimation, pairwise bookkeeping, termination) must sit far below:
+  // that is what "the diff attributes the slowdown to what-if" means.
+  auto contains_whatif = [](const std::string& key) {
+    return key.rfind("selector/run", 0) == 0 || key == "selector/pilot" ||
+           key == "selector/sample" || key == "selector/whatif";
+  };
+  double whatif_delta = -1.0;
+  double max_non_pricing_delta = 0.0;
+  for (const LedgerDiffRow& row : rows) {
+    if (row.kind != "phase") break;
+    if (row.key == "selector/whatif") {
+      whatif_delta = row.delta;
+      continue;
+    }
+    if (whatif_delta < 0.0) {
+      // Still above what-if in the ranking: only containers allowed.
+      EXPECT_TRUE(contains_whatif(row.key)) << row.key;
+    }
+    if (!contains_whatif(row.key)) {
+      max_non_pricing_delta = std::max(max_non_pricing_delta, row.delta);
+    }
+  }
+  ASSERT_GE(whatif_delta, 0.0) << "no selector/whatif row in the diff";
+  EXPECT_GT(whatif_delta, 10.0 * max_non_pricing_delta);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,11 +1,14 @@
 #include "core/selection_trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/span.h"
 #include "core/selector.h"
 #include "test_util.h"
 
@@ -373,6 +376,207 @@ TEST(SelectorTraceTest, SingleConfigEmitsRunEndWithZeroRounds) {
   EXPECT_TRUE(read.value().has_run_end);
   EXPECT_EQ(read.value().end.rounds, 0u);
   EXPECT_EQ(read.value().rounds.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span events (ISSUE 8): JSONL round-trip, order-independent rollup,
+// Chrome export.
+
+std::vector<obs::SpanRecord> TwoThreadSpans() {
+  // Two threads' spans as a drain could observe them: thread 0's pair
+  // first, thread 1's root in between — deliberately not timeline order.
+  std::vector<obs::SpanRecord> records;
+  obs::SpanRecord r;
+  r.name = "whatif";
+  r.category = "selector";
+  r.id = (0ull << 32) | 2;
+  r.parent = (0ull << 32) | 1;
+  r.tid = 0;
+  r.start_ns = 1100;
+  r.end_ns = 1600;
+  r.counter = "pdx_whatif_calls_total";
+  r.counter_delta = 8;
+  records.push_back(r);
+  r = obs::SpanRecord{};
+  r.name = "run_delta";
+  r.category = "selector";
+  r.id = (0ull << 32) | 1;
+  r.tid = 0;
+  r.start_ns = 1000;
+  r.end_ns = 5000;
+  records.push_back(r);
+  r = obs::SpanRecord{};
+  r.name = "run_chunks";
+  r.category = "pool";
+  r.id = (1ull << 32) | 1;
+  r.tid = 1;
+  r.start_ns = 1200;
+  r.end_ns = 2200;
+  records.push_back(r);
+  r = obs::SpanRecord{};
+  r.name = "whatif";
+  r.category = "selector";
+  r.id = (0ull << 32) | 3;
+  r.parent = (0ull << 32) | 1;
+  r.tid = 0;
+  r.start_ns = 2000;
+  r.end_ns = 2300;
+  r.counter = "pdx_whatif_calls_total";
+  r.counter_delta = 8;
+  records.push_back(r);
+  return records;
+}
+
+TEST(SpanTraceTest, SpanEventsRoundTripAndRollUp) {
+  const std::string path = TempTracePath("spans.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+  TraceRunStart rs;
+  rs.scheme = "delta";
+  rs.num_configs = 2;
+  rs.alpha = 0.9;
+  sink->RunStart(rs);
+  EmitSpans(sink.get(), TwoThreadSpans());
+  sink->Flush();
+  sink.reset();
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReport& rep = read.value();
+  EXPECT_EQ(rep.num_spans, 4u);
+  ASSERT_EQ(rep.span_rollup.size(), 3u);
+  // Ranked by total duration: run_delta 4000 > pool 1000 > whatif 800.
+  EXPECT_EQ(rep.span_rollup[0].name, "run_delta");
+  EXPECT_EQ(rep.span_rollup[0].total_ns, 4000u);
+  EXPECT_EQ(rep.span_rollup[1].category, "pool");
+  EXPECT_EQ(rep.span_rollup[2].name, "whatif");
+  EXPECT_EQ(rep.span_rollup[2].count, 2u);
+  EXPECT_EQ(rep.span_rollup[2].total_ns, 800u);
+  EXPECT_EQ(rep.span_rollup[2].counter_delta, 16u);
+}
+
+TEST(SpanTraceTest, RollupIsIndependentOfThreadInterleaving) {
+  // The same spans in two different on-disk orders (threads race the
+  // drain) must produce identical reports.
+  std::vector<obs::SpanRecord> records = TwoThreadSpans();
+  const std::string fwd = TempTracePath("spans_fwd.jsonl");
+  const std::string rev = TempTracePath("spans_rev.jsonl");
+  for (const auto& [path, reverse] :
+       {std::pair(fwd, false), std::pair(rev, true)}) {
+    auto open = JsonlTraceSink::Open(path);
+    ASSERT_TRUE(open.ok());
+    std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+    TraceRunStart rs;
+    rs.scheme = "delta";
+    rs.num_configs = 2;
+    rs.alpha = 0.9;
+    sink->RunStart(rs);
+    std::vector<obs::SpanRecord> ordered = records;
+    if (reverse) std::reverse(ordered.begin(), ordered.end());
+    EmitSpans(sink.get(), ordered);
+    sink.reset();
+  }
+  auto a = ReadTraceReport(fwd);
+  auto b = ReadTraceReport(rev);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().span_rollup.size(), b.value().span_rollup.size());
+  for (size_t i = 0; i < a.value().span_rollup.size(); ++i) {
+    EXPECT_EQ(a.value().span_rollup[i].category,
+              b.value().span_rollup[i].category);
+    EXPECT_EQ(a.value().span_rollup[i].name, b.value().span_rollup[i].name);
+    EXPECT_EQ(a.value().span_rollup[i].count, b.value().span_rollup[i].count);
+    EXPECT_EQ(a.value().span_rollup[i].total_ns,
+              b.value().span_rollup[i].total_ns);
+  }
+}
+
+TEST(SpanTraceTest, ReportWithoutBudgetDecisionsOrSpansIsClean) {
+  // A dynamic-budget trace can legitimately contain zero budget_decision
+  // events (the budget never intervened) and zero spans (timing off);
+  // the report must read clean with empty aggregates, not fail.
+  const std::string path = TempTracePath("no_budget_no_spans.jsonl");
+  WriteFile(path,
+            "{\"ev\":\"run_start\",\"scheme\":\"delta\",\"k\":2,"
+            "\"alpha\":0.9}\n"
+            "{\"ev\":\"round\",\"round\":1,\"samples\":30,\"calls\":60,"
+            "\"incumbent\":0,\"pr\":0.5,\"active\":2,\"strata\":1}\n"
+            "{\"ev\":\"run_end\",\"best\":0,\"pr\":0.95,\"target\":true,"
+            "\"rounds\":1,\"samples\":31,\"calls\":62,\"active\":2}\n");
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().budget_decisions, 0u);
+  EXPECT_EQ(read.value().budget_refined_queries, 0u);
+  EXPECT_EQ(read.value().num_spans, 0u);
+  EXPECT_TRUE(read.value().span_rollup.empty());
+}
+
+TEST(SpanTraceTest, DrainSpansToSinkEmitsLiveSpans) {
+  const bool was_enabled = obs::TimingEnabled();
+  obs::SetTimingEnabled(true);
+  obs::ResetSpans();
+  {
+    obs::SpanScope outer("outer", "test");
+    obs::SpanScope inner("inner", "test");
+  }
+  const std::string path = TempTracePath("live_spans.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+  TraceRunStart rs;
+  rs.scheme = "delta";
+  rs.num_configs = 1;
+  rs.alpha = 0.9;
+  sink->RunStart(rs);
+  obs::SpanSnapshot snap = DrainSpansToSink(sink.get());
+  sink.reset();
+
+  EXPECT_EQ(snap.records.size(), 2u);
+  // A null sink still drains (ledger-only runs want the snapshot without
+  // a trace file).
+  { obs::SpanScope again("again", "test"); }
+  EXPECT_EQ(DrainSpansToSink(nullptr).records.size(), 1u);
+  obs::SetTimingEnabled(was_enabled);
+
+  auto read = ReadTraceReport(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().num_spans, 2u);
+}
+
+TEST(SpanTraceTest, WriteChromeTraceExportsCompleteEvents) {
+  const std::string path = TempTracePath("chrome_src.jsonl");
+  auto open = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<JsonlTraceSink> sink = std::move(open).value();
+  TraceRunStart rs;
+  rs.scheme = "delta";
+  rs.num_configs = 2;
+  rs.alpha = 0.9;
+  sink->RunStart(rs);
+  EmitSpans(sink.get(), TwoThreadSpans());
+  sink.reset();
+
+  const std::string out = TempTracePath("chrome_out.json");
+  auto written = WriteChromeTrace(path, out);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.value(), 4u);
+
+  std::FILE* f = std::fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"run_delta\""), std::string::npos);
+  // Timestamps are microseconds: 1000 ns start -> ts 1.
+  EXPECT_NE(text.find("\"tid\":1"), std::string::npos);
+
+  EXPECT_FALSE(
+      WriteChromeTrace(TempTracePath("missing.jsonl"), out).ok());
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+#include "common/span.h"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdx::obs {
+namespace {
+
+/// Restores the process timing flag and empties the span buffers around
+/// each test, so tests compose in any order within the binary.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TimingEnabled();
+    ResetSpans();
+  }
+  void TearDown() override {
+    ResetSpans();
+    SetTimingEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(SpanTest, DisabledSpansAreInert) {
+  SetTimingEnabled(false);
+  {
+    SpanScope outer("outer", "test");
+    EXPECT_EQ(outer.id(), 0u);
+    SpanScope inner("inner", "test");
+    EXPECT_EQ(inner.id(), 0u);
+  }
+  EXPECT_TRUE(DrainSpans().records.empty());
+}
+
+TEST_F(SpanTest, GatedConstructorRespectsEnabledFlag) {
+  SetTimingEnabled(true);
+  {
+    SpanScope skipped(false, "skipped", "test");
+    EXPECT_EQ(skipped.id(), 0u);
+    SpanScope taken(true, "taken", "test");
+    EXPECT_NE(taken.id(), 0u);
+  }
+  SpanSnapshot snap = DrainSpans();
+  ASSERT_EQ(snap.records.size(), 1u);
+  EXPECT_STREQ(snap.records[0].name, "taken");
+}
+
+TEST_F(SpanTest, NestingRecordsParentLinkage) {
+  SetTimingEnabled(true);
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    SpanScope outer("outer", "test");
+    outer_id = outer.id();
+    EXPECT_EQ(OpenSpanDepth(), 1u);
+    {
+      SpanScope inner("inner", "test");
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, outer_id);
+      EXPECT_EQ(OpenSpanDepth(), 2u);
+    }
+    EXPECT_EQ(OpenSpanDepth(), 1u);
+  }
+  EXPECT_EQ(OpenSpanDepth(), 0u);
+
+  SpanSnapshot snap = DrainSpans();
+  ASSERT_EQ(snap.records.size(), 2u);
+  // Children close (and publish) before their parent.
+  const SpanRecord& inner = snap.records[0];
+  const SpanRecord& outer = snap.records[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(inner.id, inner_id);
+  EXPECT_EQ(inner.parent, outer_id);
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_LE(inner.start_ns, inner.end_ns);
+}
+
+TEST_F(SpanTest, TrackedCounterRecordsDeltaWithoutMutating) {
+  SetTimingEnabled(true);
+  Counter* c = Registry::Global().GetCounter("pdx_test_span_tracked_total");
+  c->Reset();
+  c->Add(5);
+  {
+    SpanScope s("tracked", "test",
+                TrackedCounter{c, "pdx_test_span_tracked_total"});
+    c->Add(3);
+  }
+  {
+    SpanScope s("untracked", "test");
+  }
+  EXPECT_EQ(c->Value(), 8u);  // tracking only reads the counter
+
+  SpanSnapshot snap = DrainSpans();
+  ASSERT_EQ(snap.records.size(), 2u);
+  EXPECT_STREQ(snap.records[0].counter, "pdx_test_span_tracked_total");
+  EXPECT_EQ(snap.records[0].counter_delta, 3u);
+  EXPECT_EQ(snap.records[1].counter, nullptr);
+  EXPECT_EQ(snap.records[1].counter_delta, 0u);
+}
+
+TEST_F(SpanTest, DrainTwiceYieldsNothingNew) {
+  SetTimingEnabled(true);
+  { SpanScope s("once", "test"); }
+  EXPECT_EQ(DrainSpans().records.size(), 1u);
+  EXPECT_TRUE(DrainSpans().records.empty());
+  { SpanScope s("twice", "test"); }
+  SpanSnapshot snap = DrainSpans();
+  ASSERT_EQ(snap.records.size(), 1u);
+  EXPECT_STREQ(snap.records[0].name, "twice");
+}
+
+TEST_F(SpanTest, CrossThreadDrainCollectsEveryThread) {
+  SetTimingEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SpanScope s("worker", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  SpanSnapshot snap = DrainSpans();
+  ASSERT_EQ(snap.records.size(), kThreads * kPerThread);
+  std::vector<uint32_t> tids;
+  for (const SpanRecord& r : snap.records) tids.push_back(r.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  // Ids are unique process-wide even across threads.
+  std::vector<uint64_t> ids;
+  for (const SpanRecord& r : snap.records) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(SpanTest, RingOverflowDropsAndCounts) {
+  SetTimingEnabled(true);
+  const uint64_t dropped_before = DrainSpans().dropped;
+  constexpr uint64_t kRecorded = 100000;  // well past any ring capacity
+  for (uint64_t i = 0; i < kRecorded; ++i) {
+    SpanScope s("flood", "test");
+  }
+  SpanSnapshot snap = DrainSpans();
+  EXPECT_LT(snap.records.size(), kRecorded);  // some must have dropped
+  EXPECT_EQ(snap.records.size() + (snap.dropped - dropped_before), kRecorded);
+}
+
+TEST_F(SpanTest, RollupIsOrderIndependentAndRankedByTotal) {
+  std::vector<SpanRecord> records;
+  auto add = [&records](const char* cat, const char* name, uint64_t dur,
+                        uint64_t delta) {
+    SpanRecord r;
+    r.category = cat;
+    r.name = name;
+    r.start_ns = 1000;
+    r.end_ns = 1000 + dur;
+    if (delta > 0) {
+      r.counter = "calls";
+      r.counter_delta = delta;
+    }
+    records.push_back(r);
+  };
+  add("selector", "whatif", 500, 4);
+  add("selector", "whatif", 300, 2);
+  add("selector", "estimate", 900, 0);
+  add("cost", "cold_batch", 100, 0);
+
+  std::vector<SpanRollupRow> rows = RollupSpans(records);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "estimate");
+  EXPECT_EQ(rows[0].total_ns, 900u);
+  EXPECT_EQ(rows[1].name, "whatif");
+  EXPECT_EQ(rows[1].count, 2u);
+  EXPECT_EQ(rows[1].total_ns, 800u);
+  EXPECT_EQ(rows[1].counter_delta, 6u);
+  EXPECT_EQ(rows[2].category, "cost");
+
+  // Any permutation of the records rolls up identically.
+  std::mt19937 gen(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(records.begin(), records.end(), gen);
+    std::vector<SpanRollupRow> again = RollupSpans(records);
+    ASSERT_EQ(again.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(again[i].category, rows[i].category);
+      EXPECT_EQ(again[i].name, rows[i].name);
+      EXPECT_EQ(again[i].count, rows[i].count);
+      EXPECT_EQ(again[i].total_ns, rows[i].total_ns);
+      EXPECT_EQ(again[i].counter_delta, rows[i].counter_delta);
+    }
+  }
+}
+
+TEST_F(SpanTest, SampledSpanRoundDecimates) {
+  EXPECT_TRUE(SampledSpanRound(0));
+  for (uint64_t r = 1; r < kSpanRoundInterval; ++r) {
+    EXPECT_FALSE(SampledSpanRound(r)) << r;
+  }
+  EXPECT_TRUE(SampledSpanRound(kSpanRoundInterval));
+  EXPECT_TRUE(SampledSpanRound(3 * kSpanRoundInterval));
+}
+
+}  // namespace
+}  // namespace pdx::obs
