@@ -7,10 +7,10 @@
 #   ./bench/snapshot.sh [build-dir]
 #
 # CI's perf-smoke job gates on the micro snapshot (batched/scalar speedup
-# ratio) and the budget snapshot (static/dynamic optimizer-call ratio) —
-# both are same-machine ratios, so runner hardware churn mostly cancels.
-# The two table snapshots are reference points for EXPERIMENTS.md, not
-# gated.
+# ratio), the budget snapshot (static/dynamic optimizer-call ratio) and
+# the serve snapshot (first/last-quartile cold-call warm ratio) — all are
+# same-machine ratios, so runner hardware churn mostly cancels. The two
+# table snapshots are reference points for EXPERIMENTS.md, not gated.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -35,4 +35,7 @@ echo "== bench_table3 (CRM multi-config trials/sec) =="
 echo "== bench_budget (static vs dynamic optimizer-call ratio) =="
 "$BUILD_DIR/bench/bench_budget" --json=BENCH_budget.json
 
-echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json BENCH_budget.json"
+echo "== bench_serve (daemon session replay, warm-cache ratio) =="
+"$BUILD_DIR/bench/bench_serve" --quick --json=BENCH_serve.json
+
+echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json BENCH_budget.json BENCH_serve.json"

@@ -41,6 +41,7 @@
 #include "core/selector.h"
 #include "optimizer/cost_bounds.h"
 #include "optimizer/serialization.h"
+#include "service/server.h"
 #include "tuner/enumerator.h"
 #include "tuner/greedy_tuner.h"
 #include "validation/calibration.h"
@@ -278,6 +279,9 @@ int Usage() {
       "  pdx_tool report  --trace=PATH [--profile=OUT.json]\n"
       "  pdx_tool runs    list | diff A B   [--runs-dir=DIR]\n"
       "  pdx_tool serve-metrics [--port=9464] [--max-requests=0]\n"
+      "  pdx_tool serve   [--port=9464] [--max-sessions=0] [--workers=4]\n"
+      "                   [--deadline-ms=5000] [--max-catalogs=4]\n"
+      "                   [--ledger[=DIR]]\n"
       "  pdx_tool show    --dir=DIR\n"
       "  pdx_tool validate [--quick|--full] [--regen-golden] [--csv=PATH]\n"
       "\n"
@@ -305,6 +309,15 @@ int Usage() {
       "  a regression-attribution table between two of them, ranked by\n"
       "  wall-clock delta. serve-metrics exposes GET /metrics (Prometheus)\n"
       "  and /healthz on 127.0.0.1.\n"
+      "\n"
+      "  serve runs the selection daemon: concurrent sessions over\n"
+      "  newline-delimited JSON on 127.0.0.1 (one connection per session,\n"
+      "  ops ping/stats/compare/tune/shutdown, 'dir' names a pdx_tool gen\n"
+      "  directory), with the signature what-if cache and Section-6 bounds\n"
+      "  held resident across sessions, per-connection read deadlines, and\n"
+      "  /metrics scrapes answered on the same port. Selections are\n"
+      "  byte-identical to the batch CLI at equal seeds. --ledger[=DIR]\n"
+      "  appends one manifest per compare/tune session.\n"
       "\n"
       "  --budget=dynamic reallocates the what-if budget each selection\n"
       "  round (DESIGN.md Section 10): the run may spend cheap Section-6\n"
@@ -1025,6 +1038,45 @@ int RunServeMetrics(int argc, char** argv) {
   return 0;
 }
 
+// pdx_tool serve: the selection-as-a-service daemon (DESIGN.md §12).
+// Long-lived loopback server for concurrent selection/tuning sessions
+// over newline-delimited JSON, with the what-if and bounds caches held
+// resident across sessions and /metrics scrapes on the same port.
+int RunServe(int argc, char** argv) {
+  uint64_t port, max_sessions, deadline_ms, workers, max_catalogs;
+  std::string ledger_dir;
+  bool ledger_on = false;
+  if (!U64Flag(argc, argv, "port", 9464, &port) ||
+      !U64Flag(argc, argv, "max-sessions", 0, &max_sessions) ||
+      !U64Flag(argc, argv, "deadline-ms", 5000, &deadline_ms) ||
+      !U64Flag(argc, argv, "workers", 4, &workers) ||
+      !U64Flag(argc, argv, "max-catalogs", 4, &max_catalogs) ||
+      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on)) {
+    return 1;
+  }
+  if (port > 65535) {
+    std::printf("error: --port expects 0..65535\n");
+    return 1;
+  }
+  if (workers == 0 || workers > 256) {
+    std::printf("error: --workers expects 1..256\n");
+    return 1;
+  }
+  service::ServeOptions sopt;
+  sopt.port = static_cast<int>(port);
+  sopt.max_sessions = max_sessions;
+  sopt.read_deadline_ms = static_cast<int>(deadline_ms);
+  sopt.num_workers = static_cast<size_t>(workers);
+  sopt.max_catalogs = static_cast<size_t>(max_catalogs);
+  if (ledger_on) sopt.ledger_dir = ledger_dir;
+  Status st = service::ServeSelection(sopt);
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunShow(int argc, char** argv) {
   std::string dir = FlagValue(argc, argv, "dir", "");
   if (dir.empty()) return Usage();
@@ -1075,6 +1127,7 @@ int main(int argc, char** argv) {
   if (command == "report") return RunReport(argc, argv);
   if (command == "runs") return RunRuns(argc, argv);
   if (command == "serve-metrics") return RunServeMetrics(argc, argv);
+  if (command == "serve") return RunServe(argc, argv);
   if (command == "show") return RunShow(argc, argv);
   if (command == "validate") return RunValidate(argc, argv);
   return Usage();

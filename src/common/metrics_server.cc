@@ -1,6 +1,7 @@
 #include "common/metrics_server.h"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -30,6 +31,57 @@ Status SocketError(const char* what) {
 
 }  // namespace
 
+ReadOutcome ReadUntilDelimiter(int fd, const char* delimiter,
+                               size_t max_bytes, int deadline_ms,
+                               std::string* out) {
+  const size_t start = out->size();
+  // The delimiter may straddle the boundary between pre-existing bytes
+  // and the first read; back the scan window up by its length - 1.
+  const size_t dlen = std::strlen(delimiter);
+  const size_t scan_from = start >= dlen - 1 ? start - (dlen - 1) : 0;
+  const int64_t deadline_ns =
+      deadline_ms > 0 ? NowNs() + int64_t{deadline_ms} * 1'000'000 : 0;
+  char buf[2048];
+  while (out->find(delimiter, scan_from) == std::string::npos) {
+    if (out->size() - start >= max_bytes) return ReadOutcome::kTooLarge;
+    if (deadline_ns != 0) {
+      const int64_t remaining_ms = (deadline_ns - NowNs()) / 1'000'000;
+      if (remaining_ms <= 0) return ReadOutcome::kDeadline;
+      pollfd pfd{fd, POLLIN, 0};
+      int pr = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return ReadOutcome::kError;
+      }
+      if (pr == 0) return ReadOutcome::kDeadline;
+    }
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal is not EOF
+      return ReadOutcome::kError;
+    }
+    if (n == 0) return ReadOutcome::kEof;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return ReadOutcome::kComplete;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the tool.
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal is not a broken pipe
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 std::string MetricsHttpResponse(const std::string& request_head) {
   Registry::Global().GetCounter("pdx_exporter_requests_total")->Add();
   size_t eol = request_head.find('\n');
@@ -45,6 +97,10 @@ std::string MetricsHttpResponse(const std::string& request_head) {
   size_t sp = line.find(' ', 4);
   std::string path =
       sp == std::string::npos ? line.substr(4) : line.substr(4, sp - 4);
+  // Dispatch ignores query strings and fragments: Prometheus scrapers
+  // routinely append ?format=... and must still hit /metrics.
+  size_t cut = path.find_first_of("?#");
+  if (cut != std::string::npos) path.resize(cut);
   if (path == "/metrics") {
     return HttpMessage(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
                        Registry::Global().DumpPrometheus());
@@ -98,24 +154,24 @@ Status ServeMetrics(const MetricsServerOptions& options, int* bound_port) {
       ::close(fd);
       return st;
     }
-    // Read the request head (through the blank line); this server never
-    // consumes a body.
+    // Read the request head (through the blank line) under the
+    // per-connection deadline; this server never consumes a body. A
+    // stalled client gets 408 and the loop moves on — it cannot block
+    // the next scraper (the accept loop is sequential).
     std::string head;
-    char buf[2048];
-    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
-      ssize_t n = ::read(conn, buf, sizeof(buf));
-      if (n <= 0) break;
-      head.append(buf, static_cast<size_t>(n));
+    const ReadOutcome outcome = ReadUntilDelimiter(
+        conn, "\r\n\r\n", 8192, options.read_deadline_ms, &head);
+    std::string resp;
+    if (outcome == ReadOutcome::kDeadline) {
+      Registry::Global()
+          .GetCounter("pdx_exporter_deadline_drops_total")
+          ->Add();
+      resp = HttpMessage(408, "Request Timeout", "text/plain",
+                         "request head deadline exceeded\n");
+    } else {
+      resp = MetricsHttpResponse(head);
     }
-    const std::string resp = MetricsHttpResponse(head);
-    size_t off = 0;
-    while (off < resp.size()) {
-      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the tool.
-      ssize_t n = ::send(conn, resp.data() + off, resp.size() - off,
-                         MSG_NOSIGNAL);
-      if (n <= 0) break;
-      off += static_cast<size_t>(n);
-    }
+    SendAll(conn, resp);
     ::shutdown(conn, SHUT_WR);
     ::close(conn);
   }

@@ -5,6 +5,8 @@
 // /healthz. This is deliberately tiny — one blocking accept loop, no
 // keep-alive, no TLS, no threads — the first resident-process slice of
 // the ROADMAP's selection-as-a-service daemon, not a web framework.
+// The socket helpers (deadline-bounded head reads, EINTR-safe writes)
+// are shared with the full service daemon in src/service/server.
 #pragma once
 
 #include <cstdint>
@@ -21,11 +23,42 @@ struct MetricsServerOptions {
   /// Exit cleanly after this many requests; 0 serves forever. The CI
   /// smoke and tests use this to get a deterministic shutdown.
   uint64_t max_requests = 0;
+  /// Per-connection budget for reading the request head, in
+  /// milliseconds. A client that connects and then stalls is dropped
+  /// (408) once this elapses, so it can never wedge the sequential
+  /// accept loop for the next scraper. 0 means wait forever (the old
+  /// behaviour; only tests should want it).
+  int read_deadline_ms = 2000;
 };
+
+/// Outcome of ReadUntilDelimiter: why the read loop stopped.
+enum class ReadOutcome {
+  kComplete,   // delimiter seen; *out holds everything read
+  kEof,        // peer closed before the delimiter
+  kDeadline,   // read_deadline_ms elapsed without the delimiter
+  kTooLarge,   // max_bytes exceeded without the delimiter
+  kError,      // read()/poll() failed (errno preserved)
+};
+
+/// Reads from `fd` until `delimiter` appears in the accumulated bytes,
+/// EOF, `max_bytes`, or `deadline_ms` elapses (0 = no deadline).
+/// Retries EINTR on both poll() and read(). The accumulated bytes —
+/// including anything after the delimiter — are appended to *out.
+/// Shared by the metrics exporter (delimiter "\r\n\r\n") and the
+/// service daemon's line protocol (delimiter "\n").
+ReadOutcome ReadUntilDelimiter(int fd, const char* delimiter,
+                               size_t max_bytes, int deadline_ms,
+                               std::string* out);
+
+/// Writes all of `data` to the socket, retrying EINTR and short writes;
+/// sends with MSG_NOSIGNAL so a peer hang-up cannot SIGPIPE the
+/// process. Returns false on any other error.
+bool SendAll(int fd, const std::string& data);
 
 /// The full HTTP response for one request head (everything up to the
 /// blank line). Pure function of the request and the registry — the
-/// socket loop and the tests share it. Bumps
+/// socket loop and the tests share it. Query strings and fragments are
+/// stripped before dispatch (`GET /metrics?x=y` serves /metrics). Bumps
 /// pdx_exporter_requests_total.
 std::string MetricsHttpResponse(const std::string& request_head);
 

@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -12,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -240,6 +242,11 @@ Result<RunManifest> ReadManifest(const std::string& path) {
 
 Result<std::string> WriteManifest(const RunManifest& m,
                                   const std::string& dir) {
+  // Concurrent sessions in the serve daemon write manifests from many
+  // threads; serialize name selection + rename so two sessions started
+  // in the same millisecond cannot claim the same path.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::IOError("cannot create ledger directory '" + dir + "'");
   }
@@ -250,15 +257,27 @@ Result<std::string> WriteManifest(const RunManifest& m,
   for (int i = 2; FileExists(path); ++i) {
     path = base + StringFormat("-%d.json", i);
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-then-rename so a crash mid-write can never leave a torn
+  // manifest at a .json name: ListManifestFiles only picks up *.json,
+  // and rename() within one directory is atomic. The temp carries the
+  // pid so concurrent writers (the serve daemon's sessions) never
+  // collide on it.
+  std::string tmp =
+      path + StringFormat(".tmp-%d", static_cast<int>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open manifest '" + path + "' for write");
+    return Status::IOError("cannot open manifest '" + tmp + "' for write");
   }
   std::string json = ManifestToJson(m);
   std::fwrite(json.data(), 1, json.size(), f);
-  const bool write_error = std::ferror(f) != 0;
+  bool write_error = std::ferror(f) != 0;
+  if (std::fflush(f) != 0) write_error = true;
   std::fclose(f);
+  if (!write_error && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    write_error = true;
+  }
   if (write_error) {
+    std::remove(tmp.c_str());
     return Status::IOError("write error on manifest '" + path + "'");
   }
   return path;

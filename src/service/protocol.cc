@@ -1,0 +1,245 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace pdx::service {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// First-match scalar extraction, the run-ledger contract: `needle`
+/// includes quotes and colon so "seed" never matches "seed_base".
+const char* FindValue(const std::string& line, const char* needle) {
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return nullptr;
+  return line.c_str() + pos + std::strlen(needle);
+}
+
+bool GetString(const std::string& line, const char* needle,
+               std::string* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr || *v != '"') return false;
+  ++v;
+  out->clear();
+  for (; *v != '\0'; ++v) {
+    if (*v == '"') return true;
+    if (*v == '\\' && v[1] != '\0') {
+      ++v;
+      switch (*v) {
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        default:
+          out->push_back(*v);
+      }
+    } else {
+      out->push_back(*v);
+    }
+  }
+  return false;  // unterminated string
+}
+
+/// Strict numeric field: present-but-malformed is an error, absent keeps
+/// the default (mirrors the CLI's U64Flag/DoubleFlag contract).
+Status GetUint(const std::string& line, const char* needle, uint64_t* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return Status::OK();
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || errno != 0) {
+    return Status::InvalidArgument(
+        StringFormat("field %s expects an unsigned integer", needle));
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status GetDouble(const std::string& line, const char* needle, double* out) {
+  const char* v = FindValue(line, needle);
+  if (v == nullptr) return Status::OK();
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || errno != 0) {
+    return Status::InvalidArgument(
+        StringFormat("field %s expects a number", needle));
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+/// "id":"..." echo prefix of every response.
+std::string Head(const ServiceRequest& req, bool ok) {
+  std::string out =
+      StringFormat("{\"ok\":%s,\"op\":\"%s\"", ok ? "true" : "false",
+                   JsonEscape(req.op).c_str());
+  if (!req.id.empty()) {
+    out += StringFormat(",\"id\":\"%s\"", JsonEscape(req.id).c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ServiceRequest> ParseRequestLine(const std::string& line) {
+  ServiceRequest req;
+  if (!GetString(line, "\"op\":", &req.op) || req.op.empty()) {
+    return Status::InvalidArgument("request has no \"op\" field");
+  }
+  GetString(line, "\"dir\":", &req.dir);
+  GetString(line, "\"id\":", &req.id);
+  GetString(line, "\"scheme\":", &req.scheme);
+  GetString(line, "\"budget\":", &req.budget);
+  PDX_RETURN_IF_ERROR(GetUint(line, "\"seed\":", &req.seed));
+  PDX_RETURN_IF_ERROR(GetDouble(line, "\"alpha\":", &req.alpha));
+  PDX_RETURN_IF_ERROR(
+      GetUint(line, "\"max_structures\":", &req.max_structures));
+  PDX_RETURN_IF_ERROR(GetUint(line, "\"budget_mb\":", &req.budget_mb));
+  if (req.op != "ping" && req.op != "stats" && req.op != "compare" &&
+      req.op != "tune" && req.op != "shutdown") {
+    return Status::InvalidArgument("unknown op '" + req.op + "'");
+  }
+  if ((req.op == "compare" || req.op == "tune" || req.op == "stats") &&
+      req.dir.empty()) {
+    return Status::InvalidArgument("op '" + req.op +
+                                   "' requires a \"dir\" field");
+  }
+  if (req.scheme != "delta" && req.scheme != "indep") {
+    return Status::InvalidArgument("scheme expects delta or indep, got '" +
+                                   req.scheme + "'");
+  }
+  if (req.budget != "static" && req.budget != "dynamic") {
+    return Status::InvalidArgument("budget expects static or dynamic, got '" +
+                                   req.budget + "'");
+  }
+  return req;
+}
+
+std::string SelectionFingerprint(const SelectionResult& r) {
+  std::string s = StringFormat(
+      "best=%u;prcs=%.17g;reached=%d;sampled=%llu;rounds=%llu;active=%u",
+      r.best, r.pr_cs, r.reached_target ? 1 : 0,
+      static_cast<unsigned long long>(r.queries_sampled),
+      static_cast<unsigned long long>(r.rounds), r.active_configs);
+  for (double e : r.estimates) s += StringFormat(";e=%.17g", e);
+  for (uint32_t n : r.final_strata) s += StringFormat(";s=%u", n);
+  for (uint32_t n : r.eliminated_at) s += StringFormat(";x=%u", n);
+  return s;
+}
+
+std::string TuneFingerprint(const TuneResult& r) {
+  return StringFormat(
+      "init=%.17g;final=%.17g;indexes=%zu;views=%zu", r.initial_cost,
+      r.final_cost, r.config.indexes().size(), r.config.views().size());
+}
+
+uint64_t FingerprintHash(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string OkPingResponse(const ServiceRequest& req) {
+  return Head(req, true) + "}\n";
+}
+
+std::string ErrorResponse(const ServiceRequest& req,
+                          const std::string& message) {
+  return Head(req, false) +
+         StringFormat(",\"error\":\"%s\"}\n", JsonEscape(message).c_str());
+}
+
+std::string CompareResponse(const ServiceRequest& req,
+                            const SelectionResult& r, double wall_ms,
+                            uint64_t calls_delta) {
+  const std::string fp = SelectionFingerprint(r);
+  std::string out = Head(req, true);
+  out += StringFormat(
+      ",\"best\":%u,\"pr_cs\":%.17g,\"queries_sampled\":%llu,"
+      "\"rounds\":%llu,\"active_configs\":%u,\"calls_delta\":%llu,"
+      "\"wall_ms\":%.3f,\"fingerprint\":\"%016llx\",\"estimates\":[",
+      r.best, r.pr_cs, static_cast<unsigned long long>(r.queries_sampled),
+      static_cast<unsigned long long>(r.rounds), r.active_configs,
+      static_cast<unsigned long long>(calls_delta), wall_ms,
+      static_cast<unsigned long long>(FingerprintHash(fp)));
+  for (size_t i = 0; i < r.estimates.size(); ++i) {
+    out += StringFormat("%s%.17g", i == 0 ? "" : ",", r.estimates[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string TuneResponse(const ServiceRequest& req, const TuneResult& r,
+                         double wall_ms) {
+  const std::string fp = TuneFingerprint(r);
+  return Head(req, true) +
+         StringFormat(
+             ",\"initial_cost\":%.17g,\"final_cost\":%.17g,"
+             "\"indexes\":%zu,\"views\":%zu,\"optimizer_calls\":%llu,"
+             "\"wall_ms\":%.3f,\"fingerprint\":\"%016llx\"}\n",
+             r.initial_cost, r.final_cost, r.config.indexes().size(),
+             r.config.views().size(),
+             static_cast<unsigned long long>(r.optimizer_calls), wall_ms,
+             static_cast<unsigned long long>(FingerprintHash(fp)));
+}
+
+std::string StatsResponse(const ServiceRequest& req,
+                          const SharedCacheStats& s) {
+  return Head(req, true) +
+         StringFormat(
+             ",\"cold_calls\":%llu,\"signature_hits\":%llu,"
+             "\"exact_hits\":%llu,\"distinct_signatures\":%llu,"
+             "\"bound_derivation_calls\":%llu,\"catalog_loads\":%llu,"
+             "\"catalog_hits\":%llu,\"catalog_evictions\":%llu,"
+             "\"sessions\":%llu}\n",
+             static_cast<unsigned long long>(s.cold_calls),
+             static_cast<unsigned long long>(s.signature_hits),
+             static_cast<unsigned long long>(s.exact_hits),
+             static_cast<unsigned long long>(s.distinct_signatures),
+             static_cast<unsigned long long>(s.bound_derivation_calls),
+             static_cast<unsigned long long>(s.catalog_loads),
+             static_cast<unsigned long long>(s.catalog_hits),
+             static_cast<unsigned long long>(s.catalog_evictions),
+             static_cast<unsigned long long>(s.sessions));
+}
+
+std::string ShutdownResponse(const ServiceRequest& req) {
+  return Head(req, true) + ",\"draining\":true}\n";
+}
+
+}  // namespace pdx::service

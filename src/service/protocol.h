@@ -1,0 +1,98 @@
+// Copyright (c) the pdexplore authors.
+// Wire protocol of the selection-as-a-service daemon (`pdx_tool serve`,
+// DESIGN.md §12): newline-delimited JSON, one request object per line,
+// one response object per line. The framing is deliberately the same
+// line-oriented, dependency-free JSON the run ledger already speaks —
+// a session is scriptable from a shell (`printf ... | nc`), and the
+// parser is the ledger's first-match scalar extraction, not a general
+// JSON reader.
+//
+// Requests:
+//   {"op":"ping"}
+//   {"op":"stats","dir":DIR}              shared-cache economics of DIR
+//   {"op":"compare","dir":DIR,"seed":N,"alpha":A,"scheme":"delta|indep",
+//    "budget":"static|dynamic"}           Algorithm-1 selection over DIR
+//   {"op":"tune","dir":DIR,"seed":N,"alpha":A,"max_structures":M,
+//    "budget_mb":B}                       greedy tuning over DIR
+//   {"op":"shutdown"}                     drain in-flight sessions, exit
+// Optional on every request: "id" (echoed back verbatim).
+//
+// Every response is a single JSON line with "ok":true|false; doubles are
+// printed with %.17g so a response round-trips bit-exactly — the
+// determinism tests compare serve responses against batch-CLI runs byte
+// for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/selector.h"
+#include "tuner/greedy_tuner.h"
+
+namespace pdx::service {
+
+/// One parsed request line. Unset optional fields keep the defaults the
+/// batch CLI uses, so `{"op":"compare","dir":D}` and
+/// `pdx_tool compare --dir=D` describe the same run.
+struct ServiceRequest {
+  std::string op;
+  std::string dir;
+  std::string id;
+  uint64_t seed = 42;
+  double alpha = 0.9;
+  std::string scheme = "delta";
+  std::string budget = "static";
+  uint64_t max_structures = 8;
+  uint64_t budget_mb = 0;
+};
+
+/// Parses one request line. Rejects lines with no "op", unknown ops,
+/// ops that need a "dir" without one, and malformed numeric fields.
+Result<ServiceRequest> ParseRequestLine(const std::string& line);
+
+/// Canonical fingerprint of a selection outcome: every field that is a
+/// pure function of (artifacts, seed, options) — best, Pr(CS) bits,
+/// queries sampled, rounds, per-config estimates/strata/elimination
+/// rounds. Deliberately EXCLUDES optimizer_calls and the budget call
+/// meters: under the daemon's process-wide shared cost source those are
+/// deltas of a shared counter and depend on session interleaving, while
+/// the selection itself does not (the signature cache fills each cell
+/// exactly once with the bit-exact uncached value). Byte-equal
+/// fingerprints ⇔ byte-identical selections.
+std::string SelectionFingerprint(const SelectionResult& r);
+
+/// Same contract for a tuning outcome (chosen structures + cost bits).
+std::string TuneFingerprint(const TuneResult& r);
+
+/// FNV-1a 64-bit of a fingerprint string, for compact wire transport.
+uint64_t FingerprintHash(const std::string& s);
+
+/// Response builders — each returns exactly one '\n'-terminated line.
+std::string OkPingResponse(const ServiceRequest& req);
+std::string ErrorResponse(const ServiceRequest& req,
+                          const std::string& message);
+/// `wall_ms` is session wall-clock; `calls_delta` the shared-source call
+/// delta this session observed (reported for economics, excluded from
+/// the fingerprint — see SelectionFingerprint).
+std::string CompareResponse(const ServiceRequest& req,
+                            const SelectionResult& r, double wall_ms,
+                            uint64_t calls_delta);
+std::string TuneResponse(const ServiceRequest& req, const TuneResult& r,
+                         double wall_ms);
+struct SharedCacheStats {
+  uint64_t cold_calls = 0;
+  uint64_t signature_hits = 0;
+  uint64_t exact_hits = 0;
+  uint64_t distinct_signatures = 0;
+  uint64_t bound_derivation_calls = 0;
+  uint64_t catalog_loads = 0;
+  uint64_t catalog_hits = 0;
+  uint64_t catalog_evictions = 0;
+  uint64_t sessions = 0;
+};
+std::string StatsResponse(const ServiceRequest& req,
+                          const SharedCacheStats& s);
+std::string ShutdownResponse(const ServiceRequest& req);
+
+}  // namespace pdx::service

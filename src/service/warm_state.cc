@@ -1,0 +1,167 @@
+#include "service/warm_state.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "optimizer/serialization.h"
+
+namespace pdx::service {
+
+namespace {
+
+/// Union of every structure appearing in any configuration — the `rich`
+/// bracket for §6 bound derivation (same construction as the batch CLI,
+/// so serve and batch derive identical intervals).
+Configuration UnionConfiguration(const std::vector<Configuration>& configs) {
+  Configuration rich;
+  rich.set_name("rich");
+  std::unordered_set<uint64_t> seen;
+  for (const Configuration& c : configs) {
+    for (const Index& idx : c.indexes()) {
+      if (seen.insert(idx.Hash()).second) rich.AddIndex(idx);
+    }
+    for (const MaterializedView& v : c.views()) {
+      if (seen.insert(v.Hash()).second) rich.AddView(v);
+    }
+  }
+  return rich;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(const std::string& dir) {
+  auto catalog = std::make_shared<WarmCatalog>();
+  catalog->dir = dir;
+  auto schema = LoadSchema(dir + "/schema.pdx");
+  if (!schema.ok()) return schema.status();
+  catalog->schema = std::move(*schema);
+  auto workload = LoadWorkload(dir + "/workload.pdx", catalog->schema);
+  if (!workload.ok()) return workload.status();
+  catalog->workload = std::make_unique<Workload>(std::move(*workload));
+  for (size_t c = 0;; ++c) {
+    auto loaded = LoadConfiguration(
+        StringFormat("%s/config_%zu.pdx", dir.c_str(), c), catalog->schema);
+    if (!loaded.ok()) break;
+    catalog->configs.push_back(std::move(*loaded));
+  }
+  if (catalog->configs.empty()) {
+    return Status::NotFound("no config_*.pdx files in '" + dir + "'");
+  }
+  catalog->optimizer = std::make_unique<WhatIfOptimizer>(catalog->schema);
+  catalog->source = std::make_unique<SignatureCachingCostSource>(
+      *catalog->optimizer, *catalog->workload, catalog->configs);
+  catalog->bounds_deriver = std::make_unique<CostBoundsDeriver>(
+      *catalog->optimizer, *catalog->workload, Configuration(),
+      UnionConfiguration(catalog->configs));
+  catalog->bounds = std::make_unique<WorkloadBoundsCache>(
+      catalog->bounds_deriver.get(), &catalog->configs);
+  // The dense (query x config) cell-seen table plus, worst case, one
+  // memo entry per cell dominate the warm footprint; the artifacts
+  // themselves are small by comparison.
+  const size_t cells =
+      catalog->workload->size() * catalog->configs.size();
+  catalog->approx_bytes = cells * 48 + catalog->workload->size() * 256;
+  return catalog;
+}
+
+WarmStateRegistry::WarmStateRegistry(Options options)
+    : options_(std::move(options)) {
+  if (options_.max_catalogs == 0) options_.max_catalogs = 1;
+}
+
+size_t WarmStateRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void WarmStateRegistry::EvictLocked() {
+  auto over_bounds = [&] {
+    if (entries_.size() > options_.max_catalogs) return true;
+    if (options_.max_resident_bytes == 0) return false;
+    size_t bytes = 0;
+    for (const auto& [dir, e] : entries_) {
+      if (e.future.valid() &&
+          e.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        const LoadOutcome& out = e.future.get();
+        if (out.catalog != nullptr) bytes += out.catalog->approx_bytes;
+      }
+    }
+    return bytes > options_.max_resident_bytes;
+  };
+  while (over_bounds()) {
+    // LRU among evictable entries: load finished and no session holds
+    // the catalog (use_count == 1 means the future's copy is the only
+    // reference). In-flight loads and in-use catalogs are pinned.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.future.valid() ||
+          it->second.future.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        continue;
+      }
+      const LoadOutcome& out = it->second.future.get();
+      if (out.catalog != nullptr && out.catalog.use_count() > 1) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything pinned: admit over
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<std::shared_ptr<WarmCatalog>> WarmStateRegistry::Acquire(
+    const std::string& dir) {
+  std::shared_future<LoadOutcome> future;
+  std::promise<LoadOutcome> promise;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(dir);
+    if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
+      future = it->second.future;
+    } else {
+      loader = true;
+      future = promise.get_future().share();
+      entries_[dir] = Entry{future, ++tick_};
+      EvictLocked();
+    }
+  }
+  if (loader) {
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    LoadOutcome out;
+    auto loaded = LoadWarmCatalog(dir);
+    if (loaded.ok()) {
+      out.catalog = std::move(*loaded);
+    } else {
+      out.status = loaded.status();
+    }
+    promise.set_value(out);
+    if (!out.status.ok()) {
+      // Don't cache the failure: a later Acquire (after the user fixes
+      // the artifacts) must retry the load.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(dir);
+      if (it != entries_.end() && it->second.future.valid() &&
+          it->second.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready &&
+          it->second.future.get().catalog == nullptr) {
+        entries_.erase(it);
+      }
+      return out.status;
+    }
+    return out.catalog;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  const LoadOutcome& out = future.get();  // blocks while a peer loads
+  if (!out.status.ok()) return out.status;
+  return out.catalog;
+}
+
+}  // namespace pdx::service

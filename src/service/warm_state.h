@@ -1,0 +1,132 @@
+// Copyright (c) the pdexplore authors.
+// Process-wide warm state of the selection daemon (DESIGN.md §12): the
+// expensive per-catalog objects — parsed artifacts, the what-if
+// optimizer, the 64-shard SignatureCachingCostSource and the §6.1
+// WorkloadBoundsCache — promoted from per-run stack objects (the batch
+// CLI rebuilds them from cold on every invocation) to shared services
+// that survive across sessions, so one session's what-if calls warm the
+// next session's cache. This is ROADMAP's "resident process with shared
+// warm state", and the reason the PR 7 warm regime is the daemon's
+// default rather than a model.
+//
+// Concurrency contract: a WarmCatalog is immutable after load except
+// for the internal caches, which are exactly-once-fill and safe under
+// concurrent sessions (SignatureCachingCostSource: per-entry call_once
+// over 64 shards; WorkloadBoundsCache: per-piece once protocol). The
+// registry deduplicates concurrent loads of the same directory with a
+// shared_future, so N sessions racing on a cold catalog pay exactly one
+// load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "core/cost_source.h"
+#include "core/fault.h"
+#include "optimizer/cost_bounds.h"
+#include "optimizer/what_if.h"
+#include "workload/workload.h"
+
+namespace pdx::service {
+
+/// Everything the daemon holds resident for one artifact directory.
+/// Heap-allocated and handed out as shared_ptr: the workload, optimizer,
+/// cost source and bounds cache all reference the schema (and each
+/// other), so the struct must never move once built.
+struct WarmCatalog {
+  std::string dir;
+  Schema schema;
+  std::unique_ptr<Workload> workload;
+  std::vector<Configuration> configs;
+  std::unique_ptr<WhatIfOptimizer> optimizer;
+  /// The shared what-if memo: bit-identical to an uncached source, so
+  /// selections stay deterministic however sessions interleave.
+  std::unique_ptr<SignatureCachingCostSource> source;
+  std::unique_ptr<CostBoundsDeriver> bounds_deriver;
+  /// The shared §6.1 interval service (dynamic-budget sessions).
+  std::unique_ptr<WorkloadBoundsCache> bounds;
+  /// Rough resident footprint used by the registry's size bound: the
+  /// dense cost-cell table dominates a warm catalog.
+  size_t approx_bytes = 0;
+
+  WarmCatalog() : schema("unloaded") {}
+  WarmCatalog(const WarmCatalog&) = delete;
+  WarmCatalog& operator=(const WarmCatalog&) = delete;
+};
+
+/// Loads a catalog from `dir` (schema.pdx, workload.pdx, config_*.pdx —
+/// the `pdx_tool gen` layout) and builds the shared services over it.
+Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(const std::string& dir);
+
+/// Admission control + eviction over warm catalogs, keyed by directory.
+///
+///   * Acquire() returns the resident catalog, or loads it exactly once
+///     when cold (concurrent acquirers of the same dir block on one
+///     shared_future — no duplicate loads, no torn state).
+///   * The registry keeps at most max_catalogs resident (and, when
+///     max_resident_bytes > 0, at most that many approximate bytes):
+///     admission of a new catalog evicts least-recently-used entries
+///     first. An entry still referenced by an in-flight session
+///     (use_count > 1) is never evicted — sessions own their catalog for
+///     their whole lifetime; eviction only drops the registry's
+///     reference, and the memory is reclaimed when the last session
+///     finishes.
+///   * A failed load is not cached: the next Acquire() of that dir
+///     retries.
+///
+/// Thread-safe; every method may be called from concurrent sessions.
+class WarmStateRegistry {
+ public:
+  struct Options {
+    size_t max_catalogs = 4;
+    /// 0 disables the byte bound (the count bound always applies).
+    size_t max_resident_bytes = 0;
+  };
+
+  WarmStateRegistry() : WarmStateRegistry(Options()) {}
+  explicit WarmStateRegistry(Options options);
+
+  Result<std::shared_ptr<WarmCatalog>> Acquire(const std::string& dir);
+
+  /// Cold loads performed (each is one full artifact parse + service
+  /// build), warm hits served, and evictions — the admission economics
+  /// the stats op and /metrics report.
+  uint64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Currently resident catalogs.
+  size_t size() const;
+
+ private:
+  struct LoadOutcome {
+    Status status = Status::OK();
+    std::shared_ptr<WarmCatalog> catalog;
+  };
+  struct Entry {
+    std::shared_future<LoadOutcome> future;
+    uint64_t last_used = 0;
+  };
+
+  /// Drops LRU evictable entries until the bounds hold. Caller holds mu_.
+  void EvictLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  uint64_t tick_ = 0;
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace pdx::service

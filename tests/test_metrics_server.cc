@@ -40,6 +40,27 @@ TEST(MetricsHttpResponseTest, UnknownPathIs404AndNonGetIs405) {
             0u);
 }
 
+TEST(MetricsHttpResponseTest, StripsQueryStringAndFragmentBeforeDispatch) {
+  // Prometheus scrapers append query parameters; dispatch must ignore
+  // them (this 404ed before the strip).
+  EXPECT_EQ(MetricsHttpResponse("GET /metrics?x=y HTTP/1.1")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  EXPECT_EQ(MetricsHttpResponse("GET /metrics? HTTP/1.1")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  EXPECT_EQ(MetricsHttpResponse("GET /healthz#frag HTTP/1.1")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  EXPECT_EQ(MetricsHttpResponse("GET /metrics?format=text#a HTTP/1.1")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  // The query string must not rescue an unknown path.
+  EXPECT_EQ(MetricsHttpResponse("GET /nope?x=/metrics HTTP/1.1")
+                .rfind("HTTP/1.1 404 Not Found\r\n", 0),
+            0u);
+}
+
 TEST(MetricsHttpResponseTest, CountsRequests) {
   Counter* c = Registry::Global().GetCounter("pdx_exporter_requests_total");
   const uint64_t before = c->Value();
@@ -121,6 +142,85 @@ TEST(ServeMetricsTest, ServesOverRealSocketsAndStopsAtMaxRequests) {
   EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
   EXPECT_NE(metrics.find("pdx_test_serve_total"), std::string::npos);
   EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+}
+
+TEST(ReadUntilDelimiterTest, CompleteEofDeadlineAndSizeBound) {
+  int sp[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  // Complete: delimiter present (split across writes).
+  std::string out;
+  std::thread writer([&] {
+    send(sp[1], "ab\r", 3, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    send(sp[1], "\nrest", 5, 0);
+  });
+  EXPECT_EQ(ReadUntilDelimiter(sp[0], "\r\n", 8192, 5000, &out),
+            ReadOutcome::kComplete);
+  writer.join();
+  EXPECT_EQ(out.rfind("ab\r\n", 0), 0u);
+
+  // Deadline: nothing further arrives within the budget.
+  out.clear();
+  EXPECT_EQ(ReadUntilDelimiter(sp[0], "\r\n\r\n", 8192, 50, &out),
+            ReadOutcome::kDeadline);
+
+  // Size bound: bytes keep coming but never the delimiter.
+  std::string big(4096, 'x');
+  send(sp[1], big.data(), big.size(), 0);
+  out.clear();
+  EXPECT_EQ(ReadUntilDelimiter(sp[0], "\r\n\r\n", 1024, 1000, &out),
+            ReadOutcome::kTooLarge);
+
+  // EOF: peer closes with no delimiter.
+  close(sp[1]);
+  out.clear();
+  EXPECT_EQ(ReadUntilDelimiter(sp[0], "\r\n\r\n", 8192, 1000, &out),
+            ReadOutcome::kEof);
+  close(sp[0]);
+}
+
+// The ISSUE-9 regression: a client that connects and sends nothing must
+// not block the (sequential) accept loop — the healthy scraper behind it
+// has to be answered once the stalled connection's deadline fires.
+TEST(ServeMetricsTest, StalledClientCannotBlockHealthyScraper) {
+  MetricsServerOptions opt;
+  opt.port = ReserveLoopbackPort();
+  opt.max_requests = 2;
+  opt.read_deadline_ms = 200;
+  Status served = Status::OK();
+  std::thread server([&] { served = ServeMetrics(opt); });
+
+  // Stalled client: connect, send nothing, hold the socket open.
+  int stalled = -1;
+  for (int i = 0; i < 5000 && stalled < 0; ++i) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opt.port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      stalled = fd;
+    } else {
+      close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_GE(stalled, 0);
+
+  // Healthy scraper: must get 200 despite the stalled peer ahead of it.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string metrics = HttpGet(opt.port, "/metrics");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  server.join();
+  close(stalled);
+
+  ASSERT_TRUE(served.ok()) << served.message();
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  // The healthy request waits at most the stalled connection's deadline
+  // (plus slack for slow CI); it provably does not wait forever.
+  EXPECT_LT(elapsed.count(), 5000);
 }
 
 }  // namespace

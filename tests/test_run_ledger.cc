@@ -121,6 +121,56 @@ TEST(RunLedgerTest, CollidingNamesGetSuffixed) {
   EXPECT_EQ(files->size(), 3u);
 }
 
+TEST(RunLedgerTest, WriteIsAtomicNoTempFilesSurvive) {
+  std::string dir = FreshDir("pdx_ledger_atomic");
+  RunManifest m = SampleManifest();
+  m.started_unix_ms = 5;
+  Result<std::string> written = WriteManifest(m, dir);
+  ASSERT_TRUE(written.ok()) << written.status().message();
+  // The write goes through a temp file + rename; after success only the
+  // final .json may exist, and the listing (which filters on the .json
+  // suffix) would never have picked the temp name up anyway.
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+    EXPECT_EQ(e.path().string().find(".tmp-"), std::string::npos) << e.path();
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(RunLedgerTest, TornManifestIsSkippableNotFatal) {
+  std::string dir = FreshDir("pdx_ledger_torn");
+  RunManifest good = SampleManifest();
+  good.started_unix_ms = 1000;
+  ASSERT_TRUE(WriteManifest(good, dir).ok());
+  // Simulate a crash mid-write under the OLD in-place scheme: a .json
+  // file holding a truncated prefix of a manifest (cut inside the
+  // top-level scalars, before "tool").
+  std::string torn_path = dir + "/0500-compare.json";
+  std::FILE* f = std::fopen(torn_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\n\"gi", f);
+  std::fclose(f);
+
+  // The torn file reads as an error with its origin named...
+  Result<RunManifest> torn = ReadManifest(torn_path);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_NE(torn.status().ToString().find("0500-compare.json"),
+            std::string::npos);
+  // ...while listing still returns every entry and the healthy one
+  // still reads — the reader contract `pdx_tool runs list` builds its
+  // skip-and-warn on.
+  Result<std::vector<std::string>> files = ListManifestFiles(dir);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  int readable = 0;
+  for (const std::string& name : *files) {
+    if (ReadManifest(dir + "/" + name).ok()) ++readable;
+  }
+  EXPECT_EQ(readable, 1);
+}
+
 TEST(LedgerDiffTest, RanksPhasesByAbsoluteDeltaThenMovedCounters) {
   RunManifest a;
   a.tool = "compare";
