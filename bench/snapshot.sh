@@ -7,9 +7,11 @@
 #   ./bench/snapshot.sh [build-dir]
 #
 # CI's perf-smoke job gates on the micro snapshot (batched/scalar speedup
-# ratio), the budget snapshot (static/dynamic optimizer-call ratio) and
-# the serve snapshot (first/last-quartile cold-call warm ratio) — all are
-# same-machine ratios, so runner hardware churn mostly cancels. The two
+# ratio), the budget snapshot (static/dynamic optimizer-call ratio), the
+# serve snapshot (first/last-quartile cold-call warm ratio) and the skew
+# snapshot (stratified/unstratified samples-to-alpha at Zipf 0.99) — all
+# are same-machine ratios (the skew one is even hardware-free: it counts
+# samples, not seconds), so runner hardware churn mostly cancels. The two
 # table snapshots are reference points for EXPERIMENTS.md, not gated.
 set -euo pipefail
 
@@ -38,4 +40,7 @@ echo "== bench_budget (static vs dynamic optimizer-call ratio) =="
 echo "== bench_serve (daemon session replay, warm-cache ratio) =="
 "$BUILD_DIR/bench/bench_serve" --quick --json=BENCH_serve.json
 
-echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json BENCH_budget.json BENCH_serve.json"
+echo "== bench_skew_sweep (stratified/unstratified samples-to-alpha) =="
+"$BUILD_DIR/bench/bench_skew_sweep" --quick --json=BENCH_skew.json
+
+echo "Snapshots written: BENCH_micro.json BENCH_table2.json BENCH_table3.json BENCH_budget.json BENCH_serve.json BENCH_skew.json"

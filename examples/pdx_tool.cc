@@ -25,6 +25,7 @@
 #include <cstring>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "validation/calibration.h"
 #include "validation/golden.h"
 #include "validation/property.h"
+#include "workload/scenario.h"
 #include "workload/tpcd_qgen.h"
 
 using namespace pdx;
@@ -198,6 +200,23 @@ bool FaultsFlag(int argc, char** argv, FaultSpec* out, bool* engaged) {
   return true;
 }
 
+// --workload=SPEC (e.g. "zipf:0.9,rw:0.8,n:2000,seed:7"): run against a
+// generated scenario workload (workload/scenario.h) over the directory's
+// saved schema instead of its workload.pdx. The saved config_*.pdx
+// candidates still load from the directory, so the same designs can be
+// priced under different traffic shapes.
+bool WorkloadFlag(int argc, char** argv, std::optional<ScenarioOptions>* out) {
+  out->reset();
+  if (!FlagPresent(argc, argv, "workload")) return true;
+  auto parsed = ParseScenarioSpec(FlagValue(argc, argv, "workload", ""));
+  if (!parsed.ok()) {
+    std::printf("error: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
 // The command line after the executable name, for the run-ledger
 // manifest's `flags` field.
 std::string JoinArgs(int argc, char** argv) {
@@ -268,12 +287,12 @@ int Usage() {
       "  pdx_tool gen     --dir=DIR [--queries=2000] [--configs=6] [--seed=1]\n"
       "  pdx_tool compare --dir=DIR [--alpha=0.9] [--delta-pct=0] [--scheme=delta|indep]\n"
       "                   [--cache=off|exact|signature] [--no-cache]\n"
-      "                   [--budget=static|dynamic]\n"
+      "                   [--budget=static|dynamic] [--workload=SPEC]\n"
       "                   [--faults=p_fail,p_slow[,seed]]\n"
       "                   [--trace=PATH] [--metrics[=SPEC]] [--ledger[=DIR]]\n"
       "  pdx_tool tune    --dir=DIR [--alpha=0.9] [--max-structures=8]\n"
       "                   [--budget-mb=0] [--cache=off|exact|signature]\n"
-      "                   [--budget=static|dynamic]\n"
+      "                   [--budget=static|dynamic] [--workload=SPEC]\n"
       "                   [--faults=p_fail,p_slow[,seed]] [--seed=42]\n"
       "                   [--metrics[=SPEC]] [--ledger[=DIR]]\n"
       "  pdx_tool report  --trace=PATH [--profile=OUT.json]\n"
@@ -326,6 +345,18 @@ int Usage() {
       "  envelopes separate. The final selection is unchanged; only the\n"
       "  number of real optimizer calls drops. 'static' (the default) is\n"
       "  the paper-faithful behavior.\n"
+      "\n"
+      "  --workload=SPEC replaces the directory's workload.pdx with a\n"
+      "  generated scenario workload over the saved TPC-D schema (the\n"
+      "  saved configurations still load). SPEC is a comma list whose\n"
+      "  first token picks the template-popularity law — uniform, zipf:T\n"
+      "  (theta >= 0) or selfsim:H (hot fraction in [0.5, 1)) — followed\n"
+      "  by optional rw:R (read fraction, default 1; the rest draws from\n"
+      "  the DML bank), disp:D (parameter-dispersion scale, default 1),\n"
+      "  n:N (statements, default 2000), seed:S and lookups:0|1. Example:\n"
+      "  --workload=zipf:0.9,rw:0.8,n:4000,seed:7. Generation is seeded\n"
+      "  and byte-identical at every thread count; serve sessions accept\n"
+      "  the same spec as a \"workload\" field.\n"
       "\n"
       "  --faults=p_fail,p_slow[,seed] injects deterministic what-if\n"
       "  failures and latency spikes and engages the fault-tolerant\n"
@@ -448,6 +479,20 @@ std::string ConfigPath(const std::string& dir, size_t i) {
   return dir + "/config_" + std::to_string(i) + ".pdx";
 }
 
+// Resolves the session workload: the generated scenario when --workload
+// was given (TPC-D schemas only), else the directory's workload.pdx.
+Result<Workload> ResolveWorkload(
+    const std::string& dir, const Schema& schema,
+    const std::optional<ScenarioOptions>& scenario) {
+  if (!scenario.has_value()) return LoadWorkload(WorkloadPath(dir), schema);
+  if (schema.name() != "tpcd") {
+    return Status::InvalidArgument(
+        "--workload scenarios instantiate the TPC-D template bank; schema '" +
+        schema.name() + "' is not tpcd");
+  }
+  return GenerateScenarioWorkload(schema, *scenario);
+}
+
 int RunGen(int argc, char** argv) {
   std::string dir = FlagValue(argc, argv, "dir", "");
   if (dir.empty()) return Usage();
@@ -524,13 +569,15 @@ int RunCompare(int argc, char** argv) {
   bool faults_on = false;
   std::string ledger_dir;
   bool ledger_on = false;
+  std::optional<ScenarioOptions> scenario;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
       !DoubleFlag(argc, argv, "delta-pct", 0.0, &delta_pct) ||
       !CacheFlag(argc, argv, &cache_mode) ||
       !BudgetFlag(argc, argv, &budget_policy) ||
       !TraceFlag(argc, argv, &trace_path) ||
       !FaultsFlag(argc, argv, &fault_spec, &faults_on) ||
-      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on)) {
+      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on) ||
+      !WorkloadFlag(argc, argv, &scenario)) {
     return 1;
   }
   std::string scheme = FlagValue(argc, argv, "scheme", "delta");
@@ -551,7 +598,7 @@ int RunCompare(int argc, char** argv) {
     std::printf("error: %s\n", schema.status().ToString().c_str());
     return 1;
   }
-  auto workload = LoadWorkload(WorkloadPath(dir), *schema);
+  auto workload = ResolveWorkload(dir, *schema, scenario);
   if (!workload.ok()) {
     std::printf("error: %s\n", workload.status().ToString().c_str());
     return 1;
@@ -560,6 +607,12 @@ int RunCompare(int argc, char** argv) {
   if (!configs.ok()) {
     std::printf("error: %s\n", configs.status().ToString().c_str());
     return 1;
+  }
+  if (scenario.has_value()) {
+    std::printf("scenario workload %s: %zu queries, %zu templates, %.0f%% "
+                "DML\n",
+                FormatScenarioSpec(*scenario).c_str(), workload->size(),
+                workload->num_templates(), 100.0 * workload->DmlFraction());
   }
   std::printf("loaded %zu queries, %zu configurations\n", workload->size(),
               configs->size());
@@ -857,6 +910,7 @@ int RunTune(int argc, char** argv) {
   bool faults_on = false;
   std::string ledger_dir;
   bool ledger_on = false;
+  std::optional<ScenarioOptions> scenario;
   if (!DoubleFlag(argc, argv, "alpha", 0.9, &alpha) ||
       !U64Flag(argc, argv, "max-structures", 8, &max_structures) ||
       !U64Flag(argc, argv, "budget-mb", 0, &budget_mb) ||
@@ -864,7 +918,8 @@ int RunTune(int argc, char** argv) {
       !CacheFlag(argc, argv, &cache_mode) ||
       !BudgetFlag(argc, argv, &budget_policy) ||
       !FaultsFlag(argc, argv, &fault_spec, &faults_on) ||
-      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on)) {
+      !LedgerFlag(argc, argv, &ledger_dir, &ledger_on) ||
+      !WorkloadFlag(argc, argv, &scenario)) {
     return 1;
   }
   if (faults_on && cache_mode == WhatIfCacheMode::kSignature) {
@@ -882,10 +937,14 @@ int RunTune(int argc, char** argv) {
     std::printf("error: %s\n", schema.status().ToString().c_str());
     return 1;
   }
-  auto workload = LoadWorkload(WorkloadPath(dir), *schema);
+  auto workload = ResolveWorkload(dir, *schema, scenario);
   if (!workload.ok()) {
     std::printf("error: %s\n", workload.status().ToString().c_str());
     return 1;
+  }
+  if (scenario.has_value()) {
+    std::printf("scenario workload %s\n",
+                FormatScenarioSpec(*scenario).c_str());
   }
   std::printf("loaded %zu queries, %zu templates\n", workload->size(),
               workload->num_templates());

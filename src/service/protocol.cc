@@ -6,6 +6,8 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/fault.h"
+#include "workload/scenario.h"
 
 namespace pdx::service {
 
@@ -122,11 +124,16 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
   GetString(line, "\"id\":", &req.id);
   GetString(line, "\"scheme\":", &req.scheme);
   GetString(line, "\"budget\":", &req.budget);
+  GetString(line, "\"workload\":", &req.workload);
+  GetString(line, "\"faults\":", &req.faults);
   PDX_RETURN_IF_ERROR(GetUint(line, "\"seed\":", &req.seed));
   PDX_RETURN_IF_ERROR(GetDouble(line, "\"alpha\":", &req.alpha));
   PDX_RETURN_IF_ERROR(
       GetUint(line, "\"max_structures\":", &req.max_structures));
   PDX_RETURN_IF_ERROR(GetUint(line, "\"budget_mb\":", &req.budget_mb));
+  PDX_RETURN_IF_ERROR(
+      GetUint(line, "\"retry_attempts\":", &req.retry_attempts));
+  PDX_RETURN_IF_ERROR(GetDouble(line, "\"deadline_ms\":", &req.deadline_ms));
   if (req.op != "ping" && req.op != "stats" && req.op != "compare" &&
       req.op != "tune" && req.op != "shutdown") {
     return Status::InvalidArgument("unknown op '" + req.op + "'");
@@ -143,6 +150,26 @@ Result<ServiceRequest> ParseRequestLine(const std::string& line) {
   if (req.budget != "static" && req.budget != "dynamic") {
     return Status::InvalidArgument("budget expects static or dynamic, got '" +
                                    req.budget + "'");
+  }
+  if (!req.workload.empty()) {
+    auto scenario = ParseScenarioSpec(req.workload);
+    if (!scenario.ok()) return scenario.status();
+    // Canonical form: equivalent specs map to one warm-catalog key.
+    req.workload = FormatScenarioSpec(*scenario);
+  }
+  if (!req.faults.empty()) {
+    if (req.op == "tune") {
+      return Status::InvalidArgument(
+          "faults is incompatible with tune sessions (the shared signature "
+          "cache's cross-configuration call sharing bypasses injection)");
+    }
+    PDX_RETURN_IF_ERROR(ParseFaultSpec(req.faults).status());
+  }
+  if (req.retry_attempts == 0 || req.retry_attempts > 100) {
+    return Status::InvalidArgument("retry_attempts expects 1..100");
+  }
+  if (!(req.deadline_ms > 0.0)) {
+    return Status::InvalidArgument("deadline_ms expects a positive number");
   }
   return req;
 }
@@ -192,10 +219,13 @@ std::string CompareResponse(const ServiceRequest& req,
   out += StringFormat(
       ",\"best\":%u,\"pr_cs\":%.17g,\"queries_sampled\":%llu,"
       "\"rounds\":%llu,\"active_configs\":%u,\"calls_delta\":%llu,"
+      "\"whatif_failures\":%llu,\"degraded_cells\":%llu,"
       "\"wall_ms\":%.3f,\"fingerprint\":\"%016llx\",\"estimates\":[",
       r.best, r.pr_cs, static_cast<unsigned long long>(r.queries_sampled),
       static_cast<unsigned long long>(r.rounds), r.active_configs,
-      static_cast<unsigned long long>(calls_delta), wall_ms,
+      static_cast<unsigned long long>(calls_delta),
+      static_cast<unsigned long long>(r.whatif_failures),
+      static_cast<unsigned long long>(r.degraded_cells), wall_ms,
       static_cast<unsigned long long>(FingerprintHash(fp)));
   for (size_t i = 0; i < r.estimates.size(); ++i) {
     out += StringFormat("%s%.17g", i == 0 ? "" : ",", r.estimates[i]);

@@ -11,9 +11,10 @@
 //   {"op":"ping"}
 //   {"op":"stats","dir":DIR}              shared-cache economics of DIR
 //   {"op":"compare","dir":DIR,"seed":N,"alpha":A,"scheme":"delta|indep",
-//    "budget":"static|dynamic"}           Algorithm-1 selection over DIR
+//    "budget":"static|dynamic","workload":SPEC,"faults":"pf,ps[,seed]",
+//    "retry_attempts":R,"deadline_ms":D}  Algorithm-1 selection over DIR
 //   {"op":"tune","dir":DIR,"seed":N,"alpha":A,"max_structures":M,
-//    "budget_mb":B}                       greedy tuning over DIR
+//    "budget_mb":B,"workload":SPEC}       greedy tuning over DIR
 //   {"op":"shutdown"}                     drain in-flight sessions, exit
 // Optional on every request: "id" (echoed back verbatim).
 //
@@ -45,6 +46,22 @@ struct ServiceRequest {
   std::string budget = "static";
   uint64_t max_structures = 8;
   uint64_t budget_mb = 0;
+  /// Scenario-workload spec (workload/scenario.h) replacing the
+  /// directory's workload.pdx for this session; canonicalized by the
+  /// parser so equivalent specs share one warm catalog. Empty = the
+  /// saved workload.
+  std::string workload;
+  /// Per-session fault injection, "p_fail,p_slow[,seed]" as in the batch
+  /// CLI's --faults; empty = no injection. compare only (the tune path
+  /// runs on the shared signature cache, whose cross-configuration call
+  /// sharing bypasses the injection point — same rule as the CLI).
+  std::string faults;
+  /// Retry policy of the session's fault-tolerant executor. Fields a
+  /// request omits keep the RetryPolicy DEFAULTS (4 attempts, 100 ms
+  /// deadline) — they are never silently zero, so setting "faults" alone
+  /// runs under the same policy as the batch CLI.
+  uint64_t retry_attempts = RetryPolicy{}.max_attempts;
+  double deadline_ms = RetryPolicy{}.deadline_ms;
 };
 
 /// Parses one request line. Rejects lines with no "op", unknown ops,

@@ -13,6 +13,7 @@
 #include <deque>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "common/obs.h"
 #include "common/run_ledger.h"
 #include "common/string_util.h"
+#include "core/fault.h"
 #include "core/selector.h"
 #include "tuner/greedy_tuner.h"
 
@@ -179,7 +181,7 @@ void SelectionService::WriteSessionManifest(const char* tool,
 }
 
 std::string SelectionService::ExecuteCompare(const ServiceRequest& req) {
-  auto catalog = registry_.Acquire(req.dir);
+  auto catalog = registry_.Acquire(req.dir, req.workload);
   if (!catalog.ok()) return ErrorResponse(req, catalog.status().ToString());
   WarmCatalog& cat = **catalog;
   SelectorOptions sopt;
@@ -190,9 +192,29 @@ std::string SelectionService::ExecuteCompare(const ServiceRequest& req) {
     sopt.budget_policy = BudgetPolicy::kDynamic;
     sopt.bounds = cat.bounds.get();
   }
+  // Per-session fault injection above the shared memo: the injector is
+  // this session's private view of the catalog source, so concurrent
+  // fault-free sessions never observe its failures, and the warm cache
+  // only ever absorbs calls that survived injection. The policy fields a
+  // request omits keep the RetryPolicy defaults (protocol.h) — "faults"
+  // alone runs under the batch CLI's exact policy.
+  CostSource* source = cat.source.get();
+  std::optional<FaultInjectingCostSource> injector;
+  if (!req.faults.empty()) {
+    auto spec = ParseFaultSpec(req.faults);
+    if (!spec.ok()) return ErrorResponse(req, spec.status().ToString());
+    injector.emplace(cat.source.get(), *spec);
+    injector->set_deadline_ms(req.deadline_ms);
+    source = &*injector;
+    sopt.exec.enabled = true;
+    sopt.exec.retry.max_attempts = static_cast<uint32_t>(req.retry_attempts);
+    sopt.exec.retry.deadline_ms = req.deadline_ms;
+    sopt.exec.seed = spec->seed;
+    sopt.bounds = cat.bounds.get();  // degrade-to-bounds fallback
+  }
   const uint64_t calls_before = cat.source->num_calls();
   const uint64_t t0 = obs::NowNs();
-  ConfigurationSelector selector(cat.source.get(), sopt);
+  ConfigurationSelector selector(source, sopt);
   Rng rng(req.seed);
   SelectionResult r = selector.Run(&rng);
   const double wall_ms = static_cast<double>(obs::NowNs() - t0) / 1e6;
@@ -202,16 +224,19 @@ std::string SelectionService::ExecuteCompare(const ServiceRequest& req) {
   obs::Registry::Global()
       .GetHistogram("pdx_serve_session_latency")
       ->Record(obs::NowNs() - t0);
-  WriteSessionManifest("serve-compare",
-                       StringFormat("compare dir=%s seed=%llu",
-                                    req.dir.c_str(),
-                                    static_cast<unsigned long long>(req.seed)),
-                       req.seed, wall_ms);
+  WriteSessionManifest(
+      "serve-compare",
+      StringFormat("compare dir=%s seed=%llu workload=%s faults=%s",
+                   req.dir.c_str(),
+                   static_cast<unsigned long long>(req.seed),
+                   req.workload.empty() ? "-" : req.workload.c_str(),
+                   req.faults.empty() ? "-" : req.faults.c_str()),
+      req.seed, wall_ms);
   return CompareResponse(req, r, wall_ms, calls_delta);
 }
 
 std::string SelectionService::ExecuteTune(const ServiceRequest& req) {
-  auto catalog = registry_.Acquire(req.dir);
+  auto catalog = registry_.Acquire(req.dir, req.workload);
   if (!catalog.ok()) return ErrorResponse(req, catalog.status().ToString());
   WarmCatalog& cat = **catalog;
   std::vector<QueryId> ids(cat.workload->size());
@@ -243,7 +268,7 @@ std::string SelectionService::ExecuteTune(const ServiceRequest& req) {
 }
 
 std::string SelectionService::ExecuteStats(const ServiceRequest& req) {
-  auto catalog = registry_.Acquire(req.dir);
+  auto catalog = registry_.Acquire(req.dir, req.workload);
   if (!catalog.ok()) return ErrorResponse(req, catalog.status().ToString());
   WarmCatalog& cat = **catalog;
   SharedCacheStats s;

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "optimizer/serialization.h"
+#include "workload/scenario.h"
 
 namespace pdx::service {
 
@@ -31,15 +32,29 @@ Configuration UnionConfiguration(const std::vector<Configuration>& configs) {
 
 }  // namespace
 
-Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(const std::string& dir) {
+Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(
+    const std::string& dir, const std::string& workload_spec) {
   auto catalog = std::make_shared<WarmCatalog>();
   catalog->dir = dir;
+  catalog->workload_spec = workload_spec;
   auto schema = LoadSchema(dir + "/schema.pdx");
   if (!schema.ok()) return schema.status();
   catalog->schema = std::move(*schema);
-  auto workload = LoadWorkload(dir + "/workload.pdx", catalog->schema);
-  if (!workload.ok()) return workload.status();
-  catalog->workload = std::make_unique<Workload>(std::move(*workload));
+  if (workload_spec.empty()) {
+    auto workload = LoadWorkload(dir + "/workload.pdx", catalog->schema);
+    if (!workload.ok()) return workload.status();
+    catalog->workload = std::make_unique<Workload>(std::move(*workload));
+  } else {
+    if (catalog->schema.name() != "tpcd") {
+      return Status::InvalidArgument(
+          "workload scenarios instantiate the TPC-D template bank; schema '" +
+          catalog->schema.name() + "' is not tpcd");
+    }
+    auto scenario = ParseScenarioSpec(workload_spec);
+    if (!scenario.ok()) return scenario.status();
+    catalog->workload = std::make_unique<Workload>(
+        GenerateScenarioWorkload(catalog->schema, *scenario));
+  }
   for (size_t c = 0;; ++c) {
     auto loaded = LoadConfiguration(
         StringFormat("%s/config_%zu.pdx", dir.c_str(), c), catalog->schema);
@@ -116,27 +131,31 @@ void WarmStateRegistry::EvictLocked() {
 }
 
 Result<std::shared_ptr<WarmCatalog>> WarmStateRegistry::Acquire(
-    const std::string& dir) {
+    const std::string& dir, const std::string& workload_spec) {
+  // \x1f cannot appear in a path or a canonical spec, so the composite
+  // key never collides with a plain directory key.
+  const std::string key =
+      workload_spec.empty() ? dir : dir + "\x1f" + workload_spec;
   std::shared_future<LoadOutcome> future;
   std::promise<LoadOutcome> promise;
   bool loader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(dir);
+    auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.last_used = ++tick_;
       future = it->second.future;
     } else {
       loader = true;
       future = promise.get_future().share();
-      entries_[dir] = Entry{future, ++tick_};
+      entries_[key] = Entry{future, ++tick_};
       EvictLocked();
     }
   }
   if (loader) {
     loads_.fetch_add(1, std::memory_order_relaxed);
     LoadOutcome out;
-    auto loaded = LoadWarmCatalog(dir);
+    auto loaded = LoadWarmCatalog(dir, workload_spec);
     if (loaded.ok()) {
       out.catalog = std::move(*loaded);
     } else {
@@ -147,7 +166,7 @@ Result<std::shared_ptr<WarmCatalog>> WarmStateRegistry::Acquire(
       // Don't cache the failure: a later Acquire (after the user fixes
       // the artifacts) must retry the load.
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = entries_.find(dir);
+      auto it = entries_.find(key);
       if (it != entries_.end() && it->second.future.valid() &&
           it->second.future.wait_for(std::chrono::seconds(0)) ==
               std::future_status::ready &&

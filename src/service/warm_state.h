@@ -43,6 +43,12 @@ namespace pdx::service {
 /// other), so the struct must never move once built.
 struct WarmCatalog {
   std::string dir;
+  /// Canonical scenario spec this catalog's workload was generated from
+  /// (workload/scenario.h), or empty when the workload is the saved
+  /// workload.pdx. Part of the registry key: sessions naming the same
+  /// spec share one warm catalog, sessions naming different specs never
+  /// cross-pollinate caches.
+  std::string workload_spec;
   Schema schema;
   std::unique_ptr<Workload> workload;
   std::vector<Configuration> configs;
@@ -64,9 +70,14 @@ struct WarmCatalog {
 
 /// Loads a catalog from `dir` (schema.pdx, workload.pdx, config_*.pdx —
 /// the `pdx_tool gen` layout) and builds the shared services over it.
-Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(const std::string& dir);
+/// A non-empty `workload_spec` (canonical scenario spec) replaces the
+/// saved workload.pdx with a generated scenario workload; the schema
+/// must be tpcd, since scenarios instantiate the TPC-D template bank.
+Result<std::shared_ptr<WarmCatalog>> LoadWarmCatalog(
+    const std::string& dir, const std::string& workload_spec = "");
 
-/// Admission control + eviction over warm catalogs, keyed by directory.
+/// Admission control + eviction over warm catalogs, keyed by
+/// (directory, workload spec).
 ///
 ///   * Acquire() returns the resident catalog, or loads it exactly once
 ///     when cold (concurrent acquirers of the same dir block on one
@@ -94,7 +105,10 @@ class WarmStateRegistry {
   WarmStateRegistry() : WarmStateRegistry(Options()) {}
   explicit WarmStateRegistry(Options options);
 
-  Result<std::shared_ptr<WarmCatalog>> Acquire(const std::string& dir);
+  /// Keyed by (dir, workload_spec): a scenario session warms — and is
+  /// warmed by — only sessions naming the same canonical spec.
+  Result<std::shared_ptr<WarmCatalog>> Acquire(
+      const std::string& dir, const std::string& workload_spec = "");
 
   /// Cold loads performed (each is one full artifact parse + service
   /// build), warm hits served, and evictions — the admission economics

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "common/binomial.h"
+#include "common/zipf.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/running_stats.h"
@@ -20,10 +22,12 @@
 namespace pdx {
 
 std::string CalibrationCellSpec::Name() const {
-  return StringFormat(
+  std::string name = StringFormat(
       "%s/%s/%s/f%.2f",
       scheme == SamplingScheme::kDelta ? "delta" : "independent",
       stratify ? "strat" : "nostrat", WhatIfCacheModeName(cache), fault_rate);
+  if (template_skew > 0.0) name += StringFormat("/z%.2f", template_skew);
+  return name;
 }
 
 std::vector<CalibrationCellSpec> QuickCalibrationGrid() {
@@ -60,6 +64,19 @@ std::vector<CalibrationCellSpec> FullCalibrationGrid() {
       }
     }
   }
+  // Heavy-skew cells: Zipf template popularity over the same cost shapes.
+  // Stratum sizes span orders of magnitude, the regime §6.2's Cochran/skew
+  // bounds and Algorithm 2's allocation exist for. Both run the paper's
+  // default scheme (stratified Delta) and the same CP gate.
+  for (double skew : {0.9, 0.99}) {
+    CalibrationCellSpec spec;
+    spec.scheme = SamplingScheme::kDelta;
+    spec.stratify = true;
+    spec.cache = WhatIfCacheMode::kOff;
+    spec.fault_rate = 0.0;
+    spec.template_skew = skew;
+    grid.push_back(spec);
+  }
   return grid;
 }
 
@@ -86,7 +103,8 @@ struct GroundTruth {
   double g1_delta = 0.0;
 };
 
-GroundTruth MakeGroundTruth(const CalibrationOptions& opt) {
+GroundTruth MakeGroundTruth(const CalibrationOptions& opt,
+                            double template_skew) {
   PDX_CHECK(opt.num_queries > 0 && opt.num_configs >= 2);
   Rng rng(opt.ensemble_seed);
   const size_t t_count = std::min(opt.num_templates, opt.num_queries);
@@ -94,10 +112,18 @@ GroundTruth MakeGroundTruth(const CalibrationOptions& opt) {
   for (size_t t = 0; t < t_count; ++t) {
     template_scale[t] = 10.0 * std::pow(10.0, 1.0 * t / std::max<size_t>(1, t_count - 1));
   }
+  // template_skew = 0 keeps the uniform fill byte-identical to the
+  // historical grid; > 0 Zipf-weights assignments (after the first
+  // t_count queries, which still cover every template once).
+  std::optional<ZipfDistribution> popularity;
+  if (template_skew > 0.0) popularity.emplace(t_count, template_skew);
   std::vector<TemplateId> templates(opt.num_queries);
   for (size_t q = 0; q < opt.num_queries; ++q) {
-    templates[q] = q < t_count ? static_cast<TemplateId>(q)
-                               : static_cast<TemplateId>(rng.NextBounded(t_count));
+    templates[q] =
+        q < t_count ? static_cast<TemplateId>(q)
+                    : static_cast<TemplateId>(
+                          popularity ? popularity->Sample(&rng)
+                                     : rng.NextBounded(t_count));
   }
   rng.Shuffle(&templates);
   // Config 0 is best; config c carries a (1 + gap*c) tilt, so the
@@ -176,7 +202,7 @@ CalibrationCellResult CalibrateCell(const CalibrationCellSpec& spec,
                                     const CalibrationOptions& options,
                                     uint32_t cell_index) {
   PDX_CHECK(options.trials > 0);
-  GroundTruth gt = MakeGroundTruth(options);
+  GroundTruth gt = MakeGroundTruth(options, spec.template_skew);
 
   const uint64_t seed_base = TrialSeedBase(kCalibrationBenchId, cell_index);
   const std::string owner =
@@ -294,14 +320,15 @@ std::vector<CalibrationCellResult> RunCalibrationGrid(
 
 std::string CalibrationGridCsv(const std::vector<CalibrationCellResult>& r) {
   std::string out =
-      "scheme,stratified,cache,fault_rate,trials,successes,reached,"
-      "degraded_trials,alpha,empirical,cp_lower,cp_upper,wilson_lower,pass\n";
+      "scheme,stratified,cache,fault_rate,template_skew,trials,successes,"
+      "reached,degraded_trials,alpha,empirical,cp_lower,cp_upper,"
+      "wilson_lower,pass\n";
   for (const CalibrationCellResult& c : r) {
     out += StringFormat(
-        "%s,%d,%s,%.4f,%llu,%llu,%llu,%llu,%.4f,%.6f,%.6f,%.6f,%.6f,%d\n",
+        "%s,%d,%s,%.4f,%.4f,%llu,%llu,%llu,%llu,%.4f,%.6f,%.6f,%.6f,%.6f,%d\n",
         c.spec.scheme == SamplingScheme::kDelta ? "delta" : "independent",
         c.spec.stratify ? 1 : 0, WhatIfCacheModeName(c.spec.cache),
-        c.spec.fault_rate, (unsigned long long)c.trials,
+        c.spec.fault_rate, c.spec.template_skew, (unsigned long long)c.trials,
         (unsigned long long)c.successes, (unsigned long long)c.reached,
         (unsigned long long)c.degraded_trials, c.alpha, c.empirical,
         c.cp_lower, c.cp_upper, c.wilson_lower, c.passed ? 1 : 0);

@@ -46,8 +46,13 @@ struct CalibrationCellSpec {
   /// Fault level: p_fail = p_slow = fault_rate on every what-if call,
   /// executed under the default retry policy with bound degradation.
   double fault_rate = 0.0;
+  /// Template-popularity skew of the ground-truth instance: 0 keeps the
+  /// uniform template fill, > 0 draws template assignments Zipf(skew) so
+  /// stratum sizes span orders of magnitude (the §6.2 heavy-skew regime).
+  double template_skew = 0.0;
 
-  /// "delta/strat/exact/f0.05"-style stable cell name.
+  /// "delta/strat/exact/f0.05"-style stable cell name (heavy-skew cells
+  /// append a "/z0.90"-style suffix).
   std::string Name() const;
 };
 
@@ -100,7 +105,9 @@ struct CalibrationCellResult {
 std::vector<CalibrationCellSpec> QuickCalibrationGrid();
 
 /// The scheduled-CI grid: scheme x stratification x {off, exact} cache x
-/// {0, 0.05, 0.15} fault levels — 24 cells.
+/// {0, 0.05, 0.15} fault levels — 24 cells — plus two heavy-skew cells
+/// (Zipf s = 0.9 and s = 0.99 template popularity) gated by the same
+/// Clopper-Pearson bound: 26 cells total.
 std::vector<CalibrationCellSpec> FullCalibrationGrid();
 
 /// Runs one cell. `cell_index` selects the cell's trial-seed span within

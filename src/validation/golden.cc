@@ -19,6 +19,7 @@
 #include "core/selector.h"
 #include "optimizer/cost_bounds.h"
 #include "validation/property.h"
+#include "workload/scenario.h"
 
 #ifndef PDX_GOLDEN_DEFAULT_DIR
 #define PDX_GOLDEN_DEFAULT_DIR "tests/golden"
@@ -33,7 +34,8 @@ std::string GoldenDir() {
 }
 
 std::vector<std::string> GoldenCaseNames() {
-  return {"delta_stratified", "independent_unstratified", "fault_degraded"};
+  return {"delta_stratified", "independent_unstratified", "fault_degraded",
+          "zipf_scenario"};
 }
 
 namespace {
@@ -56,6 +58,39 @@ MatrixInstance BuildGoldenMatrix() {
                             : static_cast<TemplateId>(rng.NextBounded(templates));
   }
   rng.Shuffle(&inst.templates);
+  std::vector<double> scale(templates);
+  for (size_t t = 0; t < templates; ++t) {
+    scale[t] = 10.0 * std::pow(10.0, 2.0 * t / (templates - 1.0));
+  }
+  inst.costs.assign(q, std::vector<double>(configs, 0.0));
+  for (size_t i = 0; i < q; ++i) {
+    const double base = scale[inst.templates[i]] * rng.NextDouble(0.7, 1.3);
+    for (size_t c = 0; c < configs; ++c) {
+      inst.costs[i][c] = base * (1.0 + 0.03 * static_cast<double>(c)) *
+                         (1.0 + 0.04 * rng.NextDouble());
+    }
+  }
+  return inst;
+}
+
+/// Zipf-0.9 variant: the same cost texture as the canonical matrix, but
+/// the template stream comes from the scenario suite's PopularitySampler
+/// at Zipf 0.9 over 8 templates — the golden pins both the sampler's
+/// exact draw sequence and the stratified selector's split behavior under
+/// heavy popularity skew (rank 0 carries ~31% of the mass).
+MatrixInstance BuildZipfGoldenMatrix() {
+  Rng rng(0x21BF09ull);
+  MatrixInstance inst;
+  inst.seed = 0x21BF09ull;
+  inst.shape = MatrixShape::kUniform;
+  const size_t q = 160, configs = 4, templates = 8;
+  inst.num_configs = configs;
+  inst.num_templates = templates;
+  const PopularitySampler sampler(PopularityLaw::kZipfian, 0.9, templates);
+  inst.templates.resize(q);
+  for (size_t i = 0; i < q; ++i) {
+    inst.templates[i] = static_cast<TemplateId>(sampler.Sample(&rng));
+  }
   std::vector<double> scale(templates);
   for (size_t t = 0; t < templates; ++t) {
     scale[t] = 10.0 * std::pow(10.0, 2.0 * t / (templates - 1.0));
@@ -125,7 +160,8 @@ Status WriteStringToFile(const std::string& path, const std::string& content) {
 }  // namespace
 
 std::string ProduceGoldenContent(const std::string& name) {
-  const MatrixInstance inst = BuildGoldenMatrix();
+  const MatrixInstance inst =
+      name == "zipf_scenario" ? BuildZipfGoldenMatrix() : BuildGoldenMatrix();
   MatrixCostSource source(inst.costs, inst.templates, inst.num_configs);
 
   SelectorOptions opts;
@@ -158,6 +194,10 @@ std::string ProduceGoldenContent(const std::string& name) {
     opts.exec.retry.max_attempts = 2;
     opts.exec.seed = 0x601DE9EC;
     opts.bounds = &bounds;
+  } else if (name == "zipf_scenario") {
+    opts.scheme = SamplingScheme::kDelta;
+    opts.stratify = true;
+    run_seed = 0x601D0004ull;
   } else {
     PDX_CHECK_MSG(false, "unknown golden case name");
   }

@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "common/zipf.h"
 #include "common/string_util.h"
 #include "core/cost_source.h"
 #include "core/estimators.h"
@@ -55,6 +57,8 @@ const char* MatrixShapeName(MatrixShape shape) {
       return "single_query";
     case MatrixShape::kSparseAdvantage:
       return "sparse_advantage";
+    case MatrixShape::kZipfPopularity:
+      return "zipf_popularity";
   }
   return "unknown";
 }
@@ -76,7 +80,7 @@ MatrixInstance GenerateMatrixInstance(uint64_t seed) {
   Rng rng(seed);
   MatrixInstance inst;
   inst.seed = seed;
-  inst.shape = static_cast<MatrixShape>(rng.NextBounded(6));
+  inst.shape = static_cast<MatrixShape>(rng.NextBounded(7));
 
   size_t q = 0;
   switch (inst.shape) {
@@ -84,6 +88,7 @@ MatrixInstance GenerateMatrixInstance(uint64_t seed) {
       q = 1;
       break;
     case MatrixShape::kSparseAdvantage:
+    case MatrixShape::kZipfPopularity:
       q = static_cast<size_t>(rng.NextInt(20, 60));
       break;
     default:
@@ -96,13 +101,20 @@ MatrixInstance GenerateMatrixInstance(uint64_t seed) {
 
   inst.templates.resize(q);
   // Ensure every template id < num_templates appears at least once where
-  // the population allows it, then fill the rest randomly (possibly
-  // Zipf-popular later; uniform is enough for partition invariants).
+  // the population allows it, then fill the rest randomly — uniformly, or
+  // Zipf-weighted for the heavy-popularity shape (stratum sizes then span
+  // orders of magnitude, the regime Algorithm 2's allocation must survive).
+  std::optional<ZipfDistribution> popularity;
+  if (inst.shape == MatrixShape::kZipfPopularity) {
+    popularity.emplace(inst.num_templates, rng.NextDouble(0.8, 1.2));
+  }
   for (size_t i = 0; i < q; ++i) {
     inst.templates[i] =
         i < inst.num_templates
             ? static_cast<TemplateId>(i)
-            : static_cast<TemplateId>(rng.NextBounded(inst.num_templates));
+            : static_cast<TemplateId>(
+                  popularity ? popularity->Sample(&rng)
+                             : rng.NextBounded(inst.num_templates));
   }
   rng.Shuffle(&inst.templates);
 
@@ -174,6 +186,18 @@ MatrixInstance GenerateMatrixInstance(uint64_t seed) {
           inst.costs[i][c] = base;
         }
         if (inst.templates[i] == magic) inst.costs[i][0] *= 0.2;
+      }
+      break;
+    }
+    case MatrixShape::kZipfPopularity: {
+      // Costs are benign (kUniform-like); the stress is the stratum-size
+      // skew in the template map above.
+      for (size_t i = 0; i < q; ++i) {
+        const double base =
+            template_scale[inst.templates[i]] * rng.NextDouble(0.5, 1.5);
+        for (size_t c = 0; c < inst.num_configs; ++c) {
+          inst.costs[i][c] = base * config_factor[c];
+        }
       }
       break;
     }
@@ -477,10 +501,12 @@ std::string CheckFaultDegradationSane(const MatrixInstance& inst) {
   for (double e : res.estimates) {
     if (!std::isfinite(e)) return "non-finite estimate under degradation";
   }
-  if (res.whatif_failures == 0 && inst.num_queries() >= 8) {
-    // p_fail = 0.3 over >= 8 queries: seeing zero injected failures means
-    // the execution layer silently bypassed the injector.
-    return "no failures observed despite p_fail=0.3";
+  if (faulty.injected_failures() > 0 && res.whatif_failures == 0) {
+    // The injector fired but the run surfaced none of it: the execution
+    // layer is silently swallowing failures. (Gating on the injector's own
+    // counter, not instance size — a small instance can legitimately stop
+    // before any fault fires.)
+    return "injector fired yet no failures surfaced in the result";
   }
   return "";
 }

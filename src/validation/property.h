@@ -46,6 +46,7 @@ enum class MatrixShape : uint8_t {
   kZeroVarianceStrata,   // every template has constant within-template cost
   kSingleQuery,          // degenerate one-query workload
   kSparseAdvantage,      // winner is cheaper only on one rare template
+  kZipfPopularity,       // Zipf-skewed template popularity (hot stratum)
 };
 
 const char* MatrixShapeName(MatrixShape shape);

@@ -49,10 +49,18 @@ void QueryBuilder::AddSampledRange(uint32_t a, ColumnId col,
   TableAccess& access = spec_.accesses[a];
   const Column& column = schema_.table(access.table).columns[col];
   ColumnStatistics stats(column);
+  // The dispersion knob rescales the sampling window around its midpoint.
+  // The draw itself always consumes exactly one uniform variate, so
+  // dispersion changes selectivity spread without perturbing the stream of
+  // random numbers later predicates see.
+  const double mid = 0.5 * (lo_fraction + hi_fraction);
+  const double half = 0.5 * (hi_fraction - lo_fraction) * dispersion_;
+  const double lo = std::max(1e-6, mid - half);
+  const double hi = std::min(1.0, std::max(lo, mid + half));
   Predicate p;
   p.column = {access.table, col};
   p.op = PredOp::kRange;
-  p.domain_fraction = rng_->NextDouble(lo_fraction, hi_fraction);
+  p.domain_fraction = rng_->NextDouble(lo, hi);
   p.selectivity = stats.RangeSelectivity(p.domain_fraction);
   access.predicates.push_back(p);
 }

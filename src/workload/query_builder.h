@@ -18,8 +18,15 @@ namespace pdx {
 /// produce the within-template selectivity spread QGEN-style binding has.
 class QueryBuilder {
  public:
-  QueryBuilder(const Schema& schema, Rng* rng) : schema_(schema), rng_(rng) {
+  /// `dispersion` scales the width of every sampled-range window around its
+  /// midpoint: 1.0 reproduces the template's nominal spread, values in
+  /// (0, 1) concentrate parameter draws, values > 1 widen them (clamped to
+  /// the column domain). Scenario generators use it as the
+  /// parameter-dispersion knob.
+  QueryBuilder(const Schema& schema, Rng* rng, double dispersion = 1.0)
+      : schema_(schema), rng_(rng), dispersion_(dispersion) {
     PDX_CHECK(rng != nullptr);
+    PDX_CHECK(dispersion > 0.0);
   }
 
   /// Adds a FROM-clause table; returns its access index.
@@ -68,6 +75,7 @@ class QueryBuilder {
 
   const Schema& schema_;
   Rng* rng_;
+  double dispersion_ = 1.0;
   SelectSpec spec_;
 };
 

@@ -1,0 +1,101 @@
+// Copyright (c) the pdexplore authors.
+// Seeded, deterministic workload scenarios: a popularity law over the
+// TPC-D template bank (uniform, Zipfian, or self-similar), a read/write
+// mix, and a parameter-dispersion knob. The YCSB-style laws stress the
+// paper's §6.2 Cochran/skew sample-size bounds and Algorithm 2's
+// stratification exactly where they earn their keep: heavy
+// template-popularity skew. Scenarios are specified on the command line
+// as e.g. "zipf:0.9,rw:0.8,n:2000,seed:7,disp:1.2".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace pdx {
+
+/// How statement counts distribute over template popularity ranks.
+enum class PopularityLaw : uint8_t {
+  kUniform = 0,
+  kZipfian = 1,
+  kSelfSimilar = 2,
+};
+
+const char* PopularityLawName(PopularityLaw law);
+
+/// Popularity distribution over `n` ranks; rank 0 is always the hottest.
+///
+/// - kUniform: every rank equally likely (skew ignored).
+/// - kZipfian: P(rank i) ∝ 1/(i+1)^skew (common/zipf.h, skew ≥ 0).
+/// - kSelfSimilar: the hot-fraction law of Gray et al.'s "Quickly
+///   generating billion-record synthetic databases" — a fraction `skew`
+///   (h ∈ [0.5, 1)) of draws land in the first (1-h) fraction of ranks,
+///   recursively. CDF F(x) = (x/n)^c with c = log(h)/log(1-h); h = 0.5
+///   degenerates to uniform.
+class PopularitySampler {
+ public:
+  PopularitySampler(PopularityLaw law, double skew, size_t n);
+
+  /// Draws a rank in [0, n). Consumes exactly one uniform variate.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `i`; sums to 1 over [0, n).
+  double Probability(size_t i) const;
+
+  size_t n() const { return n_; }
+  PopularityLaw law() const { return law_; }
+  double skew() const { return skew_; }
+
+ private:
+  PopularityLaw law_;
+  double skew_;
+  size_t n_;
+  std::optional<ZipfDistribution> zipf_;
+  double cdf_exponent_ = 1.0;  // self-similar c = log(h)/log(1-h)
+};
+
+/// A fully specified scenario. The defaults are the uniform, read-only
+/// mix, which reproduces GenerateTpcdWorkload's template spread on the
+/// same bank.
+struct ScenarioOptions {
+  PopularityLaw law = PopularityLaw::kUniform;
+  /// Zipf theta (≥ 0) or self-similar h (∈ [0.5, 1)); ignored for uniform.
+  double skew = 0.0;
+  /// Fraction of statements drawn from the SELECT bank; the rest come
+  /// from the DML bank (both under the same popularity law).
+  double read_fraction = 1.0;
+  /// Scales every sampled-range parameter window around its midpoint
+  /// (QueryBuilder dispersion knob); 1.0 = the template's nominal spread.
+  double dispersion = 1.0;
+  uint32_t num_queries = 2000;
+  uint64_t seed = 20060406;
+  bool include_point_lookups = true;
+};
+
+/// Parses a scenario spec string: a comma-separated list whose first
+/// token names the law — "uniform", "zipf:T", or "selfsim:H" — followed
+/// by optional "rw:R" (read fraction, default 1), "n:N" (statements),
+/// "seed:S", "disp:D" (dispersion), and "lookups:0|1". Unknown or
+/// malformed tokens are errors.
+Result<ScenarioOptions> ParseScenarioSpec(std::string_view spec);
+
+/// Canonical round-trippable rendering of `options` (used in manifests
+/// and bench labels).
+std::string FormatScenarioSpec(const ScenarioOptions& options);
+
+/// Generates a scenario workload against the TPC-D schema: registers the
+/// SELECT bank (and, when read_fraction < 1, the DML bank) as templates,
+/// then instantiates num_queries statements with template choice from the
+/// popularity law and parameters drawn through the dispersion knob.
+/// Deterministic: a pure function of (schema, options), independent of
+/// thread count.
+Workload GenerateScenarioWorkload(const Schema& schema,
+                                  const ScenarioOptions& options);
+
+}  // namespace pdx

@@ -10,23 +10,17 @@ namespace pdx {
 
 namespace {
 
-// One template = a name plus a builder that instantiates it with freshly
-// sampled parameters. Mirrors QGEN: fixed skeleton, random bindings.
-struct TemplateSpec {
-  const char* name;
-  std::function<Query(const Schema&, Rng*, TemplateId)> build;
-};
-
 // Shorthand used throughout the builders below.
 using QB = QueryBuilder;
 
-std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
-  std::vector<TemplateSpec> specs;
+}  // namespace
+
+std::vector<TpcdTemplateSpec> TpcdTemplateBank(bool include_point_lookups) {
+  std::vector<TpcdTemplateSpec> specs;
 
   // T01 (TPC-H Q1 flavour): pricing summary — big lineitem range scan with
   // grouping; always expensive, cost varies with the shipdate cutoff.
-  specs.push_back({"pricing_summary", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"pricing_summary", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     b.AddSampledRange(li, b.Col(li, "l_shipdate"), 0.85, 1.0);
     b.GroupBy(li, b.Col(li, "l_returnflag"));
@@ -38,8 +32,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T02 (Q6 flavour): forecasting revenue change — selective lineitem scan.
-  specs.push_back({"revenue_forecast", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"revenue_forecast", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     b.AddSampledRange(li, b.Col(li, "l_shipdate"), 0.10, 0.20);
     b.AddSampledEq(li, b.Col(li, "l_discount"));
@@ -50,8 +43,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T03 (Q3 flavour): shipping priority — customer x orders x lineitem.
-  specs.push_back({"shipping_priority", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"shipping_priority", [](QB& b, TemplateId t) {
     uint32_t c = b.AddAccess(kCustomer);
     uint32_t o = b.AddAccess(kOrders);
     uint32_t li = b.AddAccess(kLineitem);
@@ -67,8 +59,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T04 (Q4 flavour): order priority checking.
-  specs.push_back({"order_priority", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"order_priority", [](QB& b, TemplateId t) {
     uint32_t o = b.AddAccess(kOrders);
     uint32_t li = b.AddAccess(kLineitem);
     b.AddSampledRange(o, b.Col(o, "o_orderdate"), 0.04, 0.08);
@@ -79,8 +70,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T05 (Q5 flavour): local supplier volume — 6-way join.
-  specs.push_back({"local_supplier_volume", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"local_supplier_volume", [](QB& b, TemplateId t) {
     uint32_t r = b.AddAccess(kRegion);
     uint32_t n = b.AddAccess(kNation);
     uint32_t su = b.AddAccess(kSupplier);
@@ -101,8 +91,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T06 (Q10 flavour): returned item reporting.
-  specs.push_back({"returned_items", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"returned_items", [](QB& b, TemplateId t) {
     uint32_t c = b.AddAccess(kCustomer);
     uint32_t o = b.AddAccess(kOrders);
     uint32_t li = b.AddAccess(kLineitem);
@@ -119,8 +108,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T07 (Q11 flavour): important stock identification.
-  specs.push_back({"important_stock", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"important_stock", [](QB& b, TemplateId t) {
     uint32_t ps = b.AddAccess(kPartsupp);
     uint32_t su = b.AddAccess(kSupplier);
     uint32_t n = b.AddAccess(kNation);
@@ -134,8 +122,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T08 (Q12 flavour): shipping modes and order priority.
-  specs.push_back({"shipping_modes", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"shipping_modes", [](QB& b, TemplateId t) {
     uint32_t o = b.AddAccess(kOrders);
     uint32_t li = b.AddAccess(kLineitem);
     b.AddSampledEq(li, b.Col(li, "l_shipmode"));
@@ -148,8 +135,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T09 (Q14 flavour): promotion effect.
-  specs.push_back({"promotion_effect", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"promotion_effect", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t p = b.AddAccess(kPart);
     b.AddSampledRange(li, b.Col(li, "l_shipdate"), 0.025, 0.045);
@@ -161,8 +147,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T10 (Q16 flavour): parts/supplier relationship.
-  specs.push_back({"parts_supplier", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"parts_supplier", [](QB& b, TemplateId t) {
     uint32_t p = b.AddAccess(kPart);
     uint32_t ps = b.AddAccess(kPartsupp);
     b.AddSampledEq(p, b.Col(p, "p_brand"));
@@ -174,8 +159,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T11 (Q17 flavour): small-quantity-order revenue.
-  specs.push_back({"small_quantity_revenue", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"small_quantity_revenue", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t p = b.AddAccess(kPart);
     b.AddSampledEq(p, b.Col(p, "p_brand"));
@@ -188,8 +172,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T12 (Q18 flavour): large-volume customers.
-  specs.push_back({"large_volume_customers", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"large_volume_customers", [](QB& b, TemplateId t) {
     uint32_t c = b.AddAccess(kCustomer);
     uint32_t o = b.AddAccess(kOrders);
     uint32_t li = b.AddAccess(kLineitem);
@@ -205,8 +188,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
 
   // T13 (Q19 flavour): discounted revenue (part lookup with several eq
   // predicates and a quantity range).
-  specs.push_back({"discounted_revenue", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"discounted_revenue", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t p = b.AddAccess(kPart);
     b.AddSampledEq(p, b.Col(p, "p_brand"));
@@ -220,8 +202,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T14 (Q21 flavour): suppliers who kept orders waiting.
-  specs.push_back({"waiting_suppliers", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"waiting_suppliers", [](QB& b, TemplateId t) {
     uint32_t su = b.AddAccess(kSupplier);
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t o = b.AddAccess(kOrders);
@@ -237,8 +218,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T15 (Q2 flavour): minimum-cost supplier.
-  specs.push_back({"min_cost_supplier", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"min_cost_supplier", [](QB& b, TemplateId t) {
     uint32_t p = b.AddAccess(kPart);
     uint32_t ps = b.AddAccess(kPartsupp);
     uint32_t su = b.AddAccess(kSupplier);
@@ -259,8 +239,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
 
   // T16 (Q9 flavour): product-type profit measure — 5-way join over the
   // biggest tables; the most expensive template.
-  specs.push_back({"product_profit", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"product_profit", [](QB& b, TemplateId t) {
     uint32_t p = b.AddAccess(kPart);
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t ps = b.AddAccess(kPartsupp);
@@ -279,8 +258,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T17 (Q13 flavour): customer order distribution.
-  specs.push_back({"customer_distribution", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"customer_distribution", [](QB& b, TemplateId t) {
     uint32_t c = b.AddAccess(kCustomer);
     uint32_t o = b.AddAccess(kOrders);
     b.AddSampledEq(o, b.Col(o, "o_orderpriority"));
@@ -291,8 +269,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T18 (Q15 flavour): top supplier by revenue over a date slice.
-  specs.push_back({"top_supplier", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"top_supplier", [](QB& b, TemplateId t) {
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t su = b.AddAccess(kSupplier);
     b.AddSampledRange(li, b.Col(li, "l_shipdate"), 0.06, 0.09);
@@ -304,8 +281,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T19 (Q20 flavour): potential part promotion.
-  specs.push_back({"part_promotion", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"part_promotion", [](QB& b, TemplateId t) {
     uint32_t su = b.AddAccess(kSupplier);
     uint32_t n = b.AddAccess(kNation);
     uint32_t ps = b.AddAccess(kPartsupp);
@@ -321,8 +297,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
 
   // T20 (Q22 flavour): global sales opportunity — customer scan with an
   // unsargable phone-prefix filter.
-  specs.push_back({"sales_opportunity", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"sales_opportunity", [](QB& b, TemplateId t) {
     uint32_t c = b.AddAccess(kCustomer);
     b.AddUnsargable(c, b.Col(c, "c_phone"), 0.08);
     b.AddSampledRange(c, b.Col(c, "c_acctbal"), 0.4, 0.6);
@@ -332,8 +307,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T21 (Q7 flavour): volume shipping between two nations.
-  specs.push_back({"volume_shipping", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"volume_shipping", [](QB& b, TemplateId t) {
     uint32_t su = b.AddAccess(kSupplier);
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t o = b.AddAccess(kOrders);
@@ -352,8 +326,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   }});
 
   // T22 (Q8 flavour): national market share.
-  specs.push_back({"market_share", [](const Schema& s, Rng* rng, TemplateId t) {
-    QB b(s, rng);
+  specs.push_back({"market_share", [](QB& b, TemplateId t) {
     uint32_t p = b.AddAccess(kPart);
     uint32_t li = b.AddAccess(kLineitem);
     uint32_t o = b.AddAccess(kOrders);
@@ -377,8 +350,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   if (include_point_lookups) {
     // T23: single-value customer lookup — the "single-value lookups" the
     // paper contrasts against multi-join queries in §4.2.
-    specs.push_back({"customer_lookup", [](const Schema& s, Rng* rng, TemplateId t) {
-      QB b(s, rng);
+    specs.push_back({"customer_lookup", [](QB& b, TemplateId t) {
       uint32_t c = b.AddAccess(kCustomer);
       b.AddSampledEq(c, b.Col(c, "c_custkey"));
       b.Refer(c, {b.Col(c, "c_name"), b.Col(c, "c_acctbal"),
@@ -387,8 +359,7 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
     }});
 
     // T24: order lookup with its lineitems (cheap 2-way keyed join).
-    specs.push_back({"order_lookup", [](const Schema& s, Rng* rng, TemplateId t) {
-      QB b(s, rng);
+    specs.push_back({"order_lookup", [](QB& b, TemplateId t) {
       uint32_t o = b.AddAccess(kOrders);
       uint32_t li = b.AddAccess(kLineitem);
       b.AddSampledEq(o, b.Col(o, "o_orderkey"));
@@ -401,7 +372,46 @@ std::vector<TemplateSpec> MakeTemplates(bool include_point_lookups) {
   return specs;
 }
 
-}  // namespace
+std::vector<TpcdTemplateSpec> TpcdDmlTemplateBank() {
+  std::vector<TpcdTemplateSpec> specs;
+
+  // D01: order entry — single-row INSERT into orders.
+  specs.push_back({"insert_order", [](QB& b, TemplateId t) {
+    return b.BuildDml(t, StatementKind::kInsert, kOrders,
+                      {0, 1, 2, 3, 4, 5, 6, 7});
+  }, StatementKind::kInsert});
+
+  // D02: line-item entry — single-row INSERT into lineitem.
+  specs.push_back({"insert_lineitem", [](QB& b, TemplateId t) {
+    return b.BuildDml(t, StatementKind::kInsert, kLineitem,
+                      {0, 1, 2, 3, 4, 5, 6, 7});
+  }, StatementKind::kInsert});
+
+  // D03: stock movement — UPDATE partsupp availability for one part.
+  specs.push_back({"update_stock", [](QB& b, TemplateId t) {
+    uint32_t ps = b.AddAccess(kPartsupp);
+    b.AddSampledEq(ps, b.Col(ps, "ps_partkey"));
+    return b.BuildDml(t, StatementKind::kUpdate, kPartsupp,
+                      {b.Col(ps, "ps_availqty")});
+  }, StatementKind::kUpdate});
+
+  // D04: payment posting — UPDATE one customer's balance.
+  specs.push_back({"update_balance", [](QB& b, TemplateId t) {
+    uint32_t c = b.AddAccess(kCustomer);
+    b.AddSampledEq(c, b.Col(c, "c_custkey"));
+    return b.BuildDml(t, StatementKind::kUpdate, kCustomer,
+                      {b.Col(c, "c_acctbal")});
+  }, StatementKind::kUpdate});
+
+  // D05: order purge — DELETE an old order-date slice.
+  specs.push_back({"purge_orders", [](QB& b, TemplateId t) {
+    uint32_t o = b.AddAccess(kOrders);
+    b.AddSampledRange(o, b.Col(o, "o_orderdate"), 0.005, 0.02);
+    return b.BuildDml(t, StatementKind::kDelete, kOrders, {});
+  }, StatementKind::kDelete});
+
+  return specs;
+}
 
 Workload GenerateTpcdWorkload(const Schema& schema,
                               const TpcdWorkloadOptions& options) {
@@ -410,14 +420,14 @@ Workload GenerateTpcdWorkload(const Schema& schema,
   Rng rng(options.seed);
   Workload wl(&schema);
 
-  std::vector<TemplateSpec> specs =
-      MakeTemplates(options.include_point_lookups);
+  std::vector<TpcdTemplateSpec> specs =
+      TpcdTemplateBank(options.include_point_lookups);
 
   // Register templates; table list and signature come from a probe instance.
   for (size_t i = 0; i < specs.size(); ++i) {
     Rng probe_rng(options.seed ^ 0xABCDEF);
-    Query probe =
-        specs[i].build(schema, &probe_rng, static_cast<TemplateId>(i));
+    QB probe_builder(schema, &probe_rng);
+    Query probe = specs[i].build(probe_builder, static_cast<TemplateId>(i));
     QueryTemplate tmpl;
     tmpl.name = specs[i].name;
     tmpl.kind = StatementKind::kSelect;
@@ -437,7 +447,8 @@ Workload GenerateTpcdWorkload(const Schema& schema,
   }
   for (uint32_t i = 0; i < options.num_queries; ++i) {
     size_t ti = skewed ? skewed->Sample(&rng) : (i % specs.size());
-    Query q = specs[ti].build(schema, &rng, static_cast<TemplateId>(ti));
+    QB b(schema, &rng);
+    Query q = specs[ti].build(b, static_cast<TemplateId>(ti));
     wl.AddQuery(std::move(q));
   }
 

@@ -11,12 +11,35 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "catalog/tpcd_schema.h"
 #include "common/rng.h"
+#include "workload/query_builder.h"
 #include "workload/workload.h"
 
 namespace pdx {
+
+/// One parameterized template: a fixed skeleton (the build functor) that a
+/// caller instantiates with freshly sampled parameters by handing it a
+/// QueryBuilder. The caller owns the builder, so scenario generators can
+/// thread their own RNG stream and dispersion knob through every draw.
+struct TpcdTemplateSpec {
+  const char* name;
+  std::function<Query(QueryBuilder&, TemplateId)> build;
+  StatementKind kind = StatementKind::kSelect;
+};
+
+/// The 22-template TPC-H-style SELECT bank (plus two single-value lookup
+/// templates when `include_point_lookups`). Deterministic: the returned
+/// specs are a pure function of the arguments.
+std::vector<TpcdTemplateSpec> TpcdTemplateBank(bool include_point_lookups);
+
+/// DML companions to the SELECT bank: order-entry INSERTs, stock and
+/// balance UPDATEs, and an order-purge DELETE. Used by the scenario
+/// generator's read/write-mix knob.
+std::vector<TpcdTemplateSpec> TpcdDmlTemplateBank();
 
 /// Options for TPC-D workload generation.
 struct TpcdWorkloadOptions {

@@ -108,7 +108,12 @@ TEST(CalibrationGridTest, QuickGridHasTheDocumentedShape) {
     EXPECT_EQ(c.fault_rate, 0.0);
     EXPECT_EQ(c.cache, WhatIfCacheMode::kOff);
   }
-  EXPECT_EQ(FullCalibrationGrid().size(), 24u);
+  // 24 scheme x strat x cache x fault cells + 2 heavy-skew Zipf cells.
+  std::vector<CalibrationCellSpec> full = FullCalibrationGrid();
+  EXPECT_EQ(full.size(), 26u);
+  EXPECT_DOUBLE_EQ(full[24].template_skew, 0.9);
+  EXPECT_DOUBLE_EQ(full[25].template_skew, 0.99);
+  EXPECT_EQ(full[25].Name(), "delta/strat/off/f0.00/z0.99");
 }
 
 TEST(CalibrationGridTest, CellNamesAreStableAndDistinct) {
@@ -153,6 +158,23 @@ TEST(CalibrationGridTest, FaultedCellDegradesYetStaysCalibrated) {
   // With a 15% per-call fault rate some trials must have exercised the
   // retry/degradation path; calibration holding anyway is the point.
   EXPECT_GT(r.degraded_trials + r.successes, 0u);
+}
+
+TEST(CalibrationGridTest, HeavySkewCellsStayCalibrated) {
+  ResetClaimedTrialSeedSpansForTests();
+  CalibrationOptions opts;
+  opts.trials = 100;
+  uint32_t cell_index = 910;
+  for (double skew : {0.9, 0.99}) {
+    CalibrationCellSpec spec;
+    spec.scheme = SamplingScheme::kDelta;
+    spec.stratify = true;
+    spec.template_skew = skew;
+    CalibrationCellResult r = CalibrateCell(spec, opts, cell_index++);
+    EXPECT_TRUE(r.passed) << r.spec.Name() << ": empirical " << r.empirical
+                          << " cp_upper " << r.cp_upper;
+    EXPECT_GT(r.reached, opts.trials / 2) << r.spec.Name();
+  }
 }
 
 TEST(CalibrationGridTest, ResultsAndCsvAreDeterministic) {

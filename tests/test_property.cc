@@ -30,7 +30,7 @@ TEST(MatrixGeneratorTest, CoversEveryAdversarialShape) {
   for (uint64_t s = 0; s < 100; ++s) {
     seen.insert(GenerateMatrixInstance(s).shape);
   }
-  EXPECT_EQ(seen.size(), 6u) << "generator shape coverage collapsed";
+  EXPECT_EQ(seen.size(), 7u) << "generator shape coverage collapsed";
 }
 
 TEST(MatrixGeneratorTest, InstancesAreAlwaysValid) {

@@ -1,0 +1,276 @@
+#include "workload/scenario.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "test_util.h"
+#include "workload/query_builder.h"
+#include "workload/sql_text.h"
+#include "workload/tpcd_qgen.h"
+
+namespace pdx {
+namespace {
+
+using testing::SmallTpcdSchema;
+
+// Renders every statement so two workloads compare bit-for-bit, not just
+// structurally.
+std::string Fingerprint(const Schema& schema, const Workload& wl) {
+  std::string out;
+  for (QueryId q = 0; q < wl.size(); ++q) {
+    out += std::to_string(wl.query(q).template_id);
+    out += '|';
+    out += RenderSql(schema, wl.query(q));
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(PopularitySamplerTest, MassNormalizesForAllLaws) {
+  const size_t n = 27;
+  const PopularitySampler samplers[] = {
+      {PopularityLaw::kUniform, 0.0, n},
+      {PopularityLaw::kZipfian, 0.9, n},
+      {PopularityLaw::kZipfian, 0.99, n},
+      {PopularityLaw::kSelfSimilar, 0.7, n},
+      {PopularityLaw::kSelfSimilar, 0.95, n},
+  };
+  for (const PopularitySampler& s : samplers) {
+    double mass = 0.0;
+    for (size_t i = 0; i < n; ++i) mass += s.Probability(i);
+    EXPECT_NEAR(mass, 1.0, 1e-9) << PopularityLawName(s.law());
+  }
+}
+
+TEST(PopularitySamplerTest, RankFrequencyMonotone) {
+  const size_t n = 24;
+  const PopularitySampler skewed[] = {
+      {PopularityLaw::kZipfian, 0.5, n},
+      {PopularityLaw::kZipfian, 0.99, n},
+      {PopularityLaw::kSelfSimilar, 0.6, n},
+      {PopularityLaw::kSelfSimilar, 0.9, n},
+  };
+  for (const PopularitySampler& s : skewed) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_GE(s.Probability(i), s.Probability(i + 1))
+          << PopularityLawName(s.law()) << " skew " << s.skew() << " rank "
+          << i;
+    }
+    EXPECT_GT(s.Probability(0), 1.0 / static_cast<double>(n));
+  }
+}
+
+TEST(PopularitySamplerTest, SelfSimilarHotFraction) {
+  // The defining property: a fraction h of the mass lands on the first
+  // (1-h) fraction of ranks.
+  const size_t n = 1000;
+  for (double h : {0.6, 0.8, 0.95}) {
+    PopularitySampler s(PopularityLaw::kSelfSimilar, h, n);
+    double mass = 0.0;
+    size_t hot = static_cast<size_t>((1.0 - h) * static_cast<double>(n));
+    for (size_t i = 0; i < hot; ++i) mass += s.Probability(i);
+    EXPECT_NEAR(mass, h, 0.01) << "h=" << h;
+  }
+}
+
+TEST(PopularitySamplerTest, SelfSimilarHalfIsUniform) {
+  const size_t n = 16;
+  PopularitySampler s(PopularityLaw::kSelfSimilar, 0.5, n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(s.Probability(i), 1.0 / 16.0, 1e-12);
+  }
+}
+
+TEST(PopularitySamplerTest, SampleMatchesMass) {
+  // Empirical frequencies track Probability() for each law (law of large
+  // numbers at fixed seed — deterministic, no flake).
+  const size_t n = 8;
+  for (auto [law, skew] :
+       std::vector<std::pair<PopularityLaw, double>>{
+           {PopularityLaw::kUniform, 0.0},
+           {PopularityLaw::kZipfian, 0.9},
+           {PopularityLaw::kSelfSimilar, 0.8}}) {
+    PopularitySampler s(law, skew, n);
+    Rng rng(0xC0FFEE);
+    const size_t trials = 200000;
+    std::vector<size_t> counts(n, 0);
+    for (size_t i = 0; i < trials; ++i) {
+      size_t r = s.Sample(&rng);
+      ASSERT_LT(r, n);
+      ++counts[r];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double freq = static_cast<double>(counts[i]) / trials;
+      EXPECT_NEAR(freq, s.Probability(i), 0.01)
+          << PopularityLawName(law) << " rank " << i;
+    }
+  }
+}
+
+TEST(ScenarioSpecTest, ParsesFullSpec) {
+  auto opt = ParseScenarioSpec("zipf:0.9,rw:0.8,n:500,seed:7,disp:1.5");
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_EQ(opt->law, PopularityLaw::kZipfian);
+  EXPECT_DOUBLE_EQ(opt->skew, 0.9);
+  EXPECT_DOUBLE_EQ(opt->read_fraction, 0.8);
+  EXPECT_EQ(opt->num_queries, 500u);
+  EXPECT_EQ(opt->seed, 7u);
+  EXPECT_DOUBLE_EQ(opt->dispersion, 1.5);
+}
+
+TEST(ScenarioSpecTest, ParsesEveryLaw) {
+  EXPECT_EQ(ParseScenarioSpec("uniform")->law, PopularityLaw::kUniform);
+  EXPECT_EQ(ParseScenarioSpec("zipf:0.5")->law, PopularityLaw::kZipfian);
+  EXPECT_EQ(ParseScenarioSpec("selfsim:0.75")->law,
+            PopularityLaw::kSelfSimilar);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseScenarioSpec("").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:-1").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:abc").ok());
+  EXPECT_FALSE(ParseScenarioSpec("selfsim:0.3").ok());
+  EXPECT_FALSE(ParseScenarioSpec("selfsim:1.0").ok());
+  EXPECT_FALSE(ParseScenarioSpec("uniform:0.5").ok());
+  EXPECT_FALSE(ParseScenarioSpec("rw:0.8").ok());  // law must come first
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,rw:1.5").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,disp:0").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,n:0").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,bogus:1").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,,rw:0.5").ok());
+  EXPECT_FALSE(ParseScenarioSpec("zipf:0.9,lookups:2").ok());
+}
+
+TEST(ScenarioSpecTest, FormatRoundTrips) {
+  auto opt = ParseScenarioSpec("selfsim:0.8,rw:0.7,n:300,seed:11,disp:0.5");
+  ASSERT_TRUE(opt.ok());
+  auto again = ParseScenarioSpec(FormatScenarioSpec(*opt));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->law, opt->law);
+  EXPECT_DOUBLE_EQ(again->skew, opt->skew);
+  EXPECT_DOUBLE_EQ(again->read_fraction, opt->read_fraction);
+  EXPECT_DOUBLE_EQ(again->dispersion, opt->dispersion);
+  EXPECT_EQ(again->num_queries, opt->num_queries);
+  EXPECT_EQ(again->seed, opt->seed);
+}
+
+ScenarioOptions SmallScenario() {
+  ScenarioOptions opt;
+  opt.law = PopularityLaw::kZipfian;
+  opt.skew = 0.9;
+  opt.read_fraction = 0.8;
+  opt.num_queries = 400;
+  opt.seed = 77;
+  return opt;
+}
+
+TEST(ScenarioWorkloadTest, DeterministicAcrossThreadCountsAndRuns) {
+  Schema schema = SmallTpcdSchema();
+  SetGlobalThreadCount(1);
+  std::string one = Fingerprint(schema, GenerateScenarioWorkload(schema, SmallScenario()));
+  SetGlobalThreadCount(4);
+  std::string four = Fingerprint(schema, GenerateScenarioWorkload(schema, SmallScenario()));
+  std::string again = Fingerprint(schema, GenerateScenarioWorkload(schema, SmallScenario()));
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, again);
+}
+
+TEST(ScenarioWorkloadTest, RegistersReadAndDmlTemplates) {
+  Schema schema = SmallTpcdSchema();
+  ScenarioOptions opt = SmallScenario();
+  Workload wl = GenerateScenarioWorkload(schema, opt);
+  EXPECT_EQ(wl.size(), opt.num_queries);
+  // 22 join templates + 2 lookups + 5 DML templates.
+  EXPECT_EQ(wl.num_templates(), 29u);
+  EXPECT_TRUE(wl.Validate().ok());
+}
+
+TEST(ScenarioWorkloadTest, ReadWriteMixTracksKnob) {
+  Schema schema = SmallTpcdSchema();
+  ScenarioOptions opt = SmallScenario();
+  opt.num_queries = 4000;
+  opt.read_fraction = 0.8;
+  Workload wl = GenerateScenarioWorkload(schema, opt);
+  EXPECT_NEAR(wl.DmlFraction(), 0.2, 0.02);
+
+  opt.read_fraction = 1.0;
+  Workload pure = GenerateScenarioWorkload(schema, opt);
+  EXPECT_DOUBLE_EQ(pure.DmlFraction(), 0.0);
+  EXPECT_EQ(pure.num_templates(), 24u);  // no DML bank registered
+}
+
+TEST(ScenarioWorkloadTest, SkewConcentratesTemplateCounts) {
+  Schema schema = SmallTpcdSchema();
+  ScenarioOptions opt;
+  opt.law = PopularityLaw::kZipfian;
+  opt.skew = 0.99;
+  opt.num_queries = 4000;
+  opt.seed = 3;
+  Workload wl = GenerateScenarioWorkload(schema, opt);
+  // Rank 0 dominates: its share must far exceed the uniform 1/24.
+  size_t hottest = wl.QueriesOfTemplate(0).size();
+  EXPECT_GT(hottest, wl.size() / 24 * 3);
+}
+
+TEST(ScenarioWorkloadTest, UniformMatchesLawlessSpread) {
+  Schema schema = SmallTpcdSchema();
+  ScenarioOptions opt;
+  opt.num_queries = 2400;
+  opt.seed = 9;
+  Workload wl = GenerateScenarioWorkload(schema, opt);
+  // Uniform sampling (not round-robin), so just check no template starves
+  // and none dominates.
+  for (TemplateId t = 0; t < wl.num_templates(); ++t) {
+    size_t c = wl.QueriesOfTemplate(t).size();
+    EXPECT_GT(c, 40u) << "template " << t;
+    EXPECT_LT(c, 200u) << "template " << t;
+  }
+}
+
+TEST(QueryBuilderDispersionTest, NarrowsAndWidensSampledRanges) {
+  Schema schema = SmallTpcdSchema();
+  auto spread = [&](double dispersion) {
+    Rng rng(123);
+    double lo = 2.0, hi = -1.0;
+    for (int i = 0; i < 300; ++i) {
+      QueryBuilder b(schema, &rng, dispersion);
+      uint32_t li = b.AddAccess(kLineitem);
+      b.AddSampledRange(li, b.Col(li, "l_shipdate"), 0.1, 0.9);
+      Query q = b.BuildSelect(0);
+      double f = q.select.accesses[0].predicates[0].domain_fraction;
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    return std::pair<double, double>(lo, hi);
+  };
+  auto [tight_lo, tight_hi] = spread(0.2);
+  auto [nominal_lo, nominal_hi] = spread(1.0);
+  // disp 0.2 shrinks the [0.1, 0.9] window to [0.42, 0.58] around the
+  // midpoint; nominal keeps the full window.
+  EXPECT_GE(tight_lo, 0.42 - 1e-9);
+  EXPECT_LE(tight_hi, 0.58 + 1e-9);
+  EXPECT_LT(nominal_lo, 0.15);
+  EXPECT_GT(nominal_hi, 0.85);
+  EXPECT_LT(tight_hi - tight_lo, nominal_hi - nominal_lo);
+}
+
+TEST(TemplateBankTest, BanksAreStableAndTyped) {
+  std::vector<TpcdTemplateSpec> reads = TpcdTemplateBank(true);
+  EXPECT_EQ(reads.size(), 24u);
+  for (const TpcdTemplateSpec& s : reads) {
+    EXPECT_EQ(s.kind, StatementKind::kSelect) << s.name;
+  }
+  std::vector<TpcdTemplateSpec> dml = TpcdDmlTemplateBank();
+  EXPECT_EQ(dml.size(), 5u);
+  for (const TpcdTemplateSpec& s : dml) {
+    EXPECT_NE(s.kind, StatementKind::kSelect) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace pdx

@@ -142,6 +142,64 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_TRUE(ParseRequestLine("{\"op\":\"ping\"}").ok());  // no dir needed
 }
 
+// ISSUE-10 satellite: a session may set "faults" without restating the
+// executor policy — omitted fields keep the RetryPolicy DEFAULTS (4
+// attempts, 100 ms), never zero (a zero deadline would turn every
+// injected slow call into a timeout and silently change semantics).
+TEST(ProtocolTest, FaultPolicyDefaultsAreNeverSilentlyZero) {
+  auto r = ParseRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"d\",\"faults\":\"0.3,0.1,7\"}");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->faults, "0.3,0.1,7");
+  EXPECT_EQ(r->retry_attempts, 4u);
+  EXPECT_DOUBLE_EQ(r->deadline_ms, 100.0);
+
+  auto o = ParseRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"d\",\"faults\":\"0.3,0\","
+      "\"retry_attempts\":2,\"deadline_ms\":50}");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o->retry_attempts, 2u);
+  EXPECT_DOUBLE_EQ(o->deadline_ms, 50.0);
+
+  // Explicit zeros are rejected, not silently honored.
+  EXPECT_FALSE(
+      ParseRequestLine(
+          "{\"op\":\"compare\",\"dir\":\"d\",\"retry_attempts\":0}")
+          .ok());
+  EXPECT_FALSE(
+      ParseRequestLine("{\"op\":\"compare\",\"dir\":\"d\",\"deadline_ms\":0}")
+          .ok());
+  EXPECT_FALSE(
+      ParseRequestLine("{\"op\":\"compare\",\"dir\":\"d\",\"faults\":\"x\"}")
+          .ok());
+}
+
+TEST(ProtocolTest, RejectsFaultsOnTuneSessions) {
+  // Same rule as the batch CLI: tune runs on the shared signature cache,
+  // whose cross-configuration sharing bypasses the injection point.
+  auto r = ParseRequestLine(
+      "{\"op\":\"tune\",\"dir\":\"d\",\"faults\":\"0.3,0.1\"}");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("tune"), std::string::npos);
+}
+
+TEST(ProtocolTest, CanonicalizesWorkloadSpecs) {
+  // Equivalent spellings collapse to one canonical warm-catalog key.
+  auto a = ParseRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"d\",\"workload\":\"zipf:0.9\"}");
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  EXPECT_EQ(a->workload, "zipf:0.9,rw:1,disp:1,n:2000,seed:20060406");
+  auto b = ParseRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"d\","
+      "\"workload\":\"zipf:0.9,n:2000,rw:1\"}");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->workload, b->workload);
+  EXPECT_FALSE(
+      ParseRequestLine(
+          "{\"op\":\"compare\",\"dir\":\"d\",\"workload\":\"selfsim:1.5\"}")
+          .ok());
+}
+
 TEST(ProtocolTest, FingerprintCoversSelectionNotCallAccounting) {
   SelectionResult a;
   a.best = 2;
@@ -339,6 +397,56 @@ TEST(SelectionServiceTest, TuneIsDeterministicAtEqualSeeds) {
   ASSERT_EQ(a.rfind("{\"ok\":true", 0), 0u) << a;
   EXPECT_EQ(FingerprintOf(a), FingerprintOf(b));
   EXPECT_NE(FingerprintOf(a), "");
+}
+
+// ISSUE-10: a "workload" spec swaps the saved workload.pdx for a
+// generated scenario. Specs are part of the registry key — the scenario
+// catalog is loaded once and shared by sessions naming the same
+// canonical spec, while the saved-workload catalog stays separate.
+TEST(SelectionServiceTest, ScenarioWorkloadSessionsShareOneWarmCatalog) {
+  SelectionService service(TestServeOptions());
+  const std::string req =
+      "{\"op\":\"compare\",\"dir\":\"" + TestCatalogDir() +
+      "\",\"seed\":42,\"workload\":\"zipf:0.9,n:80,seed:7\"}";
+  std::string a = service.ExecuteRequestLine(req);
+  ASSERT_EQ(a.rfind("{\"ok\":true", 0), 0u) << a;
+  // Equivalent spelling, same canonical key: a warm hit, not a reload.
+  std::string b = service.ExecuteRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"" + TestCatalogDir() +
+      "\",\"seed\":42,\"workload\":\"zipf:0.9,seed:7,n:80\"}");
+  EXPECT_EQ(FingerprintOf(a), FingerprintOf(b));
+  EXPECT_NE(FingerprintOf(a), "");
+  EXPECT_EQ(service.registry().loads(), 1u);
+  EXPECT_EQ(service.registry().hits(), 1u);
+  // The saved workload is a different catalog entirely.
+  std::string saved = service.ExecuteRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"" + TestCatalogDir() +
+      "\",\"seed\":42}");
+  ASSERT_EQ(saved.rfind("{\"ok\":true", 0), 0u) << saved;
+  EXPECT_NE(FingerprintOf(saved), FingerprintOf(a));
+  EXPECT_EQ(service.registry().loads(), 2u);
+}
+
+// ISSUE-10 satellite: "faults" alone runs the session under the batch
+// CLI's exact executor policy (RetryPolicy defaults), the injector is
+// per-session (fault-free sessions on the same catalog are untouched),
+// and equal seeds reproduce the same selection.
+TEST(SelectionServiceTest, FaultSessionsDegradeDeterministically) {
+  SelectionService service(TestServeOptions());
+  const std::string req =
+      "{\"op\":\"compare\",\"dir\":\"" + TestCatalogDir() +
+      "\",\"seed\":42,\"faults\":\"0.3,0,7\"}";
+  std::string a = service.ExecuteRequestLine(req);
+  ASSERT_EQ(a.rfind("{\"ok\":true", 0), 0u) << a;
+  EXPECT_NE(a.find("\"whatif_failures\":"), std::string::npos);
+  std::string b = service.ExecuteRequestLine(req);
+  EXPECT_EQ(FingerprintOf(a), FingerprintOf(b));
+  // A fault-free session over the same warm catalog sees no injection.
+  std::string clean = service.ExecuteRequestLine(
+      "{\"op\":\"compare\",\"dir\":\"" + TestCatalogDir() +
+      "\",\"seed\":42}");
+  ASSERT_EQ(clean.rfind("{\"ok\":true", 0), 0u) << clean;
+  EXPECT_NE(clean.find("\"whatif_failures\":0,"), std::string::npos) << clean;
 }
 
 // --- socket server -------------------------------------------------------
